@@ -1,0 +1,63 @@
+//! B1 — Algorithm 1 scaling in |𝒯| (Theorem 3.3).
+//!
+//! Measures `is_robust` on random workloads of growing size at each
+//! contention preset, against `𝒜_SSI` (always robust — worst case, the
+//! search must exhaust every triple) and against the optimal allocation.
+//! Theorem 3.3 predicts polynomial growth; compare against the
+//! exponential oracle in `oracle_gap`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mvbench::{workload, Contention};
+use mvisolation::Allocation;
+use mvrobustness::is_robust;
+use std::hint::black_box;
+
+fn bench_alg1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alg1_is_robust");
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    for contention in Contention::ALL {
+        for n in [5u32, 10, 20, 40, 80] {
+            let txns = workload(n, contention, 0xB1);
+            let ssi = Allocation::uniform_ssi(&txns);
+            group.bench_with_input(
+                BenchmarkId::new(format!("ssi_{}", contention.label()), n),
+                &n,
+                |b, _| b.iter(|| black_box(is_robust(&txns, &ssi).robust())),
+            );
+            let si = Allocation::uniform_si(&txns);
+            group.bench_with_input(
+                BenchmarkId::new(format!("si_{}", contention.label()), n),
+                &n,
+                |b, _| b.iter(|| black_box(is_robust(&txns, &si).robust())),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_alg1_op_count(c: &mut Criterion) {
+    // B2 — scaling in ℓ (operations per transaction) at fixed |𝒯|.
+    let mut group = c.benchmark_group("alg1_ops_per_txn");
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    for ell in [2usize, 4, 8, 16, 32] {
+        let txns = mvworkloads::RandomWorkload::builder()
+            .txns(15)
+            .ops(ell, ell)
+            .objects(ell * 12)
+            .write_ratio(0.4)
+            .seed(0xB2)
+            .generate();
+        let ssi = Allocation::uniform_ssi(&txns);
+        group.bench_with_input(BenchmarkId::new("ssi", ell), &ell, |b, _| {
+            b.iter(|| black_box(is_robust(&txns, &ssi).robust()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_alg1, bench_alg1_op_count);
+criterion_main!(benches);

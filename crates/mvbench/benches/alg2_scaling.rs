@@ -1,0 +1,42 @@
+//! B3 — Algorithm 2 scaling: optimal-allocation computation time vs |𝒯|
+//! (Theorem 4.3), plus the {RC, SI} variant (Theorem 5.5).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mvbench::{workload, Contention};
+use mvrobustness::{optimal_allocation, optimal_allocation_rc_si};
+use std::hint::black_box;
+
+fn bench_alg2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alg2_optimal_allocation");
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    for contention in [Contention::Low, Contention::High] {
+        for n in [5u32, 10, 20, 40] {
+            let txns = workload(n, contention, 0xB3);
+            group.bench_with_input(
+                BenchmarkId::new(contention.label(), n),
+                &n,
+                |b, _| b.iter(|| black_box(optimal_allocation(&txns))),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_alg2_rc_si(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alg2_rc_si");
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    for n in [5u32, 10, 20, 40] {
+        let txns = workload(n, Contention::Low, 0xB3);
+        group.bench_with_input(BenchmarkId::new("low", n), &n, |b, _| {
+            b.iter(|| black_box(optimal_allocation_rc_si(&txns)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_alg2, bench_alg2_rc_si);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! B4 — the polynomial/exponential gap: Algorithm 1 vs the brute-force
+//! oracle on the same (small) instances. The oracle's cost is the
+//! multinomial interleaving count; Algorithm 1 stays microseconds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mvbench::oracle_workload;
+use mvisolation::Allocation;
+use mvrobustness::{is_robust, oracle_is_robust};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_gap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("oracle_gap");
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    for n in [2u32, 3, 4] {
+        let txns = Arc::new(oracle_workload(n, 0xB4));
+        let si = Allocation::uniform_si(&txns);
+        group.bench_with_input(BenchmarkId::new("algorithm1", n), &n, |b, _| {
+            b.iter(|| black_box(is_robust(&txns, &si).robust()))
+        });
+        group.bench_with_input(BenchmarkId::new("oracle", n), &n, |b, _| {
+            b.iter(|| black_box(oracle_is_robust(&txns, &si)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gap);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! B6 — simulator throughput under the allocation ladder
+//! (all-RC / all-SI / all-SSI / optimal) at each contention preset.
+//!
+//! Criterion measures wall time per full run of the job list; the
+//! companion sweep binary (`sweep_throughput`) reports goodput and abort
+//! rates from the engine's own logical-clock metrics.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mvbench::{jobs, ladder, workload, Contention};
+use mvsim::{run_jobs, SimConfig};
+use std::hint::black_box;
+
+fn bench_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_throughput");
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    for contention in [Contention::Low, Contention::High] {
+        let txns = workload(16, contention, 0xB6);
+        for (label, alloc) in ladder(&txns) {
+            let job_list = jobs(&txns, &alloc, 4);
+            group.bench_with_input(
+                BenchmarkId::new(label, contention.label()),
+                &job_list,
+                |b, jl| {
+                    b.iter(|| {
+                        let config = SimConfig::default()
+                            .with_seed(7)
+                            .with_concurrency(8)
+                            .with_trace(false);
+                        black_box(run_jobs(jl, config).metrics.commits)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_throughput);
+criterion_main!(benches);

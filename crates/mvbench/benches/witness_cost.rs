@@ -1,0 +1,38 @@
+//! B7 — cost of materializing and verifying counterexample schedules
+//! (the constructive side of Theorem 3.2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mvbench::{workload, Contention};
+use mvisolation::Allocation;
+use mvrobustness::witness::{materialize, verify_witness};
+use mvrobustness::find_counterexample;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_witness(c: &mut Criterion) {
+    let mut group = c.benchmark_group("witness");
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    for n in [10u32, 20, 40] {
+        let txns = Arc::new(workload(n, Contention::High, 0xB7));
+        let si = Allocation::uniform_si(&txns);
+        let Some(spec) = find_counterexample(&txns, &si) else {
+            continue; // contended workloads are virtually never SI-robust
+        };
+        group.bench_with_input(BenchmarkId::new("find", n), &n, |b, _| {
+            b.iter(|| black_box(find_counterexample(&txns, &si)))
+        });
+        group.bench_with_input(BenchmarkId::new("materialize", n), &n, |b, _| {
+            b.iter(|| black_box(materialize(Arc::clone(&txns), &si, &spec)))
+        });
+        let schedule = materialize(Arc::clone(&txns), &si, &spec);
+        group.bench_with_input(BenchmarkId::new("verify", n), &n, |b, _| {
+            b.iter(|| black_box(verify_witness(&schedule, &si).is_ok()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_witness);
+criterion_main!(benches);

@@ -1,0 +1,116 @@
+//! B1/B2/B3/B4 table generator: wall-clock scaling of Algorithm 1,
+//! Algorithm 2 and the brute-force oracle.
+//!
+//! ```sh
+//! cargo run --release -p mvbench --bin sweep_scaling
+//! ```
+//!
+//! Prints the markdown rows recorded in EXPERIMENTS.md. The log-log slope
+//! column estimates the local polynomial degree between consecutive
+//! sizes; Theorem 3.3 predicts a constant (≤ 6-ish) degree, while the
+//! oracle's slope grows with size (exponential).
+
+use mvbench::{oracle_workload, workload, Contention};
+use mvisolation::Allocation;
+use mvrobustness::{is_robust, optimal_allocation, oracle_is_robust};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn time<F: FnMut() -> bool>(mut f: F) -> f64 {
+    // Warm up once, then time enough iterations for ≥ ~20ms.
+    f();
+    let mut iters = 1u32;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        if elapsed > 0.02 || iters >= 1 << 20 {
+            return elapsed / iters as f64;
+        }
+        iters *= 4;
+    }
+}
+
+fn main() {
+    println!("## B1 — Algorithm 1 scaling in |T| (seconds per call)\n");
+    println!("| contention | |T| | robust? | time (s) | log-log slope |");
+    println!("|---|---|---|---|---|");
+    for contention in Contention::ALL {
+        let mut prev: Option<(f64, f64)> = None;
+        for n in [5u32, 10, 20, 40, 80, 160] {
+            let txns = workload(n, contention, 0xB1);
+            let ssi = Allocation::uniform_ssi(&txns);
+            let robust = is_robust(&txns, &ssi).robust();
+            let t = time(|| is_robust(&txns, &ssi).robust());
+            let slope = prev
+                .map(|(pn, pt)| (t / pt).ln() / (n as f64 / pn).ln())
+                .map(|s| format!("{s:.2}"))
+                .unwrap_or_else(|| "—".into());
+            println!("| {} | {} | {} | {:.3e} | {} |", contention.label(), n, robust, t, slope);
+            prev = Some((n as f64, t));
+        }
+    }
+
+    println!("\n## B2 — Algorithm 1 scaling in ops/transaction (|T| = 15)\n");
+    println!("| ops/txn | time (s) | log-log slope |");
+    println!("|---|---|---|");
+    let mut prev: Option<(f64, f64)> = None;
+    for ell in [2usize, 4, 8, 16, 32] {
+        let txns = mvworkloads::RandomWorkload::builder()
+            .txns(15)
+            .ops(ell, ell)
+            .objects(ell * 12)
+            .write_ratio(0.4)
+            .seed(0xB2)
+            .generate();
+        let ssi = Allocation::uniform_ssi(&txns);
+        let t = time(|| is_robust(&txns, &ssi).robust());
+        let slope = prev
+            .map(|(pe, pt)| (t / pt).ln() / (ell as f64 / pe).ln())
+            .map(|s| format!("{s:.2}"))
+            .unwrap_or_else(|| "—".into());
+        println!("| {ell} | {t:.3e} | {slope} |");
+        prev = Some((ell as f64, t));
+    }
+
+    println!("\n## B3 — Algorithm 2 (optimal allocation) scaling\n");
+    println!("| contention | |T| | time (s) | composition (RC/SI/SSI) |");
+    println!("|---|---|---|---|");
+    for contention in [Contention::Low, Contention::High] {
+        for n in [5u32, 10, 20, 40, 80] {
+            let txns = workload(n, contention, 0xB3);
+            let alloc = optimal_allocation(&txns);
+            let t = time(|| !optimal_allocation(&txns).is_empty());
+            let (rc, si, ssi) = alloc.counts();
+            println!(
+                "| {} | {} | {:.3e} | {}/{}/{} |",
+                contention.label(),
+                n,
+                t,
+                rc,
+                si,
+                ssi
+            );
+        }
+    }
+
+    println!("\n## B4 — Algorithm 1 vs brute-force oracle (same instances)\n");
+    println!("| |T| | ops | algorithm 1 (s) | oracle (s) | ratio |");
+    println!("|---|---|---|---|---|");
+    for n in [2u32, 3, 4] {
+        let txns = Arc::new(oracle_workload(n, 0xB4));
+        let si = Allocation::uniform_si(&txns);
+        let fast = time(|| is_robust(&txns, &si).robust());
+        let slow = time(|| oracle_is_robust(&txns, &si));
+        println!(
+            "| {} | {} | {:.3e} | {:.3e} | {:.0}× |",
+            n,
+            txns.total_ops(),
+            fast,
+            slow,
+            slow / fast
+        );
+    }
+}

@@ -1,0 +1,142 @@
+//! Shared workload construction for the evaluation harness.
+//!
+//! Every experiment in `EXPERIMENTS.md` (B1–B7) is driven either by a
+//! criterion microbenchmark in `benches/` or by a sweep binary in
+//! `src/bin/`; both build their inputs through this module so the
+//! parameters are recorded in one place.
+
+use mvisolation::{Allocation, IsolationLevel};
+use mvmodel::TransactionSet;
+use mvsim::Job;
+use mvworkloads::RandomWorkload;
+
+/// Contention presets used across experiments.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Contention {
+    /// Large object pool, uniform access.
+    Low,
+    /// Moderate pool, mild skew.
+    Medium,
+    /// Small pool, strong Zipf skew.
+    High,
+}
+
+impl Contention {
+    pub const ALL: [Contention; 3] = [Contention::Low, Contention::Medium, Contention::High];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            Contention::Low => "low",
+            Contention::Medium => "medium",
+            Contention::High => "high",
+        }
+    }
+
+    fn params(self, n_txns: u32) -> (usize, f64) {
+        // Scale the pool with the workload so contention stays comparable
+        // across sizes.
+        match self {
+            Contention::Low => ((n_txns as usize * 8).max(16), 0.0),
+            Contention::Medium => ((n_txns as usize * 2).max(8), 0.6),
+            Contention::High => ((n_txns as usize / 2).max(4), 1.1),
+        }
+    }
+}
+
+/// The standard random workload for experiment sweeps: `n` transactions
+/// of 2–5 operations at the given contention preset.
+pub fn workload(n: u32, contention: Contention, seed: u64) -> TransactionSet {
+    let (objects, theta) = contention.params(n);
+    RandomWorkload::builder()
+        .txns(n)
+        .ops(2, 5)
+        .objects(objects)
+        .theta(theta)
+        .write_ratio(0.4)
+        .seed(seed)
+        .generate()
+}
+
+/// A *small* workload suitable for the brute-force oracle (≤ `n` ≤ 4,
+/// short transactions).
+pub fn oracle_workload(n: u32, seed: u64) -> TransactionSet {
+    RandomWorkload::builder()
+        .txns(n)
+        .ops(1, 2)
+        .objects(3)
+        .theta(0.4)
+        .write_ratio(0.5)
+        .seed(seed)
+        .generate()
+}
+
+/// Simulator jobs: `copies` instances of each transaction under `alloc`.
+pub fn jobs(txns: &TransactionSet, alloc: &Allocation, copies: usize) -> Vec<Job> {
+    (0..copies)
+        .flat_map(|_| {
+            txns.iter().map(|t| Job::new(t.ops().to_vec(), alloc.level(t.id())))
+        })
+        .collect()
+}
+
+/// The allocation ladder compared in the throughput experiments.
+pub fn ladder(txns: &TransactionSet) -> Vec<(&'static str, Allocation)> {
+    vec![
+        ("all-RC", Allocation::uniform(txns, IsolationLevel::RC)),
+        ("all-SI", Allocation::uniform(txns, IsolationLevel::SI)),
+        ("all-SSI", Allocation::uniform(txns, IsolationLevel::SSI)),
+        ("optimal", mvrobustness::optimal_allocation(txns)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_presets_scale() {
+        for c in Contention::ALL {
+            let w = workload(20, c, 1);
+            assert_eq!(w.len(), 20);
+            assert!(!c.label().is_empty());
+        }
+        // High contention must produce more conflicting pairs than low.
+        let count = |w: &TransactionSet| {
+            let ids: Vec<_> = w.ids().collect();
+            let mut n = 0;
+            for (i, &a) in ids.iter().enumerate() {
+                for &b in &ids[i + 1..] {
+                    if mvmodel::conflict::txns_conflict(w, a, b) {
+                        n += 1;
+                    }
+                }
+            }
+            n
+        };
+        assert!(
+            count(&workload(20, Contention::High, 1)) > count(&workload(20, Contention::Low, 1))
+        );
+    }
+
+    #[test]
+    fn jobs_replicate() {
+        let w = workload(5, Contention::Low, 2);
+        let a = Allocation::uniform_si(&w);
+        assert_eq!(jobs(&w, &a, 3).len(), 15);
+    }
+
+    #[test]
+    fn ladder_has_four_rungs() {
+        let w = workload(6, Contention::Medium, 3);
+        let l = ladder(&w);
+        assert_eq!(l.len(), 4);
+        assert_eq!(l[0].0, "all-RC");
+        assert_eq!(l[3].0, "optimal");
+    }
+
+    #[test]
+    fn oracle_workload_is_small() {
+        let w = oracle_workload(3, 4);
+        assert!(w.total_ops() <= 6);
+    }
+}

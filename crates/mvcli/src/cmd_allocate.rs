@@ -1,0 +1,68 @@
+//! `mvrobust allocate`: compute the optimal robust allocation.
+
+use crate::args::Parsed;
+use crate::output;
+use mvrobustness::allocate::optimal_allocation_explained;
+use mvrobustness::{optimal_allocation, optimal_allocation_rc_si};
+use serde_json::json;
+use std::process::ExitCode;
+
+pub fn run(argv: &[String]) -> Result<ExitCode, String> {
+    let parsed = Parsed::parse(argv)?;
+    let txns = parsed.load_workload()?;
+    let levels = parsed.option("levels").unwrap_or("rc-si-ssi");
+    let explain = parsed.flag("explain");
+
+    let (alloc, reasons) = match levels {
+        "rc-si-ssi" | "RC-SI-SSI" => {
+            if explain {
+                let (a, r) = optimal_allocation_explained(&txns);
+                (Some(a), r)
+            } else {
+                (Some(optimal_allocation(&txns)), Vec::new())
+            }
+        }
+        "rc-si" | "RC-SI" => (optimal_allocation_rc_si(&txns), Vec::new()),
+        other => return Err(format!("invalid --levels `{other}` (rc-si or rc-si-ssi)")),
+    };
+
+    if parsed.flag("json") {
+        let j = json!({
+            "levels": levels,
+            "allocatable": alloc.is_some(),
+            "allocation": alloc.as_ref().map(|a| a.to_string()),
+            "counts": alloc.as_ref().map(|a| {
+                let (rc, si, ssi) = a.counts();
+                json!({"RC": rc, "SI": si, "SSI": ssi})
+            }),
+            "reasons": reasons
+                .iter()
+                .map(|(t, lvl, spec)| json!({
+                    "transaction": t.to_string(),
+                    "rejected_level": lvl.to_string(),
+                    "counterexample": output::spec_json(&txns, spec),
+                }))
+                .collect::<Vec<_>>(),
+        });
+        println!("{}", serde_json::to_string_pretty(&j).expect("valid json"));
+    } else {
+        match &alloc {
+            None => println!(
+                "NOT ALLOCATABLE: no robust {{RC, SI}} allocation exists \
+                 (the workload is not robust against all-SI; SSI is required)"
+            ),
+            Some(a) => {
+                let (rc, si, ssi) = a.counts();
+                println!("optimal allocation: {a}");
+                println!("  RC: {rc}  SI: {si}  SSI: {ssi}");
+                for (t, lvl, spec) in &reasons {
+                    println!(
+                        "  {t} cannot run at {lvl}: {}",
+                        output::spec_text(&txns, spec).replace('\n', "\n  ")
+                    );
+                }
+            }
+        }
+    }
+    Ok(if alloc.is_some() { ExitCode::SUCCESS } else { ExitCode::from(1) })
+}

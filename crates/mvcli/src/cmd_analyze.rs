@@ -1,0 +1,40 @@
+//! `mvrobust analyze`: structural + robustness report for a workload.
+
+use crate::args::Parsed;
+use mvrobustness::stats::WorkloadReport;
+use serde_json::json;
+use std::process::ExitCode;
+
+pub fn run(argv: &[String]) -> Result<ExitCode, String> {
+    let parsed = Parsed::parse(argv)?;
+    let txns = parsed.load_workload()?;
+    let report = WorkloadReport::analyze(&txns);
+    if parsed.flag("json") {
+        let (rc, si, ssi) = report.optimal_counts();
+        let j = json!({
+            "transactions": report.transactions,
+            "total_ops": report.total_ops,
+            "max_ops_per_txn": report.max_ops,
+            "objects": report.objects,
+            "conflicting_pairs": report.conflicting_pairs,
+            "conflict_density": report.conflict_density,
+            "ww_protected_pairs": report.ww_pairs,
+            "vulnerable_rw_edges": report.vulnerable_edges,
+            "robust_rc": report.robust_rc,
+            "robust_si": report.robust_si,
+            "static_sdg_certified": report.static_si.certified(),
+            "optimal": report.optimal.to_string(),
+            "optimal_counts": {"RC": rc, "SI": si, "SSI": ssi},
+            "optimal_rc_si": report.optimal_rc_si.as_ref().map(|a| a.to_string()),
+            "watch_list": report
+                .above_rc()
+                .iter()
+                .map(|(t, l)| json!({"transaction": t.to_string(), "level": l.to_string()}))
+                .collect::<Vec<_>>(),
+        });
+        println!("{}", serde_json::to_string_pretty(&j).expect("valid json"));
+    } else {
+        println!("{report}");
+    }
+    Ok(ExitCode::SUCCESS)
+}

@@ -1,0 +1,34 @@
+//! `mvrobust check`: decide robustness against an allocation.
+
+use crate::args::Parsed;
+use crate::output;
+use mvrobustness::is_robust;
+use serde_json::json;
+use std::process::ExitCode;
+
+pub fn run(argv: &[String]) -> Result<ExitCode, String> {
+    let parsed = Parsed::parse(argv)?;
+    let txns = parsed.load_workload()?;
+    let alloc = parsed.allocation(&txns)?;
+    let report = is_robust(&txns, &alloc);
+    if parsed.flag("json") {
+        let j = json!({
+            "robust": report.robust(),
+            "allocation": alloc.to_string(),
+            "transactions": txns.len(),
+            "counterexample": report
+                .counterexample()
+                .map(|spec| output::spec_json(&txns, spec)),
+        });
+        println!("{}", serde_json::to_string_pretty(&j).expect("valid json"));
+    } else {
+        match report.counterexample() {
+            None => println!("ROBUST: every schedule allowed under {{{alloc}}} is serializable"),
+            Some(spec) => {
+                println!("NOT ROBUST under {{{alloc}}}");
+                println!("{}", output::spec_text(&txns, spec));
+            }
+        }
+    }
+    Ok(if report.robust() { ExitCode::SUCCESS } else { ExitCode::from(1) })
+}

@@ -1,0 +1,99 @@
+//! `mvrobust simulate`: execute the workload in the MVCC simulator and
+//! report throughput, aborts, and serializability of the emitted
+//! schedules.
+
+use crate::args::Parsed;
+use mvmodel::serializability::is_conflict_serializable;
+use mvrobustness::optimal_allocation;
+use mvsim::{run_jobs, Job, SimConfig, SsiMode};
+use serde_json::json;
+use std::process::ExitCode;
+
+pub fn run(argv: &[String]) -> Result<ExitCode, String> {
+    let parsed = Parsed::parse(argv)?;
+    let txns = parsed.load_workload()?;
+    let alloc = if parsed.flag("optimal") {
+        optimal_allocation(&txns)
+    } else {
+        parsed.allocation(&txns)?
+    };
+    let concurrency: usize = parsed.option_parse("concurrency")?.unwrap_or(4);
+    let seed: u64 = parsed.option_parse("seed")?.unwrap_or(0);
+    let repeat: u64 = parsed.option_parse("repeat")?.unwrap_or(1);
+    let ssi_mode = match parsed.option("ssi-mode").unwrap_or("exact") {
+        "exact" => SsiMode::Exact,
+        "conservative" => SsiMode::Conservative,
+        other => return Err(format!("invalid --ssi-mode `{other}`")),
+    };
+
+    let jobs: Vec<Job> = txns
+        .iter()
+        .map(|t| Job::new(t.ops().to_vec(), alloc.level(t.id())))
+        .collect();
+
+    let mut total = mvsim::Metrics::default();
+    let mut latency = mvsim::LatencyStats::default();
+    let mut serializable_runs = 0u64;
+    let mut allowed_runs = 0u64;
+    for r in 0..repeat {
+        let config = SimConfig::default()
+            .with_seed(seed.wrapping_add(r))
+            .with_concurrency(concurrency)
+            .with_ssi_mode(ssi_mode);
+        let engine = run_jobs(&jobs, config);
+        let m = engine.metrics;
+        total.commits += m.commits;
+        total.aborts_fcw += m.aborts_fcw;
+        total.aborts_deadlock += m.aborts_deadlock;
+        total.aborts_ssi += m.aborts_ssi;
+        total.ticks += m.ticks;
+        total.gave_up += m.gave_up;
+        total.reads += m.reads;
+        total.writes += m.writes;
+        total.blocked_events += m.blocked_events;
+        latency.merge(&engine.latency);
+        if let Some(exported) = engine.trace.export() {
+            if mvisolation::allowed_under(&exported.schedule, &exported.allocation) {
+                allowed_runs += 1;
+            }
+            if is_conflict_serializable(&exported.schedule) {
+                serializable_runs += 1;
+            }
+        }
+    }
+
+    if parsed.flag("json") {
+        let j = json!({
+            "allocation": alloc.to_string(),
+            "concurrency": concurrency,
+            "runs": repeat,
+            "commits": total.commits,
+            "aborts": {
+                "first_committer_wins": total.aborts_fcw,
+                "deadlock": total.aborts_deadlock,
+                "ssi": total.aborts_ssi,
+            },
+            "gave_up": total.gave_up,
+            "ticks": total.ticks,
+            "goodput": total.goodput(),
+            "abort_rate": total.abort_rate(),
+            "serializable_runs": serializable_runs,
+            "allowed_runs": allowed_runs,
+            "latency_ticks": {
+                "mean": latency.mean(),
+                "p50": latency.p50(),
+                "p95": latency.p95(),
+                "max": latency.max(),
+            },
+        });
+        println!("{}", serde_json::to_string_pretty(&j).expect("valid json"));
+    } else {
+        println!("allocation: {alloc}");
+        println!("{total}");
+        println!("{latency}");
+        println!(
+            "runs: {repeat}  serializable: {serializable_runs}  allowed-under-allocation: {allowed_runs}"
+        );
+    }
+    Ok(ExitCode::SUCCESS)
+}

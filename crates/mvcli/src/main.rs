@@ -1,0 +1,78 @@
+//! `mvrobust` — command-line robustness checker, allocator and simulator
+//! for multiversion transaction workloads.
+//!
+//! ```text
+//! mvrobust check    [FILE] (--alloc "T1=RC T2=SI" | --level SI) [--json]
+//! mvrobust allocate [FILE] [--levels rc-si|rc-si-ssi] [--explain] [--json]
+//! mvrobust witness  [FILE] (--alloc … | --level …) [--json]
+//! mvrobust simulate [FILE] [--alloc … | --level … | --optimal]
+//!                   [--concurrency N] [--seed N] [--repeat K]
+//!                   [--ssi-mode exact|conservative] [--json]
+//! ```
+//!
+//! `FILE` contains one transaction per line (`T1: R[x] W[y]`); `-` or no
+//! file reads stdin. Exit code 0 = robust / allocation found, 1 = not,
+//! 2 = usage or input error.
+
+use std::process::ExitCode;
+
+mod args;
+mod cmd_allocate;
+mod cmd_analyze;
+mod cmd_check;
+mod cmd_simulate;
+mod cmd_witness;
+mod output;
+
+fn main() -> ExitCode {
+    // Die quietly on SIGPIPE (e.g. `mvrobust witness ... | head`) instead
+    // of panicking on a broken stdout.
+    #[cfg(unix)]
+    unsafe {
+        libc::signal(libc::SIGPIPE, libc::SIG_DFL);
+    }
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run(&argv) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(argv: &[String]) -> Result<ExitCode, String> {
+    let Some(cmd) = argv.first() else {
+        print_usage();
+        return Ok(ExitCode::from(2));
+    };
+    let rest = &argv[1..];
+    match cmd.as_str() {
+        "check" => cmd_check::run(rest),
+        "allocate" => cmd_allocate::run(rest),
+        "analyze" => cmd_analyze::run(rest),
+        "witness" => cmd_witness::run(rest),
+        "simulate" => cmd_simulate::run(rest),
+        "help" | "--help" | "-h" => {
+            print_usage();
+            Ok(ExitCode::SUCCESS)
+        }
+        other => Err(format!("unknown command `{other}` (try `mvrobust help`)")),
+    }
+}
+
+fn print_usage() {
+    eprintln!(
+        "mvrobust — robustness checking and isolation-level allocation for \
+         multiversion transaction workloads\n\
+         (after Vandevoort, Ketsman & Neven, PODS 2023)\n\n\
+         USAGE:\n  \
+         mvrobust check    [FILE] (--alloc \"T1=RC T2=SI\" | --level SI) [--json]\n  \
+         mvrobust allocate [FILE] [--levels rc-si|rc-si-ssi] [--explain] [--json]\n  \
+         mvrobust analyze  [FILE] [--json]\n  \
+         mvrobust witness  [FILE] (--alloc ... | --level ...) [--json]\n  \
+         mvrobust simulate [FILE] [--alloc ... | --level ... | --optimal]\n            \
+         [--concurrency N] [--seed N] [--repeat K] [--ssi-mode exact|conservative] [--json]\n\n\
+         FILE holds one transaction per line, e.g. `T1: R[x] W[y]`; `-` reads stdin."
+    );
+}

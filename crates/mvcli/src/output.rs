@@ -1,0 +1,73 @@
+//! Shared rendering helpers (text and JSON).
+
+use mvmodel::{Schedule, TransactionSet};
+use mvrobustness::SplitSpec;
+use serde_json::json;
+
+/// JSON description of a split-schedule counterexample.
+pub fn spec_json(txns: &TransactionSet, spec: &SplitSpec) -> serde_json::Value {
+    json!({
+        "split_transaction": spec.t1.to_string(),
+        "b1": op_str(txns, spec.b1),
+        "a1": op_str(txns, spec.a1),
+        "chain": spec.chain.iter().map(|t| t.to_string()).collect::<Vec<_>>(),
+        "links": spec
+            .links
+            .iter()
+            .map(|(b, a)| json!([op_str(txns, *b), op_str(txns, *a)]))
+            .collect::<Vec<_>>(),
+    })
+}
+
+/// `R1[x]`-style rendering of an operation address.
+pub fn op_str(txns: &TransactionSet, addr: mvmodel::OpAddr) -> String {
+    let op = txns.op_at(addr);
+    format!("{}{}[{}]", op.kind.letter(), addr.txn.0, txns.object_name(op.object))
+}
+
+/// Text rendering of a counterexample schedule with versions.
+pub fn schedule_text(s: &Schedule) -> String {
+    mvmodel::fmt::schedule_full(s)
+}
+
+/// Human-readable cycle description for a spec.
+pub fn spec_text(txns: &TransactionSet, spec: &SplitSpec) -> String {
+    let mut out = format!(
+        "counterexample: split {} after {}\n  cycle: {}",
+        spec.t1,
+        op_str(txns, spec.b1),
+        spec.t1
+    );
+    for (i, (b, a)) in spec.links.iter().enumerate() {
+        let target = if i < spec.chain.len() { spec.chain[i] } else { spec.t1 };
+        out.push_str(&format!(
+            "\n    --[{} conflicts {}]--> {}",
+            op_str(txns, *b),
+            op_str(txns, *a),
+            target
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvisolation::Allocation;
+    use mvmodel::parse_transactions;
+    use mvrobustness::find_counterexample;
+
+    #[test]
+    fn renders_spec_both_ways() {
+        let txns = parse_transactions("T1: R[x] W[y]\nT2: R[y] W[x]").unwrap();
+        let si = Allocation::uniform_si(&txns);
+        let spec = find_counterexample(&txns, &si).unwrap();
+        let text = spec_text(&txns, &spec);
+        assert!(text.contains("split T1"));
+        assert!(text.contains("-->"));
+        let j = spec_json(&txns, &spec);
+        assert_eq!(j["split_transaction"], "T1");
+        assert_eq!(j["chain"][0], "T2");
+        assert!(j["links"].as_array().unwrap().len() >= 2);
+    }
+}

@@ -1,0 +1,187 @@
+//! End-to-end tests of the `mvrobust` binary.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+const SKEW: &str = "T1: R[x] W[y]\nT2: R[y] W[x]\n";
+const DISJOINT: &str = "T1: R[x] W[x]\nT2: R[y] W[y]\n";
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_mvrobust"))
+}
+
+fn run_with_stdin(args: &[&str], stdin: &str) -> (String, String, i32) {
+    let mut child = bin()
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn mvrobust");
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin piped")
+        .write_all(stdin.as_bytes())
+        .expect("write stdin");
+    let out = child.wait_with_output().expect("wait");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.code().unwrap_or(-1),
+    )
+}
+
+#[test]
+fn check_detects_write_skew() {
+    let (stdout, _, code) = run_with_stdin(&["check", "--level", "si"], SKEW);
+    assert_eq!(code, 1);
+    assert!(stdout.contains("NOT ROBUST"));
+    assert!(stdout.contains("split T1"));
+}
+
+#[test]
+fn check_robust_exit_zero() {
+    let (stdout, _, code) = run_with_stdin(&["check", "--level", "ssi"], SKEW);
+    assert_eq!(code, 0);
+    assert!(stdout.contains("ROBUST"));
+}
+
+#[test]
+fn check_json_shape() {
+    let (stdout, _, code) = run_with_stdin(&["check", "--level", "si", "--json"], SKEW);
+    assert_eq!(code, 1);
+    let j: serde_json::Value = serde_json::from_str(&stdout).expect("valid json");
+    assert_eq!(j["robust"], false);
+    assert_eq!(j["transactions"], 2);
+    assert_eq!(j["counterexample"]["chain"][0], "T2");
+}
+
+#[test]
+fn check_mixed_allocation() {
+    let (stdout, _, code) =
+        run_with_stdin(&["check", "--alloc", "T1=SSI T2=SSI"], SKEW);
+    assert_eq!(code, 0, "{stdout}");
+}
+
+#[test]
+fn allocate_finds_optimum() {
+    let (stdout, _, code) = run_with_stdin(&["allocate"], DISJOINT);
+    assert_eq!(code, 0);
+    assert!(stdout.contains("T1=RC T2=RC"), "{stdout}");
+}
+
+#[test]
+fn allocate_rc_si_not_allocatable_for_skew() {
+    let (stdout, _, code) = run_with_stdin(&["allocate", "--levels", "rc-si"], SKEW);
+    assert_eq!(code, 1);
+    assert!(stdout.contains("NOT ALLOCATABLE"));
+}
+
+#[test]
+fn allocate_explain_json() {
+    let (stdout, _, code) = run_with_stdin(&["allocate", "--explain", "--json"], SKEW);
+    assert_eq!(code, 0);
+    let j: serde_json::Value = serde_json::from_str(&stdout).expect("valid json");
+    assert_eq!(j["allocation"], "T1=SSI T2=SSI");
+    assert_eq!(j["counts"]["SSI"], 2);
+    assert!(!j["reasons"].as_array().unwrap().is_empty());
+}
+
+#[test]
+fn witness_prints_verified_schedule() {
+    let (stdout, _, code) = run_with_stdin(&["witness", "--level", "si"], SKEW);
+    assert_eq!(code, 1);
+    assert!(stdout.contains("witness schedule"));
+    assert!(stdout.contains("v(R1[x]) = op0"));
+}
+
+#[test]
+fn witness_json_verified() {
+    let (stdout, _, code) = run_with_stdin(&["witness", "--level", "si", "--json"], SKEW);
+    assert_eq!(code, 1);
+    let j: serde_json::Value = serde_json::from_str(&stdout).expect("valid json");
+    assert_eq!(j["verified"], true);
+    assert!(j["schedule"].as_str().unwrap().contains("C1"));
+}
+
+#[test]
+fn simulate_optimal_runs() {
+    let (stdout, _, code) = run_with_stdin(
+        &["simulate", "--optimal", "--repeat", "2", "--seed", "1", "--json"],
+        SKEW,
+    );
+    assert_eq!(code, 0);
+    let j: serde_json::Value = serde_json::from_str(&stdout).expect("valid json");
+    assert_eq!(j["serializable_runs"], 2);
+    assert_eq!(j["allowed_runs"], 2);
+}
+
+#[test]
+fn simulate_conservative_mode() {
+    let (stdout, _, code) = run_with_stdin(
+        &["simulate", "--level", "ssi", "--ssi-mode", "conservative", "--json"],
+        SKEW,
+    );
+    assert_eq!(code, 0, "{stdout}");
+}
+
+#[test]
+fn usage_errors() {
+    let (_, stderr, code) = run_with_stdin(&["frobnicate"], "");
+    assert_eq!(code, 2);
+    assert!(stderr.contains("unknown command"));
+    let (_, stderr, code) = run_with_stdin(&["check"], SKEW);
+    assert_eq!(code, 2);
+    assert!(stderr.contains("required"));
+    let (_, stderr, code) = run_with_stdin(&["check", "--level", "chaos"], SKEW);
+    assert_eq!(code, 2);
+    assert!(!stderr.is_empty());
+    let (_, stderr, code) = run_with_stdin(&["check", "--level", "si"], "");
+    assert_eq!(code, 2);
+    assert!(stderr.contains("no transactions"));
+}
+
+#[test]
+fn help_exits_zero() {
+    let (_, stderr, code) = run_with_stdin(&["help"], "");
+    assert_eq!(code, 0);
+    assert!(stderr.contains("USAGE"));
+}
+
+#[test]
+fn analyze_text_and_json() {
+    let (stdout, _, code) = run_with_stdin(&["analyze"], SKEW);
+    assert_eq!(code, 0);
+    assert!(stdout.contains("vulnerable"));
+    assert!(stdout.contains("no {RC, SI} allocation"));
+    let (stdout, _, code) = run_with_stdin(&["analyze", "--json"], SKEW);
+    assert_eq!(code, 0);
+    let j: serde_json::Value = serde_json::from_str(&stdout).expect("valid json");
+    assert_eq!(j["robust_si"], false);
+    assert_eq!(j["static_sdg_certified"], false);
+    assert_eq!(j["optimal_counts"]["SSI"], 2);
+    assert_eq!(j["watch_list"].as_array().unwrap().len(), 2);
+}
+
+#[test]
+fn analyze_disjoint_workload() {
+    let (stdout, _, code) = run_with_stdin(&["analyze", "--json"], DISJOINT);
+    assert_eq!(code, 0);
+    let j: serde_json::Value = serde_json::from_str(&stdout).expect("valid json");
+    assert_eq!(j["robust_rc"], true);
+    assert_eq!(j["optimal_counts"]["RC"], 2);
+    assert_eq!(j["optimal_rc_si"], "T1=RC T2=RC");
+}
+
+#[test]
+fn witness_dot_output() {
+    let (stdout, _, code) = run_with_stdin(&["witness", "--level", "si", "--dot"], SKEW);
+    assert_eq!(code, 1);
+    assert!(stdout.contains("digraph SeG {"));
+    assert!(stdout.contains("style=dashed"));
+    let (stdout, _, _) =
+        run_with_stdin(&["witness", "--level", "si", "--dot", "--json"], SKEW);
+    let j: serde_json::Value = serde_json::from_str(&stdout).expect("valid json");
+    assert!(j["dot"].as_str().unwrap().contains("digraph"));
+}

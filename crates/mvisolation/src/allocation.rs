@@ -1,0 +1,253 @@
+//! Mixed allocations of isolation levels to transactions.
+
+use crate::level::{IsolationLevel, ParseLevelError};
+use mvmodel::{TransactionSet, TxnId};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An `ℐ`-allocation `𝒜`: a total mapping from the transactions of a set
+/// onto isolation levels (§2.3).
+///
+/// Allocations are compared pointwise: `𝒜 ≤ 𝒜'` iff `𝒜(T) ≤ 𝒜'(T)` for
+/// every `T` ([`Allocation::le`]); `𝒜 < 𝒜'` additionally requires strict
+/// inequality somewhere ([`Allocation::lt`]). The paper's update notation
+/// `𝒜[T ↦ I]` is [`Allocation::with`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Allocation {
+    levels: BTreeMap<TxnId, IsolationLevel>,
+}
+
+impl Allocation {
+    /// Builds an allocation from explicit pairs.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (TxnId, IsolationLevel)>) -> Self {
+        Allocation { levels: pairs.into_iter().collect() }
+    }
+
+    /// The homogeneous allocation mapping every transaction of `txns` to
+    /// `level` (the paper's `𝒜_RC`, `𝒜_SI`, `𝒜_SSI`).
+    pub fn uniform(txns: &TransactionSet, level: IsolationLevel) -> Self {
+        Allocation { levels: txns.ids().map(|t| (t, level)).collect() }
+    }
+
+    /// `𝒜_RC`.
+    pub fn uniform_rc(txns: &TransactionSet) -> Self {
+        Self::uniform(txns, IsolationLevel::RC)
+    }
+
+    /// `𝒜_SI`.
+    pub fn uniform_si(txns: &TransactionSet) -> Self {
+        Self::uniform(txns, IsolationLevel::SI)
+    }
+
+    /// `𝒜_SSI`.
+    pub fn uniform_ssi(txns: &TransactionSet) -> Self {
+        Self::uniform(txns, IsolationLevel::SSI)
+    }
+
+    /// `𝒜(T)`. Panics when `T` is not in the allocation's domain.
+    pub fn level(&self, txn: TxnId) -> IsolationLevel {
+        self.levels[&txn]
+    }
+
+    /// `𝒜(T)`, or `None` when `T` is outside the domain.
+    pub fn get(&self, txn: TxnId) -> Option<IsolationLevel> {
+        self.levels.get(&txn).copied()
+    }
+
+    /// The paper's `𝒜[T ↦ I]`: a copy with `T` reassigned to `level`.
+    pub fn with(&self, txn: TxnId, level: IsolationLevel) -> Self {
+        let mut out = self.clone();
+        out.levels.insert(txn, level);
+        out
+    }
+
+    /// In-place variant of [`Allocation::with`].
+    pub fn set(&mut self, txn: TxnId, level: IsolationLevel) {
+        self.levels.insert(txn, level);
+    }
+
+    /// Whether the allocation's domain covers every transaction of `txns`.
+    pub fn covers(&self, txns: &TransactionSet) -> bool {
+        txns.ids().all(|t| self.levels.contains_key(&t))
+    }
+
+    /// `𝒜 ≤ 𝒜'`: pointwise comparison over the union of both domains
+    /// (missing entries compare as incomparable, yielding `false`).
+    pub fn le(&self, other: &Allocation) -> bool {
+        if self.levels.len() != other.levels.len() {
+            return false;
+        }
+        self.levels.iter().all(|(t, &lvl)| other.get(*t).is_some_and(|o| lvl <= o))
+    }
+
+    /// `𝒜 < 𝒜'`: `𝒜 ≤ 𝒜'` and strictly lower somewhere.
+    pub fn lt(&self, other: &Allocation) -> bool {
+        self.le(other) && self != other
+    }
+
+    /// Iterates `(transaction, level)` pairs in ascending id order.
+    pub fn iter(&self) -> impl Iterator<Item = (TxnId, IsolationLevel)> + '_ {
+        self.levels.iter().map(|(&t, &l)| (t, l))
+    }
+
+    /// Number of transactions in the domain.
+    pub fn len(&self) -> usize {
+        self.levels.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.levels.is_empty()
+    }
+
+    /// Transactions allocated exactly `level`.
+    pub fn txns_at(&self, level: IsolationLevel) -> Vec<TxnId> {
+        self.levels
+            .iter()
+            .filter_map(|(&t, &l)| (l == level).then_some(t))
+            .collect()
+    }
+
+    /// `(#RC, #SI, #SSI)` — the composition statistic used by the
+    /// evaluation harness.
+    pub fn counts(&self) -> (usize, usize, usize) {
+        let mut c = (0, 0, 0);
+        for &l in self.levels.values() {
+            match l {
+                IsolationLevel::ReadCommitted => c.0 += 1,
+                IsolationLevel::SnapshotIsolation => c.1 += 1,
+                IsolationLevel::SerializableSnapshotIsolation => c.2 += 1,
+            }
+        }
+        c
+    }
+
+    /// Parses `T1=RC T2=SI T3=SSI` (whitespace- or comma-separated; the
+    /// leading `T` is optional).
+    pub fn parse(input: &str) -> Result<Self, ParseLevelError> {
+        let mut levels = BTreeMap::new();
+        for tok in input.split([',', ' ', '\n', '\t']).filter(|t| !t.is_empty()) {
+            let (t, l) = tok
+                .split_once('=')
+                .ok_or_else(|| ParseLevelError(format!("expected T<id>=<level>, got `{tok}`")))?;
+            let digits = t.trim().trim_start_matches(['T', 't']);
+            let id: u32 = digits
+                .parse()
+                .map_err(|_| ParseLevelError(format!("invalid transaction id `{t}`")))?;
+            levels.insert(TxnId(id), l.trim().parse()?);
+        }
+        Ok(Allocation { levels })
+    }
+}
+
+impl fmt::Display for Allocation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (t, l) in self.iter() {
+            if !first {
+                f.write_str(" ")?;
+            }
+            write!(f, "{t}={l}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<(TxnId, IsolationLevel)> for Allocation {
+    fn from_iter<I: IntoIterator<Item = (TxnId, IsolationLevel)>>(iter: I) -> Self {
+        Allocation::from_pairs(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvmodel::TxnSetBuilder;
+
+    fn set() -> TransactionSet {
+        let mut b = TxnSetBuilder::new();
+        let x = b.object("x");
+        b.txn(1).read(x).finish();
+        b.txn(2).write(x).finish();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn uniform_allocations() {
+        let txns = set();
+        let rc = Allocation::uniform_rc(&txns);
+        assert_eq!(rc.level(TxnId(1)), IsolationLevel::RC);
+        assert_eq!(rc.level(TxnId(2)), IsolationLevel::RC);
+        assert!(rc.covers(&txns));
+        assert_eq!(rc.counts(), (2, 0, 0));
+        assert_eq!(Allocation::uniform_si(&txns).counts(), (0, 2, 0));
+        assert_eq!(Allocation::uniform_ssi(&txns).counts(), (0, 0, 2));
+    }
+
+    #[test]
+    fn pointwise_order() {
+        let txns = set();
+        let rc = Allocation::uniform_rc(&txns);
+        let si = Allocation::uniform_si(&txns);
+        let mixed = rc.with(TxnId(1), IsolationLevel::SSI);
+        assert!(rc.le(&si));
+        assert!(rc.lt(&si));
+        assert!(!si.le(&rc));
+        assert!(rc.le(&rc));
+        assert!(!rc.lt(&rc));
+        // mixed = {T1: SSI, T2: RC} is incomparable with si.
+        assert!(!mixed.le(&si));
+        assert!(!si.le(&mixed));
+    }
+
+    #[test]
+    fn update_notation() {
+        let txns = set();
+        let a = Allocation::uniform_si(&txns);
+        let b = a.with(TxnId(2), IsolationLevel::RC);
+        assert_eq!(a.level(TxnId(2)), IsolationLevel::SI, "with() must not mutate");
+        assert_eq!(b.level(TxnId(2)), IsolationLevel::RC);
+        assert!(b.lt(&a));
+        let mut c = a.clone();
+        c.set(TxnId(1), IsolationLevel::SSI);
+        assert!(a.lt(&c));
+    }
+
+    #[test]
+    fn txns_at_and_iter() {
+        let txns = set();
+        let a = Allocation::uniform_si(&txns).with(TxnId(1), IsolationLevel::RC);
+        assert_eq!(a.txns_at(IsolationLevel::RC), vec![TxnId(1)]);
+        assert_eq!(a.txns_at(IsolationLevel::SI), vec![TxnId(2)]);
+        assert!(a.txns_at(IsolationLevel::SSI).is_empty());
+        let pairs: Vec<_> = a.iter().collect();
+        assert_eq!(pairs.len(), 2);
+        assert_eq!(a.len(), 2);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        let a = Allocation::parse("T1=RC, T2=SI T3=SSI").unwrap();
+        assert_eq!(a.level(TxnId(1)), IsolationLevel::RC);
+        assert_eq!(a.level(TxnId(2)), IsolationLevel::SI);
+        assert_eq!(a.level(TxnId(3)), IsolationLevel::SSI);
+        let shown = a.to_string();
+        assert_eq!(shown, "T1=RC T2=SI T3=SSI");
+        assert_eq!(Allocation::parse(&shown).unwrap(), a);
+        assert!(Allocation::parse("T1").is_err());
+        assert!(Allocation::parse("Tx=RC").is_err());
+        assert!(Allocation::parse("T1=XX").is_err());
+        // Bare ids allowed.
+        assert_eq!(Allocation::parse("5=si").unwrap().level(TxnId(5)), IsolationLevel::SI);
+    }
+
+    #[test]
+    fn incomparable_when_domains_differ() {
+        let a = Allocation::parse("T1=RC").unwrap();
+        let b = Allocation::parse("T1=RC T2=RC").unwrap();
+        assert!(!a.le(&b));
+        assert!(!b.le(&a));
+        assert_eq!(a.get(TxnId(2)), None);
+    }
+}

@@ -1,0 +1,231 @@
+//! The per-transaction predicates of Definition 2.3.
+
+use mvmodel::{OpAddr, OpId, Schedule, TxnId};
+
+/// Whether the write at `write` *respects the commit order of `s`* (§2.3):
+/// for every write `W_i[t]` of a different transaction on the same object,
+/// `W_j[t] ≪_s W_i[t]` iff `C_j <_s C_i`.
+pub fn respects_commit_order(s: &Schedule, write: OpAddr) -> bool {
+    let object = s.txns().op_at(write).object;
+    let cj = s.commit_pos(write.txn);
+    for &other in s.version_order(object) {
+        if other.txn == write.txn {
+            continue;
+        }
+        let ci = s.commit_pos(other.txn);
+        let version_before = s.vless(OpId::Op(write), OpId::Op(other));
+        if version_before != (cj < ci) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Whether the read at `read` is *read-last-committed in `s` relative to*
+/// the operation `anchor` (§2.3):
+///
+/// 1. `v_s(read) = op₀`, or the transaction writing `v_s(read)` commits
+///    before `anchor`; and
+/// 2. no write `W_k[t]` committed before `anchor` satisfies
+///    `v_s(read) ≪_s W_k[t]`.
+///
+/// For RC the anchor is the read itself; for SI it is `first(T)`.
+pub fn read_last_committed_relative_to(s: &Schedule, read: OpAddr, anchor: OpId) -> bool {
+    let object = s.txns().op_at(read).object;
+    let v = s.version_fn(read);
+    // Condition 1.
+    match v {
+        OpId::Init => {}
+        OpId::Op(w) => {
+            if !s.before(OpId::Commit(w.txn), anchor) {
+                return false;
+            }
+        }
+        OpId::Commit(_) => unreachable!("v_s never maps to a commit"),
+    }
+    // Condition 2: v is the ≪-latest version committed before the anchor.
+    for &w in s.version_order(object) {
+        if s.before(OpId::Commit(w.txn), anchor) && s.vless(v, OpId::Op(w)) {
+            return false;
+        }
+    }
+    true
+}
+
+/// A pair of writes witnessing a dirty or concurrent write: `earlier` is
+/// the other transaction's write, `later` the offending write of the
+/// transaction under scrutiny.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct WriteWitness {
+    pub earlier: OpAddr,
+    pub later: OpAddr,
+}
+
+/// Whether `txn` *exhibits a concurrent write* in `s` (§2.3): it writes an
+/// object some concurrent transaction wrote earlier — there are writes
+/// `b_i <_s a_j` on the same object with `first(T_j) <_s C_i`.
+///
+/// Returns a witness pair, or `None`.
+pub fn concurrent_write(s: &Schedule, txn: TxnId) -> Option<WriteWitness> {
+    write_anomaly(s, txn, false)
+}
+
+/// Whether `txn` *exhibits a dirty write* in `s` (§2.3): it writes an
+/// object another transaction wrote earlier but has not yet committed —
+/// `b_i <_s a_j <_s C_i`.
+///
+/// Every dirty write is also a concurrent write.
+pub fn dirty_write(s: &Schedule, txn: TxnId) -> Option<WriteWitness> {
+    write_anomaly(s, txn, true)
+}
+
+fn write_anomaly(s: &Schedule, txn: TxnId, dirty: bool) -> Option<WriteWitness> {
+    let t = s.txns().txn(txn);
+    let first = s.pos(t.first());
+    for (aj, object) in t.writes() {
+        let aj_pos = s.pos(OpId::Op(aj));
+        for &bi in s.version_order(object) {
+            if bi.txn == txn {
+                continue;
+            }
+            let bi_pos = s.pos(OpId::Op(bi));
+            let ci = s.commit_pos(bi.txn);
+            let hit = if dirty {
+                bi_pos < aj_pos && aj_pos < ci
+            } else {
+                bi_pos < aj_pos && first < ci
+            };
+            if hit {
+                return Some(WriteWitness { earlier: bi, later: aj });
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvmodel::{Object, Schedule, TxnSetBuilder};
+    use std::collections::HashMap;
+    use std::sync::Arc;
+
+    /// W1[x] W2[x] C2 C1 with version order x: W1 ≪ W2 — T2's write is
+    /// dirty (T1 uncommitted), and the version order contradicts the
+    /// commit order (C2 < C1 but W1 ≪ W2).
+    fn dirty_pair() -> Schedule {
+        let mut b = TxnSetBuilder::new();
+        let x = b.object("x");
+        b.txn(1).write(x).finish();
+        b.txn(2).write(x).finish();
+        let txns = Arc::new(b.build().unwrap());
+        let w1 = OpAddr { txn: TxnId(1), idx: 0 };
+        let w2 = OpAddr { txn: TxnId(2), idx: 0 };
+        let order = vec![
+            OpId::Op(w1),
+            OpId::Op(w2),
+            OpId::Commit(TxnId(2)),
+            OpId::Commit(TxnId(1)),
+        ];
+        let mut versions = HashMap::new();
+        versions.insert(Object(0), vec![w1, w2]);
+        Schedule::new(txns, order, versions, HashMap::new()).unwrap()
+    }
+
+    #[test]
+    fn dirty_write_detection() {
+        let s = dirty_pair();
+        let w = dirty_write(&s, TxnId(2)).expect("T2 writes over uncommitted T1");
+        assert_eq!(w.earlier.txn, TxnId(1));
+        assert_eq!(w.later.txn, TxnId(2));
+        // T1 wrote first; nothing preceded it.
+        assert!(dirty_write(&s, TxnId(1)).is_none());
+        // Dirty implies concurrent.
+        assert!(concurrent_write(&s, TxnId(2)).is_some());
+    }
+
+    #[test]
+    fn commit_order_respected_or_not() {
+        let s = dirty_pair();
+        // W1 ≪ W2 but C2 <_s C1: both writes violate commit order.
+        assert!(!respects_commit_order(&s, OpAddr { txn: TxnId(1), idx: 0 }));
+        assert!(!respects_commit_order(&s, OpAddr { txn: TxnId(2), idx: 0 }));
+    }
+
+    /// W2[x] C2 W4[x] C4 where T4 started before C2 — Figure 2's concurrent
+    /// (but not dirty) write, reduced to two transactions.
+    fn concurrent_not_dirty() -> Schedule {
+        let mut b = TxnSetBuilder::new();
+        let x = b.object("x");
+        b.txn(2).write(x).finish();
+        b.txn(4).read(x).write(x).finish();
+        let txns = Arc::new(b.build().unwrap());
+        let w2 = OpAddr { txn: TxnId(2), idx: 0 };
+        let r4 = OpAddr { txn: TxnId(4), idx: 0 };
+        let w4 = OpAddr { txn: TxnId(4), idx: 1 };
+        let order = vec![
+            OpId::Op(r4),
+            OpId::Op(w2),
+            OpId::Commit(TxnId(2)),
+            OpId::Op(w4),
+            OpId::Commit(TxnId(4)),
+        ];
+        let mut versions = HashMap::new();
+        versions.insert(Object(0), vec![w2, w4]);
+        let mut rf = HashMap::new();
+        rf.insert(r4, OpId::Init);
+        Schedule::new(txns, order, versions, rf).unwrap()
+    }
+
+    #[test]
+    fn concurrent_write_without_dirty_write() {
+        let s = concurrent_not_dirty();
+        assert!(dirty_write(&s, TxnId(4)).is_none(), "T2 committed before W4[x]");
+        let w = concurrent_write(&s, TxnId(4)).expect("T4 started before C2");
+        assert_eq!(w.earlier.txn, TxnId(2));
+        assert!(concurrent_write(&s, TxnId(2)).is_none());
+        // Here both writes respect the commit order.
+        assert!(respects_commit_order(&s, OpAddr { txn: TxnId(2), idx: 0 }));
+        assert!(respects_commit_order(&s, OpAddr { txn: TxnId(4), idx: 1 }));
+    }
+
+    #[test]
+    fn read_last_committed_anchors() {
+        let s = concurrent_not_dirty();
+        let r4 = OpAddr { txn: TxnId(4), idx: 0 };
+        // R4[x] reads op0; anchored at itself that is correct (nothing
+        // committed before R4[x]).
+        assert!(read_last_committed_relative_to(&s, r4, OpId::Op(r4)));
+        // Anchored at T4's start: also nothing committed — fine.
+        assert!(read_last_committed_relative_to(&s, r4, s.txns().txn(TxnId(4)).first()));
+        // Anchored at T4's commit: W2[x] is committed by then, so op0 is no
+        // longer the last committed version.
+        assert!(!read_last_committed_relative_to(&s, r4, OpId::Commit(TxnId(4))));
+    }
+
+    #[test]
+    fn read_of_uncommitted_version_never_rlc() {
+        // W1[x] R2[x] C1 C2 with v(R2[x]) = W1[x]: T1 commits only after
+        // the read, so condition 1 fails at any anchor up to the read.
+        let mut b = TxnSetBuilder::new();
+        let x = b.object("x");
+        b.txn(1).write(x).finish();
+        b.txn(2).read(x).finish();
+        let txns = Arc::new(b.build().unwrap());
+        let w1 = OpAddr { txn: TxnId(1), idx: 0 };
+        let r2 = OpAddr { txn: TxnId(2), idx: 0 };
+        let order = vec![
+            OpId::Op(w1),
+            OpId::Op(r2),
+            OpId::Commit(TxnId(1)),
+            OpId::Commit(TxnId(2)),
+        ];
+        let mut versions = HashMap::new();
+        versions.insert(Object(0), vec![w1]);
+        let mut rf = HashMap::new();
+        rf.insert(r2, OpId::Op(w1));
+        let s = Schedule::new(txns, order, versions, rf).unwrap();
+        assert!(!read_last_committed_relative_to(&s, r2, OpId::Op(r2)));
+        assert!(!read_last_committed_relative_to(&s, r2, s.txns().txn(TxnId(2)).first()));
+    }
+}

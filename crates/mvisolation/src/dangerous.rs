@@ -1,0 +1,216 @@
+//! SSI dangerous structures (§2.3, after Cahill et al. \[14\], with the
+//! commit-order refinement from the journal version \[15\] that the paper —
+//! and Postgres — adopt).
+
+use mvmodel::dependency::{dependencies, DepKind};
+use mvmodel::{Schedule, TxnId};
+
+/// A dangerous structure `T₁ →rw T₂ →rw T₃` in a schedule: two consecutive
+/// rw-antidependencies between pairwise-concurrent transactions where `T₃`
+/// commits first (`C₃ ≤_s C₁` and `C₃ <_s C₂`). `T₁` and `T₃` may
+/// coincide.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct DangerousStructure {
+    pub t1: TxnId,
+    pub t2: TxnId,
+    pub t3: TxnId,
+}
+
+impl std::fmt::Display for DangerousStructure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} →rw {} →rw {}", self.t1, self.t2, self.t3)
+    }
+}
+
+/// Finds all dangerous structures in `s` whose three transactions all
+/// satisfy `filter` (Definition 2.4 applies it with "allocated SSI").
+///
+/// Pass `|_| true` to enumerate every dangerous structure.
+pub fn dangerous_structures(
+    s: &Schedule,
+    filter: impl Fn(TxnId) -> bool,
+) -> Vec<DangerousStructure> {
+    // Transaction-level rw-antidependency pairs.
+    let mut rw_pairs: Vec<(TxnId, TxnId)> = dependencies(s)
+        .into_iter()
+        .filter(|d| d.kind == DepKind::RwAnti)
+        .map(|d| (d.from.txn, d.to.txn))
+        .collect();
+    rw_pairs.sort_unstable();
+    rw_pairs.dedup();
+
+    let mut out = Vec::new();
+    for &(t1, t2) in &rw_pairs {
+        if !filter(t1) || !filter(t2) || !s.concurrent(t1, t2) {
+            continue;
+        }
+        for &(u2, t3) in &rw_pairs {
+            if u2 != t2 || !filter(t3) || !s.concurrent(t2, t3) {
+                continue;
+            }
+            let (c1, c2, c3) = (s.commit_pos(t1), s.commit_pos(t2), s.commit_pos(t3));
+            // C₃ ≤_s C₁ (equality only when T₁ = T₃) and C₃ <_s C₂.
+            if c3 <= c1 && c3 < c2 {
+                out.push(DangerousStructure { t1, t2, t3 });
+            }
+        }
+    }
+    out
+}
+
+/// Whether `s` contains any dangerous structure over transactions
+/// satisfying `filter`.
+pub fn has_dangerous_structure(s: &Schedule, filter: impl Fn(TxnId) -> bool) -> bool {
+    !dangerous_structures(s, filter).is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvmodel::{Object, OpAddr, OpId, Schedule, TxnSetBuilder};
+    use std::collections::HashMap;
+    use std::sync::Arc;
+
+    /// The classic write-skew pair under SI:
+    /// R1[x] R2[y] W1[y] W2[x] C2 C1.
+    /// T1 →rw T2 (R1[x] read op0, T2 writes x) and T2 →rw T1; T2 commits
+    /// first, so T2 plays T₃ in the structure T1 → T2?? — with two
+    /// transactions the structure is T2 →rw T1 →rw T2 (T₁ = T₃ = T2).
+    fn write_skew() -> Schedule {
+        let mut b = TxnSetBuilder::new();
+        let x = b.object("x");
+        let y = b.object("y");
+        b.txn(1).read(x).write(y).finish();
+        b.txn(2).read(y).write(x).finish();
+        let txns = Arc::new(b.build().unwrap());
+        let r1x = OpAddr { txn: TxnId(1), idx: 0 };
+        let w1y = OpAddr { txn: TxnId(1), idx: 1 };
+        let r2y = OpAddr { txn: TxnId(2), idx: 0 };
+        let w2x = OpAddr { txn: TxnId(2), idx: 1 };
+        let order = vec![
+            OpId::Op(r1x),
+            OpId::Op(r2y),
+            OpId::Op(w1y),
+            OpId::Op(w2x),
+            OpId::Commit(TxnId(2)),
+            OpId::Commit(TxnId(1)),
+        ];
+        let mut versions = HashMap::new();
+        versions.insert(Object(0), vec![w2x]);
+        versions.insert(Object(1), vec![w1y]);
+        let mut rf = HashMap::new();
+        rf.insert(r1x, OpId::Init);
+        rf.insert(r2y, OpId::Init);
+        Schedule::new(txns, order, versions, rf).unwrap()
+    }
+
+    #[test]
+    fn write_skew_has_dangerous_structure() {
+        let s = write_skew();
+        let all = dangerous_structures(&s, |_| true);
+        // T2 commits first: the pivot structure is T2 →rw T1 →rw T2.
+        assert!(all.contains(&DangerousStructure { t1: TxnId(2), t2: TxnId(1), t3: TxnId(2) }));
+        // T1 →rw T2 →rw T1 fails the commit condition (C₃=C1 is last).
+        assert!(!all.contains(&DangerousStructure { t1: TxnId(1), t2: TxnId(2), t3: TxnId(1) }));
+        assert!(has_dangerous_structure(&s, |_| true));
+    }
+
+    #[test]
+    fn filter_excludes_structures() {
+        let s = write_skew();
+        // If T1 is not SSI-allocated, no structure remains among SSI txns.
+        assert!(!has_dangerous_structure(&s, |t| t != TxnId(1)));
+        assert!(!has_dangerous_structure(&s, |t| t != TxnId(2)));
+        assert!(!has_dangerous_structure(&s, |_| false));
+    }
+
+    /// Serial executions have concurrent-transaction requirements fail.
+    #[test]
+    fn serial_execution_has_no_dangerous_structure() {
+        let mut b = TxnSetBuilder::new();
+        let x = b.object("x");
+        let y = b.object("y");
+        b.txn(1).read(x).write(y).finish();
+        b.txn(2).read(y).write(x).finish();
+        let txns = Arc::new(b.build().unwrap());
+        let s = Schedule::single_version_serial(txns, &[TxnId(1), TxnId(2)]).unwrap();
+        assert!(!has_dangerous_structure(&s, |_| true));
+    }
+
+    /// A three-transaction dangerous structure where T₃ ≠ T₁: the
+    /// textbook SSI pivot. T1 →rw T2 →rw T3, T3 commits first.
+    #[test]
+    fn three_txn_pivot() {
+        let mut b = TxnSetBuilder::new();
+        let x = b.object("x");
+        let y = b.object("y");
+        b.txn(1).read(x).finish(); // T1 reads x
+        b.txn(2).write(x).read(y).finish(); // T2 overwrites x, reads y
+        b.txn(3).write(y).finish(); // T3 overwrites y
+        let txns = Arc::new(b.build().unwrap());
+        let r1x = OpAddr { txn: TxnId(1), idx: 0 };
+        let w2x = OpAddr { txn: TxnId(2), idx: 0 };
+        let r2y = OpAddr { txn: TxnId(2), idx: 1 };
+        let w3y = OpAddr { txn: TxnId(3), idx: 0 };
+        // R1[x] W2[x] R2[y] W3[y] C3 C1 C2 — all pairwise concurrent,
+        // T3 commits first.
+        let order = vec![
+            OpId::Op(r1x),
+            OpId::Op(w2x),
+            OpId::Op(r2y),
+            OpId::Op(w3y),
+            OpId::Commit(TxnId(3)),
+            OpId::Commit(TxnId(1)),
+            OpId::Commit(TxnId(2)),
+        ];
+        let mut versions = HashMap::new();
+        versions.insert(x, vec![w2x]);
+        versions.insert(y, vec![w3y]);
+        let mut rf = HashMap::new();
+        rf.insert(r1x, OpId::Init);
+        rf.insert(r2y, OpId::Init);
+        let s = Schedule::new(txns, order, versions, rf).unwrap();
+        let all = dangerous_structures(&s, |_| true);
+        assert!(all.contains(&DangerousStructure { t1: TxnId(1), t2: TxnId(2), t3: TxnId(3) }));
+        // Dropping any participant from the filter removes it.
+        for skip in [1u32, 2, 3] {
+            assert!(dangerous_structures(&s, |t| t != TxnId(skip))
+                .iter()
+                .all(|d| d.t1 != TxnId(skip) && d.t2 != TxnId(skip) && d.t3 != TxnId(skip)));
+        }
+    }
+
+    /// The same three transactions but with T3 committing last: Postgres'
+    /// commit-order refinement says this is *not* dangerous.
+    #[test]
+    fn pivot_without_first_committer_is_safe() {
+        let mut b = TxnSetBuilder::new();
+        let x = b.object("x");
+        let y = b.object("y");
+        b.txn(1).read(x).finish();
+        b.txn(2).write(x).read(y).finish();
+        b.txn(3).write(y).finish();
+        let txns = Arc::new(b.build().unwrap());
+        let r1x = OpAddr { txn: TxnId(1), idx: 0 };
+        let w2x = OpAddr { txn: TxnId(2), idx: 0 };
+        let r2y = OpAddr { txn: TxnId(2), idx: 1 };
+        let w3y = OpAddr { txn: TxnId(3), idx: 0 };
+        let order = vec![
+            OpId::Op(r1x),
+            OpId::Op(w2x),
+            OpId::Op(r2y),
+            OpId::Op(w3y),
+            OpId::Commit(TxnId(1)),
+            OpId::Commit(TxnId(2)),
+            OpId::Commit(TxnId(3)),
+        ];
+        let mut versions = HashMap::new();
+        versions.insert(x, vec![w2x]);
+        versions.insert(y, vec![w3y]);
+        let mut rf = HashMap::new();
+        rf.insert(r1x, OpId::Init);
+        rf.insert(r2y, OpId::Init);
+        let s = Schedule::new(txns, order, versions, rf).unwrap();
+        assert!(!has_dangerous_structure(&s, |_| true));
+    }
+}

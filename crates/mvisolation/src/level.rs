@@ -1,0 +1,142 @@
+//! The three isolation levels and their preference order.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A multiversion isolation level from the class `{RC, SI, SSI}` the paper
+/// studies — the levels available in PostgreSQL (`{RC, SI, SSI}`) and
+/// Oracle (`{RC, SI}`).
+///
+/// The derived order is the paper's §4 *preference* order
+/// `RC < SI < SSI` — cheaper concurrency control first. The paper stresses
+/// (footnote 3) that this is **not** an inclusion order between the
+/// schedule sets the levels allow: a schedule allowed under `𝒜_SI` need not
+/// be allowed under `𝒜_RC` (Example 5.2).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum IsolationLevel {
+    /// Multiversion read committed: per-statement snapshots, no dirty
+    /// writes.
+    ReadCommitted,
+    /// Snapshot isolation: per-transaction snapshots, no concurrent writes
+    /// (first-committer-wins).
+    SnapshotIsolation,
+    /// Serializable snapshot isolation: SI plus abortion of dangerous
+    /// structures. Effectively guarantees serializability.
+    SerializableSnapshotIsolation,
+}
+
+impl IsolationLevel {
+    pub const RC: IsolationLevel = IsolationLevel::ReadCommitted;
+    pub const SI: IsolationLevel = IsolationLevel::SnapshotIsolation;
+    pub const SSI: IsolationLevel = IsolationLevel::SerializableSnapshotIsolation;
+
+    /// All levels, ascending by preference order.
+    pub const ALL: [IsolationLevel; 3] =
+        [IsolationLevel::RC, IsolationLevel::SI, IsolationLevel::SSI];
+
+    /// The levels strictly below `self`, ascending — the candidates
+    /// Algorithm 2 tries when lowering a transaction.
+    pub fn lower_levels(self) -> &'static [IsolationLevel] {
+        match self {
+            IsolationLevel::ReadCommitted => &[],
+            IsolationLevel::SnapshotIsolation => &[IsolationLevel::ReadCommitted],
+            IsolationLevel::SerializableSnapshotIsolation => {
+                &[IsolationLevel::ReadCommitted, IsolationLevel::SnapshotIsolation]
+            }
+        }
+    }
+
+    /// Whether the level takes per-transaction snapshots (SI and SSI; RC
+    /// takes per-statement snapshots).
+    pub fn snapshot_at_start(self) -> bool {
+        self != IsolationLevel::ReadCommitted
+    }
+
+    /// Short form used throughout the paper and the CLI.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            IsolationLevel::ReadCommitted => "RC",
+            IsolationLevel::SnapshotIsolation => "SI",
+            IsolationLevel::SerializableSnapshotIsolation => "SSI",
+        }
+    }
+}
+
+impl fmt::Display for IsolationLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Error for unrecognized isolation-level names.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseLevelError(pub String);
+
+impl fmt::Display for ParseLevelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown isolation level `{}` (expected RC, SI or SSI)", self.0)
+    }
+}
+
+impl std::error::Error for ParseLevelError {}
+
+impl FromStr for IsolationLevel {
+    type Err = ParseLevelError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_uppercase().as_str() {
+            "RC" | "READ COMMITTED" | "READ_COMMITTED" => Ok(IsolationLevel::RC),
+            "SI" | "SNAPSHOT" | "SNAPSHOT ISOLATION" | "REPEATABLE READ" => {
+                Ok(IsolationLevel::SI)
+            }
+            "SSI" | "SERIALIZABLE" => Ok(IsolationLevel::SSI),
+            other => Err(ParseLevelError(other.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preference_order() {
+        assert!(IsolationLevel::RC < IsolationLevel::SI);
+        assert!(IsolationLevel::SI < IsolationLevel::SSI);
+        assert_eq!(IsolationLevel::ALL.to_vec(), {
+            let mut v = IsolationLevel::ALL.to_vec();
+            v.sort();
+            v
+        });
+    }
+
+    #[test]
+    fn lower_levels() {
+        assert!(IsolationLevel::RC.lower_levels().is_empty());
+        assert_eq!(IsolationLevel::SI.lower_levels(), &[IsolationLevel::RC]);
+        assert_eq!(
+            IsolationLevel::SSI.lower_levels(),
+            &[IsolationLevel::RC, IsolationLevel::SI]
+        );
+    }
+
+    #[test]
+    fn parse_and_display() {
+        for lvl in IsolationLevel::ALL {
+            assert_eq!(lvl.as_str().parse::<IsolationLevel>().unwrap(), lvl);
+            assert_eq!(lvl.to_string(), lvl.as_str());
+        }
+        assert_eq!("serializable".parse::<IsolationLevel>().unwrap(), IsolationLevel::SSI);
+        assert_eq!("repeatable read".parse::<IsolationLevel>().unwrap(), IsolationLevel::SI);
+        assert!("chaos".parse::<IsolationLevel>().is_err());
+        let e = "chaos".parse::<IsolationLevel>().unwrap_err();
+        assert!(e.to_string().contains("CHAOS"));
+    }
+
+    #[test]
+    fn snapshot_semantics_flag() {
+        assert!(!IsolationLevel::RC.snapshot_at_start());
+        assert!(IsolationLevel::SI.snapshot_at_start());
+        assert!(IsolationLevel::SSI.snapshot_at_start());
+    }
+}

@@ -1,0 +1,35 @@
+//! Multiversion isolation-level semantics and mixed allocations.
+//!
+//! Implements §2.3 of *Allocating Isolation Levels to Transactions in a
+//! Multiversion Setting* (Vandevoort, Ketsman & Neven, PODS 2023):
+//!
+//! - [`IsolationLevel`]: read committed (RC), snapshot isolation (SI) and
+//!   serializable snapshot isolation (SSI), totally ordered by preference
+//!   `RC < SI < SSI` (lower is cheaper, §4).
+//! - [`Allocation`]: a mapping from transactions to isolation levels — the
+//!   paper's *mixed* (heterogeneous) allocation.
+//! - [`checks`]: the building-block predicates of Definition 2.3 —
+//!   *respects the commit order*, *read-last-committed relative to an
+//!   operation*, *dirty writes* and *concurrent writes*.
+//! - [`dangerous`]: SSI dangerous structures (Cahill et al., extended with
+//!   the commit-order refinement the paper adopts).
+//! - [`validator`]: `allowed under 𝒜` for a schedule (Definition 2.4),
+//!   with structured [`validator::Violation`] reports.
+//! - [`mod@derive`]: builds the *unique* version order and version function
+//!   forced by an allocation for a given operation interleaving — the
+//!   bijection DESIGN.md §4 relies on.
+
+pub mod allocation;
+pub mod checks;
+pub mod dangerous;
+pub mod derive;
+pub mod level;
+pub mod phenomena;
+pub mod validator;
+
+pub use allocation::Allocation;
+pub use dangerous::{dangerous_structures, DangerousStructure};
+pub use derive::derive_schedule;
+pub use level::IsolationLevel;
+pub use phenomena::{all_anomalies, Anomaly};
+pub use validator::{allowed_under, allowed_under_level, violations, Violation};

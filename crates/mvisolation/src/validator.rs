@@ -1,0 +1,286 @@
+//! Schedule validation against (mixed) allocations — Definition 2.4.
+
+use crate::allocation::Allocation;
+use crate::checks::{
+    concurrent_write, dirty_write, read_last_committed_relative_to, respects_commit_order,
+};
+use crate::dangerous::{dangerous_structures, DangerousStructure};
+use crate::level::IsolationLevel;
+use mvmodel::{OpAddr, OpId, Schedule, TransactionSet, TxnId};
+use std::fmt;
+
+/// A reason a schedule is not allowed under an allocation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Violation {
+    /// A write of `txn` does not respect the commit order.
+    CommitOrderViolated { txn: TxnId, write: OpAddr },
+    /// A read is not read-last-committed relative to its level's anchor.
+    NotReadLastCommitted { txn: TxnId, read: OpAddr, level: IsolationLevel },
+    /// An RC (or SI) transaction exhibits a dirty write.
+    DirtyWrite { txn: TxnId, earlier: OpAddr, later: OpAddr },
+    /// An SI/SSI transaction exhibits a concurrent write.
+    ConcurrentWrite { txn: TxnId, earlier: OpAddr, later: OpAddr },
+    /// A dangerous structure among SSI-allocated transactions.
+    Dangerous(DangerousStructure),
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::CommitOrderViolated { txn, write } => {
+                write!(f, "{txn}: write {write} does not respect the commit order")
+            }
+            Violation::NotReadLastCommitted { txn, read, level } => write!(
+                f,
+                "{txn}: read {read} is not read-last-committed relative to the {level} anchor"
+            ),
+            Violation::DirtyWrite { txn, earlier, later } => {
+                write!(f, "{txn}: dirty write — {later} overwrites uncommitted {earlier}")
+            }
+            Violation::ConcurrentWrite { txn, earlier, later } => {
+                write!(f, "{txn}: concurrent write — {later} overwrites {earlier} of a concurrent transaction")
+            }
+            Violation::Dangerous(d) => {
+                write!(f, "dangerous structure among SSI transactions: {d}")
+            }
+        }
+    }
+}
+
+/// All violations of Definition 2.4 by schedule `s` under allocation `a`.
+///
+/// Per transaction `T`:
+/// - `𝒜(T) = RC`: writes respect the commit order, reads are
+///   read-last-committed relative to themselves, no dirty writes;
+/// - `𝒜(T) ∈ {SI, SSI}`: writes respect the commit order, reads are
+///   read-last-committed relative to `first(T)`, no concurrent writes;
+///
+/// plus, globally: no dangerous structure among SSI-allocated transactions.
+///
+/// Panics when `a` does not cover every transaction of the schedule.
+pub fn violations(s: &Schedule, a: &Allocation) -> Vec<Violation> {
+    assert!(a.covers(s.txns()), "allocation must cover every transaction of the schedule");
+    let mut out = Vec::new();
+    for t in s.txns().iter() {
+        let level = a.level(t.id());
+        for (w, _) in t.writes() {
+            if !respects_commit_order(s, w) {
+                out.push(Violation::CommitOrderViolated { txn: t.id(), write: w });
+            }
+        }
+        for (r, _) in t.reads() {
+            let anchor = match level {
+                IsolationLevel::ReadCommitted => OpId::Op(r),
+                _ => t.first(),
+            };
+            if !read_last_committed_relative_to(s, r, anchor) {
+                out.push(Violation::NotReadLastCommitted { txn: t.id(), read: r, level });
+            }
+        }
+        match level {
+            IsolationLevel::ReadCommitted => {
+                if let Some(w) = dirty_write(s, t.id()) {
+                    out.push(Violation::DirtyWrite {
+                        txn: t.id(),
+                        earlier: w.earlier,
+                        later: w.later,
+                    });
+                }
+            }
+            _ => {
+                if let Some(w) = concurrent_write(s, t.id()) {
+                    out.push(Violation::ConcurrentWrite {
+                        txn: t.id(),
+                        earlier: w.earlier,
+                        later: w.later,
+                    });
+                }
+            }
+        }
+    }
+    for d in dangerous_structures(s, |t| a.level(t) == IsolationLevel::SSI) {
+        out.push(Violation::Dangerous(d));
+    }
+    out
+}
+
+/// Whether `s` is allowed under allocation `a` (Definition 2.4).
+pub fn allowed_under(s: &Schedule, a: &Allocation) -> bool {
+    violations(s, a).is_empty()
+}
+
+/// Whether `s` is allowed under the homogeneous allocation at `level`.
+pub fn allowed_under_level(s: &Schedule, level: IsolationLevel) -> bool {
+    allowed_under(s, &Allocation::uniform(s.txns(), level))
+}
+
+/// Whether the single transaction `txn` is allowed under `level` in `s`
+/// (the per-transaction part of Definition 2.3, ignoring the global SSI
+/// condition).
+pub fn txn_allowed_under(s: &Schedule, txn: TxnId, level: IsolationLevel) -> bool {
+    let t = s.txns().txn(txn);
+    for (w, _) in t.writes() {
+        if !respects_commit_order(s, w) {
+            return false;
+        }
+    }
+    for (r, _) in t.reads() {
+        let anchor = match level {
+            IsolationLevel::ReadCommitted => OpId::Op(r),
+            _ => t.first(),
+        };
+        if !read_last_committed_relative_to(s, r, anchor) {
+            return false;
+        }
+    }
+    match level {
+        IsolationLevel::ReadCommitted => dirty_write(s, txn).is_none(),
+        _ => concurrent_write(s, txn).is_none(),
+    }
+}
+
+/// Enumerates, for each transaction, the set of levels it is individually
+/// allowed under in `s` — useful diagnostics for examples and the CLI.
+pub fn per_txn_allowed_levels(s: &Schedule) -> Vec<(TxnId, Vec<IsolationLevel>)> {
+    s.txns()
+        .ids()
+        .map(|t| {
+            let lvls = IsolationLevel::ALL
+                .into_iter()
+                .filter(|&l| txn_allowed_under(s, t, l))
+                .collect();
+            (t, lvls)
+        })
+        .collect()
+}
+
+/// Convenience: asserts coverage and returns the transactions of a set as
+/// an allocation-sized vector, used by the robustness crate.
+pub fn assert_covers(txns: &TransactionSet, a: &Allocation) {
+    assert!(a.covers(txns), "allocation must cover every transaction of the set");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvmodel::{Schedule, TxnSetBuilder};
+    use std::collections::HashMap;
+    use std::sync::Arc;
+
+    /// Example 2.6 / Figure 4: two *concurrent* transactions both writing
+    /// `v`, T1's write installed first. Figure 4 depicts the overlap with
+    /// transaction boxes; we make it explicit by giving T2 a leading read
+    /// on another object `u`, so that `first(T2) <_s C1` while `W2[v]`
+    /// still follows `C1` (no dirty write).
+    fn example_2_6_with_read() -> Schedule {
+        let mut b = TxnSetBuilder::new();
+        let v = b.object("v");
+        let u = b.object("u");
+        b.txn(1).write(v).finish();
+        b.txn(2).read(u).write(v).finish();
+        let txns = Arc::new(b.build().unwrap());
+        let w1 = OpAddr { txn: TxnId(1), idx: 0 };
+        let r2 = OpAddr { txn: TxnId(2), idx: 0 };
+        let w2 = OpAddr { txn: TxnId(2), idx: 1 };
+        let order = vec![
+            OpId::Op(r2),
+            OpId::Op(w1),
+            OpId::Commit(TxnId(1)),
+            OpId::Op(w2),
+            OpId::Commit(TxnId(2)),
+        ];
+        let mut versions = HashMap::new();
+        versions.insert(v, vec![w1, w2]);
+        let mut rf = HashMap::new();
+        rf.insert(r2, OpId::Init);
+        Schedule::new(txns, order, versions, rf).unwrap()
+    }
+
+    #[test]
+    fn example_2_6_verdicts() {
+        let s = example_2_6_with_read();
+        // (1) 𝒜₁ = 𝒜_SI: T2 exhibits a concurrent write — not allowed.
+        assert!(!allowed_under_level(&s, IsolationLevel::SI));
+        // (2) 𝒜₂(T1)=RC, 𝒜₂(T2)=SI: same concurrent write — not allowed.
+        let a2 = Allocation::parse("T1=RC T2=SI").unwrap();
+        assert!(!allowed_under(&s, &a2));
+        let v = violations(&s, &a2);
+        assert!(v.iter().any(|x| matches!(x, Violation::ConcurrentWrite { txn: TxnId(2), .. })));
+        // (3) 𝒜₃(T1)=SI, 𝒜₃(T2)=RC: allowed — the concurrent write is
+        // T2's, and RC permits it; T1 exhibits none.
+        let a3 = Allocation::parse("T1=SI T2=RC").unwrap();
+        assert!(allowed_under(&s, &a3));
+        // All-RC is also fine here (no dirty writes).
+        assert!(allowed_under_level(&s, IsolationLevel::RC));
+    }
+
+    /// Example 5.2 / Figure 5: op0 W1[t] R2[v] C1 R2[t] C2 where both reads
+    /// observe op0 — allowed under 𝒜_SI but not under 𝒜_RC.
+    fn example_5_2() -> Schedule {
+        let mut b = TxnSetBuilder::new();
+        let t = b.object("t");
+        let v = b.object("v");
+        b.txn(1).write(t).finish();
+        b.txn(2).read(v).read(t).finish();
+        let txns = Arc::new(b.build().unwrap());
+        let w1t = OpAddr { txn: TxnId(1), idx: 0 };
+        let r2v = OpAddr { txn: TxnId(2), idx: 0 };
+        let r2t = OpAddr { txn: TxnId(2), idx: 1 };
+        let order = vec![
+            OpId::Op(w1t),
+            OpId::Op(r2v),
+            OpId::Commit(TxnId(1)),
+            OpId::Op(r2t),
+            OpId::Commit(TxnId(2)),
+        ];
+        let mut versions = HashMap::new();
+        versions.insert(t, vec![w1t]);
+        let mut rf = HashMap::new();
+        rf.insert(r2v, OpId::Init);
+        rf.insert(r2t, OpId::Init);
+        Schedule::new(txns, order, versions, rf).unwrap()
+    }
+
+    #[test]
+    fn example_5_2_si_allowed_rc_not() {
+        let s = example_5_2();
+        assert!(allowed_under_level(&s, IsolationLevel::SI));
+        assert!(!allowed_under_level(&s, IsolationLevel::RC));
+        let a = Allocation::uniform_rc(s.txns());
+        let v = violations(&s, &a);
+        // R2[t] is not read-last-committed relative to itself.
+        assert!(v.iter().any(|x| matches!(
+            x,
+            Violation::NotReadLastCommitted { txn: TxnId(2), read, .. }
+                if read.idx == 1
+        )));
+    }
+
+    #[test]
+    fn per_txn_levels_on_example_5_2() {
+        let s = example_5_2();
+        let lvls = per_txn_allowed_levels(&s);
+        let t2 = lvls.iter().find(|(t, _)| *t == TxnId(2)).unwrap();
+        assert!(!t2.1.contains(&IsolationLevel::RC));
+        assert!(t2.1.contains(&IsolationLevel::SI));
+        assert!(t2.1.contains(&IsolationLevel::SSI));
+        let t1 = lvls.iter().find(|(t, _)| *t == TxnId(1)).unwrap();
+        assert_eq!(t1.1.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "allocation must cover")]
+    fn partial_allocation_panics() {
+        let s = example_5_2();
+        let a = Allocation::parse("T1=RC").unwrap();
+        let _ = violations(&s, &a);
+    }
+
+    #[test]
+    fn txn_allowed_under_matches_validator() {
+        let s = example_5_2();
+        assert!(txn_allowed_under(&s, TxnId(2), IsolationLevel::SI));
+        assert!(!txn_allowed_under(&s, TxnId(2), IsolationLevel::RC));
+        assert!(txn_allowed_under(&s, TxnId(1), IsolationLevel::RC));
+    }
+}

@@ -1,0 +1,178 @@
+//! The determinism lemma behind the brute-force oracle (DESIGN.md §4):
+//! for a fixed operation order and allocation, any schedule *allowed
+//! under* the allocation has exactly the version order and version
+//! function that [`mvisolation::derive_schedule`] computes. This test
+//! searches for counterexamples by enumerating random schedules with
+//! *arbitrary* version data and checking that every allowed one
+//! coincides with the derived completion.
+
+use mvisolation::{allowed_under, derive_schedule, Allocation, IsolationLevel};
+use mvmodel::{Object, Op, OpAddr, OpId, Schedule, Transaction, TransactionSet, TxnId};
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+fn txn_sets() -> impl Strategy<Value = Arc<TransactionSet>> {
+    prop::collection::vec(
+        prop::collection::vec((0u32..3, prop::bool::ANY), 1..=3),
+        2..=4,
+    )
+    .prop_map(|specs| {
+        let mut txns = Vec::new();
+        for (i, spec) in specs.into_iter().enumerate() {
+            let mut ops: Vec<Op> = Vec::new();
+            for (obj, write) in spec {
+                let op = if write { Op::write(Object(obj)) } else { Op::read(Object(obj)) };
+                if !ops.contains(&op) {
+                    // Keep reads before writes per object.
+                    if op.is_write() {
+                        ops.push(op);
+                    } else if let Some(p) =
+                        ops.iter().position(|o| o.is_write() && o.object == op.object)
+                    {
+                        ops.insert(p, op);
+                    } else {
+                        ops.push(op);
+                    }
+                }
+            }
+            txns.push(Transaction::new(TxnId(i as u32 + 1), ops).expect("deduped"));
+        }
+        Arc::new(TransactionSet::new(txns).expect("unique ids"))
+    })
+}
+
+/// Builds a schedule with an arbitrary (possibly non-commit-order)
+/// version order and arbitrary version function, from random choices.
+fn arbitrary_schedule(txns: Arc<TransactionSet>, seed: u64) -> Schedule {
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (state >> 33) as usize
+    };
+    let mut cursors: Vec<(TxnId, usize, usize)> =
+        txns.iter().map(|t| (t.id(), 0usize, t.len() + 1)).collect();
+    let mut order: Vec<OpId> = Vec::new();
+    while !cursors.is_empty() {
+        let k = next() % cursors.len();
+        let (tid, ref mut pos, len) = cursors[k];
+        let t = txns.txn(tid);
+        order.push(if *pos < t.len() {
+            OpId::op(tid, *pos as u16)
+        } else {
+            OpId::Commit(tid)
+        });
+        *pos += 1;
+        if *pos >= len {
+            cursors.remove(k);
+        }
+    }
+    let pos: HashMap<OpId, usize> = order.iter().enumerate().map(|(i, &o)| (o, i)).collect();
+    let mut versions: HashMap<Object, Vec<OpAddr>> = HashMap::new();
+    for object in txns.objects() {
+        let mut writers = txns.writers_of(object);
+        for i in (1..writers.len()).rev() {
+            writers.swap(i, next() % (i + 1));
+        }
+        if !writers.is_empty() {
+            versions.insert(object, writers);
+        }
+    }
+    let mut reads_from: HashMap<OpAddr, OpId> = HashMap::new();
+    for t in txns.iter() {
+        for (addr, object) in t.reads() {
+            let candidates: Vec<OpId> = txns
+                .writers_of(object)
+                .into_iter()
+                .map(OpId::Op)
+                .filter(|w| pos[w] < pos[&OpId::Op(addr)])
+                .collect();
+            let v = if candidates.is_empty() || next() % 3 == 0 {
+                OpId::Init
+            } else {
+                candidates[next() % candidates.len()]
+            };
+            reads_from.insert(addr, v);
+        }
+    }
+    Schedule::new(txns, order, versions, reads_from).expect("valid by construction")
+}
+
+fn random_allocation(txns: &TransactionSet, seed: u64) -> Allocation {
+    let mut state = seed ^ 0xA110C;
+    txns.ids()
+        .map(|t| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let lvl = match (state >> 33) % 3 {
+                0 => IsolationLevel::RC,
+                1 => IsolationLevel::SI,
+                _ => IsolationLevel::SSI,
+            };
+            (t, lvl)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// If an arbitrary schedule is allowed under 𝒜, its version order and
+    /// version function coincide with the forced completion — so
+    /// enumerating interleavings enumerates allowed schedules exactly.
+    #[test]
+    fn allowed_schedules_equal_their_derived_completion(
+        txns in txn_sets(),
+        seed in any::<u64>(),
+    ) {
+        let s = arbitrary_schedule(Arc::clone(&txns), seed);
+        let alloc = random_allocation(&txns, seed);
+        if !allowed_under(&s, &alloc) {
+            return Ok(());
+        }
+        let derived = derive_schedule(Arc::clone(&txns), s.order().to_vec(), &alloc)
+            .expect("order is a valid interleaving");
+        // Same version order per object…
+        for object in txns.objects() {
+            prop_assert_eq!(
+                s.version_order(object),
+                derived.version_order(object),
+                "version order must be forced (object {})", object
+            );
+        }
+        // …and same version function.
+        for t in txns.iter() {
+            for (addr, _) in t.reads() {
+                prop_assert_eq!(
+                    s.version_fn(addr),
+                    derived.version_fn(addr),
+                    "version function must be forced (read {})", addr
+                );
+            }
+        }
+        // And the derived completion itself is allowed.
+        prop_assert!(allowed_under(&derived, &alloc));
+    }
+
+    /// The derived completion never violates read-last-committed or
+    /// commit-order conditions (only write anomalies / dangerous
+    /// structures can remain).
+    #[test]
+    fn derived_completion_read_rules_hold(
+        txns in txn_sets(),
+        seed in any::<u64>(),
+    ) {
+        let probe = arbitrary_schedule(Arc::clone(&txns), seed);
+        let alloc = random_allocation(&txns, seed);
+        let derived = derive_schedule(Arc::clone(&txns), probe.order().to_vec(), &alloc)
+            .expect("valid interleaving");
+        for v in mvisolation::violations(&derived, &alloc) {
+            match v {
+                mvisolation::Violation::NotReadLastCommitted { .. }
+                | mvisolation::Violation::CommitOrderViolated { .. } => {
+                    prop_assert!(false, "derived completion broke a forced rule: {v}");
+                }
+                _ => {}
+            }
+        }
+    }
+}

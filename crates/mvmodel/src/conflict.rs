@@ -1,0 +1,164 @@
+//! Schedule-independent conflicts between operations (§2.2).
+
+use crate::ids::{OpAddr, OpKind};
+use crate::txnset::TransactionSet;
+
+/// The three conflict shapes of §2.2, named from the first operation's kind
+/// to the second's: `b` is *X-Y-conflicting* with `a`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ConflictKind {
+    /// `b = W[t]`, `a = W[t]`.
+    Ww,
+    /// `b = W[t]`, `a = R[t]`.
+    Wr,
+    /// `b = R[t]`, `a = W[t]`.
+    Rw,
+}
+
+impl ConflictKind {
+    /// The conflict kind seen from the opposite direction (`a` vs `b`).
+    pub fn reversed(self) -> ConflictKind {
+        match self {
+            ConflictKind::Ww => ConflictKind::Ww,
+            ConflictKind::Wr => ConflictKind::Rw,
+            ConflictKind::Rw => ConflictKind::Wr,
+        }
+    }
+}
+
+/// Returns the kind with which `b` conflicts with `a`, or `None` when the
+/// operations do not conflict.
+///
+/// Operations conflict when they are from *different* transactions, act on
+/// the same object, and at least one is a write. Commits never conflict and
+/// are not addressable as [`OpAddr`], so they cannot be passed here.
+pub fn conflict_kind(txns: &TransactionSet, b: OpAddr, a: OpAddr) -> Option<ConflictKind> {
+    if b.txn == a.txn {
+        return None;
+    }
+    let ob = txns.op_at(b);
+    let oa = txns.op_at(a);
+    if ob.object != oa.object {
+        return None;
+    }
+    match (ob.kind, oa.kind) {
+        (OpKind::Write, OpKind::Write) => Some(ConflictKind::Ww),
+        (OpKind::Write, OpKind::Read) => Some(ConflictKind::Wr),
+        (OpKind::Read, OpKind::Write) => Some(ConflictKind::Rw),
+        (OpKind::Read, OpKind::Read) => None,
+    }
+}
+
+/// Whether `b` and `a` are conflicting operations.
+pub fn conflicts(txns: &TransactionSet, b: OpAddr, a: OpAddr) -> bool {
+    conflict_kind(txns, b, a).is_some()
+}
+
+/// All conflicting operation pairs `(b ∈ T_i, a ∈ T_j)` between two distinct
+/// transactions, with their conflict kinds.
+pub fn conflicting_pairs(
+    txns: &TransactionSet,
+    ti: crate::ids::TxnId,
+    tj: crate::ids::TxnId,
+) -> Vec<(OpAddr, OpAddr, ConflictKind)> {
+    let a = txns.txn(ti);
+    let b = txns.txn(tj);
+    let mut out = Vec::new();
+    for i in 0..a.len() as u16 {
+        for j in 0..b.len() as u16 {
+            let (ba, aa) = (a.addr(i), b.addr(j));
+            if let Some(kind) = conflict_kind(txns, ba, aa) {
+                out.push((ba, aa, kind));
+            }
+        }
+    }
+    out
+}
+
+/// Whether transactions `ti` and `tj` have any pair of conflicting
+/// operations.
+pub fn txns_conflict(txns: &TransactionSet, ti: crate::ids::TxnId, tj: crate::ids::TxnId) -> bool {
+    if ti == tj {
+        return false;
+    }
+    let a = txns.txn(ti);
+    let b = txns.txn(tj);
+    for op_a in a.ops() {
+        // A pair conflicts iff same object and at least one write.
+        let needs_write = op_a.is_read();
+        let hit = if needs_write {
+            b.write_of(op_a.object).is_some()
+        } else {
+            b.write_of(op_a.object).is_some() || b.read_of(op_a.object).is_some()
+        };
+        if hit {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::TxnId;
+    use crate::txnset::TxnSetBuilder;
+
+    fn set() -> TransactionSet {
+        let mut b = TxnSetBuilder::new();
+        let x = b.object("x");
+        let y = b.object("y");
+        b.txn(1).read(x).write(y).finish();
+        b.txn(2).write(x).read(y).finish();
+        b.txn(3).read(x).finish();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn kinds() {
+        let s = set();
+        let r1x = OpAddr::new(TxnId(1), 0);
+        let w1y = OpAddr::new(TxnId(1), 1);
+        let w2x = OpAddr::new(TxnId(2), 0);
+        let r2y = OpAddr::new(TxnId(2), 1);
+        let r3x = OpAddr::new(TxnId(3), 0);
+        assert_eq!(conflict_kind(&s, r1x, w2x), Some(ConflictKind::Rw));
+        assert_eq!(conflict_kind(&s, w2x, r1x), Some(ConflictKind::Wr));
+        assert_eq!(conflict_kind(&s, w1y, r2y), Some(ConflictKind::Wr));
+        // Reads never conflict with reads.
+        assert_eq!(conflict_kind(&s, r1x, r3x), None);
+        // Different objects never conflict.
+        assert_eq!(conflict_kind(&s, w1y, w2x), None);
+        // Same transaction never conflicts with itself.
+        assert_eq!(conflict_kind(&s, r1x, w1y), None);
+        assert!(conflicts(&s, r1x, w2x));
+        assert!(!conflicts(&s, r1x, r3x));
+    }
+
+    #[test]
+    fn reversed_kinds() {
+        assert_eq!(ConflictKind::Ww.reversed(), ConflictKind::Ww);
+        assert_eq!(ConflictKind::Wr.reversed(), ConflictKind::Rw);
+        assert_eq!(ConflictKind::Rw.reversed(), ConflictKind::Wr);
+    }
+
+    #[test]
+    fn pairs_between_txns() {
+        let s = set();
+        let pairs = conflicting_pairs(&s, TxnId(1), TxnId(2));
+        // R1[x]-W2[x] (rw) and W1[y]-R2[y] (wr).
+        assert_eq!(pairs.len(), 2);
+        assert!(pairs.iter().any(|&(_, _, k)| k == ConflictKind::Rw));
+        assert!(pairs.iter().any(|&(_, _, k)| k == ConflictKind::Wr));
+        assert!(conflicting_pairs(&s, TxnId(1), TxnId(3)).is_empty());
+    }
+
+    #[test]
+    fn txn_level_conflicts() {
+        let s = set();
+        assert!(txns_conflict(&s, TxnId(1), TxnId(2)));
+        assert!(txns_conflict(&s, TxnId(2), TxnId(3)));
+        assert!(!txns_conflict(&s, TxnId(1), TxnId(3)));
+        assert!(!txns_conflict(&s, TxnId(1), TxnId(1)));
+    }
+}

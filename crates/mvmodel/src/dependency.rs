@@ -1,0 +1,212 @@
+//! Dependencies between conflicting operations in a schedule (§2.2).
+
+use crate::ids::{OpAddr, OpId};
+use crate::schedule::Schedule;
+
+/// The kind of a dependency `b →_s a`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum DepKind {
+    /// ww-dependency: `b` and `a` write the same object and `b ≪_s a`.
+    Ww,
+    /// wr-dependency: `b` writes what `a` reads — `b = v_s(a)` or
+    /// `b ≪_s v_s(a)`.
+    Wr,
+    /// rw-antidependency: `a` overwrites what `b` read — `v_s(b) ≪_s a`.
+    RwAnti,
+}
+
+impl std::fmt::Display for DepKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            DepKind::Ww => "ww",
+            DepKind::Wr => "wr",
+            DepKind::RwAnti => "rw",
+        })
+    }
+}
+
+/// A dependency `from →_s to` between operations of different transactions.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Dependency {
+    pub from: OpAddr,
+    pub to: OpAddr,
+    pub kind: DepKind,
+}
+
+/// Computes all dependencies of a schedule, grouped per object pair.
+///
+/// For every pair of conflicting operations exactly one dependency holds
+/// (in one direction): version orders are total per object, so ww pairs are
+/// ordered by `≪_s`, and a wr pair `(W, R)` yields either the
+/// wr-dependency `W → R` (when `W ⊑ v_s(R)`) or the rw-antidependency
+/// `R → W` (when `v_s(R) ≪_s W`).
+pub fn dependencies(s: &Schedule) -> Vec<Dependency> {
+    let txns = s.txns();
+    let mut deps = Vec::new();
+    for object in txns.objects() {
+        let writers = txns.writers_of(object);
+        let readers = txns.readers_of(object);
+        for (i, &wi) in writers.iter().enumerate() {
+            for &wj in &writers[i + 1..] {
+                let (a, b) = (OpId::Op(wi), OpId::Op(wj));
+                if s.vless(a, b) {
+                    deps.push(Dependency { from: wi, to: wj, kind: DepKind::Ww });
+                } else {
+                    debug_assert!(s.vless(b, a), "version order must be total per object");
+                    deps.push(Dependency { from: wj, to: wi, kind: DepKind::Ww });
+                }
+            }
+        }
+        for &r in &readers {
+            let v = s.version_fn(r);
+            for &w in &writers {
+                if w.txn == r.txn {
+                    continue;
+                }
+                let wid = OpId::Op(w);
+                if wid == v || s.vless(wid, v) {
+                    deps.push(Dependency { from: w, to: r, kind: DepKind::Wr });
+                } else {
+                    debug_assert!(
+                        s.vless(v, wid),
+                        "v_s(read) and writer must be version-comparable"
+                    );
+                    deps.push(Dependency { from: r, to: w, kind: DepKind::RwAnti });
+                }
+            }
+        }
+    }
+    deps
+}
+
+/// Whether two schedules are conflict equivalent (§2.2): same transaction
+/// set and, for every pair of conflicting operations, the same dependency
+/// orientation.
+///
+/// Since exactly one dependency holds per conflicting pair in any schedule,
+/// equality of dependency sets captures the definition.
+pub fn conflict_equivalent(a: &Schedule, b: &Schedule) -> bool {
+    if a.txns() != b.txns() {
+        return false;
+    }
+    let mut da = dependencies(a);
+    let mut db = dependencies(b);
+    da.sort_unstable();
+    db.sort_unstable();
+    da == db
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::fixtures::figure_2;
+    use super::*;
+    use crate::ids::{Object, TxnId};
+    use crate::schedule::Schedule;
+    use crate::txnset::TxnSetBuilder;
+    
+    use std::sync::Arc;
+
+    #[test]
+    fn figure_2_named_dependencies() {
+        let s = figure_2();
+        let deps = dependencies(&s);
+        let has = |from: OpAddr, to: OpAddr, kind: DepKind| {
+            deps.contains(&Dependency { from, to, kind })
+        };
+        let w2t = OpAddr { txn: TxnId(2), idx: 1 };
+        let w4t = OpAddr { txn: TxnId(4), idx: 2 };
+        let w3v = OpAddr { txn: TxnId(3), idx: 1 };
+        let r4v = OpAddr { txn: TxnId(4), idx: 1 };
+        let r4t = OpAddr { txn: TxnId(4), idx: 0 };
+        // The three dependencies the paper names below Figure 2.
+        assert!(has(w2t, w4t, DepKind::Ww), "W2[t] → W4[t] ww");
+        assert!(has(w3v, r4v, DepKind::Wr), "W3[v] → R4[v] wr");
+        assert!(has(r4t, w2t, DepKind::RwAnti), "R4[t] → W2[t] rw");
+    }
+
+    #[test]
+    fn figure_2_antidependencies_from_initial_reads() {
+        let s = figure_2();
+        let deps = dependencies(&s);
+        let r1t = OpAddr { txn: TxnId(1), idx: 0 };
+        let w2t = OpAddr { txn: TxnId(2), idx: 1 };
+        let r2v = OpAddr { txn: TxnId(2), idx: 2 };
+        let w3v = OpAddr { txn: TxnId(3), idx: 1 };
+        // R1[t] read op0 which precedes W2[t] in the version order.
+        assert!(deps.contains(&Dependency { from: r1t, to: w2t, kind: DepKind::RwAnti }));
+        // R2[v] read op0 although T3 already installed a version of v.
+        assert!(deps.contains(&Dependency { from: r2v, to: w3v, kind: DepKind::RwAnti }));
+    }
+
+    #[test]
+    fn each_conflicting_pair_oriented_once() {
+        let s = figure_2();
+        let deps = dependencies(&s);
+        let mut pairs: Vec<(OpAddr, OpAddr)> = deps
+            .iter()
+            .map(|d| {
+                let (x, y) = (d.from.min(d.to), d.from.max(d.to));
+                (x, y)
+            })
+            .collect();
+        let n = pairs.len();
+        pairs.sort_unstable();
+        pairs.dedup();
+        assert_eq!(pairs.len(), n, "no conflicting pair is oriented twice");
+    }
+
+    #[test]
+    fn conflict_equivalence_of_serial_orders() {
+        let mut b = TxnSetBuilder::new();
+        let x = b.object("x");
+        b.txn(1).read(x).finish();
+        b.txn(2).write(x).finish();
+        let txns = Arc::new(b.build().unwrap());
+        let s12 =
+            Schedule::single_version_serial(Arc::clone(&txns), &[TxnId(1), TxnId(2)]).unwrap();
+        let s21 = Schedule::single_version_serial(txns, &[TxnId(2), TxnId(1)]).unwrap();
+        assert!(conflict_equivalent(&s12, &s12));
+        // Opposite orders orient the R-W pair differently.
+        assert!(!conflict_equivalent(&s12, &s21));
+    }
+
+    #[test]
+    fn equivalence_requires_same_txn_set() {
+        let mut b1 = TxnSetBuilder::new();
+        let x = b1.object("x");
+        b1.txn(1).read(x).finish();
+        let t1 = Arc::new(b1.build().unwrap());
+        let mut b2 = TxnSetBuilder::new();
+        let y = b2.object("x");
+        b2.txn(1).write(y).finish();
+        let t2 = Arc::new(b2.build().unwrap());
+        let s1 = Schedule::single_version_serial(t1, &[TxnId(1)]).unwrap();
+        let s2 = Schedule::single_version_serial(t2, &[TxnId(1)]).unwrap();
+        assert!(!conflict_equivalent(&s1, &s2));
+    }
+
+    #[test]
+    fn no_dependency_without_conflict() {
+        // Disjoint objects → no dependencies at all.
+        let mut b = TxnSetBuilder::new();
+        let x = b.object("x");
+        let y = b.object("y");
+        b.txn(1).write(x).finish();
+        b.txn(2).write(y).finish();
+        let txns = Arc::new(b.build().unwrap());
+        let s = Schedule::single_version_serial(txns, &[TxnId(1), TxnId(2)]).unwrap();
+        assert!(dependencies(&s).is_empty());
+    }
+
+    #[test]
+    fn figure_2_concurrency_matches_example_2_5() {
+        let s = figure_2();
+        assert!(s.concurrent(TxnId(1), TxnId(2)));
+        assert!(s.concurrent(TxnId(1), TxnId(4)));
+        assert!(!s.concurrent(TxnId(1), TxnId(3)));
+        assert!(s.concurrent(TxnId(2), TxnId(3)));
+        assert!(s.concurrent(TxnId(2), TxnId(4)));
+        assert!(s.concurrent(TxnId(3), TxnId(4)));
+        let _ = Object(0);
+    }
+}

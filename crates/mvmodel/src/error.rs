@@ -1,0 +1,121 @@
+//! Error types for model construction, schedule validation and parsing.
+
+use crate::ids::{Object, OpAddr, OpId, OpKind, TxnId};
+use std::fmt;
+
+/// Errors raised while building transactions or transaction sets.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ModelError {
+    /// A transaction performs more than one read or more than one write on
+    /// the same object (forbidden by the paper's §2.1 convention).
+    DuplicateOperation {
+        txn: TxnId,
+        kind: OpKind,
+        object: Object,
+    },
+    /// Two transactions in a set share an id.
+    DuplicateTxnId(TxnId),
+    /// A transaction has more operations than `OpAddr::idx` can address.
+    TooManyOperations(TxnId),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::DuplicateOperation { txn, kind, object } => write!(
+                f,
+                "{txn} performs more than one {} on object {object}",
+                match kind {
+                    OpKind::Read => "read",
+                    OpKind::Write => "write",
+                }
+            ),
+            ModelError::DuplicateTxnId(t) => write!(f, "duplicate transaction id {t}"),
+            ModelError::TooManyOperations(t) => {
+                write!(f, "{t} has more than {} operations", u16::MAX)
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+/// Errors raised while validating a multiversion schedule against the
+/// well-formedness requirements of Definition 2.2.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ScheduleError {
+    /// The operation order does not list every operation of every
+    /// transaction exactly once (or lists an unknown operation).
+    OrderMismatch(String),
+    /// Operations of a transaction appear out of program order.
+    ProgramOrderViolated { txn: TxnId, earlier: OpId, later: OpId },
+    /// The version order for an object does not list exactly the writes on
+    /// that object.
+    VersionOrderMismatch(Object),
+    /// A read has no version-function entry, or a non-read has one.
+    VersionFunctionDomain(OpAddr),
+    /// `v_s(a)` must precede `a` in the schedule.
+    VersionNotBeforeRead { read: OpAddr, version: OpId },
+    /// `v_s(a)` must be `op₀` or a write on the same object as `a`.
+    VersionWrongObject { read: OpAddr, version: OpId },
+    /// The requested serial order does not enumerate the transactions of
+    /// the set exactly once.
+    BadSerialOrder,
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::OrderMismatch(msg) => write!(f, "operation order mismatch: {msg}"),
+            ScheduleError::ProgramOrderViolated { txn, earlier, later } => write!(
+                f,
+                "operations of {txn} appear out of program order: {later} before {earlier}"
+            ),
+            ScheduleError::VersionOrderMismatch(o) => {
+                write!(f, "version order for object {o} does not match its writes")
+            }
+            ScheduleError::VersionFunctionDomain(a) => {
+                write!(f, "version function domain error at {a}")
+            }
+            ScheduleError::VersionNotBeforeRead { read, version } => {
+                write!(f, "version {version} read by {read} does not precede it")
+            }
+            ScheduleError::VersionWrongObject { read, version } => {
+                write!(f, "version {version} read by {read} is on a different object")
+            }
+            ScheduleError::BadSerialOrder => write!(
+                f,
+                "serial order must enumerate each transaction of the set exactly once"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+/// Errors raised by the workload text parser.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl ParseError {
+    pub fn new(line: usize, message: impl Into<String>) -> Self {
+        ParseError { line, message: message.into() }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            // Set-level errors (duplicate ids, duplicate operations) have
+            // no single offending line.
+            write!(f, "parse error: {}", self.message)
+        } else {
+            write!(f, "parse error at line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}

@@ -1,0 +1,73 @@
+//! Test fixtures shared across the crate's unit tests.
+
+use crate::ids::{OpAddr, OpId, TxnId};
+use crate::schedule::Schedule;
+use crate::txnset::TxnSetBuilder;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Builds the paper's Figure 2 schedule, reconstructed from every fact
+/// the paper states about it (§2.1, §2.2, Example 2.5):
+///
+/// ```text
+/// R2[t] W2[t] R4[t] R3[v] W3[v] C3 R1[t] R2[v] C2 R4[v] W4[t] C4 C1
+/// ```
+///
+/// with T1 = R[t]; T2 = R[t] W[t] R[v]; T3 = R[v] W[v];
+/// T4 = R[t] R[v] W[t]. Version functions: every read observes `op₀`
+/// except `R4[v] → W3[v]`. Version order: `t: W2[t] ≪ W4[t]`;
+/// `v: W3[v]`.
+///
+/// This order satisfies all of the paper's claims: the reads on `t` in
+/// T1 and T4 happen while T2's write is uncommitted; `C3 <_s R2[v]`;
+/// `W4[t]` follows `C2` (concurrent but not dirty); T1 is concurrent
+/// with T2 and T4 but not with T3 (so `first(T1)` follows `C3`); all
+/// other pairs are concurrent; and T1 → T2 → T3 forms a dangerous
+/// structure (`C3 <_s C1`, `C3 <_s C2`).
+pub(crate) fn figure_2() -> Schedule {
+    let mut b = TxnSetBuilder::new();
+    let t = b.object("t");
+    let v = b.object("v");
+    b.txn(1).read(t).finish();
+    b.txn(2).read(t).write(t).read(v).finish();
+    b.txn(3).read(v).write(v).finish();
+    b.txn(4).read(t).read(v).write(t).finish();
+    let txns = Arc::new(b.build().unwrap());
+
+    let r1t = OpAddr { txn: TxnId(1), idx: 0 };
+    let r2t = OpAddr { txn: TxnId(2), idx: 0 };
+    let w2t = OpAddr { txn: TxnId(2), idx: 1 };
+    let r2v = OpAddr { txn: TxnId(2), idx: 2 };
+    let r3v = OpAddr { txn: TxnId(3), idx: 0 };
+    let w3v = OpAddr { txn: TxnId(3), idx: 1 };
+    let r4t = OpAddr { txn: TxnId(4), idx: 0 };
+    let r4v = OpAddr { txn: TxnId(4), idx: 1 };
+    let w4t = OpAddr { txn: TxnId(4), idx: 2 };
+
+    let order = vec![
+        OpId::Op(r2t),
+        OpId::Op(w2t),
+        OpId::Op(r4t),
+        OpId::Op(r3v),
+        OpId::Op(w3v),
+        OpId::Commit(TxnId(3)),
+        OpId::Op(r1t),
+        OpId::Op(r2v),
+        OpId::Commit(TxnId(2)),
+        OpId::Op(r4v),
+        OpId::Op(w4t),
+        OpId::Commit(TxnId(4)),
+        OpId::Commit(TxnId(1)),
+    ];
+    let mut versions = HashMap::new();
+    versions.insert(t, vec![w2t, w4t]);
+    versions.insert(v, vec![w3v]);
+    let mut rf = HashMap::new();
+    rf.insert(r1t, OpId::Init);
+    rf.insert(r2t, OpId::Init);
+    rf.insert(r2v, OpId::Init);
+    rf.insert(r3v, OpId::Init);
+    rf.insert(r4t, OpId::Init);
+    rf.insert(r4v, OpId::Op(w3v));
+    Schedule::new(txns, order, versions, rf).unwrap()
+}

@@ -1,0 +1,167 @@
+//! Human-readable rendering of schedules and transactions in the paper's
+//! notation (`R1[x] W2[y] C1 …`).
+
+use crate::ids::OpId;
+use crate::schedule::Schedule;
+use crate::transaction::Transaction;
+use crate::txnset::TransactionSet;
+use std::fmt::Write as _;
+
+/// Renders a transaction as `T1: R[x] W[y] C`.
+pub fn transaction(txns: &TransactionSet, t: &Transaction) -> String {
+    let mut out = format!("{}:", t.id());
+    for op in t.ops() {
+        let _ = write!(out, " {}[{}]", op.kind.letter(), txns.object_name(op.object));
+    }
+    out.push_str(" C");
+    out
+}
+
+/// Renders a whole transaction set, one transaction per line.
+pub fn transaction_set(txns: &TransactionSet) -> String {
+    let mut out = String::new();
+    for t in txns.iter() {
+        out.push_str(&transaction(txns, t));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders the operation order of a schedule in the paper's inline
+/// notation, e.g. `R2[t] W2[t] C2 …`.
+pub fn schedule_order(s: &Schedule) -> String {
+    let txns = s.txns();
+    let mut parts = Vec::with_capacity(s.order().len());
+    for &op in s.order() {
+        match op {
+            OpId::Init => parts.push("op0".to_string()),
+            OpId::Op(a) => {
+                let o = txns.op_at(a);
+                parts.push(format!(
+                    "{}{}[{}]",
+                    o.kind.letter(),
+                    a.txn.0,
+                    txns.object_name(o.object)
+                ));
+            }
+            OpId::Commit(t) => parts.push(format!("C{}", t.0)),
+        }
+    }
+    parts.join(" ")
+}
+
+/// Renders a schedule including its version order and version function,
+/// suitable for diagnostics and the CLI's `witness` output.
+pub fn schedule_full(s: &Schedule) -> String {
+    let txns = s.txns();
+    let mut out = schedule_order(s);
+    out.push('\n');
+    for object in txns.objects() {
+        let writes = s.version_order(object);
+        if writes.is_empty() {
+            continue;
+        }
+        let _ = write!(out, "  <<_{}: op0", txns.object_name(object));
+        for w in writes {
+            let _ = write!(out, " << W{}[{}]", w.txn.0, txns.object_name(object));
+        }
+        out.push('\n');
+    }
+    for t in txns.iter() {
+        for (addr, object) in t.reads() {
+            let v = s.version_fn(addr);
+            let vs = match v {
+                OpId::Init => "op0".to_string(),
+                OpId::Op(w) => format!("W{}[{}]", w.txn.0, txns.object_name(object)),
+                OpId::Commit(_) => unreachable!("v_s never maps to a commit"),
+            };
+            let _ = writeln!(out, "  v(R{}[{}]) = {}", addr.txn.0, txns.object_name(object), vs);
+        }
+    }
+    out
+}
+
+/// Renders a schedule's serialization graph in Graphviz DOT format, with
+/// dependency kinds as edge labels (rw-antidependencies dashed, as is
+/// conventional in the SSI literature).
+pub fn serialization_graph_dot(s: &Schedule) -> String {
+    use crate::dependency::{dependencies, DepKind};
+    let txns = s.txns();
+    let mut out = String::from("digraph SeG {\n  rankdir=LR;\n  node [shape=circle];\n");
+    for t in txns.iter() {
+        let _ = writeln!(out, "  T{};", t.id().0);
+    }
+    // One edge per (from, to, kind) with merged operation labels.
+    let mut edges: std::collections::BTreeMap<(u32, u32, &str), Vec<String>> =
+        std::collections::BTreeMap::new();
+    for d in dependencies(s) {
+        let kind = match d.kind {
+            DepKind::Ww => "ww",
+            DepKind::Wr => "wr",
+            DepKind::RwAnti => "rw",
+        };
+        let from_op = s.txns().op_at(d.from);
+        let label = format!(
+            "{}[{}]",
+            from_op.kind.letter(),
+            txns.object_name(from_op.object)
+        );
+        edges.entry((d.from.txn.0, d.to.txn.0, kind)).or_default().push(label);
+    }
+    for ((from, to, kind), mut labels) in edges {
+        labels.sort();
+        labels.dedup();
+        let style = if kind == "rw" { ", style=dashed" } else { "" };
+        let _ = writeln!(
+            out,
+            "  T{from} -> T{to} [label=\"{kind}: {}\"{style}];",
+            labels.join(", ")
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::TxnId;
+    use crate::txnset::TxnSetBuilder;
+    use std::sync::Arc;
+
+    #[test]
+    fn renders_transactions() {
+        let mut b = TxnSetBuilder::new();
+        let x = b.object("x");
+        let y = b.object("y");
+        b.txn(1).read(x).write(y).finish();
+        let set = b.build().unwrap();
+        assert_eq!(transaction(&set, set.txn(TxnId(1))), "T1: R[x] W[y] C");
+        assert_eq!(transaction_set(&set), "T1: R[x] W[y] C\n");
+    }
+
+    #[test]
+    fn renders_dot_graph() {
+        let s = crate::fixtures::figure_2();
+        let dot = serialization_graph_dot(&s);
+        assert!(dot.starts_with("digraph SeG {"));
+        assert!(dot.contains("T1;"));
+        assert!(dot.contains("T2 -> T4"));
+        assert!(dot.contains("style=dashed"), "antidependencies dashed");
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn renders_schedule_order_and_versions() {
+        let mut b = TxnSetBuilder::new();
+        let x = b.object("x");
+        b.txn(1).read(x).finish();
+        b.txn(2).write(x).finish();
+        let txns = Arc::new(b.build().unwrap());
+        let s = Schedule::single_version_serial(txns, &[TxnId(2), TxnId(1)]).unwrap();
+        assert_eq!(schedule_order(&s), "W2[x] C2 R1[x] C1");
+        let full = schedule_full(&s);
+        assert!(full.contains("<<_x: op0 << W2[x]"));
+        assert!(full.contains("v(R1[x]) = W2[x]"));
+    }
+}

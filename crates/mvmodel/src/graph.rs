@@ -1,0 +1,352 @@
+//! Serialization graphs `SeG(s)` and the graph algorithms used throughout
+//! the crate family (cycle detection, topological sort, strongly connected
+//! components). No external graph library is used.
+
+use crate::dependency::{dependencies, DepKind};
+use crate::ids::{OpAddr, TxnId};
+use crate::schedule::Schedule;
+use std::collections::HashMap;
+
+/// A labelled edge of the serialization graph: the paper's quadruple
+/// `(T_i, b_i, a_j, T_j)` with `b_i →_s a_j`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct SegEdge {
+    pub from: TxnId,
+    pub b: OpAddr,
+    pub a: OpAddr,
+    pub to: TxnId,
+    pub kind: DepKind,
+}
+
+/// The serialization graph of a schedule: one node per transaction, an edge
+/// `T_i → T_j` whenever some operation of `T_j` depends on an operation of
+/// `T_i`, labelled with all witnessing operation pairs.
+#[derive(Clone, Debug)]
+pub struct SerializationGraph {
+    nodes: Vec<TxnId>,
+    node_index: HashMap<TxnId, usize>,
+    /// Adjacency by dense node index.
+    adj: Vec<Vec<usize>>,
+    edges: Vec<SegEdge>,
+}
+
+impl SerializationGraph {
+    /// Builds `SeG(s)` from a schedule's dependencies.
+    pub fn of(s: &Schedule) -> Self {
+        let nodes: Vec<TxnId> = s.txns().ids().collect();
+        let node_index: HashMap<TxnId, usize> =
+            nodes.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+        let mut adj = vec![Vec::new(); nodes.len()];
+        let mut edges = Vec::new();
+        for d in dependencies(s) {
+            let (fi, ti) = (node_index[&d.from.txn], node_index[&d.to.txn]);
+            if !adj[fi].contains(&ti) {
+                adj[fi].push(ti);
+            }
+            edges.push(SegEdge {
+                from: d.from.txn,
+                b: d.from,
+                a: d.to,
+                to: d.to.txn,
+                kind: d.kind,
+            });
+        }
+        for a in &mut adj {
+            a.sort_unstable();
+        }
+        SerializationGraph { nodes, node_index, adj, edges }
+    }
+
+    /// The transactions (nodes), ascending.
+    pub fn nodes(&self) -> &[TxnId] {
+        &self.nodes
+    }
+
+    /// All labelled edges (quadruples).
+    pub fn edges(&self) -> &[SegEdge] {
+        &self.edges
+    }
+
+    /// Whether there is any dependency edge from `from` to `to`.
+    pub fn has_edge(&self, from: TxnId, to: TxnId) -> bool {
+        match (self.node_index.get(&from), self.node_index.get(&to)) {
+            (Some(&f), Some(&t)) => self.adj[f].contains(&t),
+            _ => false,
+        }
+    }
+
+    /// The labels on the edge `from → to`.
+    pub fn edge_labels(&self, from: TxnId, to: TxnId) -> Vec<SegEdge> {
+        self.edges
+            .iter()
+            .filter(|e| e.from == from && e.to == to)
+            .copied()
+            .collect()
+    }
+
+    /// Whether the graph has no directed cycle (Theorem 2.2's criterion).
+    pub fn is_acyclic(&self) -> bool {
+        self.topological_order().is_some()
+    }
+
+    /// A topological order of the transactions, or `None` if cyclic.
+    ///
+    /// Kahn's algorithm; ties are broken by ascending transaction id so the
+    /// result is deterministic.
+    pub fn topological_order(&self) -> Option<Vec<TxnId>> {
+        let n = self.nodes.len();
+        let mut indeg = vec![0usize; n];
+        for u in 0..n {
+            for &v in &self.adj[u] {
+                indeg[v] += 1;
+            }
+        }
+        // Min-heap by node index (== ascending TxnId since nodes are sorted).
+        let mut ready: Vec<usize> = (0..n).filter(|&u| indeg[u] == 0).collect();
+        ready.sort_unstable_by(|a, b| b.cmp(a));
+        let mut out = Vec::with_capacity(n);
+        while let Some(u) = ready.pop() {
+            out.push(self.nodes[u]);
+            for &v in &self.adj[u] {
+                indeg[v] -= 1;
+                if indeg[v] == 0 {
+                    let ins = ready.partition_point(|&w| w > v);
+                    ready.insert(ins, v);
+                }
+            }
+        }
+        (out.len() == n).then_some(out)
+    }
+
+    /// Finds a simple directed cycle, returned as the sequence of
+    /// transactions along it (without repeating the first), or `None` when
+    /// acyclic.
+    pub fn find_cycle(&self) -> Option<Vec<TxnId>> {
+        let n = self.nodes.len();
+        // 0 = unvisited, 1 = on stack, 2 = done.
+        let mut state = vec![0u8; n];
+        let mut parent = vec![usize::MAX; n];
+        for start in 0..n {
+            if state[start] != 0 {
+                continue;
+            }
+            // Iterative DFS keeping an explicit stack of (node, next child).
+            let mut stack = vec![(start, 0usize)];
+            state[start] = 1;
+            while let Some(&mut (u, ref mut ci)) = stack.last_mut() {
+                if *ci < self.adj[u].len() {
+                    let v = self.adj[u][*ci];
+                    *ci += 1;
+                    match state[v] {
+                        0 => {
+                            state[v] = 1;
+                            parent[v] = u;
+                            stack.push((v, 0));
+                        }
+                        1 => {
+                            // Found a back edge u → v: walk parents from u
+                            // back to v.
+                            let mut cyc = vec![self.nodes[u]];
+                            let mut w = u;
+                            while w != v {
+                                w = parent[w];
+                                cyc.push(self.nodes[w]);
+                            }
+                            cyc.reverse();
+                            return Some(cyc);
+                        }
+                        _ => {}
+                    }
+                } else {
+                    state[u] = 2;
+                    stack.pop();
+                }
+            }
+        }
+        None
+    }
+
+    /// Strongly connected components (Tarjan), each sorted ascending;
+    /// components are returned in reverse topological order of the
+    /// condensation.
+    pub fn sccs(&self) -> Vec<Vec<TxnId>> {
+        let n = self.nodes.len();
+        let mut index = vec![usize::MAX; n];
+        let mut low = vec![0usize; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<usize> = Vec::new();
+        let mut next_index = 0usize;
+        let mut out: Vec<Vec<TxnId>> = Vec::new();
+
+        // Iterative Tarjan with explicit call frames.
+        enum Frame {
+            Enter(usize),
+            Resume(usize, usize),
+        }
+        for root in 0..n {
+            if index[root] != usize::MAX {
+                continue;
+            }
+            let mut frames = vec![Frame::Enter(root)];
+            while let Some(frame) = frames.pop() {
+                match frame {
+                    Frame::Enter(u) => {
+                        index[u] = next_index;
+                        low[u] = next_index;
+                        next_index += 1;
+                        stack.push(u);
+                        on_stack[u] = true;
+                        frames.push(Frame::Resume(u, 0));
+                    }
+                    Frame::Resume(u, ci) => {
+                        if ci < self.adj[u].len() {
+                            let v = self.adj[u][ci];
+                            frames.push(Frame::Resume(u, ci + 1));
+                            if index[v] == usize::MAX {
+                                frames.push(Frame::Enter(v));
+                            } else if on_stack[v] {
+                                low[u] = low[u].min(index[v]);
+                            }
+                        } else {
+                            if low[u] == index[u] {
+                                let mut comp = Vec::new();
+                                loop {
+                                    let w = stack.pop().expect("tarjan stack underflow");
+                                    on_stack[w] = false;
+                                    comp.push(self.nodes[w]);
+                                    if w == u {
+                                        break;
+                                    }
+                                }
+                                comp.sort_unstable();
+                                out.push(comp);
+                            }
+                            // Propagate lowlink to parent frame.
+                            if let Some(Frame::Resume(p, _)) = frames.last() {
+                                let p = *p;
+                                low[p] = low[p].min(low[u]);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::figure_2;
+    use crate::txnset::TxnSetBuilder;
+    use std::sync::Arc;
+
+    #[test]
+    fn figure_3_edge_set() {
+        // Figure 3 shows SeG(s) for Figure 2's schedule. Derive the expected
+        // transaction-level edges from the dependencies:
+        //   T2 → T4 (ww on t), T3 → T4 (wr on v), T4 → T2 (rw on t),
+        //   T1 → T2 (rw on t: R1[t] → W2[t]), T2 → T3 (rw on v: R2[v] → W3[v]),
+        //   T4 → T2?? (R4[t] → W2[t] rw).
+        let s = figure_2();
+        let g = SerializationGraph::of(&s);
+        assert!(g.has_edge(TxnId(2), TxnId(4)), "ww t");
+        assert!(g.has_edge(TxnId(3), TxnId(4)), "wr v");
+        assert!(g.has_edge(TxnId(4), TxnId(2)), "rw t");
+        assert!(g.has_edge(TxnId(1), TxnId(2)), "rw t from T1");
+        assert!(g.has_edge(TxnId(2), TxnId(3)), "rw v from T2");
+        // R1[t] also read op0, which precedes W4[t]: rw-antidependency.
+        assert!(g.has_edge(TxnId(1), TxnId(4)), "rw t from T1 to T4");
+        // And no reverse edges that shouldn't exist (T1 has no writes, and
+        // nothing depends on it).
+        assert!(!g.has_edge(TxnId(2), TxnId(1)));
+        assert!(!g.has_edge(TxnId(3), TxnId(2)));
+        assert!(!g.has_edge(TxnId(4), TxnId(3)));
+        assert!(!g.has_edge(TxnId(4), TxnId(1)));
+        assert!(!g.has_edge(TxnId(1), TxnId(3)));
+        assert!(!g.has_edge(TxnId(3), TxnId(1)));
+    }
+
+    #[test]
+    fn figure_2_is_not_serializable() {
+        let s = figure_2();
+        let g = SerializationGraph::of(&s);
+        assert!(!g.is_acyclic());
+        let cyc = g.find_cycle().expect("cycle expected");
+        assert!(cyc.len() >= 2);
+        // Every consecutive pair of the cycle is an edge, and it closes.
+        for w in cyc.windows(2) {
+            assert!(g.has_edge(w[0], w[1]));
+        }
+        assert!(g.has_edge(*cyc.last().unwrap(), cyc[0]));
+        assert_eq!(g.topological_order(), None);
+    }
+
+    #[test]
+    fn acyclic_graph_topological_order() {
+        let mut b = TxnSetBuilder::new();
+        let x = b.object("x");
+        let y = b.object("y");
+        b.txn(1).write(x).finish();
+        b.txn(2).read(x).write(y).finish();
+        b.txn(3).read(y).finish();
+        let txns = Arc::new(b.build().unwrap());
+        let s = crate::schedule::Schedule::single_version_serial(
+            txns,
+            &[TxnId(1), TxnId(2), TxnId(3)],
+        )
+        .unwrap();
+        let g = SerializationGraph::of(&s);
+        assert!(g.is_acyclic());
+        assert_eq!(g.topological_order().unwrap(), vec![TxnId(1), TxnId(2), TxnId(3)]);
+        assert_eq!(g.find_cycle(), None);
+        // Each node is its own SCC.
+        let sccs = g.sccs();
+        assert_eq!(sccs.len(), 3);
+        assert!(sccs.iter().all(|c| c.len() == 1));
+    }
+
+    #[test]
+    fn sccs_group_cycles() {
+        let s = figure_2();
+        let g = SerializationGraph::of(&s);
+        let sccs = g.sccs();
+        // T2 and T4 form a 2-cycle (ww/rw on t); T2—T3 also cycle via
+        // T2→T3→T4→T2? T3→T4 and T4→T2 and T2→T3: so {T2,T3,T4} is one SCC.
+        let big = sccs.iter().find(|c| c.len() > 1).expect("non-trivial SCC");
+        assert_eq!(big, &vec![TxnId(2), TxnId(3), TxnId(4)]);
+        // T1 is acyclic on its own.
+        assert!(sccs.contains(&vec![TxnId(1)]));
+    }
+
+    #[test]
+    fn edge_labels_expose_quadruples() {
+        let s = figure_2();
+        let g = SerializationGraph::of(&s);
+        let labels = g.edge_labels(TxnId(2), TxnId(4));
+        assert!(!labels.is_empty());
+        for e in labels {
+            assert_eq!(e.from, TxnId(2));
+            assert_eq!(e.to, TxnId(4));
+            assert_eq!(e.b.txn, TxnId(2));
+            assert_eq!(e.a.txn, TxnId(4));
+        }
+    }
+
+    #[test]
+    fn graph_of_independent_txns_is_empty() {
+        let mut b = TxnSetBuilder::new();
+        let x = b.object("x");
+        let y = b.object("y");
+        b.txn(1).write(x).finish();
+        b.txn(2).write(y).finish();
+        let txns = Arc::new(b.build().unwrap());
+        let s =
+            crate::schedule::Schedule::single_version_serial(txns, &[TxnId(1), TxnId(2)]).unwrap();
+        let g = SerializationGraph::of(&s);
+        assert!(g.edges().is_empty());
+        assert!(g.is_acyclic());
+        assert_eq!(g.nodes(), &[TxnId(1), TxnId(2)]);
+    }
+}

@@ -1,0 +1,172 @@
+//! Identifier newtypes for transactions, objects and operations.
+
+use std::fmt;
+
+/// Identifier of a transaction within a [`crate::TransactionSet`].
+///
+/// Ids need not be dense; the set keeps a separate dense index for
+/// algorithmic use ([`crate::TransactionSet::index_of`]).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct TxnId(pub u32);
+
+impl From<u32> for TxnId {
+    fn from(v: u32) -> Self {
+        TxnId(v)
+    }
+}
+
+impl fmt::Display for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// An abstract database object (the paper's `t ∈ Obj`).
+///
+/// Objects are interned integers; [`crate::TransactionSet`] optionally maps
+/// them back to human-readable names for display.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Object(pub u32);
+
+impl From<u32> for Object {
+    fn from(v: u32) -> Self {
+        Object(v)
+    }
+}
+
+impl fmt::Display for Object {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "o{}", self.0)
+    }
+}
+
+/// Whether an operation reads or writes its object.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum OpKind {
+    Read,
+    Write,
+}
+
+impl OpKind {
+    /// Single-letter operation tag used in schedule notation (`R`/`W`).
+    pub fn letter(self) -> char {
+        match self {
+            OpKind::Read => 'R',
+            OpKind::Write => 'W',
+        }
+    }
+}
+
+/// Address of a read or write operation: the owning transaction plus the
+/// operation's index in that transaction's operation sequence.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct OpAddr {
+    pub txn: TxnId,
+    pub idx: u16,
+}
+
+impl OpAddr {
+    pub fn new(txn: TxnId, idx: u16) -> Self {
+        OpAddr { txn, idx }
+    }
+}
+
+impl fmt::Display for OpAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.txn, self.idx)
+    }
+}
+
+/// Identity of any operation occurring in a schedule.
+///
+/// `Init` is the paper's special operation `op₀` that conceptually writes
+/// the initial version of every object and precedes every other operation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum OpId {
+    /// The virtual initial write `op₀`.
+    Init,
+    /// A read or write operation.
+    Op(OpAddr),
+    /// The commit operation of a transaction.
+    Commit(TxnId),
+}
+
+impl OpId {
+    /// Constructs the id of the `idx`-th operation of transaction `txn`.
+    pub fn op(txn: TxnId, idx: u16) -> Self {
+        OpId::Op(OpAddr::new(txn, idx))
+    }
+
+    /// The transaction owning this operation, if any (`None` for `op₀`).
+    pub fn txn(self) -> Option<TxnId> {
+        match self {
+            OpId::Init => None,
+            OpId::Op(a) => Some(a.txn),
+            OpId::Commit(t) => Some(t),
+        }
+    }
+
+    /// The operation address if this is a read/write operation.
+    pub fn addr(self) -> Option<OpAddr> {
+        match self {
+            OpId::Op(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    pub fn is_commit(self) -> bool {
+        matches!(self, OpId::Commit(_))
+    }
+
+    pub fn is_init(self) -> bool {
+        matches!(self, OpId::Init)
+    }
+}
+
+impl From<OpAddr> for OpId {
+    fn from(a: OpAddr) -> Self {
+        OpId::Op(a)
+    }
+}
+
+impl fmt::Display for OpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpId::Init => write!(f, "op0"),
+            OpId::Op(a) => write!(f, "{a}"),
+            OpId::Commit(t) => write!(f, "C{}", t.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(TxnId(3).to_string(), "T3");
+        assert_eq!(Object(7).to_string(), "o7");
+        assert_eq!(OpId::Init.to_string(), "op0");
+        assert_eq!(OpId::op(TxnId(1), 2).to_string(), "T1#2");
+        assert_eq!(OpId::Commit(TxnId(4)).to_string(), "C4");
+    }
+
+    #[test]
+    fn opid_accessors() {
+        let a = OpAddr::new(TxnId(1), 0);
+        assert_eq!(OpId::Op(a).txn(), Some(TxnId(1)));
+        assert_eq!(OpId::Op(a).addr(), Some(a));
+        assert_eq!(OpId::Init.txn(), None);
+        assert_eq!(OpId::Commit(TxnId(2)).txn(), Some(TxnId(2)));
+        assert!(OpId::Commit(TxnId(2)).is_commit());
+        assert!(OpId::Init.is_init());
+        assert_eq!(OpId::Commit(TxnId(2)).addr(), None);
+    }
+
+    #[test]
+    fn op_kind_letters() {
+        assert_eq!(OpKind::Read.letter(), 'R');
+        assert_eq!(OpKind::Write.letter(), 'W');
+    }
+}

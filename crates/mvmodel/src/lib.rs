@@ -1,0 +1,65 @@
+//! Formal model of transactions and multiversion schedules.
+//!
+//! This crate implements Section 2 of *Allocating Isolation Levels to
+//! Transactions in a Multiversion Setting* (Vandevoort, Ketsman & Neven,
+//! PODS 2023):
+//!
+//! - [`Transaction`]s are sequences of read/write operations over abstract
+//!   [`Object`]s followed by a commit, with at most one read and one write
+//!   per object (the paper's §2.1 convention).
+//! - A multiversion [`Schedule`] is a tuple `(O_s, ≤_s, ≪_s, v_s)`: an
+//!   operation order, a per-object *version order* over writes, and a
+//!   *version function* mapping every read to the write (or the initial
+//!   operation `op₀`) whose version it observes.
+//! - [`dependency`] derives the ww-dependencies, wr-dependencies and
+//!   rw-antidependencies of a schedule (§2.2), [`graph`] builds the
+//!   serialization graph `SeG(s)`, and [`serializability`] decides conflict
+//!   serializability (Theorem 2.2) and constructs equivalent single-version
+//!   serial schedules.
+//!
+//! The crate is self-contained: graph algorithms (cycle detection,
+//! topological sort, strongly connected components) are implemented in
+//! [`graph`] without external dependencies.
+//!
+//! # Example
+//!
+//! ```
+//! use mvmodel::{TxnSetBuilder, Schedule};
+//! use std::sync::Arc;
+//!
+//! let mut b = TxnSetBuilder::new();
+//! let x = b.object("x");
+//! let y = b.object("y");
+//! b.txn(1).read(x).write(y).finish();
+//! b.txn(2).write(x).finish();
+//! let txns = Arc::new(b.build().unwrap());
+//!
+//! // A serial execution: T1 entirely before T2.
+//! let s = Schedule::single_version_serial(txns, &[1.into(), 2.into()]).unwrap();
+//! assert!(mvmodel::serializability::is_conflict_serializable(&s));
+//! ```
+
+#[cfg(test)]
+pub(crate) mod fixtures;
+
+pub mod conflict;
+pub mod dependency;
+pub mod error;
+pub mod fmt;
+pub mod graph;
+pub mod ids;
+pub mod parser;
+pub mod schedule;
+pub mod serializability;
+pub mod transaction;
+pub mod txnset;
+
+pub use conflict::{conflict_kind, conflicts, ConflictKind};
+pub use dependency::{dependencies, DepKind, Dependency};
+pub use error::{ModelError, ParseError, ScheduleError};
+pub use graph::SerializationGraph;
+pub use ids::{Object, OpAddr, OpId, OpKind, TxnId};
+pub use parser::parse_transactions;
+pub use schedule::Schedule;
+pub use transaction::{Op, Transaction};
+pub use txnset::{TransactionSet, TxnBuilder, TxnSetBuilder};

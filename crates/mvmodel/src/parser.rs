@@ -1,0 +1,190 @@
+//! Text format for transaction workloads.
+//!
+//! One transaction per line:
+//!
+//! ```text
+//! # comment lines and blank lines are ignored
+//! T1: R[x] W[y]
+//! T2: W(x) R(z)     -- parentheses and brackets are interchangeable
+//! ```
+//!
+//! The trailing commit is implicit; a literal `C` at the end of a line is
+//! accepted and ignored. Object names are identifiers (`[A-Za-z0-9_.-]+`).
+
+use crate::error::ParseError;
+use crate::txnset::{TransactionSet, TxnSetBuilder};
+
+/// Parses a workload in the textual format described at module level.
+pub fn parse_transactions(input: &str) -> Result<TransactionSet, ParseError> {
+    let mut b = TxnSetBuilder::new();
+    let mut any_error: Option<ParseError> = None;
+    for (lineno, raw) in input.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (head, rest) = line
+            .split_once(':')
+            .ok_or_else(|| ParseError::new(lineno, "expected `T<id>: <ops>`"))?;
+        let id = parse_txn_id(head.trim(), lineno)?;
+        let ops = parse_ops(rest, lineno)?;
+        let mut tb = b.txn(id);
+        for (kind, name) in ops {
+            tb = match kind {
+                'R' => tb.read_named(&name),
+                _ => tb.write_named(&name),
+            };
+        }
+        tb.finish();
+        let _ = &mut any_error;
+    }
+    b.build().map_err(|e| ParseError::new(0, e.to_string()))
+}
+
+fn strip_comment(line: &str) -> &str {
+    let cut = line.find('#').map(|i| &line[..i]).unwrap_or(line);
+    cut.find("--").map(|i| &cut[..i]).unwrap_or(cut)
+}
+
+fn parse_txn_id(head: &str, lineno: usize) -> Result<u32, ParseError> {
+    let digits = head
+        .strip_prefix('T')
+        .or_else(|| head.strip_prefix('t'))
+        .unwrap_or(head);
+    digits
+        .parse::<u32>()
+        .map_err(|_| ParseError::new(lineno, format!("invalid transaction id `{head}`")))
+}
+
+fn parse_ops(rest: &str, lineno: usize) -> Result<Vec<(char, String)>, ParseError> {
+    let mut ops = Vec::new();
+    let mut chars = rest.chars().peekable();
+    loop {
+        // Skip separators.
+        while matches!(chars.peek(), Some(c) if c.is_whitespace() || *c == ',') {
+            chars.next();
+        }
+        let Some(&c) = chars.peek() else { break };
+        let kind = match c {
+            'R' | 'r' => 'R',
+            'W' | 'w' => 'W',
+            'C' | 'c' => {
+                // Trailing explicit commit: must be the last token.
+                chars.next();
+                while matches!(chars.peek(), Some(c) if c.is_whitespace()) {
+                    chars.next();
+                }
+                if chars.peek().is_some() {
+                    return Err(ParseError::new(lineno, "commit must be the last operation"));
+                }
+                break;
+            }
+            other => {
+                return Err(ParseError::new(lineno, format!("unexpected character `{other}`")))
+            }
+        };
+        chars.next();
+        let open = chars.next();
+        let close = match open {
+            Some('[') => ']',
+            Some('(') => ')',
+            _ => {
+                return Err(ParseError::new(
+                    lineno,
+                    format!("expected `[` or `(` after `{kind}`"),
+                ))
+            }
+        };
+        let mut name = String::new();
+        loop {
+            match chars.next() {
+                Some(c) if c == close => break,
+                Some(c) if c.is_alphanumeric() || "_.-:".contains(c) => name.push(c),
+                Some(c) => {
+                    return Err(ParseError::new(
+                        lineno,
+                        format!("invalid character `{c}` in object name"),
+                    ))
+                }
+                None => return Err(ParseError::new(lineno, "unterminated object name")),
+            }
+        }
+        if name.is_empty() {
+            return Err(ParseError::new(lineno, "empty object name"));
+        }
+        ops.push((kind, name));
+    }
+    Ok(ops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::TxnId;
+
+    #[test]
+    fn parses_basic_workload() {
+        let set = parse_transactions(
+            "# demo\n\
+             T1: R[x] W[y]\n\
+             \n\
+             T2: W(x) R(z) C\n",
+        )
+        .unwrap();
+        assert_eq!(set.len(), 2);
+        let t1 = set.txn(TxnId(1));
+        assert_eq!(t1.len(), 2);
+        assert_eq!(set.object_name(t1.op(0).object), "x");
+        assert_eq!(set.object_name(t1.op(1).object), "y");
+        let t2 = set.txn(TxnId(2));
+        assert_eq!(set.object_name(t2.op(1).object), "z");
+    }
+
+    #[test]
+    fn accepts_lowercase_and_commas() {
+        let set = parse_transactions("t3: r[a], w[b]").unwrap();
+        let t = set.txn(TxnId(3));
+        assert_eq!(t.ops()[0].kind.letter(), 'R');
+        assert_eq!(t.ops()[1].kind.letter(), 'W');
+    }
+
+    #[test]
+    fn accepts_bare_numeric_ids_and_comments() {
+        let set = parse_transactions("7: R[x] -- trailing comment").unwrap();
+        assert!(set.contains(TxnId(7)));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse_transactions("T1 R[x]").is_err());
+        assert!(parse_transactions("Tx: R[x]").is_err());
+        assert!(parse_transactions("T1: Q[x]").is_err());
+        assert!(parse_transactions("T1: R x").is_err());
+        assert!(parse_transactions("T1: R[]").is_err());
+        assert!(parse_transactions("T1: R[x").is_err());
+        assert!(parse_transactions("T1: C R[x]").is_err());
+        assert!(parse_transactions("T1: R[x!]").is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_operations_via_model_rules() {
+        let err = parse_transactions("T1: R[x] R[x]").unwrap_err();
+        assert!(err.message.contains("more than one read"));
+    }
+
+    #[test]
+    fn empty_transaction_allowed() {
+        let set = parse_transactions("T1: C").unwrap();
+        assert!(set.txn(TxnId(1)).is_empty());
+    }
+
+    #[test]
+    fn roundtrips_with_fmt() {
+        let text = "T1: R[x] W[y]\nT2: W[x] C\n";
+        let set = parse_transactions(text).unwrap();
+        let rendered = crate::fmt::transaction_set(&set);
+        let reparsed = parse_transactions(&rendered).unwrap();
+        assert_eq!(set, reparsed);
+    }
+}

@@ -1,0 +1,584 @@
+//! Multiversion schedules: `(O_s, ≤_s, ≪_s, v_s)` per Definition 2.2.
+
+use crate::error::ScheduleError;
+use crate::ids::{Object, OpAddr, OpId, TxnId};
+use crate::txnset::TransactionSet;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A multiversion schedule over a [`TransactionSet`].
+///
+/// The schedule stores:
+/// - the operation order `≤_s` (as [`Schedule::order`]; the virtual initial
+///   write `op₀` implicitly precedes everything),
+/// - the per-object version order `≪_s` over write operations (with `op₀`
+///   implicitly first for every object), and
+/// - the version function `v_s` mapping every read to the write whose
+///   version it observes (or `op₀`).
+///
+/// All well-formedness conditions of Definition 2.2 are validated at
+/// construction: every operation of every transaction appears exactly once,
+/// program order is respected, the version order per object is a total order
+/// over exactly that object's writes, and `v_s(a) <_s a` with `v_s(a)` on
+/// the same object as `a`.
+#[derive(Clone, Debug)]
+pub struct Schedule {
+    txns: Arc<TransactionSet>,
+    order: Vec<OpId>,
+    pos: HashMap<OpId, u32>,
+    /// `≪_s`: per object, its writes in version order (`op₀` implicit first).
+    versions: HashMap<Object, Vec<OpAddr>>,
+    /// Rank of each write in its object's version order (1-based; `op₀` has
+    /// rank 0).
+    vrank: HashMap<OpAddr, u32>,
+    /// `v_s`: read operation → observed write (or `op₀`).
+    reads_from: HashMap<OpAddr, OpId>,
+}
+
+impl Schedule {
+    /// Constructs and validates a schedule.
+    ///
+    /// `order` must list every read/write/commit of every transaction in
+    /// `txns` exactly once (excluding `op₀`). `versions` gives `≪_s` per
+    /// object; objects with no writes may be omitted. `reads_from` gives
+    /// `v_s` for every read.
+    pub fn new(
+        txns: Arc<TransactionSet>,
+        order: Vec<OpId>,
+        versions: HashMap<Object, Vec<OpAddr>>,
+        reads_from: HashMap<OpAddr, OpId>,
+    ) -> Result<Self, ScheduleError> {
+        let pos = Self::index_order(&txns, &order)?;
+        Self::check_program_order(&txns, &pos)?;
+        let vrank = Self::check_versions(&txns, &versions)?;
+        Self::check_reads_from(&txns, &pos, &reads_from)?;
+        Ok(Schedule { txns, order, pos, versions, vrank, reads_from })
+    }
+
+    fn index_order(
+        txns: &TransactionSet,
+        order: &[OpId],
+    ) -> Result<HashMap<OpId, u32>, ScheduleError> {
+        let expected: usize = txns.iter().map(|t| t.len() + 1).sum();
+        if order.len() != expected {
+            return Err(ScheduleError::OrderMismatch(format!(
+                "expected {expected} operations, got {}",
+                order.len()
+            )));
+        }
+        let mut pos = HashMap::with_capacity(order.len());
+        for (i, &op) in order.iter().enumerate() {
+            let valid = match op {
+                OpId::Init => false,
+                OpId::Op(a) => txns
+                    .get(a.txn)
+                    .is_some_and(|t| (a.idx as usize) < t.len()),
+                OpId::Commit(t) => txns.contains(t),
+            };
+            if !valid {
+                return Err(ScheduleError::OrderMismatch(format!("unknown operation {op}")));
+            }
+            if pos.insert(op, i as u32).is_some() {
+                return Err(ScheduleError::OrderMismatch(format!("operation {op} listed twice")));
+            }
+        }
+        Ok(pos)
+    }
+
+    fn check_program_order(
+        txns: &TransactionSet,
+        pos: &HashMap<OpId, u32>,
+    ) -> Result<(), ScheduleError> {
+        for t in txns.iter() {
+            let ids: Vec<OpId> = t.op_ids().collect();
+            for w in ids.windows(2) {
+                if pos[&w[0]] > pos[&w[1]] {
+                    return Err(ScheduleError::ProgramOrderViolated {
+                        txn: t.id(),
+                        earlier: w[0],
+                        later: w[1],
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn check_versions(
+        txns: &TransactionSet,
+        versions: &HashMap<Object, Vec<OpAddr>>,
+    ) -> Result<HashMap<OpAddr, u32>, ScheduleError> {
+        let mut vrank = HashMap::new();
+        for object in txns.objects() {
+            let mut writers = txns.writers_of(object);
+            let listed = versions.get(&object).cloned().unwrap_or_default();
+            if writers.is_empty() && listed.is_empty() {
+                continue;
+            }
+            let mut sorted = listed.clone();
+            sorted.sort_unstable();
+            writers.sort_unstable();
+            if sorted != writers {
+                return Err(ScheduleError::VersionOrderMismatch(object));
+            }
+            for (rank, addr) in listed.iter().enumerate() {
+                vrank.insert(*addr, rank as u32 + 1);
+            }
+        }
+        // Reject version orders over objects no transaction writes.
+        for (object, listed) in versions {
+            if !listed.is_empty() && txns.writers_of(*object).is_empty() {
+                return Err(ScheduleError::VersionOrderMismatch(*object));
+            }
+        }
+        Ok(vrank)
+    }
+
+    fn check_reads_from(
+        txns: &TransactionSet,
+        pos: &HashMap<OpId, u32>,
+        reads_from: &HashMap<OpAddr, OpId>,
+    ) -> Result<(), ScheduleError> {
+        let mut n_reads = 0usize;
+        for t in txns.iter() {
+            for (addr, object) in t.reads() {
+                n_reads += 1;
+                let v = *reads_from
+                    .get(&addr)
+                    .ok_or(ScheduleError::VersionFunctionDomain(addr))?;
+                match v {
+                    OpId::Init => {}
+                    OpId::Op(w) => {
+                        let wop = txns
+                            .get(w.txn)
+                            .filter(|t| (w.idx as usize) < t.len())
+                            .map(|t| t.op(w.idx))
+                            .ok_or(ScheduleError::VersionWrongObject { read: addr, version: v })?;
+                        if !wop.is_write() || wop.object != object {
+                            return Err(ScheduleError::VersionWrongObject {
+                                read: addr,
+                                version: v,
+                            });
+                        }
+                        if pos[&v] >= pos[&OpId::Op(addr)] {
+                            return Err(ScheduleError::VersionNotBeforeRead {
+                                read: addr,
+                                version: v,
+                            });
+                        }
+                    }
+                    OpId::Commit(_) => {
+                        return Err(ScheduleError::VersionWrongObject { read: addr, version: v })
+                    }
+                }
+            }
+        }
+        if reads_from.len() != n_reads {
+            // Entries for non-read operations.
+            let extra = reads_from
+                .keys()
+                .find(|a| {
+                    txns.get(a.txn)
+                        .is_none_or(|t| (a.idx as usize) >= t.len() || !t.op(a.idx).is_read())
+                })
+                .copied()
+                .unwrap_or(OpAddr::new(TxnId(u32::MAX), 0));
+            return Err(ScheduleError::VersionFunctionDomain(extra));
+        }
+        Ok(())
+    }
+
+    /// Builds the single-version serial schedule executing the transactions
+    /// of `txns` in the given order (Definition 2.1's target form).
+    ///
+    /// Version order follows the serial order, and each read observes the
+    /// most recent preceding write (or `op₀`).
+    pub fn single_version_serial(
+        txns: Arc<TransactionSet>,
+        serial: &[TxnId],
+    ) -> Result<Self, ScheduleError> {
+        let mut sorted: Vec<TxnId> = serial.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let mut all: Vec<TxnId> = txns.ids().collect();
+        all.sort_unstable();
+        if sorted != all || serial.len() != all.len() {
+            return Err(ScheduleError::BadSerialOrder);
+        }
+
+        let mut order = Vec::with_capacity(txns.total_ops() + txns.len());
+        let mut versions: HashMap<Object, Vec<OpAddr>> = HashMap::new();
+        let mut last_write: HashMap<Object, OpId> = HashMap::new();
+        let mut reads_from = HashMap::new();
+        for &tid in serial {
+            let t = txns.txn(tid);
+            for (i, op) in t.ops().iter().enumerate() {
+                let addr = OpAddr::new(tid, i as u16);
+                order.push(OpId::Op(addr));
+                if op.is_write() {
+                    versions.entry(op.object).or_default().push(addr);
+                    last_write.insert(op.object, OpId::Op(addr));
+                } else {
+                    reads_from
+                        .insert(addr, last_write.get(&op.object).copied().unwrap_or(OpId::Init));
+                }
+            }
+            order.push(OpId::Commit(tid));
+        }
+        Self::new(txns, order, versions, reads_from)
+    }
+
+    /// The underlying transaction set.
+    pub fn txns(&self) -> &TransactionSet {
+        &self.txns
+    }
+
+    /// Shared handle to the transaction set.
+    pub fn txns_arc(&self) -> Arc<TransactionSet> {
+        Arc::clone(&self.txns)
+    }
+
+    /// The operation order `≤_s` (excluding the implicit leading `op₀`).
+    pub fn order(&self) -> &[OpId] {
+        &self.order
+    }
+
+    /// Position of an operation in `≤_s`. `op₀` has position `u32::MAX` —
+    /// use [`Schedule::before`] for comparisons instead. Panics on unknown
+    /// operations.
+    pub fn pos(&self, op: OpId) -> u32 {
+        self.pos[&op]
+    }
+
+    /// `a <_s b`: strict operation order, with `op₀` before everything.
+    pub fn before(&self, a: OpId, b: OpId) -> bool {
+        match (a, b) {
+            (OpId::Init, OpId::Init) => false,
+            (OpId::Init, _) => true,
+            (_, OpId::Init) => false,
+            _ => self.pos[&a] < self.pos[&b],
+        }
+    }
+
+    /// The version order `≪_s` restricted to `object`: its writes, in
+    /// installation order (`op₀` implicitly first).
+    pub fn version_order(&self, object: Object) -> &[OpAddr] {
+        self.versions.get(&object).map_or(&[], |v| v.as_slice())
+    }
+
+    /// `a ≪_s b` for two write operations on the same object (either may be
+    /// `op₀`). Returns `false` when the operations are not both writes on a
+    /// common object.
+    pub fn vless(&self, a: OpId, b: OpId) -> bool {
+        let rank = |op: OpId| -> Option<u32> {
+            match op {
+                OpId::Init => Some(0),
+                OpId::Op(addr) => self.vrank.get(&addr).copied(),
+                OpId::Commit(_) => None,
+            }
+        };
+        match (rank(a), rank(b)) {
+            (Some(ra), Some(rb)) => {
+                if let (OpId::Op(wa), OpId::Op(wb)) = (a, b) {
+                    // Ranks are per-object; require a common object.
+                    if self.txns.op_at(wa).object != self.txns.op_at(wb).object {
+                        return false;
+                    }
+                }
+                match (a, b) {
+                    (OpId::Init, OpId::Init) => false,
+                    _ => ra < rb,
+                }
+            }
+            _ => false,
+        }
+    }
+
+    /// `v_s`: the write (or `op₀`) observed by a read operation. Panics if
+    /// `read` is not a read of the schedule.
+    pub fn version_fn(&self, read: OpAddr) -> OpId {
+        self.reads_from[&read]
+    }
+
+    /// Position of `first(T)` in the schedule.
+    pub fn first_pos(&self, txn: TxnId) -> u32 {
+        self.pos[&self.txns.txn(txn).first()]
+    }
+
+    /// Position of `C_T` in the schedule.
+    pub fn commit_pos(&self, txn: TxnId) -> u32 {
+        self.pos[&OpId::Commit(txn)]
+    }
+
+    /// Whether two transactions are concurrent: `first(T_i) <_s C_j` and
+    /// `first(T_j) <_s C_i` (§2.3).
+    pub fn concurrent(&self, ti: TxnId, tj: TxnId) -> bool {
+        ti != tj
+            && self.first_pos(ti) < self.commit_pos(tj)
+            && self.first_pos(tj) < self.commit_pos(ti)
+    }
+
+    /// Transactions ordered by commit position.
+    pub fn commit_order(&self) -> Vec<TxnId> {
+        let mut ids: Vec<TxnId> = self.txns.ids().collect();
+        ids.sort_by_key(|&t| self.commit_pos(t));
+        ids
+    }
+
+    /// Whether the schedule is single-version (§2.1): `≪_s` is compatible
+    /// with `≤_s` and every read observes the most recent preceding write.
+    pub fn is_single_version(&self) -> bool {
+        for writes in self.versions.values() {
+            for w in writes.windows(2) {
+                if !self.before(OpId::Op(w[0]), OpId::Op(w[1])) {
+                    return false;
+                }
+            }
+        }
+        for t in self.txns.iter() {
+            for (addr, object) in t.reads() {
+                let v = self.version_fn(addr);
+                // No write c on the same object with v <_s c <_s read.
+                for &w in self.version_order(object) {
+                    let wid = OpId::Op(w);
+                    if self.before(v, wid) && self.before(wid, OpId::Op(addr)) {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Whether transactions are not interleaved (§2.1's seriality).
+    pub fn is_serial(&self) -> bool {
+        let mut current: Option<TxnId> = None;
+        let mut finished: Vec<TxnId> = Vec::new();
+        for &op in &self.order {
+            let t = op.txn().expect("order contains no op0");
+            match current {
+                Some(c) if c == t => {}
+                _ => {
+                    if finished.contains(&t) {
+                        return false;
+                    }
+                    if let Some(c) = current {
+                        finished.push(c);
+                    }
+                    current = Some(t);
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::txnset::TxnSetBuilder;
+
+    fn two_txns() -> Arc<TransactionSet> {
+        let mut b = TxnSetBuilder::new();
+        let x = b.object("x");
+        let y = b.object("y");
+        b.txn(1).read(x).write(y).finish();
+        b.txn(2).write(x).finish();
+        Arc::new(b.build().unwrap())
+    }
+
+    #[test]
+    fn serial_schedule_roundtrip() {
+        let txns = two_txns();
+        let s = Schedule::single_version_serial(Arc::clone(&txns), &[TxnId(1), TxnId(2)]).unwrap();
+        assert!(s.is_serial());
+        assert!(s.is_single_version());
+        assert_eq!(s.order().len(), 5);
+        // T1's read of x precedes T2's write: reads op0.
+        assert_eq!(s.version_fn(OpAddr::new(TxnId(1), 0)), OpId::Init);
+        assert!(!s.concurrent(TxnId(1), TxnId(2)));
+        assert_eq!(s.commit_order(), vec![TxnId(1), TxnId(2)]);
+    }
+
+    #[test]
+    fn serial_schedule_sees_prior_writes() {
+        let txns = two_txns();
+        let s = Schedule::single_version_serial(Arc::clone(&txns), &[TxnId(2), TxnId(1)]).unwrap();
+        let w2 = OpAddr::new(TxnId(2), 0);
+        assert_eq!(s.version_fn(OpAddr::new(TxnId(1), 0)), OpId::Op(w2));
+        assert!(s.vless(OpId::Init, OpId::Op(w2)));
+        assert!(!s.vless(OpId::Op(w2), OpId::Init));
+    }
+
+    #[test]
+    fn bad_serial_order_rejected() {
+        let txns = two_txns();
+        assert_eq!(
+            Schedule::single_version_serial(Arc::clone(&txns), &[TxnId(1)]).unwrap_err(),
+            ScheduleError::BadSerialOrder
+        );
+        assert_eq!(
+            Schedule::single_version_serial(txns, &[TxnId(1), TxnId(1)]).unwrap_err(),
+            ScheduleError::BadSerialOrder
+        );
+    }
+
+    #[test]
+    fn interleaved_schedule_detected() {
+        let txns = two_txns();
+        // R1[x] W2[x] C2 W1[y] C1 — T2 interleaves with T1.
+        let r1 = OpId::op(TxnId(1), 0);
+        let w1 = OpId::op(TxnId(1), 1);
+        let w2 = OpId::op(TxnId(2), 0);
+        let order = vec![r1, w2, OpId::Commit(TxnId(2)), w1, OpId::Commit(TxnId(1))];
+        let mut versions = HashMap::new();
+        versions.insert(Object(0), vec![OpAddr::new(TxnId(2), 0)]);
+        versions.insert(Object(1), vec![OpAddr::new(TxnId(1), 1)]);
+        let mut reads_from = HashMap::new();
+        reads_from.insert(OpAddr::new(TxnId(1), 0), OpId::Init);
+        let s = Schedule::new(txns, order, versions, reads_from).unwrap();
+        assert!(!s.is_serial());
+        assert!(s.is_single_version());
+        assert!(s.concurrent(TxnId(1), TxnId(2)));
+        assert!(s.before(r1, w2));
+        assert!(s.before(OpId::Init, r1));
+        assert!(!s.before(r1, OpId::Init));
+    }
+
+    #[test]
+    fn multiversion_read_of_old_version() {
+        let txns = two_txns();
+        // W2[x] C2 R1[x] W1[y] C1 with R1[x] still reading op0 (an old
+        // version) — legal in a multiversion schedule.
+        let order = vec![
+            OpId::op(TxnId(2), 0),
+            OpId::Commit(TxnId(2)),
+            OpId::op(TxnId(1), 0),
+            OpId::op(TxnId(1), 1),
+            OpId::Commit(TxnId(1)),
+        ];
+        let mut versions = HashMap::new();
+        versions.insert(Object(0), vec![OpAddr::new(TxnId(2), 0)]);
+        versions.insert(Object(1), vec![OpAddr::new(TxnId(1), 1)]);
+        let mut reads_from = HashMap::new();
+        reads_from.insert(OpAddr::new(TxnId(1), 0), OpId::Init);
+        let s = Schedule::new(txns, order, versions, reads_from).unwrap();
+        assert!(!s.is_single_version());
+        assert!(s.is_serial());
+    }
+
+    #[test]
+    fn validation_rejects_missing_and_dup_ops() {
+        let txns = two_txns();
+        let err = Schedule::new(
+            Arc::clone(&txns),
+            vec![OpId::op(TxnId(1), 0)],
+            HashMap::new(),
+            HashMap::new(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ScheduleError::OrderMismatch(_)));
+
+        let order = vec![
+            OpId::op(TxnId(1), 0),
+            OpId::op(TxnId(1), 0),
+            OpId::op(TxnId(1), 1),
+            OpId::Commit(TxnId(1)),
+            OpId::op(TxnId(2), 0),
+        ];
+        let err =
+            Schedule::new(Arc::clone(&txns), order, HashMap::new(), HashMap::new()).unwrap_err();
+        assert!(matches!(err, ScheduleError::OrderMismatch(_)));
+    }
+
+    #[test]
+    fn validation_rejects_program_order_violation() {
+        let txns = two_txns();
+        let order = vec![
+            OpId::op(TxnId(1), 1),
+            OpId::op(TxnId(1), 0),
+            OpId::Commit(TxnId(1)),
+            OpId::op(TxnId(2), 0),
+            OpId::Commit(TxnId(2)),
+        ];
+        let mut versions = HashMap::new();
+        versions.insert(Object(0), vec![OpAddr::new(TxnId(2), 0)]);
+        versions.insert(Object(1), vec![OpAddr::new(TxnId(1), 1)]);
+        let err = Schedule::new(txns, order, versions, HashMap::new()).unwrap_err();
+        assert!(matches!(err, ScheduleError::ProgramOrderViolated { txn: TxnId(1), .. }));
+    }
+
+    #[test]
+    fn validation_rejects_bad_version_function() {
+        let txns = two_txns();
+        let order = vec![
+            OpId::op(TxnId(1), 0),
+            OpId::op(TxnId(1), 1),
+            OpId::Commit(TxnId(1)),
+            OpId::op(TxnId(2), 0),
+            OpId::Commit(TxnId(2)),
+        ];
+        let mut versions = HashMap::new();
+        versions.insert(Object(0), vec![OpAddr::new(TxnId(2), 0)]);
+        versions.insert(Object(1), vec![OpAddr::new(TxnId(1), 1)]);
+
+        // Missing entry for the read.
+        let err = Schedule::new(
+            Arc::clone(&txns),
+            order.clone(),
+            versions.clone(),
+            HashMap::new(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ScheduleError::VersionFunctionDomain(_)));
+
+        // Read of a version written later in the schedule.
+        let mut rf = HashMap::new();
+        rf.insert(OpAddr::new(TxnId(1), 0), OpId::op(TxnId(2), 0));
+        let err =
+            Schedule::new(Arc::clone(&txns), order.clone(), versions.clone(), rf).unwrap_err();
+        assert!(matches!(err, ScheduleError::VersionNotBeforeRead { .. }));
+
+        // Read observing a write on a different object.
+        let mut rf = HashMap::new();
+        rf.insert(OpAddr::new(TxnId(1), 0), OpId::op(TxnId(1), 1));
+        let err = Schedule::new(Arc::clone(&txns), order, versions, rf).unwrap_err();
+        assert!(matches!(err, ScheduleError::VersionWrongObject { .. }));
+    }
+
+    #[test]
+    fn validation_rejects_bad_version_order() {
+        let txns = two_txns();
+        let order = vec![
+            OpId::op(TxnId(1), 0),
+            OpId::op(TxnId(1), 1),
+            OpId::Commit(TxnId(1)),
+            OpId::op(TxnId(2), 0),
+            OpId::Commit(TxnId(2)),
+        ];
+        // Version order for x missing T2's write.
+        let mut versions = HashMap::new();
+        versions.insert(Object(1), vec![OpAddr::new(TxnId(1), 1)]);
+        let mut rf = HashMap::new();
+        rf.insert(OpAddr::new(TxnId(1), 0), OpId::Init);
+        let err = Schedule::new(txns, order, versions, rf).unwrap_err();
+        assert_eq!(err, ScheduleError::VersionOrderMismatch(Object(0)));
+    }
+
+    #[test]
+    fn vless_requires_same_object() {
+        let txns = two_txns();
+        let s = Schedule::single_version_serial(txns, &[TxnId(1), TxnId(2)]).unwrap();
+        // W1[y] and W2[x] are on different objects: incomparable.
+        let w1y = OpId::op(TxnId(1), 1);
+        let w2x = OpId::op(TxnId(2), 0);
+        assert!(!s.vless(w1y, w2x));
+        assert!(!s.vless(w2x, w1y));
+        // op0 ≪ every write.
+        assert!(s.vless(OpId::Init, w1y));
+        assert!(s.vless(OpId::Init, w2x));
+        assert!(!s.vless(OpId::Init, OpId::Init));
+        // Commits are never version-ordered.
+        assert!(!s.vless(OpId::Commit(TxnId(1)), w1y));
+    }
+}

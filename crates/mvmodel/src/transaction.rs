@@ -1,0 +1,242 @@
+//! Transactions: ordered sequences of read/write operations plus a commit.
+
+use crate::error::ModelError;
+use crate::ids::{Object, OpAddr, OpId, OpKind, TxnId};
+
+/// A single read or write operation (without its position).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Op {
+    pub kind: OpKind,
+    pub object: Object,
+}
+
+impl Op {
+    pub fn read(object: Object) -> Self {
+        Op { kind: OpKind::Read, object }
+    }
+
+    pub fn write(object: Object) -> Self {
+        Op { kind: OpKind::Write, object }
+    }
+
+    pub fn is_read(self) -> bool {
+        self.kind == OpKind::Read
+    }
+
+    pub fn is_write(self) -> bool {
+        self.kind == OpKind::Write
+    }
+}
+
+/// A transaction `(T, ≤_T)`: a sequence of read/write operations followed by
+/// an implicit commit.
+///
+/// Invariant (checked at construction): at most one read and at most one
+/// write per object, matching the paper's §2.1 convention. The commit is not
+/// stored explicitly; it is addressed as [`OpId::Commit`] and ordered after
+/// every operation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Transaction {
+    id: TxnId,
+    ops: Vec<Op>,
+}
+
+impl Transaction {
+    /// Builds a transaction, enforcing the one-read/one-write-per-object
+    /// invariant.
+    pub fn new(id: TxnId, ops: Vec<Op>) -> Result<Self, ModelError> {
+        if ops.len() > u16::MAX as usize {
+            return Err(ModelError::TooManyOperations(id));
+        }
+        for (i, op) in ops.iter().enumerate() {
+            if ops[..i].contains(op) {
+                return Err(ModelError::DuplicateOperation {
+                    txn: id,
+                    kind: op.kind,
+                    object: op.object,
+                });
+            }
+        }
+        Ok(Transaction { id, ops })
+    }
+
+    pub fn id(&self) -> TxnId {
+        self.id
+    }
+
+    /// The read/write operations in program order (commit excluded).
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// Number of read/write operations (commit excluded).
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The operation at the given index. Panics if out of range.
+    pub fn op(&self, idx: u16) -> Op {
+        self.ops[idx as usize]
+    }
+
+    /// The address of the `idx`-th operation.
+    pub fn addr(&self, idx: u16) -> OpAddr {
+        debug_assert!((idx as usize) < self.ops.len());
+        OpAddr::new(self.id, idx)
+    }
+
+    /// `first(T)`: the first operation of the transaction — the first
+    /// read/write, or the commit when the transaction is empty.
+    pub fn first(&self) -> OpId {
+        if self.ops.is_empty() {
+            OpId::Commit(self.id)
+        } else {
+            OpId::op(self.id, 0)
+        }
+    }
+
+    /// The commit operation id.
+    pub fn commit(&self) -> OpId {
+        OpId::Commit(self.id)
+    }
+
+    /// All operation ids in program order: reads/writes, then commit.
+    pub fn op_ids(&self) -> impl Iterator<Item = OpId> + '_ {
+        (0..self.ops.len() as u16)
+            .map(move |i| OpId::op(self.id, i))
+            .chain(std::iter::once(OpId::Commit(self.id)))
+    }
+
+    /// The index of this transaction's read on `object`, if any.
+    pub fn read_of(&self, object: Object) -> Option<u16> {
+        self.ops
+            .iter()
+            .position(|op| op.is_read() && op.object == object)
+            .map(|i| i as u16)
+    }
+
+    /// The index of this transaction's write on `object`, if any.
+    pub fn write_of(&self, object: Object) -> Option<u16> {
+        self.ops
+            .iter()
+            .position(|op| op.is_write() && op.object == object)
+            .map(|i| i as u16)
+    }
+
+    /// Addresses and objects of all read operations, in program order.
+    pub fn reads(&self) -> impl Iterator<Item = (OpAddr, Object)> + '_ {
+        self.ops.iter().enumerate().filter(|(_, op)| op.is_read()).map(|(i, op)| (OpAddr::new(self.id, i as u16), op.object))
+    }
+
+    /// Addresses and objects of all write operations, in program order.
+    pub fn writes(&self) -> impl Iterator<Item = (OpAddr, Object)> + '_ {
+        self.ops.iter().enumerate().filter(|(_, op)| op.is_write()).map(|(i, op)| (OpAddr::new(self.id, i as u16), op.object))
+    }
+
+    /// The set of objects the transaction touches, deduplicated, in first-use
+    /// order.
+    pub fn objects(&self) -> Vec<Object> {
+        let mut seen = Vec::new();
+        for op in &self.ops {
+            if !seen.contains(&op.object) {
+                seen.push(op.object);
+            }
+        }
+        seen
+    }
+
+    /// Whether operation `a` strictly precedes operation `b` in program
+    /// order (`a <_T b`). Commit follows every read/write.
+    pub fn before(&self, a: OpId, b: OpId) -> bool {
+        let rank = |op: OpId| -> Option<usize> {
+            match op {
+                OpId::Op(addr) if addr.txn == self.id => Some(addr.idx as usize),
+                OpId::Commit(t) if t == self.id => Some(self.ops.len()),
+                _ => None,
+            }
+        };
+        match (rank(a), rank(b)) {
+            (Some(ra), Some(rb)) => ra < rb,
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj(n: u32) -> Object {
+        Object(n)
+    }
+
+    #[test]
+    fn rejects_duplicate_reads_and_writes() {
+        let err = Transaction::new(TxnId(1), vec![Op::read(obj(0)), Op::read(obj(0))]);
+        assert_eq!(
+            err,
+            Err(ModelError::DuplicateOperation {
+                txn: TxnId(1),
+                kind: OpKind::Read,
+                object: obj(0)
+            })
+        );
+        assert!(Transaction::new(TxnId(1), vec![Op::write(obj(0)), Op::write(obj(0))]).is_err());
+    }
+
+    #[test]
+    fn allows_read_and_write_on_same_object() {
+        let t = Transaction::new(TxnId(1), vec![Op::read(obj(0)), Op::write(obj(0))]).unwrap();
+        assert_eq!(t.read_of(obj(0)), Some(0));
+        assert_eq!(t.write_of(obj(0)), Some(1));
+    }
+
+    #[test]
+    fn first_of_empty_txn_is_commit() {
+        let t = Transaction::new(TxnId(9), vec![]).unwrap();
+        assert_eq!(t.first(), OpId::Commit(TxnId(9)));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn op_ids_end_with_commit() {
+        let t = Transaction::new(TxnId(2), vec![Op::read(obj(0)), Op::write(obj(1))]).unwrap();
+        let ids: Vec<_> = t.op_ids().collect();
+        assert_eq!(
+            ids,
+            vec![OpId::op(TxnId(2), 0), OpId::op(TxnId(2), 1), OpId::Commit(TxnId(2))]
+        );
+        assert_eq!(t.first(), OpId::op(TxnId(2), 0));
+    }
+
+    #[test]
+    fn program_order() {
+        let t = Transaction::new(TxnId(1), vec![Op::read(obj(0)), Op::write(obj(1))]).unwrap();
+        let r = OpId::op(TxnId(1), 0);
+        let w = OpId::op(TxnId(1), 1);
+        let c = OpId::Commit(TxnId(1));
+        assert!(t.before(r, w));
+        assert!(t.before(w, c));
+        assert!(t.before(r, c));
+        assert!(!t.before(w, r));
+        assert!(!t.before(c, c));
+        // Operations of other transactions are unrelated.
+        assert!(!t.before(OpId::op(TxnId(2), 0), w));
+    }
+
+    #[test]
+    fn reads_writes_objects() {
+        let t = Transaction::new(
+            TxnId(1),
+            vec![Op::read(obj(0)), Op::write(obj(1)), Op::write(obj(0))],
+        )
+        .unwrap();
+        assert_eq!(t.reads().count(), 1);
+        assert_eq!(t.writes().count(), 2);
+        assert_eq!(t.objects(), vec![obj(0), obj(1)]);
+    }
+}

@@ -1,0 +1,332 @@
+//! Sets of transactions with interned, optionally named objects.
+
+use crate::error::ModelError;
+use crate::ids::{Object, OpAddr, TxnId};
+use crate::transaction::{Op, Transaction};
+use std::collections::HashMap;
+
+/// A finite set of transactions `𝒯`, the unit over which robustness and
+/// allocation are decided.
+///
+/// Transaction ids may be sparse; [`TransactionSet::index_of`] provides the
+/// dense index used by the algorithmic crates. Object names registered
+/// through [`TxnSetBuilder::object`] are retained for display.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct TransactionSet {
+    txns: Vec<Transaction>,
+    index: HashMap<TxnId, usize>,
+    object_names: Vec<String>,
+}
+
+impl TransactionSet {
+    /// Builds a set from transactions, rejecting duplicate ids. Transactions
+    /// are kept sorted by id.
+    pub fn new(mut txns: Vec<Transaction>) -> Result<Self, ModelError> {
+        txns.sort_by_key(|t| t.id());
+        let mut index = HashMap::with_capacity(txns.len());
+        for (i, t) in txns.iter().enumerate() {
+            if index.insert(t.id(), i).is_some() {
+                return Err(ModelError::DuplicateTxnId(t.id()));
+            }
+        }
+        Ok(TransactionSet { txns, index, object_names: Vec::new() })
+    }
+
+    /// As [`TransactionSet::new`], additionally recording display names for
+    /// objects `Object(0)..Object(names.len())`.
+    pub fn with_object_names(
+        txns: Vec<Transaction>,
+        names: Vec<String>,
+    ) -> Result<Self, ModelError> {
+        let mut set = Self::new(txns)?;
+        set.object_names = names;
+        Ok(set)
+    }
+
+    /// Number of transactions (`|𝒯|`).
+    pub fn len(&self) -> usize {
+        self.txns.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.txns.is_empty()
+    }
+
+    /// Transactions in ascending id order.
+    pub fn iter(&self) -> impl Iterator<Item = &Transaction> {
+        self.txns.iter()
+    }
+
+    /// Transaction ids in ascending order.
+    pub fn ids(&self) -> impl Iterator<Item = TxnId> + '_ {
+        self.txns.iter().map(|t| t.id())
+    }
+
+    pub fn contains(&self, id: TxnId) -> bool {
+        self.index.contains_key(&id)
+    }
+
+    pub fn get(&self, id: TxnId) -> Option<&Transaction> {
+        self.index.get(&id).map(|&i| &self.txns[i])
+    }
+
+    /// The transaction with the given id. Panics if absent.
+    pub fn txn(&self, id: TxnId) -> &Transaction {
+        self.get(id)
+            .unwrap_or_else(|| panic!("transaction {id} not in set"))
+    }
+
+    /// Dense index of a transaction id (stable across the set's lifetime).
+    pub fn index_of(&self, id: TxnId) -> usize {
+        self.index[&id]
+    }
+
+    /// Transaction at a dense index.
+    pub fn by_index(&self, idx: usize) -> &Transaction {
+        &self.txns[idx]
+    }
+
+    /// The operation at an address. Panics if the address is invalid.
+    pub fn op_at(&self, addr: OpAddr) -> Op {
+        self.txn(addr.txn).op(addr.idx)
+    }
+
+    /// All objects touched by any transaction, ascending.
+    pub fn objects(&self) -> Vec<Object> {
+        let mut objs: Vec<Object> = self
+            .txns
+            .iter()
+            .flat_map(|t| t.ops().iter().map(|op| op.object))
+            .collect();
+        objs.sort_unstable();
+        objs.dedup();
+        objs
+    }
+
+    /// Total number of read/write operations over all transactions (the
+    /// paper's `k`).
+    pub fn total_ops(&self) -> usize {
+        self.txns.iter().map(|t| t.len()).sum()
+    }
+
+    /// Maximum number of operations in a single transaction (the paper's
+    /// `ℓ`).
+    pub fn max_ops(&self) -> usize {
+        self.txns.iter().map(|t| t.len()).max().unwrap_or(0)
+    }
+
+    /// Addresses of all writes on `object`, grouped per transaction
+    /// (ascending transaction id).
+    pub fn writers_of(&self, object: Object) -> Vec<OpAddr> {
+        self.txns
+            .iter()
+            .filter_map(|t| t.write_of(object).map(|i| OpAddr::new(t.id(), i)))
+            .collect()
+    }
+
+    /// Addresses of all reads on `object` (ascending transaction id).
+    pub fn readers_of(&self, object: Object) -> Vec<OpAddr> {
+        self.txns
+            .iter()
+            .filter_map(|t| t.read_of(object).map(|i| OpAddr::new(t.id(), i)))
+            .collect()
+    }
+
+    /// Display name of an object: the registered name, or `o<n>`.
+    pub fn object_name(&self, object: Object) -> String {
+        self.object_names
+            .get(object.0 as usize)
+            .cloned()
+            .unwrap_or_else(|| object.to_string())
+    }
+
+    /// The registered object names (index = object id).
+    pub fn object_names(&self) -> &[String] {
+        &self.object_names
+    }
+
+    /// Looks up an object id by registered name.
+    pub fn object_by_name(&self, name: &str) -> Option<Object> {
+        self.object_names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| Object(i as u32))
+    }
+}
+
+/// Fluent builder for [`TransactionSet`]s with object-name interning.
+///
+/// ```
+/// use mvmodel::TxnSetBuilder;
+///
+/// let mut b = TxnSetBuilder::new();
+/// let x = b.object("x");
+/// b.txn(1).read(x).write(x).finish();
+/// let set = b.build().unwrap();
+/// assert_eq!(set.len(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct TxnSetBuilder {
+    txns: Vec<Transaction>,
+    names: Vec<String>,
+    name_index: HashMap<String, Object>,
+    error: Option<ModelError>,
+}
+
+impl TxnSetBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns an object name, returning a stable [`Object`] id.
+    pub fn object(&mut self, name: &str) -> Object {
+        if let Some(&o) = self.name_index.get(name) {
+            return o;
+        }
+        let o = Object(self.names.len() as u32);
+        self.names.push(name.to_string());
+        self.name_index.insert(name.to_string(), o);
+        o
+    }
+
+    /// Starts a transaction with the given id; finish it with
+    /// [`TxnBuilder::finish`].
+    pub fn txn(&mut self, id: impl Into<TxnId>) -> TxnBuilder<'_> {
+        TxnBuilder { set: self, id: id.into(), ops: Vec::new() }
+    }
+
+    /// Adds a pre-built transaction.
+    pub fn push(&mut self, txn: Transaction) -> &mut Self {
+        self.txns.push(txn);
+        self
+    }
+
+    /// Finalizes the set. Errors from any intermediate step are reported
+    /// here.
+    pub fn build(self) -> Result<TransactionSet, ModelError> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        TransactionSet::with_object_names(self.txns, self.names)
+    }
+}
+
+/// Builder for a single transaction inside a [`TxnSetBuilder`].
+#[derive(Debug)]
+pub struct TxnBuilder<'a> {
+    set: &'a mut TxnSetBuilder,
+    id: TxnId,
+    ops: Vec<Op>,
+}
+
+impl TxnBuilder<'_> {
+    pub fn read(mut self, object: Object) -> Self {
+        self.ops.push(Op::read(object));
+        self
+    }
+
+    pub fn write(mut self, object: Object) -> Self {
+        self.ops.push(Op::write(object));
+        self
+    }
+
+    /// Convenience: read an object by (interned) name.
+    pub fn read_named(mut self, name: &str) -> Self {
+        let o = self.set.object(name);
+        self.ops.push(Op::read(o));
+        self
+    }
+
+    /// Convenience: write an object by (interned) name.
+    pub fn write_named(mut self, name: &str) -> Self {
+        let o = self.set.object(name);
+        self.ops.push(Op::write(o));
+        self
+    }
+
+    /// Completes the transaction and returns to the set builder.
+    pub fn finish(self) {
+        match Transaction::new(self.id, self.ops) {
+            Ok(t) => self.set.txns.push(t),
+            Err(e) => {
+                if self.set.error.is_none() {
+                    self.set.error = Some(e);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::OpKind;
+
+    #[test]
+    fn builder_interns_objects() {
+        let mut b = TxnSetBuilder::new();
+        let x = b.object("x");
+        let x2 = b.object("x");
+        let y = b.object("y");
+        assert_eq!(x, x2);
+        assert_ne!(x, y);
+        b.txn(1).read(x).write(y).finish();
+        let set = b.build().unwrap();
+        assert_eq!(set.object_name(x), "x");
+        assert_eq!(set.object_by_name("y"), Some(y));
+        assert_eq!(set.object_by_name("z"), None);
+    }
+
+    #[test]
+    fn duplicate_ids_rejected() {
+        let mut b = TxnSetBuilder::new();
+        let x = b.object("x");
+        b.txn(1).read(x).finish();
+        b.txn(1).write(x).finish();
+        assert_eq!(b.build().unwrap_err(), ModelError::DuplicateTxnId(TxnId(1)));
+    }
+
+    #[test]
+    fn builder_propagates_txn_errors() {
+        let mut b = TxnSetBuilder::new();
+        let x = b.object("x");
+        b.txn(1).read(x).read(x).finish();
+        assert!(matches!(
+            b.build().unwrap_err(),
+            ModelError::DuplicateOperation { kind: OpKind::Read, .. }
+        ));
+    }
+
+    #[test]
+    fn set_statistics() {
+        let mut b = TxnSetBuilder::new();
+        let x = b.object("x");
+        let y = b.object("y");
+        b.txn(2).read(x).write(x).write(y).finish();
+        b.txn(1).read(y).finish();
+        let set = b.build().unwrap();
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.total_ops(), 4);
+        assert_eq!(set.max_ops(), 3);
+        // Sorted by id regardless of insertion order.
+        let ids: Vec<_> = set.ids().collect();
+        assert_eq!(ids, vec![TxnId(1), TxnId(2)]);
+        assert_eq!(set.index_of(TxnId(1)), 0);
+        assert_eq!(set.by_index(1).id(), TxnId(2));
+        assert_eq!(set.objects(), vec![x, y]);
+        assert_eq!(set.writers_of(x).len(), 1);
+        assert_eq!(set.readers_of(y).len(), 1);
+        assert_eq!(set.readers_of(x), vec![OpAddr::new(TxnId(2), 0)]);
+    }
+
+    #[test]
+    fn named_ops_via_txn_builder() {
+        let mut b = TxnSetBuilder::new();
+        b.txn(1).read_named("a").write_named("b").finish();
+        let set = b.build().unwrap();
+        let t = set.txn(TxnId(1));
+        assert_eq!(t.len(), 2);
+        assert_eq!(set.object_name(t.op(0).object), "a");
+        assert_eq!(set.object_name(t.op(1).object), "b");
+    }
+}

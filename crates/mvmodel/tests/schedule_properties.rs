@@ -1,0 +1,230 @@
+//! Property-based tests of the schedule model's structural invariants.
+
+use mvmodel::dependency::{conflict_equivalent, dependencies};
+use mvmodel::serializability::{equivalent_serial_schedule, is_conflict_serializable};
+use mvmodel::{
+    conflict, Object, Op, OpAddr, OpId, Schedule, SerializationGraph, Transaction,
+    TransactionSet, TxnId,
+};
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Strategy: a well-formed transaction set.
+fn txn_sets() -> impl Strategy<Value = Arc<TransactionSet>> {
+    prop::collection::vec(
+        prop::collection::vec((0u32..4, prop::bool::ANY), 1..=4),
+        1..=5,
+    )
+    .prop_map(|specs| {
+        let mut txns = Vec::new();
+        for (i, spec) in specs.into_iter().enumerate() {
+            let mut ops: Vec<Op> = Vec::new();
+            for (obj, write) in spec {
+                let op =
+                    if write { Op::write(Object(obj)) } else { Op::read(Object(obj)) };
+                if !ops.contains(&op) {
+                    ops.push(op);
+                }
+            }
+            txns.push(Transaction::new(TxnId(i as u32 + 1), ops).expect("deduped"));
+        }
+        Arc::new(TransactionSet::new(txns).expect("unique ids"))
+    })
+}
+
+/// Strategy: a random *valid* multiversion schedule over a set — random
+/// interleaving, random (consistent) version order, and a version
+/// function drawn from the versions positioned before each read.
+fn schedules() -> impl Strategy<Value = Schedule> {
+    (txn_sets(), any::<u64>()).prop_map(|(txns, seed)| {
+        let mut rng = seed;
+        let mut next = move || {
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (rng >> 33) as usize
+        };
+        // Random interleaving preserving program order.
+        let mut cursors: Vec<(TxnId, usize, usize)> =
+            txns.iter().map(|t| (t.id(), 0usize, t.len() + 1)).collect();
+        let mut order: Vec<OpId> = Vec::new();
+        while !cursors.is_empty() {
+            let k = next() % cursors.len();
+            let (tid, ref mut pos, len) = cursors[k];
+            let t = txns.txn(tid);
+            order.push(if *pos < t.len() {
+                OpId::op(tid, *pos as u16)
+            } else {
+                OpId::Commit(tid)
+            });
+            *pos += 1;
+            if *pos >= len {
+                cursors.remove(k);
+            }
+        }
+        let pos: HashMap<OpId, usize> =
+            order.iter().enumerate().map(|(i, &o)| (o, i)).collect();
+        // Random version order per object (random shuffle of writers).
+        let mut versions: HashMap<Object, Vec<OpAddr>> = HashMap::new();
+        for object in txns.objects() {
+            let mut writers = txns.writers_of(object);
+            for i in (1..writers.len()).rev() {
+                writers.swap(i, next() % (i + 1));
+            }
+            if !writers.is_empty() {
+                versions.insert(object, writers);
+            }
+        }
+        // Version function: any write positioned before the read, or op0.
+        let mut reads_from: HashMap<OpAddr, OpId> = HashMap::new();
+        for t in txns.iter() {
+            for (addr, object) in t.reads() {
+                let candidates: Vec<OpId> = txns
+                    .writers_of(object)
+                    .into_iter()
+                    .map(OpId::Op)
+                    .filter(|w| pos[w] < pos[&OpId::Op(addr)])
+                    .collect();
+                let v = if candidates.is_empty() || next() % 3 == 0 {
+                    OpId::Init
+                } else {
+                    candidates[next() % candidates.len()]
+                };
+                reads_from.insert(addr, v);
+            }
+        }
+        Schedule::new(txns, order, versions, reads_from).expect("constructed to be valid")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every conflicting operation pair is oriented by exactly one
+    /// dependency, and non-conflicting pairs by none.
+    #[test]
+    fn dependency_totality(s in schedules()) {
+        let txns = s.txns();
+        let deps = dependencies(&s);
+        let mut oriented: HashMap<(OpAddr, OpAddr), usize> = HashMap::new();
+        for d in &deps {
+            let key = (d.from.min(d.to), d.from.max(d.to));
+            *oriented.entry(key).or_default() += 1;
+            prop_assert!(conflict::conflicts(txns, d.from, d.to));
+        }
+        // Count all conflicting pairs.
+        let ids: Vec<TxnId> = txns.ids().collect();
+        let mut expected = 0usize;
+        for (i, &a) in ids.iter().enumerate() {
+            for &b in &ids[i + 1..] {
+                expected += conflict::conflicting_pairs(txns, a, b).len();
+            }
+        }
+        prop_assert_eq!(deps.len(), expected, "every conflicting pair oriented once");
+        prop_assert!(oriented.values().all(|&c| c == 1));
+    }
+
+    /// Theorem 2.2 both ways on random schedules: acyclic ⟹ the
+    /// constructed serial schedule is conflict-equivalent; cyclic ⟹ no
+    /// equivalent serial order exists (checked by exhaustion for ≤ 5
+    /// transactions).
+    #[test]
+    fn theorem_2_2_on_random_schedules(s in schedules()) {
+        let g = SerializationGraph::of(&s);
+        if g.is_acyclic() {
+            let serial = equivalent_serial_schedule(&s).expect("acyclic ⟹ witness");
+            prop_assert!(conflict_equivalent(&s, &serial));
+            prop_assert!(serial.is_serial());
+            prop_assert!(serial.is_single_version());
+        } else {
+            prop_assert!(!is_conflict_serializable(&s));
+            // Exhaustive cross-check: no serial order is equivalent.
+            let ids: Vec<TxnId> = s.txns().ids().collect();
+            let mut perms = vec![ids.clone()];
+            // Heap's algorithm, iterative.
+            let mut c = vec![0usize; ids.len()];
+            let mut arr = ids.clone();
+            let mut i = 0;
+            while i < arr.len() {
+                if c[i] < i {
+                    if i % 2 == 0 { arr.swap(0, i) } else { arr.swap(c[i], i) }
+                    perms.push(arr.clone());
+                    c[i] += 1;
+                    i = 0;
+                } else {
+                    c[i] = 0;
+                    i += 1;
+                }
+            }
+            for perm in perms {
+                let serial =
+                    Schedule::single_version_serial(s.txns_arc(), &perm).expect("valid perm");
+                prop_assert!(!conflict_equivalent(&s, &serial));
+            }
+        }
+    }
+
+    /// The cycle reported by `find_cycle` is a real cycle, and SCCs
+    /// partition the nodes consistently with it.
+    #[test]
+    fn cycles_and_sccs_consistent(s in schedules()) {
+        let g = SerializationGraph::of(&s);
+        let sccs = g.sccs();
+        let mut all: Vec<TxnId> = sccs.iter().flatten().copied().collect();
+        all.sort_unstable();
+        let mut nodes: Vec<TxnId> = g.nodes().to_vec();
+        nodes.sort_unstable();
+        prop_assert_eq!(all, nodes, "SCCs partition the nodes");
+        match g.find_cycle() {
+            Some(cycle) => {
+                for w in cycle.windows(2) {
+                    prop_assert!(g.has_edge(w[0], w[1]));
+                }
+                prop_assert!(g.has_edge(*cycle.last().unwrap(), cycle[0]));
+                // All cycle members share one SCC.
+                let home = sccs.iter().find(|c| c.contains(&cycle[0])).unwrap();
+                prop_assert!(cycle.iter().all(|t| home.contains(t)));
+                prop_assert!(!g.is_acyclic());
+            }
+            None => {
+                prop_assert!(g.is_acyclic());
+                prop_assert!(sccs.iter().all(|c| c.len() == 1));
+            }
+        }
+    }
+
+    /// Concurrency is symmetric and consistent with first/commit
+    /// positions.
+    #[test]
+    fn concurrency_symmetric(s in schedules()) {
+        let ids: Vec<TxnId> = s.txns().ids().collect();
+        for &a in &ids {
+            prop_assert!(!s.concurrent(a, a));
+            for &b in &ids {
+                prop_assert_eq!(s.concurrent(a, b), s.concurrent(b, a));
+                if s.concurrent(a, b) {
+                    prop_assert!(s.first_pos(a) < s.commit_pos(b));
+                    prop_assert!(s.first_pos(b) < s.commit_pos(a));
+                }
+            }
+        }
+    }
+
+    /// Schedule rendering round-trips through the dependency set: the
+    /// rendered order re-parsed as positions matches `pos`.
+    #[test]
+    fn order_rendering_is_faithful(s in schedules()) {
+        let rendered = mvmodel::fmt::schedule_order(&s);
+        let tokens: Vec<&str> = rendered.split(' ').collect();
+        prop_assert_eq!(tokens.len(), s.order().len());
+        for (i, &op) in s.order().iter().enumerate() {
+            match op {
+                OpId::Commit(t) => prop_assert_eq!(tokens[i], format!("C{}", t.0)),
+                OpId::Op(a) => {
+                    let k = s.txns().op_at(a).kind.letter();
+                    prop_assert!(tokens[i].starts_with(k));
+                }
+                OpId::Init => unreachable!(),
+            }
+        }
+    }
+}

@@ -1,0 +1,338 @@
+//! Algorithm 1: deciding robustness against a (mixed) allocation.
+//!
+//! The procedure searches for a multiversion split schedule
+//! (Definition 3.1). By Theorem 3.2 one exists iff the workload is not
+//! robust; by Theorem 3.3 the search runs in time
+//! `O(|𝒯|³ · max{|𝒯|³, k²ℓ², ℓ⁶})`.
+//!
+//! Rather than enumerating quadruple sequences (exponentially many), the
+//! algorithm iterates over triples `(T₁, T₂, T_m)`, answers the chain
+//! existence query with the `mixed-iso-graph` reachability structure
+//! ([`crate::conflict_index::IsoReach`]), and then searches operations
+//! `b₁, a₁ ∈ T₁`, `a₂ ∈ T₂`, `b_m ∈ T_m` satisfying conditions (2)–(8).
+
+use crate::conflict_index::{some_conflicting_pair, ConflictIndex, IsoReach};
+use crate::split_schedule::SplitSpec;
+use mvisolation::{Allocation, IsolationLevel};
+use mvmodel::{OpAddr, TransactionSet, TxnId};
+
+/// The outcome of a robustness check.
+#[derive(Clone, Debug)]
+pub struct RobustnessReport {
+    counterexample: Option<SplitSpec>,
+}
+
+impl RobustnessReport {
+    /// Whether the workload is robust against the allocation.
+    pub fn robust(&self) -> bool {
+        self.counterexample.is_none()
+    }
+
+    /// The split-schedule specification witnessing non-robustness, if any.
+    pub fn counterexample(&self) -> Option<&SplitSpec> {
+        self.counterexample.as_ref()
+    }
+
+    /// Consumes the report, yielding the counterexample.
+    pub fn into_counterexample(self) -> Option<SplitSpec> {
+        self.counterexample
+    }
+}
+
+/// Decides whether `txns` is robust against `alloc` (Definition 2.7),
+/// returning a counterexample specification when it is not.
+///
+/// Panics when `alloc` does not cover every transaction.
+pub fn is_robust(txns: &TransactionSet, alloc: &Allocation) -> RobustnessReport {
+    RobustnessChecker::new(txns).is_robust(alloc)
+}
+
+/// The search underlying [`is_robust`]: finds a valid [`SplitSpec`] or
+/// proves none exists.
+pub fn find_counterexample(txns: &TransactionSet, alloc: &Allocation) -> Option<SplitSpec> {
+    RobustnessChecker::new(txns).find_counterexample(alloc)
+}
+
+/// A reusable robustness checker: precomputes the transaction-level
+/// conflict matrices once and answers [`RobustnessChecker::is_robust`]
+/// for many allocations over the *same* transaction set — the access
+/// pattern of Algorithm 2, which probes ~2·|𝒯| allocations.
+pub struct RobustnessChecker<'a> {
+    txns: &'a TransactionSet,
+    index: ConflictIndex,
+}
+
+impl<'a> RobustnessChecker<'a> {
+    pub fn new(txns: &'a TransactionSet) -> Self {
+        RobustnessChecker { txns, index: ConflictIndex::new(txns) }
+    }
+
+    /// As the free function [`is_robust`], reusing the precomputed index.
+    pub fn is_robust(&self, alloc: &Allocation) -> RobustnessReport {
+        assert!(
+            alloc.covers(self.txns),
+            "allocation must cover every transaction of the set"
+        );
+        RobustnessReport { counterexample: self.find_counterexample(alloc) }
+    }
+
+    /// As the free function [`find_counterexample`].
+    pub fn find_counterexample(&self, alloc: &Allocation) -> Option<SplitSpec> {
+        find_counterexample_with(self.txns, &self.index, alloc)
+    }
+}
+
+fn find_counterexample_with(
+    txns: &TransactionSet,
+    index: &ConflictIndex,
+    alloc: &Allocation,
+) -> Option<SplitSpec> {
+    let n = txns.len();
+    if n < 2 {
+        return None;
+    }
+    let ssi = IsolationLevel::SSI;
+
+    for t1 in txns.iter() {
+        let t1_id = t1.id();
+        let i1 = txns.index_of(t1_id);
+        let l1 = alloc.level(t1_id);
+        // T1 must have at least one read (b₁ is rw-conflicting with a₂).
+        if t1.reads().next().is_none() {
+            continue;
+        }
+        let reach = IsoReach::new(txns, index, t1_id);
+        for t2 in txns.iter() {
+            let t2_id = t2.id();
+            let i2 = txns.index_of(t2_id);
+            if t2_id == t1_id || !index.any(i1, i2) {
+                continue;
+            }
+            let l2 = alloc.level(t2_id);
+            // Condition (7): T1, T2 both SSI with a W(T1)-R(T2) conflict
+            // can never participate.
+            if l1 == ssi && l2 == ssi && index.wr(i1, i2) {
+                continue;
+            }
+            for tm in txns.iter() {
+                let tm_id = tm.id();
+                let im = txns.index_of(tm_id);
+                if tm_id == t1_id || !index.any(im, i1) {
+                    continue;
+                }
+                let lm = alloc.level(tm_id);
+                // Condition (6).
+                if l1 == ssi && l2 == ssi && lm == ssi {
+                    continue;
+                }
+                // Condition (8): no read of T1 rw-conflicting with a write
+                // of Tm ⇔ no write of Tm wr-conflicting with a read of T1.
+                if l1 == ssi && lm == ssi && index.wr(im, i1) {
+                    continue;
+                }
+                if !reach.reachable(t2_id, tm_id) {
+                    continue;
+                }
+                if let Some(spec) = find_operations(txns, alloc, &reach, t1_id, t2_id, tm_id) {
+                    debug_assert_eq!(spec.check(txns, alloc), Ok(()));
+                    return Some(spec);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Searches operations `b₁, a₁ ∈ T₁`, `a₂ ∈ T₂`, `b_m ∈ T_m` satisfying
+/// conditions (2)–(5) of Definition 3.1 for a fixed reachable triple, and
+/// assembles the full spec (reconstructing the middle chain).
+fn find_operations(
+    txns: &TransactionSet,
+    alloc: &Allocation,
+    reach: &IsoReach<'_>,
+    t1_id: TxnId,
+    t2_id: TxnId,
+    tm_id: TxnId,
+) -> Option<SplitSpec> {
+    let t1 = txns.txn(t1_id);
+    let t2 = txns.txn(t2_id);
+    let tm = txns.txn(tm_id);
+    let l1 = alloc.level(t1_id);
+
+    for (b1, b1_object) in t1.reads() {
+        // Condition (4): a₂ is T2's write on b₁'s object.
+        let Some(a2_idx) = t2.write_of(b1_object) else { continue };
+        let a2 = OpAddr::new(t2_id, a2_idx);
+        // Conditions (2)+(3): Algorithm 1's ww-conflict-free(b₁,T₁,T₂,T_m).
+        let ww_free = t1.writes().all(|(c1, object)| {
+            let applies = c1.idx <= b1.idx || l1 >= IsolationLevel::SI;
+            !applies
+                || (t2.write_of(object).is_none() && tm.write_of(object).is_none())
+        });
+        if !ww_free {
+            continue;
+        }
+        // Condition (5): find (b_m, a₁) with b_m conflicting with a₁ and
+        // (b_m rw-conflicting a₁, or 𝒜(T1)=RC with b₁ <_{T1} a₁).
+        for (idx, op) in t1.ops().iter().enumerate() {
+            let a1 = OpAddr::new(t1_id, idx as u16);
+            let rc_postfix = l1 == IsolationLevel::RC && b1.idx < a1.idx;
+            // Candidate b_m operations in T_m conflicting with a₁.
+            let mut candidates: [Option<OpAddr>; 2] = [None, None];
+            if op.is_write() {
+                // rw: a read of T_m on the object.
+                candidates[0] = tm.read_of(op.object).map(|i| OpAddr::new(tm_id, i));
+                // ww (only usable via the RC-postfix disjunct).
+                if rc_postfix {
+                    candidates[1] = tm.write_of(op.object).map(|i| OpAddr::new(tm_id, i));
+                }
+            } else if rc_postfix {
+                // wr: a write of T_m observed by T1's postfix read.
+                candidates[0] = tm.write_of(op.object).map(|i| OpAddr::new(tm_id, i));
+            }
+            // Note: a ww pair (b_m, a₁) never contradicts ww_free — it is
+            // only offered when rc_postfix holds, i.e. a₁ lies in T1's
+            // postfix and 𝒜(T1) = RC, which is exactly the case
+            // ww-conflict-free does not cover.
+            if let Some(bm) = candidates.into_iter().flatten().next() {
+                let chain = reach
+                    .chain(t2_id, tm_id)
+                    .expect("reachable(t2, tm) held, chain must exist");
+                let links = build_links(txns, t1_id, b1, a2, a1, bm, &chain);
+                return Some(SplitSpec { t1: t1_id, b1, a1, chain, links });
+            }
+        }
+    }
+    None
+}
+
+/// Assembles the quadruple links along `C`: `(b₁, a₂)`, one conflicting
+/// pair per consecutive chain pair, then `(b_m, a₁)`.
+fn build_links(
+    txns: &TransactionSet,
+    _t1: TxnId,
+    b1: OpAddr,
+    a2: OpAddr,
+    a1: OpAddr,
+    bm: OpAddr,
+    chain: &[TxnId],
+) -> Vec<(OpAddr, OpAddr)> {
+    let mut links = Vec::with_capacity(chain.len() + 1);
+    links.push((b1, a2));
+    for w in chain.windows(2) {
+        let (b, a) = some_conflicting_pair(txns, w[0], w[1])
+            .expect("consecutive chain transactions conflict");
+        links.push((b, a));
+    }
+    links.push((bm, a1));
+    links
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvmodel::TxnSetBuilder;
+
+    fn write_skew() -> TransactionSet {
+        let mut b = TxnSetBuilder::new();
+        let x = b.object("x");
+        let y = b.object("y");
+        b.txn(1).read(x).write(y).finish();
+        b.txn(2).read(y).write(x).finish();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn write_skew_not_robust_against_si() {
+        let txns = write_skew();
+        let si = Allocation::uniform_si(&txns);
+        let report = is_robust(&txns, &si);
+        assert!(!report.robust());
+        let spec = report.counterexample().unwrap();
+        spec.check(&txns, &si).unwrap();
+        assert!(is_robust(&txns, &Allocation::uniform_rc(&txns)).counterexample().is_some());
+    }
+
+    #[test]
+    fn write_skew_robust_against_ssi() {
+        let txns = write_skew();
+        let ssi = Allocation::uniform_ssi(&txns);
+        assert!(is_robust(&txns, &ssi).robust());
+        // One SSI transaction is not enough here: the dangerous structure
+        // filter only removes structures whose three txns are all SSI.
+        let mixed = Allocation::parse("T1=SSI T2=SI").unwrap();
+        assert!(!is_robust(&txns, &mixed).robust());
+    }
+
+    #[test]
+    fn disjoint_txns_robust_under_anything() {
+        let mut b = TxnSetBuilder::new();
+        let x = b.object("x");
+        let y = b.object("y");
+        b.txn(1).read(x).write(x).finish();
+        b.txn(2).read(y).write(y).finish();
+        let txns = b.build().unwrap();
+        for lvl in IsolationLevel::ALL {
+            assert!(is_robust(&txns, &Allocation::uniform(&txns, lvl)).robust());
+        }
+    }
+
+    #[test]
+    fn single_txn_always_robust() {
+        let mut b = TxnSetBuilder::new();
+        let x = b.object("x");
+        b.txn(1).read(x).write(x).finish();
+        let txns = b.build().unwrap();
+        assert!(is_robust(&txns, &Allocation::uniform_rc(&txns)).robust());
+    }
+
+    #[test]
+    fn lost_update_pair() {
+        // T1 = R[x] W[x], T2 = R[x] W[x]: the classic lost update.
+        // Under SI both exhibit first-committer-wins (concurrent writes
+        // forbidden) — the pair is robust against SI (folklore: SI
+        // precludes lost update). Under RC it is not robust.
+        let mut b = TxnSetBuilder::new();
+        let x = b.object("x");
+        b.txn(1).read(x).write(x).finish();
+        b.txn(2).read(x).write(x).finish();
+        let txns = b.build().unwrap();
+        assert!(is_robust(&txns, &Allocation::uniform_si(&txns)).robust());
+        let rc = Allocation::uniform_rc(&txns);
+        let report = is_robust(&txns, &rc);
+        assert!(!report.robust());
+        report.counterexample().unwrap().check(&txns, &rc).unwrap();
+        // Mixed: one RC transaction suffices to break robustness.
+        let mixed = Allocation::parse("T1=RC T2=SSI").unwrap();
+        assert!(!is_robust(&txns, &mixed).robust());
+    }
+
+    #[test]
+    fn three_txn_cycle_with_interior() {
+        // T1 = R[x] W[y]; T2 = W[x] R[p]; T3 = W[p] R[y].
+        // Cycle T1 →rw T2 →rw? … T2–T3 via p, T3–T1 via y.
+        let mut b = TxnSetBuilder::new();
+        let x = b.object("x");
+        let y = b.object("y");
+        let p = b.object("p");
+        b.txn(1).read(x).write(y).finish();
+        b.txn(2).write(x).read(p).finish();
+        b.txn(3).write(p).read(y).finish();
+        let txns = b.build().unwrap();
+        let si = Allocation::uniform_si(&txns);
+        let report = is_robust(&txns, &si);
+        assert!(!report.robust());
+        let spec = report.counterexample().unwrap();
+        spec.check(&txns, &si).unwrap();
+        // All SSI restores robustness.
+        assert!(is_robust(&txns, &Allocation::uniform_ssi(&txns)).robust());
+    }
+
+    #[test]
+    #[should_panic(expected = "allocation must cover")]
+    fn uncovered_allocation_panics() {
+        let txns = write_skew();
+        let partial = Allocation::parse("T1=RC").unwrap();
+        let _ = is_robust(&txns, &partial);
+    }
+}

@@ -1,0 +1,257 @@
+//! Algorithm 2: computing the unique optimal robust allocation over
+//! `{RC, SI, SSI}`.
+
+use crate::algorithm1::RobustnessChecker;
+use mvisolation::{Allocation, IsolationLevel};
+use mvmodel::TransactionSet;
+
+/// Computes the unique optimal robust allocation for `txns` over
+/// `{RC, SI, SSI}` (Theorem 4.3).
+///
+/// Starting from `𝒜_SSI` (always robust), each transaction is lowered to
+/// the least level that keeps the allocation robust. Correctness rests on
+/// Proposition 4.1(2): if some robust allocation maps `T` lower, the
+/// current one may adopt that level as well — so greedy, order-independent
+/// refinement reaches the unique optimum (Proposition 4.2).
+pub fn optimal_allocation(txns: &TransactionSet) -> Allocation {
+    refine(txns, Allocation::uniform_ssi(txns))
+}
+
+/// The refinement loop shared by Algorithm 2 and its `{RC, SI}` variant
+/// (Theorem 5.5): lowers each transaction of a *robust* starting
+/// allocation to its least robust level.
+pub(crate) fn refine(txns: &TransactionSet, start: Allocation) -> Allocation {
+    let checker = RobustnessChecker::new(txns);
+    debug_assert!(checker.is_robust(&start).robust(), "refine requires a robust start");
+    let mut alloc = start;
+    for t in txns.iter() {
+        for &lvl in alloc.level(t.id()).lower_levels() {
+            let candidate = alloc.with(t.id(), lvl);
+            if checker.is_robust(&candidate).robust() {
+                alloc = candidate;
+                break;
+            }
+        }
+    }
+    alloc
+}
+
+/// Computes the least robust allocation inside the box `lo ≤ 𝒜 ≤ hi`
+/// (pointwise), or `None` when no robust allocation exists in the box.
+///
+/// Practical use: constraints from the deployment — a legacy driver
+/// hard-codes `READ COMMITTED` (pin with `lo = hi = RC`), an auditor
+/// demands at least SI for a reporting transaction (`lo = SI`), a hot
+/// path must not pay SSI's SIREAD overhead (`hi = SI`).
+///
+/// Correctness: robustness is upward closed (Proposition 4.1(1)), so if
+/// any robust allocation lies in the box then `hi` itself is robust; the
+/// refinement then mirrors Algorithm 2 restricted to the box, and the
+/// exchange argument of Proposition 4.1(2) gives uniqueness of the
+/// box-minimum exactly as in Proposition 4.2.
+///
+/// Panics when `lo`/`hi` do not cover every transaction or `lo ≰ hi`.
+pub fn optimal_allocation_in_box(
+    txns: &TransactionSet,
+    lo: &Allocation,
+    hi: &Allocation,
+) -> Option<Allocation> {
+    assert!(lo.covers(txns) && hi.covers(txns), "bounds must cover every transaction");
+    assert!(lo.le(hi), "need lo ≤ hi pointwise");
+    let checker = RobustnessChecker::new(txns);
+    if !checker.is_robust(hi).robust() {
+        return None;
+    }
+    let mut alloc = hi.clone();
+    for t in txns.iter() {
+        for &lvl in alloc.level(t.id()).lower_levels() {
+            if lvl < lo.level(t.id()) {
+                continue;
+            }
+            let candidate = alloc.with(t.id(), lvl);
+            if checker.is_robust(&candidate).robust() {
+                alloc = candidate;
+                break;
+            }
+        }
+    }
+    Some(alloc)
+}
+
+/// [`optimal_allocation_in_box`] with only a lower bound (`hi = 𝒜_SSI`).
+/// Always succeeds, since `𝒜_SSI` is robust.
+pub fn optimal_allocation_with_floor(txns: &TransactionSet, floor: &Allocation) -> Allocation {
+    optimal_allocation_in_box(txns, floor, &Allocation::uniform_ssi(txns))
+        .expect("the all-SSI ceiling is always robust")
+}
+
+/// Diagnostic variant of [`optimal_allocation`] that also reports, for
+/// each lowering attempt that failed, the counterexample found — useful
+/// for explaining *why* a transaction needs its level.
+pub fn optimal_allocation_explained(
+    txns: &TransactionSet,
+) -> (Allocation, Vec<(mvmodel::TxnId, IsolationLevel, crate::SplitSpec)>) {
+    let checker = RobustnessChecker::new(txns);
+    let mut alloc = Allocation::uniform_ssi(txns);
+    let mut reasons = Vec::new();
+    for t in txns.iter() {
+        for &lvl in alloc.level(t.id()).lower_levels() {
+            let candidate = alloc.with(t.id(), lvl);
+            match checker.is_robust(&candidate).into_counterexample() {
+                None => {
+                    alloc = candidate;
+                    break;
+                }
+                Some(spec) => reasons.push((t.id(), lvl, spec)),
+            }
+        }
+    }
+    (alloc, reasons)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm1::is_robust;
+    use mvmodel::{TxnId, TxnSetBuilder};
+
+    #[test]
+    fn disjoint_workload_all_rc() {
+        let mut b = TxnSetBuilder::new();
+        let x = b.object("x");
+        let y = b.object("y");
+        b.txn(1).read(x).write(x).finish();
+        b.txn(2).read(y).write(y).finish();
+        let txns = b.build().unwrap();
+        let a = optimal_allocation(&txns);
+        assert_eq!(a, Allocation::uniform_rc(&txns));
+    }
+
+    #[test]
+    fn write_skew_needs_ssi_pair() {
+        let mut b = TxnSetBuilder::new();
+        let x = b.object("x");
+        let y = b.object("y");
+        b.txn(1).read(x).write(y).finish();
+        b.txn(2).read(y).write(x).finish();
+        let txns = b.build().unwrap();
+        let a = optimal_allocation(&txns);
+        assert!(is_robust(&txns, &a).robust());
+        // Write skew requires SSI for… at least two of the transactions
+        // (the dangerous-structure filter needs all three participants
+        // SSI; with two transactions both must be SSI).
+        assert_eq!(a.level(TxnId(1)), IsolationLevel::SSI);
+        assert_eq!(a.level(TxnId(2)), IsolationLevel::SSI);
+    }
+
+    #[test]
+    fn lost_update_gets_si() {
+        let mut b = TxnSetBuilder::new();
+        let x = b.object("x");
+        b.txn(1).read(x).write(x).finish();
+        b.txn(2).read(x).write(x).finish();
+        let txns = b.build().unwrap();
+        let a = optimal_allocation(&txns);
+        assert!(is_robust(&txns, &a).robust());
+        assert_eq!(a.counts(), (0, 2, 0), "lost-update pair is robust at SI but not RC: {a}");
+    }
+
+    #[test]
+    fn optimality_lowering_any_txn_breaks_robustness() {
+        let mut b = TxnSetBuilder::new();
+        let x = b.object("x");
+        let y = b.object("y");
+        b.txn(1).read(x).write(y).finish();
+        b.txn(2).read(y).write(x).finish();
+        b.txn(3).read(x).write(x).finish();
+        let txns = b.build().unwrap();
+        let a = optimal_allocation(&txns);
+        assert!(is_robust(&txns, &a).robust());
+        for t in txns.ids() {
+            for &lower in a.level(t).lower_levels() {
+                let lowered = a.with(t, lower);
+                assert!(
+                    !is_robust(&txns, &lowered).robust(),
+                    "lowering {t} to {lower} should break robustness ({a})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn explained_variant_agrees_and_reports_reasons() {
+        let mut b = TxnSetBuilder::new();
+        let x = b.object("x");
+        let y = b.object("y");
+        b.txn(1).read(x).write(y).finish();
+        b.txn(2).read(y).write(x).finish();
+        let txns = b.build().unwrap();
+        let (a, reasons) = optimal_allocation_explained(&txns);
+        assert_eq!(a, optimal_allocation(&txns));
+        // Both transactions failed both lowering attempts: 4 reasons.
+        assert_eq!(reasons.len(), 4);
+        for (_, _, spec) in &reasons {
+            assert!(!spec.chain.is_empty());
+        }
+    }
+
+    #[test]
+    fn box_allocation_respects_bounds() {
+        // Write skew pair + an independent reader.
+        let mut b = TxnSetBuilder::new();
+        let x = b.object("x");
+        let y = b.object("y");
+        let z = b.object("z");
+        b.txn(1).read(x).write(y).finish();
+        b.txn(2).read(y).write(x).finish();
+        b.txn(3).read(z).finish();
+        let txns = b.build().unwrap();
+
+        // Unconstrained optimum: T1, T2 → SSI; T3 → RC.
+        let free = optimal_allocation(&txns);
+        assert_eq!(free.to_string(), "T1=SSI T2=SSI T3=RC");
+
+        // Floor: T3 must run at least at SI.
+        let floor = Allocation::parse("T1=RC T2=RC T3=SI").unwrap();
+        let a = super::optimal_allocation_with_floor(&txns, &floor);
+        assert_eq!(a.to_string(), "T1=SSI T2=SSI T3=SI");
+        assert!(is_robust(&txns, &a).robust());
+
+        // Ceiling: T1 must not exceed SI → no robust allocation in the box
+        // (the skew pair needs both at SSI).
+        let lo = Allocation::uniform_rc(&txns);
+        let hi = Allocation::parse("T1=SI T2=SSI T3=SSI").unwrap();
+        assert_eq!(super::optimal_allocation_in_box(&txns, &lo, &hi), None);
+
+        // Exact pin: T3 = RC is compatible.
+        let lo = Allocation::parse("T1=RC T2=RC T3=RC").unwrap();
+        let hi = Allocation::parse("T1=SSI T2=SSI T3=RC").unwrap();
+        let a = super::optimal_allocation_in_box(&txns, &lo, &hi).unwrap();
+        assert_eq!(a, free);
+    }
+
+    #[test]
+    #[should_panic(expected = "lo ≤ hi")]
+    fn box_rejects_inverted_bounds() {
+        let mut b = TxnSetBuilder::new();
+        let x = b.object("x");
+        b.txn(1).read(x).finish();
+        let txns = b.build().unwrap();
+        let _ = super::optimal_allocation_in_box(
+            &txns,
+            &Allocation::uniform_ssi(&txns),
+            &Allocation::uniform_rc(&txns),
+        );
+    }
+
+    #[test]
+    fn empty_and_singleton_sets() {
+        let txns = TxnSetBuilder::new().build().unwrap();
+        assert!(optimal_allocation(&txns).is_empty());
+        let mut b = TxnSetBuilder::new();
+        let x = b.object("x");
+        b.txn(1).read(x).write(x).finish();
+        let txns = b.build().unwrap();
+        assert_eq!(optimal_allocation(&txns).counts(), (1, 0, 0));
+    }
+}

@@ -1,0 +1,395 @@
+//! Precomputed transaction-level conflict structure and the paper's
+//! `mixed-iso-graph` reachability.
+// Dense node indices address several parallel arrays at once here;
+// index-style loops are clearer than zipped iterators.
+#![allow(clippy::needless_range_loop)]
+
+use mvmodel::{OpAddr, TransactionSet, TxnId};
+
+/// Dense transaction-level conflict matrices over a [`TransactionSet`].
+///
+/// `any(i, j)` — some operation of `T_i` conflicts with some operation of
+/// `T_j` (symmetric). `wr(i, j)` — some *write* of `T_i` is wr-conflicting
+/// with some *read* of `T_j` (this is the check Algorithm 1's
+/// `wr-conflict-free` performs; note `wr(i, j)` ⇔ "`T_j` has a read
+/// rw-conflicting with a write of `T_i`"). `ww(i, j)` — some write of
+/// `T_i` ww-conflicts with a write of `T_j` (symmetric).
+#[derive(Debug)]
+pub struct ConflictIndex {
+    n: usize,
+    any: Vec<bool>,
+    wr: Vec<bool>,
+    ww: Vec<bool>,
+}
+
+impl ConflictIndex {
+    /// Builds the matrices in `O(Σ_object (#writers · #touchers))` time.
+    pub fn new(txns: &TransactionSet) -> Self {
+        let n = txns.len();
+        let mut idx = ConflictIndex {
+            n,
+            any: vec![false; n * n],
+            wr: vec![false; n * n],
+            ww: vec![false; n * n],
+        };
+        for object in txns.objects() {
+            let writers: Vec<usize> =
+                txns.writers_of(object).iter().map(|w| txns.index_of(w.txn)).collect();
+            let readers: Vec<usize> =
+                txns.readers_of(object).iter().map(|r| txns.index_of(r.txn)).collect();
+            for &i in &writers {
+                for &j in &writers {
+                    if i != j {
+                        idx.any[i * n + j] = true;
+                        idx.ww[i * n + j] = true;
+                    }
+                }
+                for &j in &readers {
+                    if i != j {
+                        idx.any[i * n + j] = true;
+                        idx.any[j * n + i] = true;
+                        idx.wr[i * n + j] = true;
+                    }
+                }
+            }
+        }
+        idx
+    }
+
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Whether any operation of the `i`-th transaction conflicts with any
+    /// operation of the `j`-th (dense indices).
+    pub fn any(&self, i: usize, j: usize) -> bool {
+        self.any[i * self.n + j]
+    }
+
+    /// Whether some write of `i` wr-conflicts with some read of `j`.
+    pub fn wr(&self, i: usize, j: usize) -> bool {
+        self.wr[i * self.n + j]
+    }
+
+    /// Whether some write of `i` ww-conflicts with some write of `j`.
+    pub fn ww(&self, i: usize, j: usize) -> bool {
+        self.ww[i * self.n + j]
+    }
+}
+
+/// The paper's `mixed-iso-graph(T₁, 𝒯)` plus reachability support, built
+/// for a fixed split transaction `T₁`.
+///
+/// Nodes are the transactions with **no** operation conflicting with an
+/// operation of `T₁`; edges connect conflicting node pairs (the conflict
+/// relation is symmetric at transaction level, so the graph is undirected
+/// and reachability reduces to connected components).
+///
+/// For the Algorithm 1 query — is there a sequence of conflicting
+/// quadruples from `T₂` to `T_m` whose interior transactions avoid
+/// conflicts with `T₁`? — [`IsoReach::reachable`] checks, in order:
+/// `T₂ = T_m`; a direct conflict `T₂ ~ T_m`; or a shared component `c`
+/// with `T₂ ~ c` and `c ~ T_m`.
+#[derive(Debug)]
+pub struct IsoReach<'a> {
+    txns: &'a TransactionSet,
+    index: &'a ConflictIndex,
+    t1: usize,
+    /// Component id per dense txn index; `usize::MAX` for non-nodes
+    /// (conflicting with `T₁`, or `T₁` itself).
+    comp: Vec<usize>,
+    n_comps: usize,
+    /// Bitset per transaction: which components it conflicts with.
+    adj_comps: Vec<Vec<u64>>,
+}
+
+impl<'a> IsoReach<'a> {
+    pub fn new(txns: &'a TransactionSet, index: &'a ConflictIndex, t1: TxnId) -> Self {
+        let n = txns.len();
+        let t1 = txns.index_of(t1);
+        // Union-find over iso nodes.
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut [usize], x: usize) -> usize {
+            let mut r = x;
+            while parent[r] != r {
+                r = parent[r];
+            }
+            let mut c = x;
+            while parent[c] != r {
+                let next = parent[c];
+                parent[c] = r;
+                c = next;
+            }
+            r
+        }
+        let is_node = |j: usize, idx: &ConflictIndex| j != t1 && !idx.any(t1, j);
+        for i in 0..n {
+            if !is_node(i, index) {
+                continue;
+            }
+            for j in (i + 1)..n {
+                if is_node(j, index) && index.any(i, j) {
+                    let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                    if ri != rj {
+                        parent[ri] = rj;
+                    }
+                }
+            }
+        }
+        // Dense component ids.
+        let mut comp = vec![usize::MAX; n];
+        let mut n_comps = 0usize;
+        let mut root_to_comp = vec![usize::MAX; n];
+        for i in 0..n {
+            if !is_node(i, index) {
+                continue;
+            }
+            let r = find(&mut parent, i);
+            if root_to_comp[r] == usize::MAX {
+                root_to_comp[r] = n_comps;
+                n_comps += 1;
+            }
+            comp[i] = root_to_comp[r];
+        }
+        // Component adjacency bitset per transaction.
+        let words = n_comps.div_ceil(64).max(1);
+        let mut adj_comps = vec![vec![0u64; words]; n];
+        for x in 0..n {
+            if x == t1 {
+                continue;
+            }
+            for j in 0..n {
+                if comp[j] != usize::MAX && index.any(x, j) {
+                    let c = comp[j];
+                    adj_comps[x][c / 64] |= 1 << (c % 64);
+                }
+            }
+        }
+        IsoReach { txns, index, t1, comp, n_comps, adj_comps }
+    }
+
+    /// Number of connected components of the iso graph.
+    pub fn component_count(&self) -> usize {
+        self.n_comps
+    }
+
+    /// Whether a chain of conflicting quadruples `T₂ → … → T_m` exists
+    /// whose interior transactions do not conflict with `T₁`
+    /// (Algorithm 1's `reachable(T₂, T_m, T₁)`).
+    pub fn reachable(&self, t2: TxnId, tm: TxnId) -> bool {
+        let (i2, im) = (self.txns.index_of(t2), self.txns.index_of(tm));
+        debug_assert!(i2 != self.t1 && im != self.t1);
+        if i2 == im || self.index.any(i2, im) {
+            return true;
+        }
+        self.adj_comps[i2]
+            .iter()
+            .zip(&self.adj_comps[im])
+            .any(|(a, b)| a & b != 0)
+    }
+
+    /// Reconstructs a concrete chain `T₂, …, T_m` (interior transactions
+    /// in the iso graph) witnessing [`IsoReach::reachable`], or `None`.
+    ///
+    /// BFS through the iso nodes; the result is a simple path, so every
+    /// transaction occurs in at most two quadruples as Definition 3.1
+    /// requires.
+    pub fn chain(&self, t2: TxnId, tm: TxnId) -> Option<Vec<TxnId>> {
+        let (i2, im) = (self.txns.index_of(t2), self.txns.index_of(tm));
+        if i2 == im {
+            return Some(vec![t2]);
+        }
+        if self.index.any(i2, im) {
+            return Some(vec![t2, tm]);
+        }
+        let n = self.txns.len();
+        // BFS from i2 over iso nodes, targeting any node adjacent to im.
+        let mut prev = vec![usize::MAX; n];
+        let mut queue = std::collections::VecDeque::new();
+        for j in 0..n {
+            if self.comp[j] != usize::MAX && self.index.any(i2, j) {
+                prev[j] = i2;
+                queue.push_back(j);
+            }
+        }
+        while let Some(u) = queue.pop_front() {
+            if self.index.any(u, im) {
+                // Walk back to i2.
+                let mut path = vec![im, u];
+                let mut w = u;
+                while prev[w] != i2 {
+                    w = prev[w];
+                    path.push(w);
+                }
+                path.push(i2);
+                path.reverse();
+                return Some(path.into_iter().map(|i| self.txns.by_index(i).id()).collect());
+            }
+            for j in 0..n {
+                if self.comp[j] != usize::MAX && prev[j] == usize::MAX && self.index.any(u, j) {
+                    prev[j] = u;
+                    queue.push_back(j);
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Finds one conflicting operation pair `(b ∈ T_i, a ∈ T_j)` between two
+/// transactions, preferring rw-conflicts (useful for quadruple
+/// construction); `None` when the transactions do not conflict.
+pub fn some_conflicting_pair(
+    txns: &TransactionSet,
+    ti: TxnId,
+    tj: TxnId,
+) -> Option<(OpAddr, OpAddr)> {
+    let a = txns.txn(ti);
+    let b = txns.txn(tj);
+    let mut fallback = None;
+    for (i, op) in a.ops().iter().enumerate() {
+        let bi = OpAddr::new(ti, i as u16);
+        if let Some(wj) = b.write_of(op.object) {
+            let aj = OpAddr::new(tj, wj);
+            if op.is_read() {
+                return Some((bi, aj)); // rw-conflict
+            }
+            fallback.get_or_insert((bi, aj)); // ww
+        }
+        if op.is_write() {
+            if let Some(rj) = b.read_of(op.object) {
+                fallback.get_or_insert((bi, OpAddr::new(tj, rj))); // wr
+            }
+        }
+    }
+    fallback
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvmodel::TxnSetBuilder;
+
+    fn chain_set() -> TransactionSet {
+        // T1 conflicts with T2 and T5 only; T3, T4 form the iso interior:
+        // T2 ~ T3 ~ T4 ~ T5 via distinct objects.
+        let mut b = TxnSetBuilder::new();
+        let x = b.object("x"); // T1–T2
+        let p = b.object("p"); // T2–T3
+        let q = b.object("q"); // T3–T4
+        let r = b.object("r"); // T4–T5
+        let y = b.object("y"); // T5–T1
+        b.txn(1).read(x).write(y).finish();
+        b.txn(2).write(x).write(p).finish();
+        b.txn(3).read(p).write(q).finish();
+        b.txn(4).read(q).write(r).finish();
+        b.txn(5).read(r).read(y).finish();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn conflict_matrix() {
+        let txns = chain_set();
+        let idx = ConflictIndex::new(&txns);
+        let i = |t: u32| txns.index_of(TxnId(t));
+        assert!(idx.any(i(1), i(2)));
+        assert!(idx.any(i(2), i(1)), "conflict relation is symmetric");
+        assert!(idx.any(i(1), i(5)));
+        assert!(!idx.any(i(1), i(3)));
+        assert!(!idx.any(i(1), i(4)));
+        assert!(idx.any(i(2), i(3)));
+        assert!(idx.any(i(3), i(4)));
+        assert!(idx.any(i(4), i(5)));
+        assert!(!idx.any(i(2), i(4)));
+        // wr: write of T2 on p, read of T3 on p.
+        assert!(idx.wr(i(2), i(3)));
+        assert!(!idx.wr(i(3), i(2)));
+        // wr: write of T1 on y, read of T5 on y.
+        assert!(idx.wr(i(1), i(5)));
+        assert!(!idx.ww(i(1), i(2)));
+        assert!(!idx.is_empty());
+        assert_eq!(idx.len(), 5);
+    }
+
+    #[test]
+    fn iso_reachability_through_interior() {
+        let txns = chain_set();
+        let idx = ConflictIndex::new(&txns);
+        let reach = IsoReach::new(&txns, &idx, TxnId(1));
+        // T3 and T4 are the iso nodes, connected: one component.
+        assert_eq!(reach.component_count(), 1);
+        assert!(reach.reachable(TxnId(2), TxnId(5)));
+        let chain = reach.chain(TxnId(2), TxnId(5)).unwrap();
+        assert_eq!(chain, vec![TxnId(2), TxnId(3), TxnId(4), TxnId(5)]);
+        // Reverse direction also works (undirected conflicts).
+        assert!(reach.reachable(TxnId(5), TxnId(2)));
+        assert_eq!(reach.chain(TxnId(5), TxnId(2)).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn iso_reachability_trivial_cases() {
+        let txns = chain_set();
+        let idx = ConflictIndex::new(&txns);
+        let reach = IsoReach::new(&txns, &idx, TxnId(3));
+        // T2 = Tm.
+        assert!(reach.reachable(TxnId(2), TxnId(2)));
+        assert_eq!(reach.chain(TxnId(2), TxnId(2)).unwrap(), vec![TxnId(2)]);
+        // Direct conflict T1 ~ T2 (x).
+        assert!(reach.reachable(TxnId(1), TxnId(2)));
+        assert_eq!(reach.chain(TxnId(1), TxnId(2)).unwrap(), vec![TxnId(1), TxnId(2)]);
+    }
+
+    #[test]
+    fn iso_interior_excludes_t1_conflicts() {
+        let txns = chain_set();
+        let idx = ConflictIndex::new(&txns);
+        // With T3 as the split transaction, the iso nodes are T1 and T5
+        // (T2 and T4 conflict with T3). T1 ~ T5 via x?? no — via y.
+        let reach = IsoReach::new(&txns, &idx, TxnId(3));
+        // T2 to T4: no direct conflict; interior would have to pass
+        // through T1/T5 — T2 ~ T1 ~ T5 ~ T4: reachable.
+        assert!(reach.reachable(TxnId(2), TxnId(4)));
+        assert_eq!(
+            reach.chain(TxnId(2), TxnId(4)).unwrap(),
+            vec![TxnId(2), TxnId(1), TxnId(5), TxnId(4)]
+        );
+    }
+
+    #[test]
+    fn unreachable_pairs() {
+        let mut b = TxnSetBuilder::new();
+        let x = b.object("x");
+        let y = b.object("y");
+        let z = b.object("z");
+        b.txn(1).write(x).write(y).finish();
+        b.txn(2).read(x).finish();
+        b.txn(3).read(y).finish();
+        b.txn(4).read(z).finish(); // isolated
+        let txns = b.build().unwrap();
+        let idx = ConflictIndex::new(&txns);
+        let reach = IsoReach::new(&txns, &idx, TxnId(1));
+        // T2 and T3 both conflict only with T1; interior is {T4}, which
+        // conflicts with neither: unreachable.
+        assert!(!reach.reachable(TxnId(2), TxnId(3)));
+        assert_eq!(reach.chain(TxnId(2), TxnId(3)), None);
+        assert!(!reach.reachable(TxnId(2), TxnId(4)));
+    }
+
+    #[test]
+    fn conflicting_pair_prefers_rw() {
+        let txns = chain_set();
+        // T1 reads x, T2 writes x → rw preferred.
+        let (b, a) = some_conflicting_pair(&txns, TxnId(1), TxnId(2)).unwrap();
+        assert!(txns.op_at(b).is_read());
+        assert!(txns.op_at(a).is_write());
+        // T2 writes p, T3 reads p → wr fallback.
+        let (b, a) = some_conflicting_pair(&txns, TxnId(2), TxnId(3)).unwrap();
+        assert!(txns.op_at(b).is_write());
+        assert!(txns.op_at(a).is_read());
+        assert_eq!(some_conflicting_pair(&txns, TxnId(1), TxnId(3)), None);
+    }
+}

@@ -1,0 +1,42 @@
+//! Robustness and optimal isolation-level allocation — the core
+//! contribution of *Allocating Isolation Levels to Transactions in a
+//! Multiversion Setting* (Vandevoort, Ketsman & Neven, PODS 2023).
+//!
+//! - [`algorithm1`]: the polynomial-time robustness decision procedure
+//!   (paper Algorithm 1 / Theorems 3.2–3.3). [`is_robust`] answers the
+//!   decision problem; when the answer is *no* it also returns the
+//!   [`SplitSpec`] describing a counterexample multiversion split schedule
+//!   (Definition 3.1).
+//! - [`witness`]: materializes a [`SplitSpec`] into a concrete
+//!   [`mvmodel::Schedule`] — complete with version order and version
+//!   function — and machine-checks that it is allowed under the allocation
+//!   yet not conflict-serializable (the constructive (2)→(1) direction of
+//!   Theorem 3.2).
+//! - [`allocate`]: Algorithm 2 — the unique optimal robust allocation over
+//!   `{RC, SI, SSI}` (Propositions 4.1–4.2, Theorem 4.3).
+//! - [`rc_si`]: the Oracle-style restriction to `{RC, SI}` (Propositions
+//!   5.1/5.4, Theorem 5.5).
+//! - [`oracle`]: a brute-force ground-truth decision procedure that
+//!   enumerates every schedule allowed under the allocation — exponential,
+//!   for validating Algorithm 1 on small workloads.
+//! - [`conflict_index`]: precomputed transaction-level conflict matrices
+//!   and the `mixed-iso-graph` reachability structure Algorithm 1 uses.
+
+pub mod algorithm1;
+pub mod allocate;
+pub mod conflict_index;
+pub mod oracle;
+pub mod rc_si;
+pub mod sdg;
+pub mod split_schedule;
+pub mod stats;
+pub mod witness;
+
+pub use algorithm1::{find_counterexample, is_robust, RobustnessChecker, RobustnessReport};
+pub use allocate::{optimal_allocation, optimal_allocation_in_box, optimal_allocation_with_floor};
+pub use conflict_index::ConflictIndex;
+pub use oracle::{oracle_counterexample, oracle_is_robust};
+pub use rc_si::{optimal_allocation_rc_si, robustly_allocatable_rc_si};
+pub use sdg::{static_si_robust, StaticVerdict};
+pub use split_schedule::SplitSpec;
+pub use witness::{materialize, verify_witness, WitnessError};

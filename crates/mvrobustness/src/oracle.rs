@@ -1,0 +1,153 @@
+//! Brute-force ground truth for the robustness problem.
+//!
+//! Enumerates **every** schedule over the transaction set that is allowed
+//! under the allocation and checks each for conflict serializability. As
+//! argued in `mvisolation::derive` (and DESIGN.md §4), the version order
+//! and version function of an allowed schedule are uniquely determined by
+//! the operation interleaving and the allocation, so enumerating
+//! interleavings enumerates allowed schedules exactly.
+//!
+//! The interleaving count is the multinomial coefficient of the
+//! transaction lengths — exponential. This module exists to validate
+//! Algorithm 1 (both directions of Theorem 3.2) on small workloads and to
+//! quantify the brute-force/polynomial gap in the benchmark suite.
+
+use mvisolation::derive::{derive_schedule, for_each_interleaving};
+use mvisolation::{allowed_under, Allocation};
+use mvmodel::serializability::is_conflict_serializable;
+use mvmodel::{Schedule, TransactionSet};
+use std::sync::Arc;
+
+/// Decides robustness by exhaustive enumeration. Use only for small
+/// workloads (≲ 12 total operations).
+pub fn oracle_is_robust(txns: &Arc<TransactionSet>, alloc: &Allocation) -> bool {
+    oracle_counterexample(txns, alloc).is_none()
+}
+
+/// Finds a non-serializable allowed schedule by exhaustive enumeration,
+/// or proves none exists.
+pub fn oracle_counterexample(
+    txns: &Arc<TransactionSet>,
+    alloc: &Allocation,
+) -> Option<Schedule> {
+    let mut found: Option<Schedule> = None;
+    for_each_interleaving(txns, |order| {
+        let s = derive_schedule(Arc::clone(txns), order.to_vec(), alloc)
+            .expect("enumerated interleavings are valid");
+        if allowed_under(&s, alloc) && !is_conflict_serializable(&s) {
+            found = Some(s);
+            false // stop
+        } else {
+            true
+        }
+    });
+    found
+}
+
+/// Statistics from a full enumeration: how many interleavings exist, how
+/// many are allowed under the allocation, and how many of those are
+/// serializable. Used by the evaluation harness.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct OracleStats {
+    pub interleavings: usize,
+    pub allowed: usize,
+    pub serializable: usize,
+}
+
+/// Exhaustively enumerates all interleavings and tallies [`OracleStats`].
+pub fn oracle_stats(txns: &Arc<TransactionSet>, alloc: &Allocation) -> OracleStats {
+    let mut stats = OracleStats::default();
+    for_each_interleaving(txns, |order| {
+        stats.interleavings += 1;
+        let s = derive_schedule(Arc::clone(txns), order.to_vec(), alloc)
+            .expect("enumerated interleavings are valid");
+        if allowed_under(&s, alloc) {
+            stats.allowed += 1;
+            if is_conflict_serializable(&s) {
+                stats.serializable += 1;
+            }
+        }
+        true
+    });
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm1::is_robust;
+    use mvisolation::IsolationLevel;
+    use mvmodel::TxnSetBuilder;
+
+    fn write_skew() -> Arc<TransactionSet> {
+        let mut b = TxnSetBuilder::new();
+        let x = b.object("x");
+        let y = b.object("y");
+        b.txn(1).read(x).write(y).finish();
+        b.txn(2).read(y).write(x).finish();
+        Arc::new(b.build().unwrap())
+    }
+
+    #[test]
+    fn oracle_matches_algorithm_on_write_skew() {
+        let txns = write_skew();
+        for lvl in IsolationLevel::ALL {
+            let a = Allocation::uniform(&txns, lvl);
+            assert_eq!(
+                oracle_is_robust(&txns, &a),
+                is_robust(&txns, &a).robust(),
+                "disagreement at {lvl}"
+            );
+        }
+    }
+
+    #[test]
+    fn oracle_counterexample_is_verified() {
+        let txns = write_skew();
+        let si = Allocation::uniform_si(&txns);
+        let s = oracle_counterexample(&txns, &si).expect("write skew breaks SI");
+        assert!(allowed_under(&s, &si));
+        assert!(!is_conflict_serializable(&s));
+    }
+
+    #[test]
+    fn oracle_stats_totals() {
+        let txns = write_skew();
+        let si = Allocation::uniform_si(&txns);
+        let stats = oracle_stats(&txns, &si);
+        // Two 3-op sequences: C(6, 3) = 20 interleavings.
+        assert_eq!(stats.interleavings, 20);
+        assert!(stats.allowed > 0);
+        assert!(stats.allowed <= stats.interleavings);
+        assert!(stats.serializable < stats.allowed, "some allowed schedule is non-serializable");
+    }
+
+    #[test]
+    fn oracle_stats_all_serializable_when_robust() {
+        let txns = write_skew();
+        let ssi = Allocation::uniform_ssi(&txns);
+        let stats = oracle_stats(&txns, &ssi);
+        assert_eq!(stats.allowed, stats.serializable, "SSI workload is robust");
+        assert!(oracle_is_robust(&txns, &ssi));
+    }
+
+    #[test]
+    fn oracle_on_mixed_allocations() {
+        // Lost update: robust at SI, not at RC; mixing one RC breaks it.
+        let mut b = TxnSetBuilder::new();
+        let x = b.object("x");
+        b.txn(1).read(x).write(x).finish();
+        b.txn(2).read(x).write(x).finish();
+        let txns = Arc::new(b.build().unwrap());
+        for alloc_str in ["T1=SI T2=SI", "T1=RC T2=SI", "T1=SI T2=RC", "T1=RC T2=RC"] {
+            let a = Allocation::parse(alloc_str).unwrap();
+            assert_eq!(
+                oracle_is_robust(&txns, &a),
+                is_robust(&txns, &a).robust(),
+                "disagreement at {alloc_str}"
+            );
+        }
+        assert!(oracle_is_robust(&txns, &Allocation::parse("T1=SI T2=SI").unwrap()));
+        assert!(!oracle_is_robust(&txns, &Allocation::parse("T1=RC T2=SI").unwrap()));
+    }
+}

@@ -1,0 +1,124 @@
+//! The `{RC, SI}` restriction (paper §5) — the isolation levels available
+//! in Oracle, where no serializable level exists and a robust allocation
+//! may fail to exist.
+
+use crate::algorithm1::is_robust;
+use crate::allocate::refine;
+use mvisolation::Allocation;
+use mvmodel::TransactionSet;
+
+/// Whether `txns` is *robustly allocatable* against `{RC, SI}`
+/// (Definition 5.3): some `{RC, SI}`-allocation is robust.
+///
+/// By Proposition 5.4 this holds iff `txns` is robust against `𝒜_SI`
+/// (upward closure, Proposition 4.1(1), makes `𝒜_SI` the best candidate).
+pub fn robustly_allocatable_rc_si(txns: &TransactionSet) -> bool {
+    is_robust(txns, &Allocation::uniform_si(txns)).robust()
+}
+
+/// Computes the unique optimal robust `{RC, SI}`-allocation, or `None`
+/// when none exists (Theorem 5.5).
+///
+/// When `txns` is robust against `𝒜_SI`, Algorithm 2 is run starting from
+/// `𝒜_SI` instead of `𝒜_SSI`.
+pub fn optimal_allocation_rc_si(txns: &TransactionSet) -> Option<Allocation> {
+    let si = Allocation::uniform_si(txns);
+    if !is_robust(txns, &si).robust() {
+        return None;
+    }
+    Some(refine(txns, si))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvisolation::IsolationLevel;
+    use mvmodel::{TxnId, TxnSetBuilder};
+
+    #[test]
+    fn write_skew_has_no_rc_si_allocation() {
+        let mut b = TxnSetBuilder::new();
+        let x = b.object("x");
+        let y = b.object("y");
+        b.txn(1).read(x).write(y).finish();
+        b.txn(2).read(y).write(x).finish();
+        let txns = b.build().unwrap();
+        assert!(!robustly_allocatable_rc_si(&txns));
+        assert_eq!(optimal_allocation_rc_si(&txns), None);
+    }
+
+    #[test]
+    fn lost_update_allocatable_at_si() {
+        let mut b = TxnSetBuilder::new();
+        let x = b.object("x");
+        b.txn(1).read(x).write(x).finish();
+        b.txn(2).read(x).write(x).finish();
+        let txns = b.build().unwrap();
+        assert!(robustly_allocatable_rc_si(&txns));
+        let a = optimal_allocation_rc_si(&txns).unwrap();
+        assert!(is_robust(&txns, &a).robust());
+        assert_eq!(a.counts(), (0, 2, 0));
+    }
+
+    #[test]
+    fn disjoint_workload_all_rc() {
+        let mut b = TxnSetBuilder::new();
+        let x = b.object("x");
+        let y = b.object("y");
+        b.txn(1).write(x).finish();
+        b.txn(2).write(y).finish();
+        let txns = b.build().unwrap();
+        let a = optimal_allocation_rc_si(&txns).unwrap();
+        assert_eq!(a, Allocation::uniform_rc(&txns));
+    }
+
+    #[test]
+    fn mixed_rc_si_optimum() {
+        // T3 only reads a private object: it can drop to RC even when
+        // T1/T2 need SI.
+        let mut b = TxnSetBuilder::new();
+        let x = b.object("x");
+        let z = b.object("z");
+        b.txn(1).read(x).write(x).finish();
+        b.txn(2).read(x).write(x).finish();
+        b.txn(3).read(z).finish();
+        let txns = b.build().unwrap();
+        let a = optimal_allocation_rc_si(&txns).unwrap();
+        assert_eq!(a.level(TxnId(1)), IsolationLevel::SI);
+        assert_eq!(a.level(TxnId(2)), IsolationLevel::SI);
+        assert_eq!(a.level(TxnId(3)), IsolationLevel::RC);
+    }
+
+    #[test]
+    fn rc_si_optimum_never_uses_ssi() {
+        let mut b = TxnSetBuilder::new();
+        let x = b.object("x");
+        let y = b.object("y");
+        b.txn(1).read(x).write(x).finish();
+        b.txn(2).read(y).write(y).finish();
+        b.txn(3).read(x).read(y).finish();
+        let txns = b.build().unwrap();
+        if let Some(a) = optimal_allocation_rc_si(&txns) {
+            assert!(a.iter().all(|(_, l)| l <= IsolationLevel::SI));
+            assert!(is_robust(&txns, &a).robust());
+        } else {
+            panic!("expected an {{RC, SI}} allocation to exist");
+        }
+    }
+
+    /// Proposition 5.1: robustness against 𝒜_RC implies robustness
+    /// against 𝒜_SI (spot-check; the property test in the integration
+    /// suite covers random workloads).
+    #[test]
+    fn prop_5_1_spot_check() {
+        let mut b = TxnSetBuilder::new();
+        let x = b.object("x");
+        let y = b.object("y");
+        b.txn(1).write(x).read(y).finish();
+        b.txn(2).write(y).finish();
+        let txns = b.build().unwrap();
+        let rc_robust = is_robust(&txns, &Allocation::uniform_rc(&txns)).robust();
+        let si_robust = is_robust(&txns, &Allocation::uniform_si(&txns)).robust();
+        assert!(!rc_robust || si_robust);
+    }
+}

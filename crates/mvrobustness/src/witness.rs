@@ -1,0 +1,268 @@
+//! Materializing split-schedule specifications into concrete,
+//! machine-checked counterexample schedules.
+//!
+//! This module is the constructive (2)→(1) direction of Theorem 3.2: given
+//! a valid [`SplitSpec`], it builds the multiversion schedule
+//!
+//! ```text
+//! prefix_{b₁}(T₁) · T₂ · … · T_m · postfix_{b₁}(T₁) · T_{m+1} · … · T_n
+//! ```
+//!
+//! with the commit-order version order and the anchored read-last-committed
+//! version function forced by the allocation
+//! ([`mvisolation::derive_schedule`]). Conditions (1)–(3) of Definition 3.1
+//! guarantee the result exhibits no dirty or concurrent writes the
+//! allocation forbids; conditions (6)–(8) guarantee no dangerous structure
+//! among SSI transactions; conditions (4)–(5) guarantee the dependency
+//! cycle `T₁ → T₂ → … → T_m → T₁`, so the schedule is not conflict
+//! serializable. [`verify_witness`] machine-checks both properties.
+
+use crate::split_schedule::SplitSpec;
+use mvisolation::{allowed_under, violations, Allocation};
+use mvmodel::serializability::is_conflict_serializable;
+use mvmodel::{OpId, Schedule, TransactionSet, TxnId};
+use std::fmt;
+use std::sync::Arc;
+
+/// Errors from witness verification.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum WitnessError {
+    /// The materialized schedule is not allowed under the allocation —
+    /// the spec violates Definition 3.1 (first violation shown).
+    NotAllowed(String),
+    /// The materialized schedule is conflict serializable — the spec does
+    /// not witness non-robustness.
+    Serializable,
+}
+
+impl fmt::Display for WitnessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WitnessError::NotAllowed(v) => {
+                write!(f, "witness schedule is not allowed under the allocation: {v}")
+            }
+            WitnessError::Serializable => {
+                write!(f, "witness schedule is conflict serializable")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WitnessError {}
+
+/// Builds the concrete counterexample schedule for a split spec.
+///
+/// The operation order follows Figure 1; the version order and version
+/// function are the unique completion forced by `alloc`.
+pub fn materialize(txns: Arc<TransactionSet>, alloc: &Allocation, spec: &SplitSpec) -> Schedule {
+    let mut order: Vec<OpId> = Vec::with_capacity(txns.total_ops() + txns.len());
+    let t1 = txns.txn(spec.t1);
+
+    // prefix_{b₁}(T₁): operations up to and including b₁.
+    for idx in 0..=spec.b1.idx {
+        order.push(OpId::op(spec.t1, idx));
+    }
+    // T₂ … T_m serially.
+    for &mid in &spec.chain {
+        order.extend(txns.txn(mid).op_ids());
+    }
+    // postfix_{b₁}(T₁) and C₁.
+    for idx in (spec.b1.idx + 1)..t1.len() as u16 {
+        order.push(OpId::op(spec.t1, idx));
+    }
+    order.push(OpId::Commit(spec.t1));
+    // Remaining transactions serially, in id order.
+    let mentioned: Vec<TxnId> =
+        std::iter::once(spec.t1).chain(spec.chain.iter().copied()).collect();
+    for t in txns.iter() {
+        if !mentioned.contains(&t.id()) {
+            order.extend(t.op_ids());
+        }
+    }
+
+    mvisolation::derive_schedule(txns, order, alloc)
+        .expect("split-schedule order is a valid interleaving")
+}
+
+/// Machine-checks that a schedule witnesses non-robustness: it must be
+/// allowed under `alloc` and not conflict serializable.
+pub fn verify_witness(s: &Schedule, alloc: &Allocation) -> Result<(), WitnessError> {
+    if !allowed_under(s, alloc) {
+        let vs = violations(s, alloc);
+        return Err(WitnessError::NotAllowed(
+            vs.first().map(|v| v.to_string()).unwrap_or_default(),
+        ));
+    }
+    if is_conflict_serializable(s) {
+        return Err(WitnessError::Serializable);
+    }
+    Ok(())
+}
+
+/// Convenience: runs the robustness check and, when non-robust, returns
+/// the *verified* counterexample schedule.
+///
+/// Panics if the materialized witness fails verification — that would
+/// falsify Theorem 3.2 (or reveal an implementation bug), and the test
+/// suite treats it as such.
+pub fn counterexample_schedule(
+    txns: &Arc<TransactionSet>,
+    alloc: &Allocation,
+) -> Option<(SplitSpec, Schedule)> {
+    let spec = crate::algorithm1::find_counterexample(txns, alloc)?;
+    let s = materialize(Arc::clone(txns), alloc, &spec);
+    verify_witness(&s, alloc)
+        .unwrap_or_else(|e| panic!("Theorem 3.2 witness failed verification: {e}\nspec: {spec}"));
+    Some((spec, s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvisolation::IsolationLevel;
+    use mvmodel::fmt::schedule_order;
+    use mvmodel::TxnSetBuilder;
+
+    fn write_skew() -> Arc<TransactionSet> {
+        let mut b = TxnSetBuilder::new();
+        let x = b.object("x");
+        let y = b.object("y");
+        b.txn(1).read(x).write(y).finish();
+        b.txn(2).read(y).write(x).finish();
+        Arc::new(b.build().unwrap())
+    }
+
+    #[test]
+    fn write_skew_witness_under_si() {
+        let txns = write_skew();
+        let si = Allocation::uniform_si(&txns);
+        let (spec, s) = counterexample_schedule(&txns, &si).expect("not robust");
+        assert_eq!(spec.t1, TxnId(1));
+        // Shape: prefix of T1 (R1[x]), then all of T2, then W1[y] C1.
+        let rendered = schedule_order(&s);
+        assert_eq!(rendered, "R1[x] R2[y] W2[x] C2 W1[y] C1");
+        verify_witness(&s, &si).unwrap();
+    }
+
+    #[test]
+    fn witness_includes_remaining_transactions() {
+        let mut b = TxnSetBuilder::new();
+        let x = b.object("x");
+        let y = b.object("y");
+        let z = b.object("z");
+        b.txn(1).read(x).write(y).finish();
+        b.txn(2).read(y).write(x).finish();
+        b.txn(3).read(z).write(z).finish(); // unrelated
+        let txns = Arc::new(b.build().unwrap());
+        let si = Allocation::uniform_si(&txns);
+        let (spec, s) = counterexample_schedule(&txns, &si).expect("not robust");
+        assert!(!spec.chain.contains(&TxnId(3)));
+        // T3 appears (serially) and the schedule is complete.
+        assert_eq!(s.order().len(), txns.total_ops() + txns.len());
+        verify_witness(&s, &si).unwrap();
+    }
+
+    #[test]
+    fn verify_rejects_serializable_schedules() {
+        let txns = write_skew();
+        let si = Allocation::uniform_si(&txns);
+        let serial =
+            Schedule::single_version_serial(Arc::clone(&txns), &[TxnId(1), TxnId(2)]).unwrap();
+        assert_eq!(verify_witness(&serial, &si), Err(WitnessError::Serializable));
+    }
+
+    #[test]
+    fn verify_rejects_disallowed_schedules() {
+        // Under all-SSI the write-skew witness is not allowed (dangerous
+        // structure), and indeed the workload is robust.
+        let txns = write_skew();
+        let si = Allocation::uniform_si(&txns);
+        let ssi = Allocation::uniform_ssi(&txns);
+        let spec = crate::algorithm1::find_counterexample(&txns, &si).unwrap();
+        let s = materialize(Arc::clone(&txns), &ssi, &spec);
+        match verify_witness(&s, &ssi) {
+            Err(WitnessError::NotAllowed(msg)) => {
+                assert!(msg.contains("dangerous"), "unexpected violation: {msg}")
+            }
+            other => panic!("expected NotAllowed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn witnesses_verified_for_all_nonrobust_uniform_levels() {
+        // Lost update pair: not robust under RC; robust under SI/SSI.
+        let mut b = TxnSetBuilder::new();
+        let x = b.object("x");
+        b.txn(1).read(x).write(x).finish();
+        b.txn(2).read(x).write(x).finish();
+        let txns = Arc::new(b.build().unwrap());
+        for lvl in IsolationLevel::ALL {
+            let a = Allocation::uniform(&txns, lvl);
+            match counterexample_schedule(&txns, &a) {
+                Some((_, s)) => {
+                    assert_eq!(lvl, IsolationLevel::RC);
+                    verify_witness(&s, &a).unwrap();
+                }
+                None => assert_ne!(lvl, IsolationLevel::RC),
+            }
+        }
+    }
+
+    /// The materialized witness has exactly Figure 1's shape:
+    /// prefix_{b1}(T1) · T2 · … · Tm · postfix_{b1}(T1) · C1 · rest.
+    #[test]
+    fn split_schedule_shape_matches_figure_1() {
+        let mut b = TxnSetBuilder::new();
+        let x = b.object("x");
+        let y = b.object("y");
+        let p = b.object("p");
+        let z = b.object("z");
+        b.txn(1).read(x).write(y).finish();
+        b.txn(2).write(x).read(p).finish();
+        b.txn(3).write(p).read(y).finish();
+        b.txn(4).read(z).write(z).finish(); // remaining transaction
+        let txns = Arc::new(b.build().unwrap());
+        let si = Allocation::uniform_si(&txns);
+        let (spec, s) = counterexample_schedule(&txns, &si).expect("3-cycle breaks SI");
+
+        // Partition the operation order into the five segments.
+        let order = s.order();
+        let split_pos = s.pos(mvmodel::OpId::Op(spec.b1)) as usize;
+        // 1. Prefix: operations of T1 up to b1.
+        for &op in &order[..=split_pos] {
+            assert_eq!(op.txn(), Some(spec.t1), "prefix is T1-only");
+        }
+        // 2. Middle: each chain transaction's ops are contiguous (serial)
+        //    and in chain order.
+        let mut cursor = split_pos + 1;
+        for &mid in &spec.chain {
+            let t = s.txns().txn(mid);
+            for expected in t.op_ids() {
+                assert_eq!(order[cursor], expected, "chain transactions run serially");
+                cursor += 1;
+            }
+        }
+        // 3. Postfix: the rest of T1, ending with C1.
+        let t1 = s.txns().txn(spec.t1);
+        for idx in (spec.b1.idx + 1)..t1.len() as u16 {
+            assert_eq!(order[cursor], mvmodel::OpId::op(spec.t1, idx));
+            cursor += 1;
+        }
+        assert_eq!(order[cursor], mvmodel::OpId::Commit(spec.t1));
+        cursor += 1;
+        // 4. Remaining transactions, serially.
+        let t4 = s.txns().txn(TxnId(4));
+        assert!(!spec.chain.contains(&TxnId(4)));
+        for expected in t4.op_ids() {
+            assert_eq!(order[cursor], expected, "remaining transactions appended serially");
+            cursor += 1;
+        }
+        assert_eq!(cursor, order.len());
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(WitnessError::Serializable.to_string().contains("serializable"));
+        assert!(WitnessError::NotAllowed("x".into()).to_string().contains("not allowed"));
+    }
+}

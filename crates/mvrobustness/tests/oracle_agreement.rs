@@ -1,0 +1,168 @@
+//! Cross-validation of Algorithm 1 against the brute-force oracle on
+//! random small workloads — an empirical check of both directions of
+//! Theorem 3.2 under every class of allocation.
+
+use mvisolation::{Allocation, IsolationLevel};
+use mvmodel::{TransactionSet, TxnSetBuilder};
+use mvrobustness::witness::counterexample_schedule;
+use mvrobustness::{is_robust, oracle_is_robust};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use std::sync::Arc;
+
+/// Generates a random workload: `n_txns` transactions of up to
+/// `max_ops` operations over `n_objects` objects.
+fn random_workload(rng: &mut SmallRng, n_txns: u32, max_ops: usize, n_objects: u32) -> Arc<TransactionSet> {
+    loop {
+        let mut b = TxnSetBuilder::new();
+        let objects: Vec<_> = (0..n_objects)
+            .map(|i| b.object(&format!("o{i}")))
+            .collect();
+        for id in 1..=n_txns {
+            let mut t = b.txn(id);
+            let len = rng.random_range(1..=max_ops);
+            let mut used: Vec<(bool, u32)> = Vec::new();
+            for _ in 0..len {
+                let obj = rng.random_range(0..n_objects);
+                let write = rng.random_bool(0.5);
+                if used.contains(&(write, obj)) {
+                    continue;
+                }
+                used.push((write, obj));
+                t = if write { t.write(objects[obj as usize]) } else { t.read(objects[obj as usize]) };
+            }
+            t.finish();
+        }
+        if let Ok(set) = b.build() {
+            return Arc::new(set);
+        }
+    }
+}
+
+fn random_allocation(rng: &mut SmallRng, txns: &TransactionSet) -> Allocation {
+    txns.ids()
+        .map(|t| {
+            let lvl = match rng.random_range(0..3) {
+                0 => IsolationLevel::RC,
+                1 => IsolationLevel::SI,
+                _ => IsolationLevel::SSI,
+            };
+            (t, lvl)
+        })
+        .collect()
+}
+
+/// The workhorse: for each random (workload, allocation) pair, Algorithm 1
+/// and the oracle must agree; when non-robust, the materialized witness
+/// must verify (allowed + non-serializable).
+fn check_agreement(seed: u64, cases: usize, n_txns: u32, max_ops: usize, n_objects: u32) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut robust_count = 0usize;
+    for case in 0..cases {
+        let txns = random_workload(&mut rng, n_txns, max_ops, n_objects);
+        let alloc = random_allocation(&mut rng, &txns);
+        let fast = is_robust(&txns, &alloc).robust();
+        let slow = oracle_is_robust(&txns, &alloc);
+        assert_eq!(
+            fast,
+            slow,
+            "case {case}: Algorithm 1 ({fast}) disagrees with oracle ({slow})\nworkload:\n{}alloc: {alloc}",
+            mvmodel::fmt::transaction_set(&txns),
+        );
+        if fast {
+            robust_count += 1;
+        } else {
+            // Materialize + verify the witness (panics internally if the
+            // Theorem 3.2 construction fails).
+            let (_, s) = counterexample_schedule(&txns, &alloc).unwrap();
+            assert!(!mvmodel::serializability::is_conflict_serializable(&s));
+        }
+    }
+    // Sanity: the generator must produce a healthy mix of robust and
+    // non-robust cases, or the test checks nothing.
+    assert!(robust_count > 0, "no robust case generated");
+    assert!(robust_count < cases, "no non-robust case generated");
+}
+
+#[test]
+fn agreement_two_txns_mixed_allocations() {
+    check_agreement(0xA11C_0001, 150, 2, 3, 3);
+}
+
+#[test]
+fn agreement_three_txns_mixed_allocations() {
+    check_agreement(0xA11C_0002, 40, 3, 3, 2);
+}
+
+#[test]
+fn agreement_three_txns_few_objects_high_contention() {
+    check_agreement(0xA11C_0003, 60, 3, 2, 2);
+}
+
+#[test]
+fn agreement_four_txns_short() {
+    check_agreement(0xA11C_0004, 25, 4, 2, 2);
+}
+
+#[test]
+fn agreement_uniform_levels() {
+    let mut rng = SmallRng::seed_from_u64(0xA11C_0005);
+    for _ in 0..60 {
+        let txns = random_workload(&mut rng, 3, 2, 3);
+        for lvl in IsolationLevel::ALL {
+            let alloc = Allocation::uniform(&txns, lvl);
+            assert_eq!(
+                is_robust(&txns, &alloc).robust(),
+                oracle_is_robust(&txns, &alloc),
+                "disagreement at {lvl} on\n{}",
+                mvmodel::fmt::transaction_set(&txns)
+            );
+        }
+    }
+}
+
+/// Proposition 4.1(1) checked empirically: raising any transaction's level
+/// preserves robustness.
+#[test]
+fn upward_closure_on_random_workloads() {
+    let mut rng = SmallRng::seed_from_u64(0xA11C_0006);
+    for _ in 0..80 {
+        let txns = random_workload(&mut rng, 3, 3, 3);
+        let alloc = random_allocation(&mut rng, &txns);
+        if !is_robust(&txns, &alloc).robust() {
+            continue;
+        }
+        for t in txns.ids() {
+            for lvl in IsolationLevel::ALL {
+                if lvl > alloc.level(t) {
+                    let raised = alloc.with(t, lvl);
+                    assert!(
+                        is_robust(&txns, &raised).robust(),
+                        "raising {t} to {lvl} broke robustness: {alloc}\n{}",
+                        mvmodel::fmt::transaction_set(&txns)
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Proposition 5.1 checked empirically: robust against 𝒜_RC ⇒ robust
+/// against 𝒜_SI.
+#[test]
+fn prop_5_1_on_random_workloads() {
+    let mut rng = SmallRng::seed_from_u64(0xA11C_0007);
+    let mut rc_robust_seen = 0;
+    for _ in 0..150 {
+        let txns = random_workload(&mut rng, 3, 3, 4);
+        if is_robust(&txns, &Allocation::uniform_rc(&txns)).robust() {
+            rc_robust_seen += 1;
+            assert!(
+                is_robust(&txns, &Allocation::uniform_si(&txns)).robust(),
+                "Proposition 5.1 violated on\n{}",
+                mvmodel::fmt::transaction_set(&txns)
+            );
+        }
+    }
+    assert!(rc_robust_seen > 0, "generator produced no RC-robust workloads");
+}

@@ -1,0 +1,99 @@
+//! Simulator configuration.
+
+/// How the engine prevents dangerous structures among SSI transactions.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum SsiMode {
+    /// Abort a committing SSI transaction iff its commit would complete a
+    /// dangerous structure among committed SSI transactions (Definition
+    /// 2.4's condition, checked exactly). Zero false positives; the
+    /// committed history never contains a dangerous structure.
+    #[default]
+    Exact,
+    /// Cahill-style `inConflict`/`outConflict` flag tracking: abort any
+    /// SSI transaction observed with both an incoming and an outgoing
+    /// rw-antidependency to concurrent transactions. Matches deployed
+    /// implementations more closely and admits false-positive aborts.
+    Conservative,
+}
+
+/// Engine/driver configuration.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Seed for the driver's interleaving choices.
+    pub seed: u64,
+    /// Number of concurrent sessions executing jobs.
+    pub concurrency: usize,
+    /// Maximum retries per job after aborts (`None` = retry forever).
+    pub max_retries: Option<u32>,
+    /// Dangerous-structure detector.
+    pub ssi_mode: SsiMode,
+    /// Record the committed execution for export as a formal schedule.
+    /// Disable for long throughput runs.
+    pub record_trace: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            seed: 0,
+            concurrency: 4,
+            max_retries: None,
+            ssi_mode: SsiMode::Exact,
+            record_trace: true,
+        }
+    }
+}
+
+impl SimConfig {
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    pub fn with_concurrency(mut self, n: usize) -> Self {
+        assert!(n > 0, "need at least one session");
+        self.concurrency = n;
+        self
+    }
+
+    pub fn with_ssi_mode(mut self, mode: SsiMode) -> Self {
+        self.ssi_mode = mode;
+        self
+    }
+
+    pub fn with_trace(mut self, record: bool) -> Self {
+        self.record_trace = record;
+        self
+    }
+
+    pub fn with_max_retries(mut self, n: u32) -> Self {
+        self.max_retries = Some(n);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_methods() {
+        let c = SimConfig::default()
+            .with_seed(7)
+            .with_concurrency(2)
+            .with_ssi_mode(SsiMode::Conservative)
+            .with_trace(false)
+            .with_max_retries(3);
+        assert_eq!(c.seed, 7);
+        assert_eq!(c.concurrency, 2);
+        assert_eq!(c.ssi_mode, SsiMode::Conservative);
+        assert!(!c.record_trace);
+        assert_eq!(c.max_retries, Some(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one session")]
+    fn zero_concurrency_rejected() {
+        let _ = SimConfig::default().with_concurrency(0);
+    }
+}

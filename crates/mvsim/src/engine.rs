@@ -1,0 +1,589 @@
+//! The MVCC engine: executes individual operations of concurrent
+//! transaction attempts under per-transaction isolation levels.
+
+use crate::config::{SimConfig, SsiMode};
+use crate::locks::{LockOutcome, LockTable};
+use crate::metrics::{LatencyStats, Metrics};
+use crate::ssi::{SsiTracker, TxnFootprint};
+use crate::trace::TraceRecorder;
+use crate::version::{AttemptId, Observed, Version, VersionStore};
+use mvisolation::IsolationLevel;
+use mvmodel::{Object, Op, OpKind};
+use std::collections::{HashMap, HashSet};
+
+/// Why an attempt was aborted.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum AbortReason {
+    /// Snapshot transaction attempted to overwrite a version committed
+    /// after its snapshot (first-committer-wins).
+    FirstCommitterWins,
+    /// The lock request would have closed a waits-for cycle.
+    Deadlock,
+    /// Committing would have completed (exact mode) or risked
+    /// (conservative mode) a dangerous structure.
+    SsiDangerous,
+}
+
+impl std::fmt::Display for AbortReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            AbortReason::FirstCommitterWins => "first-committer-wins",
+            AbortReason::Deadlock => "deadlock",
+            AbortReason::SsiDangerous => "ssi-dangerous-structure",
+        })
+    }
+}
+
+/// Result of executing one step of an attempt.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StepOutcome {
+    /// The operation executed; the attempt has more operations.
+    Progress,
+    /// The attempt blocked on a write lock; the engine will wake it.
+    Blocked,
+    /// The attempt committed (all operations done).
+    Committed,
+    /// The attempt aborted; its effects are rolled back.
+    Aborted(AbortReason),
+}
+
+/// An in-flight transaction attempt.
+#[derive(Debug)]
+struct Active {
+    level: IsolationLevel,
+    ops: Vec<Op>,
+    pc: usize,
+    /// Snapshot/start timestamp; assigned lazily at the first operation so
+    /// `first(T)` semantics match the formal model.
+    start_ts: Option<u64>,
+    /// Observed version per read, in program order.
+    reads: Vec<(Object, Observed)>,
+    /// Buffered writes (installed at commit).
+    writes: Vec<Object>,
+    /// Program counter of a write already recorded in the trace at its
+    /// first (blocked) attempt — see `Engine::write`.
+    trace_recorded_pc: Option<usize>,
+}
+
+impl Active {
+    fn has_written(&self, object: Object) -> bool {
+        self.writes.contains(&object)
+    }
+}
+
+/// The multiversion engine.
+///
+/// The driver owns the scheduling policy; the engine exposes
+/// [`Engine::begin`], [`Engine::step`] and bookkeeping accessors.
+pub struct Engine {
+    config: SimConfig,
+    clock: u64,
+    store: VersionStore,
+    locks: LockTable,
+    ssi: SsiTracker,
+    active: HashMap<AttemptId, Active>,
+    next_attempt: u64,
+    pending_wakes: Vec<AttemptId>,
+    /// SSI transactions marked for abort by conservative-mode pivot rules.
+    doomed: HashSet<AttemptId>,
+    pub metrics: Metrics,
+    /// Per-job commit latencies, filled by the driver.
+    pub latency: LatencyStats,
+    pub trace: TraceRecorder,
+}
+
+impl Engine {
+    pub fn new(config: SimConfig) -> Self {
+        let record = config.record_trace;
+        Engine {
+            config,
+            clock: 0,
+            store: VersionStore::new(),
+            locks: LockTable::new(),
+            ssi: SsiTracker::new(),
+            active: HashMap::new(),
+            next_attempt: 0,
+            pending_wakes: Vec::new(),
+            doomed: HashSet::new(),
+            metrics: Metrics::default(),
+            latency: LatencyStats::default(),
+            trace: TraceRecorder::new(record),
+        }
+    }
+
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    /// Current logical time.
+    pub fn now(&self) -> u64 {
+        self.clock
+    }
+
+    /// Starts a new attempt executing `ops` at `level`.
+    pub fn begin(&mut self, ops: Vec<Op>, level: IsolationLevel) -> AttemptId {
+        self.next_attempt += 1;
+        let id = AttemptId(self.next_attempt);
+        self.trace.record_level(id, level);
+        self.active.insert(
+            id,
+            Active {
+                level,
+                ops,
+                pc: 0,
+                start_ts: None,
+                reads: Vec::new(),
+                writes: Vec::new(),
+                trace_recorded_pc: None,
+            },
+        );
+        id
+    }
+
+    /// Executes the next operation of `who` (or retries the operation it
+    /// blocked on). Must not be called for attempts currently blocked —
+    /// the driver waits for the wake notification from the lock release.
+    pub fn step(&mut self, who: AttemptId) -> (StepOutcome, Vec<AttemptId>) {
+        debug_assert!(self.locks.waiting(who).is_none(), "stepping a blocked attempt");
+        if self.doomed.remove(&who) {
+            return (self.abort(who, AbortReason::SsiDangerous), Vec::new());
+        }
+        let a = self.active.get(&who).expect("unknown attempt");
+        if a.pc >= a.ops.len() {
+            return self.commit(who);
+        }
+        let op = a.ops[a.pc];
+        match op.kind {
+            OpKind::Read => {
+                self.read(who, op.object);
+                (StepOutcome::Progress, Vec::new())
+            }
+            OpKind::Write => self.write(who, op.object),
+        }
+    }
+
+    fn ensure_started(&mut self, who: AttemptId) -> u64 {
+        let now = self.clock;
+        let a = self.active.get_mut(&who).expect("unknown attempt");
+        *a.start_ts.get_or_insert(now)
+    }
+
+    fn read(&mut self, who: AttemptId, object: Object) {
+        let start = self.ensure_started(who);
+        let ts = self.tick();
+        let a = &self.active[&who];
+        let snapshot = match a.level {
+            IsolationLevel::ReadCommitted => ts, // latest committed, now
+            _ => start,                          // transaction snapshot
+        };
+        debug_assert!(
+            !a.has_written(object),
+            "workloads must read an object before writing it (own-write reads \
+             are outside the paper's formal model)"
+        );
+        let observed = self.store.read(object, snapshot);
+        // Conservative SSI: observing an old version of an object a
+        // concurrent SSI transaction overwrote forms the edge
+        // `who →rw writer`; since the writer is already committed, the
+        // Postgres pivot rule applies — if the writer also has an
+        // outgoing edge, the structure is complete and the reader must
+        // abort.
+        if self.config.ssi_mode == SsiMode::Conservative
+            && a.level == IsolationLevel::SerializableSnapshotIsolation
+        {
+            if let Observed::Version(latest) = self.store.latest(object) {
+                let writer_ssi =
+                    self.ssi.footprint(latest.writer).is_some_and(|f| f.ssi);
+                if writer_ssi && latest.commit_ts > observed.ts() && latest.commit_ts > start {
+                    self.ssi.record_rw_edge(who, latest.writer);
+                    if self.ssi.has_out(latest.writer) {
+                        self.doomed.insert(who);
+                    }
+                }
+            }
+        }
+        let a = self.active.get_mut(&who).expect("unknown attempt");
+        a.reads.push((object, observed));
+        a.pc += 1;
+        self.metrics.reads += 1;
+        self.trace.record_read(who, object, observed, ts);
+    }
+
+    fn write(&mut self, who: AttemptId, object: Object) -> (StepOutcome, Vec<AttemptId>) {
+        let start = self.ensure_started(who);
+        let a = &self.active[&who];
+        let level = a.level;
+        // First-committer-wins for snapshot transactions: a version
+        // committed after our snapshot dooms us (checked both before and
+        // after blocking).
+        if level.snapshot_at_start() && self.store.committed_after(object, start) {
+            return (self.abort(who, AbortReason::FirstCommitterWins), Vec::new());
+        }
+        match self.locks.acquire(who, object) {
+            LockOutcome::Granted => {
+                let ts = self.tick();
+                let a = self.active.get_mut(&who).expect("unknown attempt");
+                if !a.has_written(object) {
+                    a.writes.push(object);
+                }
+                let already_recorded = a.trace_recorded_pc == Some(a.pc);
+                a.trace_recorded_pc = None;
+                a.pc += 1;
+                self.metrics.writes += 1;
+                if !already_recorded {
+                    self.trace.record_write(who, object, ts);
+                }
+                (StepOutcome::Progress, Vec::new())
+            }
+            LockOutcome::Blocked { .. } => {
+                self.metrics.blocked_events += 1;
+                // Snapshot transactions take their snapshot at the first
+                // *attempt* of their first operation; the faithful formal
+                // position of a blocked write is therefore the attempt,
+                // not the resume. (Safe: first-committer-wins guarantees
+                // no version of `object` commits between attempt and
+                // resume, else this transaction aborts — so no dirty
+                // write can appear in the exported schedule.) RC
+                // transactions anchor per statement and are recorded at
+                // the resume instead.
+                if level.snapshot_at_start() {
+                    let a = self.active.get_mut(&who).expect("unknown attempt");
+                    if a.trace_recorded_pc != Some(a.pc) {
+                        a.trace_recorded_pc = Some(a.pc);
+                        let ts = self.tick();
+                        self.trace.record_write(who, object, ts);
+                    }
+                }
+                (StepOutcome::Blocked, Vec::new())
+            }
+            LockOutcome::Deadlock => (self.abort(who, AbortReason::Deadlock), Vec::new()),
+        }
+    }
+
+    fn commit(&mut self, who: AttemptId) -> (StepOutcome, Vec<AttemptId>) {
+        let commit_ts = self.tick();
+        let a = self.active.get(&who).expect("unknown attempt");
+        let start_ts = a.start_ts.unwrap_or(commit_ts - 1);
+        let footprint = TxnFootprint {
+            attempt: who,
+            ssi: a.level == IsolationLevel::SerializableSnapshotIsolation,
+            start_ts,
+            commit_ts,
+            reads: a.reads.iter().map(|&(o, obs)| (o, obs.ts())).collect(),
+            writes: a.writes.iter().map(|&o| (o, commit_ts)).collect(),
+        };
+        let dangerous = match self.config.ssi_mode {
+            SsiMode::Exact => self.ssi.exact_check(&footprint),
+            SsiMode::Conservative => footprint.ssi && self.conservative_commit_check(&footprint),
+        };
+        if dangerous {
+            return (self.abort(who, AbortReason::SsiDangerous), Vec::new());
+        }
+        // Install versions and release locks.
+        let a = self.active.remove(&who).expect("unknown attempt");
+        for &object in &a.writes {
+            debug_assert!(self.locks.holds(who, object));
+            self.store.install(object, Version { commit_ts, writer: who });
+        }
+        self.ssi.admit(footprint);
+        let woken = self.locks.release_all(who);
+        self.metrics.commits += 1;
+        self.trace.record_commit(who, commit_ts);
+        self.maybe_gc();
+        (StepOutcome::Committed, woken)
+    }
+
+    /// The Cahill/Postgres-style conservative commit protocol for an SSI
+    /// transaction `t`:
+    ///
+    /// 1. form all rw edges between `t` and *committed* concurrent SSI
+    ///    transactions (both directions), applying the pivot rules — an
+    ///    edge to a committed transaction that already has the matching
+    ///    second flag completes a potential structure and dooms `t`;
+    /// 2. form edges from *active* SSI readers that observed versions `t`
+    ///    is about to overwrite (their SIREADs), dooming any active reader
+    ///    that thereby acquires both flags;
+    /// 3. finally, abort `t` when it holds both an incoming and an
+    ///    outgoing flag.
+    fn conservative_commit_check(&mut self, t: &TxnFootprint) -> bool {
+        let who = t.attempt;
+        // (1) Edges with committed footprints.
+        let mut edges: Vec<(AttemptId, AttemptId)> = Vec::new();
+        let mut doom_self = false;
+        for f in self.ssi.committed_footprints() {
+            if !f.ssi || !f.concurrent(t) {
+                continue;
+            }
+            if t.rw_antidep_to(f) {
+                edges.push((who, f.attempt));
+                if self.ssi.has_out(f.attempt) {
+                    doom_self = true; // t → committed pivot with out-edge
+                }
+            }
+            if f.rw_antidep_to(t) {
+                edges.push((f.attempt, who));
+                if self.ssi.has_in(f.attempt) {
+                    doom_self = true; // committed pivot with in-edge → t
+                }
+            }
+        }
+        // (2) Active SSI readers whose snapshots miss our writes.
+        let mut doom_others: Vec<AttemptId> = Vec::new();
+        for (&other, a) in &self.active {
+            if other == who || a.level != IsolationLevel::SerializableSnapshotIsolation {
+                continue;
+            }
+            let overlaps = a.start_ts.is_none_or(|s| s < t.commit_ts);
+            if !overlaps {
+                continue;
+            }
+            let reads_stale = a.reads.iter().any(|&(o, obs)| {
+                t.writes.iter().any(|&(wo, wts)| wo == o && obs.ts() < wts)
+            });
+            if reads_stale {
+                edges.push((other, who));
+            }
+        }
+        for (from, to) in edges {
+            self.ssi.record_rw_edge(from, to);
+        }
+        for (&other, a) in &self.active {
+            if a.level == IsolationLevel::SerializableSnapshotIsolation
+                && self.ssi.conservative_flags(other)
+            {
+                doom_others.push(other);
+            }
+        }
+        self.doomed.extend(doom_others);
+        doom_self || self.ssi.conservative_flags(who)
+    }
+
+    fn abort(&mut self, who: AttemptId, reason: AbortReason) -> StepOutcome {
+        self.active.remove(&who).expect("unknown attempt");
+        self.doomed.remove(&who);
+        self.ssi.forget(who);
+        let woken = self.locks.release_all(who);
+        debug_assert!(woken.is_empty() || !woken.contains(&who));
+        self.pending_wakes.extend(woken);
+        self.metrics.record_abort(reason);
+        self.trace.record_abort(who);
+        StepOutcome::Aborted(reason)
+    }
+
+    fn maybe_gc(&mut self) {
+        if self.metrics.commits.is_multiple_of(64) {
+            let horizon = self
+                .active
+                .values()
+                .filter_map(|a| a.start_ts)
+                .min()
+                .unwrap_or(self.clock);
+            self.ssi.gc(horizon);
+        }
+    }
+
+    /// Attempts woken by lock releases during aborts, drained by the
+    /// driver.
+    pub fn drain_wakes(&mut self) -> Vec<AttemptId> {
+        std::mem::take(&mut self.pending_wakes)
+    }
+
+    /// Whether `who` is currently blocked on a lock.
+    pub fn is_blocked(&self, who: AttemptId) -> bool {
+        self.locks.waiting(who).is_some()
+    }
+
+    /// Number of in-flight attempts (diagnostics).
+    pub fn active_count(&self) -> usize {
+        self.active.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvmodel::Op;
+
+    fn obj(n: u32) -> Object {
+        Object(n)
+    }
+
+    #[test]
+    fn rc_reads_see_latest_committed() {
+        let mut e = Engine::new(SimConfig::default());
+        let w = e.begin(vec![Op::write(obj(1))], IsolationLevel::RC);
+        assert_eq!(e.step(w).0, StepOutcome::Progress);
+        assert_eq!(e.step(w).0, StepOutcome::Committed);
+        let r = e.begin(vec![Op::read(obj(1))], IsolationLevel::RC);
+        assert_eq!(e.step(r).0, StepOutcome::Progress);
+        let observed = e.trace.last_read_observed().expect("read recorded");
+        assert_eq!(observed.writer(), Some(w));
+    }
+
+    #[test]
+    fn si_reads_use_transaction_snapshot() {
+        let mut e = Engine::new(SimConfig::default());
+        // T1 (SI) starts by reading object 2; then T2 writes object 1 and
+        // commits; T1's later read of object 1 must still see op0.
+        let t1 = e.begin(vec![Op::read(obj(2)), Op::read(obj(1))], IsolationLevel::SI);
+        assert_eq!(e.step(t1).0, StepOutcome::Progress);
+        let t2 = e.begin(vec![Op::write(obj(1))], IsolationLevel::RC);
+        e.step(t2);
+        assert_eq!(e.step(t2).0, StepOutcome::Committed);
+        assert_eq!(e.step(t1).0, StepOutcome::Progress);
+        let observed = e.trace.last_read_observed().unwrap();
+        assert_eq!(observed, Observed::Initial, "SI read must ignore later commits");
+    }
+
+    #[test]
+    fn rc_read_after_commit_sees_new_version() {
+        let mut e = Engine::new(SimConfig::default());
+        let t1 = e.begin(vec![Op::read(obj(2)), Op::read(obj(1))], IsolationLevel::RC);
+        e.step(t1);
+        let t2 = e.begin(vec![Op::write(obj(1))], IsolationLevel::RC);
+        e.step(t2);
+        e.step(t2);
+        e.step(t1);
+        let observed = e.trace.last_read_observed().unwrap();
+        assert_eq!(observed.writer(), Some(t2), "RC reads per-statement snapshots");
+    }
+
+    #[test]
+    fn first_committer_wins_aborts_si_writer() {
+        let mut e = Engine::new(SimConfig::default());
+        let t1 = e.begin(vec![Op::read(obj(1)), Op::write(obj(1))], IsolationLevel::SI);
+        e.step(t1); // read: snapshot taken
+        let t2 = e.begin(vec![Op::write(obj(1))], IsolationLevel::RC);
+        e.step(t2);
+        e.step(t2); // committed a newer version of obj 1
+        let (out, _) = e.step(t1);
+        assert_eq!(out, StepOutcome::Aborted(AbortReason::FirstCommitterWins));
+        assert_eq!(e.metrics.aborts_fcw, 1);
+    }
+
+    #[test]
+    fn rc_writer_survives_concurrent_committed_write() {
+        let mut e = Engine::new(SimConfig::default());
+        let t1 = e.begin(vec![Op::read(obj(1)), Op::write(obj(1))], IsolationLevel::RC);
+        e.step(t1);
+        let t2 = e.begin(vec![Op::write(obj(1))], IsolationLevel::RC);
+        e.step(t2);
+        e.step(t2);
+        assert_eq!(e.step(t1).0, StepOutcome::Progress, "RC writes through");
+        assert_eq!(e.step(t1).0, StepOutcome::Committed);
+        assert_eq!(e.metrics.commits, 2);
+    }
+
+    #[test]
+    fn write_lock_blocks_until_commit() {
+        let mut e = Engine::new(SimConfig::default());
+        let t1 = e.begin(vec![Op::write(obj(1))], IsolationLevel::RC);
+        e.step(t1); // holds lock
+        let t2 = e.begin(vec![Op::write(obj(1))], IsolationLevel::RC);
+        let (out, _) = e.step(t2);
+        assert_eq!(out, StepOutcome::Blocked);
+        assert!(e.is_blocked(t2));
+        let (out, woken) = e.step(t1); // commit releases the lock
+        assert_eq!(out, StepOutcome::Committed);
+        assert_eq!(woken, vec![t2]);
+        assert!(!e.is_blocked(t2));
+        // T2 (RC) retries its write and proceeds.
+        assert_eq!(e.step(t2).0, StepOutcome::Progress);
+        assert_eq!(e.step(t2).0, StepOutcome::Committed);
+    }
+
+    #[test]
+    fn unblocked_si_writer_hits_fcw() {
+        let mut e = Engine::new(SimConfig::default());
+        let t1 = e.begin(vec![Op::write(obj(1))], IsolationLevel::RC);
+        e.step(t1);
+        let t2 = e.begin(vec![Op::read(obj(2)), Op::write(obj(1))], IsolationLevel::SI);
+        e.step(t2); // snapshot
+        assert_eq!(e.step(t2).0, StepOutcome::Blocked);
+        let (_, woken) = e.step(t1);
+        assert_eq!(woken, vec![t2]);
+        // On retry, the freshly committed version dooms T2.
+        let (out, _) = e.step(t2);
+        assert_eq!(out, StepOutcome::Aborted(AbortReason::FirstCommitterWins));
+    }
+
+    #[test]
+    fn deadlock_aborts_requester() {
+        let mut e = Engine::new(SimConfig::default());
+        let t1 = e.begin(vec![Op::write(obj(1)), Op::write(obj(2))], IsolationLevel::RC);
+        let t2 = e.begin(vec![Op::write(obj(2)), Op::write(obj(1))], IsolationLevel::RC);
+        e.step(t1); // t1 holds 1
+        e.step(t2); // t2 holds 2
+        assert_eq!(e.step(t1).0, StepOutcome::Blocked); // t1 wants 2
+        let (out, _) = e.step(t2); // t2 wants 1: cycle
+        assert_eq!(out, StepOutcome::Aborted(AbortReason::Deadlock));
+        // T2's abort released object 2 and woke T1.
+        let wakes = e.drain_wakes();
+        assert_eq!(wakes, vec![t1]);
+        assert_eq!(e.step(t1).0, StepOutcome::Progress);
+        assert_eq!(e.step(t1).0, StepOutcome::Committed);
+    }
+
+    #[test]
+    fn exact_ssi_aborts_write_skew_second_committer() {
+        let mut e = Engine::new(SimConfig::default());
+        let t1 = e.begin(
+            vec![Op::read(obj(1)), Op::write(obj(2))],
+            IsolationLevel::SSI,
+        );
+        let t2 = e.begin(
+            vec![Op::read(obj(2)), Op::write(obj(1))],
+            IsolationLevel::SSI,
+        );
+        e.step(t1); // R1[x]
+        e.step(t2); // R2[y]
+        e.step(t1); // W1[y]
+        e.step(t2); // W2[x]
+        assert_eq!(e.step(t2).0, StepOutcome::Committed, "first committer passes");
+        let (out, _) = e.step(t1);
+        assert_eq!(out, StepOutcome::Aborted(AbortReason::SsiDangerous));
+        assert_eq!(e.metrics.aborts_ssi, 1);
+    }
+
+    #[test]
+    fn si_write_skew_commits_both() {
+        // The same interleaving under plain SI commits both — the anomaly
+        // SSI exists to prevent.
+        let mut e = Engine::new(SimConfig::default());
+        let t1 = e.begin(vec![Op::read(obj(1)), Op::write(obj(2))], IsolationLevel::SI);
+        let t2 = e.begin(vec![Op::read(obj(2)), Op::write(obj(1))], IsolationLevel::SI);
+        e.step(t1);
+        e.step(t2);
+        e.step(t1);
+        e.step(t2);
+        assert_eq!(e.step(t2).0, StepOutcome::Committed);
+        assert_eq!(e.step(t1).0, StepOutcome::Committed);
+        assert_eq!(e.metrics.commits, 2);
+    }
+
+    #[test]
+    fn conservative_ssi_also_stops_write_skew() {
+        let mut e = Engine::new(SimConfig::default().with_ssi_mode(SsiMode::Conservative));
+        let t1 = e.begin(vec![Op::read(obj(1)), Op::write(obj(2))], IsolationLevel::SSI);
+        let t2 = e.begin(vec![Op::read(obj(2)), Op::write(obj(1))], IsolationLevel::SSI);
+        e.step(t1);
+        e.step(t2);
+        e.step(t1);
+        e.step(t2);
+        let first = e.step(t2).0;
+        let second = e.step(t1).0;
+        // At least one of the two must abort.
+        let aborted = matches!(first, StepOutcome::Aborted(_))
+            || matches!(second, StepOutcome::Aborted(_));
+        assert!(aborted, "conservative SSI must break the skew: {first:?} {second:?}");
+    }
+
+    #[test]
+    fn empty_transaction_commits() {
+        let mut e = Engine::new(SimConfig::default());
+        let t = e.begin(vec![], IsolationLevel::SSI);
+        assert_eq!(e.step(t).0, StepOutcome::Committed);
+        assert_eq!(e.active_count(), 0);
+    }
+}

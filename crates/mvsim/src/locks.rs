@@ -1,0 +1,215 @@
+//! Exclusive write locks with FIFO queues and waits-for deadlock
+//! detection.
+
+use crate::version::AttemptId;
+use mvmodel::Object;
+use std::collections::{HashMap, VecDeque};
+
+/// Outcome of a lock request.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LockOutcome {
+    /// Lock acquired (or already held by the requester).
+    Granted,
+    /// The requester was enqueued behind the current holder.
+    Blocked { holder: AttemptId },
+    /// Granting would close a waits-for cycle; the requester must abort.
+    Deadlock,
+}
+
+#[derive(Debug, Default)]
+struct LockState {
+    holder: Option<AttemptId>,
+    waiters: VecDeque<AttemptId>,
+}
+
+/// The lock table. Writes take exclusive per-object locks held until
+/// commit or abort; reads never lock (MVCC).
+#[derive(Debug, Default)]
+pub struct LockTable {
+    locks: HashMap<Object, LockState>,
+    /// `waits_for[t] = object` the attempt is currently queued on.
+    waiting_on: HashMap<AttemptId, Object>,
+    /// Objects held per attempt (for release-on-commit/abort).
+    held: HashMap<AttemptId, Vec<Object>>,
+}
+
+impl LockTable {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests the exclusive lock on `object` for `who`.
+    ///
+    /// Deadlock policy: if enqueueing would close a cycle in the waits-for
+    /// graph, the request is denied with [`LockOutcome::Deadlock`] and the
+    /// requester is expected to abort (wound-nothing / die-self).
+    pub fn acquire(&mut self, who: AttemptId, object: Object) -> LockOutcome {
+        let holder = self.locks.entry(object).or_default().holder;
+        match holder {
+            None => {
+                self.locks.get_mut(&object).expect("just inserted").holder = Some(who);
+                self.held.entry(who).or_default().push(object);
+                LockOutcome::Granted
+            }
+            Some(h) if h == who => LockOutcome::Granted,
+            Some(h) => {
+                // Cycle test: does a waits-for path lead from the holder
+                // back to `who`?
+                if self.path_to(h, who) {
+                    return LockOutcome::Deadlock;
+                }
+                let state = self.locks.get_mut(&object).expect("just inserted");
+                if !state.waiters.contains(&who) {
+                    state.waiters.push_back(who);
+                }
+                self.waiting_on.insert(who, object);
+                LockOutcome::Blocked { holder: h }
+            }
+        }
+    }
+
+    /// Whether a waits-for path leads from `from` to `to`.
+    fn path_to(&self, mut from: AttemptId, to: AttemptId) -> bool {
+        // Chains only (each attempt waits on at most one object), so the
+        // walk is linear; guard against longer cycles not through `to`.
+        let mut steps = 0;
+        loop {
+            if from == to {
+                return true;
+            }
+            let Some(object) = self.waiting_on.get(&from) else { return false };
+            let Some(holder) = self.locks.get(object).and_then(|s| s.holder) else {
+                return false;
+            };
+            from = holder;
+            steps += 1;
+            if steps > self.waiting_on.len() + 1 {
+                return false; // cycle not involving `to`
+            }
+        }
+    }
+
+    /// Releases all locks of `who` (commit or abort), removing it from any
+    /// wait queue. Returns the attempts granted a lock by the release, in
+    /// FIFO order — the driver wakes them.
+    pub fn release_all(&mut self, who: AttemptId) -> Vec<AttemptId> {
+        // Cancel a pending wait.
+        if let Some(object) = self.waiting_on.remove(&who) {
+            if let Some(state) = self.locks.get_mut(&object) {
+                state.waiters.retain(|&w| w != who);
+            }
+        }
+        let mut woken = Vec::new();
+        for object in self.held.remove(&who).unwrap_or_default() {
+            let state = self.locks.get_mut(&object).expect("held lock exists");
+            debug_assert_eq!(state.holder, Some(who));
+            state.holder = None;
+            if let Some(next) = state.waiters.pop_front() {
+                state.holder = Some(next);
+                self.waiting_on.remove(&next);
+                self.held.entry(next).or_default().push(object);
+                woken.push(next);
+            }
+        }
+        woken
+    }
+
+    /// Whether `who` currently holds the lock on `object`.
+    pub fn holds(&self, who: AttemptId, object: Object) -> bool {
+        self.locks.get(&object).is_some_and(|s| s.holder == Some(who))
+    }
+
+    /// The object `who` is blocked on, if any.
+    pub fn waiting(&self, who: AttemptId) -> Option<Object> {
+        self.waiting_on.get(&who).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(n: u64) -> AttemptId {
+        AttemptId(n)
+    }
+
+    fn o(n: u32) -> Object {
+        Object(n)
+    }
+
+    #[test]
+    fn grant_block_release_cycle() {
+        let mut lt = LockTable::new();
+        assert_eq!(lt.acquire(a(1), o(9)), LockOutcome::Granted);
+        assert!(lt.holds(a(1), o(9)));
+        // Reacquire is idempotent.
+        assert_eq!(lt.acquire(a(1), o(9)), LockOutcome::Granted);
+        assert_eq!(lt.acquire(a(2), o(9)), LockOutcome::Blocked { holder: a(1) });
+        assert_eq!(lt.waiting(a(2)), Some(o(9)));
+        let woken = lt.release_all(a(1));
+        assert_eq!(woken, vec![a(2)]);
+        assert!(lt.holds(a(2), o(9)));
+        assert_eq!(lt.waiting(a(2)), None);
+    }
+
+    #[test]
+    fn fifo_wakeup() {
+        let mut lt = LockTable::new();
+        lt.acquire(a(1), o(1));
+        lt.acquire(a(2), o(1));
+        lt.acquire(a(3), o(1));
+        let woken = lt.release_all(a(1));
+        assert_eq!(woken, vec![a(2)]);
+        let woken = lt.release_all(a(2));
+        assert_eq!(woken, vec![a(3)]);
+    }
+
+    #[test]
+    fn deadlock_detected() {
+        let mut lt = LockTable::new();
+        lt.acquire(a(1), o(1));
+        lt.acquire(a(2), o(2));
+        assert_eq!(lt.acquire(a(1), o(2)), LockOutcome::Blocked { holder: a(2) });
+        // T2 requesting o1 closes the cycle T2 → T1 → T2.
+        assert_eq!(lt.acquire(a(2), o(1)), LockOutcome::Deadlock);
+        // T2 was not enqueued; releasing T1's wait unblocks nothing odd.
+        let woken = lt.release_all(a(2));
+        assert_eq!(woken, vec![a(1)]);
+        assert!(lt.holds(a(1), o(2)));
+    }
+
+    #[test]
+    fn three_party_deadlock() {
+        let mut lt = LockTable::new();
+        lt.acquire(a(1), o(1));
+        lt.acquire(a(2), o(2));
+        lt.acquire(a(3), o(3));
+        assert!(matches!(lt.acquire(a(1), o(2)), LockOutcome::Blocked { .. }));
+        assert!(matches!(lt.acquire(a(2), o(3)), LockOutcome::Blocked { .. }));
+        assert_eq!(lt.acquire(a(3), o(1)), LockOutcome::Deadlock);
+    }
+
+    #[test]
+    fn release_cancels_pending_wait() {
+        let mut lt = LockTable::new();
+        lt.acquire(a(1), o(1));
+        lt.acquire(a(2), o(1));
+        // T2 aborts while waiting.
+        let woken = lt.release_all(a(2));
+        assert!(woken.is_empty());
+        let woken = lt.release_all(a(1));
+        assert!(woken.is_empty(), "no waiters left");
+    }
+
+    #[test]
+    fn multiple_locks_released_together() {
+        let mut lt = LockTable::new();
+        lt.acquire(a(1), o(1));
+        lt.acquire(a(1), o(2));
+        lt.acquire(a(2), o(1));
+        lt.acquire(a(3), o(2));
+        let mut woken = lt.release_all(a(1));
+        woken.sort_unstable();
+        assert_eq!(woken, vec![a(2), a(3)]);
+    }
+}

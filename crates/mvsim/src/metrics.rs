@@ -1,0 +1,202 @@
+//! Execution counters and derived statistics.
+
+use crate::engine::AbortReason;
+
+/// Counters collected by the engine and driver.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Metrics {
+    pub commits: u64,
+    pub aborts_fcw: u64,
+    pub aborts_deadlock: u64,
+    pub aborts_ssi: u64,
+    pub reads: u64,
+    pub writes: u64,
+    pub blocked_events: u64,
+    /// Jobs abandoned after exhausting their retry budget.
+    pub gave_up: u64,
+    /// Final logical clock — every read/write/commit advances it by one,
+    /// so it measures total work including wasted (aborted) operations.
+    pub ticks: u64,
+}
+
+impl Metrics {
+    pub fn record_abort(&mut self, reason: AbortReason) {
+        match reason {
+            AbortReason::FirstCommitterWins => self.aborts_fcw += 1,
+            AbortReason::Deadlock => self.aborts_deadlock += 1,
+            AbortReason::SsiDangerous => self.aborts_ssi += 1,
+        }
+    }
+
+    pub fn total_aborts(&self) -> u64 {
+        self.aborts_fcw + self.aborts_deadlock + self.aborts_ssi
+    }
+
+    /// Committed transactions per logical tick — the throughput proxy:
+    /// ticks spent on aborted attempts and retries lower it.
+    pub fn goodput(&self) -> f64 {
+        if self.ticks == 0 {
+            0.0
+        } else {
+            self.commits as f64 / self.ticks as f64
+        }
+    }
+
+    /// Fraction of attempts that aborted.
+    pub fn abort_rate(&self) -> f64 {
+        let attempts = self.commits + self.total_aborts();
+        if attempts == 0 {
+            0.0
+        } else {
+            self.total_aborts() as f64 / attempts as f64
+        }
+    }
+}
+
+impl std::fmt::Display for Metrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "commits={} aborts(fcw={}, deadlock={}, ssi={}) gave_up={} ticks={} goodput={:.4} abort_rate={:.3}",
+            self.commits,
+            self.aborts_fcw,
+            self.aborts_deadlock,
+            self.aborts_ssi,
+            self.gave_up,
+            self.ticks,
+            self.goodput(),
+            self.abort_rate(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abort_recording_and_rates() {
+        let mut m = Metrics::default();
+        m.record_abort(AbortReason::FirstCommitterWins);
+        m.record_abort(AbortReason::Deadlock);
+        m.record_abort(AbortReason::SsiDangerous);
+        m.record_abort(AbortReason::SsiDangerous);
+        assert_eq!(m.total_aborts(), 4);
+        assert_eq!(m.aborts_ssi, 2);
+        m.commits = 6;
+        assert!((m.abort_rate() - 0.4).abs() < 1e-9);
+        m.ticks = 60;
+        assert!((m.goodput() - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_division_guards() {
+        let m = Metrics::default();
+        assert_eq!(m.goodput(), 0.0);
+        assert_eq!(m.abort_rate(), 0.0);
+        assert!(m.to_string().contains("commits=0"));
+    }
+}
+
+/// Per-job commit latencies in logical ticks (first attempt begin →
+/// commit), including time lost to retries.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LatencyStats {
+    samples: Vec<u64>,
+}
+
+impl LatencyStats {
+    pub fn record(&mut self, ticks: u64) {
+        self.samples.push(ticks);
+    }
+
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().sum::<u64>() as f64 / self.samples.len() as f64
+    }
+
+    /// The q-quantile (0.0 ..= 1.0) by nearest-rank.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.samples.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let rank = ((q.clamp(0.0, 1.0)) * (sorted.len() - 1) as f64).round() as usize;
+        sorted[rank]
+    }
+
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.5)
+    }
+
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    pub fn max(&self) -> u64 {
+        self.samples.iter().copied().max().unwrap_or(0)
+    }
+
+    /// The raw samples (unsorted, in completion order).
+    pub fn samples(&self) -> &[u64] {
+        &self.samples
+    }
+
+    /// Absorbs another stats object's samples.
+    pub fn merge(&mut self, other: &LatencyStats) {
+        self.samples.extend_from_slice(&other.samples);
+    }
+}
+
+impl std::fmt::Display for LatencyStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "latency ticks: mean={:.1} p50={} p95={} max={} (n={})",
+            self.mean(),
+            self.p50(),
+            self.p95(),
+            self.max(),
+            self.count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod latency_tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_and_mean() {
+        let mut l = LatencyStats::default();
+        assert!(l.is_empty());
+        assert_eq!(l.p50(), 0);
+        assert_eq!(l.mean(), 0.0);
+        for v in [10u64, 20, 30, 40, 100] {
+            l.record(v);
+        }
+        assert_eq!(l.count(), 5);
+        assert_eq!(l.mean(), 40.0);
+        assert_eq!(l.p50(), 30);
+        assert_eq!(l.max(), 100);
+        assert_eq!(l.quantile(0.0), 10);
+        assert_eq!(l.quantile(1.0), 100);
+        assert!(l.to_string().contains("p50=30"));
+        let mut m = LatencyStats::default();
+        m.record(1);
+        m.merge(&l);
+        assert_eq!(m.count(), 6);
+        assert_eq!(m.samples().len(), 6);
+    }
+}

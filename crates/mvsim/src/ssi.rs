@@ -1,0 +1,283 @@
+//! Dangerous-structure prevention for SSI transactions.
+//!
+//! Two detectors (selected by [`crate::SsiMode`]):
+//!
+//! - [`SsiTracker::exact_check`] decides, at commit time, whether the
+//!   committing transaction would complete a dangerous structure
+//!   `T₁ →rw T₂ →rw T₃` (pairwise concurrent, `C₃ ≤ C₁`, `C₃ < C₂`)
+//!   among *committed SSI transactions*. Aborting exactly these commits
+//!   keeps the committed history free of dangerous structures with zero
+//!   false positives.
+//! - [`SsiTracker::conservative_flags`] mimics Cahill-style
+//!   `inConflict`/`outConflict` booleans: any SSI transaction observed
+//!   with both an incoming and an outgoing rw-antidependency to a
+//!   concurrent transaction is aborted at commit, which may abort
+//!   histories that were in fact serializable.
+
+use crate::version::AttemptId;
+use mvmodel::Object;
+use std::collections::HashMap;
+
+/// What the tracker retains about a finished (committed) SSI-relevant
+/// transaction.
+#[derive(Clone, Debug)]
+pub struct TxnFootprint {
+    pub attempt: AttemptId,
+    pub ssi: bool,
+    pub start_ts: u64,
+    pub commit_ts: u64,
+    /// Objects read, with the commit timestamp of the observed version
+    /// (0 = initial).
+    pub reads: Vec<(Object, u64)>,
+    /// Objects written, with the installed version's commit timestamp.
+    pub writes: Vec<(Object, u64)>,
+}
+
+impl TxnFootprint {
+    /// Whether two footprints are concurrent: each started before the
+    /// other committed.
+    pub fn concurrent(&self, other: &TxnFootprint) -> bool {
+        self.attempt != other.attempt
+            && self.start_ts < other.commit_ts
+            && other.start_ts < self.commit_ts
+    }
+
+    /// Whether `self →rw other`: self read a version of some object that
+    /// `other` overwrote (observed timestamp < other's installed
+    /// timestamp).
+    pub fn rw_antidep_to(&self, other: &TxnFootprint) -> bool {
+        if self.attempt == other.attempt {
+            return false;
+        }
+        self.reads.iter().any(|&(obj, seen_ts)| {
+            other
+                .writes
+                .iter()
+                .any(|&(wobj, wts)| wobj == obj && seen_ts < wts)
+        })
+    }
+}
+
+/// Tracks committed SSI transactions for the exact detector, plus
+/// Cahill-style flags for the conservative one.
+#[derive(Debug, Default)]
+pub struct SsiTracker {
+    committed: Vec<TxnFootprint>,
+    /// Cahill flags per attempt: (has incoming rw, has outgoing rw).
+    flags: HashMap<AttemptId, (bool, bool)>,
+}
+
+impl SsiTracker {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The exact dangerous-structure test: would admitting `cand`
+    /// complete a structure among committed SSI transactions?
+    ///
+    /// Since `cand` commits last, it can only take the role of `T₁` or
+    /// `T₂` (the structure requires `C₃` to be earliest and `C₃ < C₂`,
+    /// `C₃ ≤ C₁`; `T₁ = T₃` is possible only when they are the same
+    /// transaction, which cannot be `cand` and an earlier committer at
+    /// once unless `cand = T₁ = T₃` with itself — excluded since
+    /// `C₃ < C₂ ≤` would force another earlier transaction anyway, which
+    /// the search below covers by treating `cand` in every role).
+    pub fn exact_check(&self, cand: &TxnFootprint) -> bool {
+        if !cand.ssi {
+            return false;
+        }
+        let pool: Vec<&TxnFootprint> = self
+            .committed
+            .iter()
+            .filter(|f| f.ssi)
+            .chain(std::iter::once(cand))
+            .collect();
+        // Enumerate pivots T₂ and endpoints; T₁ = T₃ allowed.
+        for &t2 in &pool {
+            for &t1 in &pool {
+                if !(t1.rw_antidep_to(t2) && t1.concurrent(t2)) {
+                    continue;
+                }
+                for &t3 in &pool {
+                    let same_endpoints = t1.attempt == t3.attempt;
+                    if !(t2.rw_antidep_to(t3) && t2.concurrent(t3)) {
+                        continue;
+                    }
+                    let c_ok = if same_endpoints {
+                        t3.commit_ts < t2.commit_ts
+                    } else {
+                        t3.commit_ts <= t1.commit_ts && t3.commit_ts < t2.commit_ts
+                    };
+                    if !c_ok {
+                        continue;
+                    }
+                    // The structure must involve the candidate, otherwise
+                    // it would have been rejected at an earlier commit.
+                    if [t1.attempt, t2.attempt, t3.attempt].contains(&cand.attempt) {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Records a committed transaction's footprint (call after the exact
+    /// check admitted it).
+    pub fn admit(&mut self, footprint: TxnFootprint) {
+        self.committed.push(footprint);
+    }
+
+    /// Conservative flag updates: called when a new rw-antidependency
+    /// `from →rw to` between concurrent transactions is observed.
+    pub fn record_rw_edge(&mut self, from: AttemptId, to: AttemptId) {
+        self.flags.entry(from).or_default().1 = true;
+        self.flags.entry(to).or_default().0 = true;
+    }
+
+    /// Conservative commit test: abort when both flags are set.
+    pub fn conservative_flags(&self, who: AttemptId) -> bool {
+        self.flags.get(&who).is_some_and(|&(i, o)| i && o)
+    }
+
+    /// Whether `who` has an incoming rw flag.
+    pub fn has_in(&self, who: AttemptId) -> bool {
+        self.flags.get(&who).is_some_and(|&(i, _)| i)
+    }
+
+    /// Whether `who` has an outgoing rw flag.
+    pub fn has_out(&self, who: AttemptId) -> bool {
+        self.flags.get(&who).is_some_and(|&(_, o)| o)
+    }
+
+    /// The retained footprint of a committed attempt, if any.
+    pub fn footprint(&self, who: AttemptId) -> Option<&TxnFootprint> {
+        self.committed.iter().find(|f| f.attempt == who)
+    }
+
+    /// Iterates retained committed footprints.
+    pub fn committed_footprints(&self) -> impl Iterator<Item = &TxnFootprint> {
+        self.committed.iter()
+    }
+
+    /// Drops state for an aborted attempt.
+    pub fn forget(&mut self, who: AttemptId) {
+        self.flags.remove(&who);
+    }
+
+    /// Garbage-collects committed footprints no future transaction can be
+    /// concurrent with (`commit_ts < horizon`, where `horizon` is the
+    /// minimum start timestamp of any active transaction, or the current
+    /// clock when none is active).
+    pub fn gc(&mut self, horizon: u64) {
+        self.committed.retain(|f| f.commit_ts >= horizon);
+    }
+
+    /// Number of retained committed footprints (diagnostics).
+    pub fn retained(&self) -> usize {
+        self.committed.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp(
+        attempt: u64,
+        ssi: bool,
+        start: u64,
+        commit: u64,
+        reads: &[(u32, u64)],
+        writes: &[(u32, u64)],
+    ) -> TxnFootprint {
+        TxnFootprint {
+            attempt: AttemptId(attempt),
+            ssi,
+            start_ts: start,
+            commit_ts: commit,
+            reads: reads.iter().map(|&(o, t)| (Object(o), t)).collect(),
+            writes: writes.iter().map(|&(o, t)| (Object(o), t)).collect(),
+        }
+    }
+
+    #[test]
+    fn footprint_relations() {
+        let a = fp(1, true, 0, 10, &[(1, 0)], &[]);
+        let b = fp(2, true, 5, 8, &[], &[(1, 8)]);
+        assert!(a.concurrent(&b));
+        assert!(a.rw_antidep_to(&b), "a read ts 0, b wrote ts 8");
+        assert!(!b.rw_antidep_to(&a));
+        let c = fp(3, true, 20, 25, &[], &[(1, 25)]);
+        assert!(!a.concurrent(&c));
+        assert!(a.rw_antidep_to(&c), "antidependencies ignore concurrency");
+    }
+
+    /// Write skew: T1 reads x writes y, T2 reads y writes x, overlapping;
+    /// T2 commits first. The structure is T2 →rw T1 →rw T2 (T₁ = T₃ = T2
+    /// … pivot T1). Committing the second one must be rejected.
+    #[test]
+    fn exact_check_rejects_write_skew() {
+        let mut tracker = SsiTracker::new();
+        let t2 = fp(2, true, 1, 5, &[(2, 0)], &[(1, 5)]);
+        assert!(!tracker.exact_check(&t2), "first committer is fine");
+        tracker.admit(t2);
+        let t1 = fp(1, true, 0, 8, &[(1, 0)], &[(2, 8)]);
+        assert!(tracker.exact_check(&t1), "second committer completes the structure");
+    }
+
+    #[test]
+    fn exact_check_ignores_non_ssi() {
+        let mut tracker = SsiTracker::new();
+        tracker.admit(fp(2, false, 1, 5, &[(2, 0)], &[(1, 5)]));
+        let t1 = fp(1, true, 0, 8, &[(1, 0)], &[(2, 8)]);
+        assert!(!tracker.exact_check(&t1), "structure needs all three SSI");
+        let t1_rc = fp(3, false, 0, 9, &[(1, 0)], &[(2, 9)]);
+        assert!(!tracker.exact_check(&t1_rc));
+    }
+
+    #[test]
+    fn exact_check_requires_t3_first() {
+        // Three transactions, T1 →rw T2 →rw T3, but T3 commits last: safe.
+        let mut tracker = SsiTracker::new();
+        tracker.admit(fp(1, true, 0, 10, &[(1, 0)], &[]));
+        tracker.admit(fp(2, true, 1, 12, &[(2, 0)], &[(1, 12)]));
+        let t3 = fp(3, true, 2, 15, &[], &[(2, 15)]);
+        assert!(!tracker.exact_check(&t3), "T3 committing last is not dangerous");
+    }
+
+    #[test]
+    fn three_txn_pivot_detected() {
+        // T3 commits first, then T1, then T2 (the pivot completes it).
+        let mut tracker = SsiTracker::new();
+        tracker.admit(fp(3, true, 2, 6, &[], &[(2, 6)]));
+        tracker.admit(fp(1, true, 0, 9, &[(1, 0)], &[]));
+        let t2 = fp(2, true, 1, 12, &[(2, 0)], &[(1, 12)]);
+        assert!(tracker.exact_check(&t2));
+    }
+
+    #[test]
+    fn conservative_flags_behaviour() {
+        let mut tracker = SsiTracker::new();
+        let (a, b, c) = (AttemptId(1), AttemptId(2), AttemptId(3));
+        tracker.record_rw_edge(a, b);
+        assert!(!tracker.conservative_flags(a));
+        assert!(!tracker.conservative_flags(b));
+        tracker.record_rw_edge(b, c);
+        assert!(tracker.conservative_flags(b), "b has in + out");
+        tracker.forget(b);
+        assert!(!tracker.conservative_flags(b));
+    }
+
+    #[test]
+    fn gc_drops_old_footprints() {
+        let mut tracker = SsiTracker::new();
+        tracker.admit(fp(1, true, 0, 5, &[], &[]));
+        tracker.admit(fp(2, true, 6, 9, &[], &[]));
+        assert_eq!(tracker.retained(), 2);
+        tracker.gc(6);
+        assert_eq!(tracker.retained(), 1);
+        tracker.gc(100);
+        assert_eq!(tracker.retained(), 0);
+    }
+}

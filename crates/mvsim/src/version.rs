@@ -1,0 +1,137 @@
+//! The multiversion store: committed versions per object, ordered by
+//! commit timestamp.
+
+use mvmodel::Object;
+use std::collections::HashMap;
+
+/// Identifier of one execution attempt of a job (retries get fresh ids).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct AttemptId(pub u64);
+
+/// A committed version of an object.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Version {
+    /// Commit timestamp of the writing transaction (logical clock).
+    pub commit_ts: u64,
+    /// The attempt that wrote it.
+    pub writer: AttemptId,
+}
+
+/// What a read observed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Observed {
+    /// The initial version `op₀`.
+    Initial,
+    /// A committed version.
+    Version(Version),
+}
+
+impl Observed {
+    /// Commit timestamp of the observed version (0 for the initial one).
+    pub fn ts(self) -> u64 {
+        match self {
+            Observed::Initial => 0,
+            Observed::Version(v) => v.commit_ts,
+        }
+    }
+
+    pub fn writer(self) -> Option<AttemptId> {
+        match self {
+            Observed::Initial => None,
+            Observed::Version(v) => Some(v.writer),
+        }
+    }
+}
+
+/// Committed versions per object, each list ascending by commit
+/// timestamp. The initial version `op₀` (timestamp 0) is implicit.
+#[derive(Debug, Default)]
+pub struct VersionStore {
+    versions: HashMap<Object, Vec<Version>>,
+}
+
+impl VersionStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The latest version with `commit_ts <= snapshot`, or the initial
+    /// version.
+    pub fn read(&self, object: Object, snapshot: u64) -> Observed {
+        match self.versions.get(&object) {
+            None => Observed::Initial,
+            Some(vs) => {
+                let idx = vs.partition_point(|v| v.commit_ts <= snapshot);
+                if idx == 0 {
+                    Observed::Initial
+                } else {
+                    Observed::Version(vs[idx - 1])
+                }
+            }
+        }
+    }
+
+    /// The newest committed version regardless of snapshot.
+    pub fn latest(&self, object: Object) -> Observed {
+        self.read(object, u64::MAX)
+    }
+
+    /// Whether any version of `object` committed after `ts` — the
+    /// first-committer-wins test for snapshot transactions.
+    pub fn committed_after(&self, object: Object, ts: u64) -> bool {
+        self.latest(object).ts() > ts
+    }
+
+    /// Installs a version. `commit_ts` must exceed all existing
+    /// timestamps for the object (the engine's clock is monotone).
+    pub fn install(&mut self, object: Object, version: Version) {
+        let vs = self.versions.entry(object).or_default();
+        debug_assert!(vs.last().is_none_or(|v| v.commit_ts < version.commit_ts));
+        vs.push(version);
+    }
+
+    /// Number of committed versions of `object` (excluding `op₀`).
+    pub fn version_count(&self, object: Object) -> usize {
+        self.versions.get(&object).map_or(0, |v| v.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj(n: u32) -> Object {
+        Object(n)
+    }
+
+    #[test]
+    fn reads_initial_when_empty() {
+        let store = VersionStore::new();
+        assert_eq!(store.read(obj(1), 100), Observed::Initial);
+        assert_eq!(store.read(obj(1), 100).ts(), 0);
+        assert_eq!(store.read(obj(1), 100).writer(), None);
+        assert_eq!(store.version_count(obj(1)), 0);
+    }
+
+    #[test]
+    fn snapshot_reads_pick_correct_version() {
+        let mut store = VersionStore::new();
+        store.install(obj(1), Version { commit_ts: 5, writer: AttemptId(1) });
+        store.install(obj(1), Version { commit_ts: 9, writer: AttemptId(2) });
+        assert_eq!(store.read(obj(1), 4), Observed::Initial);
+        assert_eq!(store.read(obj(1), 5).ts(), 5);
+        assert_eq!(store.read(obj(1), 8).ts(), 5);
+        assert_eq!(store.read(obj(1), 9).ts(), 9);
+        assert_eq!(store.latest(obj(1)).writer(), Some(AttemptId(2)));
+        assert_eq!(store.version_count(obj(1)), 2);
+    }
+
+    #[test]
+    fn committed_after_detects_concurrent_committers() {
+        let mut store = VersionStore::new();
+        assert!(!store.committed_after(obj(1), 3));
+        store.install(obj(1), Version { commit_ts: 5, writer: AttemptId(1) });
+        assert!(store.committed_after(obj(1), 3));
+        assert!(!store.committed_after(obj(1), 5));
+    }
+}

@@ -1,0 +1,295 @@
+//! The closed loop between the simulator and the formal model:
+//!
+//! 1. every schedule the engine emits must be *allowed under* the
+//!    allocation it ran (Definition 2.4) — i.e. the engine correctly
+//!    implements RC/SI/SSI;
+//! 2. when the allocation is robust (per Algorithm 1), every emitted
+//!    schedule must be conflict serializable — the punchline of the whole
+//!    theory;
+//! 3. in exact SSI mode, all-SSI executions are always serializable;
+//! 4. non-robust allocations eventually emit a non-serializable schedule
+//!    (the anomaly is real, not hypothetical).
+
+use mvisolation::{allowed_under, violations, Allocation, IsolationLevel};
+use mvmodel::serializability::is_conflict_serializable;
+use mvsim::{run_jobs, Job, SimConfig, SsiMode};
+use mvworkloads::RandomWorkload;
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+/// Builds jobs from a random workload plus a random allocation.
+fn random_jobs(seed: u64, theta: f64) -> (Vec<Job>, Allocation) {
+    let txns = RandomWorkload::builder()
+        .txns(12)
+        .ops(2, 4)
+        .objects(6)
+        .theta(theta)
+        .write_ratio(0.45)
+        .seed(seed)
+        .generate();
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xDEAD);
+    let alloc: Allocation = txns
+        .ids()
+        .map(|t| {
+            let lvl = match rng.random_range(0..3) {
+                0 => IsolationLevel::RC,
+                1 => IsolationLevel::SI,
+                _ => IsolationLevel::SSI,
+            };
+            (t, lvl)
+        })
+        .collect();
+    let jobs = txns
+        .iter()
+        .map(|t| Job::new(t.ops().to_vec(), alloc.level(t.id())))
+        .collect();
+    (jobs, alloc)
+}
+
+/// Core assertion: every exported schedule is allowed under the exported
+/// allocation.
+fn assert_run_allowed(jobs: &[Job], config: SimConfig) -> bool {
+    let engine = run_jobs(jobs, config);
+    let exported = engine.trace.export().expect("trace recording enabled");
+    let vs = violations(&exported.schedule, &exported.allocation);
+    assert!(
+        vs.is_empty(),
+        "engine emitted a schedule not allowed under its allocation:\n{}\nviolations: {:?}",
+        mvmodel::fmt::schedule_full(&exported.schedule),
+        vs
+    );
+    is_conflict_serializable(&exported.schedule)
+}
+
+#[test]
+fn random_mixed_runs_are_allowed_exact_mode() {
+    for seed in 0..40u64 {
+        let (jobs, _) = random_jobs(seed, 0.8);
+        for conc in [2, 4, 8] {
+            assert_run_allowed(
+                &jobs,
+                SimConfig::default().with_seed(seed * 31 + conc as u64).with_concurrency(conc),
+            );
+        }
+    }
+}
+
+#[test]
+fn random_mixed_runs_are_allowed_conservative_mode() {
+    for seed in 0..40u64 {
+        let (jobs, _) = random_jobs(seed, 1.2);
+        assert_run_allowed(
+            &jobs,
+            SimConfig::default()
+                .with_seed(seed)
+                .with_concurrency(6)
+                .with_ssi_mode(SsiMode::Conservative),
+        );
+    }
+}
+
+/// Robust allocation ⇒ every emitted schedule is serializable. This is
+/// the end-to-end validation of the paper's contract: compute the optimal
+/// robust allocation with Algorithm 2, run the workload under it at high
+/// contention, and observe only serializable executions.
+#[test]
+fn robust_allocations_yield_serializable_executions() {
+    for seed in 0..25u64 {
+        let txns = RandomWorkload::builder()
+            .txns(10)
+            .ops(2, 3)
+            .objects(5)
+            .theta(1.0)
+            .seed(seed)
+            .generate();
+        let alloc = mvrobustness::optimal_allocation(&txns);
+        assert!(mvrobustness::is_robust(&txns, &alloc).robust());
+        let jobs: Vec<Job> = txns
+            .iter()
+            .map(|t| Job::new(t.ops().to_vec(), alloc.level(t.id())))
+            .collect();
+        for run in 0..4u64 {
+            let engine = run_jobs(
+                &jobs,
+                SimConfig::default().with_seed(seed * 17 + run).with_concurrency(5),
+            );
+            let exported = engine.trace.export().unwrap();
+            assert!(allowed_under(&exported.schedule, &exported.allocation));
+            assert!(
+                is_conflict_serializable(&exported.schedule),
+                "robust allocation produced a non-serializable run (seed {seed}, run {run}):\n{}",
+                mvmodel::fmt::schedule_full(&exported.schedule)
+            );
+        }
+    }
+}
+
+/// All-SSI executions are serializable in exact mode, by construction.
+#[test]
+fn all_ssi_exact_always_serializable() {
+    for seed in 0..20u64 {
+        let txns = RandomWorkload::builder()
+            .txns(12)
+            .ops(2, 4)
+            .objects(4)
+            .theta(1.2)
+            .seed(seed)
+            .generate();
+        let jobs: Vec<Job> = txns
+            .iter()
+            .map(|t| Job::new(t.ops().to_vec(), IsolationLevel::SSI))
+            .collect();
+        let engine = run_jobs(&jobs, SimConfig::default().with_seed(seed).with_concurrency(6));
+        let exported = engine.trace.export().unwrap();
+        assert!(is_conflict_serializable(&exported.schedule));
+    }
+}
+
+/// Conservative mode must also keep all-SSI runs serializable (it aborts
+/// a superset of the exact mode's transactions)…
+#[test]
+fn all_ssi_conservative_always_serializable() {
+    for seed in 0..20u64 {
+        let txns = RandomWorkload::builder()
+            .txns(12)
+            .ops(2, 4)
+            .objects(4)
+            .theta(1.2)
+            .seed(seed)
+            .generate();
+        let jobs: Vec<Job> = txns
+            .iter()
+            .map(|t| Job::new(t.ops().to_vec(), IsolationLevel::SSI))
+            .collect();
+        let engine = run_jobs(
+            &jobs,
+            SimConfig::default()
+                .with_seed(seed)
+                .with_concurrency(6)
+                .with_ssi_mode(SsiMode::Conservative),
+        );
+        let exported = engine.trace.export().unwrap();
+        assert!(is_conflict_serializable(&exported.schedule));
+    }
+}
+
+/// The write-skew anomaly is *realized* under all-SI: across seeds, some
+/// run must produce a non-serializable schedule (robustness violations
+/// are not hypothetical).
+#[test]
+fn non_robust_si_workload_exhibits_anomaly() {
+    let txns = mvworkloads::paper::write_skew_txns();
+    let jobs: Vec<Job> = (0..6)
+        .flat_map(|_| {
+            txns.iter().map(|t| Job::new(t.ops().to_vec(), IsolationLevel::SnapshotIsolation))
+        })
+        .collect();
+    let mut saw_nonserializable = false;
+    for seed in 0..50u64 {
+        let engine =
+            run_jobs(&jobs, SimConfig::default().with_seed(seed).with_concurrency(4));
+        let exported = engine.trace.export().unwrap();
+        assert!(allowed_under(&exported.schedule, &exported.allocation));
+        if !is_conflict_serializable(&exported.schedule) {
+            saw_nonserializable = true;
+            break;
+        }
+    }
+    assert!(saw_nonserializable, "write skew under SI never materialized in 50 seeds");
+}
+
+/// Likewise, an RC-only lost-update workload must eventually go wrong.
+#[test]
+fn non_robust_rc_workload_exhibits_anomaly() {
+    let mut b = mvmodel::TxnSetBuilder::new();
+    let x = b.object("x");
+    b.txn(1).read(x).write(x).finish();
+    b.txn(2).read(x).write(x).finish();
+    let txns = b.build().unwrap();
+    let jobs: Vec<Job> = (0..4)
+        .flat_map(|_| txns.iter().map(|t| Job::new(t.ops().to_vec(), IsolationLevel::RC)))
+        .collect();
+    let mut saw_nonserializable = false;
+    for seed in 0..50u64 {
+        let engine = run_jobs(&jobs, SimConfig::default().with_seed(seed).with_concurrency(4));
+        let exported = engine.trace.export().unwrap();
+        assert!(allowed_under(&exported.schedule, &exported.allocation));
+        if !is_conflict_serializable(&exported.schedule) {
+            saw_nonserializable = true;
+            break;
+        }
+    }
+    assert!(saw_nonserializable, "lost update under RC never materialized in 50 seeds");
+}
+
+/// TPC-C under its optimal allocation, executed in the simulator: always
+/// serializable (it had better be — the allocation is robust).
+#[test]
+fn tpcc_under_optimal_allocation_serializable() {
+    let txns = mvworkloads::tpcc::Tpcc::canonical_mix();
+    let alloc = mvrobustness::optimal_allocation(&txns);
+    let jobs: Vec<Job> = txns
+        .iter()
+        .map(|t| Job::new(t.ops().to_vec(), alloc.level(t.id())))
+        .collect();
+    for seed in 0..15u64 {
+        let engine = run_jobs(&jobs, SimConfig::default().with_seed(seed).with_concurrency(4));
+        let exported = engine.trace.export().unwrap();
+        assert!(allowed_under(&exported.schedule, &exported.allocation));
+        assert!(is_conflict_serializable(&exported.schedule));
+    }
+}
+
+/// Regression for the blocked-write snapshot bug: an SI transaction whose
+/// *first* operation is a write that blocks takes its snapshot at the
+/// first attempt; the exported schedule must position the write there,
+/// or later reads anchored at `first(T)` appear to miss commits.
+///
+/// Construction: tB holds the lock on `a` and is deadlock-aborted while
+/// T1 (SI, program `W[a] R[b]`) waits behind it; meanwhile tD commits a
+/// version of `b`. T1 resumes with its old snapshot and must read `op₀`
+/// for `b` — allowed only because the write is recorded at attempt time.
+#[test]
+fn blocked_first_write_keeps_attempt_snapshot() {
+    use mvmodel::{Object, Op};
+    use mvsim::{Engine, StepOutcome};
+    let a = Object(0);
+    let b = Object(1);
+    let c = Object(2);
+    let mut e = Engine::new(SimConfig::default());
+    // tB takes `a`, tC takes `c`; T1 blocks on `a`; tC blocks on `a` too;
+    // tB requests `c` → deadlock → tB aborts, T1 (first waiter) gets `a`.
+    let tb = e.begin(vec![Op::write(a), Op::write(c)], IsolationLevel::RC);
+    let tc = e.begin(vec![Op::write(c), Op::write(a)], IsolationLevel::RC);
+    let t1 = e.begin(vec![Op::write(a), Op::read(b)], IsolationLevel::SI);
+    let td = e.begin(vec![Op::write(b)], IsolationLevel::RC);
+
+    assert_eq!(e.step(tb).0, StepOutcome::Progress); // tB holds a
+    assert_eq!(e.step(tc).0, StepOutcome::Progress); // tC holds c
+    assert_eq!(e.step(t1).0, StepOutcome::Blocked); // T1 waits on a (snapshot taken)
+    assert_eq!(e.step(tc).0, StepOutcome::Blocked); // tC waits on a, behind T1
+    // tB requests c held by tC (which waits on a held by tB): deadlock.
+    assert!(matches!(e.step(tb).0, StepOutcome::Aborted(_)));
+    let woken = e.drain_wakes();
+    assert!(woken.contains(&t1), "first waiter inherits the lock");
+    // tD commits a version of b *after* T1's snapshot.
+    assert_eq!(e.step(td).0, StepOutcome::Progress);
+    assert_eq!(e.step(td).0, StepOutcome::Committed);
+    // T1 resumes: write granted, read of b sees op0 (old snapshot).
+    assert_eq!(e.step(t1).0, StepOutcome::Progress);
+    assert_eq!(e.step(t1).0, StepOutcome::Progress);
+    assert_eq!(e.step(t1).0, StepOutcome::Committed);
+    // Unblock and finish tC (its retry aborts by FCW? tC is RC: proceeds).
+    let woken = e.drain_wakes();
+    let _ = woken;
+    assert_eq!(e.step(tc).0, StepOutcome::Progress);
+    assert_eq!(e.step(tc).0, StepOutcome::Committed);
+
+    let exported = e.trace.export().unwrap();
+    let vs = mvisolation::violations(&exported.schedule, &exported.allocation);
+    assert!(
+        vs.is_empty(),
+        "blocked-write export must stay allowed:\n{}\nviolations: {vs:?}",
+        mvmodel::fmt::schedule_full(&exported.schedule)
+    );
+}

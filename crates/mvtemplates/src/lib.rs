@@ -1,0 +1,373 @@
+//! Transaction templates: parametrized transaction programs, bounded
+//! instantiation, and template-level robustness auditing.
+//!
+//! The paper studies robustness for *concrete* transaction sets and notes
+//! (§6.3.1, citing Vandevoort et al., PVLDB 2021) that workloads are in
+//! practice generated from a fixed API of *transaction templates* — e.g.
+//! TPC-C's five programs — and that transaction-level characterizations
+//! are the stepping stone to template-level ones. This crate provides
+//! that stepping stone executably:
+//!
+//! - [`Template`]: a program whose operations address either fixed
+//!   objects or parameter-dependent objects (`table:arg`).
+//! - [`TemplateSet::instantiate`]: concrete transaction sets from
+//!   argument tuples.
+//! - [`TemplateSet::bounded_instantiation`]: the union of *all*
+//!   instantiations with parameters from a bounded domain, each tuple
+//!   duplicated `copies` times.
+//! - [`audit`]: robustness of the bounded instantiation under a
+//!   per-template level assignment. Because appending transactions to a
+//!   set preserves non-robustness (the split schedule of Definition 3.1
+//!   appends extra transactions serially), robustness of the bounded
+//!   union implies robustness of **every** workload whose instances draw
+//!   their parameters from the domain with at most `copies` duplicates
+//!   per tuple — a sound audit for the bounded space, and a refutation
+//!   procedure for template robustness in general.
+//! - [`optimal_template_allocation`]: the least per-template level
+//!   assignment whose bounded instantiation is robust (greedy refinement
+//!   from all-SSI; sound by the same exchange argument as the paper's
+//!   Proposition 4.1(2), applied instance-wise).
+
+use mvisolation::{Allocation, IsolationLevel};
+use mvmodel::{ModelError, OpKind, TransactionSet, TxnSetBuilder};
+use mvrobustness::{is_robust, SplitSpec};
+
+/// One operation of a template: read or write of a fixed object or of a
+/// parameter-dependent object.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TemplateOp {
+    pub kind: OpKind,
+    /// Table / object-family name.
+    pub table: String,
+    /// `None` → the fixed object `table`; `Some(i)` → object
+    /// `table:<args[i]>`.
+    pub param: Option<usize>,
+}
+
+/// A parametrized transaction program.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Template {
+    name: String,
+    ops: Vec<TemplateOp>,
+}
+
+impl Template {
+    pub fn new(name: impl Into<String>) -> Self {
+        Template { name: name.into(), ops: Vec::new() }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn ops(&self) -> &[TemplateOp] {
+        &self.ops
+    }
+
+    /// Read of the parameter-`i` object of `table`.
+    pub fn read(mut self, table: &str, param: usize) -> Self {
+        self.ops.push(TemplateOp { kind: OpKind::Read, table: table.into(), param: Some(param) });
+        self
+    }
+
+    /// Write of the parameter-`i` object of `table`.
+    pub fn write(mut self, table: &str, param: usize) -> Self {
+        self.ops
+            .push(TemplateOp { kind: OpKind::Write, table: table.into(), param: Some(param) });
+        self
+    }
+
+    /// Read of the single shared object `table`.
+    pub fn read_fixed(mut self, table: &str) -> Self {
+        self.ops.push(TemplateOp { kind: OpKind::Read, table: table.into(), param: None });
+        self
+    }
+
+    /// Write of the single shared object `table`.
+    pub fn write_fixed(mut self, table: &str) -> Self {
+        self.ops.push(TemplateOp { kind: OpKind::Write, table: table.into(), param: None });
+        self
+    }
+
+    /// Number of parameters the template expects (1 + max index used).
+    pub fn param_count(&self) -> usize {
+        self.ops.iter().filter_map(|o| o.param).map(|p| p + 1).max().unwrap_or(0)
+    }
+}
+
+/// A fixed API of templates — the unit of template-level analysis.
+#[derive(Clone, Default, Debug)]
+pub struct TemplateSet {
+    templates: Vec<Template>,
+}
+
+impl TemplateSet {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a template, returning its index.
+    pub fn add(&mut self, template: Template) -> usize {
+        self.templates.push(template);
+        self.templates.len() - 1
+    }
+
+    pub fn len(&self) -> usize {
+        self.templates.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.templates.is_empty()
+    }
+
+    pub fn get(&self, idx: usize) -> &Template {
+        &self.templates[idx]
+    }
+
+    /// Instantiates concrete transactions: one per `(template index,
+    /// arguments)` pair, ids assigned 1… in order. Duplicate operations
+    /// arising from parameter collisions (two parameters mapping to the
+    /// same object) are deduplicated keeping the first occurrence, so the
+    /// model's one-read/one-write-per-object rule always holds.
+    pub fn instantiate(
+        &self,
+        instances: &[(usize, Vec<u32>)],
+    ) -> Result<(TransactionSet, Vec<usize>), ModelError> {
+        let mut b = TxnSetBuilder::new();
+        let mut origin = Vec::with_capacity(instances.len());
+        for (i, (tidx, args)) in instances.iter().enumerate() {
+            let template = &self.templates[*tidx];
+            assert!(
+                args.len() >= template.param_count(),
+                "template `{}` needs {} arguments",
+                template.name,
+                template.param_count()
+            );
+            let mut names: Vec<(OpKind, String)> = Vec::new();
+            for op in &template.ops {
+                let name = match op.param {
+                    None => op.table.clone(),
+                    Some(p) => format!("{}:{}", op.table, args[p]),
+                };
+                if !names.contains(&(op.kind, name.clone())) {
+                    names.push((op.kind, name));
+                }
+            }
+            let mut t = b.txn(i as u32 + 1);
+            for (kind, name) in names {
+                t = match kind {
+                    OpKind::Read => t.read_named(&name),
+                    OpKind::Write => t.write_named(&name),
+                };
+            }
+            t.finish();
+            origin.push(*tidx);
+        }
+        b.build().map(|set| (set, origin))
+    }
+
+    /// The union of all instantiations with every argument tuple from
+    /// `{0, …, domain−1}^k`, each duplicated `copies` times. Returns the
+    /// set plus the originating template index of each transaction (in
+    /// `TxnId` order 1…n).
+    pub fn bounded_instantiation(
+        &self,
+        copies: usize,
+        domain: u32,
+    ) -> Result<(TransactionSet, Vec<usize>), ModelError> {
+        assert!(copies >= 1 && domain >= 1);
+        let mut instances = Vec::new();
+        for (tidx, template) in self.templates.iter().enumerate() {
+            let k = template.param_count();
+            let tuples = (domain as usize).pow(k as u32);
+            for tuple in 0..tuples {
+                let mut args = Vec::with_capacity(k);
+                let mut rest = tuple;
+                for _ in 0..k {
+                    args.push((rest % domain as usize) as u32);
+                    rest /= domain as usize;
+                }
+                for _ in 0..copies {
+                    instances.push((tidx, args.clone()));
+                }
+            }
+        }
+        self.instantiate(&instances)
+    }
+}
+
+/// Result of a template-level robustness audit.
+#[derive(Clone, Debug)]
+pub struct TemplateAudit {
+    /// Whether the bounded instantiation is robust.
+    pub robust: bool,
+    /// A counterexample over the bounded instantiation, if not.
+    pub counterexample: Option<SplitSpec>,
+    /// Size of the audited transaction set.
+    pub instances: usize,
+}
+
+/// Audits the per-template level assignment `levels` against the bounded
+/// instantiation (`copies` duplicates, parameter domain `{0…domain−1}`).
+///
+/// `robust = true` certifies every workload drawing instances from the
+/// bounded space; `robust = false` *refutes* template robustness outright
+/// (any counterexample instantiation is a counterexample workload).
+pub fn audit(
+    templates: &TemplateSet,
+    levels: &[IsolationLevel],
+    copies: usize,
+    domain: u32,
+) -> TemplateAudit {
+    assert_eq!(levels.len(), templates.len(), "one level per template");
+    let (txns, origin) = templates
+        .bounded_instantiation(copies, domain)
+        .expect("bounded instantiation is well-formed");
+    let alloc: Allocation = txns
+        .ids()
+        .enumerate()
+        .map(|(i, t)| (t, levels[origin[i]]))
+        .collect();
+    let report = is_robust(&txns, &alloc);
+    TemplateAudit {
+        robust: report.robust(),
+        instances: txns.len(),
+        counterexample: report.into_counterexample(),
+    }
+}
+
+/// The least per-template level assignment whose bounded instantiation is
+/// robust, refined greedily from all-SSI (always robust).
+pub fn optimal_template_allocation(
+    templates: &TemplateSet,
+    copies: usize,
+    domain: u32,
+) -> Vec<IsolationLevel> {
+    let mut levels = vec![IsolationLevel::SSI; templates.len()];
+    for i in 0..templates.len() {
+        for &lvl in [IsolationLevel::RC, IsolationLevel::SI].iter() {
+            let mut candidate = levels.clone();
+            candidate[i] = lvl;
+            if audit(templates, &candidate, copies, domain).robust {
+                levels = candidate;
+                break;
+            }
+        }
+    }
+    levels
+}
+
+/// The SmallBank benchmark as templates (parameter = customer id).
+pub fn smallbank_templates() -> TemplateSet {
+    let mut set = TemplateSet::new();
+    set.add(Template::new("Balance").read("sav", 0).read("chk", 0));
+    set.add(Template::new("DepositChecking").read("chk", 0).write("chk", 0));
+    set.add(Template::new("TransactSavings").read("sav", 0).write("sav", 0));
+    set.add(
+        Template::new("Amalgamate")
+            .read("sav", 0)
+            .write("sav", 0)
+            .read("chk", 0)
+            .write("chk", 0)
+            .read("chk", 1)
+            .write("chk", 1),
+    );
+    set.add(Template::new("WriteCheck").read("sav", 0).read("chk", 0).write("chk", 0));
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvmodel::TxnId;
+
+    fn counter_templates() -> TemplateSet {
+        let mut set = TemplateSet::new();
+        // Increment(c): R(counter:c) W(counter:c).
+        set.add(Template::new("Increment").read("counter", 0).write("counter", 0));
+        // Report: reads a fixed summary object.
+        set.add(Template::new("Report").read_fixed("summary"));
+        set
+    }
+
+    #[test]
+    fn template_shapes() {
+        let set = counter_templates();
+        assert_eq!(set.len(), 2);
+        assert!(!set.is_empty());
+        assert_eq!(set.get(0).param_count(), 1);
+        assert_eq!(set.get(1).param_count(), 0);
+        assert_eq!(set.get(0).name(), "Increment");
+        assert_eq!(set.get(0).ops().len(), 2);
+    }
+
+    #[test]
+    fn instantiation_concrete() {
+        let set = counter_templates();
+        let (txns, origin) =
+            set.instantiate(&[(0, vec![7]), (0, vec![9]), (1, vec![])]).unwrap();
+        assert_eq!(txns.len(), 3);
+        assert_eq!(origin, vec![0, 0, 1]);
+        assert!(txns.object_by_name("counter:7").is_some());
+        assert!(txns.object_by_name("counter:9").is_some());
+        assert!(txns.object_by_name("summary").is_some());
+        // Different counters don't conflict.
+        assert!(!mvmodel::conflict::txns_conflict(&txns, TxnId(1), TxnId(2)));
+    }
+
+    #[test]
+    fn bounded_instantiation_counts() {
+        let set = counter_templates();
+        // Increment: domain² tuples? one param → domain tuples; Report: 1.
+        let (txns, origin) = set.bounded_instantiation(2, 3).unwrap();
+        assert_eq!(txns.len(), 2 * 3 + 2);
+        assert_eq!(origin.iter().filter(|&&t| t == 0).count(), 6);
+    }
+
+    #[test]
+    fn increment_audit() {
+        let set = counter_templates();
+        // Two concurrent increments of the same counter: lost update at
+        // RC, fine at SI.
+        let rc = vec![IsolationLevel::RC, IsolationLevel::RC];
+        let a = audit(&set, &rc, 2, 2);
+        assert!(!a.robust);
+        assert!(a.counterexample.is_some());
+        let si = vec![IsolationLevel::SI, IsolationLevel::RC];
+        assert!(audit(&set, &si, 2, 2).robust);
+        assert_eq!(
+            optimal_template_allocation(&set, 2, 2),
+            vec![IsolationLevel::SI, IsolationLevel::RC]
+        );
+    }
+
+    #[test]
+    fn smallbank_template_allocation() {
+        let set = smallbank_templates();
+        let levels = optimal_template_allocation(&set, 2, 2);
+        // The bounded instantiation must be robust under the result.
+        assert!(audit(&set, &levels, 2, 2).robust);
+        // SmallBank's write-skew forces SSI somewhere.
+        assert!(levels.contains(&IsolationLevel::SerializableSnapshotIsolation));
+        // All-SI must fail (the benchmark's raison d'être).
+        assert!(!audit(&set, &[IsolationLevel::SI; 5], 2, 2).robust);
+    }
+
+    #[test]
+    fn parameter_collision_dedup() {
+        let set = smallbank_templates();
+        // Amalgamate(c, c): both params the same customer — chk:c would
+        // be read/written twice without dedup.
+        let (txns, _) = set.instantiate(&[(3, vec![1, 1])]).unwrap();
+        let t = txns.txn(TxnId(1));
+        // sav:1 R+W, chk:1 R+W → 4 ops.
+        assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs 2 arguments")]
+    fn missing_arguments_panic() {
+        let set = smallbank_templates();
+        let _ = set.instantiate(&[(3, vec![1])]);
+    }
+}

@@ -1,0 +1,28 @@
+//! Workload generators for the robustness and allocation experiments.
+//!
+//! - [`random`]: parametrized random workloads (transaction count, ops per
+//!   transaction, object-pool size, read/write mix, Zipf-skewed hotspots).
+//! - [`zipf`]: a self-contained Zipf(θ) sampler (no external dependency
+//!   beyond `rand`).
+//! - [`tpcc`]: transaction-level instantiations of the five TPC-C
+//!   programs — the workload behind the folklore result that TPC-C is
+//!   robust against SI (paper §1).
+//! - [`smallbank`]: the SmallBank benchmark's five programs, a standard
+//!   non-SI-robust workload.
+//! - [`ycsb`]: YCSB core mixes (A/B/C/E/F) over a Zipf keyspace.
+//! - [`paper`]: executable reconstructions of every example schedule in
+//!   the paper (Figure 2/Example 2.5, Figure 4/Example 2.6,
+//!   Figure 5/Example 5.2).
+
+pub mod paper;
+pub mod random;
+pub mod smallbank;
+pub mod tpcc;
+pub mod ycsb;
+pub mod zipf;
+
+pub use random::{RandomWorkload, RandomWorkloadBuilder};
+pub use smallbank::SmallBank;
+pub use tpcc::Tpcc;
+pub use ycsb::{Ycsb, YcsbMix};
+pub use zipf::Zipf;

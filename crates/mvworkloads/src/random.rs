@@ -1,0 +1,231 @@
+//! Parametrized random workload generation.
+
+use crate::zipf::Zipf;
+use mvmodel::{TransactionSet, TxnSetBuilder};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+/// Configuration for random workloads; build with
+/// [`RandomWorkload::builder`].
+///
+/// The generator draws, per transaction, a length uniform in
+/// `ops_per_txn`, then repeatedly samples an object from a Zipf(θ) pool
+/// and flips a write coin. Duplicate (kind, object) draws are retried a
+/// few times and then skipped, so transactions respect the model's
+/// one-read/one-write-per-object rule; a transaction never ends up empty.
+#[derive(Clone, Debug)]
+pub struct RandomWorkload {
+    pub num_txns: u32,
+    pub min_ops: usize,
+    pub max_ops: usize,
+    pub num_objects: usize,
+    /// Probability a sampled operation is a write.
+    pub write_ratio: f64,
+    /// Zipf skew over the object pool (0 = uniform).
+    pub theta: f64,
+    pub seed: u64,
+}
+
+impl RandomWorkload {
+    pub fn builder() -> RandomWorkloadBuilder {
+        RandomWorkloadBuilder::default()
+    }
+
+    /// Generates the transaction set.
+    pub fn generate(&self) -> TransactionSet {
+        assert!(self.num_objects > 0, "object pool must be nonempty");
+        assert!(
+            self.min_ops >= 1 && self.min_ops <= self.max_ops,
+            "need 1 <= min_ops <= max_ops"
+        );
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let zipf = Zipf::new(self.num_objects, self.theta);
+        let mut b = TxnSetBuilder::new();
+        let objects: Vec<_> = (0..self.num_objects)
+            .map(|i| b.object(&format!("x{i}")))
+            .collect();
+        for id in 1..=self.num_txns {
+            let len = rng.random_range(self.min_ops..=self.max_ops);
+            let mut ops: Vec<(bool, usize)> = Vec::with_capacity(len);
+            let mut attempts = 0;
+            while ops.len() < len && attempts < len * 8 {
+                attempts += 1;
+                let obj = zipf.sample(&mut rng);
+                let write = rng.random_bool(self.write_ratio);
+                if !ops.contains(&(write, obj)) {
+                    ops.push((write, obj));
+                }
+            }
+            if ops.is_empty() {
+                // Degenerate pools (1 object) can exhaust retries; fall
+                // back to a single read.
+                ops.push((false, zipf.sample(&mut rng)));
+            }
+            // Normalize to read-before-write per object: the realistic
+            // read-modify-write pattern, and required by the simulator
+            // (own-write reads fall outside the paper's formal model).
+            for i in 0..ops.len() {
+                if ops[i].0 {
+                    if let Some(j) = ops[i + 1..].iter().position(|&(w, o)| !w && o == ops[i].1) {
+                        ops.swap(i, i + 1 + j);
+                    }
+                }
+            }
+            let mut t = b.txn(id);
+            for (write, obj) in ops {
+                t = if write { t.write(objects[obj]) } else { t.read(objects[obj]) };
+            }
+            t.finish();
+        }
+        b.build().expect("generator never emits duplicate operations")
+    }
+}
+
+/// Builder for [`RandomWorkload`] with sensible defaults.
+#[derive(Clone, Debug)]
+pub struct RandomWorkloadBuilder {
+    cfg: RandomWorkload,
+}
+
+impl Default for RandomWorkloadBuilder {
+    fn default() -> Self {
+        RandomWorkloadBuilder {
+            cfg: RandomWorkload {
+                num_txns: 10,
+                min_ops: 2,
+                max_ops: 5,
+                num_objects: 20,
+                write_ratio: 0.4,
+                theta: 0.0,
+                seed: 0,
+            },
+        }
+    }
+}
+
+impl RandomWorkloadBuilder {
+    pub fn txns(mut self, n: u32) -> Self {
+        self.cfg.num_txns = n;
+        self
+    }
+
+    pub fn ops(mut self, min: usize, max: usize) -> Self {
+        self.cfg.min_ops = min;
+        self.cfg.max_ops = max;
+        self
+    }
+
+    pub fn objects(mut self, n: usize) -> Self {
+        self.cfg.num_objects = n;
+        self
+    }
+
+    pub fn write_ratio(mut self, p: f64) -> Self {
+        self.cfg.write_ratio = p;
+        self
+    }
+
+    pub fn theta(mut self, theta: f64) -> Self {
+        self.cfg.theta = theta;
+        self
+    }
+
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    pub fn build(self) -> RandomWorkload {
+        self.cfg
+    }
+
+    /// Shorthand: build the config and generate immediately.
+    pub fn generate(self) -> TransactionSet {
+        self.cfg.generate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_shape() {
+        let set = RandomWorkload::builder()
+            .txns(12)
+            .ops(2, 4)
+            .objects(10)
+            .seed(7)
+            .generate();
+        assert_eq!(set.len(), 12);
+        for t in set.iter() {
+            assert!(!t.is_empty() && t.len() <= 4);
+        }
+        assert!(set.objects().len() <= 10);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = RandomWorkload::builder().seed(42).generate();
+        let b = RandomWorkload::builder().seed(42).generate();
+        let c = RandomWorkload::builder().seed(43).generate();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn write_ratio_extremes() {
+        let all_reads = RandomWorkload::builder().write_ratio(0.0).seed(1).generate();
+        assert!(all_reads.iter().all(|t| t.writes().count() == 0));
+        let all_writes = RandomWorkload::builder().write_ratio(1.0).seed(1).generate();
+        assert!(all_writes.iter().all(|t| t.reads().count() == 0));
+    }
+
+    #[test]
+    fn skew_increases_contention() {
+        // With high θ, far more transaction pairs share an object.
+        let count_conflicting_pairs = |set: &TransactionSet| {
+            let ids: Vec<_> = set.ids().collect();
+            let mut n = 0;
+            for (i, &a) in ids.iter().enumerate() {
+                for &b in &ids[i + 1..] {
+                    if mvmodel::conflict::txns_conflict(set, a, b) {
+                        n += 1;
+                    }
+                }
+            }
+            n
+        };
+        let uniform = RandomWorkload::builder()
+            .txns(20)
+            .objects(200)
+            .theta(0.0)
+            .seed(5)
+            .generate();
+        let skewed = RandomWorkload::builder()
+            .txns(20)
+            .objects(200)
+            .theta(1.5)
+            .seed(5)
+            .generate();
+        assert!(
+            count_conflicting_pairs(&skewed) > count_conflicting_pairs(&uniform),
+            "skew should raise contention"
+        );
+    }
+
+    #[test]
+    fn tiny_pool_still_generates() {
+        let set = RandomWorkload::builder()
+            .txns(5)
+            .ops(3, 5)
+            .objects(1)
+            .seed(9)
+            .generate();
+        assert_eq!(set.len(), 5);
+        // With one object, transactions have at most 2 ops (R + W).
+        for t in set.iter() {
+            assert!(t.len() <= 2 && !t.is_empty());
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! Transaction-level instantiations of the SmallBank benchmark.
+//!
+//! SmallBank (Alomari et al., ICDE 2008 — reference \[4\] of the paper) was
+//! designed as a minimal workload that is *not* serializable under SI: the
+//! write-skew between `Balance`/`WriteCheck` reads of the savings balance
+//! and `TransactSavings` updates. Each customer has a savings and a
+//! checking account, modelled as one object each (`sav{c}`, `chk{c}`).
+//!
+//! Programs:
+//! - `Balance(c)`: read both balances (read-only).
+//! - `DepositChecking(c)`: read+update checking.
+//! - `TransactSavings(c)`: read+update savings.
+//! - `Amalgamate(c1, c2)`: zero `c1`'s accounts into `c2`'s checking —
+//!   read+update `sav(c1)`, `chk(c1)`, `chk(c2)`.
+//! - `WriteCheck(c)`: read both balances, then debit checking —
+//!   read `sav(c)`, read+update `chk(c)`.
+
+use mvmodel::{ModelError, Object, TransactionSet, TxnId, TxnSetBuilder};
+
+/// Builder for SmallBank transaction instantiations.
+#[derive(Debug, Default)]
+pub struct SmallBank {
+    b: TxnSetBuilder,
+    next_id: u32,
+}
+
+impl SmallBank {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn id(&mut self) -> u32 {
+        self.next_id += 1;
+        self.next_id
+    }
+
+    fn sav(&mut self, c: u32) -> Object {
+        self.b.object(&format!("sav{c}"))
+    }
+
+    fn chk(&mut self, c: u32) -> Object {
+        self.b.object(&format!("chk{c}"))
+    }
+
+    /// Balance(c): read-only inspection of both accounts.
+    pub fn balance(&mut self, c: u32) -> TxnId {
+        let id = self.id();
+        let (s, k) = (self.sav(c), self.chk(c));
+        self.b.txn(id).read(s).read(k).finish();
+        TxnId(id)
+    }
+
+    /// DepositChecking(c).
+    pub fn deposit_checking(&mut self, c: u32) -> TxnId {
+        let id = self.id();
+        let k = self.chk(c);
+        self.b.txn(id).read(k).write(k).finish();
+        TxnId(id)
+    }
+
+    /// TransactSavings(c).
+    pub fn transact_savings(&mut self, c: u32) -> TxnId {
+        let id = self.id();
+        let s = self.sav(c);
+        self.b.txn(id).read(s).write(s).finish();
+        TxnId(id)
+    }
+
+    /// Amalgamate(c1, c2).
+    pub fn amalgamate(&mut self, c1: u32, c2: u32) -> TxnId {
+        let id = self.id();
+        let (s1, k1, k2) = (self.sav(c1), self.chk(c1), self.chk(c2));
+        self.b
+            .txn(id)
+            .read(s1)
+            .write(s1)
+            .read(k1)
+            .write(k1)
+            .read(k2)
+            .write(k2)
+            .finish();
+        TxnId(id)
+    }
+
+    /// WriteCheck(c): the overdraft check — reads savings, debits
+    /// checking.
+    pub fn write_check(&mut self, c: u32) -> TxnId {
+        let id = self.id();
+        let (s, k) = (self.sav(c), self.chk(c));
+        self.b.txn(id).read(s).read(k).write(k).finish();
+        TxnId(id)
+    }
+
+    pub fn build(self) -> Result<TransactionSet, ModelError> {
+        self.b.build()
+    }
+
+    /// One instance of each program over two customers — the canonical
+    /// mix used in the robustness literature.
+    pub fn canonical_mix() -> TransactionSet {
+        let mut s = SmallBank::new();
+        s.balance(1); // T1
+        s.deposit_checking(1); // T2
+        s.transact_savings(1); // T3
+        s.amalgamate(1, 2); // T4
+        s.write_check(1); // T5
+        s.build().expect("canonical SmallBank mix is well-formed")
+    }
+
+    /// The minimal non-SI-serializable core: `WriteCheck(c)` concurrent
+    /// with `TransactSavings(c)` plus a `Balance(c)` observer.
+    pub fn write_skew_core(c: u32) -> TransactionSet {
+        let mut s = SmallBank::new();
+        s.write_check(c);
+        s.transact_savings(c);
+        s.balance(c);
+        s.build().expect("write-skew core is well-formed")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvmodel::conflict::txns_conflict;
+
+    #[test]
+    fn canonical_mix_shape() {
+        let set = SmallBank::canonical_mix();
+        assert_eq!(set.len(), 5);
+        // Balance is read-only.
+        assert_eq!(set.txn(TxnId(1)).writes().count(), 0);
+        // Amalgamate touches three accounts.
+        assert_eq!(set.txn(TxnId(4)).objects().len(), 3);
+    }
+
+    #[test]
+    fn expected_conflicts() {
+        let set = SmallBank::canonical_mix();
+        // WriteCheck reads sav1 which TransactSavings updates.
+        assert!(txns_conflict(&set, TxnId(5), TxnId(3)));
+        // DepositChecking and WriteCheck share chk1 (ww).
+        assert!(txns_conflict(&set, TxnId(2), TxnId(5)));
+        // Balance observes both accounts.
+        assert!(txns_conflict(&set, TxnId(1), TxnId(2)));
+        assert!(txns_conflict(&set, TxnId(1), TxnId(3)));
+        // DepositChecking(1) vs TransactSavings(1): disjoint accounts.
+        assert!(!txns_conflict(&set, TxnId(2), TxnId(3)));
+    }
+
+    #[test]
+    fn different_customers_do_not_conflict() {
+        let mut s = SmallBank::new();
+        let a = s.write_check(1);
+        let b = s.transact_savings(2);
+        let set = s.build().unwrap();
+        assert!(!txns_conflict(&set, a, b));
+    }
+
+    #[test]
+    fn amalgamate_bridges_customers() {
+        let mut s = SmallBank::new();
+        let a = s.amalgamate(1, 2);
+        let b = s.deposit_checking(2);
+        let set = s.build().unwrap();
+        assert!(txns_conflict(&set, a, b));
+    }
+
+    #[test]
+    fn write_skew_core_shape() {
+        let set = SmallBank::write_skew_core(9);
+        assert_eq!(set.len(), 3);
+        assert!(set.object_by_name("sav9").is_some());
+        assert!(set.object_by_name("chk9").is_some());
+    }
+}

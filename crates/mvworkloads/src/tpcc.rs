@@ -1,0 +1,316 @@
+//! Transaction-level instantiations of the five TPC-C programs.
+//!
+//! The paper (§1) recalls the folklore result that TPC-C is robust against
+//! SI, so running it under SI yields serializability "for free". That
+//! result (Fekete et al., TODS 2005) holds at *column-level* conflict
+//! granularity: e.g. NewOrder reads `W_TAX` while Payment updates `W_YTD`
+//! — same warehouse row, disjoint columns, hence no conflict. This module
+//! therefore models each row as a small set of column-group objects, and
+//! materializes predicate reads (Delivery's `min(NO_O_ID)` scan,
+//! StockLevel's recent-order-lines scan, OrderStatus's latest-order
+//! lookup) as reads/writes on per-district or per-customer *index
+//! objects*, so phantoms are visible to the conflict analysis.
+//!
+//! Objects per table:
+//!
+//! | table      | objects                                | written by      |
+//! |------------|----------------------------------------|-----------------|
+//! | WAREHOUSE  | `w.tax` (NO reads), `w.ytd`            | Payment (ytd)   |
+//! | DISTRICT   | `d.no` (D_TAX + D_NEXT_O_ID), `d.ytd`  | NewOrder (no), Payment (ytd) |
+//! | CUSTOMER   | `c.info` (discount/credit), `c.bal`    | Payment, Delivery (bal) |
+//! | STOCK      | `s.qty` (quantity/ytd/cnt)             | NewOrder        |
+//! | ITEM       | `i` (read-only catalog)                | —               |
+//! | ORDER      | `o` (row incl. carrier), `oidx` (per-customer index) | NewOrder (insert), Delivery (carrier) |
+//! | NEW_ORDER  | `no` (row), `noidx` (per-district index) | NewOrder (insert), Delivery (scan+delete) |
+//! | ORDER_LINE | `ol.item` (OL_I_ID/AMOUNT), `ol.dlv` (OL_DELIVERY_D), `olidx` (per-district index) | NewOrder (insert), Delivery (dlv) |
+//! | HISTORY    | `h` (fresh row per Payment)            | Payment         |
+
+use mvmodel::{ModelError, Object, TransactionSet, TxnId, TxnSetBuilder};
+
+/// Builder for TPC-C transaction instantiations.
+///
+/// Each call to a program method appends one concrete transaction; ids are
+/// assigned sequentially starting at 1.
+#[derive(Debug, Default)]
+pub struct Tpcc {
+    b: TxnSetBuilder,
+    next_id: u32,
+    next_history: u32,
+}
+
+impl Tpcc {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn id(&mut self) -> u32 {
+        self.next_id += 1;
+        self.next_id
+    }
+
+    fn obj(&mut self, name: String) -> Object {
+        self.b.object(&name)
+    }
+
+    /// NEW-ORDER: warehouse `w`, district `d`, customer `c`, ordering
+    /// `items`; creates order `o`.
+    ///
+    /// Reads `W_TAX`, reads+increments `D_NEXT_O_ID`, reads customer info;
+    /// per item reads the catalog and reads+updates stock quantity;
+    /// inserts the ORDER / NEW_ORDER / ORDER_LINE rows and their indexes.
+    pub fn new_order(&mut self, w: u32, d: u32, c: u32, o: u32, items: &[u32]) -> TxnId {
+        let id = self.id();
+        let w_tax = self.obj(format!("w{w}.tax"));
+        let d_no = self.obj(format!("d{w}.{d}.no"));
+        let c_info = self.obj(format!("c{w}.{d}.{c}.info"));
+        let item_objs: Vec<(Object, Object)> = items
+            .iter()
+            .map(|i| {
+                (self.obj(format!("i{i}")), self.obj(format!("s{w}.{i}.qty")))
+            })
+            .collect();
+        let o_row = self.obj(format!("o{w}.{d}.{o}"));
+        let oidx = self.obj(format!("oidx{w}.{d}.{c}"));
+        let no_row = self.obj(format!("no{w}.{d}.{o}"));
+        let noidx = self.obj(format!("noidx{w}.{d}"));
+        let ol_rows: Vec<(Object, Object)> = (0..items.len())
+            .map(|l| {
+                (
+                    self.obj(format!("ol{w}.{d}.{o}.{l}.item")),
+                    self.obj(format!("ol{w}.{d}.{o}.{l}.dlv")),
+                )
+            })
+            .collect();
+        let olidx = self.obj(format!("olidx{w}.{d}"));
+
+        let mut t = self.b.txn(id).read(w_tax).read(d_no).write(d_no).read(c_info);
+        for (item, stock) in item_objs {
+            t = t.read(item).read(stock).write(stock);
+        }
+        t = t.write(o_row).write(oidx).write(no_row).write(noidx);
+        for (ol_item, ol_dlv) in ol_rows {
+            t = t.write(ol_item).write(ol_dlv);
+        }
+        t.write(olidx).finish();
+        TxnId(id)
+    }
+
+    /// PAYMENT: customer `c` of district `d` pays at warehouse `w`.
+    ///
+    /// Reads+updates `W_YTD`, `D_YTD` and the customer balance; inserts a
+    /// fresh HISTORY row.
+    pub fn payment(&mut self, w: u32, d: u32, c: u32) -> TxnId {
+        let id = self.id();
+        let w_ytd = self.obj(format!("w{w}.ytd"));
+        let d_ytd = self.obj(format!("d{w}.{d}.ytd"));
+        let c_info = self.obj(format!("c{w}.{d}.{c}.info"));
+        let c_bal = self.obj(format!("c{w}.{d}.{c}.bal"));
+        self.next_history += 1;
+        let h = self.obj(format!("h{}", self.next_history));
+        self.b
+            .txn(id)
+            .read(w_ytd)
+            .write(w_ytd)
+            .read(d_ytd)
+            .write(d_ytd)
+            .read(c_info)
+            .read(c_bal)
+            .write(c_bal)
+            .write(h)
+            .finish();
+        TxnId(id)
+    }
+
+    /// ORDER-STATUS: read-only — customer info + balance, the customer's
+    /// latest order `o` (via the per-customer order index) and its `lines`
+    /// order lines.
+    pub fn order_status(&mut self, w: u32, d: u32, c: u32, o: u32, lines: usize) -> TxnId {
+        let id = self.id();
+        let c_info = self.obj(format!("c{w}.{d}.{c}.info"));
+        let c_bal = self.obj(format!("c{w}.{d}.{c}.bal"));
+        let oidx = self.obj(format!("oidx{w}.{d}.{c}"));
+        let o_row = self.obj(format!("o{w}.{d}.{o}"));
+        let ol_objs: Vec<(Object, Object)> = (0..lines)
+            .map(|l| {
+                (
+                    self.obj(format!("ol{w}.{d}.{o}.{l}.item")),
+                    self.obj(format!("ol{w}.{d}.{o}.{l}.dlv")),
+                )
+            })
+            .collect();
+        let mut t = self.b.txn(id).read(c_info).read(c_bal).read(oidx).read(o_row);
+        for (ol_item, ol_dlv) in ol_objs {
+            t = t.read(ol_item).read(ol_dlv);
+        }
+        t.finish();
+        TxnId(id)
+    }
+
+    /// DELIVERY (one district of the batch): pops the oldest NEW_ORDER row
+    /// `o` (index scan + delete), stamps the order's carrier, sets the
+    /// delivery date on its `lines` order lines (reading their amounts),
+    /// and credits customer `c`'s balance.
+    pub fn delivery(&mut self, w: u32, d: u32, c: u32, o: u32, lines: usize) -> TxnId {
+        let id = self.id();
+        let noidx = self.obj(format!("noidx{w}.{d}"));
+        let no_row = self.obj(format!("no{w}.{d}.{o}"));
+        let o_row = self.obj(format!("o{w}.{d}.{o}"));
+        let ol_objs: Vec<(Object, Object)> = (0..lines)
+            .map(|l| {
+                (
+                    self.obj(format!("ol{w}.{d}.{o}.{l}.item")),
+                    self.obj(format!("ol{w}.{d}.{o}.{l}.dlv")),
+                )
+            })
+            .collect();
+        let c_bal = self.obj(format!("c{w}.{d}.{c}.bal"));
+        let mut t = self
+            .b
+            .txn(id)
+            .read(noidx)
+            .write(noidx)
+            .read(no_row)
+            .write(no_row)
+            .read(o_row)
+            .write(o_row);
+        for (ol_item, ol_dlv) in ol_objs {
+            t = t.read(ol_item).read(ol_dlv).write(ol_dlv);
+        }
+        t.read(c_bal).write(c_bal).finish();
+        TxnId(id)
+    }
+
+    /// STOCK-LEVEL: read-only — reads `D_NEXT_O_ID`, scans the recent
+    /// order lines of the district (index + `ol.item` of the given orders)
+    /// and the stock quantity of the `items` they mention.
+    ///
+    /// `recent` lists `(order, lines)` pairs in the 20-order window.
+    pub fn stock_level(&mut self, w: u32, d: u32, recent: &[(u32, usize)], items: &[u32]) -> TxnId {
+        let id = self.id();
+        let d_no = self.obj(format!("d{w}.{d}.no"));
+        let olidx = self.obj(format!("olidx{w}.{d}"));
+        let ol_objs: Vec<Object> = recent
+            .iter()
+            .flat_map(|&(o, lines)| {
+                (0..lines).map(move |l| (o, l)).collect::<Vec<_>>()
+            })
+            .map(|(o, l)| self.obj(format!("ol{w}.{d}.{o}.{l}.item")))
+            .collect();
+        let stock_objs: Vec<Object> =
+            items.iter().map(|i| self.obj(format!("s{w}.{i}.qty"))).collect();
+        let mut t = self.b.txn(id).read(d_no).read(olidx);
+        for ol in ol_objs {
+            t = t.read(ol);
+        }
+        for s in stock_objs {
+            t = t.read(s);
+        }
+        t.finish();
+        TxnId(id)
+    }
+
+    pub fn build(self) -> Result<TransactionSet, ModelError> {
+        self.b.build()
+    }
+
+    /// A canonical small instantiation exercising every program and every
+    /// documented conflict: two districts of one warehouse, overlapping
+    /// items, a delivery + status of a prior order, and a stock-level scan
+    /// covering both the old and the new order.
+    pub fn canonical_mix() -> TransactionSet {
+        let mut t = Tpcc::new();
+        // Order 100 already exists (created earlier); order 101 is new.
+        t.new_order(1, 1, 7, 101, &[10, 11]); // T1
+        t.payment(1, 1, 7); // T2: same customer as T1
+        t.payment(1, 2, 3); // T3: other district, same warehouse
+        t.order_status(1, 1, 7, 100, 2); // T4: customer 7's last order
+        t.delivery(1, 1, 7, 100, 2); // T5: delivers order 100
+        t.stock_level(1, 1, &[(100, 2), (101, 2)], &[10, 11, 12]); // T6
+        t.new_order(1, 2, 4, 200, &[12]); // T7: other district, item 12
+        t.build().expect("canonical TPC-C mix is well-formed")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvmodel::conflict::txns_conflict;
+
+    #[test]
+    fn canonical_mix_shape() {
+        let set = Tpcc::canonical_mix();
+        assert_eq!(set.len(), 7);
+        assert!(set.total_ops() > 50);
+        // Order-status (T4) and stock-level (T6) are read-only.
+        assert_eq!(set.txn(TxnId(4)).writes().count(), 0);
+        assert_eq!(set.txn(TxnId(6)).writes().count(), 0);
+    }
+
+    #[test]
+    fn column_granularity_no_newo_payment_conflict() {
+        // The linchpin of SI-robustness: NewOrder and Payment on the same
+        // warehouse+district+customer do not conflict (disjoint columns).
+        let set = Tpcc::canonical_mix();
+        assert!(
+            !txns_conflict(&set, TxnId(1), TxnId(2)),
+            "NewOrder and Payment must be column-disjoint"
+        );
+        assert!(!txns_conflict(&set, TxnId(1), TxnId(3)));
+    }
+
+    #[test]
+    fn documented_conflicts_exist() {
+        let set = Tpcc::canonical_mix();
+        // StockLevel reads D_NEXT_O_ID + stock that NewOrder writes.
+        assert!(txns_conflict(&set, TxnId(6), TxnId(1)));
+        // StockLevel reads stock written by the other district's NewOrder
+        // (item 12).
+        assert!(txns_conflict(&set, TxnId(6), TxnId(7)));
+        // OrderStatus reads the balance Payment updates.
+        assert!(txns_conflict(&set, TxnId(4), TxnId(2)));
+        // OrderStatus reads the order/lines Delivery stamps.
+        assert!(txns_conflict(&set, TxnId(4), TxnId(5)));
+        // Payment and Delivery both update customer 7's balance.
+        assert!(txns_conflict(&set, TxnId(2), TxnId(5)));
+        // Delivery's NEW_ORDER scan conflicts with NewOrder's insert in
+        // the same district (phantom made visible via noidx).
+        assert!(txns_conflict(&set, TxnId(5), TxnId(1)));
+        // The two Payments share W_YTD.
+        assert!(txns_conflict(&set, TxnId(2), TxnId(3)));
+        // Different-district NewOrders with disjoint items: no conflict.
+        assert!(!txns_conflict(&set, TxnId(1), TxnId(7)));
+    }
+
+    #[test]
+    fn same_district_neworders_share_ww() {
+        let mut t = Tpcc::new();
+        let a = t.new_order(1, 1, 1, 101, &[1]);
+        let b = t.new_order(1, 1, 2, 102, &[2]);
+        let set = t.build().unwrap();
+        // They share D_NEXT_O_ID (ww) and the index objects.
+        assert!(txns_conflict(&set, a, b));
+        let d_no = set.object_by_name("d1.1.no").unwrap();
+        assert!(set.txn(a).write_of(d_no).is_some());
+        assert!(set.txn(b).write_of(d_no).is_some());
+    }
+
+    #[test]
+    fn fresh_history_rows_per_payment() {
+        let mut t = Tpcc::new();
+        let a = t.payment(1, 1, 1);
+        let b = t.payment(2, 1, 1);
+        let set = t.build().unwrap();
+        // Different warehouses and fresh history rows: no conflict at all.
+        assert!(!txns_conflict(&set, a, b));
+    }
+
+    #[test]
+    fn ids_sequential() {
+        let mut t = Tpcc::new();
+        assert_eq!(t.payment(1, 1, 1), TxnId(1));
+        assert_eq!(t.order_status(1, 1, 1, 5, 1), TxnId(2));
+        assert_eq!(t.stock_level(1, 1, &[], &[]), TxnId(3));
+        let set = t.build().unwrap();
+        assert_eq!(set.len(), 3);
+    }
+}

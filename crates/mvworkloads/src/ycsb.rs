@@ -1,0 +1,233 @@
+//! YCSB-style workloads: the standard cloud-serving benchmark mixes,
+//! adapted to the transaction model (each "operation" batch = one
+//! transaction over a Zipf-distributed keyspace).
+//!
+//! Core workload letters follow the YCSB defaults:
+//!
+//! | mix | reads | updates (R+W) | read-modify-write | scans (multi-read) |
+//! |-----|-------|---------------|-------------------|--------------------|
+//! | A   | 50%   | 50%           | —                 | —                  |
+//! | B   | 95%   | 5%            | —                 | —                  |
+//! | C   | 100%  | —             | —                 | —                  |
+//! | F   | 50%   | —             | 50%               | —                  |
+//! | E-ish | 95% scans | 5% inserts (writes) | —       | scan = 4 reads     |
+//!
+//! YCSB "transactions" are single operations; to make the robustness
+//! question non-trivial each generated transaction here groups
+//! `ops_per_txn` operations, which matches how YCSB is run against
+//! transactional stores.
+
+use crate::zipf::Zipf;
+use mvmodel::{TransactionSet, TxnSetBuilder};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+/// The YCSB core mix.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum YcsbMix {
+    /// 50/50 read/update.
+    A,
+    /// 95/5 read/update.
+    B,
+    /// Read only.
+    C,
+    /// Scan-heavy (scan = 4 consecutive keys) with 5% inserts.
+    E,
+    /// 50/50 read / read-modify-write.
+    F,
+}
+
+impl YcsbMix {
+    pub const ALL: [YcsbMix; 5] = [YcsbMix::A, YcsbMix::B, YcsbMix::C, YcsbMix::E, YcsbMix::F];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            YcsbMix::A => "A",
+            YcsbMix::B => "B",
+            YcsbMix::C => "C",
+            YcsbMix::E => "E",
+            YcsbMix::F => "F",
+        }
+    }
+}
+
+/// YCSB workload generator.
+#[derive(Clone, Debug)]
+pub struct Ycsb {
+    pub mix: YcsbMix,
+    pub num_txns: u32,
+    pub ops_per_txn: usize,
+    pub keyspace: usize,
+    /// Zipf skew over the keyspace (YCSB default ≈ 0.99).
+    pub theta: f64,
+    pub seed: u64,
+}
+
+impl Ycsb {
+    pub fn new(mix: YcsbMix) -> Self {
+        Ycsb { mix, num_txns: 10, ops_per_txn: 3, keyspace: 50, theta: 0.99, seed: 0 }
+    }
+
+    pub fn txns(mut self, n: u32) -> Self {
+        self.num_txns = n;
+        self
+    }
+
+    pub fn ops_per_txn(mut self, n: usize) -> Self {
+        self.ops_per_txn = n.max(1);
+        self
+    }
+
+    pub fn keyspace(mut self, n: usize) -> Self {
+        self.keyspace = n.max(4);
+        self
+    }
+
+    pub fn theta(mut self, theta: f64) -> Self {
+        self.theta = theta;
+        self
+    }
+
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Generates the transaction set.
+    pub fn generate(&self) -> TransactionSet {
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let zipf = Zipf::new(self.keyspace, self.theta);
+        let mut b = TxnSetBuilder::new();
+        let keys: Vec<_> =
+            (0..self.keyspace).map(|k| b.object(&format!("user{k}"))).collect();
+        let mut next_insert = self.keyspace as u32;
+        for id in 1..=self.num_txns {
+            // (kind, key): kind 0 = read, 1 = update (R+W), 2 = rmw (R+W),
+            // 3 = scan (4 reads), 4 = insert (fresh write).
+            let mut reads: Vec<usize> = Vec::new();
+            let mut writes: Vec<usize> = Vec::new();
+            let mut inserts = 0u32;
+            for _ in 0..self.ops_per_txn {
+                let p: f64 = rng.random_range(0.0..1.0);
+                let key = zipf.sample(&mut rng);
+                match self.mix {
+                    YcsbMix::A => {
+                        if p < 0.5 {
+                            reads.push(key);
+                        } else {
+                            reads.push(key);
+                            writes.push(key);
+                        }
+                    }
+                    YcsbMix::B => {
+                        if p < 0.95 {
+                            reads.push(key);
+                        } else {
+                            reads.push(key);
+                            writes.push(key);
+                        }
+                    }
+                    YcsbMix::C => reads.push(key),
+                    YcsbMix::E => {
+                        if p < 0.95 {
+                            for off in 0..4 {
+                                reads.push((key + off) % self.keyspace);
+                            }
+                        } else {
+                            inserts += 1;
+                        }
+                    }
+                    YcsbMix::F => {
+                        if p < 0.5 {
+                            reads.push(key);
+                        } else {
+                            reads.push(key);
+                            writes.push(key);
+                        }
+                    }
+                }
+            }
+            reads.sort_unstable();
+            reads.dedup();
+            writes.sort_unstable();
+            writes.dedup();
+            let mut t = b.txn(id);
+            for &k in &reads {
+                t = t.read(keys[k]);
+            }
+            for &k in &writes {
+                t = t.write(keys[k]);
+            }
+            for _ in 0..inserts {
+                next_insert += 1;
+                t = t.write_named(&format!("user{next_insert}"));
+            }
+            t.finish();
+        }
+        b.build().expect("deduplicated operations are well-formed")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvmodel::TxnId;
+
+    #[test]
+    fn mixes_have_expected_op_kinds() {
+        let c = Ycsb::new(YcsbMix::C).txns(20).seed(1).generate();
+        assert!(c.iter().all(|t| t.writes().count() == 0), "C is read-only");
+
+        let a = Ycsb::new(YcsbMix::A).txns(40).seed(2).generate();
+        let writes: usize = a.iter().map(|t| t.writes().count()).sum();
+        let reads: usize = a.iter().map(|t| t.reads().count()).sum();
+        assert!(writes > 0 && reads >= writes, "A mixes reads and updates");
+    }
+
+    #[test]
+    fn updates_are_read_modify_write() {
+        let a = Ycsb::new(YcsbMix::A).txns(30).seed(3).generate();
+        for t in a.iter() {
+            for (_, obj) in t.writes() {
+                assert!(
+                    t.read_of(obj).is_some(),
+                    "updates read before writing ({})",
+                    t.id()
+                );
+                assert!(t.read_of(obj).unwrap() < t.write_of(obj).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn e_mix_scans_and_inserts() {
+        let e = Ycsb::new(YcsbMix::E).txns(40).ops_per_txn(2).seed(4).generate();
+        // Scans produce read-heavy transactions; inserts write fresh keys.
+        let reads: usize = e.iter().map(|t| t.reads().count()).sum();
+        assert!(reads > 40, "scans dominate");
+        let fresh_writes: usize = e
+            .iter()
+            .flat_map(|t| t.writes())
+            .filter(|&(_, o)| e.object_name(o).trim_start_matches("user").parse::<usize>().unwrap() >= 50)
+            .count();
+        let total_writes: usize = e.iter().map(|t| t.writes().count()).sum();
+        assert_eq!(fresh_writes, total_writes, "E writes only fresh keys");
+    }
+
+    #[test]
+    fn deterministic_and_parameterized() {
+        let a = Ycsb::new(YcsbMix::F).txns(10).keyspace(20).theta(0.5).seed(9).generate();
+        let b = Ycsb::new(YcsbMix::F).txns(10).keyspace(20).theta(0.5).seed(9).generate();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 10);
+        assert!(a.contains(TxnId(10)));
+        assert!(a.objects().len() <= 20);
+    }
+
+    #[test]
+    fn labels() {
+        for m in YcsbMix::ALL {
+            assert!(!m.label().is_empty());
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! A self-contained Zipf(θ) sampler over `{0, …, n−1}`.
+//!
+//! Implements the standard inverse-CDF method with a precomputed
+//! cumulative table (workload pools are small enough that O(n) setup and
+//! O(log n) sampling are ideal). θ = 0 degenerates to the uniform
+//! distribution; larger θ concentrates probability on low indices —
+//! the conventional knob for contention in OLTP benchmarks (YCSB uses
+//! θ ≈ 0.99).
+
+use rand::RngExt;
+
+/// Zipf(θ) distribution over `{0, …, n−1}` with `P(i) ∝ 1 / (i+1)^θ`.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler. Panics if `n == 0` or θ is negative/NaN.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "Zipf domain must be nonempty");
+        assert!(theta >= 0.0, "Zipf exponent must be nonnegative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for i in 0..n {
+            acc += 1.0 / ((i + 1) as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        // Guard against floating-point shortfall at the top.
+        *cdf.last_mut().expect("nonempty") = 1.0;
+        Zipf { cdf }
+    }
+
+    /// Domain size `n`.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        false // domain is nonempty by construction
+    }
+
+    /// Draws an index in `{0, …, n−1}`.
+    pub fn sample(&self, rng: &mut impl RngExt) -> usize {
+        let u: f64 = rng.random_range(0.0..1.0);
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_when_theta_zero() {
+        let z = Zipf::new(4, 0.0);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut counts = [0usize; 4];
+        for _ in 0..40_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            let f = c as f64 / 40_000.0;
+            assert!((f - 0.25).abs() < 0.02, "uniform sample skewed: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn skew_concentrates_on_low_indices() {
+        let z = Zipf::new(100, 1.2);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut low = 0usize;
+        const N: usize = 20_000;
+        for _ in 0..N {
+            if z.sample(&mut rng) < 10 {
+                low += 1;
+            }
+        }
+        // With θ = 1.2 over 100 items, the top-10 mass is ≳ 70%.
+        assert!(low as f64 / N as f64 > 0.6, "low mass: {}", low as f64 / N as f64);
+    }
+
+    #[test]
+    fn samples_stay_in_domain() {
+        let z = Zipf::new(3, 0.99);
+        assert_eq!(z.len(), 3);
+        assert!(!z.is_empty());
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 3);
+        }
+    }
+
+    #[test]
+    fn singleton_domain() {
+        let z = Zipf::new(1, 2.0);
+        let mut rng = SmallRng::seed_from_u64(4);
+        assert_eq!(z.sample(&mut rng), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonempty")]
+    fn empty_domain_panics() {
+        let _ = Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonnegative")]
+    fn negative_theta_panics() {
+        let _ = Zipf::new(3, -1.0);
+    }
+}

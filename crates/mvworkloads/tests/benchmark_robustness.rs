@@ -1,0 +1,149 @@
+//! Robustness and allocation results for the benchmark workloads —
+//! the repository's regression pins for the literature's classic facts.
+
+use mvisolation::{Allocation, IsolationLevel};
+use mvrobustness::witness::counterexample_schedule;
+use mvrobustness::{is_robust, optimal_allocation, optimal_allocation_rc_si};
+use mvworkloads::smallbank::SmallBank;
+use mvworkloads::tpcc::Tpcc;
+use std::sync::Arc;
+
+/// The folklore result the paper's introduction recalls: TPC-C is robust
+/// against SI — no stronger concurrency control than SI is needed.
+#[test]
+fn tpcc_robust_against_si() {
+    let tpcc = Tpcc::canonical_mix();
+    assert!(is_robust(&tpcc, &Allocation::uniform_si(&tpcc)).robust());
+    assert!(is_robust(&tpcc, &Allocation::uniform_ssi(&tpcc)).robust());
+}
+
+/// TPC-C is *not* robust against RC: two Payments on the same warehouse
+/// race on `W_YTD` (a lost update).
+#[test]
+fn tpcc_not_robust_against_rc() {
+    let tpcc = Arc::new(Tpcc::canonical_mix());
+    let rc = Allocation::uniform_rc(&tpcc);
+    let report = is_robust(&tpcc, &rc);
+    assert!(!report.robust());
+    // The witness materializes and verifies.
+    let (spec, s) = counterexample_schedule(&tpcc, &rc).unwrap();
+    assert!(!mvmodel::serializability::is_conflict_serializable(&s));
+    // The cycle runs between the two Payments (T2, T3 in the canonical
+    // mix share W_YTD).
+    let mut cycle: Vec<_> = std::iter::once(spec.t1).chain(spec.chain.clone()).collect();
+    cycle.sort_unstable();
+    assert_eq!(cycle, vec![mvmodel::TxnId(2), mvmodel::TxnId(3)]);
+}
+
+/// Since TPC-C is robust against 𝒜_SI, it is robustly allocatable against
+/// {RC, SI} (Proposition 5.4) — relevant for Oracle deployments.
+#[test]
+fn tpcc_rc_si_allocatable() {
+    let tpcc = Tpcc::canonical_mix();
+    let a = optimal_allocation_rc_si(&tpcc).expect("TPC-C is SI-robust");
+    assert!(is_robust(&tpcc, &a).robust());
+    assert!(a.iter().all(|(_, l)| l <= IsolationLevel::SI));
+}
+
+/// The optimal {RC, SI, SSI} allocation for the canonical TPC-C mix:
+/// both NewOrders drop to RC; Payments, OrderStatus, Delivery and
+/// StockLevel need SI; nothing needs SSI.
+#[test]
+fn tpcc_optimal_allocation_pinned() {
+    let tpcc = Tpcc::canonical_mix();
+    let a = optimal_allocation(&tpcc);
+    assert!(is_robust(&tpcc, &a).robust());
+    assert_eq!(a.to_string(), "T1=RC T2=SI T3=SI T4=SI T5=SI T6=SI T7=RC");
+    // Optimality: every single-transaction lowering breaks robustness.
+    for t in tpcc.ids() {
+        for &lower in a.level(t).lower_levels() {
+            assert!(!is_robust(&tpcc, &a.with(t, lower)).robust());
+        }
+    }
+}
+
+/// SmallBank was designed to break SI: not robust against 𝒜_SI (hence not
+/// {RC, SI}-allocatable), only SSI restores serializability.
+#[test]
+fn smallbank_breaks_si() {
+    let sb = Arc::new(SmallBank::canonical_mix());
+    assert!(!is_robust(&sb, &Allocation::uniform_si(&sb)).robust());
+    assert!(!is_robust(&sb, &Allocation::uniform_rc(&sb)).robust());
+    assert!(is_robust(&sb, &Allocation::uniform_ssi(&sb)).robust());
+    assert_eq!(optimal_allocation_rc_si(&sb), None);
+    // SI witness materializes and verifies.
+    let si = Allocation::uniform_si(&sb);
+    let (_, s) = counterexample_schedule(&sb, &si).unwrap();
+    assert!(!mvmodel::serializability::is_conflict_serializable(&s));
+}
+
+/// The optimal allocation for the canonical SmallBank mix: Balance,
+/// TransactSavings and WriteCheck (the write-skew triangle) need SSI;
+/// DepositChecking and Amalgamate get away with SI; nothing is robust at
+/// RC.
+#[test]
+fn smallbank_optimal_allocation_pinned() {
+    let sb = SmallBank::canonical_mix();
+    let a = optimal_allocation(&sb);
+    assert!(is_robust(&sb, &a).robust());
+    assert_eq!(a.to_string(), "T1=SSI T2=SI T3=SSI T4=SI T5=SSI");
+    for t in sb.ids() {
+        for &lower in a.level(t).lower_levels() {
+            assert!(!is_robust(&sb, &a.with(t, lower)).robust());
+        }
+    }
+}
+
+/// The write-skew core cannot be rescued below all-SSI.
+#[test]
+fn smallbank_write_skew_core_needs_full_ssi() {
+    let core = SmallBank::write_skew_core(1);
+    let a = optimal_allocation(&core);
+    assert_eq!(a, Allocation::uniform_ssi(&core));
+}
+
+/// Scaling sanity: a larger TPC-C instantiation (more districts,
+/// customers and orders) stays robust against SI.
+#[test]
+fn tpcc_larger_mix_still_si_robust() {
+    let mut t = Tpcc::new();
+    let mut order_no = 100;
+    for d in 1..=3u32 {
+        for c in 1..=2u32 {
+            order_no += 1;
+            t.new_order(1, d, c, order_no, &[d * 10 + c, 99]);
+            t.payment(1, d, c);
+            t.order_status(1, d, c, order_no - 50, 2);
+        }
+        t.delivery(1, d, 1, order_no - 50, 2);
+        t.stock_level(1, d, &[(order_no, 2), (order_no - 50, 2)], &[99, d * 10 + 1]);
+    }
+    let set = t.build().unwrap();
+    assert!(set.len() >= 24);
+    assert!(is_robust(&set, &Allocation::uniform_si(&set)).robust());
+    assert!(!is_robust(&set, &Allocation::uniform_rc(&set)).robust());
+    let opt = optimal_allocation(&set);
+    assert!(is_robust(&set, &opt).robust());
+    let (_rc, _si, ssi) = opt.counts();
+    assert_eq!(ssi, 0, "an SI-robust workload never needs SSI in its optimum");
+}
+
+/// YCSB mixes, pinned at a fixed seed: the read-only mix C is robust
+/// even at RC (all-RC optimal); the update-heavy mixes A and F are not
+/// robust at SI and need SSI for part of the workload.
+#[test]
+fn ycsb_mix_robustness() {
+    use mvworkloads::{Ycsb, YcsbMix};
+    let c = Ycsb::new(YcsbMix::C).txns(20).keyspace(50).seed(0xB5D).generate();
+    assert!(is_robust(&c, &Allocation::uniform_rc(&c)).robust());
+    assert_eq!(optimal_allocation(&c), Allocation::uniform_rc(&c));
+
+    for mix in [YcsbMix::A, YcsbMix::F] {
+        let w = Ycsb::new(mix).txns(20).keyspace(50).seed(0xB5D).generate();
+        assert!(!is_robust(&w, &Allocation::uniform_si(&w)).robust());
+        let best = optimal_allocation(&w);
+        assert!(is_robust(&w, &best).robust());
+        let (_, _, ssi) = best.counts();
+        assert!(ssi > 0, "update mixes need SSI somewhere ({})", mix.label());
+    }
+}

@@ -1,0 +1,62 @@
+//! Constrained allocation: deployments rarely get to choose every
+//! transaction's level freely. Legacy drivers hard-code levels, auditors
+//! impose floors, hot paths impose ceilings. `optimal_allocation_in_box`
+//! finds the cheapest robust allocation inside pointwise bounds
+//! `lo ≤ 𝒜 ≤ hi` — or proves none exists.
+//!
+//! ```sh
+//! cargo run --example constrained_allocation
+//! ```
+
+use mvrobust::isolation::{Allocation, IsolationLevel};
+use mvrobust::model::parse_transactions;
+use mvrobust::robustness::allocate::{optimal_allocation_in_box, optimal_allocation_with_floor};
+use mvrobust::robustness::{is_robust, optimal_allocation};
+
+fn main() {
+    // T1/T2: write-skew pair; T3: counter bump; T4: reporting reader.
+    let txns = parse_transactions(
+        "
+        T1: R[cfg] W[quota]
+        T2: R[quota] W[cfg]
+        T3: R[counter] W[counter]
+        T4: R[cfg] R[quota] R[counter]
+        ",
+    )
+    .unwrap();
+
+    let free = optimal_allocation(&txns);
+    println!("unconstrained optimum: {free}");
+
+    // Scenario 1 — audit floor: the reporting transaction T4 must read a
+    // consistent snapshot, i.e. run at least at SI.
+    let floor = Allocation::parse("T1=RC T2=RC T3=RC T4=SI").unwrap();
+    let a = optimal_allocation_with_floor(&txns, &floor);
+    println!("with audit floor (T4 ≥ SI): {a}");
+    assert!(is_robust(&txns, &a).robust());
+    assert!(a.level(mvrobust::model::TxnId(4)) >= IsolationLevel::SI);
+
+    // Scenario 2 — hot-path ceiling: T3 is latency-critical and must not
+    // pay SSI's bookkeeping. Compatible here (T3's counter bump only
+    // needs SI anyway).
+    let lo = Allocation::uniform_rc(&txns);
+    let hi = Allocation::parse("T1=SSI T2=SSI T3=SI T4=SSI").unwrap();
+    match optimal_allocation_in_box(&txns, &lo, &hi) {
+        Some(a) => println!("with hot-path ceiling (T3 ≤ SI): {a}"),
+        None => println!("no robust allocation under the ceiling"),
+    }
+
+    // Scenario 3 — an impossible pin: the legacy driver forces T1 to RC
+    // exactly. The write-skew pair needs both ends at SSI, so no robust
+    // allocation exists in the box; the only fixes are changing the
+    // application or the pin.
+    let lo = Allocation::parse("T1=RC T2=RC T3=RC T4=RC").unwrap();
+    let hi = Allocation::parse("T1=RC T2=SSI T3=SSI T4=SSI").unwrap();
+    match optimal_allocation_in_box(&txns, &lo, &hi) {
+        Some(a) => println!("with legacy pin (T1 = RC): {a}"),
+        None => println!(
+            "with legacy pin (T1 = RC): NO robust allocation exists — \
+             the pin is incompatible with serializability"
+        ),
+    }
+}

@@ -1,0 +1,100 @@
+//! Throughput study: run a contended workload in the MVCC simulator
+//! under all-RC (unsafe!), all-SI, all-SSI and the optimal mixed
+//! allocation, and compare goodput, abort rates and serializability.
+//!
+//! This reproduces the paper's motivation (§1): lower isolation levels
+//! buy throughput, and the optimal mixed allocation recovers most of it
+//! *without* giving up serializability.
+//!
+//! ```sh
+//! cargo run --release --example mixed_simulation
+//! ```
+
+use mvrobust::isolation::{Allocation, IsolationLevel};
+use mvrobust::model::serializability::is_conflict_serializable;
+use mvrobust::robustness::optimal_allocation;
+use mvrobust::sim::{run_jobs, Job, Metrics, SimConfig};
+use mvrobust::model::parse_transactions;
+use mvrobust::workloads::smallbank::SmallBank;
+use mvrobust::workloads::tpcc::Tpcc;
+
+fn main() {
+    // A mixed application: a TPC-C "front office" (whose optimum needs
+    // only RC and SI — TPC-C is robust against SI) plus a SmallBank-style
+    // "back office" containing the write-skew triangle (which needs SSI).
+    // The combined optimum therefore uses all three levels, making the
+    // cost of over-provisioning with all-SSI directly visible.
+    let front = Tpcc::canonical_mix();
+    let back = SmallBank::canonical_mix();
+    let mut text = mvrobust::model::fmt::transaction_set(&front);
+    for t in back.iter() {
+        let line = mvrobust::model::fmt::transaction(&back, t);
+        let renumbered = format!("T{}:{}", t.id().0 + front.len() as u32, line.split_once(':').expect("has id").1);
+        text.push_str(&renumbered);
+        text.push('\n');
+    }
+    let txns = parse_transactions(&text).expect("merged workload parses");
+    println!(
+        "workload: TPC-C + SmallBank mix, {} transactions, {} ops, {} objects",
+        txns.len(),
+        txns.total_ops(),
+        txns.objects().len()
+    );
+
+    let optimal = optimal_allocation(&txns);
+    let (rc, si, ssi) = optimal.counts();
+    println!("optimal allocation: {rc} × RC, {si} × SI, {ssi} × SSI\n");
+
+    println!(
+        "{:<16} {:>9} {:>9} {:>11} {:>13} {:>14}",
+        "allocation", "commits", "aborts", "goodput", "abort rate", "serializable"
+    );
+    for (label, alloc) in [
+        ("all-RC (unsafe)", Allocation::uniform(&txns, IsolationLevel::RC)),
+        ("all-SI", Allocation::uniform(&txns, IsolationLevel::SI)),
+        ("all-SSI", Allocation::uniform(&txns, IsolationLevel::SSI)),
+        ("optimal mixed", optimal.clone()),
+    ] {
+        let jobs: Vec<Job> = txns
+            .iter()
+            .map(|t| Job::new(t.ops().to_vec(), alloc.level(t.id())))
+            .collect();
+        let mut total = Metrics::default();
+        let mut serializable = 0usize;
+        const RUNS: u64 = 20;
+        for seed in 0..RUNS {
+            let engine = run_jobs(
+                &jobs,
+                SimConfig::default().with_seed(seed).with_concurrency(8),
+            );
+            let m = engine.metrics;
+            total.commits += m.commits;
+            total.aborts_fcw += m.aborts_fcw;
+            total.aborts_deadlock += m.aborts_deadlock;
+            total.aborts_ssi += m.aborts_ssi;
+            total.ticks += m.ticks;
+            let exported = engine.trace.export().expect("trace enabled");
+            if is_conflict_serializable(&exported.schedule) {
+                serializable += 1;
+            }
+        }
+        println!(
+            "{:<16} {:>9} {:>9} {:>11.4} {:>12.1}% {:>11}/{}",
+            label,
+            total.commits,
+            total.total_aborts(),
+            total.goodput(),
+            total.abort_rate() * 100.0,
+            serializable,
+            RUNS,
+        );
+    }
+
+    println!(
+        "\nReading: all-RC never aborts and posts the best goodput but may \
+         emit non-serializable executions; all-SSI is always safe but pays \
+         for it in aborts; the optimal mixed allocation is safe by Theorem \
+         3.2 *and* recovers throughput by running every transaction at the \
+         cheapest level that preserves robustness."
+    );
+}

@@ -1,0 +1,59 @@
+//! Quickstart: check robustness, compute the optimal allocation, and
+//! inspect a counterexample.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use mvrobust::isolation::{Allocation, IsolationLevel};
+use mvrobust::model::parse_transactions;
+use mvrobust::robustness::witness::counterexample_schedule;
+use mvrobust::robustness::{is_robust, optimal_allocation, optimal_allocation_rc_si};
+use std::sync::Arc;
+
+fn main() {
+    // A small workload: a reporting transaction (T1), two order writers
+    // (T2, T3) and a pair racing on a counter (T4, T5).
+    let txns = Arc::new(
+        parse_transactions(
+            "
+            T1: R[orders] R[stock]
+            T2: R[stock] W[stock] W[orders]
+            T3: R[orders] W[orders]
+            T4: R[counter] W[counter]
+            T5: R[counter] W[counter]
+            ",
+        )
+        .expect("workload parses"),
+    );
+
+    // 1. Is the workload safe if everything runs at SI?
+    let all_si = Allocation::uniform_si(&txns);
+    let report = is_robust(&txns, &all_si);
+    println!("robust against all-SI? {}", report.robust());
+    if let Some(spec) = report.counterexample() {
+        println!("  counterexample cycle: {spec}");
+    }
+
+    // 2. What is the cheapest safe assignment over {RC, SI, SSI}?
+    let best = optimal_allocation(&txns);
+    println!("optimal allocation: {best}");
+    let (rc, si, ssi) = best.counts();
+    println!("  {rc} × RC, {si} × SI, {ssi} × SSI");
+    assert!(is_robust(&txns, &best).robust());
+
+    // 3. And restricted to Oracle's {RC, SI}?
+    match optimal_allocation_rc_si(&txns) {
+        Some(a) => println!("optimal {{RC, SI}} allocation: {a}"),
+        None => println!("no robust {{RC, SI}} allocation exists — SSI is required"),
+    }
+
+    // 4. Materialize a concrete anomaly for the all-RC allocation: an
+    //    actual interleaving, with version order and version function,
+    //    that RC admits but that is not serializable.
+    let all_rc = Allocation::uniform(&txns, IsolationLevel::RC);
+    if let Some((spec, schedule)) = counterexample_schedule(&txns, &all_rc) {
+        println!("\nall-RC anomaly (split {}):", spec.t1);
+        println!("{}", mvrobust::model::fmt::schedule_full(&schedule));
+    }
+}

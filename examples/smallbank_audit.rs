@@ -1,0 +1,87 @@
+//! SmallBank case study: a workload *designed* to break snapshot
+//! isolation. The audit shows it is not {RC, SI}-allocatable, computes
+//! the optimal mixed allocation (which needs SSI for the write-skew
+//! triangle), explains why each transaction needs its level, and executes
+//! the workload in the simulator to demonstrate the anomaly is real.
+//!
+//! ```sh
+//! cargo run --example smallbank_audit
+//! ```
+
+use mvrobust::isolation::{Allocation, IsolationLevel};
+use mvrobust::model::serializability::is_conflict_serializable;
+use mvrobust::robustness::allocate::optimal_allocation_explained;
+use mvrobust::robustness::{is_robust, optimal_allocation_rc_si};
+use mvrobust::sim::{run_jobs, Job, SimConfig};
+use mvrobust::workloads::smallbank::SmallBank;
+
+fn main() {
+    let txns = SmallBank::canonical_mix();
+    let names =
+        ["Balance", "DepositChecking", "TransactSavings", "Amalgamate", "WriteCheck"];
+    println!("SmallBank canonical mix: {} transactions", txns.len());
+
+    println!(
+        "robust against all-SI? {}",
+        is_robust(&txns, &Allocation::uniform_si(&txns)).robust()
+    );
+    println!(
+        "{{RC, SI}}-allocatable? {}",
+        optimal_allocation_rc_si(&txns).is_some()
+    );
+
+    let (best, reasons) = optimal_allocation_explained(&txns);
+    println!("\noptimal {{RC, SI, SSI}} allocation:");
+    for (i, (t, lvl)) in best.iter().enumerate() {
+        println!("  {t} {:<16} → {lvl}", names[i]);
+    }
+    println!("\nwhy ({} rejected lowerings):", reasons.len());
+    for (t, lvl, spec) in reasons.iter().take(4) {
+        println!("  {t} cannot run at {lvl}: cycle {spec}");
+    }
+
+    // Demonstrate the anomaly: run everything at SI many times; some run
+    // must produce a non-serializable execution.
+    let si_jobs: Vec<Job> = (0..4)
+        .flat_map(|_| {
+            txns.iter()
+                .map(|t| Job::new(t.ops().to_vec(), IsolationLevel::SnapshotIsolation))
+        })
+        .collect();
+    let mut broke = None;
+    for seed in 0..100 {
+        let engine =
+            run_jobs(&si_jobs, SimConfig::default().with_seed(seed).with_concurrency(5));
+        let exported = engine.trace.export().expect("trace on");
+        if !is_conflict_serializable(&exported.schedule) {
+            broke = Some((seed, exported.schedule));
+            break;
+        }
+    }
+    match broke {
+        Some((seed, schedule)) => {
+            println!("\nall-SI anomaly realized in the simulator (seed {seed}):");
+            println!("{}", mvrobust::model::fmt::schedule_order(&schedule));
+        }
+        None => println!("\n(no anomaly in 100 seeds — unusual but possible)"),
+    }
+
+    // …and under the optimal allocation the simulator only ever emits
+    // serializable executions.
+    let safe_jobs: Vec<Job> = (0..4)
+        .flat_map(|_| {
+            txns.iter().map(|t| Job::new(t.ops().to_vec(), best.level(t.id())))
+        })
+        .collect();
+    let mut all_serializable = true;
+    for seed in 0..100 {
+        let engine =
+            run_jobs(&safe_jobs, SimConfig::default().with_seed(seed).with_concurrency(5));
+        let exported = engine.trace.export().expect("trace on");
+        all_serializable &= is_conflict_serializable(&exported.schedule);
+    }
+    println!(
+        "\nunder the optimal allocation, 100/100 simulated runs serializable: {all_serializable}"
+    );
+    assert!(all_serializable, "robust allocation must never admit an anomaly");
+}

@@ -1,0 +1,48 @@
+//! # mvrobust
+//!
+//! Robustness checking and optimal isolation-level allocation for
+//! multiversion transaction workloads, reproducing *Allocating Isolation
+//! Levels to Transactions in a Multiversion Setting* (Vandevoort, Ketsman &
+//! Neven, PODS 2023).
+//!
+//! This facade crate re-exports the workspace crates:
+//!
+//! - [`model`] — transactions, multiversion schedules, dependencies,
+//!   serialization graphs, conflict serializability (paper §2.1–§2.2).
+//! - [`isolation`] — RC / SI / SSI semantics, mixed allocations, and
+//!   schedule validators (paper §2.3).
+//! - [`robustness`] — the robustness decision procedure (Algorithm 1),
+//!   counterexample witnesses (Theorem 3.2), the optimal allocator
+//!   (Algorithm 2) and the {RC, SI} variants (paper §3–§5).
+//! - [`sim`] — an MVCC execution simulator honouring per-transaction
+//!   isolation levels, standing in for Postgres/Oracle.
+//! - [`workloads`] — random, TPC-C, SmallBank and paper-example workloads.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use mvrobust::model::parse_transactions;
+//! use mvrobust::isolation::{Allocation, IsolationLevel};
+//! use mvrobust::robustness::{is_robust, optimal_allocation};
+//! use std::sync::Arc;
+//!
+//! let txns = Arc::new(parse_transactions("
+//!     T1: R[x] W[y]
+//!     T2: R[y] W[x]
+//! ").unwrap());
+//!
+//! // The classic write-skew pair is not robust against all-SI…
+//! let all_si = Allocation::uniform(&txns, IsolationLevel::SnapshotIsolation);
+//! assert!(!is_robust(&txns, &all_si).robust());
+//!
+//! // …but the optimal allocation finds the cheapest safe assignment.
+//! let best = optimal_allocation(&txns);
+//! assert!(is_robust(&txns, &best).robust());
+//! ```
+
+pub use mvisolation as isolation;
+pub use mvmodel as model;
+pub use mvrobustness as robustness;
+pub use mvsim as sim;
+pub use mvtemplates as templates;
+pub use mvworkloads as workloads;

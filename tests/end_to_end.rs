@@ -1,0 +1,168 @@
+//! Cross-crate integration: parse → analyze → allocate → simulate →
+//! export → re-validate, plus the paper's worked examples exercised
+//! through the public facade.
+
+use mvrobust::isolation::{allowed_under, dangerous_structures, Allocation, IsolationLevel};
+use mvrobust::model::serializability::is_conflict_serializable;
+use mvrobust::model::{parse_transactions, SerializationGraph, TxnId};
+use mvrobust::robustness::witness::counterexample_schedule;
+use mvrobust::robustness::{is_robust, optimal_allocation, oracle_is_robust};
+use mvrobust::sim::{run_jobs, Job, SimConfig, SsiMode};
+use mvrobust::workloads::paper;
+use std::sync::Arc;
+
+/// The full pipeline on a textual workload.
+#[test]
+fn parse_allocate_simulate_validate() {
+    let txns = Arc::new(
+        parse_transactions(
+            "
+            T1: R[a] W[b]
+            T2: R[b] W[a]
+            T3: R[c] W[c]
+            T4: R[c] W[c]
+            T5: R[a] R[b] R[c]
+            ",
+        )
+        .unwrap(),
+    );
+    // Analysis: the a/b pair is write skew (needs SSI), the c pair is a
+    // lost update (SI suffices), T5 is a reader.
+    let best = optimal_allocation(&txns);
+    assert!(is_robust(&txns, &best).robust());
+    assert_eq!(best.level(TxnId(1)), IsolationLevel::SSI);
+    assert_eq!(best.level(TxnId(2)), IsolationLevel::SSI);
+    assert_eq!(best.level(TxnId(3)), IsolationLevel::SI);
+    assert_eq!(best.level(TxnId(4)), IsolationLevel::SI);
+
+    // The oracle agrees — checked on the tractable c-pair sub-workload
+    // (the full five-transaction set has ~10⁸ interleavings).
+    let sub = Arc::new(
+        parse_transactions("T3: R[c] W[c]\nT4: R[c] W[c]").unwrap(),
+    );
+    assert!(oracle_is_robust(&sub, &Allocation::uniform_si(&sub)));
+    assert!(!oracle_is_robust(&sub, &Allocation::uniform_rc(&sub)));
+
+    // Simulate under the optimum in both SSI modes: always serializable.
+    let jobs: Vec<Job> = txns
+        .iter()
+        .map(|t| Job::new(t.ops().to_vec(), best.level(t.id())))
+        .collect();
+    for mode in [SsiMode::Exact, SsiMode::Conservative] {
+        for seed in 0..10 {
+            let engine = run_jobs(
+                &jobs,
+                SimConfig::default().with_seed(seed).with_concurrency(5).with_ssi_mode(mode),
+            );
+            let exported = engine.trace.export().unwrap();
+            assert!(allowed_under(&exported.schedule, &exported.allocation));
+            assert!(is_conflict_serializable(&exported.schedule));
+        }
+    }
+}
+
+/// Figure 2 / Figure 3 / Example 2.5 through the facade.
+#[test]
+fn figure_2_and_3_reproduced() {
+    let s = paper::figure_2_schedule();
+    assert!(!is_conflict_serializable(&s));
+    let g = SerializationGraph::of(&s);
+    assert!(g.has_edge(TxnId(2), TxnId(4)));
+    assert!(g.has_edge(TxnId(4), TxnId(2)));
+    assert!(g.has_edge(TxnId(3), TxnId(4)));
+    assert!(!g.is_acyclic());
+    // Example 2.5's dangerous structure T1 → T2 → T3.
+    let ds = dangerous_structures(&s, |_| true);
+    assert!(ds
+        .iter()
+        .any(|d| d.t1 == TxnId(1) && d.t2 == TxnId(2) && d.t3 == TxnId(3)));
+}
+
+/// Example 2.6's three allocation verdicts.
+#[test]
+fn example_2_6_reproduced() {
+    let s = paper::example_2_6_schedule();
+    assert!(!allowed_under(&s, &Allocation::uniform_si(s.txns())));
+    assert!(!allowed_under(&s, &Allocation::parse("T1=RC T2=SI").unwrap()));
+    assert!(allowed_under(&s, &Allocation::parse("T1=SI T2=RC").unwrap()));
+}
+
+/// Example 5.2: SI-allowed but not RC-allowed.
+#[test]
+fn example_5_2_reproduced() {
+    let s = paper::example_5_2_schedule();
+    assert!(allowed_under(&s, &Allocation::uniform_si(s.txns())));
+    assert!(!allowed_under(&s, &Allocation::uniform_rc(s.txns())));
+}
+
+/// The witness pipeline agrees with the oracle on every uniform level for
+/// the paper's write-skew pair.
+#[test]
+fn write_skew_full_stack() {
+    let txns = paper::write_skew_txns();
+    for lvl in IsolationLevel::ALL {
+        let alloc = Allocation::uniform(&txns, lvl);
+        let fast = is_robust(&txns, &alloc).robust();
+        assert_eq!(fast, oracle_is_robust(&txns, &alloc));
+        match counterexample_schedule(&txns, &alloc) {
+            Some((spec, s)) => {
+                assert!(!fast);
+                assert!(!is_conflict_serializable(&s));
+                assert_eq!(spec.t1, TxnId(1));
+            }
+            None => assert!(fast),
+        }
+    }
+}
+
+/// Robustness of the figure-2 transaction *set* (not schedule): since the
+/// figure exhibits a non-serializable schedule allowed under
+/// {T4 ↦ RC, T2 ↦ SI/SSI, …}, no allocation with T4 at RC can be robust…
+/// unless the dangerous interleaving is excluded some other way. Verify
+/// Algorithm 1 against the oracle for several mixed allocations.
+#[test]
+fn figure_2_txns_robustness_matrix() {
+    let txns = paper::figure_2_txns();
+    // Non-robust allocations: the oracle terminates quickly (it stops at
+    // the first bad interleaving), so compare directly.
+    for alloc_spec in [
+        "T1=RC T2=RC T3=RC T4=RC",
+        "T1=SI T2=SI T3=SI T4=SI",
+        "T1=SSI T2=SSI T3=SSI T4=RC",
+        "T1=RC T2=SI T3=SI T4=RC",
+    ] {
+        let a = Allocation::parse(alloc_spec).unwrap();
+        assert_eq!(
+            is_robust(&txns, &a).robust(),
+            oracle_is_robust(&txns, &a),
+            "algorithm/oracle disagree at {alloc_spec}"
+        );
+    }
+    // All-SSI is robust; asserting that via the oracle would scan all
+    // ~900k interleavings (the optimal-allocation test below pays that
+    // cost once already), so use Algorithm 1 here.
+    let ssi = Allocation::uniform_ssi(&txns);
+    assert!(is_robust(&txns, &ssi).robust());
+    // The figure's schedule itself witnesses non-robustness for any
+    // allocation it is allowed under; spot-check one.
+    let a = Allocation::parse("T1=SI T2=SI T3=SI T4=RC").unwrap();
+    let s = paper::figure_2_schedule();
+    assert!(allowed_under(&s, &a));
+    assert!(!is_conflict_serializable(&s));
+    assert!(!is_robust(&txns, &a).robust());
+}
+
+/// The optimal allocation of the figure-2 transactions, pinned, with the
+/// oracle confirming robustness.
+#[test]
+fn figure_2_optimal_allocation() {
+    let txns = paper::figure_2_txns();
+    let best = optimal_allocation(&txns);
+    assert!(is_robust(&txns, &best).robust());
+    assert!(oracle_is_robust(&txns, &best));
+    for t in txns.ids() {
+        for &lower in best.level(t).lower_levels() {
+            assert!(!is_robust(&txns, &best.with(t, lower)).robust());
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! Property-based tests of the paper's theorems and propositions, using
+//! proptest-generated workloads.
+//!
+//! | property                                   | paper reference    |
+//! |--------------------------------------------|--------------------|
+//! | serializable ⟺ SeG acyclic (constructive)  | Theorem 2.2        |
+//! | witness schedules verify                   | Theorem 3.2 (2→1)  |
+//! | robustness is upward closed                | Proposition 4.1(1) |
+//! | pointwise meet of robust allocations robust| Proposition 4.1(2) |
+//! | the optimum is unique / order-independent  | Proposition 4.2    |
+//! | Algorithm 2's result is robust and optimal | Theorem 4.3        |
+//! | robust(𝒜_RC) ⇒ robust(𝒜_SI)               | Proposition 5.1    |
+//! | {RC,SI}-allocatable ⟺ robust(𝒜_SI)        | Proposition 5.4    |
+
+use mvrobust::isolation::{Allocation, IsolationLevel};
+use mvrobust::model::dependency::conflict_equivalent;
+use mvrobust::model::serializability::{equivalent_serial_schedule, is_conflict_serializable};
+use mvrobust::model::{Op, Schedule, TransactionSet, Transaction, TxnId};
+use mvrobust::robustness::witness::counterexample_schedule;
+use mvrobust::robustness::{
+    is_robust, optimal_allocation, optimal_allocation_rc_si, robustly_allocatable_rc_si,
+};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Strategy: a workload of `1..=n_txns` transactions, each with
+/// `1..=max_ops` operations over `n_objects` objects (read-before-write
+/// per object enforced by dedup).
+fn workloads(n_txns: usize, max_ops: usize, n_objects: u32) -> impl Strategy<Value = Arc<TransactionSet>> {
+    prop::collection::vec(
+        prop::collection::vec((0..n_objects, prop::bool::ANY), 1..=max_ops),
+        1..=n_txns,
+    )
+    .prop_map(|txn_specs| {
+        let mut txns = Vec::new();
+        for (i, spec) in txn_specs.into_iter().enumerate() {
+            let mut ops: Vec<Op> = Vec::new();
+            for (obj, write) in spec {
+                let op = if write {
+                    Op::write(mvrobust::model::Object(obj))
+                } else {
+                    Op::read(mvrobust::model::Object(obj))
+                };
+                if !ops.contains(&op) {
+                    // Keep reads before writes on the same object.
+                    if op.is_write() {
+                        ops.push(op);
+                    } else if let Some(pos) =
+                        ops.iter().position(|o| o.is_write() && o.object == op.object)
+                    {
+                        ops.insert(pos, op);
+                    } else {
+                        ops.push(op);
+                    }
+                }
+            }
+            txns.push(Transaction::new(TxnId(i as u32 + 1), ops).expect("deduped"));
+        }
+        Arc::new(TransactionSet::new(txns).expect("unique ids"))
+    })
+}
+
+/// Strategy: an allocation for an existing workload (levels indexed 0..3).
+fn allocation_for(txns: &TransactionSet, levels: Vec<u8>) -> Allocation {
+    txns.ids()
+        .zip(levels.into_iter().cycle())
+        .map(|(t, l)| {
+            let lvl = match l % 3 {
+                0 => IsolationLevel::RC,
+                1 => IsolationLevel::SI,
+                _ => IsolationLevel::SSI,
+            };
+            (t, lvl)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Theorem 2.2, constructively: for any serial execution of any
+    /// workload, the schedule is serializable and the reconstructed
+    /// serial schedule is conflict-equivalent.
+    #[test]
+    fn serial_schedules_serializable(txns in workloads(5, 4, 4), perm in any::<u64>()) {
+        let mut order: Vec<TxnId> = txns.ids().collect();
+        // Cheap deterministic shuffle from `perm`.
+        let n = order.len();
+        let mut x = perm;
+        for i in (1..n).rev() {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            order.swap(i, (x >> 33) as usize % (i + 1));
+        }
+        let s = Schedule::single_version_serial(Arc::clone(&txns), &order).unwrap();
+        prop_assert!(is_conflict_serializable(&s));
+        let eq = equivalent_serial_schedule(&s).unwrap();
+        prop_assert!(conflict_equivalent(&s, &eq));
+    }
+
+    /// Theorem 3.2 (2)→(1): whenever Algorithm 1 reports non-robustness,
+    /// the materialized witness is allowed under the allocation and not
+    /// serializable.
+    #[test]
+    fn witnesses_always_verify(txns in workloads(4, 3, 3), lv in prop::collection::vec(0u8..3, 1..=4)) {
+        let alloc = allocation_for(&txns, lv);
+        if let Some((_, s)) = counterexample_schedule(&txns, &alloc) {
+            // counterexample_schedule panics internally if verification
+            // fails; double-check the headline property.
+            prop_assert!(!is_conflict_serializable(&s));
+            prop_assert!(mvrobust::isolation::allowed_under(&s, &alloc));
+        }
+    }
+
+    /// Proposition 4.1(1): raising levels preserves robustness.
+    #[test]
+    fn robustness_upward_closed(txns in workloads(4, 3, 3), lv in prop::collection::vec(0u8..3, 1..=4), raise_idx in any::<usize>()) {
+        let alloc = allocation_for(&txns, lv);
+        prop_assume!(is_robust(&txns, &alloc).robust());
+        let ids: Vec<TxnId> = txns.ids().collect();
+        let t = ids[raise_idx % ids.len()];
+        for lvl in IsolationLevel::ALL {
+            if lvl > alloc.level(t) {
+                prop_assert!(is_robust(&txns, &alloc.with(t, lvl)).robust());
+            }
+        }
+    }
+
+    /// Proposition 4.1(2): if 𝒜 and 𝒜′ are robust, so is 𝒜′[T ↦ 𝒜(T)].
+    #[test]
+    fn robust_allocations_exchange_levels(
+        txns in workloads(4, 3, 3),
+        lv1 in prop::collection::vec(0u8..3, 1..=4),
+        lv2 in prop::collection::vec(0u8..3, 1..=4),
+        pick in any::<usize>(),
+    ) {
+        let a = allocation_for(&txns, lv1);
+        let b = allocation_for(&txns, lv2);
+        prop_assume!(is_robust(&txns, &a).robust() && is_robust(&txns, &b).robust());
+        let ids: Vec<TxnId> = txns.ids().collect();
+        let t = ids[pick % ids.len()];
+        prop_assert!(is_robust(&txns, &b.with(t, a.level(t))).robust());
+    }
+
+    /// Theorem 4.3: Algorithm 2's output is robust and no single
+    /// transaction can be lowered (pointwise minimality — with
+    /// Proposition 4.2's uniqueness, this is optimality).
+    #[test]
+    fn optimum_is_robust_and_minimal(txns in workloads(4, 3, 3)) {
+        let a = optimal_allocation(&txns);
+        prop_assert!(is_robust(&txns, &a).robust());
+        for t in txns.ids() {
+            for &lower in a.level(t).lower_levels() {
+                prop_assert!(!is_robust(&txns, &a.with(t, lower)).robust());
+            }
+        }
+    }
+
+    /// Proposition 4.2 (uniqueness), observed through order independence:
+    /// refining transactions in reverse order reaches the same optimum.
+    #[test]
+    fn optimum_is_order_independent(txns in workloads(4, 3, 3)) {
+        let forward = optimal_allocation(&txns);
+        // Reverse-order refinement.
+        let mut alloc = Allocation::uniform_ssi(&txns);
+        let mut ids: Vec<TxnId> = txns.ids().collect();
+        ids.reverse();
+        for t in ids {
+            for &lvl in alloc.level(t).lower_levels() {
+                let cand = alloc.with(t, lvl);
+                if is_robust(&txns, &cand).robust() {
+                    alloc = cand;
+                    break;
+                }
+            }
+        }
+        prop_assert_eq!(forward, alloc);
+    }
+
+    /// Proposition 5.1: robust against 𝒜_RC ⇒ robust against 𝒜_SI.
+    #[test]
+    fn rc_robustness_implies_si_robustness(txns in workloads(4, 3, 4)) {
+        if is_robust(&txns, &Allocation::uniform_rc(&txns)).robust() {
+            prop_assert!(is_robust(&txns, &Allocation::uniform_si(&txns)).robust());
+        }
+    }
+
+    /// Proposition 5.4 + Theorem 5.5: {RC, SI}-allocatability coincides
+    /// with robustness against 𝒜_SI, and when it holds the computed
+    /// optimum is robust, SSI-free and minimal.
+    #[test]
+    fn rc_si_allocatability(txns in workloads(4, 3, 3)) {
+        let si_robust = is_robust(&txns, &Allocation::uniform_si(&txns)).robust();
+        prop_assert_eq!(robustly_allocatable_rc_si(&txns), si_robust);
+        match optimal_allocation_rc_si(&txns) {
+            None => prop_assert!(!si_robust),
+            Some(a) => {
+                prop_assert!(si_robust);
+                prop_assert!(is_robust(&txns, &a).robust());
+                prop_assert!(a.iter().all(|(_, l)| l <= IsolationLevel::SI));
+                for t in txns.ids() {
+                    for &lower in a.level(t).lower_levels() {
+                        prop_assert!(!is_robust(&txns, &a.with(t, lower)).robust());
+                    }
+                }
+            }
+        }
+    }
+
+    /// The {RC, SI, SSI} optimum is pointwise ≤ any robust allocation the
+    /// search stumbles on (uniqueness, seen from below).
+    #[test]
+    fn optimum_below_every_robust_allocation(txns in workloads(4, 3, 3), lv in prop::collection::vec(0u8..3, 1..=4)) {
+        let candidate = allocation_for(&txns, lv);
+        prop_assume!(is_robust(&txns, &candidate).robust());
+        let optimum = optimal_allocation(&txns);
+        prop_assert!(optimum.le(&candidate), "optimum {} vs robust {}", optimum, candidate);
+    }
+}
