@@ -1,0 +1,261 @@
+//! Minimal micro-benchmark harness covering the slice of the
+//! `criterion` API this workspace's `benches/` use: [`Criterion`],
+//! benchmark groups with `warm_up_time` / `measurement_time` /
+//! `sample_size` / `bench_with_input` / `bench_function`, a
+//! [`Bencher`] with `iter`, and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! The build environment has no network access to a crates registry, so
+//! the workspace wires `criterion` to this path crate. Statistics are
+//! simple (median + min over timed samples, each sample batching enough
+//! iterations to exceed ~1ms); there are no plots, baselines, or
+//! outlier analysis. Output is one line per benchmark:
+//!
+//! ```text
+//! group/id/param        median 12.345 µs   min 11.871 µs   (24 samples x 100 iters)
+//! ```
+
+use std::time::{Duration, Instant};
+
+/// Benchmark label, mirroring `criterion::BenchmarkId`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            name: name.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId { name }
+    }
+}
+
+/// Runs the timed closure; collected by [`BenchmarkGroup::bench_with_input`].
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    /// (elapsed per iteration) for each sample.
+    samples: Vec<f64>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up + calibration: run until warm_up elapses, counting
+        // iterations to size measurement batches to >= ~1ms each.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up || warm_iters == 0 {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let batch = ((1.0e-3 / per_iter).ceil() as u64).max(1);
+        self.iters_per_sample = batch;
+
+        let deadline = Instant::now() + self.measurement;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            self.samples
+                .push(start.elapsed().as_secs_f64() / batch as f64);
+            if Instant::now() > deadline {
+                break;
+            }
+        }
+    }
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds < 1.0e-6 {
+        format!("{:.3} ns", seconds * 1.0e9)
+    } else if seconds < 1.0e-3 {
+        format!("{:.3} µs", seconds * 1.0e6)
+    } else if seconds < 1.0 {
+        format!("{:.3} ms", seconds * 1.0e3)
+    } else {
+        format!("{seconds:.3} s")
+    }
+}
+
+/// A named set of related benchmarks, mirroring
+/// `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn warm_up_time(&mut self, dur: Duration) -> &mut Self {
+        self.warm_up = dur;
+        self
+    }
+
+    pub fn measurement_time(&mut self, dur: Duration) -> &mut Self {
+        self.measurement = dur;
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run(&id.name, |b| f(b));
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        self.run(&id.name, |b| f(b, input));
+        self
+    }
+
+    fn run(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            sample_size: self.sample_size,
+            samples: Vec::new(),
+            iters_per_sample: 0,
+        };
+        f(&mut bencher);
+        if bencher.samples.is_empty() {
+            println!("{}/{id}  (no samples collected)", self.name);
+            return;
+        }
+        let mut sorted = bencher.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let median = sorted[sorted.len() / 2];
+        let min = sorted[0];
+        println!(
+            "{}/{id:<40}  median {:>12}   min {:>12}   ({} samples x {} iters)",
+            self.name,
+            format_time(median),
+            format_time(min),
+            sorted.len(),
+            bencher.iters_per_sample,
+        );
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level harness handle, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            warm_up: Duration::from_millis(500),
+            measurement: Duration::from_secs(3),
+            sample_size: 20,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group(id.to_string());
+        group.bench_function(BenchmarkId::from("self"), &mut f);
+        group.finish();
+        self
+    }
+}
+
+/// Re-export location matching `criterion::black_box` call sites (the
+/// benches in this workspace use `std::hint::black_box` directly, but
+/// the symbol is kept for API parity).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group_name:ident, $($target:path),+ $(,)?) => {
+        fn $group_name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim_self_test");
+        group.warm_up_time(Duration::from_millis(5));
+        group.measurement_time(Duration::from_millis(20));
+        group.sample_size(5);
+        let n = 1000u64;
+        group.bench_with_input(BenchmarkId::new("sum", n), &n, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn format_time_scales() {
+        assert!(format_time(5.0e-9).ends_with("ns"));
+        assert!(format_time(5.0e-6).ends_with("µs"));
+        assert!(format_time(5.0e-3).ends_with("ms"));
+        assert!(format_time(5.0).ends_with("s"));
+    }
+}

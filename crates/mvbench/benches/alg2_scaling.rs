@@ -14,11 +14,9 @@ fn bench_alg2(c: &mut Criterion) {
     for contention in [Contention::Low, Contention::High] {
         for n in [5u32, 10, 20, 40] {
             let txns = workload(n, contention, 0xB3);
-            group.bench_with_input(
-                BenchmarkId::new(contention.label(), n),
-                &n,
-                |b, _| b.iter(|| black_box(optimal_allocation(&txns))),
-            );
+            group.bench_with_input(BenchmarkId::new(contention.label(), n), &n, |b, _| {
+                b.iter(|| black_box(optimal_allocation(&txns)))
+            });
         }
     }
     group.finish();

@@ -4,8 +4,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mvbench::{workload, Contention};
 use mvisolation::Allocation;
-use mvrobustness::witness::{materialize, verify_witness};
 use mvrobustness::find_counterexample;
+use mvrobustness::witness::{materialize, verify_witness};
 use std::hint::black_box;
 use std::sync::Arc;
 

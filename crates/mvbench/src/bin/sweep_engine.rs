@@ -1,0 +1,129 @@
+//! B9 table generator: the incremental/parallel robustness engine vs.
+//! the retained pre-engine reference on the Algorithm 2 sweep.
+//!
+//! ```sh
+//! cargo run --release -p mvbench --bin sweep_engine [--json BENCH_alg.json]
+//! ```
+//!
+//! For each `(contention, |T|)` cell the reference implementation
+//! (`optimal_allocation_reference`) and the engine
+//! (`Allocator::optimal`, at 1 and at `available_parallelism` threads)
+//! compute the optimal allocation on the *same* workload; the verdicts
+//! are asserted equal, wall times and the engine's work counters are
+//! reported, and the whole table is optionally dumped as JSON.
+
+use mvbench::{workload, Contention};
+use mvrobustness::{optimal_allocation_reference, Allocator};
+use serde_json::{json, Value};
+use std::time::Instant;
+
+fn time<R, F: FnMut() -> R>(mut f: F) -> f64 {
+    // Warm up once, then time enough iterations for ≥ ~50ms.
+    f();
+    let mut iters = 1u32;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        if elapsed > 0.05 || iters >= 1 << 16 {
+            return elapsed / iters as f64;
+        }
+        iters *= 4;
+    }
+}
+
+fn main() {
+    let json_path = {
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        argv.iter().position(|a| a == "--json").map(|i| {
+            argv.get(i + 1).cloned().unwrap_or_else(|| {
+                eprintln!("--json requires a path");
+                std::process::exit(2);
+            })
+        })
+    };
+    let hw_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    println!("## B9 — engine vs. reference, Algorithm 2 sweep (seconds per run)\n");
+    println!("(machine reports {hw_threads} hardware thread(s))\n");
+    println!(
+        "| contention | |T| | reference (s) | engine 1T (s) | speedup | engine {hw_threads}T (s) | probes | cache hits | iso builds |"
+    );
+    println!("|---|---|---|---|---|---|---|---|---|");
+
+    let mut rows: Vec<Value> = Vec::new();
+    for contention in Contention::ALL {
+        for n in [64u32, 96, 128] {
+            let txns = workload(n, contention, 0xB3);
+
+            let expected = optimal_allocation_reference(&txns);
+            let (got, stats) = Allocator::new(&txns).optimal();
+            assert_eq!(
+                got,
+                expected,
+                "engine optimum diverged at {} |T|={n}",
+                contention.label()
+            );
+            let (got_mt, _) = Allocator::new(&txns).with_threads(hw_threads).optimal();
+            assert_eq!(got_mt, expected, "parallel optimum diverged");
+
+            let t_ref = time(|| optimal_allocation_reference(&txns).is_empty());
+            let t_one = time(|| Allocator::new(&txns).optimal().0.is_empty());
+            let t_par = time(|| {
+                Allocator::new(&txns)
+                    .with_threads(hw_threads)
+                    .optimal()
+                    .0
+                    .is_empty()
+            });
+
+            println!(
+                "| {} | {} | {:.3e} | {:.3e} | {:.2}× | {:.3e} | {} | {} | {} |",
+                contention.label(),
+                n,
+                t_ref,
+                t_one,
+                t_ref / t_one,
+                t_par,
+                stats.probes,
+                stats.cache_hits,
+                stats.iso_builds,
+            );
+            rows.push(json!({
+                "contention": contention.label(),
+                "txns": n as u64,
+                "reference_s": t_ref,
+                "engine_1t_s": t_one,
+                "speedup_1t": t_ref / t_one,
+                "engine_mt_s": t_par,
+                "mt_threads": hw_threads as u64,
+                "probes": stats.probes,
+                "cache_hits": stats.cache_hits,
+                "cached_specs": stats.cached_specs,
+                "iso_builds": stats.iso_builds,
+            }));
+        }
+    }
+
+    if let Some(path) = json_path {
+        let doc = json!({
+            "experiment": "B9-engine-vs-reference",
+            "seed": "0xB3",
+            "hw_threads": hw_threads as u64,
+            "rows": rows,
+        });
+        std::fs::write(
+            &path,
+            serde_json::to_string_pretty(&doc).expect("valid json"),
+        )
+        .unwrap_or_else(|e| {
+            eprintln!("writing {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("\nwrote {path}");
+    }
+}

@@ -48,7 +48,14 @@ fn main() {
                 .map(|(pn, pt)| (t / pt).ln() / (n as f64 / pn).ln())
                 .map(|s| format!("{s:.2}"))
                 .unwrap_or_else(|| "—".into());
-            println!("| {} | {} | {} | {:.3e} | {} |", contention.label(), n, robust, t, slope);
+            println!(
+                "| {} | {} | {} | {:.3e} | {} |",
+                contention.label(),
+                n,
+                robust,
+                t,
+                slope
+            );
             prev = Some((n as f64, t));
         }
     }

@@ -18,7 +18,10 @@ fn measure(job_list: &[mvsim::Job], mode: SsiMode) -> (Metrics, u64) {
     for seed in 0..RUNS {
         let engine = run_jobs(
             job_list,
-            SimConfig::default().with_seed(seed).with_concurrency(8).with_ssi_mode(mode),
+            SimConfig::default()
+                .with_seed(seed)
+                .with_concurrency(8)
+                .with_ssi_mode(mode),
         );
         let m = engine.metrics;
         total.commits += m.commits;
@@ -62,7 +65,10 @@ fn main() {
         let txns = workload(16, contention, 0xB6);
         let ssi = mvisolation::Allocation::uniform_ssi(&txns);
         let job_list = jobs(&txns, &ssi, 4);
-        for (name, mode) in [("exact", SsiMode::Exact), ("conservative", SsiMode::Conservative)] {
+        for (name, mode) in [
+            ("exact", SsiMode::Exact),
+            ("conservative", SsiMode::Conservative),
+        ] {
             let (m, ser) = measure(&job_list, mode);
             println!(
                 "| {} | {} | {:.4} | {} | {}/{} |",

@@ -74,7 +74,8 @@ pub fn oracle_workload(n: u32, seed: u64) -> TransactionSet {
 pub fn jobs(txns: &TransactionSet, alloc: &Allocation, copies: usize) -> Vec<Job> {
     (0..copies)
         .flat_map(|_| {
-            txns.iter().map(|t| Job::new(t.ops().to_vec(), alloc.level(t.id())))
+            txns.iter()
+                .map(|t| Job::new(t.ops().to_vec(), alloc.level(t.id())))
         })
         .collect()
 }

@@ -17,8 +17,16 @@ pub struct Parsed {
 
 /// Options that take a value; everything else starting with `--` is a
 /// boolean flag.
-const VALUED: &[&str] =
-    &["alloc", "level", "levels", "concurrency", "seed", "repeat", "ssi-mode"];
+const VALUED: &[&str] = &[
+    "alloc",
+    "level",
+    "levels",
+    "concurrency",
+    "seed",
+    "repeat",
+    "ssi-mode",
+    "threads",
+];
 
 impl Parsed {
     pub fn parse(argv: &[String]) -> Result<Parsed, String> {
@@ -68,6 +76,16 @@ impl Parsed {
             .transpose()
     }
 
+    /// `--threads N` (default 1): worker threads for the robustness
+    /// engine's outer search. Verdicts are identical at any count.
+    pub fn threads(&self) -> Result<usize, String> {
+        match self.option_parse::<usize>("threads")? {
+            Some(0) => Err("--threads must be at least 1".into()),
+            Some(n) => Ok(n),
+            None => Ok(1),
+        }
+    }
+
     /// Loads the workload from the first positional argument (or stdin).
     pub fn load_workload(&self) -> Result<TransactionSet, String> {
         let text = match self.positional.first().map(|s| s.as_str()) {
@@ -78,8 +96,9 @@ impl Parsed {
                     .map_err(|e| format!("reading stdin: {e}"))?;
                 buf
             }
-            Some(path) => std::fs::read_to_string(path)
-                .map_err(|e| format!("reading {path}: {e}"))?,
+            Some(path) => {
+                std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?
+            }
         };
         let set = parse_transactions(&text).map_err(|e| e.to_string())?;
         if set.is_empty() {
@@ -158,7 +177,10 @@ mod tests {
         assert!(parsed.allocation(&txns).unwrap_err().contains("misses"));
 
         let parsed = p(&["--alloc", "T1=RC", "--level", "si"]);
-        assert!(parsed.allocation(&txns).unwrap_err().contains("mutually exclusive"));
+        assert!(parsed
+            .allocation(&txns)
+            .unwrap_err()
+            .contains("mutually exclusive"));
 
         let parsed = p(&[]);
         assert!(parsed.allocation(&txns).unwrap_err().contains("required"));

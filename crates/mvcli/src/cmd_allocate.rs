@@ -2,8 +2,7 @@
 
 use crate::args::Parsed;
 use crate::output;
-use mvrobustness::allocate::optimal_allocation_explained;
-use mvrobustness::{optimal_allocation, optimal_allocation_rc_si};
+use mvrobustness::Allocator;
 use serde_json::json;
 use std::process::ExitCode;
 
@@ -12,17 +11,22 @@ pub fn run(argv: &[String]) -> Result<ExitCode, String> {
     let txns = parsed.load_workload()?;
     let levels = parsed.option("levels").unwrap_or("rc-si-ssi");
     let explain = parsed.flag("explain");
+    let allocator = Allocator::new(&txns).with_threads(parsed.threads()?);
 
-    let (alloc, reasons) = match levels {
+    let (alloc, reasons, stats) = match levels {
         "rc-si-ssi" | "RC-SI-SSI" => {
             if explain {
-                let (a, r) = optimal_allocation_explained(&txns);
-                (Some(a), r)
+                let (a, r, s) = allocator.optimal_explained();
+                (Some(a), r, s)
             } else {
-                (Some(optimal_allocation(&txns)), Vec::new())
+                let (a, s) = allocator.optimal();
+                (Some(a), Vec::new(), s)
             }
         }
-        "rc-si" | "RC-SI" => (optimal_allocation_rc_si(&txns), Vec::new()),
+        "rc-si" | "RC-SI" => {
+            let (a, s) = allocator.optimal_rc_si();
+            (a, Vec::new(), s)
+        }
         other => return Err(format!("invalid --levels `{other}` (rc-si or rc-si-ssi)")),
     };
 
@@ -34,6 +38,14 @@ pub fn run(argv: &[String]) -> Result<ExitCode, String> {
             "counts": alloc.as_ref().map(|a| {
                 let (rc, si, ssi) = a.counts();
                 json!({"RC": rc, "SI": si, "SSI": ssi})
+            }),
+            "engine_stats": json!({
+                "probes": stats.probes,
+                "cache_hits": stats.cache_hits,
+                "cached_specs": stats.cached_specs,
+                "iso_builds": stats.iso_builds,
+                "threads": stats.threads,
+                "wall_ms": stats.wall.as_secs_f64() * 1e3,
             }),
             "reasons": reasons
                 .iter()
@@ -64,5 +76,9 @@ pub fn run(argv: &[String]) -> Result<ExitCode, String> {
             }
         }
     }
-    Ok(if alloc.is_some() { ExitCode::SUCCESS } else { ExitCode::from(1) })
+    Ok(if alloc.is_some() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    })
 }

@@ -24,7 +24,7 @@ pub fn run(argv: &[String]) -> Result<ExitCode, String> {
             "robust_si": report.robust_si,
             "static_sdg_certified": report.static_si.certified(),
             "optimal": report.optimal.to_string(),
-            "optimal_counts": {"RC": rc, "SI": si, "SSI": ssi},
+            "optimal_counts": json!({"RC": rc, "SI": si, "SSI": ssi}),
             "optimal_rc_si": report.optimal_rc_si.as_ref().map(|a| a.to_string()),
             "watch_list": report
                 .above_rc()

@@ -2,7 +2,7 @@
 
 use crate::args::Parsed;
 use crate::output;
-use mvrobustness::is_robust;
+use mvrobustness::RobustnessChecker;
 use serde_json::json;
 use std::process::ExitCode;
 
@@ -10,7 +10,8 @@ pub fn run(argv: &[String]) -> Result<ExitCode, String> {
     let parsed = Parsed::parse(argv)?;
     let txns = parsed.load_workload()?;
     let alloc = parsed.allocation(&txns)?;
-    let report = is_robust(&txns, &alloc);
+    let checker = RobustnessChecker::new(&txns).with_threads(parsed.threads()?);
+    let report = checker.is_robust(&alloc);
     if parsed.flag("json") {
         let j = json!({
             "robust": report.robust(),
@@ -30,5 +31,9 @@ pub fn run(argv: &[String]) -> Result<ExitCode, String> {
             }
         }
     }
-    Ok(if report.robust() { ExitCode::SUCCESS } else { ExitCode::from(1) })
+    Ok(if report.robust() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    })
 }

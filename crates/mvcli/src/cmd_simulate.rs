@@ -68,23 +68,23 @@ pub fn run(argv: &[String]) -> Result<ExitCode, String> {
             "concurrency": concurrency,
             "runs": repeat,
             "commits": total.commits,
-            "aborts": {
+            "aborts": json!({
                 "first_committer_wins": total.aborts_fcw,
                 "deadlock": total.aborts_deadlock,
                 "ssi": total.aborts_ssi,
-            },
+            }),
             "gave_up": total.gave_up,
             "ticks": total.ticks,
             "goodput": total.goodput(),
             "abort_rate": total.abort_rate(),
             "serializable_runs": serializable_runs,
             "allowed_runs": allowed_runs,
-            "latency_ticks": {
+            "latency_ticks": json!({
                 "mean": latency.mean(),
                 "p50": latency.p50(),
                 "p95": latency.p95(),
                 "max": latency.max(),
-            },
+            }),
         });
         println!("{}", serde_json::to_string_pretty(&j).expect("valid json"));
     } else {

@@ -33,8 +33,7 @@ pub fn run(argv: &[String]) -> Result<ExitCode, String> {
                     "verified": true,
                 });
                 if parsed.flag("dot") {
-                    j["dot"] =
-                        json!(mvmodel::fmt::serialization_graph_dot(&schedule));
+                    j["dot"] = json!(mvmodel::fmt::serialization_graph_dot(&schedule));
                 }
                 println!("{}", serde_json::to_string_pretty(&j).expect("valid json"));
             } else {

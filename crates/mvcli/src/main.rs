@@ -24,13 +24,26 @@ mod cmd_simulate;
 mod cmd_witness;
 mod output;
 
+/// Restore the default SIGPIPE disposition so piping into `head` ends
+/// the process quietly. Declared inline (no libc crate): `signal(2)` is
+/// part of the platform C ABI on every unix target we build for.
+#[cfg(unix)]
+fn reset_sigpipe() {
+    const SIGPIPE: i32 = 13;
+    const SIG_DFL: usize = 0;
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    unsafe {
+        signal(SIGPIPE, SIG_DFL);
+    }
+}
+
 fn main() -> ExitCode {
     // Die quietly on SIGPIPE (e.g. `mvrobust witness ... | head`) instead
     // of panicking on a broken stdout.
     #[cfg(unix)]
-    unsafe {
-        libc::signal(libc::SIGPIPE, libc::SIG_DFL);
-    }
+    reset_sigpipe();
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match run(&argv) {
         Ok(code) => code,

@@ -22,7 +22,12 @@ pub fn spec_json(txns: &TransactionSet, spec: &SplitSpec) -> serde_json::Value {
 /// `R1[x]`-style rendering of an operation address.
 pub fn op_str(txns: &TransactionSet, addr: mvmodel::OpAddr) -> String {
     let op = txns.op_at(addr);
-    format!("{}{}[{}]", op.kind.letter(), addr.txn.0, txns.object_name(op.object))
+    format!(
+        "{}{}[{}]",
+        op.kind.letter(),
+        addr.txn.0,
+        txns.object_name(op.object)
+    )
 }
 
 /// Text rendering of a counterexample schedule with versions.
@@ -39,7 +44,11 @@ pub fn spec_text(txns: &TransactionSet, spec: &SplitSpec) -> String {
         spec.t1
     );
     for (i, (b, a)) in spec.links.iter().enumerate() {
-        let target = if i < spec.chain.len() { spec.chain[i] } else { spec.t1 };
+        let target = if i < spec.chain.len() {
+            spec.chain[i]
+        } else {
+            spec.t1
+        };
         out.push_str(&format!(
             "\n    --[{} conflicts {}]--> {}",
             op_str(txns, *b),

@@ -59,8 +59,7 @@ fn check_json_shape() {
 
 #[test]
 fn check_mixed_allocation() {
-    let (stdout, _, code) =
-        run_with_stdin(&["check", "--alloc", "T1=SSI T2=SSI"], SKEW);
+    let (stdout, _, code) = run_with_stdin(&["check", "--alloc", "T1=SSI T2=SSI"], SKEW);
     assert_eq!(code, 0, "{stdout}");
 }
 
@@ -89,6 +88,32 @@ fn allocate_explain_json() {
 }
 
 #[test]
+fn allocate_json_reports_engine_stats() {
+    let (stdout, _, code) = run_with_stdin(&["allocate", "--json"], SKEW);
+    assert_eq!(code, 0);
+    let j: serde_json::Value = serde_json::from_str(&stdout).expect("valid json");
+    let stats = &j["engine_stats"];
+    assert_eq!(stats["threads"], 1);
+    assert!(stats["probes"].as_u64().unwrap() >= 1);
+    // All four lowering attempts fail; the ones not probed hit the cache.
+    assert!(stats["probes"].as_u64().unwrap() + stats["cache_hits"].as_u64().unwrap() >= 4);
+    assert!(stats["cached_specs"].as_u64().unwrap() >= 1);
+    assert!(stats["wall_ms"].as_f64().unwrap() >= 0.0);
+}
+
+#[test]
+fn threads_flag_does_not_change_verdicts() {
+    let (baseline, _, code) = run_with_stdin(&["allocate"], SKEW);
+    assert_eq!(code, 0);
+    let (threaded, _, code) = run_with_stdin(&["allocate", "--threads", "4"], SKEW);
+    assert_eq!(code, 0);
+    assert_eq!(baseline, threaded);
+    let (_, stderr, code) = run_with_stdin(&["check", "--level", "si", "--threads", "0"], SKEW);
+    assert_eq!(code, 2, "{stderr}");
+    assert!(stderr.contains("--threads must be at least 1"));
+}
+
+#[test]
 fn witness_prints_verified_schedule() {
     let (stdout, _, code) = run_with_stdin(&["witness", "--level", "si"], SKEW);
     assert_eq!(code, 1);
@@ -108,7 +133,15 @@ fn witness_json_verified() {
 #[test]
 fn simulate_optimal_runs() {
     let (stdout, _, code) = run_with_stdin(
-        &["simulate", "--optimal", "--repeat", "2", "--seed", "1", "--json"],
+        &[
+            "simulate",
+            "--optimal",
+            "--repeat",
+            "2",
+            "--seed",
+            "1",
+            "--json",
+        ],
         SKEW,
     );
     assert_eq!(code, 0);
@@ -120,7 +153,14 @@ fn simulate_optimal_runs() {
 #[test]
 fn simulate_conservative_mode() {
     let (stdout, _, code) = run_with_stdin(
-        &["simulate", "--level", "ssi", "--ssi-mode", "conservative", "--json"],
+        &[
+            "simulate",
+            "--level",
+            "ssi",
+            "--ssi-mode",
+            "conservative",
+            "--json",
+        ],
         SKEW,
     );
     assert_eq!(code, 0, "{stdout}");
@@ -180,8 +220,7 @@ fn witness_dot_output() {
     assert_eq!(code, 1);
     assert!(stdout.contains("digraph SeG {"));
     assert!(stdout.contains("style=dashed"));
-    let (stdout, _, _) =
-        run_with_stdin(&["witness", "--level", "si", "--dot", "--json"], SKEW);
+    let (stdout, _, _) = run_with_stdin(&["witness", "--level", "si", "--dot", "--json"], SKEW);
     let j: serde_json::Value = serde_json::from_str(&stdout).expect("valid json");
     assert!(j["dot"].as_str().unwrap().contains("digraph"));
 }

@@ -20,13 +20,17 @@ pub struct Allocation {
 impl Allocation {
     /// Builds an allocation from explicit pairs.
     pub fn from_pairs(pairs: impl IntoIterator<Item = (TxnId, IsolationLevel)>) -> Self {
-        Allocation { levels: pairs.into_iter().collect() }
+        Allocation {
+            levels: pairs.into_iter().collect(),
+        }
     }
 
     /// The homogeneous allocation mapping every transaction of `txns` to
     /// `level` (the paper's `𝒜_RC`, `𝒜_SI`, `𝒜_SSI`).
     pub fn uniform(txns: &TransactionSet, level: IsolationLevel) -> Self {
-        Allocation { levels: txns.ids().map(|t| (t, level)).collect() }
+        Allocation {
+            levels: txns.ids().map(|t| (t, level)).collect(),
+        }
     }
 
     /// `𝒜_RC`.
@@ -77,7 +81,9 @@ impl Allocation {
         if self.levels.len() != other.levels.len() {
             return false;
         }
-        self.levels.iter().all(|(t, &lvl)| other.get(*t).is_some_and(|o| lvl <= o))
+        self.levels
+            .iter()
+            .all(|(t, &lvl)| other.get(*t).is_some_and(|o| lvl <= o))
     }
 
     /// `𝒜 < 𝒜'`: `𝒜 ≤ 𝒜'` and strictly lower somewhere.
@@ -125,7 +131,10 @@ impl Allocation {
     /// leading `T` is optional).
     pub fn parse(input: &str) -> Result<Self, ParseLevelError> {
         let mut levels = BTreeMap::new();
-        for tok in input.split([',', ' ', '\n', '\t']).filter(|t| !t.is_empty()) {
+        for tok in input
+            .split([',', ' ', '\n', '\t'])
+            .filter(|t| !t.is_empty())
+        {
             let (t, l) = tok
                 .split_once('=')
                 .ok_or_else(|| ParseLevelError(format!("expected T<id>=<level>, got `{tok}`")))?;
@@ -205,7 +214,11 @@ mod tests {
         let txns = set();
         let a = Allocation::uniform_si(&txns);
         let b = a.with(TxnId(2), IsolationLevel::RC);
-        assert_eq!(a.level(TxnId(2)), IsolationLevel::SI, "with() must not mutate");
+        assert_eq!(
+            a.level(TxnId(2)),
+            IsolationLevel::SI,
+            "with() must not mutate"
+        );
         assert_eq!(b.level(TxnId(2)), IsolationLevel::RC);
         assert!(b.lt(&a));
         let mut c = a.clone();
@@ -239,7 +252,10 @@ mod tests {
         assert!(Allocation::parse("Tx=RC").is_err());
         assert!(Allocation::parse("T1=XX").is_err());
         // Bare ids allowed.
-        assert_eq!(Allocation::parse("5=si").unwrap().level(TxnId(5)), IsolationLevel::SI);
+        assert_eq!(
+            Allocation::parse("5=si").unwrap().level(TxnId(5)),
+            IsolationLevel::SI
+        );
     }
 
     #[test]

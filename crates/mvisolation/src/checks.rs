@@ -96,7 +96,10 @@ fn write_anomaly(s: &Schedule, txn: TxnId, dirty: bool) -> Option<WriteWitness> 
                 bi_pos < aj_pos && first < ci
             };
             if hit {
-                return Some(WriteWitness { earlier: bi, later: aj });
+                return Some(WriteWitness {
+                    earlier: bi,
+                    later: aj,
+                });
             }
         }
     }
@@ -119,8 +122,14 @@ mod tests {
         b.txn(1).write(x).finish();
         b.txn(2).write(x).finish();
         let txns = Arc::new(b.build().unwrap());
-        let w1 = OpAddr { txn: TxnId(1), idx: 0 };
-        let w2 = OpAddr { txn: TxnId(2), idx: 0 };
+        let w1 = OpAddr {
+            txn: TxnId(1),
+            idx: 0,
+        };
+        let w2 = OpAddr {
+            txn: TxnId(2),
+            idx: 0,
+        };
         let order = vec![
             OpId::Op(w1),
             OpId::Op(w2),
@@ -148,8 +157,20 @@ mod tests {
     fn commit_order_respected_or_not() {
         let s = dirty_pair();
         // W1 ≪ W2 but C2 <_s C1: both writes violate commit order.
-        assert!(!respects_commit_order(&s, OpAddr { txn: TxnId(1), idx: 0 }));
-        assert!(!respects_commit_order(&s, OpAddr { txn: TxnId(2), idx: 0 }));
+        assert!(!respects_commit_order(
+            &s,
+            OpAddr {
+                txn: TxnId(1),
+                idx: 0
+            }
+        ));
+        assert!(!respects_commit_order(
+            &s,
+            OpAddr {
+                txn: TxnId(2),
+                idx: 0
+            }
+        ));
     }
 
     /// W2[x] C2 W4[x] C4 where T4 started before C2 — Figure 2's concurrent
@@ -160,9 +181,18 @@ mod tests {
         b.txn(2).write(x).finish();
         b.txn(4).read(x).write(x).finish();
         let txns = Arc::new(b.build().unwrap());
-        let w2 = OpAddr { txn: TxnId(2), idx: 0 };
-        let r4 = OpAddr { txn: TxnId(4), idx: 0 };
-        let w4 = OpAddr { txn: TxnId(4), idx: 1 };
+        let w2 = OpAddr {
+            txn: TxnId(2),
+            idx: 0,
+        };
+        let r4 = OpAddr {
+            txn: TxnId(4),
+            idx: 0,
+        };
+        let w4 = OpAddr {
+            txn: TxnId(4),
+            idx: 1,
+        };
         let order = vec![
             OpId::Op(r4),
             OpId::Op(w2),
@@ -180,27 +210,53 @@ mod tests {
     #[test]
     fn concurrent_write_without_dirty_write() {
         let s = concurrent_not_dirty();
-        assert!(dirty_write(&s, TxnId(4)).is_none(), "T2 committed before W4[x]");
+        assert!(
+            dirty_write(&s, TxnId(4)).is_none(),
+            "T2 committed before W4[x]"
+        );
         let w = concurrent_write(&s, TxnId(4)).expect("T4 started before C2");
         assert_eq!(w.earlier.txn, TxnId(2));
         assert!(concurrent_write(&s, TxnId(2)).is_none());
         // Here both writes respect the commit order.
-        assert!(respects_commit_order(&s, OpAddr { txn: TxnId(2), idx: 0 }));
-        assert!(respects_commit_order(&s, OpAddr { txn: TxnId(4), idx: 1 }));
+        assert!(respects_commit_order(
+            &s,
+            OpAddr {
+                txn: TxnId(2),
+                idx: 0
+            }
+        ));
+        assert!(respects_commit_order(
+            &s,
+            OpAddr {
+                txn: TxnId(4),
+                idx: 1
+            }
+        ));
     }
 
     #[test]
     fn read_last_committed_anchors() {
         let s = concurrent_not_dirty();
-        let r4 = OpAddr { txn: TxnId(4), idx: 0 };
+        let r4 = OpAddr {
+            txn: TxnId(4),
+            idx: 0,
+        };
         // R4[x] reads op0; anchored at itself that is correct (nothing
         // committed before R4[x]).
         assert!(read_last_committed_relative_to(&s, r4, OpId::Op(r4)));
         // Anchored at T4's start: also nothing committed — fine.
-        assert!(read_last_committed_relative_to(&s, r4, s.txns().txn(TxnId(4)).first()));
+        assert!(read_last_committed_relative_to(
+            &s,
+            r4,
+            s.txns().txn(TxnId(4)).first()
+        ));
         // Anchored at T4's commit: W2[x] is committed by then, so op0 is no
         // longer the last committed version.
-        assert!(!read_last_committed_relative_to(&s, r4, OpId::Commit(TxnId(4))));
+        assert!(!read_last_committed_relative_to(
+            &s,
+            r4,
+            OpId::Commit(TxnId(4))
+        ));
     }
 
     #[test]
@@ -212,8 +268,14 @@ mod tests {
         b.txn(1).write(x).finish();
         b.txn(2).read(x).finish();
         let txns = Arc::new(b.build().unwrap());
-        let w1 = OpAddr { txn: TxnId(1), idx: 0 };
-        let r2 = OpAddr { txn: TxnId(2), idx: 0 };
+        let w1 = OpAddr {
+            txn: TxnId(1),
+            idx: 0,
+        };
+        let r2 = OpAddr {
+            txn: TxnId(2),
+            idx: 0,
+        };
         let order = vec![
             OpId::Op(w1),
             OpId::Op(r2),
@@ -226,6 +288,10 @@ mod tests {
         rf.insert(r2, OpId::Op(w1));
         let s = Schedule::new(txns, order, versions, rf).unwrap();
         assert!(!read_last_committed_relative_to(&s, r2, OpId::Op(r2)));
-        assert!(!read_last_committed_relative_to(&s, r2, s.txns().txn(TxnId(2)).first()));
+        assert!(!read_last_committed_relative_to(
+            &s,
+            r2,
+            s.txns().txn(TxnId(2)).first()
+        ));
     }
 }

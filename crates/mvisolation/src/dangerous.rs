@@ -83,10 +83,22 @@ mod tests {
         b.txn(1).read(x).write(y).finish();
         b.txn(2).read(y).write(x).finish();
         let txns = Arc::new(b.build().unwrap());
-        let r1x = OpAddr { txn: TxnId(1), idx: 0 };
-        let w1y = OpAddr { txn: TxnId(1), idx: 1 };
-        let r2y = OpAddr { txn: TxnId(2), idx: 0 };
-        let w2x = OpAddr { txn: TxnId(2), idx: 1 };
+        let r1x = OpAddr {
+            txn: TxnId(1),
+            idx: 0,
+        };
+        let w1y = OpAddr {
+            txn: TxnId(1),
+            idx: 1,
+        };
+        let r2y = OpAddr {
+            txn: TxnId(2),
+            idx: 0,
+        };
+        let w2x = OpAddr {
+            txn: TxnId(2),
+            idx: 1,
+        };
         let order = vec![
             OpId::Op(r1x),
             OpId::Op(r2y),
@@ -109,9 +121,17 @@ mod tests {
         let s = write_skew();
         let all = dangerous_structures(&s, |_| true);
         // T2 commits first: the pivot structure is T2 →rw T1 →rw T2.
-        assert!(all.contains(&DangerousStructure { t1: TxnId(2), t2: TxnId(1), t3: TxnId(2) }));
+        assert!(all.contains(&DangerousStructure {
+            t1: TxnId(2),
+            t2: TxnId(1),
+            t3: TxnId(2)
+        }));
         // T1 →rw T2 →rw T1 fails the commit condition (C₃=C1 is last).
-        assert!(!all.contains(&DangerousStructure { t1: TxnId(1), t2: TxnId(2), t3: TxnId(1) }));
+        assert!(!all.contains(&DangerousStructure {
+            t1: TxnId(1),
+            t2: TxnId(2),
+            t3: TxnId(1)
+        }));
         assert!(has_dangerous_structure(&s, |_| true));
     }
 
@@ -148,10 +168,22 @@ mod tests {
         b.txn(2).write(x).read(y).finish(); // T2 overwrites x, reads y
         b.txn(3).write(y).finish(); // T3 overwrites y
         let txns = Arc::new(b.build().unwrap());
-        let r1x = OpAddr { txn: TxnId(1), idx: 0 };
-        let w2x = OpAddr { txn: TxnId(2), idx: 0 };
-        let r2y = OpAddr { txn: TxnId(2), idx: 1 };
-        let w3y = OpAddr { txn: TxnId(3), idx: 0 };
+        let r1x = OpAddr {
+            txn: TxnId(1),
+            idx: 0,
+        };
+        let w2x = OpAddr {
+            txn: TxnId(2),
+            idx: 0,
+        };
+        let r2y = OpAddr {
+            txn: TxnId(2),
+            idx: 1,
+        };
+        let w3y = OpAddr {
+            txn: TxnId(3),
+            idx: 0,
+        };
         // R1[x] W2[x] R2[y] W3[y] C3 C1 C2 — all pairwise concurrent,
         // T3 commits first.
         let order = vec![
@@ -171,7 +203,11 @@ mod tests {
         rf.insert(r2y, OpId::Init);
         let s = Schedule::new(txns, order, versions, rf).unwrap();
         let all = dangerous_structures(&s, |_| true);
-        assert!(all.contains(&DangerousStructure { t1: TxnId(1), t2: TxnId(2), t3: TxnId(3) }));
+        assert!(all.contains(&DangerousStructure {
+            t1: TxnId(1),
+            t2: TxnId(2),
+            t3: TxnId(3)
+        }));
         // Dropping any participant from the filter removes it.
         for skip in [1u32, 2, 3] {
             assert!(dangerous_structures(&s, |t| t != TxnId(skip))
@@ -191,10 +227,22 @@ mod tests {
         b.txn(2).write(x).read(y).finish();
         b.txn(3).write(y).finish();
         let txns = Arc::new(b.build().unwrap());
-        let r1x = OpAddr { txn: TxnId(1), idx: 0 };
-        let w2x = OpAddr { txn: TxnId(2), idx: 0 };
-        let r2y = OpAddr { txn: TxnId(2), idx: 1 };
-        let w3y = OpAddr { txn: TxnId(3), idx: 0 };
+        let r1x = OpAddr {
+            txn: TxnId(1),
+            idx: 0,
+        };
+        let w2x = OpAddr {
+            txn: TxnId(2),
+            idx: 0,
+        };
+        let r2y = OpAddr {
+            txn: TxnId(2),
+            idx: 1,
+        };
+        let w3y = OpAddr {
+            txn: TxnId(3),
+            idx: 0,
+        };
         let order = vec![
             OpId::Op(r1x),
             OpId::Op(w2x),

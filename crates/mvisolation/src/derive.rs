@@ -36,8 +36,11 @@ pub fn derive_schedule(
     order: Vec<OpId>,
     alloc: &Allocation,
 ) -> Result<Schedule, ScheduleError> {
-    let pos: HashMap<OpId, u32> =
-        order.iter().enumerate().map(|(i, &op)| (op, i as u32)).collect();
+    let pos: HashMap<OpId, u32> = order
+        .iter()
+        .enumerate()
+        .map(|(i, &op)| (op, i as u32))
+        .collect();
     let commit_pos = |t| pos.get(&OpId::Commit(t)).copied().unwrap_or(u32::MAX);
 
     // Version order: per object, writes sorted by their writer's commit
@@ -153,9 +156,21 @@ mod tests {
         let a = Allocation::parse("T1=RC T2=RC").unwrap();
         let s = derive_schedule(Arc::clone(&txns), order, &a).unwrap();
         // R1[x] precedes C2, so it reads op0 under RC.
-        assert_eq!(s.version_fn(OpAddr { txn: TxnId(1), idx: 0 }), OpId::Init);
+        assert_eq!(
+            s.version_fn(OpAddr {
+                txn: TxnId(1),
+                idx: 0
+            }),
+            OpId::Init
+        );
         // R2[y] precedes W1[y], reads op0.
-        assert_eq!(s.version_fn(OpAddr { txn: TxnId(2), idx: 1 }), OpId::Init);
+        assert_eq!(
+            s.version_fn(OpAddr {
+                txn: TxnId(2),
+                idx: 1
+            }),
+            OpId::Init
+        );
         assert!(allowed_under(&s, &a));
     }
 
@@ -182,13 +197,22 @@ mod tests {
         let s_rc = derive_schedule(Arc::clone(&txns2), order.clone(), &rc).unwrap();
         // RC anchor = the read itself: sees T2's committed write.
         assert_eq!(
-            s_rc.version_fn(OpAddr { txn: TxnId(1), idx: 1 }),
+            s_rc.version_fn(OpAddr {
+                txn: TxnId(1),
+                idx: 1
+            }),
             OpId::op(TxnId(2), 0)
         );
         let si = Allocation::parse("T1=SI T2=SI").unwrap();
         let s_si = derive_schedule(txns2, order, &si).unwrap();
         // SI anchor = first(T1) = R1[y], before C2: sees op0.
-        assert_eq!(s_si.version_fn(OpAddr { txn: TxnId(1), idx: 1 }), OpId::Init);
+        assert_eq!(
+            s_si.version_fn(OpAddr {
+                txn: TxnId(1),
+                idx: 1
+            }),
+            OpId::Init
+        );
         assert!(allowed_under(&s_si, &si));
         let _ = txns;
     }

@@ -40,9 +40,10 @@ impl IsolationLevel {
         match self {
             IsolationLevel::ReadCommitted => &[],
             IsolationLevel::SnapshotIsolation => &[IsolationLevel::ReadCommitted],
-            IsolationLevel::SerializableSnapshotIsolation => {
-                &[IsolationLevel::ReadCommitted, IsolationLevel::SnapshotIsolation]
-            }
+            IsolationLevel::SerializableSnapshotIsolation => &[
+                IsolationLevel::ReadCommitted,
+                IsolationLevel::SnapshotIsolation,
+            ],
         }
     }
 
@@ -74,7 +75,11 @@ pub struct ParseLevelError(pub String);
 
 impl fmt::Display for ParseLevelError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "unknown isolation level `{}` (expected RC, SI or SSI)", self.0)
+        write!(
+            f,
+            "unknown isolation level `{}` (expected RC, SI or SSI)",
+            self.0
+        )
     }
 }
 
@@ -86,9 +91,7 @@ impl FromStr for IsolationLevel {
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         match s.to_ascii_uppercase().as_str() {
             "RC" | "READ COMMITTED" | "READ_COMMITTED" => Ok(IsolationLevel::RC),
-            "SI" | "SNAPSHOT" | "SNAPSHOT ISOLATION" | "REPEATABLE READ" => {
-                Ok(IsolationLevel::SI)
-            }
+            "SI" | "SNAPSHOT" | "SNAPSHOT ISOLATION" | "REPEATABLE READ" => Ok(IsolationLevel::SI),
             "SSI" | "SERIALIZABLE" => Ok(IsolationLevel::SSI),
             other => Err(ParseLevelError(other.to_string())),
         }
@@ -126,8 +129,14 @@ mod tests {
             assert_eq!(lvl.as_str().parse::<IsolationLevel>().unwrap(), lvl);
             assert_eq!(lvl.to_string(), lvl.as_str());
         }
-        assert_eq!("serializable".parse::<IsolationLevel>().unwrap(), IsolationLevel::SSI);
-        assert_eq!("repeatable read".parse::<IsolationLevel>().unwrap(), IsolationLevel::SI);
+        assert_eq!(
+            "serializable".parse::<IsolationLevel>().unwrap(),
+            IsolationLevel::SSI
+        );
+        assert_eq!(
+            "repeatable read".parse::<IsolationLevel>().unwrap(),
+            IsolationLevel::SI
+        );
         assert!("chaos".parse::<IsolationLevel>().is_err());
         let e = "chaos".parse::<IsolationLevel>().unwrap_err();
         assert!(e.to_string().contains("CHAOS"));

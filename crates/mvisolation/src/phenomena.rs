@@ -16,7 +16,10 @@ use mvmodel::{OpAddr, OpId, Schedule, TxnId};
 pub enum Anomaly {
     /// P4: two transactions read the same version of an object and both
     /// overwrite it — one update is lost.
-    LostUpdate { object_reader_writer: (TxnId, TxnId), object: mvmodel::Object },
+    LostUpdate {
+        object_reader_writer: (TxnId, TxnId),
+        object: mvmodel::Object,
+    },
     /// A5A: a transaction reads two different committed versions'
     /// snapshots inconsistently — it observes object `x` before some
     /// transaction `u` and object `y` after `u` (read skew / inconsistent
@@ -27,13 +30,19 @@ pub enum Anomaly {
     WriteSkew { t1: TxnId, t2: TxnId },
     /// Fuzzy read (P2 in multiversion form): a transaction's two reads of
     /// the same object observe different versions.
-    FuzzyRead { reader: TxnId, object: mvmodel::Object },
+    FuzzyRead {
+        reader: TxnId,
+        object: mvmodel::Object,
+    },
 }
 
 impl std::fmt::Display for Anomaly {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            Anomaly::LostUpdate { object_reader_writer: (a, b), object } => {
+            Anomaly::LostUpdate {
+                object_reader_writer: (a, b),
+                object,
+            } => {
                 write!(f, "lost update on {object} between {a} and {b}")
             }
             Anomaly::ReadSkew { reader, writer } => {
@@ -93,7 +102,9 @@ pub fn read_skews(s: &Schedule) -> Vec<Anomaly> {
             let mut saw_at_least = false;
             let mut saw_before = false;
             for &(raddr, object) in &reads {
-                let Some(widx) = writer.write_of(object) else { continue };
+                let Some(widx) = writer.write_of(object) else {
+                    continue;
+                };
                 let wid = OpId::Op(OpAddr::new(writer.id(), widx));
                 let v = s.version_fn(raddr);
                 if v == wid || s.vless(wid, v) {
@@ -103,7 +114,10 @@ pub fn read_skews(s: &Schedule) -> Vec<Anomaly> {
                 }
             }
             if saw_at_least && saw_before {
-                out.push(Anomaly::ReadSkew { reader: reader.id(), writer: writer.id() });
+                out.push(Anomaly::ReadSkew {
+                    reader: reader.id(),
+                    writer: writer.id(),
+                });
             }
         }
     }
@@ -123,17 +137,13 @@ pub fn write_skews(s: &Schedule) -> Vec<Anomaly> {
                 continue;
             }
             let anti = |from: TxnId, to: TxnId| {
-                deps.iter().any(|d| {
-                    d.kind == DepKind::RwAnti && d.from.txn == from && d.to.txn == to
-                })
+                deps.iter()
+                    .any(|d| d.kind == DepKind::RwAnti && d.from.txn == from && d.to.txn == to)
             };
-            let ww = deps
-                .iter()
-                .any(|d| {
-                    d.kind == DepKind::Ww
-                        && ((d.from.txn == a && d.to.txn == b)
-                            || (d.from.txn == b && d.to.txn == a))
-                });
+            let ww = deps.iter().any(|d| {
+                d.kind == DepKind::Ww
+                    && ((d.from.txn == a && d.to.txn == b) || (d.from.txn == b && d.to.txn == a))
+            });
             if anti(a, b) && anti(b, a) && !ww {
                 out.push(Anomaly::WriteSkew { t1: a, t2: b });
             }
@@ -156,7 +166,10 @@ pub fn fuzzy_reads(s: &Schedule) -> Vec<Anomaly> {
             let v = s.version_fn(addr);
             if let Some(&(_, prev)) = seen.iter().find(|&&(o, _)| o == object) {
                 if prev != v {
-                    out.push(Anomaly::FuzzyRead { reader: t.id(), object });
+                    out.push(Anomaly::FuzzyRead {
+                        reader: t.id(),
+                        object,
+                    });
                 }
             } else {
                 seen.push((object, v));
@@ -191,10 +204,22 @@ mod tests {
         b.txn(1).read(x).write(x).finish();
         b.txn(2).read(x).write(x).finish();
         let txns = Arc::new(b.build().unwrap());
-        let r1 = OpAddr { txn: TxnId(1), idx: 0 };
-        let w1 = OpAddr { txn: TxnId(1), idx: 1 };
-        let r2 = OpAddr { txn: TxnId(2), idx: 0 };
-        let w2 = OpAddr { txn: TxnId(2), idx: 1 };
+        let r1 = OpAddr {
+            txn: TxnId(1),
+            idx: 0,
+        };
+        let w1 = OpAddr {
+            txn: TxnId(1),
+            idx: 1,
+        };
+        let r2 = OpAddr {
+            txn: TxnId(2),
+            idx: 0,
+        };
+        let w2 = OpAddr {
+            txn: TxnId(2),
+            idx: 1,
+        };
         let order = vec![
             OpId::Op(r1),
             OpId::Op(r2),
@@ -225,10 +250,22 @@ mod tests {
         b.txn(1).read(x).write(y).finish();
         b.txn(2).read(y).write(x).finish();
         let txns = Arc::new(b.build().unwrap());
-        let r1 = OpAddr { txn: TxnId(1), idx: 0 };
-        let w1 = OpAddr { txn: TxnId(1), idx: 1 };
-        let r2 = OpAddr { txn: TxnId(2), idx: 0 };
-        let w2 = OpAddr { txn: TxnId(2), idx: 1 };
+        let r1 = OpAddr {
+            txn: TxnId(1),
+            idx: 0,
+        };
+        let w1 = OpAddr {
+            txn: TxnId(1),
+            idx: 1,
+        };
+        let r2 = OpAddr {
+            txn: TxnId(2),
+            idx: 0,
+        };
+        let w2 = OpAddr {
+            txn: TxnId(2),
+            idx: 1,
+        };
         let order = vec![
             OpId::Op(r1),
             OpId::Op(r2),
@@ -246,7 +283,13 @@ mod tests {
         let s = Schedule::new(txns, order, versions, rf).unwrap();
         let skews = write_skews(&s);
         assert_eq!(skews.len(), 1);
-        assert!(matches!(skews[0], Anomaly::WriteSkew { t1: TxnId(1), t2: TxnId(2) }));
+        assert!(matches!(
+            skews[0],
+            Anomaly::WriteSkew {
+                t1: TxnId(1),
+                t2: TxnId(2)
+            }
+        ));
         // No lost update (disjoint write sets) and no read skew.
         assert!(lost_updates(&s).is_empty());
         assert!(read_skews(&s).is_empty());
@@ -264,10 +307,22 @@ mod tests {
         b.txn(1).read(x).read(y).finish();
         b.txn(2).write(x).write(y).finish();
         let txns = Arc::new(b.build().unwrap());
-        let r1x = OpAddr { txn: TxnId(1), idx: 0 };
-        let r1y = OpAddr { txn: TxnId(1), idx: 1 };
-        let w2x = OpAddr { txn: TxnId(2), idx: 0 };
-        let w2y = OpAddr { txn: TxnId(2), idx: 1 };
+        let r1x = OpAddr {
+            txn: TxnId(1),
+            idx: 0,
+        };
+        let r1y = OpAddr {
+            txn: TxnId(1),
+            idx: 1,
+        };
+        let w2x = OpAddr {
+            txn: TxnId(2),
+            idx: 0,
+        };
+        let w2y = OpAddr {
+            txn: TxnId(2),
+            idx: 1,
+        };
         // R1[x] W2[x] W2[y] C2 R1[y] C1 with R1[y] reading W2[y] (RC).
         let order = vec![
             OpId::Op(r1x),
@@ -286,9 +341,13 @@ mod tests {
         let s = Schedule::new(txns, order, versions, rf).unwrap();
         let skews = read_skews(&s);
         assert_eq!(skews.len(), 1);
-        assert!(
-            matches!(skews[0], Anomaly::ReadSkew { reader: TxnId(1), writer: TxnId(2) })
-        );
+        assert!(matches!(
+            skews[0],
+            Anomaly::ReadSkew {
+                reader: TxnId(1),
+                writer: TxnId(2)
+            }
+        ));
         assert!(skews[0].to_string().contains("read skew"));
     }
 

@@ -15,11 +15,23 @@ pub enum Violation {
     /// A write of `txn` does not respect the commit order.
     CommitOrderViolated { txn: TxnId, write: OpAddr },
     /// A read is not read-last-committed relative to its level's anchor.
-    NotReadLastCommitted { txn: TxnId, read: OpAddr, level: IsolationLevel },
+    NotReadLastCommitted {
+        txn: TxnId,
+        read: OpAddr,
+        level: IsolationLevel,
+    },
     /// An RC (or SI) transaction exhibits a dirty write.
-    DirtyWrite { txn: TxnId, earlier: OpAddr, later: OpAddr },
+    DirtyWrite {
+        txn: TxnId,
+        earlier: OpAddr,
+        later: OpAddr,
+    },
     /// An SI/SSI transaction exhibits a concurrent write.
-    ConcurrentWrite { txn: TxnId, earlier: OpAddr, later: OpAddr },
+    ConcurrentWrite {
+        txn: TxnId,
+        earlier: OpAddr,
+        later: OpAddr,
+    },
     /// A dangerous structure among SSI-allocated transactions.
     Dangerous(DangerousStructure),
 }
@@ -34,10 +46,21 @@ impl fmt::Display for Violation {
                 f,
                 "{txn}: read {read} is not read-last-committed relative to the {level} anchor"
             ),
-            Violation::DirtyWrite { txn, earlier, later } => {
-                write!(f, "{txn}: dirty write — {later} overwrites uncommitted {earlier}")
+            Violation::DirtyWrite {
+                txn,
+                earlier,
+                later,
+            } => {
+                write!(
+                    f,
+                    "{txn}: dirty write — {later} overwrites uncommitted {earlier}"
+                )
             }
-            Violation::ConcurrentWrite { txn, earlier, later } => {
+            Violation::ConcurrentWrite {
+                txn,
+                earlier,
+                later,
+            } => {
                 write!(f, "{txn}: concurrent write — {later} overwrites {earlier} of a concurrent transaction")
             }
             Violation::Dangerous(d) => {
@@ -59,13 +82,19 @@ impl fmt::Display for Violation {
 ///
 /// Panics when `a` does not cover every transaction of the schedule.
 pub fn violations(s: &Schedule, a: &Allocation) -> Vec<Violation> {
-    assert!(a.covers(s.txns()), "allocation must cover every transaction of the schedule");
+    assert!(
+        a.covers(s.txns()),
+        "allocation must cover every transaction of the schedule"
+    );
     let mut out = Vec::new();
     for t in s.txns().iter() {
         let level = a.level(t.id());
         for (w, _) in t.writes() {
             if !respects_commit_order(s, w) {
-                out.push(Violation::CommitOrderViolated { txn: t.id(), write: w });
+                out.push(Violation::CommitOrderViolated {
+                    txn: t.id(),
+                    write: w,
+                });
             }
         }
         for (r, _) in t.reads() {
@@ -74,7 +103,11 @@ pub fn violations(s: &Schedule, a: &Allocation) -> Vec<Violation> {
                 _ => t.first(),
             };
             if !read_last_committed_relative_to(s, r, anchor) {
-                out.push(Violation::NotReadLastCommitted { txn: t.id(), read: r, level });
+                out.push(Violation::NotReadLastCommitted {
+                    txn: t.id(),
+                    read: r,
+                    level,
+                });
             }
         }
         match level {
@@ -157,7 +190,10 @@ pub fn per_txn_allowed_levels(s: &Schedule) -> Vec<(TxnId, Vec<IsolationLevel>)>
 /// Convenience: asserts coverage and returns the transactions of a set as
 /// an allocation-sized vector, used by the robustness crate.
 pub fn assert_covers(txns: &TransactionSet, a: &Allocation) {
-    assert!(a.covers(txns), "allocation must cover every transaction of the set");
+    assert!(
+        a.covers(txns),
+        "allocation must cover every transaction of the set"
+    );
 }
 
 #[cfg(test)]
@@ -179,9 +215,18 @@ mod tests {
         b.txn(1).write(v).finish();
         b.txn(2).read(u).write(v).finish();
         let txns = Arc::new(b.build().unwrap());
-        let w1 = OpAddr { txn: TxnId(1), idx: 0 };
-        let r2 = OpAddr { txn: TxnId(2), idx: 0 };
-        let w2 = OpAddr { txn: TxnId(2), idx: 1 };
+        let w1 = OpAddr {
+            txn: TxnId(1),
+            idx: 0,
+        };
+        let r2 = OpAddr {
+            txn: TxnId(2),
+            idx: 0,
+        };
+        let w2 = OpAddr {
+            txn: TxnId(2),
+            idx: 1,
+        };
         let order = vec![
             OpId::Op(r2),
             OpId::Op(w1),
@@ -205,7 +250,9 @@ mod tests {
         let a2 = Allocation::parse("T1=RC T2=SI").unwrap();
         assert!(!allowed_under(&s, &a2));
         let v = violations(&s, &a2);
-        assert!(v.iter().any(|x| matches!(x, Violation::ConcurrentWrite { txn: TxnId(2), .. })));
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, Violation::ConcurrentWrite { txn: TxnId(2), .. })));
         // (3) 𝒜₃(T1)=SI, 𝒜₃(T2)=RC: allowed — the concurrent write is
         // T2's, and RC permits it; T1 exhibits none.
         let a3 = Allocation::parse("T1=SI T2=RC").unwrap();
@@ -223,9 +270,18 @@ mod tests {
         b.txn(1).write(t).finish();
         b.txn(2).read(v).read(t).finish();
         let txns = Arc::new(b.build().unwrap());
-        let w1t = OpAddr { txn: TxnId(1), idx: 0 };
-        let r2v = OpAddr { txn: TxnId(2), idx: 0 };
-        let r2t = OpAddr { txn: TxnId(2), idx: 1 };
+        let w1t = OpAddr {
+            txn: TxnId(1),
+            idx: 0,
+        };
+        let r2v = OpAddr {
+            txn: TxnId(2),
+            idx: 0,
+        };
+        let r2t = OpAddr {
+            txn: TxnId(2),
+            idx: 1,
+        };
         let order = vec![
             OpId::Op(w1t),
             OpId::Op(r2v),

@@ -22,13 +22,18 @@ fn txn_sets() -> impl Strategy<Value = Arc<TransactionSet>> {
         for (i, spec) in specs.into_iter().enumerate() {
             let mut ops: Vec<Op> = Vec::new();
             for (obj, write) in spec {
-                let op = if write { Op::write(Object(obj)) } else { Op::read(Object(obj)) };
+                let op = if write {
+                    Op::write(Object(obj))
+                } else {
+                    Op::read(Object(obj))
+                };
                 if !ops.contains(&op) {
                     // Keep reads before writes per object.
                     if op.is_write() {
                         ops.push(op);
-                    } else if let Some(p) =
-                        ops.iter().position(|o| o.is_write() && o.object == op.object)
+                    } else if let Some(p) = ops
+                        .iter()
+                        .position(|o| o.is_write() && o.object == op.object)
                     {
                         ops.insert(p, op);
                     } else {
@@ -47,7 +52,9 @@ fn txn_sets() -> impl Strategy<Value = Arc<TransactionSet>> {
 fn arbitrary_schedule(txns: Arc<TransactionSet>, seed: u64) -> Schedule {
     let mut state = seed;
     let mut next = move || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         (state >> 33) as usize
     };
     let mut cursors: Vec<(TxnId, usize, usize)> =

@@ -50,10 +50,18 @@ pub fn dependencies(s: &Schedule) -> Vec<Dependency> {
             for &wj in &writers[i + 1..] {
                 let (a, b) = (OpId::Op(wi), OpId::Op(wj));
                 if s.vless(a, b) {
-                    deps.push(Dependency { from: wi, to: wj, kind: DepKind::Ww });
+                    deps.push(Dependency {
+                        from: wi,
+                        to: wj,
+                        kind: DepKind::Ww,
+                    });
                 } else {
                     debug_assert!(s.vless(b, a), "version order must be total per object");
-                    deps.push(Dependency { from: wj, to: wi, kind: DepKind::Ww });
+                    deps.push(Dependency {
+                        from: wj,
+                        to: wi,
+                        kind: DepKind::Ww,
+                    });
                 }
             }
         }
@@ -65,13 +73,21 @@ pub fn dependencies(s: &Schedule) -> Vec<Dependency> {
                 }
                 let wid = OpId::Op(w);
                 if wid == v || s.vless(wid, v) {
-                    deps.push(Dependency { from: w, to: r, kind: DepKind::Wr });
+                    deps.push(Dependency {
+                        from: w,
+                        to: r,
+                        kind: DepKind::Wr,
+                    });
                 } else {
                     debug_assert!(
                         s.vless(v, wid),
                         "v_s(read) and writer must be version-comparable"
                     );
-                    deps.push(Dependency { from: r, to: w, kind: DepKind::RwAnti });
+                    deps.push(Dependency {
+                        from: r,
+                        to: w,
+                        kind: DepKind::RwAnti,
+                    });
                 }
             }
         }
@@ -98,26 +114,40 @@ pub fn conflict_equivalent(a: &Schedule, b: &Schedule) -> bool {
 
 #[cfg(test)]
 mod tests {
-    use crate::fixtures::figure_2;
     use super::*;
+    use crate::fixtures::figure_2;
     use crate::ids::{Object, TxnId};
     use crate::schedule::Schedule;
     use crate::txnset::TxnSetBuilder;
-    
+
     use std::sync::Arc;
 
     #[test]
     fn figure_2_named_dependencies() {
         let s = figure_2();
         let deps = dependencies(&s);
-        let has = |from: OpAddr, to: OpAddr, kind: DepKind| {
-            deps.contains(&Dependency { from, to, kind })
+        let has =
+            |from: OpAddr, to: OpAddr, kind: DepKind| deps.contains(&Dependency { from, to, kind });
+        let w2t = OpAddr {
+            txn: TxnId(2),
+            idx: 1,
         };
-        let w2t = OpAddr { txn: TxnId(2), idx: 1 };
-        let w4t = OpAddr { txn: TxnId(4), idx: 2 };
-        let w3v = OpAddr { txn: TxnId(3), idx: 1 };
-        let r4v = OpAddr { txn: TxnId(4), idx: 1 };
-        let r4t = OpAddr { txn: TxnId(4), idx: 0 };
+        let w4t = OpAddr {
+            txn: TxnId(4),
+            idx: 2,
+        };
+        let w3v = OpAddr {
+            txn: TxnId(3),
+            idx: 1,
+        };
+        let r4v = OpAddr {
+            txn: TxnId(4),
+            idx: 1,
+        };
+        let r4t = OpAddr {
+            txn: TxnId(4),
+            idx: 0,
+        };
         // The three dependencies the paper names below Figure 2.
         assert!(has(w2t, w4t, DepKind::Ww), "W2[t] → W4[t] ww");
         assert!(has(w3v, r4v, DepKind::Wr), "W3[v] → R4[v] wr");
@@ -128,14 +158,34 @@ mod tests {
     fn figure_2_antidependencies_from_initial_reads() {
         let s = figure_2();
         let deps = dependencies(&s);
-        let r1t = OpAddr { txn: TxnId(1), idx: 0 };
-        let w2t = OpAddr { txn: TxnId(2), idx: 1 };
-        let r2v = OpAddr { txn: TxnId(2), idx: 2 };
-        let w3v = OpAddr { txn: TxnId(3), idx: 1 };
+        let r1t = OpAddr {
+            txn: TxnId(1),
+            idx: 0,
+        };
+        let w2t = OpAddr {
+            txn: TxnId(2),
+            idx: 1,
+        };
+        let r2v = OpAddr {
+            txn: TxnId(2),
+            idx: 2,
+        };
+        let w3v = OpAddr {
+            txn: TxnId(3),
+            idx: 1,
+        };
         // R1[t] read op0 which precedes W2[t] in the version order.
-        assert!(deps.contains(&Dependency { from: r1t, to: w2t, kind: DepKind::RwAnti }));
+        assert!(deps.contains(&Dependency {
+            from: r1t,
+            to: w2t,
+            kind: DepKind::RwAnti
+        }));
         // R2[v] read op0 although T3 already installed a version of v.
-        assert!(deps.contains(&Dependency { from: r2v, to: w3v, kind: DepKind::RwAnti }));
+        assert!(deps.contains(&Dependency {
+            from: r2v,
+            to: w3v,
+            kind: DepKind::RwAnti
+        }));
     }
 
     #[test]

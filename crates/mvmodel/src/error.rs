@@ -48,7 +48,11 @@ pub enum ScheduleError {
     /// transaction exactly once (or lists an unknown operation).
     OrderMismatch(String),
     /// Operations of a transaction appear out of program order.
-    ProgramOrderViolated { txn: TxnId, earlier: OpId, later: OpId },
+    ProgramOrderViolated {
+        txn: TxnId,
+        earlier: OpId,
+        later: OpId,
+    },
     /// The version order for an object does not list exactly the writes on
     /// that object.
     VersionOrderMismatch(Object),
@@ -67,7 +71,11 @@ impl fmt::Display for ScheduleError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ScheduleError::OrderMismatch(msg) => write!(f, "operation order mismatch: {msg}"),
-            ScheduleError::ProgramOrderViolated { txn, earlier, later } => write!(
+            ScheduleError::ProgramOrderViolated {
+                txn,
+                earlier,
+                later,
+            } => write!(
                 f,
                 "operations of {txn} appear out of program order: {later} before {earlier}"
             ),
@@ -81,7 +89,10 @@ impl fmt::Display for ScheduleError {
                 write!(f, "version {version} read by {read} does not precede it")
             }
             ScheduleError::VersionWrongObject { read, version } => {
-                write!(f, "version {version} read by {read} is on a different object")
+                write!(
+                    f,
+                    "version {version} read by {read} is on a different object"
+                )
             }
             ScheduleError::BadSerialOrder => write!(
                 f,
@@ -102,7 +113,10 @@ pub struct ParseError {
 
 impl ParseError {
     pub fn new(line: usize, message: impl Into<String>) -> Self {
-        ParseError { line, message: message.into() }
+        ParseError {
+            line,
+            message: message.into(),
+        }
     }
 }
 

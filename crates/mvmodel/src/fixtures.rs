@@ -34,15 +34,42 @@ pub(crate) fn figure_2() -> Schedule {
     b.txn(4).read(t).read(v).write(t).finish();
     let txns = Arc::new(b.build().unwrap());
 
-    let r1t = OpAddr { txn: TxnId(1), idx: 0 };
-    let r2t = OpAddr { txn: TxnId(2), idx: 0 };
-    let w2t = OpAddr { txn: TxnId(2), idx: 1 };
-    let r2v = OpAddr { txn: TxnId(2), idx: 2 };
-    let r3v = OpAddr { txn: TxnId(3), idx: 0 };
-    let w3v = OpAddr { txn: TxnId(3), idx: 1 };
-    let r4t = OpAddr { txn: TxnId(4), idx: 0 };
-    let r4v = OpAddr { txn: TxnId(4), idx: 1 };
-    let w4t = OpAddr { txn: TxnId(4), idx: 2 };
+    let r1t = OpAddr {
+        txn: TxnId(1),
+        idx: 0,
+    };
+    let r2t = OpAddr {
+        txn: TxnId(2),
+        idx: 0,
+    };
+    let w2t = OpAddr {
+        txn: TxnId(2),
+        idx: 1,
+    };
+    let r2v = OpAddr {
+        txn: TxnId(2),
+        idx: 2,
+    };
+    let r3v = OpAddr {
+        txn: TxnId(3),
+        idx: 0,
+    };
+    let w3v = OpAddr {
+        txn: TxnId(3),
+        idx: 1,
+    };
+    let r4t = OpAddr {
+        txn: TxnId(4),
+        idx: 0,
+    };
+    let r4v = OpAddr {
+        txn: TxnId(4),
+        idx: 1,
+    };
+    let w4t = OpAddr {
+        txn: TxnId(4),
+        idx: 2,
+    };
 
     let order = vec![
         OpId::Op(r2t),

@@ -11,7 +11,12 @@ use std::fmt::Write as _;
 pub fn transaction(txns: &TransactionSet, t: &Transaction) -> String {
     let mut out = format!("{}:", t.id());
     for op in t.ops() {
-        let _ = write!(out, " {}[{}]", op.kind.letter(), txns.object_name(op.object));
+        let _ = write!(
+            out,
+            " {}[{}]",
+            op.kind.letter(),
+            txns.object_name(op.object)
+        );
     }
     out.push_str(" C");
     out
@@ -75,7 +80,13 @@ pub fn schedule_full(s: &Schedule) -> String {
                 OpId::Op(w) => format!("W{}[{}]", w.txn.0, txns.object_name(object)),
                 OpId::Commit(_) => unreachable!("v_s never maps to a commit"),
             };
-            let _ = writeln!(out, "  v(R{}[{}]) = {}", addr.txn.0, txns.object_name(object), vs);
+            let _ = writeln!(
+                out,
+                "  v(R{}[{}]) = {}",
+                addr.txn.0,
+                txns.object_name(object),
+                vs
+            );
         }
     }
     out
@@ -106,7 +117,10 @@ pub fn serialization_graph_dot(s: &Schedule) -> String {
             from_op.kind.letter(),
             txns.object_name(from_op.object)
         );
-        edges.entry((d.from.txn.0, d.to.txn.0, kind)).or_default().push(label);
+        edges
+            .entry((d.from.txn.0, d.to.txn.0, kind))
+            .or_default()
+            .push(label);
     }
     for ((from, to, kind), mut labels) in edges {
         labels.sort();

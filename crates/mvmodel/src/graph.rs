@@ -54,7 +54,12 @@ impl SerializationGraph {
         for a in &mut adj {
             a.sort_unstable();
         }
-        SerializationGraph { nodes, node_index, adj, edges }
+        SerializationGraph {
+            nodes,
+            node_index,
+            adj,
+            edges,
+        }
     }
 
     /// The transactions (nodes), ascending.
@@ -292,14 +297,15 @@ mod tests {
         b.txn(2).read(x).write(y).finish();
         b.txn(3).read(y).finish();
         let txns = Arc::new(b.build().unwrap());
-        let s = crate::schedule::Schedule::single_version_serial(
-            txns,
-            &[TxnId(1), TxnId(2), TxnId(3)],
-        )
-        .unwrap();
+        let s =
+            crate::schedule::Schedule::single_version_serial(txns, &[TxnId(1), TxnId(2), TxnId(3)])
+                .unwrap();
         let g = SerializationGraph::of(&s);
         assert!(g.is_acyclic());
-        assert_eq!(g.topological_order().unwrap(), vec![TxnId(1), TxnId(2), TxnId(3)]);
+        assert_eq!(
+            g.topological_order().unwrap(),
+            vec![TxnId(1), TxnId(2), TxnId(3)]
+        );
         assert_eq!(g.find_cycle(), None);
         // Each node is its own SCC.
         let sccs = g.sccs();

@@ -81,7 +81,10 @@ fn parse_ops(rest: &str, lineno: usize) -> Result<Vec<(char, String)>, ParseErro
                 break;
             }
             other => {
-                return Err(ParseError::new(lineno, format!("unexpected character `{other}`")))
+                return Err(ParseError::new(
+                    lineno,
+                    format!("unexpected character `{other}`"),
+                ))
             }
         };
         chars.next();

@@ -52,7 +52,14 @@ impl Schedule {
         Self::check_program_order(&txns, &pos)?;
         let vrank = Self::check_versions(&txns, &versions)?;
         Self::check_reads_from(&txns, &pos, &reads_from)?;
-        Ok(Schedule { txns, order, pos, versions, vrank, reads_from })
+        Ok(Schedule {
+            txns,
+            order,
+            pos,
+            versions,
+            vrank,
+            reads_from,
+        })
     }
 
     fn index_order(
@@ -70,16 +77,18 @@ impl Schedule {
         for (i, &op) in order.iter().enumerate() {
             let valid = match op {
                 OpId::Init => false,
-                OpId::Op(a) => txns
-                    .get(a.txn)
-                    .is_some_and(|t| (a.idx as usize) < t.len()),
+                OpId::Op(a) => txns.get(a.txn).is_some_and(|t| (a.idx as usize) < t.len()),
                 OpId::Commit(t) => txns.contains(t),
             };
             if !valid {
-                return Err(ScheduleError::OrderMismatch(format!("unknown operation {op}")));
+                return Err(ScheduleError::OrderMismatch(format!(
+                    "unknown operation {op}"
+                )));
             }
             if pos.insert(op, i as u32).is_some() {
-                return Err(ScheduleError::OrderMismatch(format!("operation {op} listed twice")));
+                return Err(ScheduleError::OrderMismatch(format!(
+                    "operation {op} listed twice"
+                )));
             }
         }
         Ok(pos)
@@ -153,7 +162,10 @@ impl Schedule {
                             .get(w.txn)
                             .filter(|t| (w.idx as usize) < t.len())
                             .map(|t| t.op(w.idx))
-                            .ok_or(ScheduleError::VersionWrongObject { read: addr, version: v })?;
+                            .ok_or(ScheduleError::VersionWrongObject {
+                                read: addr,
+                                version: v,
+                            })?;
                         if !wop.is_write() || wop.object != object {
                             return Err(ScheduleError::VersionWrongObject {
                                 read: addr,
@@ -168,7 +180,10 @@ impl Schedule {
                         }
                     }
                     OpId::Commit(_) => {
-                        return Err(ScheduleError::VersionWrongObject { read: addr, version: v })
+                        return Err(ScheduleError::VersionWrongObject {
+                            read: addr,
+                            version: v,
+                        })
                     }
                 }
             }
@@ -219,8 +234,10 @@ impl Schedule {
                     versions.entry(op.object).or_default().push(addr);
                     last_write.insert(op.object, OpId::Op(addr));
                 } else {
-                    reads_from
-                        .insert(addr, last_write.get(&op.object).copied().unwrap_or(OpId::Init));
+                    reads_from.insert(
+                        addr,
+                        last_write.get(&op.object).copied().unwrap_or(OpId::Init),
+                    );
                 }
             }
             order.push(OpId::Commit(tid));
@@ -505,7 +522,10 @@ mod tests {
         versions.insert(Object(0), vec![OpAddr::new(TxnId(2), 0)]);
         versions.insert(Object(1), vec![OpAddr::new(TxnId(1), 1)]);
         let err = Schedule::new(txns, order, versions, HashMap::new()).unwrap_err();
-        assert!(matches!(err, ScheduleError::ProgramOrderViolated { txn: TxnId(1), .. }));
+        assert!(matches!(
+            err,
+            ScheduleError::ProgramOrderViolated { txn: TxnId(1), .. }
+        ));
     }
 
     #[test]

@@ -32,7 +32,10 @@ pub fn equivalent_serial_schedule(s: &Schedule) -> Option<Schedule> {
     let order = serialization_order(s)?;
     let serial = Schedule::single_version_serial(s.txns_arc(), &order)
         .expect("topological order enumerates all transactions");
-    debug_assert!(conflict_equivalent(s, &serial), "Theorem 2.2 construction must hold");
+    debug_assert!(
+        conflict_equivalent(s, &serial),
+        "Theorem 2.2 construction must hold"
+    );
     Some(serial)
 }
 
@@ -84,9 +87,18 @@ mod tests {
         b.txn(1).read(x).write(y).finish();
         b.txn(2).write(x).finish();
         let txns = Arc::new(b.build().unwrap());
-        let r1 = OpAddr { txn: TxnId(1), idx: 0 };
-        let w1 = OpAddr { txn: TxnId(1), idx: 1 };
-        let w2 = OpAddr { txn: TxnId(2), idx: 0 };
+        let r1 = OpAddr {
+            txn: TxnId(1),
+            idx: 0,
+        };
+        let w1 = OpAddr {
+            txn: TxnId(1),
+            idx: 1,
+        };
+        let w2 = OpAddr {
+            txn: TxnId(2),
+            idx: 0,
+        };
         let order = vec![
             OpId::Op(r1),
             OpId::Op(w2),

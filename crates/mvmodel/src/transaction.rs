@@ -12,11 +12,17 @@ pub struct Op {
 
 impl Op {
     pub fn read(object: Object) -> Self {
-        Op { kind: OpKind::Read, object }
+        Op {
+            kind: OpKind::Read,
+            object,
+        }
     }
 
     pub fn write(object: Object) -> Self {
-        Op { kind: OpKind::Write, object }
+        Op {
+            kind: OpKind::Write,
+            object,
+        }
     }
 
     pub fn is_read(self) -> bool {
@@ -43,13 +49,20 @@ pub struct Transaction {
 
 impl Transaction {
     /// Builds a transaction, enforcing the one-read/one-write-per-object
-    /// invariant.
+    /// invariant and the `u16` operation-index bound.
+    ///
+    /// The length guard is what makes every `index as u16` cast on
+    /// operation positions (here, in [`crate::conflict`], in
+    /// [`crate::Schedule`], and in downstream crates) lossless: a
+    /// constructed transaction never has an operation whose index
+    /// exceeds `u16::MAX`.
     pub fn new(id: TxnId, ops: Vec<Op>) -> Result<Self, ModelError> {
         if ops.len() > u16::MAX as usize {
             return Err(ModelError::TooManyOperations(id));
         }
-        for (i, op) in ops.iter().enumerate() {
-            if ops[..i].contains(op) {
+        let mut seen = std::collections::HashSet::with_capacity(ops.len());
+        for op in &ops {
+            if !seen.insert(*op) {
                 return Err(ModelError::DuplicateOperation {
                     txn: id,
                     kind: op.kind,
@@ -129,12 +142,20 @@ impl Transaction {
 
     /// Addresses and objects of all read operations, in program order.
     pub fn reads(&self) -> impl Iterator<Item = (OpAddr, Object)> + '_ {
-        self.ops.iter().enumerate().filter(|(_, op)| op.is_read()).map(|(i, op)| (OpAddr::new(self.id, i as u16), op.object))
+        self.ops
+            .iter()
+            .enumerate()
+            .filter(|(_, op)| op.is_read())
+            .map(|(i, op)| (OpAddr::new(self.id, i as u16), op.object))
     }
 
     /// Addresses and objects of all write operations, in program order.
     pub fn writes(&self) -> impl Iterator<Item = (OpAddr, Object)> + '_ {
-        self.ops.iter().enumerate().filter(|(_, op)| op.is_write()).map(|(i, op)| (OpAddr::new(self.id, i as u16), op.object))
+        self.ops
+            .iter()
+            .enumerate()
+            .filter(|(_, op)| op.is_write())
+            .map(|(i, op)| (OpAddr::new(self.id, i as u16), op.object))
     }
 
     /// The set of objects the transaction touches, deduplicated, in first-use
@@ -208,7 +229,11 @@ mod tests {
         let ids: Vec<_> = t.op_ids().collect();
         assert_eq!(
             ids,
-            vec![OpId::op(TxnId(2), 0), OpId::op(TxnId(2), 1), OpId::Commit(TxnId(2))]
+            vec![
+                OpId::op(TxnId(2), 0),
+                OpId::op(TxnId(2), 1),
+                OpId::Commit(TxnId(2))
+            ]
         );
         assert_eq!(t.first(), OpId::op(TxnId(2), 0));
     }

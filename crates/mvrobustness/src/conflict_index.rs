@@ -1,10 +1,92 @@
 //! Precomputed transaction-level conflict structure and the paper's
 //! `mixed-iso-graph` reachability.
+//!
+//! The conflict matrices are packed `u64` bitset rows ([`BitMatrix`]),
+//! so Algorithm 1 drives its `t2`/`tm` loops by iterating the set bits
+//! of `any(t1, ·)` instead of scanning all `n` transactions — on sparse
+//! workloads the triple loop skips non-conflicting pairs wholesale.
+//!
+//! [`IsoReach`] owns its data (no borrows into the transaction set or
+//! the index), so [`crate::RobustnessChecker`] can cache one instance
+//! per split transaction across the ~2·|𝒯| probes of Algorithm 2 and
+//! share them between search threads.
 // Dense node indices address several parallel arrays at once here;
 // index-style loops are clearer than zipped iterators.
 #![allow(clippy::needless_range_loop)]
 
 use mvmodel::{OpAddr, TransactionSet, TxnId};
+
+/// A dense `n × n` boolean matrix packed into `u64` rows.
+#[derive(Debug, Clone)]
+pub struct BitMatrix {
+    n: usize,
+    /// Words per row.
+    stride: usize,
+    bits: Vec<u64>,
+}
+
+impl BitMatrix {
+    pub fn new(n: usize) -> Self {
+        let stride = n.div_ceil(64).max(1);
+        BitMatrix {
+            n,
+            stride,
+            bits: vec![0; stride * n],
+        }
+    }
+
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize) {
+        debug_assert!(i < self.n && j < self.n);
+        self.bits[i * self.stride + j / 64] |= 1u64 << (j % 64);
+    }
+
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> bool {
+        debug_assert!(i < self.n && j < self.n);
+        self.bits[i * self.stride + j / 64] & (1u64 << (j % 64)) != 0
+    }
+
+    /// The packed words of row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[u64] {
+        &self.bits[i * self.stride..(i + 1) * self.stride]
+    }
+
+    /// Iterates the set column indices of row `i` in ascending order.
+    pub fn iter_row(&self, i: usize) -> SetBits<'_> {
+        SetBits {
+            words: self.row(i),
+            word_idx: 0,
+            current: self.row(i).first().copied().unwrap_or(0),
+        }
+    }
+}
+
+/// Iterator over set bit positions of a packed row.
+pub struct SetBits<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for SetBits<'_> {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        while self.current == 0 {
+            self.word_idx += 1;
+            if self.word_idx >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word_idx];
+        }
+        let bit = self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1;
+        Some(self.word_idx * 64 + bit)
+    }
+}
 
 /// Dense transaction-level conflict matrices over a [`TransactionSet`].
 ///
@@ -17,43 +99,46 @@ use mvmodel::{OpAddr, TransactionSet, TxnId};
 #[derive(Debug)]
 pub struct ConflictIndex {
     n: usize,
-    any: Vec<bool>,
-    wr: Vec<bool>,
-    ww: Vec<bool>,
+    any: BitMatrix,
+    wr: BitMatrix,
+    ww: BitMatrix,
 }
 
 impl ConflictIndex {
     /// Builds the matrices in `O(Σ_object (#writers · #touchers))` time.
     pub fn new(txns: &TransactionSet) -> Self {
         let n = txns.len();
-        let mut idx = ConflictIndex {
-            n,
-            any: vec![false; n * n],
-            wr: vec![false; n * n],
-            ww: vec![false; n * n],
-        };
+        let mut any = BitMatrix::new(n);
+        let mut wr = BitMatrix::new(n);
+        let mut ww = BitMatrix::new(n);
         for object in txns.objects() {
-            let writers: Vec<usize> =
-                txns.writers_of(object).iter().map(|w| txns.index_of(w.txn)).collect();
-            let readers: Vec<usize> =
-                txns.readers_of(object).iter().map(|r| txns.index_of(r.txn)).collect();
+            let writers: Vec<usize> = txns
+                .writers_of(object)
+                .iter()
+                .map(|w| txns.index_of(w.txn))
+                .collect();
+            let readers: Vec<usize> = txns
+                .readers_of(object)
+                .iter()
+                .map(|r| txns.index_of(r.txn))
+                .collect();
             for &i in &writers {
                 for &j in &writers {
                     if i != j {
-                        idx.any[i * n + j] = true;
-                        idx.ww[i * n + j] = true;
+                        any.set(i, j);
+                        ww.set(i, j);
                     }
                 }
                 for &j in &readers {
                     if i != j {
-                        idx.any[i * n + j] = true;
-                        idx.any[j * n + i] = true;
-                        idx.wr[i * n + j] = true;
+                        any.set(i, j);
+                        any.set(j, i);
+                        wr.set(i, j);
                     }
                 }
             }
         }
-        idx
+        ConflictIndex { n, any, wr, ww }
     }
 
     pub fn len(&self) -> usize {
@@ -66,18 +151,34 @@ impl ConflictIndex {
 
     /// Whether any operation of the `i`-th transaction conflicts with any
     /// operation of the `j`-th (dense indices).
+    #[inline]
     pub fn any(&self, i: usize, j: usize) -> bool {
-        self.any[i * self.n + j]
+        self.any.get(i, j)
     }
 
     /// Whether some write of `i` wr-conflicts with some read of `j`.
+    #[inline]
     pub fn wr(&self, i: usize, j: usize) -> bool {
-        self.wr[i * self.n + j]
+        self.wr.get(i, j)
     }
 
     /// Whether some write of `i` ww-conflicts with some write of `j`.
+    #[inline]
     pub fn ww(&self, i: usize, j: usize) -> bool {
-        self.ww[i * self.n + j]
+        self.ww.get(i, j)
+    }
+
+    /// Iterates the dense indices of transactions conflicting with `i`
+    /// (ascending). `any` is symmetric, so this serves both the `t2`
+    /// loop (`any(i1, t2)`) and the `tm` loop (`any(tm, i1)`).
+    pub fn conflicting_with(&self, i: usize) -> SetBits<'_> {
+        self.any.iter_row(i)
+    }
+
+    /// The packed `any(i, ·)` row.
+    #[inline]
+    pub fn any_row(&self, i: usize) -> &[u64] {
+        self.any.row(i)
     }
 }
 
@@ -94,21 +195,29 @@ impl ConflictIndex {
 /// conflicts with `T₁`? — [`IsoReach::reachable`] checks, in order:
 /// `T₂ = T_m`; a direct conflict `T₂ ~ T_m`; or a shared component `c`
 /// with `T₂ ~ c` and `c ~ T_m`.
+///
+/// The structure depends only on `(txns, T₁)` — never on an allocation —
+/// and owns all of its state, so one instance can be built once and
+/// reused across every probe of Algorithm 2 (and shared by threads; the
+/// query methods take `&self`). The `txns`/`index` passed to queries
+/// must be the ones the structure was built from.
 #[derive(Debug)]
-pub struct IsoReach<'a> {
-    txns: &'a TransactionSet,
-    index: &'a ConflictIndex,
+pub struct IsoReach {
+    /// Dense index of the split transaction.
     t1: usize,
     /// Component id per dense txn index; `usize::MAX` for non-nodes
     /// (conflicting with `T₁`, or `T₁` itself).
     comp: Vec<usize>,
     n_comps: usize,
-    /// Bitset per transaction: which components it conflicts with.
-    adj_comps: Vec<Vec<u64>>,
+    /// Flattened bitset per transaction (stride words each): which
+    /// components it conflicts with.
+    adj_comps: Vec<u64>,
+    /// Words per transaction in `adj_comps`.
+    stride: usize,
 }
 
-impl<'a> IsoReach<'a> {
-    pub fn new(txns: &'a TransactionSet, index: &'a ConflictIndex, t1: TxnId) -> Self {
+impl IsoReach {
+    pub fn new(txns: &TransactionSet, index: &ConflictIndex, t1: TxnId) -> Self {
         let n = txns.len();
         let t1 = txns.index_of(t1);
         // Union-find over iso nodes.
@@ -131,8 +240,8 @@ impl<'a> IsoReach<'a> {
             if !is_node(i, index) {
                 continue;
             }
-            for j in (i + 1)..n {
-                if is_node(j, index) && index.any(i, j) {
+            for j in index.conflicting_with(i) {
+                if j > i && is_node(j, index) {
                     let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
                     if ri != rj {
                         parent[ri] = rj;
@@ -156,20 +265,26 @@ impl<'a> IsoReach<'a> {
             comp[i] = root_to_comp[r];
         }
         // Component adjacency bitset per transaction.
-        let words = n_comps.div_ceil(64).max(1);
-        let mut adj_comps = vec![vec![0u64; words]; n];
+        let stride = n_comps.div_ceil(64).max(1);
+        let mut adj_comps = vec![0u64; stride * n];
         for x in 0..n {
             if x == t1 {
                 continue;
             }
-            for j in 0..n {
-                if comp[j] != usize::MAX && index.any(x, j) {
+            for j in index.conflicting_with(x) {
+                if comp[j] != usize::MAX {
                     let c = comp[j];
-                    adj_comps[x][c / 64] |= 1 << (c % 64);
+                    adj_comps[x * stride + c / 64] |= 1 << (c % 64);
                 }
             }
         }
-        IsoReach { txns, index, t1, comp, n_comps, adj_comps }
+        IsoReach {
+            t1,
+            comp,
+            n_comps,
+            adj_comps,
+            stride,
+        }
     }
 
     /// Number of connected components of the iso graph.
@@ -179,17 +294,28 @@ impl<'a> IsoReach<'a> {
 
     /// Whether a chain of conflicting quadruples `T₂ → … → T_m` exists
     /// whose interior transactions do not conflict with `T₁`
-    /// (Algorithm 1's `reachable(T₂, T_m, T₁)`).
-    pub fn reachable(&self, t2: TxnId, tm: TxnId) -> bool {
-        let (i2, im) = (self.txns.index_of(t2), self.txns.index_of(tm));
+    /// (Algorithm 1's `reachable(T₂, T_m, T₁)`). Dense-index form used
+    /// by the search's hot loop.
+    #[inline]
+    pub fn reachable_idx(&self, index: &ConflictIndex, i2: usize, im: usize) -> bool {
         debug_assert!(i2 != self.t1 && im != self.t1);
-        if i2 == im || self.index.any(i2, im) {
+        if i2 == im || index.any(i2, im) {
             return true;
         }
-        self.adj_comps[i2]
-            .iter()
-            .zip(&self.adj_comps[im])
-            .any(|(a, b)| a & b != 0)
+        let a = &self.adj_comps[i2 * self.stride..(i2 + 1) * self.stride];
+        let b = &self.adj_comps[im * self.stride..(im + 1) * self.stride];
+        a.iter().zip(b).any(|(x, y)| x & y != 0)
+    }
+
+    /// [`IsoReach::reachable_idx`] by transaction id.
+    pub fn reachable(
+        &self,
+        txns: &TransactionSet,
+        index: &ConflictIndex,
+        t2: TxnId,
+        tm: TxnId,
+    ) -> bool {
+        self.reachable_idx(index, txns.index_of(t2), txns.index_of(tm))
     }
 
     /// Reconstructs a concrete chain `T₂, …, T_m` (interior transactions
@@ -198,26 +324,32 @@ impl<'a> IsoReach<'a> {
     /// BFS through the iso nodes; the result is a simple path, so every
     /// transaction occurs in at most two quadruples as Definition 3.1
     /// requires.
-    pub fn chain(&self, t2: TxnId, tm: TxnId) -> Option<Vec<TxnId>> {
-        let (i2, im) = (self.txns.index_of(t2), self.txns.index_of(tm));
+    pub fn chain(
+        &self,
+        txns: &TransactionSet,
+        index: &ConflictIndex,
+        t2: TxnId,
+        tm: TxnId,
+    ) -> Option<Vec<TxnId>> {
+        let (i2, im) = (txns.index_of(t2), txns.index_of(tm));
         if i2 == im {
             return Some(vec![t2]);
         }
-        if self.index.any(i2, im) {
+        if index.any(i2, im) {
             return Some(vec![t2, tm]);
         }
-        let n = self.txns.len();
+        let n = txns.len();
         // BFS from i2 over iso nodes, targeting any node adjacent to im.
         let mut prev = vec![usize::MAX; n];
         let mut queue = std::collections::VecDeque::new();
-        for j in 0..n {
-            if self.comp[j] != usize::MAX && self.index.any(i2, j) {
+        for j in index.conflicting_with(i2) {
+            if self.comp[j] != usize::MAX {
                 prev[j] = i2;
                 queue.push_back(j);
             }
         }
         while let Some(u) = queue.pop_front() {
-            if self.index.any(u, im) {
+            if index.any(u, im) {
                 // Walk back to i2.
                 let mut path = vec![im, u];
                 let mut w = u;
@@ -227,10 +359,10 @@ impl<'a> IsoReach<'a> {
                 }
                 path.push(i2);
                 path.reverse();
-                return Some(path.into_iter().map(|i| self.txns.by_index(i).id()).collect());
+                return Some(path.into_iter().map(|i| txns.by_index(i).id()).collect());
             }
-            for j in 0..n {
-                if self.comp[j] != usize::MAX && prev[j] == usize::MAX && self.index.any(u, j) {
+            for j in index.conflicting_with(u) {
+                if self.comp[j] != usize::MAX && prev[j] == usize::MAX {
                     prev[j] = u;
                     queue.push_back(j);
                 }
@@ -292,6 +424,22 @@ mod tests {
     }
 
     #[test]
+    fn bit_matrix_set_get_iter() {
+        let mut m = BitMatrix::new(130);
+        m.set(0, 0);
+        m.set(0, 63);
+        m.set(0, 64);
+        m.set(0, 129);
+        m.set(129, 7);
+        assert!(m.get(0, 64) && m.get(0, 129) && m.get(129, 7));
+        assert!(!m.get(0, 1) && !m.get(1, 0));
+        assert_eq!(m.iter_row(0).collect::<Vec<_>>(), vec![0, 63, 64, 129]);
+        assert_eq!(m.iter_row(129).collect::<Vec<_>>(), vec![7]);
+        assert_eq!(m.iter_row(64).count(), 0);
+        assert_eq!(m.row(0).len(), 3);
+    }
+
+    #[test]
     fn conflict_matrix() {
         let txns = chain_set();
         let idx = ConflictIndex::new(&txns);
@@ -313,6 +461,9 @@ mod tests {
         assert!(!idx.ww(i(1), i(2)));
         assert!(!idx.is_empty());
         assert_eq!(idx.len(), 5);
+        // Set-bit iteration matches the matrix.
+        let row: Vec<usize> = idx.conflicting_with(i(1)).collect();
+        assert_eq!(row, vec![i(2), i(5)]);
     }
 
     #[test]
@@ -322,12 +473,15 @@ mod tests {
         let reach = IsoReach::new(&txns, &idx, TxnId(1));
         // T3 and T4 are the iso nodes, connected: one component.
         assert_eq!(reach.component_count(), 1);
-        assert!(reach.reachable(TxnId(2), TxnId(5)));
-        let chain = reach.chain(TxnId(2), TxnId(5)).unwrap();
+        assert!(reach.reachable(&txns, &idx, TxnId(2), TxnId(5)));
+        let chain = reach.chain(&txns, &idx, TxnId(2), TxnId(5)).unwrap();
         assert_eq!(chain, vec![TxnId(2), TxnId(3), TxnId(4), TxnId(5)]);
         // Reverse direction also works (undirected conflicts).
-        assert!(reach.reachable(TxnId(5), TxnId(2)));
-        assert_eq!(reach.chain(TxnId(5), TxnId(2)).unwrap().len(), 4);
+        assert!(reach.reachable(&txns, &idx, TxnId(5), TxnId(2)));
+        assert_eq!(
+            reach.chain(&txns, &idx, TxnId(5), TxnId(2)).unwrap().len(),
+            4
+        );
     }
 
     #[test]
@@ -336,11 +490,17 @@ mod tests {
         let idx = ConflictIndex::new(&txns);
         let reach = IsoReach::new(&txns, &idx, TxnId(3));
         // T2 = Tm.
-        assert!(reach.reachable(TxnId(2), TxnId(2)));
-        assert_eq!(reach.chain(TxnId(2), TxnId(2)).unwrap(), vec![TxnId(2)]);
+        assert!(reach.reachable(&txns, &idx, TxnId(2), TxnId(2)));
+        assert_eq!(
+            reach.chain(&txns, &idx, TxnId(2), TxnId(2)).unwrap(),
+            vec![TxnId(2)]
+        );
         // Direct conflict T1 ~ T2 (x).
-        assert!(reach.reachable(TxnId(1), TxnId(2)));
-        assert_eq!(reach.chain(TxnId(1), TxnId(2)).unwrap(), vec![TxnId(1), TxnId(2)]);
+        assert!(reach.reachable(&txns, &idx, TxnId(1), TxnId(2)));
+        assert_eq!(
+            reach.chain(&txns, &idx, TxnId(1), TxnId(2)).unwrap(),
+            vec![TxnId(1), TxnId(2)]
+        );
     }
 
     #[test]
@@ -348,13 +508,13 @@ mod tests {
         let txns = chain_set();
         let idx = ConflictIndex::new(&txns);
         // With T3 as the split transaction, the iso nodes are T1 and T5
-        // (T2 and T4 conflict with T3). T1 ~ T5 via x?? no — via y.
+        // (T2 and T4 conflict with T3). T1 ~ T5 via y.
         let reach = IsoReach::new(&txns, &idx, TxnId(3));
         // T2 to T4: no direct conflict; interior would have to pass
         // through T1/T5 — T2 ~ T1 ~ T5 ~ T4: reachable.
-        assert!(reach.reachable(TxnId(2), TxnId(4)));
+        assert!(reach.reachable(&txns, &idx, TxnId(2), TxnId(4)));
         assert_eq!(
-            reach.chain(TxnId(2), TxnId(4)).unwrap(),
+            reach.chain(&txns, &idx, TxnId(2), TxnId(4)).unwrap(),
             vec![TxnId(2), TxnId(1), TxnId(5), TxnId(4)]
         );
     }
@@ -374,9 +534,9 @@ mod tests {
         let reach = IsoReach::new(&txns, &idx, TxnId(1));
         // T2 and T3 both conflict only with T1; interior is {T4}, which
         // conflicts with neither: unreachable.
-        assert!(!reach.reachable(TxnId(2), TxnId(3)));
-        assert_eq!(reach.chain(TxnId(2), TxnId(3)), None);
-        assert!(!reach.reachable(TxnId(2), TxnId(4)));
+        assert!(!reach.reachable(&txns, &idx, TxnId(2), TxnId(3)));
+        assert_eq!(reach.chain(&txns, &idx, TxnId(2), TxnId(3)), None);
+        assert!(!reach.reachable(&txns, &idx, TxnId(2), TxnId(4)));
     }
 
     #[test]

@@ -20,23 +20,41 @@
 //!   enumerates every schedule allowed under the allocation — exponential,
 //!   for validating Algorithm 1 on small workloads.
 //! - [`conflict_index`]: precomputed transaction-level conflict matrices
-//!   and the `mixed-iso-graph` reachability structure Algorithm 1 uses.
+//!   (bit-packed) and the `mixed-iso-graph` reachability structure
+//!   Algorithm 1 uses.
+//! - [`reference`]: the pre-engine single-threaded implementation, kept
+//!   as the ground truth for the equivalence suite and the baseline for
+//!   the engine benchmarks.
+//!
+//! The engine entry points are [`RobustnessChecker`] (Algorithm 1 with
+//! per-`T₁` iso-graph caching, bitset candidate iteration, and an
+//! optional parallel outer search) and [`Allocator`] (Algorithm 2 with a
+//! counterexample cache); both report their work through
+//! [`SearchStats`] / [`EngineStats`].
 
 pub mod algorithm1;
 pub mod allocate;
 pub mod conflict_index;
 pub mod oracle;
 pub mod rc_si;
+pub mod reference;
 pub mod sdg;
 pub mod split_schedule;
 pub mod stats;
 pub mod witness;
 
-pub use algorithm1::{find_counterexample, is_robust, RobustnessChecker, RobustnessReport};
-pub use allocate::{optimal_allocation, optimal_allocation_in_box, optimal_allocation_with_floor};
+pub use algorithm1::{
+    find_counterexample, is_robust, RobustnessChecker, RobustnessReport, SearchStats,
+};
+pub use allocate::{
+    optimal_allocation, optimal_allocation_explained, optimal_allocation_in_box,
+    optimal_allocation_with_floor, Allocator,
+};
 pub use conflict_index::ConflictIndex;
 pub use oracle::{oracle_counterexample, oracle_is_robust};
 pub use rc_si::{optimal_allocation_rc_si, robustly_allocatable_rc_si};
+pub use reference::{optimal_allocation_reference, ReferenceChecker};
 pub use sdg::{static_si_robust, StaticVerdict};
 pub use split_schedule::SplitSpec;
+pub use stats::EngineStats;
 pub use witness::{materialize, verify_witness, WitnessError};

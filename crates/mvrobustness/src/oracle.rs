@@ -26,10 +26,7 @@ pub fn oracle_is_robust(txns: &Arc<TransactionSet>, alloc: &Allocation) -> bool 
 
 /// Finds a non-serializable allowed schedule by exhaustive enumeration,
 /// or proves none exists.
-pub fn oracle_counterexample(
-    txns: &Arc<TransactionSet>,
-    alloc: &Allocation,
-) -> Option<Schedule> {
+pub fn oracle_counterexample(txns: &Arc<TransactionSet>, alloc: &Allocation) -> Option<Schedule> {
     let mut found: Option<Schedule> = None;
     for_each_interleaving(txns, |order| {
         let s = derive_schedule(Arc::clone(txns), order.to_vec(), alloc)
@@ -119,7 +116,10 @@ mod tests {
         assert_eq!(stats.interleavings, 20);
         assert!(stats.allowed > 0);
         assert!(stats.allowed <= stats.interleavings);
-        assert!(stats.serializable < stats.allowed, "some allowed schedule is non-serializable");
+        assert!(
+            stats.serializable < stats.allowed,
+            "some allowed schedule is non-serializable"
+        );
     }
 
     #[test]
@@ -147,7 +147,13 @@ mod tests {
                 "disagreement at {alloc_str}"
             );
         }
-        assert!(oracle_is_robust(&txns, &Allocation::parse("T1=SI T2=SI").unwrap()));
-        assert!(!oracle_is_robust(&txns, &Allocation::parse("T1=RC T2=SI").unwrap()));
+        assert!(oracle_is_robust(
+            &txns,
+            &Allocation::parse("T1=SI T2=SI").unwrap()
+        ));
+        assert!(!oracle_is_robust(
+            &txns,
+            &Allocation::parse("T1=RC T2=SI").unwrap()
+        ));
     }
 }

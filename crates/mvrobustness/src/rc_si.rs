@@ -3,7 +3,7 @@
 //! may fail to exist.
 
 use crate::algorithm1::is_robust;
-use crate::allocate::refine;
+use crate::allocate::Allocator;
 use mvisolation::Allocation;
 use mvmodel::TransactionSet;
 
@@ -22,11 +22,7 @@ pub fn robustly_allocatable_rc_si(txns: &TransactionSet) -> bool {
 /// When `txns` is robust against `𝒜_SI`, Algorithm 2 is run starting from
 /// `𝒜_SI` instead of `𝒜_SSI`.
 pub fn optimal_allocation_rc_si(txns: &TransactionSet) -> Option<Allocation> {
-    let si = Allocation::uniform_si(txns);
-    if !is_robust(txns, &si).robust() {
-        return None;
-    }
-    Some(refine(txns, si))
+    Allocator::new(txns).optimal_rc_si().0
 }
 
 #[cfg(test)]

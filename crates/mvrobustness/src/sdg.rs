@@ -56,8 +56,7 @@ pub fn static_si_robust(txns: &TransactionSet) -> StaticVerdict {
     }
     let index = ConflictIndex::new(txns);
     // vulnerable(i, j): read of i under-writes j, no shared ww.
-    let vulnerable =
-        |i: usize, j: usize| index.wr(j, i) && !index.ww(i, j);
+    let vulnerable = |i: usize, j: usize| index.wr(j, i) && !index.ww(i, j);
 
     // Static connectivity (conflict edges are symmetric at transaction
     // level): union-find components.
@@ -97,8 +96,7 @@ pub fn static_si_robust(txns: &TransactionSet) -> StaticVerdict {
                 }
                 // Cycle closure: T₃ reaches T₁ (trivially when equal;
                 // otherwise through the conflict graph).
-                let closes =
-                    t3 == t1 || find(&mut parent, t3) == find(&mut parent, t1);
+                let closes = t3 == t1 || find(&mut parent, t3) == find(&mut parent, t1);
                 if closes {
                     return StaticVerdict::PotentiallyUnsafe {
                         t1: txns.by_index(t1).id(),

@@ -90,7 +90,9 @@ impl SplitSpec {
             .collect();
         for (i, &(b, a)) in self.links.iter().enumerate() {
             if b.txn != owners[i] || a.txn != owners[i + 1] {
-                return Err(Malformed("link endpoints do not match the quadruple sequence"));
+                return Err(Malformed(
+                    "link endpoints do not match the quadruple sequence",
+                ));
             }
             if conflict_kind(txns, b, a).is_none() {
                 return Err(NotConflicting(i));
@@ -220,11 +222,29 @@ mod tests {
     }
 
     fn skew_spec() -> SplitSpec {
-        let b1 = OpAddr { txn: TxnId(1), idx: 0 }; // R1[x]
-        let a2 = OpAddr { txn: TxnId(2), idx: 1 }; // W2[x]
-        let b2 = OpAddr { txn: TxnId(2), idx: 0 }; // R2[y]
-        let a1 = OpAddr { txn: TxnId(1), idx: 1 }; // W1[y]
-        SplitSpec { t1: TxnId(1), b1, a1, chain: vec![TxnId(2)], links: vec![(b1, a2), (b2, a1)] }
+        let b1 = OpAddr {
+            txn: TxnId(1),
+            idx: 0,
+        }; // R1[x]
+        let a2 = OpAddr {
+            txn: TxnId(2),
+            idx: 1,
+        }; // W2[x]
+        let b2 = OpAddr {
+            txn: TxnId(2),
+            idx: 0,
+        }; // R2[y]
+        let a1 = OpAddr {
+            txn: TxnId(1),
+            idx: 1,
+        }; // W1[y]
+        SplitSpec {
+            t1: TxnId(1),
+            b1,
+            a1,
+            chain: vec![TxnId(2)],
+            links: vec![(b1, a2), (b2, a1)],
+        }
     }
 
     #[test]
@@ -237,8 +257,20 @@ mod tests {
         spec.check(&txns, &rc).unwrap();
         assert_eq!(spec.t2(), TxnId(2));
         assert_eq!(spec.tm(), TxnId(2));
-        assert_eq!(spec.bm(), OpAddr { txn: TxnId(2), idx: 0 });
-        assert_eq!(spec.a2(), OpAddr { txn: TxnId(2), idx: 1 });
+        assert_eq!(
+            spec.bm(),
+            OpAddr {
+                txn: TxnId(2),
+                idx: 0
+            }
+        );
+        assert_eq!(
+            spec.a2(),
+            OpAddr {
+                txn: TxnId(2),
+                idx: 1
+            }
+        );
         assert!(spec.to_string().contains("T1"));
     }
 
@@ -265,12 +297,30 @@ mod tests {
         b.txn(2).write(x).read(y).read(z).finish(); // T2 reads y (wr with T1)
         b.txn(3).write(z).read(y).finish(); // Tm
         let txns = b.build().unwrap();
-        let b1 = OpAddr { txn: TxnId(1), idx: 0 }; // R1[x]
-        let a2 = OpAddr { txn: TxnId(2), idx: 0 }; // W2[x]
-        let b2 = OpAddr { txn: TxnId(2), idx: 2 }; // R2[z]
-        let a3 = OpAddr { txn: TxnId(3), idx: 0 }; // W3[z]
-        let b3 = OpAddr { txn: TxnId(3), idx: 1 }; // R3[y]
-        let a1 = OpAddr { txn: TxnId(1), idx: 1 }; // W1[y]
+        let b1 = OpAddr {
+            txn: TxnId(1),
+            idx: 0,
+        }; // R1[x]
+        let a2 = OpAddr {
+            txn: TxnId(2),
+            idx: 0,
+        }; // W2[x]
+        let b2 = OpAddr {
+            txn: TxnId(2),
+            idx: 2,
+        }; // R2[z]
+        let a3 = OpAddr {
+            txn: TxnId(3),
+            idx: 0,
+        }; // W3[z]
+        let b3 = OpAddr {
+            txn: TxnId(3),
+            idx: 1,
+        }; // R3[y]
+        let a1 = OpAddr {
+            txn: TxnId(1),
+            idx: 1,
+        }; // W1[y]
         let spec = SplitSpec {
             t1: TxnId(1),
             b1,
@@ -303,10 +353,22 @@ mod tests {
         b.txn(1).read(x).read(w).write(y).finish();
         b.txn(2).write(x).read(y).write(w).finish();
         let txns = b.build().unwrap();
-        let b1 = OpAddr { txn: TxnId(1), idx: 0 }; // R1[x]
-        let a2 = OpAddr { txn: TxnId(2), idx: 0 }; // W2[x]
-        let b2 = OpAddr { txn: TxnId(2), idx: 1 }; // R2[y]
-        let a1 = OpAddr { txn: TxnId(1), idx: 2 }; // W1[y]
+        let b1 = OpAddr {
+            txn: TxnId(1),
+            idx: 0,
+        }; // R1[x]
+        let a2 = OpAddr {
+            txn: TxnId(2),
+            idx: 0,
+        }; // W2[x]
+        let b2 = OpAddr {
+            txn: TxnId(2),
+            idx: 1,
+        }; // R2[y]
+        let a1 = OpAddr {
+            txn: TxnId(1),
+            idx: 2,
+        }; // W1[y]
         let spec = SplitSpec {
             t1: TxnId(1),
             b1,
@@ -315,7 +377,8 @@ mod tests {
             links: vec![(b1, a2), (b2, a1)],
         };
         // Under SI/SI fine.
-        spec.check(&txns, &Allocation::parse("T1=SI T2=SI").unwrap()).unwrap();
+        spec.check(&txns, &Allocation::parse("T1=SI T2=SI").unwrap())
+            .unwrap();
         // Under SSI/SSI condition 6 fires first.
         assert_eq!(
             spec.check(&txns, &Allocation::parse("T1=SSI T2=SSI").unwrap()),
@@ -330,16 +393,34 @@ mod tests {
         let good = skew_spec();
         let mut bad = good.clone();
         bad.chain = vec![];
-        assert!(matches!(bad.check(&txns, &si), Err(SplitSpecError::Malformed(_))));
+        assert!(matches!(
+            bad.check(&txns, &si),
+            Err(SplitSpecError::Malformed(_))
+        ));
         let mut bad = good.clone();
         bad.chain = vec![TxnId(1)];
-        assert!(matches!(bad.check(&txns, &si), Err(SplitSpecError::Malformed(_))));
+        assert!(matches!(
+            bad.check(&txns, &si),
+            Err(SplitSpecError::Malformed(_))
+        ));
         let mut bad = good.clone();
-        bad.b1 = OpAddr { txn: TxnId(2), idx: 0 };
-        assert!(matches!(bad.check(&txns, &si), Err(SplitSpecError::Malformed(_))));
+        bad.b1 = OpAddr {
+            txn: TxnId(2),
+            idx: 0,
+        };
+        assert!(matches!(
+            bad.check(&txns, &si),
+            Err(SplitSpecError::Malformed(_))
+        ));
         // Non-conflicting link: R1[x] with R2[y].
         let mut bad = good.clone();
-        bad.links[0] = (good.b1, OpAddr { txn: TxnId(2), idx: 0 });
+        bad.links[0] = (
+            good.b1,
+            OpAddr {
+                txn: TxnId(2),
+                idx: 0,
+            },
+        );
         assert!(matches!(
             bad.check(&txns, &si),
             Err(SplitSpecError::NotConflicting(0)) | Err(SplitSpecError::Malformed(_))
@@ -355,10 +436,22 @@ mod tests {
         b.txn(1).write(x).write(y).finish();
         b.txn(2).write(x).read(y).finish();
         let txns = b.build().unwrap();
-        let b1 = OpAddr { txn: TxnId(1), idx: 0 }; // W1[x]
-        let a2 = OpAddr { txn: TxnId(2), idx: 0 }; // W2[x] (ww, not rw)
-        let b2 = OpAddr { txn: TxnId(2), idx: 1 }; // R2[y]
-        let a1 = OpAddr { txn: TxnId(1), idx: 1 }; // W1[y]
+        let b1 = OpAddr {
+            txn: TxnId(1),
+            idx: 0,
+        }; // W1[x]
+        let a2 = OpAddr {
+            txn: TxnId(2),
+            idx: 0,
+        }; // W2[x] (ww, not rw)
+        let b2 = OpAddr {
+            txn: TxnId(2),
+            idx: 1,
+        }; // R2[y]
+        let a1 = OpAddr {
+            txn: TxnId(1),
+            idx: 1,
+        }; // W1[y]
         let spec = SplitSpec {
             t1: TxnId(1),
             b1,
@@ -374,8 +467,12 @@ mod tests {
 
     #[test]
     fn display_error_variants() {
-        assert!(SplitSpecError::Malformed("x").to_string().contains("malformed"));
-        assert!(SplitSpecError::NotConflicting(2).to_string().contains("link 2"));
+        assert!(SplitSpecError::Malformed("x")
+            .to_string()
+            .contains("malformed"));
+        assert!(SplitSpecError::NotConflicting(2)
+            .to_string()
+            .contains("link 2"));
         assert!(SplitSpecError::Condition(5).to_string().contains("(5)"));
     }
 }

@@ -1,6 +1,7 @@
 //! Workload analysis: structural statistics that explain robustness
 //! verdicts and guide tuning (used by the CLI's `analyze` command and
-//! the evaluation harness).
+//! the evaluation harness), plus [`EngineStats`] — the work counters
+//! the allocation engine reports per run.
 
 use crate::algorithm1::is_robust;
 use crate::allocate::optimal_allocation;
@@ -9,6 +10,45 @@ use crate::rc_si::optimal_allocation_rc_si;
 use crate::sdg::{static_si_robust, StaticVerdict};
 use mvisolation::{Allocation, IsolationLevel};
 use mvmodel::{TransactionSet, TxnId};
+use std::time::Duration;
+
+/// Work performed by one [`crate::allocate::Allocator`] run: how many
+/// full Algorithm 1 probes ran, how many were answered by the
+/// counterexample cache instead, how many iso-graph constructions the
+/// per-`T₁` cache paid for, and the wall time.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct EngineStats {
+    /// Full Algorithm 1 searches executed.
+    pub probes: u64,
+    /// Lowering attempts rejected by re-validating a cached
+    /// counterexample (`SplitSpec::check`) — each one is a probe that
+    /// never ran.
+    pub cache_hits: u64,
+    /// Distinct counterexamples held by the cache at the end of the run.
+    pub cached_specs: u64,
+    /// `IsoReach` structures built; without the per-`T₁` cache this
+    /// would be ~`probes × |T|` on conflict-heavy workloads.
+    pub iso_builds: u64,
+    /// Worker threads configured for the outer search.
+    pub threads: usize,
+    /// End-to-end wall time of the engine run.
+    pub wall: Duration,
+}
+
+impl std::fmt::Display for EngineStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "probes={} cache_hits={} cached_specs={} iso_builds={} threads={} wall={:.3}ms",
+            self.probes,
+            self.cache_hits,
+            self.cached_specs,
+            self.iso_builds,
+            self.threads,
+            self.wall.as_secs_f64() * 1e3,
+        )
+    }
+}
 
 /// A structural + robustness report for a workload.
 #[derive(Clone, Debug)]
@@ -115,10 +155,18 @@ impl std::fmt::Display for WorkloadReport {
             "robust against: RC = {}, SI = {} (static SDG test: {})",
             self.robust_rc,
             self.robust_si,
-            if self.static_si.certified() { "certified" } else { "flagged" }
+            if self.static_si.certified() {
+                "certified"
+            } else {
+                "flagged"
+            }
         )?;
         let (rc, si, ssi) = self.optimal_counts();
-        writeln!(f, "optimal allocation: {} ({rc} RC / {si} SI / {ssi} SSI)", self.optimal)?;
+        writeln!(
+            f,
+            "optimal allocation: {} ({rc} RC / {si} SI / {ssi} SSI)",
+            self.optimal
+        )?;
         match &self.optimal_rc_si {
             Some(a) => write!(f, "optimal {{RC, SI}} allocation: {a}"),
             None => write!(f, "no {{RC, SI}} allocation exists (SSI required)"),

@@ -39,7 +39,10 @@ impl fmt::Display for WitnessError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             WitnessError::NotAllowed(v) => {
-                write!(f, "witness schedule is not allowed under the allocation: {v}")
+                write!(
+                    f,
+                    "witness schedule is not allowed under the allocation: {v}"
+                )
             }
             WitnessError::Serializable => {
                 write!(f, "witness schedule is conflict serializable")
@@ -72,8 +75,9 @@ pub fn materialize(txns: Arc<TransactionSet>, alloc: &Allocation, spec: &SplitSp
     }
     order.push(OpId::Commit(spec.t1));
     // Remaining transactions serially, in id order.
-    let mentioned: Vec<TxnId> =
-        std::iter::once(spec.t1).chain(spec.chain.iter().copied()).collect();
+    let mentioned: Vec<TxnId> = std::iter::once(spec.t1)
+        .chain(spec.chain.iter().copied())
+        .collect();
     for t in txns.iter() {
         if !mentioned.contains(&t.id()) {
             order.extend(t.op_ids());
@@ -168,7 +172,10 @@ mod tests {
         let si = Allocation::uniform_si(&txns);
         let serial =
             Schedule::single_version_serial(Arc::clone(&txns), &[TxnId(1), TxnId(2)]).unwrap();
-        assert_eq!(verify_witness(&serial, &si), Err(WitnessError::Serializable));
+        assert_eq!(
+            verify_witness(&serial, &si),
+            Err(WitnessError::Serializable)
+        );
     }
 
     #[test]
@@ -254,7 +261,10 @@ mod tests {
         let t4 = s.txns().txn(TxnId(4));
         assert!(!spec.chain.contains(&TxnId(4)));
         for expected in t4.op_ids() {
-            assert_eq!(order[cursor], expected, "remaining transactions appended serially");
+            assert_eq!(
+                order[cursor], expected,
+                "remaining transactions appended serially"
+            );
             cursor += 1;
         }
         assert_eq!(cursor, order.len());
@@ -262,7 +272,11 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(WitnessError::Serializable.to_string().contains("serializable"));
-        assert!(WitnessError::NotAllowed("x".into()).to_string().contains("not allowed"));
+        assert!(WitnessError::Serializable
+            .to_string()
+            .contains("serializable"));
+        assert!(WitnessError::NotAllowed("x".into())
+            .to_string()
+            .contains("not allowed"));
     }
 }

@@ -1,0 +1,260 @@
+//! Equivalence of the cached/parallel robustness engine with the
+//! retained pre-engine reference implementation on randomized
+//! workloads, plus the engine's determinism and certificate contracts:
+//!
+//! - [`mvrobustness::RobustnessChecker`] (any thread count) and
+//!   [`mvrobustness::ReferenceChecker`] return the *identical*
+//!   counterexample spec, not merely the same verdict;
+//! - every returned spec is a checked certificate
+//!   (`spec.check(txns, alloc) == Ok(())`);
+//! - the counterexample cache in Algorithm 2 never changes the computed
+//!   optimal allocation.
+
+use mvisolation::{Allocation, IsolationLevel};
+use mvmodel::{TransactionSet, TxnSetBuilder};
+use mvrobustness::{
+    optimal_allocation, optimal_allocation_rc_si, optimal_allocation_reference, Allocator,
+    ReferenceChecker, RobustnessChecker,
+};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+/// Random workload over `n_objects` objects: `n_txns` transactions of
+/// 1..=`max_ops` operations each (duplicates skipped, so shorter
+/// transactions occur too).
+fn random_workload(
+    rng: &mut SmallRng,
+    n_txns: u32,
+    max_ops: usize,
+    n_objects: u32,
+) -> TransactionSet {
+    let mut b = TxnSetBuilder::new();
+    let objects: Vec<_> = (0..n_objects).map(|i| b.object(&format!("o{i}"))).collect();
+    for id in 1..=n_txns {
+        let mut t = b.txn(id);
+        let len = rng.random_range(1..=max_ops);
+        let mut used: Vec<(bool, u32)> = Vec::new();
+        for _ in 0..len {
+            let obj = rng.random_range(0..n_objects);
+            let write = rng.random_bool(0.5);
+            if used.contains(&(write, obj)) {
+                continue;
+            }
+            used.push((write, obj));
+            t = if write {
+                t.write(objects[obj as usize])
+            } else {
+                t.read(objects[obj as usize])
+            };
+        }
+        t.finish();
+    }
+    b.build().expect("generator avoids duplicate operations")
+}
+
+fn random_allocation(rng: &mut SmallRng, txns: &TransactionSet) -> Allocation {
+    txns.ids()
+        .map(|t| {
+            let lvl = match rng.random_range(0..3) {
+                0 => IsolationLevel::RC,
+                1 => IsolationLevel::SI,
+                _ => IsolationLevel::SSI,
+            };
+            (t, lvl)
+        })
+        .collect()
+}
+
+/// Engine (at each thread count) vs. reference on one (workload,
+/// allocation) pair; returns whether the pair was robust.
+fn assert_equivalent(txns: &TransactionSet, alloc: &Allocation) -> bool {
+    let reference = ReferenceChecker::new(txns);
+    let expected = reference.find_counterexample(alloc);
+    if let Some(spec) = &expected {
+        assert_eq!(
+            spec.check(txns, alloc),
+            Ok(()),
+            "reference spec must certify"
+        );
+    }
+    for threads in [1, 2, 4] {
+        let checker = RobustnessChecker::new(txns).with_threads(threads);
+        let got = checker.find_counterexample(alloc);
+        assert_eq!(
+            got,
+            expected,
+            "engine at {threads} thread(s) disagrees with reference on {alloc}\n{}",
+            mvmodel::fmt::transaction_set(txns)
+        );
+        if let Some(spec) = &got {
+            assert_eq!(spec.check(txns, alloc), Ok(()), "engine spec must certify");
+        }
+    }
+    expected.is_none()
+}
+
+/// Workloads large enough (|T| ≥ 8) that the engine actually takes the
+/// multi-threaded outer-search path.
+#[test]
+fn engine_matches_reference_on_large_random_workloads() {
+    let mut rng = SmallRng::seed_from_u64(0xE9E0_0001);
+    let mut robust = 0usize;
+    let mut probes = 0usize;
+    for _ in 0..40 {
+        let n_txns = rng.random_range(8..=16u32);
+        let txns = random_workload(&mut rng, n_txns, 4, 6);
+        let mut allocs = vec![random_allocation(&mut rng, &txns)];
+        // Uniform levels hit the condition (6)/(7)/(8) filters in ways a
+        // random mix rarely does — and 𝒜_SSI guarantees robust cases.
+        allocs.extend(
+            IsolationLevel::ALL
+                .iter()
+                .map(|&l| Allocation::uniform(&txns, l)),
+        );
+        for alloc in &allocs {
+            if assert_equivalent(&txns, alloc) {
+                robust += 1;
+            }
+            probes += 1;
+        }
+    }
+    assert!(robust > 0, "no robust case generated — tune the generator");
+    assert!(
+        robust < probes,
+        "no non-robust case generated — tune the generator"
+    );
+}
+
+/// Small workloads (the single-threaded fast path, plus edge sizes 0–3).
+#[test]
+fn engine_matches_reference_on_small_random_workloads() {
+    let mut rng = SmallRng::seed_from_u64(0xE9E0_0002);
+    for _ in 0..120 {
+        let n_txns = rng.random_range(0..=4u32);
+        let txns = random_workload(&mut rng, n_txns, 3, 3);
+        if txns.is_empty() {
+            continue;
+        }
+        let alloc = random_allocation(&mut rng, &txns);
+        assert_equivalent(&txns, &alloc);
+    }
+}
+
+/// A checker instance must stay consistent across many probes of the
+/// same workload (the per-`T₁` iso cache is shared between probes).
+#[test]
+fn cached_checker_is_consistent_across_probes() {
+    let mut rng = SmallRng::seed_from_u64(0xE9E0_0003);
+    let txns = random_workload(&mut rng, 12, 4, 5);
+    let checker = RobustnessChecker::new(&txns);
+    let reference = ReferenceChecker::new(&txns);
+    for _ in 0..24 {
+        let alloc = random_allocation(&mut rng, &txns);
+        assert_eq!(
+            checker.find_counterexample(&alloc),
+            reference.find_counterexample(&alloc),
+            "shared-cache probe diverged on {alloc}"
+        );
+    }
+    assert!(checker.stats().probes() >= 24);
+    // The iso cache can never build more structures than transactions.
+    assert!(checker.stats().iso_builds() <= txns.len() as u64);
+}
+
+/// Algorithm 2 with the counterexample cache computes the identical
+/// optimal allocation as the uncached reference refinement — and the
+/// thread count does not matter.
+#[test]
+fn refine_cache_never_changes_the_optimum() {
+    let mut rng = SmallRng::seed_from_u64(0xE9E0_0004);
+    for case in 0..30 {
+        let n_txns = rng.random_range(2..=12u32);
+        let txns = random_workload(&mut rng, n_txns, 4, 5);
+        let expected = optimal_allocation_reference(&txns);
+        assert_eq!(
+            optimal_allocation(&txns),
+            expected,
+            "case {case}: cached optimum diverged\n{}",
+            mvmodel::fmt::transaction_set(&txns)
+        );
+        for threads in [2, 4] {
+            let (got, stats) = Allocator::new(&txns).with_threads(threads).optimal();
+            assert_eq!(
+                got, expected,
+                "case {case}: optimum diverged at {threads} threads"
+            );
+            assert_eq!(stats.threads, threads);
+        }
+        // The {RC, SI} variant shares refine_cached; spot-check it too.
+        let rc_si = optimal_allocation_rc_si(&txns);
+        if let Some(a) = &rc_si {
+            assert!(ReferenceChecker::new(&txns).is_robust(a));
+            assert!(a.iter().all(|(_, l)| l <= IsolationLevel::SI));
+        }
+    }
+}
+
+/// Every reason reported by the explained variant is a certificate for
+/// the exact candidate allocation it rejected.
+#[test]
+fn explained_reasons_certify_their_candidates() {
+    let mut rng = SmallRng::seed_from_u64(0xE9E0_0005);
+    for _ in 0..20 {
+        let n_txns = rng.random_range(2..=10u32);
+        let txns = random_workload(&mut rng, n_txns, 4, 4);
+        let (alloc, reasons, stats) = Allocator::new(&txns).optimal_explained();
+        assert_eq!(alloc, optimal_allocation_reference(&txns));
+        // Replay the refinement to reconstruct each rejected candidate.
+        let mut replay = Allocation::uniform_ssi(&txns);
+        let mut reasons = reasons.iter();
+        for t in txns.iter() {
+            for &lvl in replay.level(t.id()).lower_levels() {
+                let candidate = replay.with(t.id(), lvl);
+                if ReferenceChecker::new(&txns).is_robust(&candidate) {
+                    replay = candidate;
+                    break;
+                }
+                let (rt, rl, spec) = reasons.next().expect("a reason per failed lowering");
+                assert_eq!((*rt, *rl), (t.id(), lvl));
+                assert_eq!(spec.check(&txns, &candidate), Ok(()), "reason must certify");
+            }
+        }
+        assert!(reasons.next().is_none(), "no surplus reasons");
+        assert_eq!(replay, alloc);
+        // Cache accounting: every failed lowering was either probed or
+        // answered from the cache (+1 debug-assert probe of 𝒜_SSI).
+        assert!(stats.probes + stats.cache_hits >= stats.cached_specs);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48 })]
+
+    /// Property form: verdict + spec equivalence on arbitrary seeds and
+    /// workload shapes.
+    #[test]
+    fn prop_engine_equals_reference(
+        seed in any::<u64>(),
+        n_txns in 2..10u32,
+        max_ops in 1..5usize,
+        n_objects in 1..6u32,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let txns = random_workload(&mut rng, n_txns, max_ops, n_objects);
+        let alloc = random_allocation(&mut rng, &txns);
+        assert_equivalent(&txns, &alloc);
+    }
+
+    /// Property form: the cached Algorithm 2 equals the reference
+    /// refinement.
+    #[test]
+    fn prop_cached_optimum_equals_reference(
+        seed in any::<u64>(),
+        n_txns in 2..9u32,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let txns = random_workload(&mut rng, n_txns, 4, 4);
+        prop_assert_eq!(optimal_allocation(&txns), optimal_allocation_reference(&txns));
+    }
+}

@@ -12,12 +12,15 @@ use std::sync::Arc;
 
 /// Generates a random workload: `n_txns` transactions of up to
 /// `max_ops` operations over `n_objects` objects.
-fn random_workload(rng: &mut SmallRng, n_txns: u32, max_ops: usize, n_objects: u32) -> Arc<TransactionSet> {
+fn random_workload(
+    rng: &mut SmallRng,
+    n_txns: u32,
+    max_ops: usize,
+    n_objects: u32,
+) -> Arc<TransactionSet> {
     loop {
         let mut b = TxnSetBuilder::new();
-        let objects: Vec<_> = (0..n_objects)
-            .map(|i| b.object(&format!("o{i}")))
-            .collect();
+        let objects: Vec<_> = (0..n_objects).map(|i| b.object(&format!("o{i}"))).collect();
         for id in 1..=n_txns {
             let mut t = b.txn(id);
             let len = rng.random_range(1..=max_ops);
@@ -29,7 +32,11 @@ fn random_workload(rng: &mut SmallRng, n_txns: u32, max_ops: usize, n_objects: u
                     continue;
                 }
                 used.push((write, obj));
-                t = if write { t.write(objects[obj as usize]) } else { t.read(objects[obj as usize]) };
+                t = if write {
+                    t.write(objects[obj as usize])
+                } else {
+                    t.read(objects[obj as usize])
+                };
             }
             t.finish();
         }
@@ -164,5 +171,8 @@ fn prop_5_1_on_random_workloads() {
             );
         }
     }
-    assert!(rc_robust_seen > 0, "generator produced no RC-robust workloads");
+    assert!(
+        rc_robust_seen > 0,
+        "generator produced no RC-robust workloads"
+    );
 }

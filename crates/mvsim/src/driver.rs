@@ -36,8 +36,16 @@ pub fn jobs_from_workload(txns: &TransactionSet, alloc: &Allocation) -> Vec<Job>
 #[derive(Debug)]
 enum SessionState {
     Idle,
-    Running { attempt: AttemptId, job: usize, retries: u32 },
-    Blocked { attempt: AttemptId, job: usize, retries: u32 },
+    Running {
+        attempt: AttemptId,
+        job: usize,
+        retries: u32,
+    },
+    Blocked {
+        attempt: AttemptId,
+        job: usize,
+        retries: u32,
+    },
 }
 
 /// Runs `jobs` to completion on `config.concurrency` sessions and returns
@@ -50,8 +58,9 @@ pub fn run_jobs(jobs: &[Job], config: SimConfig) -> Engine {
     let mut engine = Engine::new(config.clone());
     let mut rng = SmallRng::seed_from_u64(config.seed);
     let mut next_job = 0usize;
-    let mut sessions: Vec<SessionState> =
-        (0..config.concurrency).map(|_| SessionState::Idle).collect();
+    let mut sessions: Vec<SessionState> = (0..config.concurrency)
+        .map(|_| SessionState::Idle)
+        .collect();
     let mut attempt_session: HashMap<AttemptId, usize> = HashMap::new();
     let mut done = 0usize;
     // Per-job first-begin tick, for latency accounting.
@@ -67,7 +76,11 @@ pub fn run_jobs(jobs: &[Job], config: SimConfig) -> Engine {
                 let attempt = engine.begin(jobs[job].ops.clone(), jobs[job].level);
                 attempt_session.insert(attempt, si);
                 job_start.insert(job, engine.now());
-                *s = SessionState::Running { attempt, job, retries: 0 };
+                *s = SessionState::Running {
+                    attempt,
+                    job,
+                    retries: 0,
+                };
             }
         }
         let runnable: Vec<usize> = sessions
@@ -76,17 +89,29 @@ pub fn run_jobs(jobs: &[Job], config: SimConfig) -> Engine {
             .filter_map(|(i, s)| matches!(s, SessionState::Running { .. }).then_some(i))
             .collect();
         let Some(&si) = runnable.choose(&mut rng) else {
-            debug_assert!(done == jobs.len(), "all sessions blocked or idle with work left");
+            debug_assert!(
+                done == jobs.len(),
+                "all sessions blocked or idle with work left"
+            );
             break;
         };
-        let SessionState::Running { attempt, job, retries } = sessions[si] else {
+        let SessionState::Running {
+            attempt,
+            job,
+            retries,
+        } = sessions[si]
+        else {
             unreachable!()
         };
         let (outcome, woken) = engine.step(attempt);
         match outcome {
             StepOutcome::Progress => {}
             StepOutcome::Blocked => {
-                sessions[si] = SessionState::Blocked { attempt, job, retries };
+                sessions[si] = SessionState::Blocked {
+                    attempt,
+                    job,
+                    retries,
+                };
             }
             StepOutcome::Committed => {
                 attempt_session.remove(&attempt);
@@ -104,8 +129,11 @@ pub fn run_jobs(jobs: &[Job], config: SimConfig) -> Engine {
                 } else {
                     let next = engine.begin(jobs[job].ops.clone(), jobs[job].level);
                     attempt_session.insert(next, si);
-                    sessions[si] =
-                        SessionState::Running { attempt: next, job, retries: retries + 1 };
+                    sessions[si] = SessionState::Running {
+                        attempt: next,
+                        job,
+                        retries: retries + 1,
+                    };
                 }
             }
         }
@@ -114,9 +142,18 @@ pub fn run_jobs(jobs: &[Job], config: SimConfig) -> Engine {
         all_woken.extend(engine.drain_wakes());
         for w in all_woken {
             if let Some(&wsi) = attempt_session.get(&w) {
-                if let SessionState::Blocked { attempt, job, retries } = sessions[wsi] {
+                if let SessionState::Blocked {
+                    attempt,
+                    job,
+                    retries,
+                } = sessions[wsi]
+                {
                     debug_assert_eq!(attempt, w);
-                    sessions[wsi] = SessionState::Running { attempt, job, retries };
+                    sessions[wsi] = SessionState::Running {
+                        attempt,
+                        job,
+                        retries,
+                    };
                 }
             }
         }
@@ -167,7 +204,10 @@ mod tests {
         let jobs: Vec<Job> = (0..15).map(|_| rw_job(IsolationLevel::SI, 0)).collect();
         let engine = run_jobs(&jobs, SimConfig::default().with_seed(2).with_concurrency(8));
         assert_eq!(engine.metrics.commits, 15);
-        assert!(engine.metrics.aborts_fcw > 0, "expected first-committer-wins aborts");
+        assert!(
+            engine.metrics.aborts_fcw > 0,
+            "expected first-committer-wins aborts"
+        );
     }
 
     #[test]
@@ -200,7 +240,10 @@ mod tests {
         }
         let engine = run_jobs(
             &jobs,
-            SimConfig::default().with_seed(3).with_concurrency(4).with_max_retries(1),
+            SimConfig::default()
+                .with_seed(3)
+                .with_concurrency(4)
+                .with_max_retries(1),
         );
         assert_eq!(
             engine.metrics.commits + engine.metrics.gave_up,
@@ -233,7 +276,10 @@ mod tests {
         let jobs: Vec<Job> = (0..8).map(|i| rw_job(IsolationLevel::RC, i % 2)).collect();
         let engine = run_jobs(&jobs, SimConfig::default().with_seed(5).with_concurrency(3));
         assert_eq!(engine.latency.count(), 8);
-        assert!(engine.latency.mean() >= 3.0, "R + W + C is at least 3 ticks");
+        assert!(
+            engine.latency.mean() >= 3.0,
+            "R + W + C is at least 3 ticks"
+        );
         assert!(engine.latency.p95() >= engine.latency.p50());
     }
 
@@ -242,7 +288,11 @@ mod tests {
         let jobs: Vec<Job> = (0..10).map(|_| rw_job(IsolationLevel::SI, 0)).collect();
         let engine = run_jobs(&jobs, SimConfig::default().with_concurrency(1));
         assert_eq!(engine.metrics.commits, 10);
-        assert_eq!(engine.metrics.total_aborts(), 0, "serial execution never conflicts");
+        assert_eq!(
+            engine.metrics.total_aborts(),
+            0,
+            "serial execution never conflicts"
+        );
         assert_eq!(engine.metrics.blocked_events, 0);
     }
 }

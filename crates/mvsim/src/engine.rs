@@ -145,7 +145,10 @@ impl Engine {
     /// blocked on). Must not be called for attempts currently blocked —
     /// the driver waits for the wake notification from the lock release.
     pub fn step(&mut self, who: AttemptId) -> (StepOutcome, Vec<AttemptId>) {
-        debug_assert!(self.locks.waiting(who).is_none(), "stepping a blocked attempt");
+        debug_assert!(
+            self.locks.waiting(who).is_none(),
+            "stepping a blocked attempt"
+        );
         if self.doomed.remove(&who) {
             return (self.abort(who, AbortReason::SsiDangerous), Vec::new());
         }
@@ -193,8 +196,7 @@ impl Engine {
             && a.level == IsolationLevel::SerializableSnapshotIsolation
         {
             if let Observed::Version(latest) = self.store.latest(object) {
-                let writer_ssi =
-                    self.ssi.footprint(latest.writer).is_some_and(|f| f.ssi);
+                let writer_ssi = self.ssi.footprint(latest.writer).is_some_and(|f| f.ssi);
                 if writer_ssi && latest.commit_ts > observed.ts() && latest.commit_ts > start {
                     self.ssi.record_rw_edge(who, latest.writer);
                     if self.ssi.has_out(latest.writer) {
@@ -284,7 +286,13 @@ impl Engine {
         let a = self.active.remove(&who).expect("unknown attempt");
         for &object in &a.writes {
             debug_assert!(self.locks.holds(who, object));
-            self.store.install(object, Version { commit_ts, writer: who });
+            self.store.install(
+                object,
+                Version {
+                    commit_ts,
+                    writer: who,
+                },
+            );
         }
         self.ssi.admit(footprint);
         let woken = self.locks.release_all(who);
@@ -338,9 +346,10 @@ impl Engine {
             if !overlaps {
                 continue;
             }
-            let reads_stale = a.reads.iter().any(|&(o, obs)| {
-                t.writes.iter().any(|&(wo, wts)| wo == o && obs.ts() < wts)
-            });
+            let reads_stale = a
+                .reads
+                .iter()
+                .any(|&(o, obs)| t.writes.iter().any(|&(wo, wts)| wo == o && obs.ts() < wts));
             if reads_stale {
                 edges.push((other, who));
             }
@@ -433,7 +442,11 @@ mod tests {
         assert_eq!(e.step(t2).0, StepOutcome::Committed);
         assert_eq!(e.step(t1).0, StepOutcome::Progress);
         let observed = e.trace.last_read_observed().unwrap();
-        assert_eq!(observed, Observed::Initial, "SI read must ignore later commits");
+        assert_eq!(
+            observed,
+            Observed::Initial,
+            "SI read must ignore later commits"
+        );
     }
 
     #[test]
@@ -446,13 +459,20 @@ mod tests {
         e.step(t2);
         e.step(t1);
         let observed = e.trace.last_read_observed().unwrap();
-        assert_eq!(observed.writer(), Some(t2), "RC reads per-statement snapshots");
+        assert_eq!(
+            observed.writer(),
+            Some(t2),
+            "RC reads per-statement snapshots"
+        );
     }
 
     #[test]
     fn first_committer_wins_aborts_si_writer() {
         let mut e = Engine::new(SimConfig::default());
-        let t1 = e.begin(vec![Op::read(obj(1)), Op::write(obj(1))], IsolationLevel::SI);
+        let t1 = e.begin(
+            vec![Op::read(obj(1)), Op::write(obj(1))],
+            IsolationLevel::SI,
+        );
         e.step(t1); // read: snapshot taken
         let t2 = e.begin(vec![Op::write(obj(1))], IsolationLevel::RC);
         e.step(t2);
@@ -465,7 +485,10 @@ mod tests {
     #[test]
     fn rc_writer_survives_concurrent_committed_write() {
         let mut e = Engine::new(SimConfig::default());
-        let t1 = e.begin(vec![Op::read(obj(1)), Op::write(obj(1))], IsolationLevel::RC);
+        let t1 = e.begin(
+            vec![Op::read(obj(1)), Op::write(obj(1))],
+            IsolationLevel::RC,
+        );
         e.step(t1);
         let t2 = e.begin(vec![Op::write(obj(1))], IsolationLevel::RC);
         e.step(t2);
@@ -498,7 +521,10 @@ mod tests {
         let mut e = Engine::new(SimConfig::default());
         let t1 = e.begin(vec![Op::write(obj(1))], IsolationLevel::RC);
         e.step(t1);
-        let t2 = e.begin(vec![Op::read(obj(2)), Op::write(obj(1))], IsolationLevel::SI);
+        let t2 = e.begin(
+            vec![Op::read(obj(2)), Op::write(obj(1))],
+            IsolationLevel::SI,
+        );
         e.step(t2); // snapshot
         assert_eq!(e.step(t2).0, StepOutcome::Blocked);
         let (_, woken) = e.step(t1);
@@ -511,8 +537,14 @@ mod tests {
     #[test]
     fn deadlock_aborts_requester() {
         let mut e = Engine::new(SimConfig::default());
-        let t1 = e.begin(vec![Op::write(obj(1)), Op::write(obj(2))], IsolationLevel::RC);
-        let t2 = e.begin(vec![Op::write(obj(2)), Op::write(obj(1))], IsolationLevel::RC);
+        let t1 = e.begin(
+            vec![Op::write(obj(1)), Op::write(obj(2))],
+            IsolationLevel::RC,
+        );
+        let t2 = e.begin(
+            vec![Op::write(obj(2)), Op::write(obj(1))],
+            IsolationLevel::RC,
+        );
         e.step(t1); // t1 holds 1
         e.step(t2); // t2 holds 2
         assert_eq!(e.step(t1).0, StepOutcome::Blocked); // t1 wants 2
@@ -540,7 +572,11 @@ mod tests {
         e.step(t2); // R2[y]
         e.step(t1); // W1[y]
         e.step(t2); // W2[x]
-        assert_eq!(e.step(t2).0, StepOutcome::Committed, "first committer passes");
+        assert_eq!(
+            e.step(t2).0,
+            StepOutcome::Committed,
+            "first committer passes"
+        );
         let (out, _) = e.step(t1);
         assert_eq!(out, StepOutcome::Aborted(AbortReason::SsiDangerous));
         assert_eq!(e.metrics.aborts_ssi, 1);
@@ -551,8 +587,14 @@ mod tests {
         // The same interleaving under plain SI commits both — the anomaly
         // SSI exists to prevent.
         let mut e = Engine::new(SimConfig::default());
-        let t1 = e.begin(vec![Op::read(obj(1)), Op::write(obj(2))], IsolationLevel::SI);
-        let t2 = e.begin(vec![Op::read(obj(2)), Op::write(obj(1))], IsolationLevel::SI);
+        let t1 = e.begin(
+            vec![Op::read(obj(1)), Op::write(obj(2))],
+            IsolationLevel::SI,
+        );
+        let t2 = e.begin(
+            vec![Op::read(obj(2)), Op::write(obj(1))],
+            IsolationLevel::SI,
+        );
         e.step(t1);
         e.step(t2);
         e.step(t1);
@@ -565,8 +607,14 @@ mod tests {
     #[test]
     fn conservative_ssi_also_stops_write_skew() {
         let mut e = Engine::new(SimConfig::default().with_ssi_mode(SsiMode::Conservative));
-        let t1 = e.begin(vec![Op::read(obj(1)), Op::write(obj(2))], IsolationLevel::SSI);
-        let t2 = e.begin(vec![Op::read(obj(2)), Op::write(obj(1))], IsolationLevel::SSI);
+        let t1 = e.begin(
+            vec![Op::read(obj(1)), Op::write(obj(2))],
+            IsolationLevel::SSI,
+        );
+        let t2 = e.begin(
+            vec![Op::read(obj(2)), Op::write(obj(1))],
+            IsolationLevel::SSI,
+        );
         e.step(t1);
         e.step(t2);
         e.step(t1);
@@ -574,9 +622,12 @@ mod tests {
         let first = e.step(t2).0;
         let second = e.step(t1).0;
         // At least one of the two must abort.
-        let aborted = matches!(first, StepOutcome::Aborted(_))
-            || matches!(second, StepOutcome::Aborted(_));
-        assert!(aborted, "conservative SSI must break the skew: {first:?} {second:?}");
+        let aborted =
+            matches!(first, StepOutcome::Aborted(_)) || matches!(second, StepOutcome::Aborted(_));
+        assert!(
+            aborted,
+            "conservative SSI must break the skew: {first:?} {second:?}"
+        );
     }
 
     #[test]

@@ -77,7 +77,9 @@ impl LockTable {
             if from == to {
                 return true;
             }
-            let Some(object) = self.waiting_on.get(&from) else { return false };
+            let Some(object) = self.waiting_on.get(&from) else {
+                return false;
+            };
             let Some(holder) = self.locks.get(object).and_then(|s| s.holder) else {
                 return false;
             };
@@ -116,7 +118,9 @@ impl LockTable {
 
     /// Whether `who` currently holds the lock on `object`.
     pub fn holds(&self, who: AttemptId, object: Object) -> bool {
-        self.locks.get(&object).is_some_and(|s| s.holder == Some(who))
+        self.locks
+            .get(&object)
+            .is_some_and(|s| s.holder == Some(who))
     }
 
     /// The object `who` is blocked on, if any.
@@ -144,7 +148,10 @@ mod tests {
         assert!(lt.holds(a(1), o(9)));
         // Reacquire is idempotent.
         assert_eq!(lt.acquire(a(1), o(9)), LockOutcome::Granted);
-        assert_eq!(lt.acquire(a(2), o(9)), LockOutcome::Blocked { holder: a(1) });
+        assert_eq!(
+            lt.acquire(a(2), o(9)),
+            LockOutcome::Blocked { holder: a(1) }
+        );
         assert_eq!(lt.waiting(a(2)), Some(o(9)));
         let woken = lt.release_all(a(1));
         assert_eq!(woken, vec![a(2)]);
@@ -169,7 +176,10 @@ mod tests {
         let mut lt = LockTable::new();
         lt.acquire(a(1), o(1));
         lt.acquire(a(2), o(2));
-        assert_eq!(lt.acquire(a(1), o(2)), LockOutcome::Blocked { holder: a(2) });
+        assert_eq!(
+            lt.acquire(a(1), o(2)),
+            LockOutcome::Blocked { holder: a(2) }
+        );
         // T2 requesting o1 closes the cycle T2 → T1 → T2.
         assert_eq!(lt.acquire(a(2), o(1)), LockOutcome::Deadlock);
         // T2 was not enqueued; releasing T1's wait unblocks nothing odd.
@@ -184,8 +194,14 @@ mod tests {
         lt.acquire(a(1), o(1));
         lt.acquire(a(2), o(2));
         lt.acquire(a(3), o(3));
-        assert!(matches!(lt.acquire(a(1), o(2)), LockOutcome::Blocked { .. }));
-        assert!(matches!(lt.acquire(a(2), o(3)), LockOutcome::Blocked { .. }));
+        assert!(matches!(
+            lt.acquire(a(1), o(2)),
+            LockOutcome::Blocked { .. }
+        ));
+        assert!(matches!(
+            lt.acquire(a(2), o(3)),
+            LockOutcome::Blocked { .. }
+        ));
         assert_eq!(lt.acquire(a(3), o(1)), LockOutcome::Deadlock);
     }
 

@@ -223,7 +223,10 @@ mod tests {
         assert!(!tracker.exact_check(&t2), "first committer is fine");
         tracker.admit(t2);
         let t1 = fp(1, true, 0, 8, &[(1, 0)], &[(2, 8)]);
-        assert!(tracker.exact_check(&t1), "second committer completes the structure");
+        assert!(
+            tracker.exact_check(&t1),
+            "second committer completes the structure"
+        );
     }
 
     #[test]
@@ -243,7 +246,10 @@ mod tests {
         tracker.admit(fp(1, true, 0, 10, &[(1, 0)], &[]));
         tracker.admit(fp(2, true, 1, 12, &[(2, 0)], &[(1, 12)]));
         let t3 = fp(3, true, 2, 15, &[], &[(2, 15)]);
-        assert!(!tracker.exact_check(&t3), "T3 committing last is not dangerous");
+        assert!(
+            !tracker.exact_check(&t3),
+            "T3 committing last is not dangerous"
+        );
     }
 
     #[test]

@@ -17,9 +17,18 @@ use std::collections::HashMap;
 
 #[derive(Clone, Copy, Debug)]
 enum Event {
-    Read { who: AttemptId, object: Object, observed: Observed },
-    Write { who: AttemptId, object: Object },
-    Commit { who: AttemptId },
+    Read {
+        who: AttemptId,
+        object: Object,
+        observed: Observed,
+    },
+    Write {
+        who: AttemptId,
+        object: Object,
+    },
+    Commit {
+        who: AttemptId,
+    },
 }
 
 /// In-memory event log (enabled via `SimConfig::record_trace`).
@@ -69,10 +78,20 @@ impl TraceRecorder {
         }
     }
 
-    pub(crate) fn record_read(&mut self, who: AttemptId, object: Object, observed: Observed, _ts: u64) {
+    pub(crate) fn record_read(
+        &mut self,
+        who: AttemptId,
+        object: Object,
+        observed: Observed,
+        _ts: u64,
+    ) {
         self.last_read = Some(observed);
         if self.enabled {
-            self.events.push(Event::Read { who, object, observed });
+            self.events.push(Event::Read {
+                who,
+                object,
+                observed,
+            });
         }
     }
 
@@ -115,7 +134,10 @@ impl TraceRecorder {
         if !self.enabled {
             return None;
         }
-        Some(self.export_inner().expect("simulator emitted an ill-formed schedule"))
+        Some(
+            self.export_inner()
+                .expect("simulator emitted an ill-formed schedule"),
+        )
     }
 
     fn export_inner(&self) -> Result<ExportedTrace, ScheduleError> {
@@ -147,10 +169,17 @@ impl TraceRecorder {
 
         for ev in &self.events {
             match *ev {
-                Event::Read { who, object, observed } => {
+                Event::Read {
+                    who,
+                    object,
+                    observed,
+                } => {
                     if let Some(&tid) = ids.get(&who) {
                         let idx = op_index.entry(who).or_insert(0);
-                        programs.entry(who).or_default().push(mvmodel::Op::read(object));
+                        programs
+                            .entry(who)
+                            .or_default()
+                            .push(mvmodel::Op::read(object));
                         order.push(OpId::op(tid, *idx));
                         reads_raw.push((OpAddr::new(tid, *idx), observed, object));
                         *idx += 1;
@@ -159,7 +188,10 @@ impl TraceRecorder {
                 Event::Write { who, object } => {
                     if let Some(&tid) = ids.get(&who) {
                         let idx = op_index.entry(who).or_insert(0);
-                        programs.entry(who).or_default().push(mvmodel::Op::write(object));
+                        programs
+                            .entry(who)
+                            .or_default()
+                            .push(mvmodel::Op::write(object));
                         order.push(OpId::op(tid, *idx));
                         write_addr.insert((who, object), *idx);
                         *idx += 1;
@@ -174,9 +206,11 @@ impl TraceRecorder {
             }
         }
         for (&attempt, ops) in &programs {
-            b.push(mvmodel::Transaction::new(ids[&attempt], ops.clone()).expect(
-                "engine enforces read-before-write, so programs satisfy the model invariant",
-            ));
+            b.push(
+                mvmodel::Transaction::new(ids[&attempt], ops.clone()).expect(
+                    "engine enforces read-before-write, so programs satisfy the model invariant",
+                ),
+            );
         }
         // Committed attempts with no operations still need transactions.
         for &attempt in &self.committed {
@@ -188,13 +222,9 @@ impl TraceRecorder {
         }
         let mut set = b.build().expect("attempt ids are unique");
         if !self.object_names.is_empty() {
-            let txn_vec: Vec<mvmodel::Transaction> =
-                set.iter().cloned().collect();
-            set = mvmodel::TransactionSet::with_object_names(
-                txn_vec,
-                self.object_names.clone(),
-            )
-            .expect("ids unchanged");
+            let txn_vec: Vec<mvmodel::Transaction> = set.iter().cloned().collect();
+            set = mvmodel::TransactionSet::with_object_names(txn_vec, self.object_names.clone())
+                .expect("ids unchanged");
         }
         let txns = std::sync::Arc::new(set);
 
@@ -204,7 +234,10 @@ impl TraceRecorder {
             let tid = ids[&attempt];
             for (&(w, object), &idx) in &write_addr {
                 if w == attempt {
-                    versions.entry(object).or_default().push(OpAddr::new(tid, idx));
+                    versions
+                        .entry(object)
+                        .or_default()
+                        .push(OpAddr::new(tid, idx));
                 }
             }
         }
@@ -225,9 +258,14 @@ impl TraceRecorder {
 
         let schedule = Schedule::new(txns.clone(), order, versions, reads_from)?;
         let allocation = Allocation::from_pairs(
-            ids.iter().map(|(&attempt, &tid)| (tid, self.levels[&attempt])),
+            ids.iter()
+                .map(|(&attempt, &tid)| (tid, self.levels[&attempt])),
         );
-        Ok(ExportedTrace { schedule, allocation, attempt_ids: ids })
+        Ok(ExportedTrace {
+            schedule,
+            allocation,
+            attempt_ids: ids,
+        })
     }
 }
 
@@ -273,7 +311,10 @@ mod tests {
     fn aborted_attempts_excluded_from_export() {
         let mut e = Engine::new(SimConfig::default());
         // T1 (SI) will abort on first-committer-wins; T2 commits.
-        let t1 = e.begin(vec![Op::read(obj(1)), Op::write(obj(1))], IsolationLevel::SI);
+        let t1 = e.begin(
+            vec![Op::read(obj(1)), Op::write(obj(1))],
+            IsolationLevel::SI,
+        );
         e.step(t1);
         let t2 = e.begin(vec![Op::write(obj(1))], IsolationLevel::RC);
         e.step(t2);
@@ -302,7 +343,10 @@ mod tests {
         e.step(t);
         e.trace.set_object_names(vec!["stock".to_string()]);
         let exported = e.trace.export().unwrap();
-        assert_eq!(mvmodel::fmt::schedule_order(&exported.schedule), "W1[stock] C1");
+        assert_eq!(
+            mvmodel::fmt::schedule_order(&exported.schedule),
+            "W1[stock] C1"
+        );
     }
 
     #[test]

@@ -116,8 +116,20 @@ mod tests {
     #[test]
     fn snapshot_reads_pick_correct_version() {
         let mut store = VersionStore::new();
-        store.install(obj(1), Version { commit_ts: 5, writer: AttemptId(1) });
-        store.install(obj(1), Version { commit_ts: 9, writer: AttemptId(2) });
+        store.install(
+            obj(1),
+            Version {
+                commit_ts: 5,
+                writer: AttemptId(1),
+            },
+        );
+        store.install(
+            obj(1),
+            Version {
+                commit_ts: 9,
+                writer: AttemptId(2),
+            },
+        );
         assert_eq!(store.read(obj(1), 4), Observed::Initial);
         assert_eq!(store.read(obj(1), 5).ts(), 5);
         assert_eq!(store.read(obj(1), 8).ts(), 5);
@@ -130,7 +142,13 @@ mod tests {
     fn committed_after_detects_concurrent_committers() {
         let mut store = VersionStore::new();
         assert!(!store.committed_after(obj(1), 3));
-        store.install(obj(1), Version { commit_ts: 5, writer: AttemptId(1) });
+        store.install(
+            obj(1),
+            Version {
+                commit_ts: 5,
+                writer: AttemptId(1),
+            },
+        );
         assert!(store.committed_after(obj(1), 3));
         assert!(!store.committed_after(obj(1), 5));
     }

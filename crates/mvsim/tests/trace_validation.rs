@@ -68,7 +68,9 @@ fn random_mixed_runs_are_allowed_exact_mode() {
         for conc in [2, 4, 8] {
             assert_run_allowed(
                 &jobs,
-                SimConfig::default().with_seed(seed * 31 + conc as u64).with_concurrency(conc),
+                SimConfig::default()
+                    .with_seed(seed * 31 + conc as u64)
+                    .with_concurrency(conc),
             );
         }
     }
@@ -111,7 +113,9 @@ fn robust_allocations_yield_serializable_executions() {
         for run in 0..4u64 {
             let engine = run_jobs(
                 &jobs,
-                SimConfig::default().with_seed(seed * 17 + run).with_concurrency(5),
+                SimConfig::default()
+                    .with_seed(seed * 17 + run)
+                    .with_concurrency(5),
             );
             let exported = engine.trace.export().unwrap();
             assert!(allowed_under(&exported.schedule, &exported.allocation));
@@ -139,7 +143,10 @@ fn all_ssi_exact_always_serializable() {
             .iter()
             .map(|t| Job::new(t.ops().to_vec(), IsolationLevel::SSI))
             .collect();
-        let engine = run_jobs(&jobs, SimConfig::default().with_seed(seed).with_concurrency(6));
+        let engine = run_jobs(
+            &jobs,
+            SimConfig::default().with_seed(seed).with_concurrency(6),
+        );
         let exported = engine.trace.export().unwrap();
         assert!(is_conflict_serializable(&exported.schedule));
     }
@@ -181,13 +188,16 @@ fn non_robust_si_workload_exhibits_anomaly() {
     let txns = mvworkloads::paper::write_skew_txns();
     let jobs: Vec<Job> = (0..6)
         .flat_map(|_| {
-            txns.iter().map(|t| Job::new(t.ops().to_vec(), IsolationLevel::SnapshotIsolation))
+            txns.iter()
+                .map(|t| Job::new(t.ops().to_vec(), IsolationLevel::SnapshotIsolation))
         })
         .collect();
     let mut saw_nonserializable = false;
     for seed in 0..50u64 {
-        let engine =
-            run_jobs(&jobs, SimConfig::default().with_seed(seed).with_concurrency(4));
+        let engine = run_jobs(
+            &jobs,
+            SimConfig::default().with_seed(seed).with_concurrency(4),
+        );
         let exported = engine.trace.export().unwrap();
         assert!(allowed_under(&exported.schedule, &exported.allocation));
         if !is_conflict_serializable(&exported.schedule) {
@@ -195,7 +205,10 @@ fn non_robust_si_workload_exhibits_anomaly() {
             break;
         }
     }
-    assert!(saw_nonserializable, "write skew under SI never materialized in 50 seeds");
+    assert!(
+        saw_nonserializable,
+        "write skew under SI never materialized in 50 seeds"
+    );
 }
 
 /// Likewise, an RC-only lost-update workload must eventually go wrong.
@@ -207,11 +220,17 @@ fn non_robust_rc_workload_exhibits_anomaly() {
     b.txn(2).read(x).write(x).finish();
     let txns = b.build().unwrap();
     let jobs: Vec<Job> = (0..4)
-        .flat_map(|_| txns.iter().map(|t| Job::new(t.ops().to_vec(), IsolationLevel::RC)))
+        .flat_map(|_| {
+            txns.iter()
+                .map(|t| Job::new(t.ops().to_vec(), IsolationLevel::RC))
+        })
         .collect();
     let mut saw_nonserializable = false;
     for seed in 0..50u64 {
-        let engine = run_jobs(&jobs, SimConfig::default().with_seed(seed).with_concurrency(4));
+        let engine = run_jobs(
+            &jobs,
+            SimConfig::default().with_seed(seed).with_concurrency(4),
+        );
         let exported = engine.trace.export().unwrap();
         assert!(allowed_under(&exported.schedule, &exported.allocation));
         if !is_conflict_serializable(&exported.schedule) {
@@ -219,7 +238,10 @@ fn non_robust_rc_workload_exhibits_anomaly() {
             break;
         }
     }
-    assert!(saw_nonserializable, "lost update under RC never materialized in 50 seeds");
+    assert!(
+        saw_nonserializable,
+        "lost update under RC never materialized in 50 seeds"
+    );
 }
 
 /// TPC-C under its optimal allocation, executed in the simulator: always
@@ -233,7 +255,10 @@ fn tpcc_under_optimal_allocation_serializable() {
         .map(|t| Job::new(t.ops().to_vec(), alloc.level(t.id())))
         .collect();
     for seed in 0..15u64 {
-        let engine = run_jobs(&jobs, SimConfig::default().with_seed(seed).with_concurrency(4));
+        let engine = run_jobs(
+            &jobs,
+            SimConfig::default().with_seed(seed).with_concurrency(4),
+        );
         let exported = engine.trace.export().unwrap();
         assert!(allowed_under(&exported.schedule, &exported.allocation));
         assert!(is_conflict_serializable(&exported.schedule));
@@ -268,7 +293,7 @@ fn blocked_first_write_keeps_attempt_snapshot() {
     assert_eq!(e.step(tc).0, StepOutcome::Progress); // tC holds c
     assert_eq!(e.step(t1).0, StepOutcome::Blocked); // T1 waits on a (snapshot taken)
     assert_eq!(e.step(tc).0, StepOutcome::Blocked); // tC waits on a, behind T1
-    // tB requests c held by tC (which waits on a held by tB): deadlock.
+                                                    // tB requests c held by tC (which waits on a held by tB): deadlock.
     assert!(matches!(e.step(tb).0, StepOutcome::Aborted(_)));
     let woken = e.drain_wakes();
     assert!(woken.contains(&t1), "first waiter inherits the lock");

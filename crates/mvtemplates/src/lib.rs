@@ -53,7 +53,10 @@ pub struct Template {
 
 impl Template {
     pub fn new(name: impl Into<String>) -> Self {
-        Template { name: name.into(), ops: Vec::new() }
+        Template {
+            name: name.into(),
+            ops: Vec::new(),
+        }
     }
 
     pub fn name(&self) -> &str {
@@ -66,32 +69,52 @@ impl Template {
 
     /// Read of the parameter-`i` object of `table`.
     pub fn read(mut self, table: &str, param: usize) -> Self {
-        self.ops.push(TemplateOp { kind: OpKind::Read, table: table.into(), param: Some(param) });
+        self.ops.push(TemplateOp {
+            kind: OpKind::Read,
+            table: table.into(),
+            param: Some(param),
+        });
         self
     }
 
     /// Write of the parameter-`i` object of `table`.
     pub fn write(mut self, table: &str, param: usize) -> Self {
-        self.ops
-            .push(TemplateOp { kind: OpKind::Write, table: table.into(), param: Some(param) });
+        self.ops.push(TemplateOp {
+            kind: OpKind::Write,
+            table: table.into(),
+            param: Some(param),
+        });
         self
     }
 
     /// Read of the single shared object `table`.
     pub fn read_fixed(mut self, table: &str) -> Self {
-        self.ops.push(TemplateOp { kind: OpKind::Read, table: table.into(), param: None });
+        self.ops.push(TemplateOp {
+            kind: OpKind::Read,
+            table: table.into(),
+            param: None,
+        });
         self
     }
 
     /// Write of the single shared object `table`.
     pub fn write_fixed(mut self, table: &str) -> Self {
-        self.ops.push(TemplateOp { kind: OpKind::Write, table: table.into(), param: None });
+        self.ops.push(TemplateOp {
+            kind: OpKind::Write,
+            table: table.into(),
+            param: None,
+        });
         self
     }
 
     /// Number of parameters the template expects (1 + max index used).
     pub fn param_count(&self) -> usize {
-        self.ops.iter().filter_map(|o| o.param).map(|p| p + 1).max().unwrap_or(0)
+        self.ops
+            .iter()
+            .filter_map(|o| o.param)
+            .map(|p| p + 1)
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -261,8 +284,16 @@ pub fn optimal_template_allocation(
 pub fn smallbank_templates() -> TemplateSet {
     let mut set = TemplateSet::new();
     set.add(Template::new("Balance").read("sav", 0).read("chk", 0));
-    set.add(Template::new("DepositChecking").read("chk", 0).write("chk", 0));
-    set.add(Template::new("TransactSavings").read("sav", 0).write("sav", 0));
+    set.add(
+        Template::new("DepositChecking")
+            .read("chk", 0)
+            .write("chk", 0),
+    );
+    set.add(
+        Template::new("TransactSavings")
+            .read("sav", 0)
+            .write("sav", 0),
+    );
     set.add(
         Template::new("Amalgamate")
             .read("sav", 0)
@@ -272,7 +303,12 @@ pub fn smallbank_templates() -> TemplateSet {
             .read("chk", 1)
             .write("chk", 1),
     );
-    set.add(Template::new("WriteCheck").read("sav", 0).read("chk", 0).write("chk", 0));
+    set.add(
+        Template::new("WriteCheck")
+            .read("sav", 0)
+            .read("chk", 0)
+            .write("chk", 0),
+    );
     set
 }
 
@@ -284,7 +320,11 @@ mod tests {
     fn counter_templates() -> TemplateSet {
         let mut set = TemplateSet::new();
         // Increment(c): R(counter:c) W(counter:c).
-        set.add(Template::new("Increment").read("counter", 0).write("counter", 0));
+        set.add(
+            Template::new("Increment")
+                .read("counter", 0)
+                .write("counter", 0),
+        );
         // Report: reads a fixed summary object.
         set.add(Template::new("Report").read_fixed("summary"));
         set
@@ -304,8 +344,9 @@ mod tests {
     #[test]
     fn instantiation_concrete() {
         let set = counter_templates();
-        let (txns, origin) =
-            set.instantiate(&[(0, vec![7]), (0, vec![9]), (1, vec![])]).unwrap();
+        let (txns, origin) = set
+            .instantiate(&[(0, vec![7]), (0, vec![9]), (1, vec![])])
+            .unwrap();
         assert_eq!(txns.len(), 3);
         assert_eq!(origin, vec![0, 0, 1]);
         assert!(txns.object_by_name("counter:7").is_some());

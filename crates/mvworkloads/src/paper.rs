@@ -37,15 +37,42 @@ pub fn figure_2_txns() -> Arc<TransactionSet> {
 /// T1 → T2 → T3 is a dangerous structure.
 pub fn figure_2_schedule() -> Schedule {
     let txns = figure_2_txns();
-    let r1t = OpAddr { txn: TxnId(1), idx: 0 };
-    let r2t = OpAddr { txn: TxnId(2), idx: 0 };
-    let w2t = OpAddr { txn: TxnId(2), idx: 1 };
-    let r2v = OpAddr { txn: TxnId(2), idx: 2 };
-    let r3v = OpAddr { txn: TxnId(3), idx: 0 };
-    let w3v = OpAddr { txn: TxnId(3), idx: 1 };
-    let r4t = OpAddr { txn: TxnId(4), idx: 0 };
-    let r4v = OpAddr { txn: TxnId(4), idx: 1 };
-    let w4t = OpAddr { txn: TxnId(4), idx: 2 };
+    let r1t = OpAddr {
+        txn: TxnId(1),
+        idx: 0,
+    };
+    let r2t = OpAddr {
+        txn: TxnId(2),
+        idx: 0,
+    };
+    let w2t = OpAddr {
+        txn: TxnId(2),
+        idx: 1,
+    };
+    let r2v = OpAddr {
+        txn: TxnId(2),
+        idx: 2,
+    };
+    let r3v = OpAddr {
+        txn: TxnId(3),
+        idx: 0,
+    };
+    let w3v = OpAddr {
+        txn: TxnId(3),
+        idx: 1,
+    };
+    let r4t = OpAddr {
+        txn: TxnId(4),
+        idx: 0,
+    };
+    let r4v = OpAddr {
+        txn: TxnId(4),
+        idx: 1,
+    };
+    let w4t = OpAddr {
+        txn: TxnId(4),
+        idx: 2,
+    };
     let order = vec![
         OpId::Op(r2t),
         OpId::Op(w2t),
@@ -96,9 +123,18 @@ pub fn example_2_6_txns() -> Arc<TransactionSet> {
 /// `{T1 ↦ RC, T2 ↦ SI}`.
 pub fn example_2_6_schedule() -> Schedule {
     let txns = example_2_6_txns();
-    let w1 = OpAddr { txn: TxnId(1), idx: 0 };
-    let r2 = OpAddr { txn: TxnId(2), idx: 0 };
-    let w2 = OpAddr { txn: TxnId(2), idx: 1 };
+    let w1 = OpAddr {
+        txn: TxnId(1),
+        idx: 0,
+    };
+    let r2 = OpAddr {
+        txn: TxnId(2),
+        idx: 0,
+    };
+    let w2 = OpAddr {
+        txn: TxnId(2),
+        idx: 1,
+    };
     let order = vec![
         OpId::Op(r2),
         OpId::Op(w1),
@@ -132,9 +168,18 @@ pub fn example_5_2_txns() -> Arc<TransactionSet> {
 /// of schedule sets.
 pub fn example_5_2_schedule() -> Schedule {
     let txns = example_5_2_txns();
-    let w1t = OpAddr { txn: TxnId(1), idx: 0 };
-    let r2v = OpAddr { txn: TxnId(2), idx: 0 };
-    let r2t = OpAddr { txn: TxnId(2), idx: 1 };
+    let w1t = OpAddr {
+        txn: TxnId(1),
+        idx: 0,
+    };
+    let r2v = OpAddr {
+        txn: TxnId(2),
+        idx: 0,
+    };
+    let r2t = OpAddr {
+        txn: TxnId(2),
+        idx: 1,
+    };
     let order = vec![
         OpId::Op(w1t),
         OpId::Op(r2v),
@@ -206,11 +251,7 @@ mod tests {
                             && !(i1 == IsolationLevel::SSI
                                 && i2 == IsolationLevel::SSI
                                 && i3 == IsolationLevel::SSI);
-                        assert_eq!(
-                            allowed_under(&s, &a),
-                            expected,
-                            "allocation {a} misjudged"
-                        );
+                        assert_eq!(allowed_under(&s, &a), expected, "allocation {a} misjudged");
                         if expected {
                             allowed_count += 1;
                         }
@@ -243,8 +284,14 @@ mod tests {
     fn example_2_6_verdicts() {
         let s = example_2_6_schedule();
         assert!(!allowed_under(&s, &Allocation::uniform_si(s.txns())));
-        assert!(!allowed_under(&s, &Allocation::parse("T1=RC T2=SI").unwrap()));
-        assert!(allowed_under(&s, &Allocation::parse("T1=SI T2=RC").unwrap()));
+        assert!(!allowed_under(
+            &s,
+            &Allocation::parse("T1=RC T2=SI").unwrap()
+        ));
+        assert!(allowed_under(
+            &s,
+            &Allocation::parse("T1=SI T2=RC").unwrap()
+        ));
     }
 
     #[test]

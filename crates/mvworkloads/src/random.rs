@@ -73,11 +73,16 @@ impl RandomWorkload {
             }
             let mut t = b.txn(id);
             for (write, obj) in ops {
-                t = if write { t.write(objects[obj]) } else { t.read(objects[obj]) };
+                t = if write {
+                    t.write(objects[obj])
+                } else {
+                    t.read(objects[obj])
+                };
             }
             t.finish();
         }
-        b.build().expect("generator never emits duplicate operations")
+        b.build()
+            .expect("generator never emits duplicate operations")
     }
 }
 
@@ -175,9 +180,15 @@ mod tests {
 
     #[test]
     fn write_ratio_extremes() {
-        let all_reads = RandomWorkload::builder().write_ratio(0.0).seed(1).generate();
+        let all_reads = RandomWorkload::builder()
+            .write_ratio(0.0)
+            .seed(1)
+            .generate();
         assert!(all_reads.iter().all(|t| t.writes().count() == 0));
-        let all_writes = RandomWorkload::builder().write_ratio(1.0).seed(1).generate();
+        let all_writes = RandomWorkload::builder()
+            .write_ratio(1.0)
+            .seed(1)
+            .generate();
         assert!(all_writes.iter().all(|t| t.reads().count() == 0));
     }
 

@@ -65,9 +65,7 @@ impl Tpcc {
         let c_info = self.obj(format!("c{w}.{d}.{c}.info"));
         let item_objs: Vec<(Object, Object)> = items
             .iter()
-            .map(|i| {
-                (self.obj(format!("i{i}")), self.obj(format!("s{w}.{i}.qty")))
-            })
+            .map(|i| (self.obj(format!("i{i}")), self.obj(format!("s{w}.{i}.qty"))))
             .collect();
         let o_row = self.obj(format!("o{w}.{d}.{o}"));
         let oidx = self.obj(format!("oidx{w}.{d}.{c}"));
@@ -83,7 +81,13 @@ impl Tpcc {
             .collect();
         let olidx = self.obj(format!("olidx{w}.{d}"));
 
-        let mut t = self.b.txn(id).read(w_tax).read(d_no).write(d_no).read(c_info);
+        let mut t = self
+            .b
+            .txn(id)
+            .read(w_tax)
+            .read(d_no)
+            .write(d_no)
+            .read(c_info);
         for (item, stock) in item_objs {
             t = t.read(item).read(stock).write(stock);
         }
@@ -138,7 +142,13 @@ impl Tpcc {
                 )
             })
             .collect();
-        let mut t = self.b.txn(id).read(c_info).read(c_bal).read(oidx).read(o_row);
+        let mut t = self
+            .b
+            .txn(id)
+            .read(c_info)
+            .read(c_bal)
+            .read(oidx)
+            .read(o_row);
         for (ol_item, ol_dlv) in ol_objs {
             t = t.read(ol_item).read(ol_dlv);
         }
@@ -191,13 +201,13 @@ impl Tpcc {
         let olidx = self.obj(format!("olidx{w}.{d}"));
         let ol_objs: Vec<Object> = recent
             .iter()
-            .flat_map(|&(o, lines)| {
-                (0..lines).map(move |l| (o, l)).collect::<Vec<_>>()
-            })
+            .flat_map(|&(o, lines)| (0..lines).map(move |l| (o, l)).collect::<Vec<_>>())
             .map(|(o, l)| self.obj(format!("ol{w}.{d}.{o}.{l}.item")))
             .collect();
-        let stock_objs: Vec<Object> =
-            items.iter().map(|i| self.obj(format!("s{w}.{i}.qty"))).collect();
+        let stock_objs: Vec<Object> = items
+            .iter()
+            .map(|i| self.obj(format!("s{w}.{i}.qty")))
+            .collect();
         let mut t = self.b.txn(id).read(d_no).read(olidx);
         for ol in ol_objs {
             t = t.read(ol);

@@ -65,7 +65,14 @@ pub struct Ycsb {
 
 impl Ycsb {
     pub fn new(mix: YcsbMix) -> Self {
-        Ycsb { mix, num_txns: 10, ops_per_txn: 3, keyspace: 50, theta: 0.99, seed: 0 }
+        Ycsb {
+            mix,
+            num_txns: 10,
+            ops_per_txn: 3,
+            keyspace: 50,
+            theta: 0.99,
+            seed: 0,
+        }
     }
 
     pub fn txns(mut self, n: u32) -> Self {
@@ -98,8 +105,9 @@ impl Ycsb {
         let mut rng = SmallRng::seed_from_u64(self.seed);
         let zipf = Zipf::new(self.keyspace, self.theta);
         let mut b = TxnSetBuilder::new();
-        let keys: Vec<_> =
-            (0..self.keyspace).map(|k| b.object(&format!("user{k}"))).collect();
+        let keys: Vec<_> = (0..self.keyspace)
+            .map(|k| b.object(&format!("user{k}")))
+            .collect();
         let mut next_insert = self.keyspace as u32;
         for id in 1..=self.num_txns {
             // (kind, key): kind 0 = read, 1 = update (R+W), 2 = rmw (R+W),
@@ -201,14 +209,24 @@ mod tests {
 
     #[test]
     fn e_mix_scans_and_inserts() {
-        let e = Ycsb::new(YcsbMix::E).txns(40).ops_per_txn(2).seed(4).generate();
+        let e = Ycsb::new(YcsbMix::E)
+            .txns(40)
+            .ops_per_txn(2)
+            .seed(4)
+            .generate();
         // Scans produce read-heavy transactions; inserts write fresh keys.
         let reads: usize = e.iter().map(|t| t.reads().count()).sum();
         assert!(reads > 40, "scans dominate");
         let fresh_writes: usize = e
             .iter()
             .flat_map(|t| t.writes())
-            .filter(|&(_, o)| e.object_name(o).trim_start_matches("user").parse::<usize>().unwrap() >= 50)
+            .filter(|&(_, o)| {
+                e.object_name(o)
+                    .trim_start_matches("user")
+                    .parse::<usize>()
+                    .unwrap()
+                    >= 50
+            })
             .count();
         let total_writes: usize = e.iter().map(|t| t.writes().count()).sum();
         assert_eq!(fresh_writes, total_writes, "E writes only fresh keys");
@@ -216,8 +234,18 @@ mod tests {
 
     #[test]
     fn deterministic_and_parameterized() {
-        let a = Ycsb::new(YcsbMix::F).txns(10).keyspace(20).theta(0.5).seed(9).generate();
-        let b = Ycsb::new(YcsbMix::F).txns(10).keyspace(20).theta(0.5).seed(9).generate();
+        let a = Ycsb::new(YcsbMix::F)
+            .txns(10)
+            .keyspace(20)
+            .theta(0.5)
+            .seed(9)
+            .generate();
+        let b = Ycsb::new(YcsbMix::F)
+            .txns(10)
+            .keyspace(20)
+            .theta(0.5)
+            .seed(9)
+            .generate();
         assert_eq!(a, b);
         assert_eq!(a.len(), 10);
         assert!(a.contains(TxnId(10)));

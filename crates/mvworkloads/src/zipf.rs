@@ -83,7 +83,11 @@ mod tests {
             }
         }
         // With θ = 1.2 over 100 items, the top-10 mass is ≳ 70%.
-        assert!(low as f64 / N as f64 > 0.6, "low mass: {}", low as f64 / N as f64);
+        assert!(
+            low as f64 / N as f64 > 0.6,
+            "low mass: {}",
+            low as f64 / N as f64
+        );
     }
 
     #[test]

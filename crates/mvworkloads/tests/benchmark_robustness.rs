@@ -116,7 +116,12 @@ fn tpcc_larger_mix_still_si_robust() {
             t.order_status(1, d, c, order_no - 50, 2);
         }
         t.delivery(1, d, 1, order_no - 50, 2);
-        t.stock_level(1, d, &[(order_no, 2), (order_no - 50, 2)], &[99, d * 10 + 1]);
+        t.stock_level(
+            1,
+            d,
+            &[(order_no, 2), (order_no - 50, 2)],
+            &[99, d * 10 + 1],
+        );
     }
     let set = t.build().unwrap();
     assert!(set.len() >= 24);
@@ -125,7 +130,10 @@ fn tpcc_larger_mix_still_si_robust() {
     let opt = optimal_allocation(&set);
     assert!(is_robust(&set, &opt).robust());
     let (_rc, _si, ssi) = opt.counts();
-    assert_eq!(ssi, 0, "an SI-robust workload never needs SSI in its optimum");
+    assert_eq!(
+        ssi, 0,
+        "an SI-robust workload never needs SSI in its optimum"
+    );
 }
 
 /// YCSB mixes, pinned at a fixed seed: the read-only mix C is robust
@@ -134,7 +142,11 @@ fn tpcc_larger_mix_still_si_robust() {
 #[test]
 fn ycsb_mix_robustness() {
     use mvworkloads::{Ycsb, YcsbMix};
-    let c = Ycsb::new(YcsbMix::C).txns(20).keyspace(50).seed(0xB5D).generate();
+    let c = Ycsb::new(YcsbMix::C)
+        .txns(20)
+        .keyspace(50)
+        .seed(0xB5D)
+        .generate();
     assert!(is_robust(&c, &Allocation::uniform_rc(&c)).robust());
     assert_eq!(optimal_allocation(&c), Allocation::uniform_rc(&c));
 

@@ -25,8 +25,7 @@ fn main() {
     for (from, to) in [(1u32, 2u32), (1, 4), (2, 3), (2, 4), (3, 4), (4, 2)] {
         let labels = g.edge_labels(from.into(), to.into());
         if !labels.is_empty() {
-            let kinds: Vec<String> =
-                labels.iter().map(|e| e.kind.to_string()).collect();
+            let kinds: Vec<String> = labels.iter().map(|e| e.kind.to_string()).collect();
             println!("  T{from} → T{to}  [{}]", kinds.join(", "));
         }
     }
@@ -68,10 +67,16 @@ fn main() {
     let si = Allocation::uniform_si(&txns);
     let (spec, witness) = counterexample_schedule(&txns, &si).expect("not robust");
     println!("spec: {spec}");
-    println!("  T1 splits after {}; the middle T2 runs serially between the halves,", spec.b1);
+    println!(
+        "  T1 splits after {}; the middle T2 runs serially between the halves,",
+        spec.b1
+    );
     println!("  matching Figure 1: prefix(T1) · T2 · … · Tm · postfix(T1) · rest");
     println!("witness schedule:");
     println!("{}", schedule_full(&witness));
     println!("  allowed under all-SI: {}", allowed_under(&witness, &si));
-    println!("  conflict serializable: {}", is_conflict_serializable(&witness));
+    println!(
+        "  conflict serializable: {}",
+        is_conflict_serializable(&witness)
+    );
 }

@@ -11,10 +11,10 @@
 //! ```
 
 use mvrobust::isolation::{Allocation, IsolationLevel};
+use mvrobust::model::parse_transactions;
 use mvrobust::model::serializability::is_conflict_serializable;
 use mvrobust::robustness::optimal_allocation;
 use mvrobust::sim::{run_jobs, Job, Metrics, SimConfig};
-use mvrobust::model::parse_transactions;
 use mvrobust::workloads::smallbank::SmallBank;
 use mvrobust::workloads::tpcc::Tpcc;
 
@@ -29,7 +29,11 @@ fn main() {
     let mut text = mvrobust::model::fmt::transaction_set(&front);
     for t in back.iter() {
         let line = mvrobust::model::fmt::transaction(&back, t);
-        let renumbered = format!("T{}:{}", t.id().0 + front.len() as u32, line.split_once(':').expect("has id").1);
+        let renumbered = format!(
+            "T{}:{}",
+            t.id().0 + front.len() as u32,
+            line.split_once(':').expect("has id").1
+        );
         text.push_str(&renumbered);
         text.push('\n');
     }
@@ -50,7 +54,10 @@ fn main() {
         "allocation", "commits", "aborts", "goodput", "abort rate", "serializable"
     );
     for (label, alloc) in [
-        ("all-RC (unsafe)", Allocation::uniform(&txns, IsolationLevel::RC)),
+        (
+            "all-RC (unsafe)",
+            Allocation::uniform(&txns, IsolationLevel::RC),
+        ),
         ("all-SI", Allocation::uniform(&txns, IsolationLevel::SI)),
         ("all-SSI", Allocation::uniform(&txns, IsolationLevel::SSI)),
         ("optimal mixed", optimal.clone()),

@@ -17,8 +17,13 @@ use mvrobust::workloads::smallbank::SmallBank;
 
 fn main() {
     let txns = SmallBank::canonical_mix();
-    let names =
-        ["Balance", "DepositChecking", "TransactSavings", "Amalgamate", "WriteCheck"];
+    let names = [
+        "Balance",
+        "DepositChecking",
+        "TransactSavings",
+        "Amalgamate",
+        "WriteCheck",
+    ];
     println!("SmallBank canonical mix: {} transactions", txns.len());
 
     println!(
@@ -50,8 +55,10 @@ fn main() {
         .collect();
     let mut broke = None;
     for seed in 0..100 {
-        let engine =
-            run_jobs(&si_jobs, SimConfig::default().with_seed(seed).with_concurrency(5));
+        let engine = run_jobs(
+            &si_jobs,
+            SimConfig::default().with_seed(seed).with_concurrency(5),
+        );
         let exported = engine.trace.export().expect("trace on");
         if !is_conflict_serializable(&exported.schedule) {
             broke = Some((seed, exported.schedule));
@@ -70,18 +77,24 @@ fn main() {
     // serializable executions.
     let safe_jobs: Vec<Job> = (0..4)
         .flat_map(|_| {
-            txns.iter().map(|t| Job::new(t.ops().to_vec(), best.level(t.id())))
+            txns.iter()
+                .map(|t| Job::new(t.ops().to_vec(), best.level(t.id())))
         })
         .collect();
     let mut all_serializable = true;
     for seed in 0..100 {
-        let engine =
-            run_jobs(&safe_jobs, SimConfig::default().with_seed(seed).with_concurrency(5));
+        let engine = run_jobs(
+            &safe_jobs,
+            SimConfig::default().with_seed(seed).with_concurrency(5),
+        );
         let exported = engine.trace.export().expect("trace on");
         all_serializable &= is_conflict_serializable(&exported.schedule);
     }
     println!(
         "\nunder the optimal allocation, 100/100 simulated runs serializable: {all_serializable}"
     );
-    assert!(all_serializable, "robust allocation must never admit an anomaly");
+    assert!(
+        all_serializable,
+        "robust allocation must never admit an anomaly"
+    );
 }

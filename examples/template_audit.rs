@@ -43,14 +43,23 @@ fn main() {
     // Restock(i) tops it up; Report reads a fixed dashboard row that
     // Restock refreshes.
     let mut api = TemplateSet::new();
-    api.add(Template::new("Reserve").read("stock", 0).write("stock", 0).write("resv", 0));
+    api.add(
+        Template::new("Reserve")
+            .read("stock", 0)
+            .write("stock", 0)
+            .write("resv", 0),
+    );
     api.add(
         Template::new("Restock")
             .read("stock", 0)
             .write("stock", 0)
             .write_fixed("dashboard"),
     );
-    api.add(Template::new("Report").read_fixed("dashboard").read("stock", 0));
+    api.add(
+        Template::new("Report")
+            .read_fixed("dashboard")
+            .read("stock", 0),
+    );
 
     println!("\ninventory API:");
     let best = optimal_template_allocation(&api, 2, 2);

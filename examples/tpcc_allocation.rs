@@ -13,7 +13,11 @@ use mvrobust::workloads::tpcc::Tpcc;
 
 fn main() {
     let txns = Tpcc::canonical_mix();
-    println!("TPC-C canonical mix: {} transactions, {} operations", txns.len(), txns.total_ops());
+    println!(
+        "TPC-C canonical mix: {} transactions, {} operations",
+        txns.len(),
+        txns.total_ops()
+    );
     let names = [
         "NewOrder(w1,d1,c7)",
         "Payment(w1,d1,c7)",

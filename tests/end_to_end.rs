@@ -37,9 +37,7 @@ fn parse_allocate_simulate_validate() {
 
     // The oracle agrees — checked on the tractable c-pair sub-workload
     // (the full five-transaction set has ~10⁸ interleavings).
-    let sub = Arc::new(
-        parse_transactions("T3: R[c] W[c]\nT4: R[c] W[c]").unwrap(),
-    );
+    let sub = Arc::new(parse_transactions("T3: R[c] W[c]\nT4: R[c] W[c]").unwrap());
     assert!(oracle_is_robust(&sub, &Allocation::uniform_si(&sub)));
     assert!(!oracle_is_robust(&sub, &Allocation::uniform_rc(&sub)));
 
@@ -52,7 +50,10 @@ fn parse_allocate_simulate_validate() {
         for seed in 0..10 {
             let engine = run_jobs(
                 &jobs,
-                SimConfig::default().with_seed(seed).with_concurrency(5).with_ssi_mode(mode),
+                SimConfig::default()
+                    .with_seed(seed)
+                    .with_concurrency(5)
+                    .with_ssi_mode(mode),
             );
             let exported = engine.trace.export().unwrap();
             assert!(allowed_under(&exported.schedule, &exported.allocation));
@@ -83,8 +84,14 @@ fn figure_2_and_3_reproduced() {
 fn example_2_6_reproduced() {
     let s = paper::example_2_6_schedule();
     assert!(!allowed_under(&s, &Allocation::uniform_si(s.txns())));
-    assert!(!allowed_under(&s, &Allocation::parse("T1=RC T2=SI").unwrap()));
-    assert!(allowed_under(&s, &Allocation::parse("T1=SI T2=RC").unwrap()));
+    assert!(!allowed_under(
+        &s,
+        &Allocation::parse("T1=RC T2=SI").unwrap()
+    ));
+    assert!(allowed_under(
+        &s,
+        &Allocation::parse("T1=SI T2=RC").unwrap()
+    ));
 }
 
 /// Example 5.2: SI-allowed but not RC-allowed.

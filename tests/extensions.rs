@@ -22,7 +22,11 @@ fn checker_reuse_matches_free_functions() {
     )
     .unwrap();
     let checker = RobustnessChecker::new(&txns);
-    for spec in ["T1=SI T2=SI T3=SI", "T1=SSI T2=SSI T3=RC", "T1=RC T2=RC T3=RC"] {
+    for spec in [
+        "T1=SI T2=SI T3=SI",
+        "T1=SSI T2=SSI T3=RC",
+        "T1=RC T2=RC T3=RC",
+    ] {
         let a = Allocation::parse(spec).unwrap();
         assert_eq!(
             checker.is_robust(&a).robust(),
@@ -75,8 +79,7 @@ fn witness_schedules_get_anomaly_labels() {
     // The SI write-skew witness must be labelled as a write skew.
     let txns = mvrobust::workloads::paper::write_skew_txns();
     let si = Allocation::uniform_si(&txns);
-    let (_, schedule) =
-        mvrobust::robustness::witness::counterexample_schedule(&txns, &si).unwrap();
+    let (_, schedule) = mvrobust::robustness::witness::counterexample_schedule(&txns, &si).unwrap();
     let skews = write_skews(&schedule);
     assert_eq!(skews.len(), 1);
     assert!(matches!(skews[0], Anomaly::WriteSkew { .. }));

@@ -15,7 +15,7 @@
 use mvrobust::isolation::{Allocation, IsolationLevel};
 use mvrobust::model::dependency::conflict_equivalent;
 use mvrobust::model::serializability::{equivalent_serial_schedule, is_conflict_serializable};
-use mvrobust::model::{Op, Schedule, TransactionSet, Transaction, TxnId};
+use mvrobust::model::{Op, Schedule, Transaction, TransactionSet, TxnId};
 use mvrobust::robustness::witness::counterexample_schedule;
 use mvrobust::robustness::{
     is_robust, optimal_allocation, optimal_allocation_rc_si, robustly_allocatable_rc_si,
@@ -26,7 +26,11 @@ use std::sync::Arc;
 /// Strategy: a workload of `1..=n_txns` transactions, each with
 /// `1..=max_ops` operations over `n_objects` objects (read-before-write
 /// per object enforced by dedup).
-fn workloads(n_txns: usize, max_ops: usize, n_objects: u32) -> impl Strategy<Value = Arc<TransactionSet>> {
+fn workloads(
+    n_txns: usize,
+    max_ops: usize,
+    n_objects: u32,
+) -> impl Strategy<Value = Arc<TransactionSet>> {
     prop::collection::vec(
         prop::collection::vec((0..n_objects, prop::bool::ANY), 1..=max_ops),
         1..=n_txns,
@@ -45,8 +49,9 @@ fn workloads(n_txns: usize, max_ops: usize, n_objects: u32) -> impl Strategy<Val
                     // Keep reads before writes on the same object.
                     if op.is_write() {
                         ops.push(op);
-                    } else if let Some(pos) =
-                        ops.iter().position(|o| o.is_write() && o.object == op.object)
+                    } else if let Some(pos) = ops
+                        .iter()
+                        .position(|o| o.is_write() && o.object == op.object)
                     {
                         ops.insert(pos, op);
                     } else {
