@@ -1,0 +1,136 @@
+//! B10 table generator: incremental delta reallocation (`add_txn` /
+//! `remove_txn`) vs. recomputing `Allocator::optimal` from scratch.
+//!
+//! ```sh
+//! cargo run --release -p mvbench --bin sweep_delta [--json BENCH_alg.json]
+//! ```
+//!
+//! For each |T| a medium-contention workload of |T|+1 transactions is
+//! built; the last transaction is the "churn" member. The delta path is
+//! one steady-state `add_txn` + `remove_txn` cycle on a warm allocator
+//! (two reallocation events); the baseline is two cold `optimal()`
+//! recomputations over the corresponding sets. Before timing, the delta
+//! results are asserted bit-identical to the full recomputation on the
+//! same membership. With `--json PATH` the rows are merged into the
+//! existing document under a `"delta"` key (B9 rows are preserved).
+
+use mvbench::{workload, Contention};
+use mvrobustness::Allocator;
+use serde_json::{json, Value};
+use std::time::Instant;
+
+fn time<R, F: FnMut() -> R>(mut f: F) -> f64 {
+    // Warm up once, then time enough iterations for ≥ ~50ms.
+    f();
+    let mut iters = 1u32;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        if elapsed > 0.05 || iters >= 1 << 16 {
+            return elapsed / iters as f64;
+        }
+        iters *= 4;
+    }
+}
+
+fn main() {
+    let json_path = {
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        argv.iter().position(|a| a == "--json").map(|i| {
+            argv.get(i + 1).cloned().unwrap_or_else(|| {
+                eprintln!("--json requires a path");
+                std::process::exit(2);
+            })
+        })
+    };
+
+    println!("## B10 — delta reallocation vs. full recompute (seconds per reallocation)\n");
+    println!("| |T| | full optimal (s) | delta add+remove (s) | per-event speedup | probes/add | cache hits/add |");
+    println!("|---|---|---|---|---|---|");
+
+    let mut rows: Vec<Value> = Vec::new();
+    for n in [16u32, 64, 256] {
+        let full_set = workload(n + 1, Contention::Medium, 0xD5);
+        let churn_id = full_set.ids().max().expect("non-empty workload");
+        let mut base = full_set.clone();
+        let churn = base.remove(churn_id).expect("churn member present");
+
+        // Correctness first: the delta path must match a recomputation
+        // from scratch on the same membership, bit for bit.
+        let (expect_full, _) = Allocator::new(&full_set).optimal();
+        let (expect_base, _) = Allocator::new(&base).optimal();
+        let mut alloc = Allocator::from_owned(base.clone());
+        let added = alloc.add_txn(churn.clone()).expect("allocatable add");
+        assert_eq!(
+            added.allocation, expect_full,
+            "delta add diverged at |T|={n}"
+        );
+        let removed = alloc.remove_txn(churn_id).expect("member removal");
+        assert_eq!(
+            removed.allocation, expect_base,
+            "delta remove diverged at |T|={n}"
+        );
+        let add_stats = {
+            let r = alloc.add_txn(churn.clone()).expect("allocatable re-add");
+            alloc.remove_txn(churn_id).expect("member removal");
+            r.stats
+        };
+
+        // One cycle = two reallocation events on each side.
+        let t_full = time(|| {
+            let a = Allocator::new(&full_set).optimal().0;
+            let b = Allocator::new(&base).optimal().0;
+            a.is_empty() ^ b.is_empty()
+        });
+        let t_delta = time(|| {
+            alloc.add_txn(churn.clone()).expect("allocatable add");
+            alloc.remove_txn(churn_id).expect("member removal");
+        });
+        let speedup = t_full / t_delta;
+
+        println!(
+            "| {} | {:.3e} | {:.3e} | {:.2}× | {} | {} |",
+            n + 1,
+            t_full / 2.0,
+            t_delta / 2.0,
+            speedup,
+            add_stats.probes,
+            add_stats.cache_hits,
+        );
+        rows.push(json!({
+            "txns": (n + 1) as u64,
+            "full_per_event_s": t_full / 2.0,
+            "delta_per_event_s": t_delta / 2.0,
+            "speedup": speedup,
+            "add_probes": add_stats.probes,
+            "add_cache_hits": add_stats.cache_hits,
+        }));
+    }
+
+    if let Some(path) = json_path {
+        // Merge under "delta" without clobbering whatever (e.g. the B9
+        // table) is already in the file.
+        let mut doc: Value = std::fs::read_to_string(&path)
+            .ok()
+            .and_then(|text| serde_json::from_str(&text).ok())
+            .unwrap_or_else(|| json!({}));
+        doc["delta"] = json!({
+            "experiment": "B10-delta-vs-full",
+            "contention": "medium",
+            "seed": "0xD5",
+            "rows": rows,
+        });
+        std::fs::write(
+            &path,
+            serde_json::to_string_pretty(&doc).expect("valid json"),
+        )
+        .unwrap_or_else(|e| {
+            eprintln!("writing {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("\nmerged delta rows into {path}");
+    }
+}

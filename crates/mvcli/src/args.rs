@@ -18,6 +18,7 @@ pub struct Parsed {
 /// Options that take a value; everything else starting with `--` is a
 /// boolean flag.
 const VALUED: &[&str] = &[
+    "addr",
     "alloc",
     "level",
     "levels",
@@ -83,6 +84,18 @@ impl Parsed {
             Some(0) => Err("--threads must be at least 1".into()),
             Some(n) => Ok(n),
             None => Ok(1),
+        }
+    }
+
+    /// `--levels rc-si|rc-si-ssi` (default rc-si-ssi): the isolation
+    /// menu for `allocate` and `serve`. Unknown spellings fail with the
+    /// accepted ones listed.
+    pub fn level_set(&self) -> Result<mvrobustness::LevelSet, String> {
+        match self.option("levels") {
+            None => Ok(mvrobustness::LevelSet::default()),
+            Some(v) => v
+                .parse::<mvrobustness::LevelSet>()
+                .map_err(|e| format!("invalid --levels: {e}")),
         }
     }
 

@@ -2,19 +2,19 @@
 
 use crate::args::Parsed;
 use crate::output;
-use mvrobustness::Allocator;
+use mvrobustness::{Allocator, LevelSet};
 use serde_json::json;
 use std::process::ExitCode;
 
 pub fn run(argv: &[String]) -> Result<ExitCode, String> {
     let parsed = Parsed::parse(argv)?;
     let txns = parsed.load_workload()?;
-    let levels = parsed.option("levels").unwrap_or("rc-si-ssi");
+    let levels = parsed.level_set()?;
     let explain = parsed.flag("explain");
     let allocator = Allocator::new(&txns).with_threads(parsed.threads()?);
 
     let (alloc, reasons, stats) = match levels {
-        "rc-si-ssi" | "RC-SI-SSI" => {
+        LevelSet::RcSiSsi => {
             if explain {
                 let (a, r, s) = allocator.optimal_explained();
                 (Some(a), r, s)
@@ -23,16 +23,15 @@ pub fn run(argv: &[String]) -> Result<ExitCode, String> {
                 (Some(a), Vec::new(), s)
             }
         }
-        "rc-si" | "RC-SI" => {
+        LevelSet::RcSi => {
             let (a, s) = allocator.optimal_rc_si();
             (a, Vec::new(), s)
         }
-        other => return Err(format!("invalid --levels `{other}` (rc-si or rc-si-ssi)")),
     };
 
     if parsed.flag("json") {
         let j = json!({
-            "levels": levels,
+            "levels": levels.label(),
             "allocatable": alloc.is_some(),
             "allocation": alloc.as_ref().map(|a| a.to_string()),
             "counts": alloc.as_ref().map(|a| {

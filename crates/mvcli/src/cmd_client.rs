@@ -1,0 +1,173 @@
+//! `mvrobust client`: talk to a running allocation daemon.
+//!
+//! ```text
+//! mvrobust client register "T1: R[x] W[y]" [--addr HOST:PORT] [--json]
+//! mvrobust client deregister T1 | assign T1 | stats | list | ping | shutdown
+//! ```
+//!
+//! Exit code 0 = success, 1 = the server replied with a structured
+//! error (e.g. unknown transaction, unallocatable workload), 2 = usage
+//! or transport error.
+
+use crate::args::Parsed;
+use mvservice::{Client, ClientError};
+use serde_json::Value;
+use std::process::ExitCode;
+
+pub fn run(argv: &[String]) -> Result<ExitCode, String> {
+    let parsed = Parsed::parse(argv)?;
+    let addr = parsed.option("addr").unwrap_or("127.0.0.1:7411");
+    let json = parsed.flag("json");
+    let mut args = parsed.positional.iter();
+    let verb = args.next().ok_or(
+        "client needs a subcommand: register, deregister, assign, stats, list, ping or shutdown",
+    )?;
+    let mut client = Client::connect(addr)
+        .map_err(|e| format!("connecting to {addr}: {e} (is `mvrobust serve` running?)"))?;
+
+    let result = match verb.as_str() {
+        "register" => {
+            let line = args
+                .next()
+                .ok_or("register needs a transaction line, e.g. `T1: R[x] W[y]`")?;
+            client.register(line).map(|reply| {
+                if json {
+                    print_json(&reply);
+                } else {
+                    println!(
+                        "registered T{} at {} ({} transactions)",
+                        reply["txn_id"],
+                        show(&reply["level"]),
+                        reply["registry_size"]
+                    );
+                    print_changes(&reply["changed"]);
+                }
+            })
+        }
+        "deregister" => {
+            let id = parse_txn_arg(args.next(), "deregister")?;
+            client.deregister(id).map(|reply| {
+                if json {
+                    print_json(&reply);
+                } else {
+                    println!(
+                        "deregistered T{id} ({} transactions)",
+                        reply["registry_size"]
+                    );
+                    print_changes(&reply["changed"]);
+                }
+            })
+        }
+        "assign" => {
+            let id = parse_txn_arg(args.next(), "assign")?;
+            client.assign(id).map(|level| {
+                if json {
+                    print_json(&serde_json::json!({"txn_id": id, "level": level.as_str()}));
+                } else {
+                    println!("{level}");
+                }
+            })
+        }
+        "stats" => client.stats().map(|reply| {
+            if json {
+                print_json(&reply);
+            } else {
+                println!(
+                    "registry: {} transactions (levels {})",
+                    reply["registry_size"],
+                    show(&reply["levels"])
+                );
+                println!(
+                    "requests: {} total, {} errors (p50 {}µs, p99 {}µs)",
+                    reply["total"],
+                    reply["errors"],
+                    reply["latency_us"]["p50"],
+                    reply["latency_us"]["p99"]
+                );
+                if !reply["last_realloc"].is_null() {
+                    let r = &reply["last_realloc"];
+                    println!(
+                        "last reallocation: {} probes, {} cache hits, {} cached specs, {}µs",
+                        r["probes"], r["cache_hits"], r["cached_specs"], r["wall_us"]
+                    );
+                }
+            }
+        }),
+        "list" => client.list().map(|reply| {
+            if json {
+                print_json(&reply);
+            } else if let Some(txns) = reply["txns"].as_array() {
+                for t in txns {
+                    println!("{}  [{}]", show(&t["text"]), show(&t["level"]));
+                }
+            }
+        }),
+        "ping" => client.ping().map(|()| {
+            if json {
+                print_json(&serde_json::json!({"ok": true, "pong": true}));
+            } else {
+                println!("pong");
+            }
+        }),
+        "shutdown" => client.shutdown().map(|()| {
+            if json {
+                print_json(&serde_json::json!({"ok": true, "shutting_down": true}));
+            } else {
+                println!("server shutting down");
+            }
+        }),
+        other => {
+            return Err(format!(
+                "unknown client subcommand `{other}` (expected register, deregister, assign, stats, list, ping or shutdown)"
+            ))
+        }
+    };
+
+    match result {
+        Ok(()) => Ok(ExitCode::SUCCESS),
+        Err(ClientError::Server(msg)) => {
+            eprintln!("server error: {msg}");
+            Ok(ExitCode::from(1))
+        }
+        Err(e) => Err(e.to_string()),
+    }
+}
+
+/// Accepts `T7` or bare `7`.
+fn parse_txn_arg(arg: Option<&String>, verb: &str) -> Result<u32, String> {
+    let raw = arg.ok_or_else(|| format!("{verb} needs a transaction id (e.g. T7)"))?;
+    let digits = raw
+        .strip_prefix('T')
+        .or_else(|| raw.strip_prefix('t'))
+        .unwrap_or(raw);
+    digits
+        .parse::<u32>()
+        .map_err(|_| format!("invalid transaction id `{raw}`"))
+}
+
+/// JSON strings unquoted for human-readable output; everything else as
+/// its JSON rendering.
+fn show(v: &Value) -> String {
+    v.as_str()
+        .map(str::to_string)
+        .unwrap_or_else(|| v.to_string())
+}
+
+fn print_json(v: &Value) {
+    println!(
+        "{}",
+        serde_json::to_string_pretty(v).expect("replies are encodable")
+    );
+}
+
+/// Renders the `changed` array as `  T5: SI → SSI` lines.
+fn print_changes(changed: &Value) {
+    let Some(entries) = changed.as_array() else {
+        return;
+    };
+    for c in entries {
+        let before = c["before"].as_str().unwrap_or("∅");
+        let after = c["after"].as_str().unwrap_or("∅");
+        println!("  T{}: {before} → {after}", c["txn"]);
+    }
+}

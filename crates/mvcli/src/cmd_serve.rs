@@ -1,0 +1,42 @@
+//! `mvrobust serve`: run the online allocation daemon.
+//!
+//! ```text
+//! mvrobust serve [--addr HOST:PORT] [--levels rc-si|rc-si-ssi] [--threads N]
+//! ```
+//!
+//! Prints `listening on <addr>` once the socket is bound (with the
+//! ephemeral port resolved, so `--addr 127.0.0.1:0` is scriptable),
+//! then serves until a client sends `shutdown` or the process receives
+//! `SIGINT`/`SIGTERM`.
+
+use crate::args::Parsed;
+use mvservice::{install_signal_handlers, Config, Server};
+use std::process::ExitCode;
+
+pub fn run(argv: &[String]) -> Result<ExitCode, String> {
+    let parsed = Parsed::parse(argv)?;
+    if let Some(extra) = parsed.positional.first() {
+        return Err(format!(
+            "serve takes no positional argument (got `{extra}`)"
+        ));
+    }
+    let config = Config {
+        addr: parsed
+            .option("addr")
+            .unwrap_or("127.0.0.1:7411")
+            .to_string(),
+        levels: parsed.level_set()?,
+        threads: parsed.threads()?,
+        ..Config::default()
+    };
+    let levels = config.levels;
+    let server = Server::bind(config).map_err(|e| format!("binding listener: {e}"))?;
+    let addr = server.local_addr().map_err(|e| e.to_string())?;
+    install_signal_handlers();
+    // Stdout is line-buffered: this line is visible to a parent process
+    // (or test harness) immediately, before the accept loop blocks.
+    println!("listening on {addr} (levels {levels})");
+    server.run().map_err(|e| format!("serving: {e}"))?;
+    println!("shut down cleanly");
+    Ok(ExitCode::SUCCESS)
+}

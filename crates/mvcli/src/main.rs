@@ -8,6 +8,9 @@
 //! mvrobust simulate [FILE] [--alloc … | --level … | --optimal]
 //!                   [--concurrency N] [--seed N] [--repeat K]
 //!                   [--ssi-mode exact|conservative] [--json]
+//! mvrobust serve    [--addr HOST:PORT] [--levels rc-si|rc-si-ssi] [--threads N]
+//! mvrobust client   <register|deregister|assign|stats|list|ping|shutdown> [ARG]
+//!                   [--addr HOST:PORT] [--json]
 //! ```
 //!
 //! `FILE` contains one transaction per line (`T1: R[x] W[y]`); `-` or no
@@ -20,6 +23,8 @@ mod args;
 mod cmd_allocate;
 mod cmd_analyze;
 mod cmd_check;
+mod cmd_client;
+mod cmd_serve;
 mod cmd_simulate;
 mod cmd_witness;
 mod output;
@@ -66,6 +71,8 @@ fn run(argv: &[String]) -> Result<ExitCode, String> {
         "analyze" => cmd_analyze::run(rest),
         "witness" => cmd_witness::run(rest),
         "simulate" => cmd_simulate::run(rest),
+        "serve" => cmd_serve::run(rest),
+        "client" => cmd_client::run(rest),
         "help" | "--help" | "-h" => {
             print_usage();
             Ok(ExitCode::SUCCESS)
@@ -85,7 +92,10 @@ fn print_usage() {
          mvrobust analyze  [FILE] [--json]\n  \
          mvrobust witness  [FILE] (--alloc ... | --level ...) [--json]\n  \
          mvrobust simulate [FILE] [--alloc ... | --level ... | --optimal]\n            \
-         [--concurrency N] [--seed N] [--repeat K] [--ssi-mode exact|conservative] [--json]\n\n\
+         [--concurrency N] [--seed N] [--repeat K] [--ssi-mode exact|conservative] [--json]\n  \
+         mvrobust serve    [--addr HOST:PORT] [--levels rc-si|rc-si-ssi] [--threads N]\n  \
+         mvrobust client   <register \"T1: R[x]\" | deregister T1 | assign T1 | stats | list |\n            \
+         ping | shutdown> [--addr HOST:PORT] [--json]\n\n\
          FILE holds one transaction per line, e.g. `T1: R[x] W[y]`; `-` reads stdin."
     );
 }

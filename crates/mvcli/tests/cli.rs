@@ -1,7 +1,7 @@
 //! End-to-end tests of the `mvrobust` binary.
 
-use std::io::Write;
-use std::process::{Command, Stdio};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::process::{Child, Command, Stdio};
 
 const SKEW: &str = "T1: R[x] W[y]\nT2: R[y] W[x]\n";
 const DISJOINT: &str = "T1: R[x] W[x]\nT2: R[y] W[y]\n";
@@ -212,6 +212,107 @@ fn analyze_disjoint_workload() {
     assert_eq!(j["robust_rc"], true);
     assert_eq!(j["optimal_counts"]["RC"], 2);
     assert_eq!(j["optimal_rc_si"], "T1=RC T2=RC");
+}
+
+#[test]
+fn allocate_rejects_unknown_level_set() {
+    let (_, stderr, code) = run_with_stdin(&["allocate", "--levels", "rc-only"], SKEW);
+    assert_eq!(code, 2);
+    assert!(stderr.contains("unknown level set"), "{stderr}");
+    assert!(stderr.contains("rc-si, rc-si-ssi"), "{stderr}");
+    let (_, stderr, code) = run_with_stdin(&["serve", "--levels", "everything"], "");
+    assert_eq!(code, 2);
+    assert!(stderr.contains("rc-si, rc-si-ssi"), "{stderr}");
+}
+
+/// Spawns `mvrobust serve --addr 127.0.0.1:0` and reads the resolved
+/// address from its first stdout line. The returned reader must stay
+/// alive until the server exits — closing the pipe early would kill the
+/// server with SIGPIPE on its shutdown message.
+fn spawn_server(extra: &[&str]) -> (Child, String, BufReader<std::process::ChildStdout>) {
+    let mut child = bin()
+        .args(["serve", "--addr", "127.0.0.1:0"])
+        .args(extra)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn mvrobust serve");
+    let stdout = child.stdout.take().expect("stdout piped");
+    let mut reader = BufReader::new(stdout);
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read listening line");
+    let addr = line
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner: {line:?}"))
+        .split_whitespace()
+        .next()
+        .expect("address token")
+        .to_string();
+    (child, addr, reader)
+}
+
+fn client(addr: &str, args: &[&str]) -> (String, String, i32) {
+    let mut full = vec!["client"];
+    full.extend_from_slice(args);
+    full.extend_from_slice(&["--addr", addr]);
+    run_with_stdin(&full, "")
+}
+
+#[test]
+fn serve_and_client_round_trip() {
+    let (mut server, addr, mut server_out) = spawn_server(&[]);
+
+    let (stdout, stderr, code) = client(&addr, &["ping"]);
+    assert_eq!(code, 0, "{stderr}");
+    assert!(stdout.contains("pong"));
+
+    let (stdout, stderr, code) = client(&addr, &["register", "T1: R[x] W[y]"]);
+    assert_eq!(code, 0, "{stderr}");
+    assert!(stdout.contains("registered T1"), "{stdout}");
+    let (_, _, code) = client(&addr, &["register", "T2: R[y] W[x]"]);
+    assert_eq!(code, 0);
+
+    // Write skew: both partners need SSI under the full menu.
+    let (stdout, _, code) = client(&addr, &["assign", "T1"]);
+    assert_eq!(code, 0);
+    assert_eq!(stdout.trim(), "SSI");
+
+    let (stdout, _, code) = client(&addr, &["stats", "--json"]);
+    assert_eq!(code, 0);
+    let j: serde_json::Value = serde_json::from_str(&stdout).expect("valid json");
+    assert_eq!(j["registry_size"], 2);
+    assert_eq!(j["levels"], "rc-si-ssi");
+
+    // Structured server errors exit 1, not 2.
+    let (_, stderr, code) = client(&addr, &["assign", "T9"]);
+    assert_eq!(code, 1);
+    assert!(stderr.contains("server error"), "{stderr}");
+
+    let (_, _, code) = client(&addr, &["shutdown"]);
+    assert_eq!(code, 0);
+    let status = server.wait().expect("server exit");
+    assert_eq!(status.code(), Some(0));
+    let mut rest = String::new();
+    server_out.read_to_string(&mut rest).expect("drain stdout");
+    assert!(rest.contains("shut down cleanly"), "{rest}");
+}
+
+#[test]
+fn serve_rc_si_mode_rejects_unallocatable_registration() {
+    let (mut server, addr, _server_out) = spawn_server(&["--levels", "rc-si"]);
+    let (_, _, code) = client(&addr, &["register", "T1: R[x] W[y]"]);
+    assert_eq!(code, 0);
+    // The write-skew partner has no robust {RC, SI} allocation.
+    let (_, stderr, code) = client(&addr, &["register", "T2: R[y] W[x]"]);
+    assert_eq!(code, 1);
+    assert!(stderr.contains("rc-si"), "{stderr}");
+    // The rollback kept the registry serving.
+    let (stdout, _, code) = client(&addr, &["assign", "T1"]);
+    assert_eq!(code, 0);
+    assert_eq!(stdout.trim(), "RC");
+    let (_, _, code) = client(&addr, &["shutdown"]);
+    assert_eq!(code, 0);
+    server.wait().expect("server exit");
 }
 
 #[test]

@@ -70,6 +70,40 @@ impl Allocation {
         self.levels.insert(txn, level);
     }
 
+    /// Removes a transaction from the domain, returning its old level.
+    pub fn remove(&mut self, txn: TxnId) -> Option<IsolationLevel> {
+        self.levels.remove(&txn)
+    }
+
+    /// The pointwise difference `self → newer`: every transaction whose
+    /// level changed, entered the domain (`before == None`) or left it
+    /// (`after == None`), in ascending id order. An empty result means
+    /// the allocations are identical.
+    pub fn diff(&self, newer: &Allocation) -> Vec<LevelChange> {
+        let mut out = Vec::new();
+        for (txn, level) in self.iter() {
+            let after = newer.get(txn);
+            if after != Some(level) {
+                out.push(LevelChange {
+                    txn,
+                    before: Some(level),
+                    after,
+                });
+            }
+        }
+        for (txn, level) in newer.iter() {
+            if self.get(txn).is_none() {
+                out.push(LevelChange {
+                    txn,
+                    before: None,
+                    after: Some(level),
+                });
+            }
+        }
+        out.sort_by_key(|c| c.txn);
+        out
+    }
+
     /// Whether the allocation's domain covers every transaction of `txns`.
     pub fn covers(&self, txns: &TransactionSet) -> bool {
         txns.ids().all(|t| self.levels.contains_key(&t))
@@ -145,6 +179,33 @@ impl Allocation {
             levels.insert(TxnId(id), l.trim().parse()?);
         }
         Ok(Allocation { levels })
+    }
+}
+
+/// One entry of [`Allocation::diff`]: a transaction whose level differs
+/// between two allocations. `before`/`after` are `None` when the
+/// transaction is absent from the respective domain (registered or
+/// retired between the two).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct LevelChange {
+    pub txn: TxnId,
+    pub before: Option<IsolationLevel>,
+    pub after: Option<IsolationLevel>,
+}
+
+impl fmt::Display for LevelChange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let show = |l: Option<IsolationLevel>| match l {
+            Some(l) => l.to_string(),
+            None => "∅".to_string(),
+        };
+        write!(
+            f,
+            "{}: {} → {}",
+            self.txn,
+            show(self.before),
+            show(self.after)
+        )
     }
 }
 
@@ -256,6 +317,52 @@ mod tests {
             Allocation::parse("5=si").unwrap().level(TxnId(5)),
             IsolationLevel::SI
         );
+    }
+
+    #[test]
+    fn diff_reports_changed_entered_left() {
+        let old = Allocation::parse("T1=RC T2=SI T3=SSI").unwrap();
+        let new = Allocation::parse("T1=RC T2=SSI T4=RC").unwrap();
+        let d = old.diff(&new);
+        assert_eq!(d.len(), 3);
+        assert_eq!(
+            d[0],
+            LevelChange {
+                txn: TxnId(2),
+                before: Some(IsolationLevel::SI),
+                after: Some(IsolationLevel::SSI),
+            }
+        );
+        assert_eq!(
+            d[1],
+            LevelChange {
+                txn: TxnId(3),
+                before: Some(IsolationLevel::SSI),
+                after: None,
+            }
+        );
+        assert_eq!(
+            d[2],
+            LevelChange {
+                txn: TxnId(4),
+                before: None,
+                after: Some(IsolationLevel::RC),
+            }
+        );
+        assert!(old.diff(&old).is_empty());
+        assert!(d[0].to_string().contains("T2"));
+        assert!(d[1].to_string().contains('∅'));
+        // Applying the diff to `old` reproduces `new`.
+        let mut patched = old.clone();
+        for c in &d {
+            match c.after {
+                Some(l) => patched.set(c.txn, l),
+                None => {
+                    patched.remove(c.txn);
+                }
+            }
+        }
+        assert_eq!(patched, new);
     }
 
     #[test]

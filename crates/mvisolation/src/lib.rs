@@ -27,7 +27,7 @@ pub mod level;
 pub mod phenomena;
 pub mod validator;
 
-pub use allocation::Allocation;
+pub use allocation::{Allocation, LevelChange};
 pub use dangerous::{dangerous_structures, DangerousStructure};
 pub use derive::derive_schedule;
 pub use level::IsolationLevel;

@@ -59,7 +59,7 @@ pub use dependency::{dependencies, DepKind, Dependency};
 pub use error::{ModelError, ParseError, ScheduleError};
 pub use graph::SerializationGraph;
 pub use ids::{Object, OpAddr, OpId, OpKind, TxnId};
-pub use parser::parse_transactions;
+pub use parser::{parse_transaction_line, parse_transactions};
 pub use schedule::Schedule;
 pub use transaction::{Op, Transaction};
 pub use txnset::{TransactionSet, TxnBuilder, TxnSetBuilder};

@@ -11,7 +11,9 @@
 //! The trailing commit is implicit; a literal `C` at the end of a line is
 //! accepted and ignored. Object names are identifiers (`[A-Za-z0-9_.-]+`).
 
-use crate::error::ParseError;
+use crate::error::{ModelError, ParseError};
+use crate::ids::TxnId;
+use crate::transaction::{Op, Transaction};
 use crate::txnset::{TransactionSet, TxnSetBuilder};
 
 /// Parses a workload in the textual format described at module level.
@@ -40,6 +42,35 @@ pub fn parse_transactions(input: &str) -> Result<TransactionSet, ParseError> {
         let _ = &mut any_error;
     }
     b.build().map_err(|e| ParseError::new(0, e.to_string()))
+}
+
+/// Parses a single transaction line (`T7: R[x] W[y]`) against an
+/// existing set: object names resolve through [`TransactionSet::intern_object`]
+/// so the new transaction shares object identities with the transactions
+/// already present. The transaction is *not* inserted into the set.
+///
+/// This is the entry point for online registration, where transactions
+/// arrive one at a time against a long-lived workload.
+pub fn parse_transaction_line(
+    input: &str,
+    set: &mut TransactionSet,
+) -> Result<Transaction, ParseError> {
+    let line = strip_comment(input).trim();
+    let (head, rest) = line
+        .split_once(':')
+        .ok_or_else(|| ParseError::new(1, "expected `T<id>: <ops>`"))?;
+    let id = parse_txn_id(head.trim(), 1)?;
+    let ops = parse_ops(rest, 1)?
+        .into_iter()
+        .map(|(kind, name)| {
+            let object = set.intern_object(&name);
+            match kind {
+                'R' => Op::read(object),
+                _ => Op::write(object),
+            }
+        })
+        .collect();
+    Transaction::new(TxnId(id), ops).map_err(|e: ModelError| ParseError::new(1, e.to_string()))
 }
 
 fn strip_comment(line: &str) -> &str {
@@ -180,6 +211,22 @@ mod tests {
     fn empty_transaction_allowed() {
         let set = parse_transactions("T1: C").unwrap();
         assert!(set.txn(TxnId(1)).is_empty());
+    }
+
+    #[test]
+    fn single_line_parses_against_existing_set() {
+        let mut set = parse_transactions("T1: R[x] W[y]").unwrap();
+        let t = parse_transaction_line("T7: W[x] R[z] C", &mut set).unwrap();
+        assert_eq!(t.id(), TxnId(7));
+        // `x` resolves to the existing object; `z` is freshly interned.
+        assert_eq!(t.ops()[0].object, set.object_by_name("x").unwrap());
+        assert_eq!(set.object_name(t.ops()[1].object), "z");
+        // The set itself is untouched apart from interning.
+        assert_eq!(set.len(), 1);
+
+        assert!(parse_transaction_line("T7 R[x]", &mut set).is_err());
+        assert!(parse_transaction_line("T7: R[x] R[x]", &mut set).is_err());
+        assert!(parse_transaction_line("nope: R[x]", &mut set).is_err());
     }
 
     #[test]

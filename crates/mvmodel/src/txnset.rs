@@ -156,6 +156,46 @@ impl TransactionSet {
             .position(|n| n == name)
             .map(|i| Object(i as u32))
     }
+
+    /// Interns an object name against this set, returning the existing id
+    /// or registering a fresh one. Counterpart of [`TxnSetBuilder::object`]
+    /// for sets that grow after construction (the online registry path).
+    pub fn intern_object(&mut self, name: &str) -> Object {
+        if let Some(o) = self.object_by_name(name) {
+            return o;
+        }
+        let o = Object(self.object_names.len() as u32);
+        self.object_names.push(name.to_string());
+        o
+    }
+
+    /// Inserts a transaction into the set, keeping the id order and dense
+    /// indices consistent. Rejects duplicate ids.
+    pub fn insert(&mut self, txn: Transaction) -> Result<(), ModelError> {
+        if self.index.contains_key(&txn.id()) {
+            return Err(ModelError::DuplicateTxnId(txn.id()));
+        }
+        let pos = self.txns.partition_point(|t| t.id() < txn.id());
+        self.txns.insert(pos, txn);
+        self.reindex();
+        Ok(())
+    }
+
+    /// Removes the transaction with the given id, returning it (or `None`
+    /// when absent). Dense indices of later transactions shift down.
+    pub fn remove(&mut self, id: TxnId) -> Option<Transaction> {
+        let pos = *self.index.get(&id)?;
+        let txn = self.txns.remove(pos);
+        self.reindex();
+        Some(txn)
+    }
+
+    fn reindex(&mut self) {
+        self.index.clear();
+        for (i, t) in self.txns.iter().enumerate() {
+            self.index.insert(t.id(), i);
+        }
+    }
 }
 
 /// Fluent builder for [`TransactionSet`]s with object-name interning.
@@ -354,6 +394,49 @@ mod tests {
         assert_eq!(set.writers_of(x).len(), 1);
         assert_eq!(set.readers_of(y).len(), 1);
         assert_eq!(set.readers_of(x), vec![OpAddr::new(TxnId(2), 0)]);
+    }
+
+    #[test]
+    fn insert_remove_keep_order_and_indices() {
+        let mut b = TxnSetBuilder::new();
+        let x = b.object("x");
+        b.txn(1).read(x).finish();
+        b.txn(5).write(x).finish();
+        let mut set = b.build().unwrap();
+
+        // Insert between existing ids: order and dense indices update.
+        let t3 = Transaction::new(TxnId(3), vec![Op::read(x)]).unwrap();
+        set.insert(t3).unwrap();
+        let ids: Vec<_> = set.ids().collect();
+        assert_eq!(ids, vec![TxnId(1), TxnId(3), TxnId(5)]);
+        assert_eq!(set.index_of(TxnId(3)), 1);
+        assert_eq!(set.index_of(TxnId(5)), 2);
+
+        // Duplicate ids rejected without mutating the set.
+        let dup = Transaction::new(TxnId(3), vec![Op::write(x)]).unwrap();
+        assert_eq!(set.insert(dup), Err(ModelError::DuplicateTxnId(TxnId(3))));
+        assert_eq!(set.len(), 3);
+
+        // Remove shifts the dense indices back down.
+        let removed = set.remove(TxnId(3)).unwrap();
+        assert_eq!(removed.id(), TxnId(3));
+        assert_eq!(set.remove(TxnId(3)), None);
+        assert_eq!(set.index_of(TxnId(5)), 1);
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn intern_object_after_build() {
+        let mut b = TxnSetBuilder::new();
+        let x = b.object("x");
+        b.txn(1).read(x).finish();
+        let mut set = b.build().unwrap();
+        assert_eq!(set.intern_object("x"), x);
+        let y = set.intern_object("y");
+        assert_ne!(x, y);
+        assert_eq!(set.object_by_name("y"), Some(y));
+        assert_eq!(set.object_name(y), "y");
+        assert_eq!(set.intern_object("y"), y);
     }
 
     #[test]

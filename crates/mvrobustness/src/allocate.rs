@@ -16,31 +16,205 @@
 //!
 //! The free functions ([`optimal_allocation`] &c.) keep their original
 //! signatures and delegate to a single-threaded [`Allocator`].
+//!
+//! # Online deltas
+//!
+//! [`Allocator::add_txn`] / [`Allocator::remove_txn`] maintain the
+//! optimum *incrementally* as the workload changes (the access pattern
+//! of a long-running allocation service). They exploit the monotonicity
+//! of the unique optimum (Proposition 4.1(2) / Theorem 4.3):
+//!
+//! - **Adding** a transaction can only *raise* levels: any robust
+//!   allocation of the grown set restricts to a robust allocation of the
+//!   old set, so the new optimum dominates the old one pointwise. The
+//!   delta path first probes the previous optimum extended with the new
+//!   transaction at the ceiling — when that is robust, refinement starts
+//!   there instead of from the uniform ceiling; when it is not, the full
+//!   refinement runs with the old optimum as a *floor*, skipping every
+//!   lowering the old optimum already ruled out.
+//! - **Removing** a transaction can only *lower* levels: the old optimum
+//!   restricted to the survivors is still robust, so refinement starts
+//!   from that restriction and only probes transactions that might drop.
+//!
+//! Both paths share one persistent counterexample cache across
+//! reallocations (specs mentioning a removed transaction are pruned —
+//! they may dangle; every other spec remains a sound rejection
+//! certificate because [`SplitSpec::check`] re-validates it against the
+//! current set and candidate). Acceptances always come from a full
+//! probe, so delta results are bit-for-bit the from-scratch optimum —
+//! `tests/delta_equivalence.rs` asserts exactly that on randomized
+//! workloads.
 
 use crate::algorithm1::RobustnessChecker;
 use crate::split_schedule::SplitSpec;
 use crate::stats::EngineStats;
-use mvisolation::{Allocation, IsolationLevel};
-use mvmodel::{TransactionSet, TxnId};
+use mvisolation::{Allocation, IsolationLevel, LevelChange};
+use mvmodel::{ModelError, Object, Transaction, TransactionSet, TxnId};
+use std::borrow::Cow;
 use std::time::Instant;
 
 /// A failed lowering attempt: the transaction, the level that was
 /// tried, and the counterexample that rejected it.
 pub type Reason = (TxnId, IsolationLevel, SplitSpec);
 
+/// The isolation-level menu an allocation may draw from.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum LevelSet {
+    /// `{RC, SI}` — the Oracle-style restriction of §5, where no robust
+    /// allocation may exist (Proposition 5.4).
+    RcSi,
+    /// `{RC, SI, SSI}` — the full ladder of §4; the uniform-SSI ceiling
+    /// is always robust, so an optimum always exists.
+    #[default]
+    RcSiSsi,
+}
+
+impl LevelSet {
+    pub const ALL: [LevelSet; 2] = [LevelSet::RcSi, LevelSet::RcSiSsi];
+
+    /// The canonical spelling, accepted by [`LevelSet::from_str`].
+    pub fn label(self) -> &'static str {
+        match self {
+            LevelSet::RcSi => "rc-si",
+            LevelSet::RcSiSsi => "rc-si-ssi",
+        }
+    }
+
+    /// The highest level of the menu — the refinement's starting point.
+    pub fn ceiling(self) -> IsolationLevel {
+        match self {
+            LevelSet::RcSi => IsolationLevel::SI,
+            LevelSet::RcSiSsi => IsolationLevel::SSI,
+        }
+    }
+}
+
+impl std::fmt::Display for LevelSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Error from parsing a [`LevelSet`]; lists the accepted spellings.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseLevelSetError(pub String);
+
+impl std::fmt::Display for ParseLevelSetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let accepted: Vec<&str> = LevelSet::ALL.iter().map(|l| l.label()).collect();
+        write!(
+            f,
+            "unknown level set `{}` (accepted: {})",
+            self.0,
+            accepted.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for ParseLevelSetError {}
+
+impl std::str::FromStr for LevelSet {
+    type Err = ParseLevelSetError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        LevelSet::ALL
+            .into_iter()
+            .find(|l| l.label().eq_ignore_ascii_case(s))
+            .ok_or_else(|| ParseLevelSetError(s.to_string()))
+    }
+}
+
+/// Why a registry mutation was rejected. The [`Allocator`]'s transaction
+/// set and optimum are unchanged after an error, except that
+/// [`Allocator::remove_txn`] always removes the transaction even when
+/// the remainder turns out not allocatable.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum AllocError {
+    /// [`Allocator::add_txn`] with an id already registered.
+    Duplicate(TxnId),
+    /// [`Allocator::remove_txn`] with an id not registered.
+    Unknown(TxnId),
+    /// No robust allocation exists over the level set (only possible for
+    /// [`LevelSet::RcSi`], by Proposition 5.4).
+    NotAllocatable(LevelSet),
+}
+
+impl std::fmt::Display for AllocError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AllocError::Duplicate(t) => write!(f, "transaction {t} is already registered"),
+            AllocError::Unknown(t) => write!(f, "transaction {t} is not registered"),
+            AllocError::NotAllocatable(l) => {
+                write!(f, "no robust {l} allocation exists for the workload")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+/// The outcome of one (incremental) reallocation: the new optimum, the
+/// transactions whose level changed relative to the previous optimum
+/// ([`Allocation::diff`]), and the engine work counters.
+#[derive(Clone, Debug)]
+pub struct Realloc {
+    pub allocation: Allocation,
+    pub changed: Vec<LevelChange>,
+    pub stats: EngineStats,
+}
+
+/// Counterexamples kept across reallocations beyond this count are
+/// discarded oldest-first: the cache is only an accelerator, and
+/// re-validating an unbounded backlog on every probe would eventually
+/// cost more than the probes it saves.
+const SPEC_CACHE_CAP: usize = 256;
+
 /// Engine-backed Algorithm 2 runner over one transaction set.
 ///
 /// ```text
 /// let (alloc, stats) = Allocator::new(&txns).with_threads(4).optimal();
 /// ```
+///
+/// Constructed with [`Allocator::new`] it borrows the set; constructed
+/// with [`Allocator::from_owned`] it owns it and additionally supports
+/// the online delta API ([`Allocator::add_txn`],
+/// [`Allocator::remove_txn`], [`Allocator::current`]).
 pub struct Allocator<'a> {
-    txns: &'a TransactionSet,
+    txns: Cow<'a, TransactionSet>,
     threads: usize,
+    levels: LevelSet,
+    /// The optimum of the current set, when known (delta API state).
+    last: Option<Allocation>,
+    /// Counterexamples from past lowerings, reused across reallocations.
+    specs: Vec<SplitSpec>,
+    /// Work counters of the most recent reallocation.
+    last_stats: Option<EngineStats>,
 }
 
 impl<'a> Allocator<'a> {
     pub fn new(txns: &'a TransactionSet) -> Self {
-        Allocator { txns, threads: 1 }
+        Allocator {
+            txns: Cow::Borrowed(txns),
+            threads: 1,
+            levels: LevelSet::default(),
+            last: None,
+            specs: Vec::new(),
+            last_stats: None,
+        }
+    }
+
+    /// An allocator owning its transaction set — the form the online
+    /// delta API mutates. Start from `TransactionSet::default()` for an
+    /// initially empty registry.
+    pub fn from_owned(txns: TransactionSet) -> Allocator<'static> {
+        Allocator {
+            txns: Cow::Owned(txns),
+            threads: 1,
+            levels: LevelSet::default(),
+            last: None,
+            specs: Vec::new(),
+            last_stats: None,
+        }
     }
 
     /// Worker threads for each probe's outer search (clamped to ≥ 1).
@@ -50,8 +224,35 @@ impl<'a> Allocator<'a> {
         self
     }
 
-    fn checker(&self) -> RobustnessChecker<'a> {
-        RobustnessChecker::new(self.txns).with_threads(self.threads)
+    /// The level menu used by the delta API ([`Allocator::current`],
+    /// [`Allocator::add_txn`], [`Allocator::remove_txn`]). The one-shot
+    /// methods ([`Allocator::optimal`], [`Allocator::optimal_rc_si`])
+    /// select their menu by name instead and ignore this setting.
+    pub fn with_levels(mut self, levels: LevelSet) -> Self {
+        self.levels = levels;
+        self
+    }
+
+    /// The configured level menu.
+    pub fn levels(&self) -> LevelSet {
+        self.levels
+    }
+
+    /// The transaction set the allocator currently covers.
+    pub fn txns(&self) -> &TransactionSet {
+        self.txns.as_ref()
+    }
+
+    /// Interns an object name against the owned set (see
+    /// [`TransactionSet::intern_object`]) so transactions registered
+    /// later share object identities. Interning never alters conflicts,
+    /// so the cached optimum stays valid.
+    pub fn intern_object(&mut self, name: &str) -> Object {
+        self.txns.to_mut().intern_object(name)
+    }
+
+    fn checker(&self) -> RobustnessChecker<'_> {
+        RobustnessChecker::new(self.txns.as_ref()).with_threads(self.threads)
     }
 
     fn finish(
@@ -76,9 +277,9 @@ impl<'a> Allocator<'a> {
         let start = Instant::now();
         let checker = self.checker();
         let (alloc, cache) = refine_cached(
-            self.txns,
+            self.txns(),
             &checker,
-            Allocation::uniform_ssi(self.txns),
+            Allocation::uniform_ssi(self.txns()),
             None,
             &mut |_, _, _| {},
         );
@@ -93,9 +294,9 @@ impl<'a> Allocator<'a> {
         let checker = self.checker();
         let mut reasons = Vec::new();
         let (alloc, cache) = refine_cached(
-            self.txns,
+            self.txns(),
             &checker,
-            Allocation::uniform_ssi(self.txns),
+            Allocation::uniform_ssi(self.txns()),
             None,
             &mut |t, lvl, spec| reasons.push((t, lvl, spec.clone())),
         );
@@ -115,7 +316,7 @@ impl<'a> Allocator<'a> {
         hi: &Allocation,
     ) -> (Option<Allocation>, EngineStats) {
         assert!(
-            lo.covers(self.txns) && hi.covers(self.txns),
+            lo.covers(self.txns()) && hi.covers(self.txns()),
             "bounds must cover every transaction"
         );
         assert!(lo.le(hi), "need lo ≤ hi pointwise");
@@ -125,8 +326,13 @@ impl<'a> Allocator<'a> {
             let stats = self.finish(&checker, &CacheStats::default(), start);
             return (None, stats);
         }
-        let (alloc, cache) =
-            refine_cached(self.txns, &checker, hi.clone(), Some(lo), &mut |_, _, _| {});
+        let (alloc, cache) = refine_cached(
+            self.txns(),
+            &checker,
+            hi.clone(),
+            Some(lo),
+            &mut |_, _, _| {},
+        );
         let stats = self.finish(&checker, &cache, start);
         (Some(alloc), stats)
     }
@@ -134,7 +340,7 @@ impl<'a> Allocator<'a> {
     /// [`Allocator::optimal_in_box`] with only a lower bound
     /// (`hi = 𝒜_SSI`). Always succeeds, since `𝒜_SSI` is robust.
     pub fn optimal_with_floor(&self, floor: &Allocation) -> (Allocation, EngineStats) {
-        let (alloc, stats) = self.optimal_in_box(floor, &Allocation::uniform_ssi(self.txns));
+        let (alloc, stats) = self.optimal_in_box(floor, &Allocation::uniform_ssi(self.txns()));
         (alloc.expect("the all-SSI ceiling is always robust"), stats)
     }
 
@@ -144,14 +350,303 @@ impl<'a> Allocator<'a> {
     pub fn optimal_rc_si(&self) -> (Option<Allocation>, EngineStats) {
         let start = Instant::now();
         let checker = self.checker();
-        let si = Allocation::uniform_si(self.txns);
+        let si = Allocation::uniform_si(self.txns());
         if !checker.is_robust(&si).robust() {
             let stats = self.finish(&checker, &CacheStats::default(), start);
             return (None, stats);
         }
-        let (alloc, cache) = refine_cached(self.txns, &checker, si, None, &mut |_, _, _| {});
+        let (alloc, cache) = refine_cached(self.txns(), &checker, si, None, &mut |_, _, _| {});
         let stats = self.finish(&checker, &cache, start);
         (Some(alloc), stats)
+    }
+
+    // ---- Online delta API -------------------------------------------
+
+    /// The optimum of the current set over the configured
+    /// [`LevelSet`], computing (and caching) it on first use.
+    pub fn current(&mut self) -> Result<&Allocation, AllocError> {
+        self.ensure_current()?;
+        Ok(self.last.as_ref().expect("ensure_current fills the cache"))
+    }
+
+    /// Work counters of the most recent delta-API (re)allocation.
+    pub fn last_stats(&self) -> Option<&EngineStats> {
+        self.last_stats.as_ref()
+    }
+
+    /// Registers `txn` and incrementally recomputes the optimum.
+    ///
+    /// Adding a transaction can only raise levels (any robust allocation
+    /// of the grown set restricts to a robust one of the old set), so the
+    /// previous optimum is a valid *floor* for every surviving
+    /// transaction. The fast path probes the previous optimum extended
+    /// with the newcomer at the ceiling; since the optimum is the
+    /// pointwise-least robust allocation, refining from that candidate
+    /// (when robust) or from the uniform ceiling (otherwise) reaches the
+    /// exact from-scratch optimum.
+    ///
+    /// Over [`LevelSet::RcSi`] the grown workload may not be
+    /// allocatable; the insertion is then rolled back and the previous
+    /// optimum kept.
+    pub fn add_txn(&mut self, txn: Transaction) -> Result<Realloc, AllocError> {
+        let id = txn.id();
+        if self.txns.contains(id) {
+            return Err(AllocError::Duplicate(id));
+        }
+        // The pre-mutation optimum is both the diff baseline and the
+        // refinement floor; make sure it exists before mutating.
+        self.ensure_current()?;
+        self.txns
+            .to_mut()
+            .insert(txn)
+            .map_err(|_: ModelError| AllocError::Duplicate(id))?;
+        let prev = self.last.clone().expect("ensure_current fills the cache");
+        let start = Instant::now();
+        let ceiling = self.levels.ceiling();
+        let rc_si = self.levels == LevelSet::RcSi;
+        let (outcome, probes, iso_builds) = {
+            let txns: &TransactionSet = &self.txns;
+            let checker = RobustnessChecker::new(txns).with_threads(self.threads);
+            let mut hits = 0u64;
+            let floor = prev.with(id, IsolationLevel::RC);
+
+            // Fast path: previous optimum + newcomer at the ceiling.
+            let candidate = prev.with(id, ceiling);
+            let candidate_ok = probe_cached(txns, &checker, &mut self.specs, &candidate, &mut hits);
+            let outcome = if candidate_ok {
+                let (alloc, h) = refine_with(
+                    txns,
+                    &checker,
+                    &mut self.specs,
+                    candidate,
+                    Some(&floor),
+                    &mut |_, _, _| {},
+                );
+                Some((alloc, hits + h))
+            } else {
+                // Slow path: the old optimum no longer suffices — some
+                // survivor must rise. Refine from the uniform ceiling
+                // (robust unconditionally for {RC, SI, SSI}; probed for
+                // {RC, SI}, where it may fail).
+                let uniform = Allocation::uniform(txns, ceiling);
+                let robust =
+                    !rc_si || probe_cached(txns, &checker, &mut self.specs, &uniform, &mut hits);
+                if robust {
+                    let (alloc, h) = refine_with(
+                        txns,
+                        &checker,
+                        &mut self.specs,
+                        uniform,
+                        Some(&floor),
+                        &mut |_, _, _| {},
+                    );
+                    Some((alloc, hits + h))
+                } else {
+                    None
+                }
+            };
+            (
+                outcome,
+                checker.stats().probes(),
+                checker.stats().iso_builds(),
+            )
+        };
+        match outcome {
+            Some((alloc, hits)) => {
+                trim_specs(&mut self.specs);
+                let stats = EngineStats {
+                    probes,
+                    cache_hits: hits,
+                    cached_specs: self.specs.len() as u64,
+                    iso_builds,
+                    threads: self.threads,
+                    wall: start.elapsed(),
+                };
+                let changed = prev.diff(&alloc);
+                self.last = Some(alloc.clone());
+                self.last_stats = Some(stats.clone());
+                Ok(Realloc {
+                    allocation: alloc,
+                    changed,
+                    stats,
+                })
+            }
+            None => {
+                // Roll back: the set reverts, specs mentioning the
+                // rejected newcomer would dangle, the old optimum stands.
+                self.txns.to_mut().remove(id);
+                self.specs.retain(|s| !spec_mentions(s, id));
+                Err(AllocError::NotAllocatable(self.levels))
+            }
+        }
+    }
+
+    /// Deregisters `id` and incrementally recomputes the optimum.
+    ///
+    /// Removing a transaction can only lower levels: the previous
+    /// optimum restricted to the survivors is still robust (allowed
+    /// schedules of a subset are allowed schedules of the full set), so
+    /// refinement starts from that restriction. The removal always
+    /// persists — shrinking a workload cannot make it less allocatable.
+    pub fn remove_txn(&mut self, id: TxnId) -> Result<Realloc, AllocError> {
+        if !self.txns.contains(id) {
+            return Err(AllocError::Unknown(id));
+        }
+        self.txns.to_mut().remove(id);
+        // Specs mentioning the departed transaction reference ids and op
+        // indices that no longer resolve — drop them. Every other cached
+        // spec only touches surviving transactions and stays sound.
+        self.specs.retain(|s| !spec_mentions(s, id));
+        let Some(prev) = self.last.clone() else {
+            // No optimum yet (never computed, or the previous set was
+            // not {RC, SI}-allocatable): compute from scratch.
+            self.ensure_current()?;
+            let alloc = self.last.clone().expect("ensure_current fills the cache");
+            let stats = self.last_stats.clone().expect("ensure_current fills stats");
+            let changed = alloc
+                .iter()
+                .map(|(txn, level)| LevelChange {
+                    txn,
+                    before: None,
+                    after: Some(level),
+                })
+                .collect();
+            return Ok(Realloc {
+                allocation: alloc,
+                changed,
+                stats,
+            });
+        };
+        let start = Instant::now();
+        let mut reduced = prev.clone();
+        reduced.remove(id);
+        let (alloc, hits, probes, iso_builds) = {
+            let txns: &TransactionSet = &self.txns;
+            let checker = RobustnessChecker::new(txns).with_threads(self.threads);
+            let (alloc, hits) = refine_with(
+                txns,
+                &checker,
+                &mut self.specs,
+                reduced,
+                None,
+                &mut |_, _, _| {},
+            );
+            (
+                alloc,
+                hits,
+                checker.stats().probes(),
+                checker.stats().iso_builds(),
+            )
+        };
+        trim_specs(&mut self.specs);
+        let stats = EngineStats {
+            probes,
+            cache_hits: hits,
+            cached_specs: self.specs.len() as u64,
+            iso_builds,
+            threads: self.threads,
+            wall: start.elapsed(),
+        };
+        let changed = prev.diff(&alloc);
+        self.last = Some(alloc.clone());
+        self.last_stats = Some(stats.clone());
+        Ok(Realloc {
+            allocation: alloc,
+            changed,
+            stats,
+        })
+    }
+
+    /// Computes the optimum of the current set from scratch into the
+    /// delta cache. Only [`LevelSet::RcSi`] can fail.
+    fn ensure_current(&mut self) -> Result<(), AllocError> {
+        if self.last.is_some() {
+            return Ok(());
+        }
+        let start = Instant::now();
+        let rc_si = self.levels == LevelSet::RcSi;
+        let ceiling = self.levels.ceiling();
+        let (outcome, probes, iso_builds) = {
+            let txns: &TransactionSet = &self.txns;
+            let checker = RobustnessChecker::new(txns).with_threads(self.threads);
+            let mut hits = 0u64;
+            let uniform = Allocation::uniform(txns, ceiling);
+            // The SSI ceiling is robust unconditionally; the SI ceiling
+            // must be probed (Proposition 5.4).
+            let robust =
+                !rc_si || probe_cached(txns, &checker, &mut self.specs, &uniform, &mut hits);
+            let outcome = if robust {
+                let (alloc, h) = refine_with(
+                    txns,
+                    &checker,
+                    &mut self.specs,
+                    uniform,
+                    None,
+                    &mut |_, _, _| {},
+                );
+                Some((alloc, hits + h))
+            } else {
+                None
+            };
+            (
+                outcome,
+                checker.stats().probes(),
+                checker.stats().iso_builds(),
+            )
+        };
+        trim_specs(&mut self.specs);
+        match outcome {
+            Some((alloc, hits)) => {
+                self.last_stats = Some(EngineStats {
+                    probes,
+                    cache_hits: hits,
+                    cached_specs: self.specs.len() as u64,
+                    iso_builds,
+                    threads: self.threads,
+                    wall: start.elapsed(),
+                });
+                self.last = Some(alloc);
+                Ok(())
+            }
+            None => Err(AllocError::NotAllocatable(self.levels)),
+        }
+    }
+}
+
+/// Does `spec` reference transaction `id` (as the split transaction or
+/// anywhere in its chain)? Such specs dangle once `id` is removed.
+fn spec_mentions(spec: &SplitSpec, id: TxnId) -> bool {
+    spec.t1 == id || spec.chain.contains(&id)
+}
+
+/// Evicts the oldest cached counterexamples past [`SPEC_CACHE_CAP`].
+fn trim_specs(specs: &mut Vec<SplitSpec>) {
+    if specs.len() > SPEC_CACHE_CAP {
+        let excess = specs.len() - SPEC_CACHE_CAP;
+        specs.drain(..excess);
+    }
+}
+
+/// Is `alloc` robust? Consults the persistent counterexample cache first
+/// (a cached spec that re-validates is a certificate of non-robustness);
+/// on a miss runs a full probe and caches any fresh counterexample.
+fn probe_cached(
+    txns: &TransactionSet,
+    checker: &RobustnessChecker<'_>,
+    specs: &mut Vec<SplitSpec>,
+    alloc: &Allocation,
+    hits: &mut u64,
+) -> bool {
+    if specs.iter().any(|s| s.check(txns, alloc).is_ok()) {
+        *hits += 1;
+        return false;
+    }
+    match checker.find_counterexample(alloc) {
+        None => true,
+        Some(spec) => {
+            specs.push(spec);
+            false
+        }
     }
 }
 
@@ -181,11 +676,27 @@ fn refine_cached(
     floor: Option<&Allocation>,
     on_failure: &mut dyn FnMut(TxnId, IsolationLevel, &SplitSpec),
 ) -> (Allocation, CacheStats) {
+    let mut cache: Vec<SplitSpec> = Vec::new();
+    let (alloc, hits) = refine_with(txns, checker, &mut cache, start, floor, on_failure);
+    let specs = cache.len() as u64;
+    (alloc, CacheStats { hits, specs })
+}
+
+/// [`refine_cached`] against a caller-owned counterexample cache — the
+/// form the delta API uses to persist specs across reallocations.
+/// Returns the refined allocation and the number of cache hits.
+fn refine_with(
+    txns: &TransactionSet,
+    checker: &RobustnessChecker<'_>,
+    cache: &mut Vec<SplitSpec>,
+    start: Allocation,
+    floor: Option<&Allocation>,
+    on_failure: &mut dyn FnMut(TxnId, IsolationLevel, &SplitSpec),
+) -> (Allocation, u64) {
     debug_assert!(
         checker.is_robust(&start).robust(),
         "refine requires a robust start"
     );
-    let mut cache: Vec<SplitSpec> = Vec::new();
     let mut hits = 0u64;
     let mut alloc = start;
     for t in txns.iter() {
@@ -213,8 +724,7 @@ fn refine_cached(
             }
         }
     }
-    let specs = cache.len() as u64;
-    (alloc, CacheStats { hits, specs })
+    (alloc, hits)
 }
 
 /// Computes the unique optimal robust allocation for `txns` over
@@ -447,6 +957,96 @@ mod tests {
             &Allocation::uniform_ssi(&txns),
             &Allocation::uniform_rc(&txns),
         );
+    }
+
+    #[test]
+    fn level_set_parses_and_rejects() {
+        assert_eq!("rc-si".parse::<LevelSet>().unwrap(), LevelSet::RcSi);
+        assert_eq!("RC-SI-SSI".parse::<LevelSet>().unwrap(), LevelSet::RcSiSsi);
+        let err = "serializable".parse::<LevelSet>().unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("rc-si") && msg.contains("rc-si-ssi"), "{msg}");
+        assert_eq!(LevelSet::RcSi.ceiling(), IsolationLevel::SI);
+        assert_eq!(LevelSet::RcSiSsi.to_string(), "rc-si-ssi");
+    }
+
+    /// Builds the write-skew pair plus a private-object reader as three
+    /// standalone transactions sharing one interned object table.
+    fn skew_txn(set: &mut TransactionSet, id: u32, r: &str, w: &str) -> Transaction {
+        let read = set.intern_object(r);
+        let write = set.intern_object(w);
+        Transaction::new(
+            TxnId(id),
+            vec![mvmodel::Op::read(read), mvmodel::Op::write(write)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn delta_add_and_remove_track_full_recompute() {
+        let mut alloc = Allocator::from_owned(TransactionSet::default());
+        assert!(alloc.current().unwrap().is_empty());
+
+        // T1 alone: RC.
+        let t1 = skew_txn(alloc.txns.to_mut(), 1, "x", "y");
+        let r = alloc.add_txn(t1).unwrap();
+        assert_eq!(r.allocation.to_string(), "T1=RC");
+        assert_eq!(r.changed.len(), 1);
+        assert_eq!(r.changed[0].after, Some(IsolationLevel::RC));
+
+        // T2 closes the write-skew cycle: both jump to SSI.
+        let t2 = skew_txn(alloc.txns.to_mut(), 2, "y", "x");
+        let r = alloc.add_txn(t2).unwrap();
+        assert_eq!(r.allocation, optimal_allocation(alloc.txns()));
+        assert_eq!(r.allocation.to_string(), "T1=SSI T2=SSI");
+        // Both T1 (raised) and T2 (entered) appear in the diff.
+        assert_eq!(r.changed.len(), 2);
+
+        // An unrelated reader registers at RC without disturbing the pair.
+        let t3 = skew_txn(alloc.txns.to_mut(), 3, "z", "w");
+        let r = alloc.add_txn(t3).unwrap();
+        assert_eq!(r.allocation.to_string(), "T1=SSI T2=SSI T3=RC");
+        assert_eq!(r.changed.len(), 1, "only T3 changed: {:?}", r.changed);
+
+        // Removing T2 breaks the cycle: T1 falls back to RC.
+        let r = alloc.remove_txn(TxnId(2)).unwrap();
+        assert_eq!(r.allocation, optimal_allocation(alloc.txns()));
+        assert_eq!(r.allocation.to_string(), "T1=RC T3=RC");
+        let stats = alloc.last_stats().unwrap();
+        assert!(stats.probes + stats.cache_hits > 0);
+
+        // Duplicate / unknown ids are structured errors, state unchanged.
+        let dup = skew_txn(alloc.txns.to_mut(), 1, "x", "y");
+        assert_eq!(
+            alloc.add_txn(dup).unwrap_err(),
+            AllocError::Duplicate(TxnId(1))
+        );
+        assert_eq!(
+            alloc.remove_txn(TxnId(9)).unwrap_err(),
+            AllocError::Unknown(TxnId(9))
+        );
+        assert_eq!(alloc.current().unwrap().to_string(), "T1=RC T3=RC");
+    }
+
+    #[test]
+    fn delta_rc_si_rolls_back_unallocatable_add() {
+        let mut alloc =
+            Allocator::from_owned(TransactionSet::default()).with_levels(LevelSet::RcSi);
+        let t1 = skew_txn(alloc.txns.to_mut(), 1, "x", "y");
+        alloc.add_txn(t1).unwrap();
+        // Write skew is not {RC, SI}-allocatable: the add is rejected
+        // and rolled back.
+        let t2 = skew_txn(alloc.txns.to_mut(), 2, "y", "x");
+        assert_eq!(
+            alloc.add_txn(t2).unwrap_err(),
+            AllocError::NotAllocatable(LevelSet::RcSi)
+        );
+        assert_eq!(alloc.txns().len(), 1);
+        assert_eq!(alloc.current().unwrap().to_string(), "T1=RC");
+        // A compatible transaction still registers afterwards.
+        let t3 = skew_txn(alloc.txns.to_mut(), 3, "z", "w");
+        let r = alloc.add_txn(t3).unwrap();
+        assert_eq!(r.allocation.to_string(), "T1=RC T3=RC");
     }
 
     #[test]

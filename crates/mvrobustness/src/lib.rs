@@ -30,7 +30,11 @@
 //! per-`T₁` iso-graph caching, bitset candidate iteration, and an
 //! optional parallel outer search) and [`Allocator`] (Algorithm 2 with a
 //! counterexample cache); both report their work through
-//! [`SearchStats`] / [`EngineStats`].
+//! [`SearchStats`] / [`EngineStats`]. An [`Allocator`] built with
+//! [`Allocator::from_owned`] additionally maintains the optimum *online*
+//! as transactions register and deregister ([`Allocator::add_txn`] /
+//! [`Allocator::remove_txn`]), reusing cached counterexamples across
+//! reallocations — the substrate of the `mvservice` daemon.
 
 pub mod algorithm1;
 pub mod allocate;
@@ -48,7 +52,7 @@ pub use algorithm1::{
 };
 pub use allocate::{
     optimal_allocation, optimal_allocation_explained, optimal_allocation_in_box,
-    optimal_allocation_with_floor, Allocator,
+    optimal_allocation_with_floor, AllocError, Allocator, LevelSet, ParseLevelSetError, Realloc,
 };
 pub use conflict_index::ConflictIndex;
 pub use oracle::{oracle_counterexample, oracle_is_robust};

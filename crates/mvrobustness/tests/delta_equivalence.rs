@@ -1,0 +1,164 @@
+//! Bit-for-bit equivalence of the online delta API
+//! ([`Allocator::add_txn`] / [`Allocator::remove_txn`]) with full
+//! recomputation, on randomized mutation sequences:
+//!
+//! - after every successful mutation, the incrementally maintained
+//!   optimum equals a fresh `Allocator::new(set).optimal()` (or
+//!   `optimal_rc_si`) of the current set — the delta paths reuse cached
+//!   counterexamples and refinement floors, but acceptances always come
+//!   from a full probe, so the result is the identical allocation;
+//! - over `{RC, SI}` a rejected add rolls the set back and the fresh
+//!   recomputation of the attempted set indeed has no robust allocation;
+//! - the reported `changed` list is exactly the diff of the previous and
+//!   new optimum;
+//! - the thread count of the delta allocator does not affect results.
+
+use mvisolation::Allocation;
+use mvmodel::{Op, Transaction, TransactionSet, TxnId};
+use mvrobustness::{AllocError, Allocator, LevelSet, Realloc};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+/// A random transaction of 1..=`max_ops` distinct operations over
+/// `n_objects` shared objects, interned against `set`.
+fn random_txn(
+    rng: &mut SmallRng,
+    set: &mut TransactionSet,
+    id: u32,
+    n_objects: u32,
+) -> Transaction {
+    let len = rng.random_range(1..=4usize);
+    let mut used: Vec<(bool, u32)> = Vec::new();
+    let mut ops = Vec::new();
+    for _ in 0..len {
+        let obj = rng.random_range(0..n_objects);
+        let write = rng.random_bool(0.5);
+        if used.contains(&(write, obj)) {
+            continue;
+        }
+        used.push((write, obj));
+        let object = set.intern_object(&format!("o{obj}"));
+        ops.push(if write {
+            Op::write(object)
+        } else {
+            Op::read(object)
+        });
+    }
+    Transaction::new(TxnId(id), ops).expect("generator avoids duplicate operations")
+}
+
+/// The from-scratch optimum of `txns` over `levels`.
+fn full_recompute(txns: &TransactionSet, levels: LevelSet) -> Option<Allocation> {
+    let full = Allocator::new(txns);
+    match levels {
+        LevelSet::RcSiSsi => Some(full.optimal().0),
+        LevelSet::RcSi => full.optimal_rc_si().0,
+    }
+}
+
+/// Checks one successful delta result against the previous optimum and a
+/// fresh recomputation.
+fn assert_delta_matches(
+    r: &Realloc,
+    prev: &Allocation,
+    txns: &TransactionSet,
+    levels: LevelSet,
+    step: usize,
+) {
+    let expected = full_recompute(txns, levels)
+        .expect("delta reported success, so the set must be allocatable");
+    assert_eq!(
+        r.allocation,
+        expected,
+        "step {step}: delta optimum diverged from full recomputation\n{}",
+        mvmodel::fmt::transaction_set(txns)
+    );
+    assert_eq!(
+        r.changed,
+        prev.diff(&r.allocation),
+        "step {step}: changed list is not the diff of prev and new optimum"
+    );
+}
+
+fn run_sequence(seed: u64, levels: LevelSet, threads: usize) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut alloc = Allocator::from_owned(TransactionSet::default())
+        .with_levels(levels)
+        .with_threads(threads);
+    let mut prev = alloc.current().expect("empty set is allocatable").clone();
+    let mut present: Vec<u32> = Vec::new();
+    let mut next_id = 1u32;
+    let mut accepted = 0usize;
+    let mut rejected = 0usize;
+
+    for step in 0..40 {
+        let add = present.len() < 12 && (present.is_empty() || rng.random_bool(0.65));
+        if add {
+            let id = next_id;
+            next_id += 1;
+            // Build the transaction against a scratch copy first so a
+            // rejected add can be compared with the attempted set.
+            let mut attempted = alloc.txns().clone();
+            let txn = random_txn(&mut rng, &mut attempted, id, 5);
+            attempted.insert(txn.clone()).unwrap();
+            match alloc.add_txn(txn) {
+                Ok(r) => {
+                    assert_delta_matches(&r, &prev, alloc.txns(), levels, step);
+                    prev = r.allocation;
+                    present.push(id);
+                    accepted += 1;
+                }
+                Err(AllocError::NotAllocatable(l)) => {
+                    assert_eq!(l, levels);
+                    assert_eq!(
+                        full_recompute(&attempted, levels),
+                        None,
+                        "step {step}: delta rejected an allocatable set\n{}",
+                        mvmodel::fmt::transaction_set(&attempted)
+                    );
+                    // The insertion rolled back; the old optimum stands.
+                    assert_eq!(alloc.txns().len(), present.len());
+                    assert!(!alloc.txns().contains(TxnId(id)));
+                    assert_eq!(alloc.current().unwrap(), &prev);
+                    rejected += 1;
+                }
+                Err(e) => panic!("step {step}: unexpected delta error {e}"),
+            }
+        } else {
+            let idx = rng.random_range(0..present.len());
+            let victim = present.remove(idx);
+            let r = alloc
+                .remove_txn(TxnId(victim))
+                .expect("removal never fails");
+            assert_delta_matches(&r, &prev, alloc.txns(), levels, step);
+            prev = r.allocation;
+        }
+    }
+    assert!(accepted > 0, "seed {seed:#x}: no add ever accepted");
+    if levels == LevelSet::RcSi {
+        assert!(
+            rejected > 0,
+            "seed {seed:#x}: no {{RC, SI}} rejection exercised — tune the generator"
+        );
+    }
+}
+
+#[test]
+fn delta_equals_full_recompute_rc_si_ssi() {
+    for seed in [0xDE17A0001u64, 0xDE17A0002, 0xDE17A0003] {
+        run_sequence(seed, LevelSet::RcSiSsi, 1);
+    }
+}
+
+#[test]
+fn delta_equals_full_recompute_rc_si() {
+    for seed in [0xDE17A0011u64, 0xDE17A0012, 0xDE17A0013] {
+        run_sequence(seed, LevelSet::RcSi, 1);
+    }
+}
+
+#[test]
+fn delta_results_independent_of_thread_count() {
+    run_sequence(0xDE17A0021, LevelSet::RcSiSsi, 4);
+    run_sequence(0xDE17A0022, LevelSet::RcSi, 2);
+}

@@ -1,0 +1,150 @@
+//! Blocking client for the allocation daemon.
+//!
+//! One TCP connection, newline-delimited JSON requests/replies. The
+//! typed helpers ([`Client::register`], [`Client::assign`], …) turn
+//! `"ok": false` replies into [`ClientError::Server`]; [`Client::raw`]
+//! ships an arbitrary line and returns whatever comes back — the hook
+//! for protocol-level testing.
+
+use crate::protocol::Request;
+use mvisolation::IsolationLevel;
+use mvmodel::TxnId;
+use serde_json::Value;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A client-side failure: transport, protocol, or a structured server
+/// error reply.
+#[derive(Debug)]
+pub enum ClientError {
+    Io(std::io::Error),
+    /// The server replied with something other than a JSON object, or
+    /// closed the connection mid-reply.
+    Protocol(String),
+    /// The server replied `{"ok": false, "error": …}`.
+    Server(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "I/O error: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ClientError::Server(m) => write!(f, "server error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A connected allocation-service client.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to the daemon at `addr` (e.g. `127.0.0.1:7411`).
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Caps how long a single reply may take.
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.reader.get_ref().set_read_timeout(timeout)
+    }
+
+    /// Sends one raw line and returns the server's reply verbatim —
+    /// including `"ok": false` replies, which the typed helpers turn
+    /// into errors instead.
+    pub fn raw(&mut self, line: &str) -> Result<Value, ClientError> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut reply = String::new();
+        let n = self.reader.read_line(&mut reply)?;
+        if n == 0 {
+            return Err(ClientError::Protocol(
+                "connection closed before a reply arrived".to_string(),
+            ));
+        }
+        serde_json::from_str(reply.trim())
+            .map_err(|e| ClientError::Protocol(format!("unparseable reply: {e}")))
+    }
+
+    /// Sends a typed request; an `"ok": false` reply becomes
+    /// [`ClientError::Server`].
+    pub fn request(&mut self, req: &Request) -> Result<Value, ClientError> {
+        let line = serde_json::to_string(&req.to_json())
+            .map_err(|e| ClientError::Protocol(e.to_string()))?;
+        let reply = self.raw(&line)?;
+        if reply["ok"] == true {
+            Ok(reply)
+        } else {
+            match reply["error"].as_str() {
+                Some(msg) => Err(ClientError::Server(msg.to_string())),
+                None => Err(ClientError::Protocol(
+                    "reply carries neither ok:true nor an error message".to_string(),
+                )),
+            }
+        }
+    }
+
+    /// Registers a transaction line; returns the full reply (`txn_id`,
+    /// `level`, `changed`, `registry_size`).
+    pub fn register(&mut self, line: &str) -> Result<Value, ClientError> {
+        self.request(&Request::Register {
+            line: line.to_string(),
+        })
+    }
+
+    /// Deregisters a transaction; returns the full reply.
+    pub fn deregister(&mut self, id: u32) -> Result<Value, ClientError> {
+        self.request(&Request::Deregister { id: TxnId(id) })
+    }
+
+    /// The current optimal level of a registered transaction.
+    pub fn assign(&mut self, id: u32) -> Result<IsolationLevel, ClientError> {
+        let reply = self.request(&Request::Assign { id: TxnId(id) })?;
+        let level = reply["level"]
+            .as_str()
+            .ok_or_else(|| ClientError::Protocol("assign reply lacks `level`".to_string()))?;
+        level
+            .parse()
+            .map_err(|_| ClientError::Protocol(format!("unknown level `{level}` in reply")))
+    }
+
+    /// Server statistics (counters, latencies, registry size, last
+    /// reallocation).
+    pub fn stats(&mut self) -> Result<Value, ClientError> {
+        self.request(&Request::Stats)
+    }
+
+    /// The registered transactions with their levels.
+    pub fn list(&mut self) -> Result<Value, ClientError> {
+        self.request(&Request::List)
+    }
+
+    /// Liveness check.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        self.request(&Request::Ping).map(|_| ())
+    }
+
+    /// Asks the daemon to stop gracefully.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        self.request(&Request::Shutdown).map(|_| ())
+    }
+}

@@ -1,0 +1,35 @@
+//! `mvservice` — the online allocation service.
+//!
+//! A long-running daemon (plus client library) that keeps the unique
+//! optimal robust allocation of a *changing* workload continuously
+//! available, built from three layers:
+//!
+//! - [`Registry`]: the online workload registry. Transactions register
+//!   and deregister at runtime; each mutation runs the incremental
+//!   delta reallocation ([`mvrobustness::Allocator::add_txn`] /
+//!   [`mvrobustness::Allocator::remove_txn`]), which reuses cached
+//!   counterexamples and monotonicity floors yet produces bit-for-bit
+//!   the from-scratch optimum. [`Registry::assign`] reads the cached
+//!   allocation in O(1).
+//! - [`protocol`]: newline-delimited JSON over TCP — std-only, no
+//!   framing beyond `\n`, structured error replies (a malformed request
+//!   never drops the connection).
+//! - [`Server`] / [`Client`]: a blocking thread-per-connection daemon
+//!   with per-request timeouts, graceful shutdown (`shutdown` request,
+//!   [`ServerHandle::shutdown`], or `SIGINT`/`SIGTERM` via
+//!   [`install_signal_handlers`]), and [`Metrics`] — request counters
+//!   and p50/p99 service latencies, surfaced by the `stats` op.
+//!
+//! The CLI front end is `mvrobust serve` / `mvrobust client`.
+
+pub mod client;
+pub mod metrics;
+pub mod protocol;
+pub mod registry;
+pub mod server;
+
+pub use client::{Client, ClientError};
+pub use metrics::Metrics;
+pub use protocol::Request;
+pub use registry::{RegisteredTxn, Registry, RegistryError};
+pub use server::{install_signal_handlers, Config, Server, ServerHandle};

@@ -1,0 +1,164 @@
+//! Lock-free request metrics: per-op counters, an error counter, and a
+//! log₂-bucketed microsecond histogram good enough for p50/p99.
+//!
+//! Recording is a handful of relaxed atomic increments, so the hot
+//! `assign` path never contends; quantiles are computed on demand from
+//! a snapshot and report the *upper bound* of the bucket the quantile
+//! falls in (exact to within 2× — ample for "is the service healthy").
+
+use serde_json::{json, Value};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Ops tracked by name; index = position. Unparseable requests (no op
+/// field at all) count under `invalid`.
+pub const OP_NAMES: [&str; 8] = [
+    "register",
+    "deregister",
+    "assign",
+    "stats",
+    "list",
+    "ping",
+    "shutdown",
+    "invalid",
+];
+
+const BUCKETS: usize = 40;
+
+/// Shared request metrics. All methods take `&self`.
+pub struct Metrics {
+    counts: [AtomicU64; OP_NAMES.len()],
+    errors: AtomicU64,
+    latency: [AtomicU64; BUCKETS],
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            errors: AtomicU64::new(0),
+            latency: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl Metrics {
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Records one request: its op (by name; unknown names count as
+    /// `invalid`), whether it produced an `ok` reply, and its service
+    /// time.
+    pub fn record(&self, op: &str, ok: bool, elapsed: Duration) {
+        let idx = OP_NAMES
+            .iter()
+            .position(|&n| n == op)
+            .unwrap_or(OP_NAMES.len() - 1);
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        if !ok {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        let us = elapsed.as_micros().min(u128::from(u64::MAX)) as u64;
+        let bucket = (64 - us.leading_zeros() as usize).min(BUCKETS - 1);
+        self.latency[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total requests observed.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    pub fn errors(&self) -> u64 {
+        self.errors.load(Ordering::Relaxed)
+    }
+
+    /// The latency value (µs, bucket upper bound) at quantile `q` in
+    /// `[0, 1]`, or 0 when nothing was recorded.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        let buckets: Vec<u64> = self
+            .latency
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = buckets.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, &count) in buckets.iter().enumerate() {
+            seen += count;
+            if seen >= target {
+                // Bucket i holds durations in [2^(i-1), 2^i) µs.
+                return 1u64 << i;
+            }
+        }
+        1u64 << (BUCKETS - 1)
+    }
+
+    /// The `requests` / `errors` / `latency_us` portion of a `stats`
+    /// reply.
+    pub fn to_json(&self) -> Value {
+        let mut requests = serde_json::Map::new();
+        for (i, name) in OP_NAMES.iter().enumerate() {
+            requests.insert(
+                name.to_string(),
+                Value::from(self.counts[i].load(Ordering::Relaxed)),
+            );
+        }
+        json!({
+            "total": self.total(),
+            "requests": Value::Object(requests),
+            "errors": self.errors(),
+            "latency_us": json!({
+                "p50": self.quantile_us(0.50),
+                "p99": self.quantile_us(0.99),
+            }),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_errors_accumulate() {
+        let m = Metrics::new();
+        m.record("assign", true, Duration::from_micros(3));
+        m.record("assign", true, Duration::from_micros(5));
+        m.record("register", false, Duration::from_micros(900));
+        m.record("no-such-op", false, Duration::from_micros(1));
+        let v = m.to_json();
+        assert_eq!(v["requests"]["assign"], 2u64);
+        assert_eq!(v["requests"]["register"], 1u64);
+        assert_eq!(v["requests"]["invalid"], 1u64);
+        assert_eq!(v["errors"], 2u64);
+        assert_eq!(v["total"], 4u64);
+    }
+
+    #[test]
+    fn quantiles_split_a_bimodal_distribution() {
+        let m = Metrics::new();
+        // 98 fast requests (~4µs), 2 slow (~1000µs).
+        for _ in 0..98 {
+            m.record("assign", true, Duration::from_micros(4));
+        }
+        for _ in 0..2 {
+            m.record("assign", true, Duration::from_micros(1000));
+        }
+        let p50 = m.quantile_us(0.50);
+        let p99 = m.quantile_us(0.99);
+        assert!(p50 <= 8, "p50 should sit in the fast mode, got {p50}µs");
+        assert!(p99 >= 1000, "p99 should reach the slow mode, got {p99}µs");
+        assert!(p50 < p99);
+    }
+
+    #[test]
+    fn empty_metrics_report_zero() {
+        let m = Metrics::new();
+        assert_eq!(m.quantile_us(0.99), 0);
+        assert_eq!(m.total(), 0);
+    }
+}

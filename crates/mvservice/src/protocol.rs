@@ -1,0 +1,196 @@
+//! The wire protocol: newline-delimited JSON over TCP.
+//!
+//! Every request is one JSON object on one line; every reply is one
+//! JSON object on one line. Replies carry `"ok": true` plus
+//! op-specific fields, or `"ok": false` with a human-readable
+//! `"error"` — malformed input produces an error reply, never a
+//! dropped connection.
+//!
+//! | op           | request fields        | reply fields                              |
+//! |--------------|-----------------------|-------------------------------------------|
+//! | `register`   | `txn` (text line)     | `txn_id`, `level`, `changed`, `registry_size` |
+//! | `deregister` | `txn_id`              | `txn_id`, `changed`, `registry_size`      |
+//! | `assign`     | `txn_id`              | `txn_id`, `level`                         |
+//! | `stats`      | —                     | counters, latencies, `last_realloc`       |
+//! | `list`       | —                     | `txns`: `[{id, text, level}]`             |
+//! | `ping`       | —                     | `pong`                                    |
+//! | `shutdown`   | —                     | `shutting_down`                           |
+//!
+//! `changed` reports the transactions whose level differs from the
+//! previous optimum (`before` is `null` for a newly entered
+//! transaction, `after` is `null` for a departed one).
+
+use mvisolation::LevelChange;
+use mvmodel::TxnId;
+use serde_json::{json, Value};
+
+/// A decoded client request.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Request {
+    Register { line: String },
+    Deregister { id: TxnId },
+    Assign { id: TxnId },
+    Stats,
+    List,
+    Ping,
+    Shutdown,
+}
+
+impl Request {
+    /// The `op` field value naming this request (also the metrics key).
+    pub fn op_name(&self) -> &'static str {
+        match self {
+            Request::Register { .. } => "register",
+            Request::Deregister { .. } => "deregister",
+            Request::Assign { .. } => "assign",
+            Request::Stats => "stats",
+            Request::List => "list",
+            Request::Ping => "ping",
+            Request::Shutdown => "shutdown",
+        }
+    }
+
+    /// Decodes one request line. The error string is ready to ship in
+    /// an [`error_reply`].
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let v: Value =
+            serde_json::from_str(line).map_err(|e| format!("invalid JSON request: {e}"))?;
+        if v.as_object().is_none() {
+            return Err("request must be a JSON object".to_string());
+        }
+        let op = v["op"]
+            .as_str()
+            .ok_or("missing string field `op`")?
+            .to_string();
+        match op.as_str() {
+            "register" => {
+                let line = v["txn"]
+                    .as_str()
+                    .ok_or("register needs a string field `txn`")?
+                    .to_string();
+                Ok(Request::Register { line })
+            }
+            "deregister" => Ok(Request::Deregister { id: txn_id(&v)? }),
+            "assign" => Ok(Request::Assign { id: txn_id(&v)? }),
+            "stats" => Ok(Request::Stats),
+            "list" => Ok(Request::List),
+            "ping" => Ok(Request::Ping),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(format!(
+                "unknown op `{other}` (expected register, deregister, assign, stats, list, ping or shutdown)"
+            )),
+        }
+    }
+
+    /// Encodes the request as its wire JSON object.
+    pub fn to_json(&self) -> Value {
+        match self {
+            Request::Register { line } => json!({"op": "register", "txn": line.as_str()}),
+            Request::Deregister { id } => json!({"op": "deregister", "txn_id": id.0}),
+            Request::Assign { id } => json!({"op": "assign", "txn_id": id.0}),
+            Request::Stats => json!({"op": "stats"}),
+            Request::List => json!({"op": "list"}),
+            Request::Ping => json!({"op": "ping"}),
+            Request::Shutdown => json!({"op": "shutdown"}),
+        }
+    }
+}
+
+fn txn_id(v: &Value) -> Result<TxnId, String> {
+    let raw = v["txn_id"]
+        .as_u64()
+        .ok_or("missing numeric field `txn_id`")?;
+    let id = u32::try_from(raw).map_err(|_| format!("txn_id {raw} out of range"))?;
+    Ok(TxnId(id))
+}
+
+/// An `"ok": false` reply carrying a message.
+pub fn error_reply(message: &str) -> Value {
+    json!({"ok": false, "error": message})
+}
+
+/// An `"ok": true` reply skeleton; callers add op-specific fields.
+pub fn ok_reply() -> Value {
+    json!({"ok": true})
+}
+
+/// Encodes a [`LevelChange`] list as the wire `changed` array.
+pub fn changes_json(changes: &[LevelChange]) -> Value {
+    Value::Array(
+        changes
+            .iter()
+            .map(|c| {
+                json!({
+                    "txn": c.txn.0,
+                    "before": c.before.map(|l| l.as_str()),
+                    "after": c.after.map(|l| l.as_str()),
+                })
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip_through_json() {
+        let reqs = [
+            Request::Register {
+                line: "T1: R[x] W[y]".to_string(),
+            },
+            Request::Deregister { id: TxnId(7) },
+            Request::Assign { id: TxnId(3) },
+            Request::Stats,
+            Request::List,
+            Request::Ping,
+            Request::Shutdown,
+        ];
+        for req in reqs {
+            let wire = serde_json::to_string(&req.to_json()).unwrap();
+            assert_eq!(Request::parse(&wire).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn malformed_requests_give_helpful_errors() {
+        assert!(Request::parse("not json").unwrap_err().contains("JSON"));
+        assert!(Request::parse("42").unwrap_err().contains("object"));
+        assert!(Request::parse("{}").unwrap_err().contains("op"));
+        assert!(Request::parse(r#"{"op":"fly"}"#)
+            .unwrap_err()
+            .contains("unknown op `fly`"));
+        assert!(Request::parse(r#"{"op":"assign"}"#)
+            .unwrap_err()
+            .contains("txn_id"));
+        assert!(Request::parse(r#"{"op":"register"}"#)
+            .unwrap_err()
+            .contains("txn"));
+        assert!(Request::parse(r#"{"op":"assign","txn_id":99999999999}"#)
+            .unwrap_err()
+            .contains("out of range"));
+    }
+
+    #[test]
+    fn changed_array_encodes_nulls_for_enter_and_leave() {
+        use mvisolation::IsolationLevel;
+        let changes = vec![
+            LevelChange {
+                txn: TxnId(1),
+                before: Some(IsolationLevel::SI),
+                after: Some(IsolationLevel::SSI),
+            },
+            LevelChange {
+                txn: TxnId(2),
+                before: None,
+                after: Some(IsolationLevel::RC),
+            },
+        ];
+        let v = changes_json(&changes);
+        assert_eq!(v[0]["before"], "SI");
+        assert_eq!(v[0]["after"], "SSI");
+        assert!(v[1]["before"].is_null());
+        assert_eq!(v[1]["txn"], 2u64);
+    }
+}

@@ -1,0 +1,207 @@
+//! The online workload registry: a thin, parsing-aware wrapper around
+//! the incremental [`Allocator`] delta API.
+//!
+//! Transactions register and deregister at runtime; the registry keeps
+//! the unique optimal robust allocation of the *current* set
+//! continuously available ([`Registry::assign`] is an O(1) lookup into
+//! the cached optimum — no probe runs unless the workload changed).
+
+use mvisolation::{Allocation, IsolationLevel};
+use mvmodel::{parse_transaction_line, Op, ParseError, Transaction, TransactionSet, TxnId};
+use mvrobustness::{AllocError, Allocator, EngineStats, LevelSet, Realloc};
+
+/// Why a registry operation failed. Mirrors the two layers beneath it:
+/// the textual transaction format and the allocation engine.
+#[derive(Debug)]
+pub enum RegistryError {
+    /// The transaction line did not parse.
+    Parse(ParseError),
+    /// The allocator rejected the mutation (duplicate id, unknown id, or
+    /// an unallocatable `{RC, SI}` workload — rolled back).
+    Alloc(AllocError),
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegistryError::Parse(e) => write!(f, "parse error: {e}"),
+            RegistryError::Alloc(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+/// A registered transaction as reported by [`Registry::list`].
+#[derive(Clone, Debug)]
+pub struct RegisteredTxn {
+    pub id: TxnId,
+    /// Canonical text rendering (`T1: R[x] W[y] C`).
+    pub text: String,
+    /// The transaction's level under the current optimum.
+    pub level: IsolationLevel,
+}
+
+/// An online transaction registry with a continuously maintained
+/// optimal robust allocation.
+pub struct Registry {
+    alloc: Allocator<'static>,
+}
+
+impl Registry {
+    /// An empty registry over the given level menu; `threads` workers
+    /// serve each reallocation probe.
+    pub fn new(levels: LevelSet, threads: usize) -> Self {
+        Registry {
+            alloc: Allocator::from_owned(TransactionSet::default())
+                .with_levels(levels)
+                .with_threads(threads),
+        }
+    }
+
+    pub fn levels(&self) -> LevelSet {
+        self.alloc.levels()
+    }
+
+    /// Number of registered transactions.
+    pub fn len(&self) -> usize {
+        self.alloc.txns().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.alloc.txns().len() == 0
+    }
+
+    /// Registers the transaction described by `line` (`T7: R[x] W[y]`)
+    /// and incrementally reallocates. Object names resolve against the
+    /// names already interned by earlier registrations, so `x` in one
+    /// transaction conflicts with `x` in another.
+    pub fn register(&mut self, line: &str) -> Result<Realloc, RegistryError> {
+        // Parse against a scratch set, then re-intern the object names
+        // into the allocator's own table: the allocator deliberately
+        // never hands out `&mut TransactionSet` (a raw mutation would
+        // bypass delta-state invalidation).
+        let mut scratch = TransactionSet::default();
+        let parsed = parse_transaction_line(line, &mut scratch).map_err(RegistryError::Parse)?;
+        let ops = parsed
+            .ops()
+            .iter()
+            .map(|op| Op {
+                kind: op.kind,
+                object: self.alloc.intern_object(&scratch.object_name(op.object)),
+            })
+            .collect();
+        let txn = Transaction::new(parsed.id(), ops).expect("parser enforces the op invariants");
+        self.alloc.add_txn(txn).map_err(RegistryError::Alloc)
+    }
+
+    /// Deregisters transaction `id` and incrementally reallocates.
+    pub fn deregister(&mut self, id: TxnId) -> Result<Realloc, RegistryError> {
+        self.alloc.remove_txn(id).map_err(RegistryError::Alloc)
+    }
+
+    /// The current optimal level of `id` — an O(1) lookup into the
+    /// cached allocation. `None` when `id` is not registered.
+    pub fn assign(&mut self, id: TxnId) -> Option<IsolationLevel> {
+        self.alloc.current().ok()?.get(id)
+    }
+
+    /// The full current optimum.
+    pub fn current(&mut self) -> Result<&Allocation, RegistryError> {
+        self.alloc.current().map_err(RegistryError::Alloc)
+    }
+
+    /// The registered transactions with their current levels, in id
+    /// order.
+    pub fn list(&mut self) -> Vec<RegisteredTxn> {
+        let levels: Vec<(TxnId, IsolationLevel)> = match self.alloc.current() {
+            Ok(a) => a.iter().collect(),
+            Err(_) => return Vec::new(),
+        };
+        let txns = self.alloc.txns();
+        levels
+            .into_iter()
+            .map(|(id, level)| RegisteredTxn {
+                id,
+                text: mvmodel::fmt::transaction(txns, txns.txn(id)),
+                level,
+            })
+            .collect()
+    }
+
+    /// Work counters of the most recent reallocation, if any ran.
+    pub fn last_stats(&self) -> Option<&EngineStats> {
+        self.alloc.last_stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_assign_deregister_round_trip() {
+        let mut reg = Registry::new(LevelSet::RcSiSsi, 1);
+        assert!(reg.is_empty());
+        let r = reg.register("T1: R[x] W[y]").unwrap();
+        assert_eq!(r.allocation.to_string(), "T1=RC");
+        let r = reg.register("T2: R[y] W[x]").unwrap();
+        assert_eq!(r.allocation.to_string(), "T1=SSI T2=SSI");
+        // The write-skew partner raised T1: both changes are reported.
+        assert_eq!(r.changed.len(), 2);
+        assert_eq!(reg.assign(TxnId(1)), Some(IsolationLevel::SSI));
+        assert_eq!(reg.assign(TxnId(9)), None);
+        assert_eq!(reg.len(), 2);
+
+        let list = reg.list();
+        assert_eq!(list.len(), 2);
+        assert_eq!(list[0].text, "T1: R[x] W[y] C");
+        assert_eq!(list[0].level, IsolationLevel::SSI);
+
+        reg.deregister(TxnId(2)).unwrap();
+        assert_eq!(reg.assign(TxnId(1)), Some(IsolationLevel::RC));
+    }
+
+    #[test]
+    fn shared_object_names_conflict_across_registrations() {
+        let mut reg = Registry::new(LevelSet::RcSiSsi, 1);
+        reg.register("T1: R[acct] W[acct]").unwrap();
+        let r = reg.register("T2: R[acct] W[acct]").unwrap();
+        // A lost-update pair: both need SI — proof the second `acct`
+        // resolved to the first one's object.
+        assert_eq!(r.allocation.to_string(), "T1=SI T2=SI");
+    }
+
+    #[test]
+    fn structured_errors() {
+        let mut reg = Registry::new(LevelSet::RcSiSsi, 1);
+        assert!(matches!(
+            reg.register("garbage"),
+            Err(RegistryError::Parse(_))
+        ));
+        reg.register("T1: R[x]").unwrap();
+        assert!(matches!(
+            reg.register("T1: W[x]"),
+            Err(RegistryError::Alloc(AllocError::Duplicate(TxnId(1))))
+        ));
+        assert!(matches!(
+            reg.deregister(TxnId(5)),
+            Err(RegistryError::Alloc(AllocError::Unknown(TxnId(5))))
+        ));
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn rc_si_registry_rejects_unallocatable_and_keeps_serving() {
+        let mut reg = Registry::new(LevelSet::RcSi, 1);
+        reg.register("T1: R[x] W[y]").unwrap();
+        let err = reg.register("T2: R[y] W[x]").unwrap_err();
+        assert!(matches!(
+            err,
+            RegistryError::Alloc(AllocError::NotAllocatable(LevelSet::RcSi))
+        ));
+        // Rolled back: T1 still served.
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg.assign(TxnId(1)), Some(IsolationLevel::RC));
+    }
+}

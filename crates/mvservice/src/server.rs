@@ -1,0 +1,374 @@
+//! The allocation daemon: a blocking thread-per-connection TCP server
+//! over the [`Registry`].
+//!
+//! Design constraints (std-only, no async runtime):
+//!
+//! - the acceptor runs non-blocking and polls a shutdown flag between
+//!   accepts, so `SIGTERM`/ctrl-c (see [`install_signal_handlers`]) and
+//!   the `shutdown` request both stop the server promptly;
+//! - each connection thread reads with a short socket timeout used as a
+//!   shutdown-poll tick; a *request* timeout only starts once a partial
+//!   line has arrived (an idle keep-alive connection never times out);
+//! - malformed input produces a structured `{"ok":false,"error":…}`
+//!   reply and the connection stays open — only a stalled partial
+//!   request or an I/O error closes it;
+//! - the registry sits behind one mutex: reallocation is the expensive
+//!   part and is CPU-bound, so serializing mutations is the correct
+//!   concurrency regime, while `assign`/`stats` hold the lock for an
+//!   O(1) lookup only.
+
+use crate::metrics::Metrics;
+use crate::protocol::{changes_json, error_reply, ok_reply, Request};
+use crate::registry::Registry;
+use mvrobustness::LevelSet;
+use serde_json::Value;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Server configuration.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Bind address; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// Level menu served to clients.
+    pub levels: LevelSet,
+    /// Engine worker threads per reallocation probe.
+    pub threads: usize,
+    /// How long a *partial* request line may stall before the
+    /// connection is dropped (with an error reply).
+    pub request_timeout: Duration,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            addr: "127.0.0.1:7411".to_string(),
+            levels: LevelSet::default(),
+            threads: 1,
+            request_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// How often blocked reads and the acceptor wake up to poll shutdown.
+const POLL_TICK: Duration = Duration::from_millis(25);
+
+/// Set by the `SIGINT`/`SIGTERM` handler; polled by every server.
+static SIGNAL_SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+/// Installs process-wide `SIGINT` and `SIGTERM` handlers that request a
+/// graceful stop of every running [`Server`]. Call once, from the
+/// binary — library users who manage their own signals use
+/// [`Server::handle`] instead.
+pub fn install_signal_handlers() {
+    extern "C" fn request_shutdown(_sig: i32) {
+        // Only async-signal-safe work here: one atomic store.
+        SIGNAL_SHUTDOWN.store(true, Ordering::SeqCst);
+    }
+    #[cfg(unix)]
+    unsafe {
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        signal(SIGINT, request_shutdown as *const () as usize);
+        signal(SIGTERM, request_shutdown as *const () as usize);
+    }
+}
+
+struct Shared {
+    registry: Mutex<Registry>,
+    metrics: Metrics,
+    shutdown: AtomicBool,
+    request_timeout: Duration,
+}
+
+impl Shared {
+    fn stopping(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst) || SIGNAL_SHUTDOWN.load(Ordering::SeqCst)
+    }
+}
+
+/// A cloneable handle that can stop a running [`Server`] from another
+/// thread.
+#[derive(Clone)]
+pub struct ServerHandle(Arc<Shared>);
+
+impl ServerHandle {
+    /// Requests a graceful stop; `run` returns once in-flight requests
+    /// finish.
+    pub fn shutdown(&self) {
+        self.0.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    pub fn is_shutting_down(&self) -> bool {
+        self.0.stopping()
+    }
+}
+
+/// The allocation daemon. [`Server::bind`] then [`Server::run`].
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Binds the listening socket and builds an empty registry.
+    pub fn bind(config: Config) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        Ok(Server {
+            listener,
+            shared: Arc::new(Shared {
+                registry: Mutex::new(Registry::new(config.levels, config.threads)),
+                metrics: Metrics::new(),
+                shutdown: AtomicBool::new(false),
+                request_timeout: config.request_timeout,
+            }),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle for stopping the server from another thread.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle(Arc::clone(&self.shared))
+    }
+
+    /// Serves until a `shutdown` request, a [`ServerHandle::shutdown`],
+    /// or a handled signal. Joins every connection thread before
+    /// returning.
+    pub fn run(self) -> std::io::Result<()> {
+        self.listener.set_nonblocking(true)?;
+        let mut workers: Vec<JoinHandle<()>> = Vec::new();
+        while !self.shared.stopping() {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let shared = Arc::clone(&self.shared);
+                    workers.push(thread::spawn(move || {
+                        // A connection failing setup or I/O is its own
+                        // problem; the server keeps serving.
+                        let _ = serve_connection(stream, shared);
+                    }));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    thread::sleep(POLL_TICK);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+            workers.retain(|w| !w.is_finished());
+        }
+        for w in workers {
+            let _ = w.join();
+        }
+        Ok(())
+    }
+}
+
+/// Serves one client connection until it closes, stalls mid-request, or
+/// the server shuts down.
+fn serve_connection(stream: TcpStream, shared: Arc<Shared>) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(POLL_TICK))?;
+    stream.set_nodelay(true).ok();
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    // `Some(t)` while a partial request line is buffered: the moment the
+    // first byte of the request arrived.
+    let mut partial_since: Option<Instant> = None;
+    loop {
+        if shared.stopping() {
+            return Ok(());
+        }
+        match reader.read_line(&mut line) {
+            Ok(0) => {
+                if line.is_empty() {
+                    return Ok(()); // clean close
+                }
+                // Final request without trailing newline, then EOF.
+                respond(&mut writer, &shared, &line)?;
+                return Ok(());
+            }
+            Ok(_) if !line.ends_with('\n') => {
+                // read_line only returns Ok at a newline or EOF; a
+                // missing newline here means EOF mid-line.
+                respond(&mut writer, &shared, &line)?;
+                return Ok(());
+            }
+            Ok(_) => {
+                let stop = respond(&mut writer, &shared, &line)?;
+                line.clear();
+                partial_since = None;
+                if stop {
+                    return Ok(());
+                }
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                // Poll tick. `read_line` keeps any partial bytes in
+                // `line`, so a slow request accumulates across ticks —
+                // but not forever.
+                if line.is_empty() {
+                    partial_since = None;
+                    continue;
+                }
+                let since = *partial_since.get_or_insert_with(Instant::now);
+                if since.elapsed() > shared.request_timeout {
+                    let reply = error_reply("request timed out mid-line");
+                    write_reply(&mut writer, &reply)?;
+                    return Ok(());
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Handles one request line: decode, execute, reply. Returns `true`
+/// when the connection should close (shutdown acknowledged).
+fn respond(writer: &mut TcpStream, shared: &Shared, raw: &str) -> std::io::Result<bool> {
+    let line = raw.trim();
+    if line.is_empty() {
+        return Ok(false);
+    }
+    let start = Instant::now();
+    let (op, reply, stop) = match Request::parse(line) {
+        Err(msg) => ("invalid", error_reply(&msg), false),
+        Ok(req) => {
+            let op = req.op_name();
+            let (reply, stop) = execute(shared, req);
+            (op, reply, stop)
+        }
+    };
+    let ok = reply["ok"] == true;
+    shared.metrics.record(op, ok, start.elapsed());
+    write_reply(writer, &reply)?;
+    Ok(stop)
+}
+
+fn write_reply(writer: &mut TcpStream, reply: &Value) -> std::io::Result<()> {
+    let mut encoded = serde_json::to_string(reply).expect("replies are always encodable");
+    encoded.push('\n');
+    writer.write_all(encoded.as_bytes())?;
+    writer.flush()
+}
+
+/// Executes a decoded request against the shared registry.
+fn execute(shared: &Shared, req: Request) -> (Value, bool) {
+    match req {
+        Request::Register { line } => {
+            let mut reg = shared.registry.lock().expect("registry poisoned");
+            match reg.register(&line) {
+                Ok(realloc) => {
+                    let mut v = ok_reply();
+                    let id = realloc
+                        .changed
+                        .iter()
+                        .find(|c| c.before.is_none())
+                        .map(|c| c.txn);
+                    if let Some(id) = id {
+                        v["txn_id"] = Value::from(id.0);
+                        v["level"] = Value::from(realloc.allocation.level(id).as_str());
+                    }
+                    v["changed"] = changes_json(&realloc.changed);
+                    v["registry_size"] = Value::from(reg.len() as u64);
+                    (v, false)
+                }
+                Err(e) => (error_reply(&e.to_string()), false),
+            }
+        }
+        Request::Deregister { id } => {
+            let mut reg = shared.registry.lock().expect("registry poisoned");
+            match reg.deregister(id) {
+                Ok(realloc) => {
+                    let mut v = ok_reply();
+                    v["txn_id"] = Value::from(id.0);
+                    v["changed"] = changes_json(&realloc.changed);
+                    v["registry_size"] = Value::from(reg.len() as u64);
+                    (v, false)
+                }
+                Err(e) => (error_reply(&e.to_string()), false),
+            }
+        }
+        Request::Assign { id } => {
+            let mut reg = shared.registry.lock().expect("registry poisoned");
+            match reg.assign(id) {
+                Some(level) => {
+                    let mut v = ok_reply();
+                    v["txn_id"] = Value::from(id.0);
+                    v["level"] = Value::from(level.as_str());
+                    (v, false)
+                }
+                None => (
+                    error_reply(&format!("transaction {id} is not registered")),
+                    false,
+                ),
+            }
+        }
+        Request::Stats => {
+            let reg = shared.registry.lock().expect("registry poisoned");
+            let mut v = shared.metrics.to_json();
+            v["ok"] = Value::from(true);
+            v["registry_size"] = Value::from(reg.len() as u64);
+            v["levels"] = Value::from(reg.levels().label());
+            v["last_realloc"] = match reg.last_stats() {
+                None => Value::Null,
+                Some(s) => {
+                    let mut m = serde_json::Map::new();
+                    m.insert("probes".to_string(), Value::from(s.probes));
+                    m.insert("cache_hits".to_string(), Value::from(s.cache_hits));
+                    m.insert("cached_specs".to_string(), Value::from(s.cached_specs));
+                    m.insert("iso_builds".to_string(), Value::from(s.iso_builds));
+                    m.insert("threads".to_string(), Value::from(s.threads as u64));
+                    m.insert(
+                        "wall_us".to_string(),
+                        Value::from(s.wall.as_micros().min(u128::from(u64::MAX)) as u64),
+                    );
+                    Value::Object(m)
+                }
+            };
+            (v, false)
+        }
+        Request::List => {
+            let mut reg = shared.registry.lock().expect("registry poisoned");
+            let txns: Vec<Value> = reg
+                .list()
+                .into_iter()
+                .map(|t| {
+                    let mut m = serde_json::Map::new();
+                    m.insert("id".to_string(), Value::from(t.id.0));
+                    m.insert("text".to_string(), Value::from(t.text));
+                    m.insert("level".to_string(), Value::from(t.level.as_str()));
+                    Value::Object(m)
+                })
+                .collect();
+            let mut v = ok_reply();
+            v["txns"] = Value::Array(txns);
+            (v, false)
+        }
+        Request::Ping => {
+            let mut v = ok_reply();
+            v["pong"] = Value::from(true);
+            (v, false)
+        }
+        Request::Shutdown => {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            let mut v = ok_reply();
+            v["shutting_down"] = Value::from(true);
+            (v, true)
+        }
+    }
+}

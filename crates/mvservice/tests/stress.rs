@@ -1,0 +1,121 @@
+//! Concurrency stress: several client threads hammer one server with
+//! register / assign / deregister traffic. Asserts:
+//!
+//! - no request ever gets a transport error or a malformed reply —
+//!   every reply is a JSON object with an `ok` field;
+//! - structured errors occur only where the workload makes them legal
+//!   (assigning a transaction the same thread already deregistered);
+//! - every successful `assign` reply is a level of the then-current
+//!   allocation — i.e. a legal level string for the configured menu;
+//! - after the dust settles the registry size equals exactly the
+//!   registrations minus deregistrations, and the surviving allocation
+//!   equals a fresh full recomputation.
+
+use mvrobustness::Allocator;
+use mvservice::{Client, ClientError, Config, Server};
+use std::time::Duration;
+
+const THREADS: u32 = 6;
+const OBJECTS: u32 = 4;
+
+#[test]
+fn concurrent_clients_never_break_the_service() {
+    let server = Server::bind(Config {
+        addr: "127.0.0.1:0".to_string(),
+        ..Config::default()
+    })
+    .expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let server_thread = std::thread::spawn(move || server.run().expect("run"));
+
+    let workers: Vec<_> = (0..THREADS)
+        .map(|w| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                client
+                    .set_timeout(Some(Duration::from_secs(60)))
+                    .expect("timeout");
+                // Each worker owns a disjoint id range; objects are
+                // shared across workers so reallocations interact.
+                let base = 1000 * (w + 1);
+                let mut registered: Vec<u32> = Vec::new();
+                for i in 0..10u32 {
+                    let id = base + i;
+                    let obj_a = (w + i) % OBJECTS;
+                    let obj_b = (w + i + 1) % OBJECTS;
+                    let line = format!("T{id}: R[o{obj_a}] W[o{obj_b}]");
+                    let reply = client.register(&line).expect("register never errors");
+                    assert_eq!(reply["ok"], true);
+                    registered.push(id);
+
+                    // Assign something this thread knows is registered.
+                    let probe = registered[(i as usize) / 2];
+                    let level = client.assign(probe).expect("assign registered id");
+                    assert!(
+                        ["RC", "SI", "SSI"].contains(&level.as_str()),
+                        "level {level} outside the menu"
+                    );
+
+                    // Every third step, retire the oldest transaction.
+                    if i % 3 == 2 {
+                        let victim = registered.remove(0);
+                        let reply = client.deregister(victim).expect("deregister");
+                        assert_eq!(reply["ok"], true);
+                        // Assigning it afterwards is a *structured* error.
+                        match client.assign(victim) {
+                            Err(ClientError::Server(msg)) => {
+                                assert!(msg.contains("not registered"), "{msg}")
+                            }
+                            Ok(_) => panic!("assign of deregistered T{victim} succeeded"),
+                            Err(other) => panic!("transport error on legal request: {other}"),
+                        }
+                    }
+                }
+                registered
+            })
+        })
+        .collect();
+
+    let mut surviving: Vec<u32> = Vec::new();
+    for w in workers {
+        surviving.extend(w.join().expect("worker panicked"));
+    }
+    surviving.sort_unstable();
+
+    // Registry size converged to registrations minus deregistrations.
+    let mut client = Client::connect(addr).expect("connect");
+    client
+        .set_timeout(Some(Duration::from_secs(60)))
+        .expect("timeout");
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats["registry_size"], surviving.len() as u64);
+    assert_eq!(stats["errors"], u64::from(THREADS * 3));
+
+    // The served allocation equals a fresh full recomputation of the
+    // surviving workload.
+    let listed = client.list().expect("list");
+    let listed = listed["txns"].as_array().expect("array").clone();
+    let ids: Vec<u32> = listed
+        .iter()
+        .map(|t| t["id"].as_u64().unwrap() as u32)
+        .collect();
+    assert_eq!(ids, surviving, "served ids diverge from client bookkeeping");
+
+    let text: String = listed
+        .iter()
+        .map(|t| format!("{}\n", t["text"].as_str().unwrap()))
+        .collect();
+    let txns = mvmodel::parse_transactions(&text).expect("round-trip parse");
+    let (expected, _) = Allocator::new(&txns).optimal();
+    for t in &listed {
+        let id = mvmodel::TxnId(t["id"].as_u64().unwrap() as u32);
+        assert_eq!(
+            t["level"],
+            expected.level(id).as_str(),
+            "served level diverges from full recomputation for {id}"
+        );
+    }
+
+    client.shutdown().expect("shutdown");
+    server_thread.join().expect("server thread");
+}

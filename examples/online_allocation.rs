@@ -1,0 +1,82 @@
+//! Online allocation: maintain the optimal robust allocation while the
+//! workload churns, first in-process through the incremental allocator,
+//! then over a real socket through the service layer.
+//!
+//! ```sh
+//! cargo run --example online_allocation
+//! ```
+
+use mvrobust::robustness::Allocator;
+use mvrobust::service::{Client, Config, Registry, Server};
+use std::thread;
+
+fn main() {
+    // ── 1. In-process: the delta engine under the daemon ─────────────
+    //
+    // `add_txn`/`remove_txn` keep the optimal allocation current after
+    // each membership change, reusing cached counterexamples instead of
+    // rerunning Algorithm 2 from scratch. Results are bit-identical to
+    // a full recomputation.
+    let mut registry = Registry::new(Default::default(), 1);
+    for line in [
+        "T1: R[orders] R[stock]",
+        "T2: R[stock] W[stock] W[orders]",
+        "T3: R[counter] W[counter]",
+    ] {
+        let realloc = registry.register(line).expect("allocatable");
+        println!("after {line}");
+        for c in &realloc.changed {
+            println!("  {:?}: {:?} -> {:?}", c.txn, c.before, c.after);
+        }
+    }
+    println!(
+        "registry holds {} transactions; T2 runs at {:?}",
+        registry.len(),
+        registry.assign(mvrobust::model::TxnId(2)).unwrap()
+    );
+
+    // A racing partner for T3 arrives; only the affected transactions
+    // move, and the reply says exactly which ones.
+    let realloc = registry
+        .register("T4: R[counter] W[counter]")
+        .expect("allocatable");
+    println!("T4 arrives; levels changed:");
+    for c in &realloc.changed {
+        println!("  {:?}: {:?} -> {:?}", c.txn, c.before, c.after);
+    }
+
+    // ── 2. Over the wire: serve the same registry on a socket ────────
+    let server = Server::bind(Config {
+        addr: "127.0.0.1:0".to_string(),
+        ..Config::default()
+    })
+    .expect("bind loopback");
+    let addr = server.local_addr().expect("bound address");
+    let worker = thread::spawn(move || server.run().expect("serve"));
+
+    let mut client = Client::connect(addr).expect("connect");
+    client.register("T1: R[x] W[y]").expect("register");
+    let reply = client.register("T2: R[y] W[x]").expect("register");
+    println!(
+        "\nserved write-skew pair; reallocation changed {} levels",
+        { reply["changed"].as_array().map(|a| a.len()).unwrap_or(0) }
+    );
+    let level = client.assign(1).expect("assign");
+    println!("server assigns T1 -> {level}");
+
+    let stats = client.stats().expect("stats");
+    println!(
+        "server handled {} requests at p99 {}µs",
+        stats["total"], stats["latency_us"]["p99"]
+    );
+
+    client.shutdown().expect("shutdown");
+    worker.join().expect("server thread");
+
+    // The in-process registry and the served one agree: both are the
+    // unique optimal allocation of Algorithm 2.
+    let txns = mvrobust::model::parse_transactions("T1: R[x] W[y]\nT2: R[y] W[x]").unwrap();
+    let (expect, _) = Allocator::new(&txns).optimal();
+    assert_eq!(level, expect.level(mvrobust::model::TxnId(1)));
+    println!("matches a from-scratch Allocator::optimal run");
+}

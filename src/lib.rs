@@ -17,6 +17,9 @@
 //! - [`sim`] — an MVCC execution simulator honouring per-transaction
 //!   isolation levels, standing in for Postgres/Oracle.
 //! - [`workloads`] — random, TPC-C, SmallBank and paper-example workloads.
+//! - [`service`] — the online allocation daemon: a workload registry on
+//!   the incremental `add_txn`/`remove_txn` engine, a line-JSON TCP
+//!   server, and the matching client (`mvrobust serve` / `client`).
 //!
 //! ## Quickstart
 //!
@@ -43,6 +46,7 @@
 pub use mvisolation as isolation;
 pub use mvmodel as model;
 pub use mvrobustness as robustness;
+pub use mvservice as service;
 pub use mvsim as sim;
 pub use mvtemplates as templates;
 pub use mvworkloads as workloads;
