@@ -20,9 +20,13 @@ pub struct Parsed {
 const VALUED: &[&str] = &[
     "addr",
     "alloc",
+    "backoff-ms",
+    "fault-plan",
     "level",
     "levels",
     "concurrency",
+    "realloc-timeout-ms",
+    "retries",
     "seed",
     "repeat",
     "ssi-mode",

@@ -3,16 +3,76 @@
 //! ```text
 //! mvrobust client register "T1: R[x] W[y]" [--addr HOST:PORT] [--json]
 //! mvrobust client deregister T1 | assign T1 | stats | list | ping | shutdown
+//! mvrobust client ... [--retries N] [--backoff-ms MS] [--seed N]
 //! ```
+//!
+//! `--retries` / `--backoff-ms` switch to the reconnecting retry client:
+//! transport failures are retried with exponential backoff and jittered
+//! delays, and mutating verbs carry idempotent request ids so a replay
+//! never double-applies. `--seed` pins the jitter for reproducibility.
 //!
 //! Exit code 0 = success, 1 = the server replied with a structured
 //! error (e.g. unknown transaction, unallocatable workload), 2 = usage
 //! or transport error.
 
 use crate::args::Parsed;
-use mvservice::{Client, ClientError};
+use mvisolation::IsolationLevel;
+use mvservice::{Client, ClientError, RetryClient, RetryPolicy};
 use serde_json::Value;
 use std::process::ExitCode;
+use std::time::Duration;
+
+/// Either a plain one-shot connection or the reconnecting retry client;
+/// both speak the same verbs.
+enum Conn {
+    Plain(Client),
+    Retry(RetryClient),
+}
+
+impl Conn {
+    fn register(&mut self, line: &str) -> Result<Value, ClientError> {
+        match self {
+            Conn::Plain(c) => c.register(line),
+            Conn::Retry(c) => c.register(line),
+        }
+    }
+    fn deregister(&mut self, id: u32) -> Result<Value, ClientError> {
+        match self {
+            Conn::Plain(c) => c.deregister(id),
+            Conn::Retry(c) => c.deregister(id),
+        }
+    }
+    fn assign(&mut self, id: u32) -> Result<IsolationLevel, ClientError> {
+        match self {
+            Conn::Plain(c) => c.assign(id),
+            Conn::Retry(c) => c.assign(id),
+        }
+    }
+    fn stats(&mut self) -> Result<Value, ClientError> {
+        match self {
+            Conn::Plain(c) => c.stats(),
+            Conn::Retry(c) => c.stats(),
+        }
+    }
+    fn list(&mut self) -> Result<Value, ClientError> {
+        match self {
+            Conn::Plain(c) => c.list(),
+            Conn::Retry(c) => c.list(),
+        }
+    }
+    fn ping(&mut self) -> Result<(), ClientError> {
+        match self {
+            Conn::Plain(c) => c.ping(),
+            Conn::Retry(c) => c.ping(),
+        }
+    }
+    fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self {
+            Conn::Plain(c) => c.shutdown(),
+            Conn::Retry(c) => c.shutdown(),
+        }
+    }
+}
 
 pub fn run(argv: &[String]) -> Result<ExitCode, String> {
     let parsed = Parsed::parse(argv)?;
@@ -22,8 +82,26 @@ pub fn run(argv: &[String]) -> Result<ExitCode, String> {
     let verb = args.next().ok_or(
         "client needs a subcommand: register, deregister, assign, stats, list, ping or shutdown",
     )?;
-    let mut client = Client::connect(addr)
-        .map_err(|e| format!("connecting to {addr}: {e} (is `mvrobust serve` running?)"))?;
+    let retries = parsed.option_parse::<u32>("retries")?;
+    let backoff_ms = parsed.option_parse::<u64>("backoff-ms")?;
+    let mut client = if retries.is_some() || backoff_ms.is_some() {
+        let mut policy = RetryPolicy::default();
+        if let Some(n) = retries {
+            policy.retries = n;
+        }
+        if let Some(ms) = backoff_ms {
+            policy.base = Duration::from_millis(ms);
+        }
+        if let Some(seed) = parsed.option_parse::<u64>("seed")? {
+            policy.seed = seed;
+        }
+        Conn::Retry(RetryClient::new(addr, policy))
+    } else {
+        Conn::Plain(
+            Client::connect(addr)
+                .map_err(|e| format!("connecting to {addr}: {e} (is `mvrobust serve` running?)"))?,
+        )
+    };
 
     let result = match verb.as_str() {
         "register" => {
@@ -129,7 +207,10 @@ pub fn run(argv: &[String]) -> Result<ExitCode, String> {
             eprintln!("server error: {msg}");
             Ok(ExitCode::from(1))
         }
-        Err(e) => Err(e.to_string()),
+        // Transport / protocol failure: one actionable line, exit 2.
+        Err(e) => Err(format!(
+            "talking to {addr}: {e} (is `mvrobust serve` running?)"
+        )),
     }
 }
 

@@ -2,7 +2,15 @@
 //!
 //! ```text
 //! mvrobust serve [--addr HOST:PORT] [--levels rc-si|rc-si-ssi] [--threads N]
+//!                [--realloc-timeout-ms N] [--fault-plan SPEC]
 //! ```
+//!
+//! `--realloc-timeout-ms` caps each incremental reallocation; on expiry
+//! the mutation is rolled back and the last-known-good allocation keeps
+//! being served (degraded mode). `--fault-plan` installs a seeded
+//! chaos-testing schedule, e.g.
+//! `seed=42,drop=0.1,truncate=0.05,slow=0.1,delay_ms=10,budget=40` —
+//! never use it in production.
 //!
 //! Prints `listening on <addr>` once the socket is bound (with the
 //! ephemeral port resolved, so `--addr 127.0.0.1:0` is scriptable),
@@ -10,8 +18,9 @@
 //! `SIGINT`/`SIGTERM`.
 
 use crate::args::Parsed;
-use mvservice::{install_signal_handlers, Config, Server};
+use mvservice::{install_signal_handlers, Config, FaultPlan, Server};
 use std::process::ExitCode;
+use std::time::Duration;
 
 pub fn run(argv: &[String]) -> Result<ExitCode, String> {
     let parsed = Parsed::parse(argv)?;
@@ -20,6 +29,11 @@ pub fn run(argv: &[String]) -> Result<ExitCode, String> {
             "serve takes no positional argument (got `{extra}`)"
         ));
     }
+    let faults = parsed
+        .option("fault-plan")
+        .map(|spec| spec.parse::<FaultPlan>())
+        .transpose()
+        .map_err(|e| format!("invalid --fault-plan: {e}"))?;
     let config = Config {
         addr: parsed
             .option("addr")
@@ -27,15 +41,24 @@ pub fn run(argv: &[String]) -> Result<ExitCode, String> {
             .to_string(),
         levels: parsed.level_set()?,
         threads: parsed.threads()?,
+        realloc_timeout: parsed
+            .option_parse::<u64>("realloc-timeout-ms")?
+            .map(Duration::from_millis),
+        faults,
         ..Config::default()
     };
     let levels = config.levels;
+    let fault_note = config
+        .faults
+        .as_ref()
+        .map(|p| format!(" [fault injection: {p}]"))
+        .unwrap_or_default();
     let server = Server::bind(config).map_err(|e| format!("binding listener: {e}"))?;
     let addr = server.local_addr().map_err(|e| e.to_string())?;
     install_signal_handlers();
     // Stdout is line-buffered: this line is visible to a parent process
     // (or test harness) immediately, before the accept loop blocks.
-    println!("listening on {addr} (levels {levels})");
+    println!("listening on {addr} (levels {levels}){fault_note}");
     server.run().map_err(|e| format!("serving: {e}"))?;
     println!("shut down cleanly");
     Ok(ExitCode::SUCCESS)

@@ -9,8 +9,9 @@
 //!                   [--concurrency N] [--seed N] [--repeat K]
 //!                   [--ssi-mode exact|conservative] [--json]
 //! mvrobust serve    [--addr HOST:PORT] [--levels rc-si|rc-si-ssi] [--threads N]
+//!                   [--realloc-timeout-ms N] [--fault-plan SPEC]
 //! mvrobust client   <register|deregister|assign|stats|list|ping|shutdown> [ARG]
-//!                   [--addr HOST:PORT] [--json]
+//!                   [--addr HOST:PORT] [--retries N] [--backoff-ms MS] [--json]
 //! ```
 //!
 //! `FILE` contains one transaction per line (`T1: R[x] W[y]`); `-` or no
@@ -93,9 +94,10 @@ fn print_usage() {
          mvrobust witness  [FILE] (--alloc ... | --level ...) [--json]\n  \
          mvrobust simulate [FILE] [--alloc ... | --level ... | --optimal]\n            \
          [--concurrency N] [--seed N] [--repeat K] [--ssi-mode exact|conservative] [--json]\n  \
-         mvrobust serve    [--addr HOST:PORT] [--levels rc-si|rc-si-ssi] [--threads N]\n  \
+         mvrobust serve    [--addr HOST:PORT] [--levels rc-si|rc-si-ssi] [--threads N]\n            \
+         [--realloc-timeout-ms N] [--fault-plan SPEC]\n  \
          mvrobust client   <register \"T1: R[x]\" | deregister T1 | assign T1 | stats | list |\n            \
-         ping | shutdown> [--addr HOST:PORT] [--json]\n\n\
+         ping | shutdown> [--addr HOST:PORT] [--retries N] [--backoff-ms MS] [--json]\n\n\
          FILE holds one transaction per line, e.g. `T1: R[x] W[y]`; `-` reads stdin."
     );
 }

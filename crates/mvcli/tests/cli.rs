@@ -229,7 +229,7 @@ fn allocate_rejects_unknown_level_set() {
 /// address from its first stdout line. The returned reader must stay
 /// alive until the server exits — closing the pipe early would kill the
 /// server with SIGPIPE on its shutdown message.
-fn spawn_server(extra: &[&str]) -> (Child, String, BufReader<std::process::ChildStdout>) {
+fn spawn_server(extra: &[&str]) -> (Child, String, BufReader<std::process::ChildStdout>, String) {
     let mut child = bin()
         .args(["serve", "--addr", "127.0.0.1:0"])
         .args(extra)
@@ -248,7 +248,7 @@ fn spawn_server(extra: &[&str]) -> (Child, String, BufReader<std::process::Child
         .next()
         .expect("address token")
         .to_string();
-    (child, addr, reader)
+    (child, addr, reader, line)
 }
 
 fn client(addr: &str, args: &[&str]) -> (String, String, i32) {
@@ -260,7 +260,7 @@ fn client(addr: &str, args: &[&str]) -> (String, String, i32) {
 
 #[test]
 fn serve_and_client_round_trip() {
-    let (mut server, addr, mut server_out) = spawn_server(&[]);
+    let (mut server, addr, mut server_out, _) = spawn_server(&[]);
 
     let (stdout, stderr, code) = client(&addr, &["ping"]);
     assert_eq!(code, 0, "{stderr}");
@@ -299,7 +299,7 @@ fn serve_and_client_round_trip() {
 
 #[test]
 fn serve_rc_si_mode_rejects_unallocatable_registration() {
-    let (mut server, addr, _server_out) = spawn_server(&["--levels", "rc-si"]);
+    let (mut server, addr, _server_out, _) = spawn_server(&["--levels", "rc-si"]);
     let (_, _, code) = client(&addr, &["register", "T1: R[x] W[y]"]);
     assert_eq!(code, 0);
     // The write-skew partner has no robust {RC, SI} allocation.
@@ -313,6 +313,89 @@ fn serve_rc_si_mode_rejects_unallocatable_registration() {
     let (_, _, code) = client(&addr, &["shutdown"]);
     assert_eq!(code, 0);
     server.wait().expect("server exit");
+}
+
+#[test]
+fn client_against_unreachable_server_fails_cleanly() {
+    // Reserve a port, then close it: nothing is listening there.
+    let dead = {
+        let l = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        l.local_addr().expect("addr").to_string()
+    };
+    let (stdout, stderr, code) = client(&dead, &["ping"]);
+    assert_eq!(code, 2, "{stderr}");
+    assert!(stdout.is_empty(), "{stdout}");
+    // One actionable line, no stack trace or panic spew.
+    assert_eq!(stderr.trim().lines().count(), 1, "{stderr}");
+    assert!(stderr.contains(&dead), "{stderr}");
+    assert!(stderr.contains("is `mvrobust serve` running?"), "{stderr}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
+    assert!(!stderr.contains("RUST_BACKTRACE"), "{stderr}");
+
+    // The retry client path fails the same way after its retries.
+    let (_, stderr, code) = client(&dead, &["ping", "--retries", "1", "--backoff-ms", "1"]);
+    assert_eq!(code, 2, "{stderr}");
+    assert_eq!(stderr.trim().lines().count(), 1, "{stderr}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
+}
+
+#[test]
+fn client_against_server_dying_mid_handshake_fails_cleanly() {
+    // A fake server that accepts the connection and immediately drops it
+    // — the client sees EOF before any reply line.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr").to_string();
+    let accepter = std::thread::spawn(move || {
+        for stream in listener.incoming().take(2) {
+            drop(stream);
+        }
+    });
+    let (stdout, stderr, code) = client(&addr, &["register", "T1: R[x]"]);
+    assert_eq!(code, 2, "{stderr}");
+    assert!(stdout.is_empty(), "{stdout}");
+    assert_eq!(stderr.trim().lines().count(), 1, "{stderr}");
+    assert!(stderr.contains(&addr), "{stderr}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
+    // Second accept slot: the retry path also ends in one clean line.
+    let (_, stderr, code) = client(&addr, &["ping", "--retries", "0"]);
+    assert_eq!(code, 2, "{stderr}");
+    assert_eq!(stderr.trim().lines().count(), 1, "{stderr}");
+    accepter.join().expect("accepter");
+}
+
+#[test]
+fn serve_fault_plan_announced_and_survivable_with_retries() {
+    let (mut server, addr, _server_out, banner) =
+        spawn_server(&["--fault-plan", "seed=7,drop=0.4,budget=4"]);
+    assert!(banner.contains("fault injection"), "{banner}");
+    assert!(banner.contains("drop=0.4"), "{banner}");
+    // Retries + idempotent request ids ride out the injected drops.
+    let retry = ["--retries", "8", "--backoff-ms", "1", "--seed", "3"];
+    let with_retry = |args: &[&str]| {
+        let mut full = args.to_vec();
+        full.extend_from_slice(&retry);
+        client(&addr, &full)
+    };
+    let (stdout, stderr, code) = with_retry(&["register", "T1: R[x] W[y]"]);
+    assert_eq!(code, 0, "{stderr}");
+    assert!(stdout.contains("registered T1"), "{stdout}");
+    let (stdout, stderr, code) = with_retry(&["stats", "--json"]);
+    assert_eq!(code, 0, "{stderr}");
+    let j: serde_json::Value = serde_json::from_str(&stdout).expect("valid json");
+    assert_eq!(j["registry_size"], 1);
+    let (_, stderr, code) = with_retry(&["shutdown"]);
+    assert_eq!(code, 0, "{stderr}");
+    server.wait().expect("server exit");
+}
+
+#[test]
+fn serve_rejects_malformed_fault_plan() {
+    let (_, stderr, code) = run_with_stdin(&["serve", "--fault-plan", "drop=1.5"], "");
+    assert_eq!(code, 2);
+    assert!(stderr.contains("invalid --fault-plan"), "{stderr}");
+    let (_, stderr, code) = run_with_stdin(&["serve", "--fault-plan", "gremlins=yes"], "");
+    assert_eq!(code, 2);
+    assert!(stderr.contains("invalid --fault-plan"), "{stderr}");
 }
 
 #[test]

@@ -51,7 +51,7 @@ use crate::stats::EngineStats;
 use mvisolation::{Allocation, IsolationLevel, LevelChange};
 use mvmodel::{ModelError, Object, Transaction, TransactionSet, TxnId};
 use std::borrow::Cow;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// A failed lowering attempt: the transaction, the level that was
 /// tried, and the counterexample that rejected it.
@@ -125,9 +125,9 @@ impl std::str::FromStr for LevelSet {
 }
 
 /// Why a registry mutation was rejected. The [`Allocator`]'s transaction
-/// set and optimum are unchanged after an error, except that
-/// [`Allocator::remove_txn`] always removes the transaction even when
-/// the remainder turns out not allocatable.
+/// set and optimum are unchanged after an error: unallocatable or
+/// timed-out mutations are rolled back (a timed-out removal re-inserts
+/// the transaction), so the cached optimum always matches the set.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum AllocError {
     /// [`Allocator::add_txn`] with an id already registered.
@@ -137,6 +137,10 @@ pub enum AllocError {
     /// No robust allocation exists over the level set (only possible for
     /// [`LevelSet::RcSi`], by Proposition 5.4).
     NotAllocatable(LevelSet),
+    /// The reallocation's deadline expired before refinement finished
+    /// (see [`Allocator::with_op_timeout`]); the mutation was rolled
+    /// back and the previous optimum still stands.
+    Timeout,
 }
 
 impl std::fmt::Display for AllocError {
@@ -146,6 +150,9 @@ impl std::fmt::Display for AllocError {
             AllocError::Unknown(t) => write!(f, "transaction {t} is not registered"),
             AllocError::NotAllocatable(l) => {
                 write!(f, "no robust {l} allocation exists for the workload")
+            }
+            AllocError::Timeout => {
+                write!(f, "reallocation timed out and was rolled back")
             }
         }
     }
@@ -183,6 +190,8 @@ pub struct Allocator<'a> {
     txns: Cow<'a, TransactionSet>,
     threads: usize,
     levels: LevelSet,
+    /// Per-mutation deadline budget for the delta API (None = unbounded).
+    op_timeout: Option<Duration>,
     /// The optimum of the current set, when known (delta API state).
     last: Option<Allocation>,
     /// Counterexamples from past lowerings, reused across reallocations.
@@ -197,6 +206,7 @@ impl<'a> Allocator<'a> {
             txns: Cow::Borrowed(txns),
             threads: 1,
             levels: LevelSet::default(),
+            op_timeout: None,
             last: None,
             specs: Vec::new(),
             last_stats: None,
@@ -211,6 +221,7 @@ impl<'a> Allocator<'a> {
             txns: Cow::Owned(txns),
             threads: 1,
             levels: LevelSet::default(),
+            op_timeout: None,
             last: None,
             specs: Vec::new(),
             last_stats: None,
@@ -236,6 +247,29 @@ impl<'a> Allocator<'a> {
     /// The configured level menu.
     pub fn levels(&self) -> LevelSet {
         self.levels
+    }
+
+    /// Caps how long each delta mutation ([`Allocator::add_txn`],
+    /// [`Allocator::remove_txn`], the first [`Allocator::current`]) may
+    /// spend refining. The deadline is checked between probes (a single
+    /// probe is never interrupted); on expiry the mutation is **rolled
+    /// back** — an add reverts the insertion, a remove re-inserts the
+    /// transaction — and [`AllocError::Timeout`] is returned, so the
+    /// cached optimum keeps matching the set exactly. The one-shot
+    /// methods ([`Allocator::optimal`] &c.) ignore this setting.
+    pub fn with_op_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.op_timeout = timeout;
+        self
+    }
+
+    /// The configured per-mutation timeout.
+    pub fn op_timeout(&self) -> Option<Duration> {
+        self.op_timeout
+    }
+
+    /// The deadline for a delta mutation starting now.
+    fn op_deadline(&self) -> Option<Instant> {
+        self.op_timeout.map(|t| Instant::now() + t)
     }
 
     /// The transaction set the allocator currently covers.
@@ -365,7 +399,7 @@ impl<'a> Allocator<'a> {
     /// The optimum of the current set over the configured
     /// [`LevelSet`], computing (and caching) it on first use.
     pub fn current(&mut self) -> Result<&Allocation, AllocError> {
-        self.ensure_current()?;
+        self.ensure_current(self.op_deadline())?;
         Ok(self.last.as_ref().expect("ensure_current fills the cache"))
     }
 
@@ -389,13 +423,26 @@ impl<'a> Allocator<'a> {
     /// allocatable; the insertion is then rolled back and the previous
     /// optimum kept.
     pub fn add_txn(&mut self, txn: Transaction) -> Result<Realloc, AllocError> {
+        self.add_txn_by(txn, self.op_deadline())
+    }
+
+    /// [`Allocator::add_txn`] against an explicit deadline (`None` =
+    /// unbounded), overriding the configured
+    /// [`Allocator::with_op_timeout`] budget for this one mutation. On
+    /// expiry the insertion is rolled back and the previous optimum
+    /// stands ([`AllocError::Timeout`]).
+    pub fn add_txn_by(
+        &mut self,
+        txn: Transaction,
+        deadline: Option<Instant>,
+    ) -> Result<Realloc, AllocError> {
         let id = txn.id();
         if self.txns.contains(id) {
             return Err(AllocError::Duplicate(id));
         }
         // The pre-mutation optimum is both the diff baseline and the
         // refinement floor; make sure it exists before mutating.
-        self.ensure_current()?;
+        self.ensure_current(deadline)?;
         self.txns
             .to_mut()
             .insert(txn)
@@ -410,39 +457,48 @@ impl<'a> Allocator<'a> {
             let mut hits = 0u64;
             let floor = prev.with(id, IsolationLevel::RC);
 
-            // Fast path: previous optimum + newcomer at the ceiling.
-            let candidate = prev.with(id, ceiling);
-            let candidate_ok = probe_cached(txns, &checker, &mut self.specs, &candidate, &mut hits);
-            let outcome = if candidate_ok {
-                let (alloc, h) = refine_with(
-                    txns,
-                    &checker,
-                    &mut self.specs,
-                    candidate,
-                    Some(&floor),
-                    &mut |_, _, _| {},
-                );
-                Some((alloc, hits + h))
+            let outcome = if expired(deadline) {
+                Err(Expired)
             } else {
-                // Slow path: the old optimum no longer suffices — some
-                // survivor must rise. Refine from the uniform ceiling
-                // (robust unconditionally for {RC, SI, SSI}; probed for
-                // {RC, SI}, where it may fail).
-                let uniform = Allocation::uniform(txns, ceiling);
-                let robust =
-                    !rc_si || probe_cached(txns, &checker, &mut self.specs, &uniform, &mut hits);
-                if robust {
-                    let (alloc, h) = refine_with(
+                // Fast path: previous optimum + newcomer at the ceiling.
+                let candidate = prev.with(id, ceiling);
+                let candidate_ok =
+                    probe_cached(txns, &checker, &mut self.specs, &candidate, &mut hits);
+                if candidate_ok {
+                    refine_with(
                         txns,
                         &checker,
                         &mut self.specs,
-                        uniform,
+                        candidate,
                         Some(&floor),
+                        deadline,
                         &mut |_, _, _| {},
-                    );
-                    Some((alloc, hits + h))
+                    )
+                    .map(|(alloc, h)| Some((alloc, hits + h)))
+                } else if expired(deadline) {
+                    Err(Expired)
                 } else {
-                    None
+                    // Slow path: the old optimum no longer suffices — some
+                    // survivor must rise. Refine from the uniform ceiling
+                    // (robust unconditionally for {RC, SI, SSI}; probed for
+                    // {RC, SI}, where it may fail).
+                    let uniform = Allocation::uniform(txns, ceiling);
+                    let robust = !rc_si
+                        || probe_cached(txns, &checker, &mut self.specs, &uniform, &mut hits);
+                    if robust {
+                        refine_with(
+                            txns,
+                            &checker,
+                            &mut self.specs,
+                            uniform,
+                            Some(&floor),
+                            deadline,
+                            &mut |_, _, _| {},
+                        )
+                        .map(|(alloc, h)| Some((alloc, hits + h)))
+                    } else {
+                        Ok(None)
+                    }
                 }
             };
             (
@@ -452,7 +508,7 @@ impl<'a> Allocator<'a> {
             )
         };
         match outcome {
-            Some((alloc, hits)) => {
+            Ok(Some((alloc, hits))) => {
                 trim_specs(&mut self.specs);
                 let stats = EngineStats {
                     probes,
@@ -471,12 +527,15 @@ impl<'a> Allocator<'a> {
                     stats,
                 })
             }
-            None => {
+            outcome @ (Ok(None) | Err(Expired)) => {
                 // Roll back: the set reverts, specs mentioning the
                 // rejected newcomer would dangle, the old optimum stands.
                 self.txns.to_mut().remove(id);
                 self.specs.retain(|s| !spec_mentions(s, id));
-                Err(AllocError::NotAllocatable(self.levels))
+                match outcome {
+                    Err(Expired) => Err(AllocError::Timeout),
+                    _ => Err(AllocError::NotAllocatable(self.levels)),
+                }
             }
         }
     }
@@ -486,21 +545,49 @@ impl<'a> Allocator<'a> {
     /// Removing a transaction can only lower levels: the previous
     /// optimum restricted to the survivors is still robust (allowed
     /// schedules of a subset are allowed schedules of the full set), so
-    /// refinement starts from that restriction. The removal always
-    /// persists — shrinking a workload cannot make it less allocatable.
+    /// refinement starts from that restriction. Shrinking a workload
+    /// cannot make it less allocatable, so the removal persists — unless
+    /// the refinement deadline expires, in which case the transaction is
+    /// re-inserted and the previous optimum stands.
     pub fn remove_txn(&mut self, id: TxnId) -> Result<Realloc, AllocError> {
+        self.remove_txn_by(id, self.op_deadline())
+    }
+
+    /// [`Allocator::remove_txn`] against an explicit deadline (`None` =
+    /// unbounded). On expiry the removal is rolled back (the transaction
+    /// is re-inserted) and [`AllocError::Timeout`] is returned.
+    pub fn remove_txn_by(
+        &mut self,
+        id: TxnId,
+        deadline: Option<Instant>,
+    ) -> Result<Realloc, AllocError> {
         if !self.txns.contains(id) {
             return Err(AllocError::Unknown(id));
         }
-        self.txns.to_mut().remove(id);
+        let removed = self
+            .txns
+            .to_mut()
+            .remove(id)
+            .expect("contains(id) checked above");
         // Specs mentioning the departed transaction reference ids and op
         // indices that no longer resolve — drop them. Every other cached
         // spec only touches surviving transactions and stays sound.
+        // (Dropping them is sound even if the removal rolls back below:
+        // the cache is only an accelerator.)
         self.specs.retain(|s| !spec_mentions(s, id));
         let Some(prev) = self.last.clone() else {
             // No optimum yet (never computed, or the previous set was
             // not {RC, SI}-allocatable): compute from scratch.
-            self.ensure_current()?;
+            if let Err(e) = self.ensure_current(deadline) {
+                if e == AllocError::Timeout {
+                    // Restore the set; there was no optimum to preserve.
+                    self.txns
+                        .to_mut()
+                        .insert(removed)
+                        .expect("re-inserting the just-removed transaction");
+                }
+                return Err(e);
+            }
             let alloc = self.last.clone().expect("ensure_current fills the cache");
             let stats = self.last_stats.clone().expect("ensure_current fills stats");
             let changed = alloc
@@ -520,23 +607,35 @@ impl<'a> Allocator<'a> {
         let start = Instant::now();
         let mut reduced = prev.clone();
         reduced.remove(id);
-        let (alloc, hits, probes, iso_builds) = {
+        let (outcome, probes, iso_builds) = {
             let txns: &TransactionSet = &self.txns;
             let checker = RobustnessChecker::new(txns).with_threads(self.threads);
-            let (alloc, hits) = refine_with(
+            let outcome = refine_with(
                 txns,
                 &checker,
                 &mut self.specs,
                 reduced,
                 None,
+                deadline,
                 &mut |_, _, _| {},
             );
             (
-                alloc,
-                hits,
+                outcome,
                 checker.stats().probes(),
                 checker.stats().iso_builds(),
             )
+        };
+        let (alloc, hits) = match outcome {
+            Ok(pair) => pair,
+            Err(Expired) => {
+                // Roll back: re-insert the transaction; `prev` is still
+                // the optimum of the restored set.
+                self.txns
+                    .to_mut()
+                    .insert(removed)
+                    .expect("re-inserting the just-removed transaction");
+                return Err(AllocError::Timeout);
+            }
         };
         trim_specs(&mut self.specs);
         let stats = EngineStats {
@@ -558,8 +657,9 @@ impl<'a> Allocator<'a> {
     }
 
     /// Computes the optimum of the current set from scratch into the
-    /// delta cache. Only [`LevelSet::RcSi`] can fail.
-    fn ensure_current(&mut self) -> Result<(), AllocError> {
+    /// delta cache. Only [`LevelSet::RcSi`] can fail to allocate; a
+    /// passed deadline can expire (the cache is then left unfilled).
+    fn ensure_current(&mut self, deadline: Option<Instant>) -> Result<(), AllocError> {
         if self.last.is_some() {
             return Ok(());
         }
@@ -571,22 +671,27 @@ impl<'a> Allocator<'a> {
             let checker = RobustnessChecker::new(txns).with_threads(self.threads);
             let mut hits = 0u64;
             let uniform = Allocation::uniform(txns, ceiling);
-            // The SSI ceiling is robust unconditionally; the SI ceiling
-            // must be probed (Proposition 5.4).
-            let robust =
-                !rc_si || probe_cached(txns, &checker, &mut self.specs, &uniform, &mut hits);
-            let outcome = if robust {
-                let (alloc, h) = refine_with(
-                    txns,
-                    &checker,
-                    &mut self.specs,
-                    uniform,
-                    None,
-                    &mut |_, _, _| {},
-                );
-                Some((alloc, hits + h))
+            let outcome = if expired(deadline) {
+                Err(Expired)
             } else {
-                None
+                // The SSI ceiling is robust unconditionally; the SI
+                // ceiling must be probed (Proposition 5.4).
+                let robust =
+                    !rc_si || probe_cached(txns, &checker, &mut self.specs, &uniform, &mut hits);
+                if robust {
+                    refine_with(
+                        txns,
+                        &checker,
+                        &mut self.specs,
+                        uniform,
+                        None,
+                        deadline,
+                        &mut |_, _, _| {},
+                    )
+                    .map(|(alloc, h)| Some((alloc, hits + h)))
+                } else {
+                    Ok(None)
+                }
             };
             (
                 outcome,
@@ -596,7 +701,7 @@ impl<'a> Allocator<'a> {
         };
         trim_specs(&mut self.specs);
         match outcome {
-            Some((alloc, hits)) => {
+            Ok(Some((alloc, hits))) => {
                 self.last_stats = Some(EngineStats {
                     probes,
                     cache_hits: hits,
@@ -608,9 +713,18 @@ impl<'a> Allocator<'a> {
                 self.last = Some(alloc);
                 Ok(())
             }
-            None => Err(AllocError::NotAllocatable(self.levels)),
+            Ok(None) => Err(AllocError::NotAllocatable(self.levels)),
+            Err(Expired) => Err(AllocError::Timeout),
         }
     }
+}
+
+/// Marker: a refinement deadline expired mid-loop.
+struct Expired;
+
+/// Has `deadline` passed? `None` never expires.
+fn expired(deadline: Option<Instant>) -> bool {
+    deadline.is_some_and(|d| Instant::now() >= d)
 }
 
 /// Does `spec` reference transaction `id` (as the split transaction or
@@ -677,26 +791,37 @@ fn refine_cached(
     on_failure: &mut dyn FnMut(TxnId, IsolationLevel, &SplitSpec),
 ) -> (Allocation, CacheStats) {
     let mut cache: Vec<SplitSpec> = Vec::new();
-    let (alloc, hits) = refine_with(txns, checker, &mut cache, start, floor, on_failure);
+    let (alloc, hits) = refine_with(txns, checker, &mut cache, start, floor, None, on_failure)
+        .unwrap_or_else(|Expired| unreachable!("no deadline was set"));
     let specs = cache.len() as u64;
     (alloc, CacheStats { hits, specs })
 }
 
 /// [`refine_cached`] against a caller-owned counterexample cache — the
 /// form the delta API uses to persist specs across reallocations.
-/// Returns the refined allocation and the number of cache hits.
+/// Returns the refined allocation and the number of cache hits, or
+/// [`Expired`] when `deadline` passes between lowering attempts (callers
+/// then roll back the mutation; the partially-refined allocation is
+/// discarded because only a *completed* refinement is the optimum).
 fn refine_with(
     txns: &TransactionSet,
     checker: &RobustnessChecker<'_>,
     cache: &mut Vec<SplitSpec>,
     start: Allocation,
     floor: Option<&Allocation>,
+    deadline: Option<Instant>,
     on_failure: &mut dyn FnMut(TxnId, IsolationLevel, &SplitSpec),
-) -> (Allocation, u64) {
+) -> Result<(Allocation, u64), Expired> {
     debug_assert!(
         checker.is_robust(&start).robust(),
         "refine requires a robust start"
     );
+    // Checked on entry too, so a refinement with nothing to lower
+    // (e.g. removing the last transaction) still honours an expired
+    // deadline — forced timeouts fail every mutation uniformly.
+    if expired(deadline) {
+        return Err(Expired);
+    }
     let mut hits = 0u64;
     let mut alloc = start;
     for t in txns.iter() {
@@ -705,6 +830,9 @@ fn refine_with(
                 if lvl < floor.level(t.id()) {
                     continue;
                 }
+            }
+            if expired(deadline) {
+                return Err(Expired);
             }
             let candidate = alloc.with(t.id(), lvl);
             if let Some(spec) = cache.iter().find(|s| s.check(txns, &candidate).is_ok()) {
@@ -724,7 +852,7 @@ fn refine_with(
             }
         }
     }
-    (alloc, hits)
+    Ok((alloc, hits))
 }
 
 /// Computes the unique optimal robust allocation for `txns` over
@@ -1047,6 +1175,69 @@ mod tests {
         let t3 = skew_txn(alloc.txns.to_mut(), 3, "z", "w");
         let r = alloc.add_txn(t3).unwrap();
         assert_eq!(r.allocation.to_string(), "T1=RC T3=RC");
+    }
+
+    #[test]
+    fn expired_deadline_rolls_back_add_and_remove() {
+        let mut alloc = Allocator::from_owned(TransactionSet::default());
+        let t1 = skew_txn(alloc.txns.to_mut(), 1, "x", "y");
+        alloc.add_txn(t1).unwrap();
+        let t2 = skew_txn(alloc.txns.to_mut(), 2, "y", "x");
+        alloc.add_txn(t2).unwrap();
+        assert_eq!(alloc.current().unwrap().to_string(), "T1=SSI T2=SSI");
+
+        // An already-expired deadline: the add is rolled back, the set
+        // and optimum are untouched.
+        let past = Some(Instant::now());
+        let t3 = skew_txn(alloc.txns.to_mut(), 3, "x", "z");
+        assert_eq!(alloc.add_txn_by(t3, past).unwrap_err(), AllocError::Timeout);
+        assert_eq!(alloc.txns().len(), 2);
+        assert_eq!(alloc.current().unwrap().to_string(), "T1=SSI T2=SSI");
+
+        // Same for a remove: T2 is re-inserted, the optimum stands.
+        assert_eq!(
+            alloc.remove_txn_by(TxnId(2), past).unwrap_err(),
+            AllocError::Timeout
+        );
+        assert_eq!(alloc.txns().len(), 2);
+        assert_eq!(alloc.current().unwrap().to_string(), "T1=SSI T2=SSI");
+
+        // After the failures, unbounded mutations still work and agree
+        // with a from-scratch recomputation.
+        let t3 = skew_txn(alloc.txns.to_mut(), 3, "x", "z");
+        let r = alloc.add_txn(t3).unwrap();
+        assert_eq!(r.allocation, optimal_allocation(alloc.txns()));
+        let r = alloc.remove_txn(TxnId(2)).unwrap();
+        assert_eq!(r.allocation, optimal_allocation(alloc.txns()));
+    }
+
+    #[test]
+    fn generous_timeout_never_fires() {
+        let mut alloc = Allocator::from_owned(TransactionSet::default())
+            .with_op_timeout(Some(Duration::from_secs(60)));
+        assert_eq!(alloc.op_timeout(), Some(Duration::from_secs(60)));
+        let t1 = skew_txn(alloc.txns.to_mut(), 1, "x", "y");
+        let t2 = skew_txn(alloc.txns.to_mut(), 2, "y", "x");
+        alloc.add_txn(t1).unwrap();
+        alloc.add_txn(t2).unwrap();
+        assert_eq!(alloc.current().unwrap().to_string(), "T1=SSI T2=SSI");
+        alloc.remove_txn(TxnId(1)).unwrap();
+        assert_eq!(alloc.current().unwrap().to_string(), "T2=RC");
+    }
+
+    #[test]
+    fn expired_deadline_on_first_current_leaves_cache_unfilled() {
+        let mut alloc = Allocator::from_owned(TransactionSet::default());
+        let t1 = skew_txn(alloc.txns.to_mut(), 1, "x", "y");
+        let t2 = skew_txn(alloc.txns.to_mut(), 2, "y", "x");
+        alloc.txns.to_mut().insert(t1).unwrap();
+        alloc.txns.to_mut().insert(t2).unwrap();
+        // Force the initial computation to time out via an expired
+        // per-op budget, then clear it and observe a clean recompute.
+        let mut timed = alloc.with_op_timeout(Some(Duration::ZERO));
+        assert_eq!(timed.current().unwrap_err(), AllocError::Timeout);
+        let mut freed = timed.with_op_timeout(None);
+        assert_eq!(freed.current().unwrap().to_string(), "T1=SSI T2=SSI");
     }
 
     #[test]

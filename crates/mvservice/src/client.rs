@@ -5,10 +5,21 @@
 //! `"ok": false` replies into [`ClientError::Server`]; [`Client::raw`]
 //! ships an arbitrary line and returns whatever comes back — the hook
 //! for protocol-level testing.
+//!
+//! [`RetryClient`] wraps the same protocol in a fault-tolerant loop:
+//! transport and protocol failures reconnect and retry with
+//! exponential backoff plus deterministic jitter, and every mutating
+//! request carries an idempotent `req_id` (stable across retries of
+//! the same logical request), so a delta is applied exactly once even
+//! when the first reply was lost mid-frame. Structured server errors
+//! (`"ok": false`) are *not* retried — the request reached the server
+//! and was rejected.
 
 use crate::protocol::Request;
 use mvisolation::IsolationLevel;
 use mvmodel::TxnId;
+use rand::rngs::SmallRng;
+use rand::{RngCore, SeedableRng};
 use serde_json::Value;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -108,12 +119,16 @@ impl Client {
     pub fn register(&mut self, line: &str) -> Result<Value, ClientError> {
         self.request(&Request::Register {
             line: line.to_string(),
+            req_id: None,
         })
     }
 
     /// Deregisters a transaction; returns the full reply.
     pub fn deregister(&mut self, id: u32) -> Result<Value, ClientError> {
-        self.request(&Request::Deregister { id: TxnId(id) })
+        self.request(&Request::Deregister {
+            id: TxnId(id),
+            req_id: None,
+        })
     }
 
     /// The current optimal level of a registered transaction.
@@ -146,5 +161,288 @@ impl Client {
     /// Asks the daemon to stop gracefully.
     pub fn shutdown(&mut self) -> Result<(), ClientError> {
         self.request(&Request::Shutdown).map(|_| ())
+    }
+}
+
+/// Retry/backoff knobs for [`RetryClient`].
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Retries *after* the first attempt (so `retries = 4` means at
+    /// most 5 attempts per request).
+    pub retries: u32,
+    /// Backoff before retry `n` is `min(cap, base · 2ⁿ)`, scaled by a
+    /// deterministic jitter factor in `[0.5, 1.0)`.
+    pub base: Duration,
+    pub cap: Duration,
+    /// Seeds both the jitter stream and the session nonce from which
+    /// `req_id`s derive — two clients with different seeds never share
+    /// idempotency keys; the same seed reproduces the exact schedule.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            retries: 4,
+            base: Duration::from_millis(50),
+            cap: Duration::from_secs(2),
+            seed: 0,
+        }
+    }
+}
+
+/// Counters describing what a [`RetryClient`] had to do.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RetryStats {
+    /// Request attempts shipped (first tries + retries).
+    pub attempts: u64,
+    /// Attempts that were retries of a failed attempt.
+    pub retries: u64,
+    /// Connections re-established after a transport failure.
+    pub reconnects: u64,
+}
+
+/// A fault-tolerant client: lazy connect, reconnect-and-retry on
+/// transport/protocol errors, idempotent `req_id`s on mutations.
+pub struct RetryClient {
+    addr: String,
+    policy: RetryPolicy,
+    conn: Option<Client>,
+    ever_connected: bool,
+    timeout: Option<Duration>,
+    /// Session nonce spreading this client's `req_id`s away from other
+    /// clients'; derived from the policy seed.
+    session: u64,
+    next_req: u64,
+    stats: RetryStats,
+}
+
+impl RetryClient {
+    /// Builds a client for `addr` (e.g. `127.0.0.1:7411`). No
+    /// connection is made until the first request.
+    pub fn new(addr: impl Into<String>, policy: RetryPolicy) -> RetryClient {
+        let session = SmallRng::seed_from_u64(policy.seed).next_u64();
+        RetryClient {
+            addr: addr.into(),
+            policy,
+            conn: None,
+            ever_connected: false,
+            timeout: Some(Duration::from_secs(10)),
+            session,
+            next_req: 0,
+            stats: RetryStats::default(),
+        }
+    }
+
+    /// Caps how long a single reply may take (applied on every
+    /// (re)connect). Default 10s; `None` waits forever.
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) {
+        self.timeout = timeout;
+        if let Some(c) = &mut self.conn {
+            c.set_timeout(timeout).ok();
+        }
+    }
+
+    pub fn retry_stats(&self) -> RetryStats {
+        self.stats
+    }
+
+    /// The next idempotency key. Stable ordering: the n-th mutation of
+    /// a client built with seed s always gets the same key.
+    fn fresh_req_id(&mut self) -> u64 {
+        let n = self.next_req;
+        self.next_req += 1;
+        self.session
+            .wrapping_add(n.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+    }
+
+    /// Deterministic backoff before retry `attempt` of request
+    /// `req_key`: `min(cap, base · 2^attempt)` scaled by a jitter
+    /// factor in `[0.5, 1.0)` keyed on (seed, req_key, attempt).
+    fn backoff(&self, attempt: u32, req_key: u64) -> Duration {
+        let exp = self
+            .policy
+            .base
+            .saturating_mul(1u32 << attempt.min(20))
+            .min(self.policy.cap);
+        let key = self
+            .policy
+            .seed
+            .wrapping_add(req_key.wrapping_mul(0xc2b2_ae3d_27d4_eb4f))
+            .wrapping_add(u64::from(attempt).wrapping_mul(0x1656_67b1_9e37_79f9));
+        let draw = SmallRng::seed_from_u64(key).next_u64();
+        let jitter = 0.5 + ((draw >> 11) as f64 * (1.0 / (1u64 << 53) as f64)) * 0.5;
+        exp.mul_f64(jitter)
+    }
+
+    fn ensure_conn(&mut self) -> Result<&mut Client, ClientError> {
+        if self.conn.is_none() {
+            let mut c = Client::connect(&self.addr)?;
+            c.set_timeout(self.timeout)?;
+            if self.ever_connected {
+                self.stats.reconnects += 1;
+            }
+            self.ever_connected = true;
+            self.conn = Some(c);
+        }
+        Ok(self.conn.as_mut().expect("just ensured"))
+    }
+
+    /// Ships `req`, retrying transport/protocol failures with backoff.
+    /// `req_key` seeds the jitter; pass the `req_id` for mutations so
+    /// their backoff schedule is stable across runs.
+    fn request_with_retry(&mut self, req: &Request, req_key: u64) -> Result<Value, ClientError> {
+        let mut attempt = 0u32;
+        loop {
+            self.stats.attempts += 1;
+            let res = match self.ensure_conn() {
+                Ok(c) => c.request(req),
+                Err(e) => Err(e),
+            };
+            match res {
+                Ok(v) => return Ok(v),
+                // The server received and rejected the request; a
+                // retry would just be rejected again.
+                Err(e @ ClientError::Server(_)) => return Err(e),
+                Err(e) => {
+                    self.conn = None;
+                    if attempt >= self.policy.retries {
+                        return Err(e);
+                    }
+                    std::thread::sleep(self.backoff(attempt, req_key));
+                    self.stats.retries += 1;
+                    attempt += 1;
+                }
+            }
+        }
+    }
+
+    /// Registers a transaction line; applied exactly once even if
+    /// retried (idempotent `req_id`). A `"replayed": true` field in the
+    /// reply means an earlier attempt had already applied.
+    pub fn register(&mut self, line: &str) -> Result<Value, ClientError> {
+        let req_id = self.fresh_req_id();
+        self.request_with_retry(
+            &Request::Register {
+                line: line.to_string(),
+                req_id: Some(req_id),
+            },
+            req_id,
+        )
+    }
+
+    /// Deregisters a transaction; applied exactly once even if retried.
+    pub fn deregister(&mut self, id: u32) -> Result<Value, ClientError> {
+        let req_id = self.fresh_req_id();
+        self.request_with_retry(
+            &Request::Deregister {
+                id: TxnId(id),
+                req_id: Some(req_id),
+            },
+            req_id,
+        )
+    }
+
+    /// The current optimal level of a registered transaction (reads
+    /// are naturally idempotent — retried without a `req_id`).
+    pub fn assign(&mut self, id: u32) -> Result<IsolationLevel, ClientError> {
+        let reply = self.request_with_retry(&Request::Assign { id: TxnId(id) }, u64::from(id))?;
+        let level = reply["level"]
+            .as_str()
+            .ok_or_else(|| ClientError::Protocol("assign reply lacks `level`".to_string()))?;
+        level
+            .parse()
+            .map_err(|_| ClientError::Protocol(format!("unknown level `{level}` in reply")))
+    }
+
+    pub fn stats(&mut self) -> Result<Value, ClientError> {
+        self.request_with_retry(&Request::Stats, 2)
+    }
+
+    pub fn list(&mut self) -> Result<Value, ClientError> {
+        self.request_with_retry(&Request::List, 3)
+    }
+
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        self.request_with_retry(&Request::Ping, 5).map(|_| ())
+    }
+
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        self.request_with_retry(&Request::Shutdown, 7).map(|_| ())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn req_ids_are_unique_and_seed_stable() {
+        let mut a = RetryClient::new("127.0.0.1:1", RetryPolicy::default());
+        let mut b = RetryClient::new("127.0.0.1:1", RetryPolicy::default());
+        let mut c = RetryClient::new(
+            "127.0.0.1:1",
+            RetryPolicy {
+                seed: 99,
+                ..RetryPolicy::default()
+            },
+        );
+        let ids_a: Vec<u64> = (0..64).map(|_| a.fresh_req_id()).collect();
+        let ids_b: Vec<u64> = (0..64).map(|_| b.fresh_req_id()).collect();
+        let ids_c: Vec<u64> = (0..64).map(|_| c.fresh_req_id()).collect();
+        assert_eq!(ids_a, ids_b, "same seed must yield the same key stream");
+        assert!(
+            ids_a.iter().all(|i| !ids_c.contains(i)),
+            "different seeds must not collide"
+        );
+        let mut dedup = ids_a.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), ids_a.len(), "keys within a session are unique");
+    }
+
+    #[test]
+    fn backoff_grows_caps_and_jitters_deterministically() {
+        let c = RetryClient::new(
+            "127.0.0.1:1",
+            RetryPolicy {
+                retries: 8,
+                base: Duration::from_millis(10),
+                cap: Duration::from_millis(500),
+                seed: 42,
+            },
+        );
+        for attempt in 0..8 {
+            let d = c.backoff(attempt, 7);
+            let ceiling = Duration::from_millis(10)
+                .saturating_mul(1 << attempt)
+                .min(Duration::from_millis(500));
+            assert!(d <= ceiling, "attempt {attempt}: {d:?} > {ceiling:?}");
+            assert!(
+                d >= ceiling.mul_f64(0.5),
+                "attempt {attempt}: {d:?} under half of {ceiling:?}"
+            );
+            assert_eq!(d, c.backoff(attempt, 7), "jitter must be deterministic");
+        }
+        // The same attempt for different requests jitters differently.
+        assert_ne!(c.backoff(3, 7), c.backoff(3, 8));
+    }
+
+    #[test]
+    fn connection_refused_is_reported_after_exhausting_retries() {
+        let mut c = RetryClient::new(
+            // Port 1 on localhost is essentially never listening.
+            "127.0.0.1:1",
+            RetryPolicy {
+                retries: 1,
+                base: Duration::from_millis(1),
+                cap: Duration::from_millis(2),
+                seed: 0,
+            },
+        );
+        let err = c.ping().expect_err("nothing listens on port 1");
+        assert!(matches!(err, ClientError::Io(_)), "got {err:?}");
+        assert_eq!(c.retry_stats().retries, 1);
+        assert_eq!(c.retry_stats().attempts, 2);
     }
 }

@@ -1,0 +1,457 @@
+//! Deterministic fault injection for the allocation service.
+//!
+//! The service threads every failure-prone action through an optional
+//! [`FaultHook`]: the connection layer asks [`FaultHook::on_request`]
+//! before answering each request, and the registry asks
+//! [`FaultHook::on_realloc`] before each reallocation. When no hook is
+//! installed (the production default) the seam is a single
+//! `Option::None` check — no trait object is ever dispatched.
+//!
+//! [`ScriptedFaults`] is the seeded implementation behind `--fault-plan`
+//! and the chaos harness. Every decision is a *pure function* of the
+//! plan seed and the injection coordinate — `(connection index, request
+//! sequence)` for wire faults, the reallocation epoch for engine faults
+//! — so a schedule replays bit-identically regardless of thread
+//! interleaving or wall-clock timing. An optional budget caps the total
+//! number of injected faults; once it is spent the service runs clean,
+//! which is how the chaos harness reaches its verified "post-recovery"
+//! state.
+
+use rand::rngs::SmallRng;
+use rand::{RngCore, SeedableRng};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// What to do to the request currently being served.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FaultAction {
+    /// Serve normally.
+    None,
+    /// Drop the connection *before* executing the request (the request
+    /// is lost, as if the network ate it).
+    Drop,
+    /// Execute the request, then write only a prefix of the reply frame
+    /// and drop the connection (the reply is lost mid-flight *after*
+    /// the side effect applied — the idempotency torture case).
+    Truncate,
+    /// Execute and reply normally, but only after stalling this long
+    /// (a slow network or an overloaded peer).
+    Delay(Duration),
+}
+
+impl FaultAction {
+    fn label(self) -> &'static str {
+        match self {
+            FaultAction::None => "none",
+            FaultAction::Drop => "drop",
+            FaultAction::Truncate => "truncate",
+            FaultAction::Delay(_) => "delay",
+        }
+    }
+}
+
+/// What to do to the reallocation about to run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ReallocFault {
+    /// Run normally.
+    None,
+    /// Fail outright before the engine runs (a crashed worker, an OOM).
+    Fail,
+    /// Run the engine against an already-expired deadline, exercising
+    /// the allocator's timeout rollback path.
+    Timeout,
+}
+
+/// The injection seam. All methods default to "no fault", so a custom
+/// hook only overrides the surfaces it cares about.
+pub trait FaultHook: Send + Sync {
+    /// Consulted once per request, keyed by the accepting connection's
+    /// index and the request's sequence number on that connection.
+    fn on_request(&self, _conn: u64, _seq: u64) -> FaultAction {
+        FaultAction::None
+    }
+
+    /// Consulted once per reallocation attempt (registry mutations are
+    /// serialized, so calls are totally ordered).
+    fn on_realloc(&self) -> ReallocFault {
+        ReallocFault::None
+    }
+}
+
+/// A seeded, scriptable schedule of faults.
+///
+/// Probabilities are per-decision and drawn from a stream keyed by the
+/// injection coordinate, so the schedule is deterministic under any
+/// thread interleaving. Parse one from the compact `--fault-plan`
+/// spelling:
+///
+/// ```text
+/// seed=42,drop=0.1,truncate=0.05,slow=0.1,delay_ms=10,realloc_fail=0.1,realloc_timeout=0.05,budget=40
+/// ```
+///
+/// Every field is optional (defaults below); unknown keys are rejected
+/// with the accepted ones listed.
+#[derive(Clone, PartialEq, Debug)]
+pub struct FaultPlan {
+    /// Seed of every decision stream.
+    pub seed: u64,
+    /// P\[drop the connection before executing a request\].
+    pub drop: f64,
+    /// P\[truncate the reply frame after executing\].
+    pub truncate: f64,
+    /// P\[delay the reply by `delay`\].
+    pub slow: f64,
+    /// The injected reply delay.
+    pub delay: Duration,
+    /// P\[force a reallocation failure\].
+    pub realloc_fail: f64,
+    /// P\[force a reallocation timeout\] (exercises rollback).
+    pub realloc_timeout: f64,
+    /// Total faults to inject before going quiet (`None` = unbounded).
+    pub budget: Option<u64>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            seed: 0,
+            drop: 0.0,
+            truncate: 0.0,
+            slow: 0.0,
+            delay: Duration::from_millis(10),
+            realloc_fail: 0.0,
+            realloc_timeout: 0.0,
+            budget: None,
+        }
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "seed={},drop={},truncate={},slow={},delay_ms={},realloc_fail={},realloc_timeout={}",
+            self.seed,
+            self.drop,
+            self.truncate,
+            self.slow,
+            self.delay.as_millis(),
+            self.realloc_fail,
+            self.realloc_timeout,
+        )?;
+        if let Some(b) = self.budget {
+            write!(f, ",budget={b}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::str::FromStr for FaultPlan {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut plan = FaultPlan::default();
+        for part in s.split(',').filter(|p| !p.trim().is_empty()) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("fault-plan entry `{part}` is not key=value"))?;
+            let (key, value) = (key.trim(), value.trim());
+            let prob = |what: &str| -> Result<f64, String> {
+                let p: f64 = value
+                    .parse()
+                    .map_err(|_| format!("fault-plan {what} `{value}` is not a number"))?;
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(format!("fault-plan {what} `{value}` is outside [0, 1]"));
+                }
+                Ok(p)
+            };
+            match key {
+                "seed" => {
+                    plan.seed = value
+                        .parse()
+                        .map_err(|_| format!("fault-plan seed `{value}` is not a u64"))?
+                }
+                "drop" => plan.drop = prob("drop probability")?,
+                "truncate" => plan.truncate = prob("truncate probability")?,
+                "slow" => plan.slow = prob("slow probability")?,
+                "delay_ms" => {
+                    let ms: u64 = value
+                        .parse()
+                        .map_err(|_| format!("fault-plan delay_ms `{value}` is not a u64"))?;
+                    plan.delay = Duration::from_millis(ms);
+                }
+                "realloc_fail" => plan.realloc_fail = prob("realloc_fail probability")?,
+                "realloc_timeout" => plan.realloc_timeout = prob("realloc_timeout probability")?,
+                "budget" => {
+                    plan.budget = Some(
+                        value
+                            .parse()
+                            .map_err(|_| format!("fault-plan budget `{value}` is not a u64"))?,
+                    )
+                }
+                other => {
+                    return Err(format!(
+                        "unknown fault-plan key `{other}` (accepted: seed, drop, truncate, \
+                         slow, delay_ms, realloc_fail, realloc_timeout, budget)"
+                    ))
+                }
+            }
+        }
+        if plan.drop + plan.truncate + plan.slow > 1.0 {
+            return Err("drop + truncate + slow probabilities exceed 1".to_string());
+        }
+        Ok(plan)
+    }
+}
+
+/// One injected fault, as recorded in the [`ScriptedFaults`] log.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct InjectedFault {
+    /// `"request"` or `"realloc"`.
+    pub site: &'static str,
+    /// Connection index (requests) or reallocation epoch (reallocs).
+    pub coord: (u64, u64),
+    /// The action's label (`drop`, `truncate`, `delay`, `fail`, …).
+    pub action: &'static str,
+}
+
+/// The seeded [`FaultHook`] driven by a [`FaultPlan`].
+pub struct ScriptedFaults {
+    plan: FaultPlan,
+    /// Faults injected so far (budget accounting).
+    injected: AtomicU64,
+    /// Reallocation epoch counter (mutations are serialized by the
+    /// registry lock, so the sequence is deterministic).
+    realloc_epoch: AtomicU64,
+    /// Every injected fault, for reproduction reports and determinism
+    /// assertions.
+    log: Mutex<Vec<InjectedFault>>,
+}
+
+/// Domain-separation constants for the decision streams (arbitrary odd
+/// 64-bit values).
+const CONN_KEY: u64 = 0x9e37_79b9_7f4a_7c15;
+const SEQ_KEY: u64 = 0xc2b2_ae3d_27d4_eb4f;
+const REALLOC_KEY: u64 = 0x1656_67b1_9e37_79f9;
+
+/// A uniform draw in `[0, 1)` from the stream keyed by `key`.
+fn unit_draw(key: u64) -> f64 {
+    let x = SmallRng::seed_from_u64(key).next_u64();
+    (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl ScriptedFaults {
+    pub fn new(plan: FaultPlan) -> Self {
+        ScriptedFaults {
+            plan,
+            injected: AtomicU64::new(0),
+            realloc_epoch: AtomicU64::new(0),
+            log: Mutex::new(Vec::new()),
+        }
+    }
+
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Faults injected so far.
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::SeqCst)
+    }
+
+    /// Has the budget been spent (always `false` when unbounded)?
+    pub fn exhausted(&self) -> bool {
+        self.plan.budget.is_some_and(|b| self.injected() >= b)
+    }
+
+    /// The injection log so far (coordinates + actions, in injection
+    /// order).
+    pub fn log(&self) -> Vec<InjectedFault> {
+        self.log.lock().expect("fault log lock").clone()
+    }
+
+    /// Consumes one unit of budget; `false` when the budget is spent
+    /// (the fault is then suppressed).
+    fn consume(&self) -> bool {
+        match self.plan.budget {
+            None => {
+                self.injected.fetch_add(1, Ordering::SeqCst);
+                true
+            }
+            Some(budget) => {
+                // fetch_update so concurrent consumers never overshoot.
+                self.injected
+                    .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+                        (n < budget).then_some(n + 1)
+                    })
+                    .is_ok()
+            }
+        }
+    }
+
+    fn record(&self, site: &'static str, coord: (u64, u64), action: &'static str) {
+        self.log
+            .lock()
+            .expect("fault log lock")
+            .push(InjectedFault {
+                site,
+                coord,
+                action,
+            });
+    }
+}
+
+impl FaultHook for ScriptedFaults {
+    fn on_request(&self, conn: u64, seq: u64) -> FaultAction {
+        let p = &self.plan;
+        if p.drop + p.truncate + p.slow == 0.0 {
+            return FaultAction::None;
+        }
+        let key = p
+            .seed
+            .wrapping_add(conn.wrapping_mul(CONN_KEY))
+            .wrapping_add(seq.wrapping_mul(SEQ_KEY));
+        let draw = unit_draw(key);
+        let action = if draw < p.drop {
+            FaultAction::Drop
+        } else if draw < p.drop + p.truncate {
+            FaultAction::Truncate
+        } else if draw < p.drop + p.truncate + p.slow {
+            FaultAction::Delay(p.delay)
+        } else {
+            return FaultAction::None;
+        };
+        if !self.consume() {
+            return FaultAction::None;
+        }
+        self.record("request", (conn, seq), action.label());
+        action
+    }
+
+    fn on_realloc(&self) -> ReallocFault {
+        let p = &self.plan;
+        // The epoch advances on every attempt, faulted or not, so the
+        // decision stream is independent of earlier outcomes.
+        let epoch = self.realloc_epoch.fetch_add(1, Ordering::SeqCst);
+        if p.realloc_fail + p.realloc_timeout == 0.0 {
+            return ReallocFault::None;
+        }
+        let key = p
+            .seed
+            .wrapping_add(REALLOC_KEY)
+            .wrapping_add(epoch.wrapping_mul(SEQ_KEY));
+        let draw = unit_draw(key);
+        let fault = if draw < p.realloc_fail {
+            ReallocFault::Fail
+        } else if draw < p.realloc_fail + p.realloc_timeout {
+            ReallocFault::Timeout
+        } else {
+            return ReallocFault::None;
+        };
+        if !self.consume() {
+            return ReallocFault::None;
+        }
+        let label = match fault {
+            ReallocFault::Fail => "fail",
+            ReallocFault::Timeout => "timeout",
+            ReallocFault::None => unreachable!(),
+        };
+        self.record("realloc", (0, epoch), label);
+        fault
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn plan_spec_round_trips() {
+        let spec = "seed=42,drop=0.1,truncate=0.05,slow=0.2,delay_ms=7,\
+                    realloc_fail=0.1,realloc_timeout=0.05,budget=9";
+        let plan: FaultPlan = spec.parse().unwrap();
+        assert_eq!(plan.seed, 42);
+        assert_eq!(plan.delay, Duration::from_millis(7));
+        assert_eq!(plan.budget, Some(9));
+        let redisplayed: FaultPlan = plan.to_string().parse().unwrap();
+        assert_eq!(redisplayed, plan);
+    }
+
+    #[test]
+    fn plan_spec_rejects_bad_input() {
+        assert!("nonsense".parse::<FaultPlan>().is_err());
+        assert!("drop=2".parse::<FaultPlan>().is_err());
+        assert!("drop=-0.5".parse::<FaultPlan>().is_err());
+        assert!("warp=0.1"
+            .parse::<FaultPlan>()
+            .unwrap_err()
+            .contains("accepted"));
+        assert!("seed=x".parse::<FaultPlan>().is_err());
+        // The three wire probabilities must fit in one unit draw.
+        assert!("drop=0.5,truncate=0.4,slow=0.3"
+            .parse::<FaultPlan>()
+            .is_err());
+        // Empty spec = default plan (no faults).
+        assert_eq!("".parse::<FaultPlan>().unwrap(), FaultPlan::default());
+    }
+
+    #[test]
+    fn decisions_are_deterministic_per_coordinate() {
+        let plan: FaultPlan = "seed=7,drop=0.3,truncate=0.2,slow=0.2".parse().unwrap();
+        let a = ScriptedFaults::new(plan.clone());
+        let b = ScriptedFaults::new(plan);
+        for conn in 0..20u64 {
+            for seq in 0..20u64 {
+                assert_eq!(a.on_request(conn, seq), b.on_request(conn, seq));
+            }
+        }
+        // Same coordinates revisited give the same answer (pure hash,
+        // modulo budget — none here).
+        assert_eq!(a.on_request(3, 5), b.on_request(3, 5));
+        assert_eq!(a.log().len(), b.log().len());
+        assert!(a.injected() > 0, "p=0.7 over 400 draws must inject");
+    }
+
+    #[test]
+    fn realloc_stream_is_deterministic() {
+        let plan: FaultPlan = "seed=11,realloc_fail=0.4,realloc_timeout=0.3"
+            .parse()
+            .unwrap();
+        let a = ScriptedFaults::new(plan.clone());
+        let b = ScriptedFaults::new(plan);
+        let sa: Vec<ReallocFault> = (0..50).map(|_| a.on_realloc()).collect();
+        let sb: Vec<ReallocFault> = (0..50).map(|_| b.on_realloc()).collect();
+        assert_eq!(sa, sb);
+        assert!(sa.contains(&ReallocFault::Fail));
+        assert!(sa.contains(&ReallocFault::Timeout));
+        assert!(sa.contains(&ReallocFault::None));
+    }
+
+    #[test]
+    fn budget_caps_injections_then_goes_quiet() {
+        let plan: FaultPlan = "seed=3,drop=1,budget=5".parse().unwrap();
+        let f = ScriptedFaults::new(plan);
+        let mut injected = 0;
+        for seq in 0..100u64 {
+            if f.on_request(0, seq) != FaultAction::None {
+                injected += 1;
+            }
+        }
+        assert_eq!(injected, 5);
+        assert_eq!(f.injected(), 5);
+        assert!(f.exhausted());
+        assert_eq!(f.on_request(0, 1000), FaultAction::None);
+    }
+
+    #[test]
+    fn default_hook_methods_are_no_ops() {
+        struct Inert;
+        impl FaultHook for Inert {}
+        let hook: Arc<dyn FaultHook> = Arc::new(Inert);
+        assert_eq!(hook.on_request(1, 2), FaultAction::None);
+        assert_eq!(hook.on_realloc(), ReallocFault::None);
+    }
+}

@@ -20,16 +20,36 @@
 //!   [`install_signal_handlers`]), and [`Metrics`] — request counters
 //!   and p50/p99 service latencies, surfaced by the `stats` op.
 //!
+//! Fault tolerance is first-class:
+//!
+//! - [`fault`]: a deterministic fault-injection seam. A seeded
+//!   [`FaultPlan`] scripts connection drops, truncated reply frames,
+//!   slow responses, and forced reallocation failures/timeouts; every
+//!   decision is a pure function of its injection coordinates, so the
+//!   same seed always produces the same schedule regardless of thread
+//!   interleaving. With no plan configured the hook is absent and the
+//!   hot path pays one branch.
+//! - Degradation: a failed or timed-out reallocation is *rolled back*
+//!   — the registry keeps serving the last-known-good allocation
+//!   (still the exact batch optimum of the applied set), marks itself
+//!   degraded, and surfaces `stale` / `failed_reallocs` in replies and
+//!   `stats`.
+//! - [`RetryClient`]: exponential backoff + deterministic jitter with
+//!   idempotent `req_id`s, so a retried mutation is applied exactly
+//!   once (the server answers replays from its idempotency cache).
+//!
 //! The CLI front end is `mvrobust serve` / `mvrobust client`.
 
 pub mod client;
+pub mod fault;
 pub mod metrics;
 pub mod protocol;
 pub mod registry;
 pub mod server;
 
-pub use client::{Client, ClientError};
+pub use client::{Client, ClientError, RetryClient, RetryPolicy, RetryStats};
+pub use fault::{FaultAction, FaultHook, FaultPlan, InjectedFault, ReallocFault, ScriptedFaults};
 pub use metrics::Metrics;
 pub use protocol::Request;
 pub use registry::{RegisteredTxn, Registry, RegistryError};
-pub use server::{install_signal_handlers, Config, Server, ServerHandle};
+pub use server::{install_signal_handlers, Config, Server, ServerHandle, MAX_LINE};

@@ -30,6 +30,9 @@ pub struct Metrics {
     counts: [AtomicU64; OP_NAMES.len()],
     errors: AtomicU64,
     latency: [AtomicU64; BUCKETS],
+    /// Mutations answered from the idempotency replay cache (a retried
+    /// request whose first attempt already applied).
+    replays: AtomicU64,
 }
 
 impl Default for Metrics {
@@ -38,6 +41,7 @@ impl Default for Metrics {
             counts: std::array::from_fn(|_| AtomicU64::new(0)),
             errors: AtomicU64::new(0),
             latency: std::array::from_fn(|_| AtomicU64::new(0)),
+            replays: AtomicU64::new(0),
         }
     }
 }
@@ -73,8 +77,22 @@ impl Metrics {
         self.errors.load(Ordering::Relaxed)
     }
 
+    /// Counts one replayed mutation (idempotent retry served from the
+    /// replay cache instead of re-applied).
+    pub fn record_replay(&self) {
+        self.replays.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn replays(&self) -> u64 {
+        self.replays.load(Ordering::Relaxed)
+    }
+
     /// The latency value (µs, bucket upper bound) at quantile `q` in
     /// `[0, 1]`, or 0 when nothing was recorded.
+    ///
+    /// Bucket 0 only ever holds sub-microsecond durations, so its upper
+    /// bound is reported as 0 — a service whose every request takes
+    /// under a microsecond reports p99 = 0, not a phantom 1µs.
     pub fn quantile_us(&self, q: f64) -> u64 {
         let buckets: Vec<u64> = self
             .latency
@@ -90,8 +108,9 @@ impl Metrics {
         for (i, &count) in buckets.iter().enumerate() {
             seen += count;
             if seen >= target {
-                // Bucket i holds durations in [2^(i-1), 2^i) µs.
-                return 1u64 << i;
+                // Bucket i > 0 holds durations in [2^(i-1), 2^i) µs;
+                // bucket 0 holds exactly the sub-µs durations.
+                return if i == 0 { 0 } else { 1u64 << i };
             }
         }
         1u64 << (BUCKETS - 1)
@@ -111,6 +130,7 @@ impl Metrics {
             "total": self.total(),
             "requests": Value::Object(requests),
             "errors": self.errors(),
+            "replays": self.replays(),
             "latency_us": json!({
                 "p50": self.quantile_us(0.50),
                 "p99": self.quantile_us(0.99),
@@ -160,5 +180,73 @@ mod tests {
         let m = Metrics::new();
         assert_eq!(m.quantile_us(0.99), 0);
         assert_eq!(m.total(), 0);
+    }
+
+    #[test]
+    fn all_zero_distribution_reports_zero_not_phantom_microsecond() {
+        // Every request under 1µs lands in bucket 0; quantiles must say
+        // 0µs, not round up to the old 1µs bucket bound.
+        let m = Metrics::new();
+        for _ in 0..1000 {
+            m.record("ping", true, Duration::ZERO);
+        }
+        assert_eq!(m.quantile_us(0.50), 0);
+        assert_eq!(m.quantile_us(0.99), 0);
+        assert_eq!(m.quantile_us(1.0), 0);
+    }
+
+    #[test]
+    fn single_sample_every_quantile_lands_in_its_bucket() {
+        let m = Metrics::new();
+        m.record("assign", true, Duration::from_micros(700));
+        // 700µs sits in (512, 1024]; every quantile of a one-sample
+        // distribution must report that same bucket bound.
+        for q in [0.0, 0.01, 0.50, 0.99, 1.0] {
+            let v = m.quantile_us(q);
+            assert_eq!(v, 1024, "q={q} reported {v}µs for a single 700µs sample");
+        }
+    }
+
+    #[test]
+    fn bucket_boundary_values_split_correctly() {
+        // 2^k−1 is the last value of its bucket and 2^k the first of the
+        // next; the reported bound is always the smallest power of two
+        // strictly above the recorded value, so it never under-reports.
+        for k in [1u32, 4, 10, 20] {
+            let exact = 1u64 << k;
+            for us in [exact - 1, exact, exact + 1] {
+                let m = Metrics::new();
+                m.record("assign", true, Duration::from_micros(us));
+                let p99 = m.quantile_us(0.99);
+                let want = (us + 1).next_power_of_two();
+                assert_eq!(
+                    p99, want,
+                    "value {us}µs (k={k}) reported {p99}µs, want {want}µs"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_q() {
+        let m = Metrics::new();
+        for us in [0u64, 1, 3, 9, 80, 300, 5_000, 70_000] {
+            m.record("assign", true, Duration::from_micros(us));
+        }
+        let mut prev = 0;
+        for i in 0..=100 {
+            let v = m.quantile_us(f64::from(i) / 100.0);
+            assert!(v >= prev, "quantile not monotone at q={}", i as f64 / 100.0);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn replay_counter_round_trips_through_json() {
+        let m = Metrics::new();
+        assert_eq!(m.replays(), 0);
+        m.record_replay();
+        m.record_replay();
+        assert_eq!(m.to_json()["replays"], 2u64);
     }
 }

@@ -6,19 +6,28 @@
 //! `"error"` — malformed input produces an error reply, never a
 //! dropped connection.
 //!
-//! | op           | request fields        | reply fields                              |
-//! |--------------|-----------------------|-------------------------------------------|
-//! | `register`   | `txn` (text line)     | `txn_id`, `level`, `changed`, `registry_size` |
-//! | `deregister` | `txn_id`              | `txn_id`, `changed`, `registry_size`      |
-//! | `assign`     | `txn_id`              | `txn_id`, `level`                         |
-//! | `stats`      | —                     | counters, latencies, `last_realloc`       |
-//! | `list`       | —                     | `txns`: `[{id, text, level}]`             |
-//! | `ping`       | —                     | `pong`                                    |
-//! | `shutdown`   | —                     | `shutting_down`                           |
+//! | op           | request fields               | reply fields                              |
+//! |--------------|------------------------------|-------------------------------------------|
+//! | `register`   | `txn` (text line), `req_id`? | `txn_id`, `level`, `changed`, `registry_size` |
+//! | `deregister` | `txn_id`, `req_id`?          | `txn_id`, `changed`, `registry_size`      |
+//! | `assign`     | `txn_id`                     | `txn_id`, `level`                         |
+//! | `stats`      | —                            | counters, latencies, `last_realloc`       |
+//! | `list`       | —                            | `txns`: `[{id, text, level}]`             |
+//! | `ping`       | —                            | `pong`                                    |
+//! | `shutdown`   | —                            | `shutting_down`                           |
 //!
 //! `changed` reports the transactions whose level differs from the
 //! previous optimum (`before` is `null` for a newly entered
 //! transaction, `after` is `null` for a departed one).
+//!
+//! `req_id` is an optional numeric idempotency key on the two mutating
+//! ops. A client that retries a request after a connection failure
+//! sends the same `req_id`; if the first attempt already applied, the
+//! server answers from its replay cache with the original reply plus
+//! `"replayed": true` instead of double-applying the delta. Replies to
+//! mutating ops served while the registry is degraded (a reallocation
+//! failed and the last-known-good allocation is still being served)
+//! additionally carry `"stale": true`.
 
 use mvisolation::LevelChange;
 use mvmodel::TxnId;
@@ -27,8 +36,8 @@ use serde_json::{json, Value};
 /// A decoded client request.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum Request {
-    Register { line: String },
-    Deregister { id: TxnId },
+    Register { line: String, req_id: Option<u64> },
+    Deregister { id: TxnId, req_id: Option<u64> },
     Assign { id: TxnId },
     Stats,
     List,
@@ -68,9 +77,15 @@ impl Request {
                     .as_str()
                     .ok_or("register needs a string field `txn`")?
                     .to_string();
-                Ok(Request::Register { line })
+                Ok(Request::Register {
+                    line,
+                    req_id: req_id(&v)?,
+                })
             }
-            "deregister" => Ok(Request::Deregister { id: txn_id(&v)? }),
+            "deregister" => Ok(Request::Deregister {
+                id: txn_id(&v)?,
+                req_id: req_id(&v)?,
+            }),
             "assign" => Ok(Request::Assign { id: txn_id(&v)? }),
             "stats" => Ok(Request::Stats),
             "list" => Ok(Request::List),
@@ -82,11 +97,31 @@ impl Request {
         }
     }
 
+    /// The idempotency key, when this is a mutating request that set one.
+    pub fn req_id(&self) -> Option<u64> {
+        match self {
+            Request::Register { req_id, .. } | Request::Deregister { req_id, .. } => *req_id,
+            _ => None,
+        }
+    }
+
     /// Encodes the request as its wire JSON object.
     pub fn to_json(&self) -> Value {
         match self {
-            Request::Register { line } => json!({"op": "register", "txn": line.as_str()}),
-            Request::Deregister { id } => json!({"op": "deregister", "txn_id": id.0}),
+            Request::Register { line, req_id } => {
+                let mut v = json!({"op": "register", "txn": line.as_str()});
+                if let Some(r) = req_id {
+                    v["req_id"] = Value::from(*r);
+                }
+                v
+            }
+            Request::Deregister { id, req_id } => {
+                let mut v = json!({"op": "deregister", "txn_id": id.0});
+                if let Some(r) = req_id {
+                    v["req_id"] = Value::from(*r);
+                }
+                v
+            }
             Request::Assign { id } => json!({"op": "assign", "txn_id": id.0}),
             Request::Stats => json!({"op": "stats"}),
             Request::List => json!({"op": "list"}),
@@ -102,6 +137,16 @@ fn txn_id(v: &Value) -> Result<TxnId, String> {
         .ok_or("missing numeric field `txn_id`")?;
     let id = u32::try_from(raw).map_err(|_| format!("txn_id {raw} out of range"))?;
     Ok(TxnId(id))
+}
+
+fn req_id(v: &Value) -> Result<Option<u64>, String> {
+    match &v["req_id"] {
+        Value::Null => Ok(None),
+        other => other
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| "field `req_id` must be a non-negative integer".to_string()),
+    }
 }
 
 /// An `"ok": false` reply carrying a message.
@@ -139,8 +184,20 @@ mod tests {
         let reqs = [
             Request::Register {
                 line: "T1: R[x] W[y]".to_string(),
+                req_id: None,
             },
-            Request::Deregister { id: TxnId(7) },
+            Request::Register {
+                line: "T2: W[z]".to_string(),
+                req_id: Some(0xfeed),
+            },
+            Request::Deregister {
+                id: TxnId(7),
+                req_id: None,
+            },
+            Request::Deregister {
+                id: TxnId(8),
+                req_id: Some(u64::MAX),
+            },
             Request::Assign { id: TxnId(3) },
             Request::Stats,
             Request::List,
@@ -170,6 +227,25 @@ mod tests {
         assert!(Request::parse(r#"{"op":"assign","txn_id":99999999999}"#)
             .unwrap_err()
             .contains("out of range"));
+        assert!(
+            Request::parse(r#"{"op":"register","txn":"T1: W[x]","req_id":-3}"#)
+                .unwrap_err()
+                .contains("req_id")
+        );
+        assert!(
+            Request::parse(r#"{"op":"deregister","txn_id":1,"req_id":"abc"}"#)
+                .unwrap_err()
+                .contains("req_id")
+        );
+    }
+
+    #[test]
+    fn req_id_accessor_covers_mutating_ops_only() {
+        let reg = Request::parse(r#"{"op":"register","txn":"T1: W[x]","req_id":9}"#).unwrap();
+        assert_eq!(reg.req_id(), Some(9));
+        let dereg = Request::parse(r#"{"op":"deregister","txn_id":1}"#).unwrap();
+        assert_eq!(dereg.req_id(), None);
+        assert_eq!(Request::Ping.req_id(), None);
     }
 
     #[test]

@@ -5,13 +5,33 @@
 //! the unique optimal robust allocation of the *current* set
 //! continuously available ([`Registry::assign`] is an O(1) lookup into
 //! the cached optimum — no probe runs unless the workload changed).
+//!
+//! # Degradation semantics
+//!
+//! A reallocation can fail to *complete* — it exceeds the configured
+//! [`Registry::with_realloc_timeout`] budget, or an installed
+//! [`FaultHook`] forces a failure. The registry then degrades
+//! gracefully instead of wedging: the mutation is **not applied** (the
+//! allocator rolls its set back), the last-known-good allocation keeps
+//! being served, and the failure is reported both in the structured
+//! error ([`RegistryError::Degraded`]) and in the staleness accessors
+//! ([`Registry::degraded`], [`Registry::failed_reallocs`]) that the
+//! server surfaces as `"stale"` / `"failed_reallocs"` fields. The next
+//! successful reallocation clears the degraded flag. Because rejected
+//! mutations roll back completely, the served allocation is at every
+//! moment bit-identical to a batch [`Allocator::optimal`] run over the
+//! currently-registered set — the invariant the chaos harness verifies.
 
+use crate::fault::{FaultHook, ReallocFault};
 use mvisolation::{Allocation, IsolationLevel};
 use mvmodel::{parse_transaction_line, Op, ParseError, Transaction, TransactionSet, TxnId};
 use mvrobustness::{AllocError, Allocator, EngineStats, LevelSet, Realloc};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-/// Why a registry operation failed. Mirrors the two layers beneath it:
-/// the textual transaction format and the allocation engine.
+/// Why a registry operation failed. Mirrors the layers beneath it: the
+/// textual transaction format, the allocation engine, and the service's
+/// own degradation state.
 #[derive(Debug)]
 pub enum RegistryError {
     /// The transaction line did not parse.
@@ -19,6 +39,15 @@ pub enum RegistryError {
     /// The allocator rejected the mutation (duplicate id, unknown id, or
     /// an unallocatable `{RC, SI}` workload — rolled back).
     Alloc(AllocError),
+    /// The reallocation failed to complete (timeout or injected fault).
+    /// The mutation was rolled back; the last-known-good allocation is
+    /// still served.
+    Degraded {
+        /// What went wrong (`"reallocation timed out"`, …).
+        cause: String,
+        /// Total reallocation failures so far, including this one.
+        failures: u64,
+    },
 }
 
 impl std::fmt::Display for RegistryError {
@@ -26,6 +55,12 @@ impl std::fmt::Display for RegistryError {
         match self {
             RegistryError::Parse(e) => write!(f, "parse error: {e}"),
             RegistryError::Alloc(e) => write!(f, "{e}"),
+            RegistryError::Degraded { cause, failures } => write!(
+                f,
+                "{cause}; the change was not applied and the last-known-good allocation \
+                 is still served ({failures} reallocation failure{} so far) — retry later",
+                if *failures == 1 { "" } else { "s" }
+            ),
         }
     }
 }
@@ -46,6 +81,13 @@ pub struct RegisteredTxn {
 /// optimal robust allocation.
 pub struct Registry {
     alloc: Allocator<'static>,
+    /// Injection seam; `None` (the default) costs one branch.
+    faults: Option<Arc<dyn FaultHook>>,
+    /// Reallocation failures (timeouts + injected) so far.
+    failed_reallocs: u64,
+    /// Did the most recent reallocation attempt fail? Cleared by the
+    /// next success.
+    degraded: bool,
 }
 
 impl Registry {
@@ -56,11 +98,40 @@ impl Registry {
             alloc: Allocator::from_owned(TransactionSet::default())
                 .with_levels(levels)
                 .with_threads(threads),
+            faults: None,
+            failed_reallocs: 0,
+            degraded: false,
         }
+    }
+
+    /// Caps how long each reallocation may run before it is abandoned
+    /// and rolled back (the degradation path). `None` = unbounded.
+    pub fn with_realloc_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.alloc = self.alloc.with_op_timeout(timeout);
+        self
+    }
+
+    /// Installs a fault-injection hook (chaos testing). Production
+    /// registries never call this.
+    pub fn with_fault_hook(mut self, hook: Arc<dyn FaultHook>) -> Self {
+        self.faults = Some(hook);
+        self
     }
 
     pub fn levels(&self) -> LevelSet {
         self.alloc.levels()
+    }
+
+    /// Did the most recent reallocation attempt fail? While `true`, the
+    /// served allocation is the last-known-good one and some recent
+    /// mutation was rejected.
+    pub fn degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// Total reallocation failures (timeouts and injected faults).
+    pub fn failed_reallocs(&self) -> u64 {
+        self.failed_reallocs
     }
 
     /// Number of registered transactions.
@@ -92,12 +163,72 @@ impl Registry {
             })
             .collect();
         let txn = Transaction::new(parsed.id(), ops).expect("parser enforces the op invariants");
-        self.alloc.add_txn(txn).map_err(RegistryError::Alloc)
+        match self.pre_realloc()? {
+            ReallocFault::Timeout => {
+                let expired = Some(Instant::now());
+                let res = self.alloc.add_txn_by(txn, expired);
+                self.post_realloc(res)
+            }
+            _ => {
+                let res = self.alloc.add_txn(txn);
+                self.post_realloc(res)
+            }
+        }
     }
 
     /// Deregisters transaction `id` and incrementally reallocates.
     pub fn deregister(&mut self, id: TxnId) -> Result<Realloc, RegistryError> {
-        self.alloc.remove_txn(id).map_err(RegistryError::Alloc)
+        match self.pre_realloc()? {
+            ReallocFault::Timeout => {
+                let expired = Some(Instant::now());
+                let res = self.alloc.remove_txn_by(id, expired);
+                self.post_realloc(res)
+            }
+            _ => {
+                let res = self.alloc.remove_txn(id);
+                self.post_realloc(res)
+            }
+        }
+    }
+
+    /// Consults the fault hook before a reallocation. A forced `Fail`
+    /// short-circuits into degradation before the engine even runs; a
+    /// forced `Timeout` is returned so the caller runs the engine
+    /// against an expired deadline (exercising the rollback path).
+    fn pre_realloc(&mut self) -> Result<ReallocFault, RegistryError> {
+        let fault = match &self.faults {
+            None => ReallocFault::None,
+            Some(hook) => hook.on_realloc(),
+        };
+        if fault == ReallocFault::Fail {
+            return Err(self.note_failure("reallocation failed (injected fault)"));
+        }
+        Ok(fault)
+    }
+
+    /// Folds an allocator outcome into the degradation state: successes
+    /// clear the degraded flag, timeouts record a failure, and client
+    /// errors (duplicate id, unallocatable workload, …) pass through
+    /// without touching it — they are the client's problem, not a
+    /// service failure.
+    fn post_realloc(&mut self, res: Result<Realloc, AllocError>) -> Result<Realloc, RegistryError> {
+        match res {
+            Ok(realloc) => {
+                self.degraded = false;
+                Ok(realloc)
+            }
+            Err(AllocError::Timeout) => Err(self.note_failure("reallocation timed out")),
+            Err(e) => Err(RegistryError::Alloc(e)),
+        }
+    }
+
+    fn note_failure(&mut self, cause: &str) -> RegistryError {
+        self.failed_reallocs += 1;
+        self.degraded = true;
+        RegistryError::Degraded {
+            cause: cause.to_string(),
+            failures: self.failed_reallocs,
+        }
     }
 
     /// The current optimal level of `id` — an O(1) lookup into the
@@ -189,6 +320,84 @@ mod tests {
             Err(RegistryError::Alloc(AllocError::Unknown(TxnId(5))))
         ));
         assert_eq!(reg.len(), 1);
+    }
+
+    /// A hook that returns a scripted sequence of realloc faults.
+    struct Scripted(std::sync::Mutex<Vec<ReallocFault>>);
+
+    impl FaultHook for Scripted {
+        fn on_realloc(&self) -> ReallocFault {
+            self.0.lock().unwrap().pop().unwrap_or(ReallocFault::None)
+        }
+    }
+
+    #[test]
+    fn injected_failure_degrades_then_recovers() {
+        // Script (popped back-to-front): Fail, Timeout, then clean.
+        let script = Scripted(std::sync::Mutex::new(vec![
+            ReallocFault::None,
+            ReallocFault::Timeout,
+            ReallocFault::Fail,
+        ]));
+        let mut reg =
+            Registry::new(LevelSet::RcSiSsi, 1).with_fault_hook(std::sync::Arc::new(script));
+
+        // First registration hits the injected Fail: not applied.
+        let err = reg.register("T1: R[x] W[y]").unwrap_err();
+        assert!(matches!(err, RegistryError::Degraded { failures: 1, .. }));
+        let msg = err.to_string();
+        assert!(msg.contains("last-known-good"), "{msg}");
+        assert!(reg.degraded());
+        assert_eq!(reg.failed_reallocs(), 1);
+        assert!(reg.is_empty(), "failed registration must not apply");
+
+        // Second hits the injected Timeout: the engine runs against an
+        // expired deadline and rolls back.
+        let err = reg.register("T1: R[x] W[y]").unwrap_err();
+        assert!(matches!(err, RegistryError::Degraded { failures: 2, .. }));
+        assert!(reg.is_empty());
+
+        // Third runs clean: applied, degradation cleared.
+        reg.register("T1: R[x] W[y]").unwrap();
+        assert!(!reg.degraded());
+        assert_eq!(reg.failed_reallocs(), 2, "history is retained");
+        assert_eq!(reg.assign(TxnId(1)), Some(IsolationLevel::RC));
+    }
+
+    #[test]
+    fn degraded_deregister_keeps_the_transaction() {
+        let script = Scripted(std::sync::Mutex::new(vec![
+            ReallocFault::Timeout,
+            ReallocFault::None,
+        ]));
+        let mut reg =
+            Registry::new(LevelSet::RcSiSsi, 1).with_fault_hook(std::sync::Arc::new(script));
+        reg.register("T1: R[x] W[y]").unwrap();
+        // The timed-out deregister rolls back: T1 is still served.
+        let err = reg.deregister(TxnId(1)).unwrap_err();
+        assert!(matches!(err, RegistryError::Degraded { .. }));
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg.assign(TxnId(1)), Some(IsolationLevel::RC));
+        assert!(reg.degraded());
+    }
+
+    #[test]
+    fn client_errors_do_not_count_as_degradation() {
+        let mut reg = Registry::new(LevelSet::RcSiSsi, 1);
+        reg.register("T1: R[x]").unwrap();
+        assert!(reg.register("T1: W[x]").is_err());
+        assert!(!reg.degraded());
+        assert_eq!(reg.failed_reallocs(), 0);
+    }
+
+    #[test]
+    fn generous_realloc_timeout_is_invisible() {
+        let mut reg = Registry::new(LevelSet::RcSiSsi, 1)
+            .with_realloc_timeout(Some(std::time::Duration::from_secs(30)));
+        reg.register("T1: R[x] W[y]").unwrap();
+        reg.register("T2: R[y] W[x]").unwrap();
+        assert_eq!(reg.assign(TxnId(1)), Some(IsolationLevel::SSI));
+        assert!(!reg.degraded());
     }
 
     #[test]

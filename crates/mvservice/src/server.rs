@@ -11,20 +11,33 @@
 //!   line has arrived (an idle keep-alive connection never times out);
 //! - malformed input produces a structured `{"ok":false,"error":…}`
 //!   reply and the connection stays open — only a stalled partial
-//!   request or an I/O error closes it;
+//!   request, an oversized line, or an I/O error closes it;
 //! - the registry sits behind one mutex: reallocation is the expensive
 //!   part and is CPU-bound, so serializing mutations is the correct
 //!   concurrency regime, while `assign`/`stats` hold the lock for an
-//!   O(1) lookup only.
+//!   O(1) lookup only;
+//! - when a [`FaultPlan`] is configured, every request passes through a
+//!   deterministic injection point (drop / truncate / delay keyed on
+//!   the connection index and per-connection request sequence number)
+//!   and every reallocation may be forced to fail or time out — see
+//!   [`crate::fault`]. With no plan configured the hook is `None` and
+//!   the hot path pays a single branch;
+//! - mutating requests may carry a `req_id` idempotency key: the reply
+//!   to a successfully applied mutation is cached, and a retry bearing
+//!   the same key is answered from the cache (marked `"replayed":
+//!   true`) instead of double-applying the delta.
 
+use crate::fault::{FaultAction, FaultHook, FaultPlan, InjectedFault, ScriptedFaults};
 use crate::metrics::Metrics;
 use crate::protocol::{changes_json, error_reply, ok_reply, Request};
 use crate::registry::Registry;
 use mvrobustness::LevelSet;
 use serde_json::Value;
+use std::collections::HashMap;
+use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
@@ -41,6 +54,12 @@ pub struct Config {
     /// How long a *partial* request line may stall before the
     /// connection is dropped (with an error reply).
     pub request_timeout: Duration,
+    /// Deadline for a single incremental reallocation; on expiry the
+    /// mutation is rolled back and the last-known-good allocation keeps
+    /// being served (`None` = no deadline).
+    pub realloc_timeout: Option<Duration>,
+    /// Deterministic fault-injection schedule (`None` = no injection).
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for Config {
@@ -50,6 +69,47 @@ impl Default for Config {
             levels: LevelSet::default(),
             threads: 1,
             request_timeout: Duration::from_secs(10),
+            realloc_timeout: None,
+            faults: None,
+        }
+    }
+}
+
+/// Longest accepted request line, in bytes. A line that grows past this
+/// (complete or partial) gets a structured error reply and the
+/// connection is closed — the server never buffers unboundedly.
+pub const MAX_LINE: usize = 1 << 20;
+
+/// How many `req_id → reply` entries the idempotency replay cache
+/// keeps; oldest entries are evicted first.
+const REPLAY_CACHE_CAP: usize = 1024;
+
+/// Bounded insertion-order map backing the idempotency cache.
+struct ReplayCache {
+    replies: HashMap<u64, Value>,
+    order: VecDeque<u64>,
+}
+
+impl ReplayCache {
+    fn new() -> Self {
+        ReplayCache {
+            replies: HashMap::new(),
+            order: VecDeque::new(),
+        }
+    }
+
+    fn get(&self, req_id: u64) -> Option<&Value> {
+        self.replies.get(&req_id)
+    }
+
+    fn insert(&mut self, req_id: u64, reply: Value) {
+        if self.replies.insert(req_id, reply).is_none() {
+            self.order.push_back(req_id);
+            if self.order.len() > REPLAY_CACHE_CAP {
+                if let Some(old) = self.order.pop_front() {
+                    self.replies.remove(&old);
+                }
+            }
         }
     }
 }
@@ -86,6 +146,13 @@ struct Shared {
     metrics: Metrics,
     shutdown: AtomicBool,
     request_timeout: Duration,
+    /// `Some` only when a fault plan was configured.
+    faults: Option<Arc<ScriptedFaults>>,
+    /// Idempotency cache for mutating requests carrying a `req_id`.
+    /// Lock order: `replays` before `registry`, never the reverse.
+    replays: Mutex<ReplayCache>,
+    /// Monotone connection index — the `conn` fault coordinate.
+    conns: AtomicU64,
 }
 
 impl Shared {
@@ -109,6 +176,17 @@ impl ServerHandle {
     pub fn is_shutting_down(&self) -> bool {
         self.0.stopping()
     }
+
+    /// The chronological fault-injection log (empty when no plan is
+    /// configured). Determinism checks compare this across runs.
+    pub fn fault_log(&self) -> Vec<InjectedFault> {
+        self.0.faults.as_ref().map_or_else(Vec::new, |f| f.log())
+    }
+
+    /// Total faults injected so far (0 when no plan is configured).
+    pub fn faults_injected(&self) -> u64 {
+        self.0.faults.as_ref().map_or(0, |f| f.injected())
+    }
 }
 
 /// The allocation daemon. [`Server::bind`] then [`Server::run`].
@@ -118,16 +196,28 @@ pub struct Server {
 }
 
 impl Server {
-    /// Binds the listening socket and builds an empty registry.
+    /// Binds the listening socket and builds an empty registry, wired
+    /// with the configured reallocation deadline and fault plan.
     pub fn bind(config: Config) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
+        let faults = config
+            .faults
+            .map(|plan| Arc::new(ScriptedFaults::new(plan)));
+        let mut registry = Registry::new(config.levels, config.threads)
+            .with_realloc_timeout(config.realloc_timeout);
+        if let Some(hook) = &faults {
+            registry = registry.with_fault_hook(Arc::clone(hook) as _);
+        }
         Ok(Server {
             listener,
             shared: Arc::new(Shared {
-                registry: Mutex::new(Registry::new(config.levels, config.threads)),
+                registry: Mutex::new(registry),
                 metrics: Metrics::new(),
                 shutdown: AtomicBool::new(false),
                 request_timeout: config.request_timeout,
+                faults,
+                replays: Mutex::new(ReplayCache::new()),
+                conns: AtomicU64::new(0),
             }),
         })
     }
@@ -181,6 +271,12 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) -> std::io::Result<(
     let mut writer = stream.try_clone()?;
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
+    // Fault coordinates: connection index and per-connection request
+    // sequence number. Both are deterministic given the client's
+    // connect/request order, which is what makes seeded schedules
+    // reproducible.
+    let conn = shared.conns.fetch_add(1, Ordering::SeqCst);
+    let mut seq = 0u64;
     // `Some(t)` while a partial request line is buffered: the moment the
     // first byte of the request arrived.
     let mut partial_since: Option<Instant> = None;
@@ -194,17 +290,24 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) -> std::io::Result<(
                     return Ok(()); // clean close
                 }
                 // Final request without trailing newline, then EOF.
-                respond(&mut writer, &shared, &line)?;
+                respond(&mut writer, &shared, &line, conn, seq)?;
                 return Ok(());
             }
             Ok(_) if !line.ends_with('\n') => {
                 // read_line only returns Ok at a newline or EOF; a
                 // missing newline here means EOF mid-line.
-                respond(&mut writer, &shared, &line)?;
+                respond(&mut writer, &shared, &line, conn, seq)?;
+                return Ok(());
+            }
+            Ok(_) if line.len() > MAX_LINE => {
+                let reply = error_reply(&format!("request line exceeds {MAX_LINE} bytes"));
+                shared.metrics.record("invalid", false, Duration::ZERO);
+                write_reply(&mut writer, &reply)?;
                 return Ok(());
             }
             Ok(_) => {
-                let stop = respond(&mut writer, &shared, &line)?;
+                let stop = respond(&mut writer, &shared, &line, conn, seq)?;
+                seq += 1;
                 line.clear();
                 partial_since = None;
                 if stop {
@@ -219,10 +322,16 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) -> std::io::Result<(
             {
                 // Poll tick. `read_line` keeps any partial bytes in
                 // `line`, so a slow request accumulates across ticks —
-                // but not forever.
+                // but not forever, and never past the line cap.
                 if line.is_empty() {
                     partial_since = None;
                     continue;
+                }
+                if line.len() > MAX_LINE {
+                    let reply = error_reply(&format!("request line exceeds {MAX_LINE} bytes"));
+                    shared.metrics.record("invalid", false, Duration::ZERO);
+                    write_reply(&mut writer, &reply)?;
+                    return Ok(());
                 }
                 let since = *partial_since.get_or_insert_with(Instant::now);
                 if since.elapsed() > shared.request_timeout {
@@ -237,12 +346,32 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) -> std::io::Result<(
     }
 }
 
-/// Handles one request line: decode, execute, reply. Returns `true`
-/// when the connection should close (shutdown acknowledged).
-fn respond(writer: &mut TcpStream, shared: &Shared, raw: &str) -> std::io::Result<bool> {
+/// Handles one request line: decode, (maybe) inject a fault, execute,
+/// reply. Returns `true` when the connection should close (shutdown
+/// acknowledged, or an injected drop/truncate).
+fn respond(
+    writer: &mut TcpStream,
+    shared: &Shared,
+    raw: &str,
+    conn: u64,
+    seq: u64,
+) -> std::io::Result<bool> {
     let line = raw.trim();
     if line.is_empty() {
         return Ok(false);
+    }
+    let action = shared
+        .faults
+        .as_ref()
+        .map_or(FaultAction::None, |f| f.on_request(conn, seq));
+    if matches!(action, FaultAction::Drop) {
+        // Connection dies *before* the request executes: the mutation
+        // is never applied, so a client retry (same req_id) applies it
+        // exactly once.
+        return Ok(true);
+    }
+    if let FaultAction::Delay(pause) = action {
+        thread::sleep(pause);
     }
     let start = Instant::now();
     let (op, reply, stop) = match Request::parse(line) {
@@ -255,6 +384,13 @@ fn respond(writer: &mut TcpStream, shared: &Shared, raw: &str) -> std::io::Resul
     };
     let ok = reply["ok"] == true;
     shared.metrics.record(op, ok, start.elapsed());
+    if matches!(action, FaultAction::Truncate) {
+        // Connection dies *after* the request executed but before the
+        // full reply frame made it out: the retry hits the replay
+        // cache instead of double-applying.
+        write_truncated(writer, &reply)?;
+        return Ok(true);
+    }
     write_reply(writer, &reply)?;
     Ok(stop)
 }
@@ -266,12 +402,59 @@ fn write_reply(writer: &mut TcpStream, reply: &Value) -> std::io::Result<()> {
     writer.flush()
 }
 
+/// Writes only the first half of the encoded reply (no newline), then
+/// lets the caller close the connection: a mid-frame failure.
+fn write_truncated(writer: &mut TcpStream, reply: &Value) -> std::io::Result<()> {
+    let encoded = serde_json::to_string(reply).expect("replies are always encodable");
+    writer.write_all(&encoded.as_bytes()[..encoded.len() / 2])?;
+    writer.flush()
+}
+
+/// Runs a mutating request through the idempotency cache: a `req_id`
+/// already answered replays the original reply (marked); otherwise the
+/// mutation executes and, when it applied (`ok: true`), its reply is
+/// remembered. The replay lock is held across check + execute + insert
+/// so concurrent retries of the same `req_id` cannot double-apply;
+/// lock order is `replays` → `registry` (see [`Shared`]).
+fn mutate(
+    shared: &Shared,
+    req_id: Option<u64>,
+    apply: impl FnOnce(&mut Registry) -> Value,
+) -> Value {
+    let run = |shared: &Shared| {
+        let mut reg = shared.registry.lock().expect("registry poisoned");
+        let mut v = apply(&mut reg);
+        if reg.degraded() {
+            v["stale"] = Value::from(true);
+        }
+        v
+    };
+    match req_id {
+        None => run(shared),
+        Some(rid) => {
+            let mut cache = shared.replays.lock().expect("replay cache poisoned");
+            if let Some(prev) = cache.get(rid) {
+                let mut v = prev.clone();
+                v["replayed"] = Value::from(true);
+                shared.metrics.record_replay();
+                return v;
+            }
+            let v = run(shared);
+            // Only applied mutations are cached: a failed (rolled-back)
+            // attempt left no state behind, so a retry must re-execute.
+            if v["ok"] == true {
+                cache.insert(rid, v.clone());
+            }
+            v
+        }
+    }
+}
+
 /// Executes a decoded request against the shared registry.
 fn execute(shared: &Shared, req: Request) -> (Value, bool) {
     match req {
-        Request::Register { line } => {
-            let mut reg = shared.registry.lock().expect("registry poisoned");
-            match reg.register(&line) {
+        Request::Register { line, req_id } => {
+            let v = mutate(shared, req_id, |reg| match reg.register(&line) {
                 Ok(realloc) => {
                     let mut v = ok_reply();
                     let id = realloc
@@ -285,23 +468,24 @@ fn execute(shared: &Shared, req: Request) -> (Value, bool) {
                     }
                     v["changed"] = changes_json(&realloc.changed);
                     v["registry_size"] = Value::from(reg.len() as u64);
-                    (v, false)
+                    v
                 }
-                Err(e) => (error_reply(&e.to_string()), false),
-            }
+                Err(e) => error_reply(&e.to_string()),
+            });
+            (v, false)
         }
-        Request::Deregister { id } => {
-            let mut reg = shared.registry.lock().expect("registry poisoned");
-            match reg.deregister(id) {
+        Request::Deregister { id, req_id } => {
+            let v = mutate(shared, req_id, |reg| match reg.deregister(id) {
                 Ok(realloc) => {
                     let mut v = ok_reply();
                     v["txn_id"] = Value::from(id.0);
                     v["changed"] = changes_json(&realloc.changed);
                     v["registry_size"] = Value::from(reg.len() as u64);
-                    (v, false)
+                    v
                 }
-                Err(e) => (error_reply(&e.to_string()), false),
-            }
+                Err(e) => error_reply(&e.to_string()),
+            });
+            (v, false)
         }
         Request::Assign { id } => {
             let mut reg = shared.registry.lock().expect("registry poisoned");
@@ -310,6 +494,12 @@ fn execute(shared: &Shared, req: Request) -> (Value, bool) {
                     let mut v = ok_reply();
                     v["txn_id"] = Value::from(id.0);
                     v["level"] = Value::from(level.as_str());
+                    if reg.degraded() {
+                        // The served allocation is still the exact
+                        // optimum of the *applied* set, but a recent
+                        // change was rejected — let readers know.
+                        v["stale"] = Value::from(true);
+                    }
                     (v, false)
                 }
                 None => (
@@ -324,6 +514,11 @@ fn execute(shared: &Shared, req: Request) -> (Value, bool) {
             v["ok"] = Value::from(true);
             v["registry_size"] = Value::from(reg.len() as u64);
             v["levels"] = Value::from(reg.levels().label());
+            v["degraded"] = Value::from(reg.degraded());
+            v["failed_reallocs"] = Value::from(reg.failed_reallocs());
+            if let Some(f) = &shared.faults {
+                v["faults_injected"] = Value::from(f.injected());
+            }
             v["last_realloc"] = match reg.last_stats() {
                 None => Value::Null,
                 Some(s) => {

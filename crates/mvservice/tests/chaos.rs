@@ -1,0 +1,485 @@
+//! Chaos harness: seeded fault schedules against a live socket.
+//!
+//! A deterministic driver throws a stream of register/deregister events
+//! at a server configured with a [`FaultPlan`] (connection drops,
+//! truncated reply frames, slow replies, forced reallocation failures
+//! and timeouts), through a [`RetryClient`] with idempotent request
+//! ids. Every few events — and again after the fault budget is spent —
+//! the harness asserts the service's core invariants:
+//!
+//! 1. the served allocation is **robust** (Algorithm 1 re-verifies it
+//!    from scratch), and
+//! 2. it is **bit-identical** to a batch [`Allocator::optimal`] run
+//!    over exactly the transactions that were applied, and
+//! 3. the server neither poisons a lock nor leaks a thread (the final
+//!    `stats` round-trip and `Server::run`'s join-before-return prove
+//!    both).
+//!
+//! Everything is a pure function of the seed: the fault schedule, the
+//! event stream, the retry backoff, and the request ids. Reproduce any
+//! failure with `CHAOS_SEED=<seed> cargo test -p mvservice --test
+//! chaos`; assertion messages embed the seed and the fault plan.
+
+use mvisolation::{Allocation, IsolationLevel};
+use mvmodel::{parse_transaction_line, TransactionSet};
+use mvrobustness::{is_robust, Allocator};
+use mvservice::{
+    Client, ClientError, Config, FaultPlan, RetryClient, RetryPolicy, Server, ServerHandle,
+};
+use rand::rngs::SmallRng;
+use rand::{RngCore, SeedableRng};
+use std::time::Duration;
+
+/// Default seed; override with `CHAOS_SEED=<u64>`.
+const DEFAULT_SEED: u64 = 0xC4A05;
+
+fn seed_from_env() -> u64 {
+    std::env::var("CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_SEED)
+}
+
+fn start_server(
+    config: Config,
+) -> (
+    std::net::SocketAddr,
+    ServerHandle,
+    std::thread::JoinHandle<()>,
+) {
+    let server = Server::bind(config).expect("bind ephemeral port");
+    let addr = server.local_addr().expect("local addr");
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run().expect("server run"));
+    (addr, handle, join)
+}
+
+fn retry_policy(seed: u64) -> RetryPolicy {
+    RetryPolicy {
+        retries: 6,
+        base: Duration::from_millis(1),
+        cap: Duration::from_millis(20),
+        seed,
+    }
+}
+
+/// The driver: a single-threaded client plus a mirror of what *must*
+/// be registered (kept exact by resolving every ambiguous outcome).
+struct Driver {
+    client: RetryClient,
+    /// `(id, line)` in registration order.
+    mirror: Vec<(u32, String)>,
+    /// One entry per event — compared across runs for determinism.
+    transcript: Vec<String>,
+    next_id: u32,
+    rng: SmallRng,
+    ctx: String,
+}
+
+impl Driver {
+    fn new(addr: std::net::SocketAddr, seed: u64, ctx: String) -> Driver {
+        Driver {
+            client: RetryClient::new(addr.to_string(), retry_policy(seed)),
+            mirror: Vec::new(),
+            transcript: Vec::new(),
+            next_id: 1,
+            rng: SmallRng::seed_from_u64(seed ^ 0xD21F),
+            ctx,
+        }
+    }
+
+    /// A fresh transaction line over a small shared object pool, so the
+    /// workload keeps real conflict structure (write skew, lost-update
+    /// pairs) as it churns. Objects within one transaction are distinct
+    /// (the model allows at most one read and one write per object).
+    fn fresh_line(&mut self) -> (u32, String) {
+        const OBJECTS: [&str; 6] = ["a", "b", "c", "d", "e", "f"];
+        let id = self.next_id;
+        self.next_id += 1;
+        let count = 1 + (self.rng.next_u64() % 3) as usize;
+        let mut pool: Vec<&str> = OBJECTS.to_vec();
+        let mut line = format!("T{id}:");
+        for _ in 0..count {
+            let obj = pool.remove((self.rng.next_u64() % pool.len() as u64) as usize);
+            match self.rng.next_u64() % 3 {
+                0 => line.push_str(&format!(" R[{obj}]")),
+                1 => line.push_str(&format!(" W[{obj}]")),
+                _ => line.push_str(&format!(" R[{obj}] W[{obj}]")),
+            }
+        }
+        (id, line)
+    }
+
+    /// Is `id` registered on the server? Retries through residual
+    /// faults — terminates because the fault budget is finite.
+    fn resolve_registered(&mut self, id: u32) -> bool {
+        for _ in 0..200 {
+            match self.client.assign(id) {
+                Ok(_) => return true,
+                Err(ClientError::Server(_)) => return false,
+                Err(_) => continue,
+            }
+        }
+        panic!("[{}] could not resolve state of T{id}", self.ctx);
+    }
+
+    /// One chaos event: mostly registrations, sometimes a deregistration
+    /// of a random live transaction. The mirror is updated to exactly
+    /// what the server applied.
+    fn step(&mut self) {
+        let deregister = self.mirror.len() >= 4 && self.rng.next_u64() % 100 < 35;
+        if deregister {
+            let idx = (self.rng.next_u64() % self.mirror.len() as u64) as usize;
+            let (id, line) = self.mirror.remove(idx);
+            let outcome = match self.client.deregister(id) {
+                Ok(_) => "ok",
+                Err(ClientError::Server(_)) => {
+                    // Rejected (degraded realloc rolled it back): still
+                    // registered.
+                    self.mirror.insert(idx, (id, line));
+                    "rejected"
+                }
+                Err(_) => {
+                    // Retries exhausted mid-fault-storm: ask the server
+                    // what actually happened.
+                    if self.resolve_registered(id) {
+                        self.mirror.insert(idx, (id, line));
+                        "resolved-rejected"
+                    } else {
+                        "resolved-ok"
+                    }
+                }
+            };
+            self.transcript.push(format!("dereg T{id} {outcome}"));
+        } else {
+            let (id, line) = self.fresh_line();
+            let outcome = match self.client.register(&line) {
+                Ok(_) => {
+                    self.mirror.push((id, line.clone()));
+                    "ok"
+                }
+                Err(ClientError::Server(_)) => "rejected",
+                Err(_) => {
+                    if self.resolve_registered(id) {
+                        self.mirror.push((id, line.clone()));
+                        "resolved-ok"
+                    } else {
+                        "resolved-rejected"
+                    }
+                }
+            };
+            self.transcript.push(format!("reg T{id} {outcome}"));
+        }
+    }
+
+    /// The batch `TransactionSet` equivalent of the mirror, built the
+    /// same way the registry builds its own set.
+    fn mirror_set(&self) -> TransactionSet {
+        let mut set = TransactionSet::default();
+        for (_, line) in &self.mirror {
+            let parsed = parse_transaction_line(line, &mut set).expect("mirror lines parse");
+            set.insert(parsed).expect("mirror ids are unique");
+        }
+        set
+    }
+
+    /// The core invariants: the served allocation covers exactly the
+    /// applied transactions, Algorithm 1 re-verifies it as robust, and
+    /// it is bit-identical to a from-scratch `Allocator::optimal`.
+    fn verify(&mut self) {
+        let listed = loop {
+            match self.client.list() {
+                Ok(v) => break v,
+                Err(ClientError::Server(m)) => panic!("[{}] list rejected: {m}", self.ctx),
+                Err(_) => continue,
+            }
+        };
+        let ctx = &self.ctx;
+        let served: Vec<(u32, IsolationLevel)> = listed["txns"]
+            .as_array()
+            .unwrap_or_else(|| panic!("[{ctx}] list reply lacks txns"))
+            .iter()
+            .map(|t| {
+                (
+                    t["id"].as_u64().expect("listed id") as u32,
+                    t["level"]
+                        .as_str()
+                        .expect("listed level")
+                        .parse()
+                        .expect("level parses"),
+                )
+            })
+            .collect();
+
+        let mut served_ids: Vec<u32> = served.iter().map(|(id, _)| *id).collect();
+        served_ids.sort_unstable();
+        let mut mirror_ids: Vec<u32> = self.mirror.iter().map(|(id, _)| *id).collect();
+        mirror_ids.sort_unstable();
+        assert_eq!(
+            served_ids, mirror_ids,
+            "[{ctx}] served transaction set diverged from the applied set"
+        );
+
+        let set = self.mirror_set();
+        let allocation =
+            Allocation::from_pairs(served.iter().map(|&(id, l)| (mvmodel::TxnId(id), l)));
+
+        // Invariant 1: Algorithm 1 re-verifies the served allocation.
+        if !set.is_empty() {
+            assert!(
+                is_robust(&set, &allocation).robust(),
+                "[{ctx}] served allocation {allocation} is not robust"
+            );
+        }
+
+        // Invariant 2: bit-identical to the batch optimum.
+        let (expected, _) = Allocator::new(&set).optimal();
+        for (id, level) in served {
+            assert_eq!(
+                level,
+                expected.level(mvmodel::TxnId(id)),
+                "[{ctx}] T{id} diverged from the batch optimum"
+            );
+        }
+    }
+
+    /// Shuts the server down, riding out any residual faults.
+    fn shutdown(&mut self, handle: &ServerHandle) {
+        for _ in 0..200 {
+            match self.client.shutdown() {
+                Ok(()) => return,
+                // The shutdown may have applied even though the reply
+                // was eaten.
+                Err(_) if handle.is_shutting_down() => return,
+                Err(_) => continue,
+            }
+        }
+        panic!("[{}] server never acknowledged shutdown", self.ctx);
+    }
+}
+
+/// Runs `events` chaos events against a fresh server; returns the
+/// transcript and the server's fault-injection log.
+fn run_scenario(seed: u64, events: usize) -> (Vec<String>, Vec<mvservice::InjectedFault>) {
+    let plan = FaultPlan {
+        seed,
+        drop: 0.12,
+        truncate: 0.10,
+        slow: 0.08,
+        delay: Duration::from_millis(2),
+        realloc_fail: 0.08,
+        realloc_timeout: 0.06,
+        budget: Some(25),
+    };
+    let ctx = format!("CHAOS_SEED={seed} fault-plan: {plan}");
+    let (addr, handle, join) = start_server(Config {
+        addr: "127.0.0.1:0".to_string(),
+        realloc_timeout: Some(Duration::from_secs(10)),
+        faults: Some(plan),
+        ..Config::default()
+    });
+
+    let mut driver = Driver::new(addr, seed, ctx.clone());
+    for round in 0..events {
+        driver.step();
+        if (round + 1) % 10 == 0 {
+            driver.verify();
+        }
+    }
+
+    // Post-recovery: one more mutation round-trip (rides out any budget
+    // that is left), then the full invariant check and a stats probe —
+    // a poisoned registry or metrics lock would fail here.
+    let (id, line) = driver.fresh_line();
+    loop {
+        match driver.client.register(&line) {
+            Ok(_) => {
+                driver.mirror.push((id, line.clone()));
+                break;
+            }
+            Err(ClientError::Server(m)) => {
+                assert!(
+                    m.contains("last-known-good"),
+                    "[{ctx}] unexpected rejection: {m}"
+                );
+            }
+            Err(_) => {
+                if driver.resolve_registered(id) {
+                    driver.mirror.push((id, line.clone()));
+                    break;
+                }
+            }
+        }
+    }
+    driver.verify();
+
+    let stats = driver
+        .client
+        .stats()
+        .unwrap_or_else(|e| panic!("[{ctx}] stats failed post-recovery: {e}"));
+    assert!(
+        stats["failed_reallocs"].as_u64().is_some(),
+        "[{ctx}] stats lacks failed_reallocs"
+    );
+    assert!(
+        stats["faults_injected"].as_u64().is_some(),
+        "[{ctx}] stats lacks faults_injected"
+    );
+
+    driver.shutdown(&handle);
+    join.join().expect("server joins all workers and returns");
+    driver.transcript.push(format!(
+        "final: {} txns, {} faults, retries={}",
+        driver.mirror.len(),
+        handle.faults_injected(),
+        driver.client.retry_stats().retries,
+    ));
+    (driver.transcript, handle.fault_log())
+}
+
+#[test]
+fn chaos_rounds_preserve_robustness_and_the_batch_optimum() {
+    let seed = seed_from_env();
+    let (transcript, fault_log) = run_scenario(seed, 60);
+    assert!(
+        !fault_log.is_empty(),
+        "CHAOS_SEED={seed}: the plan injected nothing — chaos run was vacuous"
+    );
+    // At least some events must have survived the storm.
+    assert!(
+        transcript.iter().any(|t| t.ends_with(" ok")),
+        "CHAOS_SEED={seed}: no event ever succeeded: {transcript:?}"
+    );
+}
+
+#[test]
+fn same_seed_reproduces_the_same_schedule_and_outcomes() {
+    let seed = seed_from_env();
+    let (t1, f1) = run_scenario(seed, 30);
+    let (t2, f2) = run_scenario(seed, 30);
+    assert_eq!(
+        f1, f2,
+        "CHAOS_SEED={seed}: fault schedules diverged between identical runs"
+    );
+    assert_eq!(
+        t1, t2,
+        "CHAOS_SEED={seed}: event outcomes diverged between identical runs"
+    );
+    // A different seed produces a genuinely different schedule.
+    let (_, f3) = run_scenario(seed ^ 0x5EED_5EED, 30);
+    assert_ne!(
+        f1, f3,
+        "different seeds should not replay the same fault schedule"
+    );
+}
+
+#[test]
+fn truncated_reply_is_replayed_not_double_applied() {
+    // Exactly one fault: the very first request's reply is cut
+    // mid-frame *after* the mutation applied. The retry must be served
+    // from the idempotency cache, not applied again.
+    let plan = FaultPlan {
+        seed: 1,
+        truncate: 1.0,
+        budget: Some(1),
+        ..FaultPlan::default()
+    };
+    let (addr, handle, join) = start_server(Config {
+        addr: "127.0.0.1:0".to_string(),
+        faults: Some(plan),
+        ..Config::default()
+    });
+    let mut client = RetryClient::new(addr.to_string(), retry_policy(7));
+    let reply = client.register("T1: R[x] W[y]").expect("retried register");
+    assert_eq!(reply["ok"], true);
+    assert_eq!(
+        reply["replayed"], true,
+        "the retry must hit the replay cache: {reply}"
+    );
+    assert_eq!(reply["registry_size"], 1u64, "double-applied: {reply}");
+    assert_eq!(client.retry_stats().reconnects, 1);
+
+    let listed = client.list().expect("list");
+    assert_eq!(listed["txns"].as_array().expect("txns").len(), 1);
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats["replays"], 1u64);
+    assert_eq!(stats["requests"]["register"], 2u64);
+
+    client.shutdown().expect("shutdown");
+    drop(handle);
+    join.join().expect("server thread");
+}
+
+#[test]
+fn dropped_request_is_applied_exactly_once_by_the_retry() {
+    // The first request is eaten *before* executing; the retry applies
+    // it for the first time — no replay marker, no double apply.
+    let plan = FaultPlan {
+        seed: 1,
+        drop: 1.0,
+        budget: Some(1),
+        ..FaultPlan::default()
+    };
+    let (addr, _handle, join) = start_server(Config {
+        addr: "127.0.0.1:0".to_string(),
+        faults: Some(plan),
+        ..Config::default()
+    });
+    let mut client = RetryClient::new(addr.to_string(), retry_policy(7));
+    let reply = client.register("T1: R[x] W[y]").expect("retried register");
+    assert_eq!(reply["ok"], true);
+    assert!(
+        reply["replayed"].is_null(),
+        "first application must not be marked replayed: {reply}"
+    );
+    assert_eq!(reply["registry_size"], 1u64);
+    client.shutdown().expect("shutdown");
+    join.join().expect("server thread");
+}
+
+#[test]
+fn degraded_registry_reports_staleness_and_recovers() {
+    // Exactly one forced reallocation failure: the first mutation is
+    // rejected with the degradation error, later ones succeed and clear
+    // the flag.
+    let plan = FaultPlan {
+        seed: 1,
+        realloc_fail: 1.0,
+        budget: Some(1),
+        ..FaultPlan::default()
+    };
+    let (addr, _handle, join) = start_server(Config {
+        addr: "127.0.0.1:0".to_string(),
+        faults: Some(plan),
+        ..Config::default()
+    });
+    let mut client = Client::connect(addr).expect("connect");
+
+    let reply = client
+        .raw(r#"{"op":"register","txn":"T1: R[x] W[y]"}"#)
+        .expect("reply");
+    assert_eq!(reply["ok"], false);
+    let msg = reply["error"].as_str().expect("error message");
+    assert!(msg.contains("last-known-good"), "{msg}");
+    assert_eq!(reply["stale"], true, "degraded error must be marked stale");
+
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats["degraded"], true);
+    assert_eq!(stats["failed_reallocs"], 1u64);
+    assert_eq!(
+        stats["registry_size"], 0u64,
+        "failed mutation must not apply"
+    );
+
+    // Recovery: the budget is spent, so this one runs clean.
+    let reply = client.register("T1: R[x] W[y]").expect("register");
+    assert_eq!(reply["ok"], true);
+    assert!(reply["stale"].is_null(), "recovered replies are not stale");
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats["degraded"], false);
+    assert_eq!(stats["failed_reallocs"], 1u64);
+    assert_eq!(stats["registry_size"], 1u64);
+
+    client.shutdown().expect("shutdown");
+    join.join().expect("server thread");
+}

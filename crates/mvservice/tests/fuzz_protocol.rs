@@ -1,0 +1,236 @@
+//! Protocol fuzzing: a seeded random frame mutator fired at a live
+//! server socket.
+//!
+//! Every mutated frame — truncated JSON, interleaved garbage bytes,
+//! raw binary junk, embedded newlines, oversized lines — must produce
+//! either a structured `{"ok": false, …}` error reply or a clean
+//! connection drop. The server must never panic, never hang, and must
+//! keep serving well-formed requests afterwards. Reproduce with
+//! `FUZZ_SEED=<seed> cargo test -p mvservice --test fuzz_protocol`.
+
+use mvservice::{Client, Config, Server, MAX_LINE};
+use rand::rngs::SmallRng;
+use rand::{RngCore, SeedableRng};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::time::Duration;
+
+const DEFAULT_SEED: u64 = 0xF022;
+
+fn seed_from_env() -> u64 {
+    std::env::var("FUZZ_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_SEED)
+}
+
+fn start_server() -> (SocketAddr, std::thread::JoinHandle<()>) {
+    let server = Server::bind(Config {
+        addr: "127.0.0.1:0".to_string(),
+        // Short stall budget so partial-frame probes resolve quickly.
+        request_timeout: Duration::from_millis(300),
+        ..Config::default()
+    })
+    .expect("bind ephemeral port");
+    let addr = server.local_addr().expect("local addr");
+    let join = std::thread::spawn(move || server.run().expect("server run"));
+    (addr, join)
+}
+
+/// Well-formed frames the mutator starts from.
+fn base_frames() -> Vec<String> {
+    vec![
+        r#"{"op":"ping"}"#.to_string(),
+        r#"{"op":"stats"}"#.to_string(),
+        r#"{"op":"list"}"#.to_string(),
+        r#"{"op":"assign","txn_id":3}"#.to_string(),
+        r#"{"op":"register","txn":"T1: R[x] W[y]"}"#.to_string(),
+        r#"{"op":"register","txn":"T2: R[y] W[x]","req_id":77}"#.to_string(),
+        r#"{"op":"deregister","txn_id":1,"req_id":9}"#.to_string(),
+    ]
+}
+
+/// One seeded mutation: truncation, garbage splices, byte flips,
+/// frame interleaving, or pure binary junk.
+fn mutate(rng: &mut SmallRng, base: &str) -> Vec<u8> {
+    let mut bytes = base.as_bytes().to_vec();
+    match rng.next_u64() % 5 {
+        0 => {
+            // Truncate mid-frame.
+            let at = (rng.next_u64() % bytes.len().max(1) as u64) as usize;
+            bytes.truncate(at);
+        }
+        1 => {
+            // Splice garbage (any bytes, newlines included) inside.
+            let at = (rng.next_u64() % (bytes.len() + 1) as u64) as usize;
+            let n = 1 + (rng.next_u64() % 24) as usize;
+            let garbage: Vec<u8> = (0..n).map(|_| (rng.next_u64() % 256) as u8).collect();
+            bytes.splice(at..at, garbage);
+        }
+        2 => {
+            // Flip a handful of bytes in place.
+            for _ in 0..1 + rng.next_u64() % 8 {
+                let at = (rng.next_u64() % bytes.len().max(1) as u64) as usize;
+                if at < bytes.len() {
+                    bytes[at] = (rng.next_u64() % 256) as u8;
+                }
+            }
+        }
+        3 => {
+            // Two frames interleaved with garbage between them.
+            let mut other = base_frames()[(rng.next_u64() % 7) as usize]
+                .as_bytes()
+                .to_vec();
+            bytes.push(b'\n');
+            for _ in 0..rng.next_u64() % 12 {
+                bytes.push((rng.next_u64() % 256) as u8);
+            }
+            bytes.push(b'\n');
+            bytes.append(&mut other);
+        }
+        _ => {
+            // Pure binary junk, no JSON skeleton at all.
+            let n = 1 + (rng.next_u64() % 200) as usize;
+            bytes = (0..n).map(|_| (rng.next_u64() % 256) as u8).collect();
+        }
+    }
+    bytes
+}
+
+/// Ships one mutated frame on its own connection and collects every
+/// reply line until the server closes or stops sending. Returns the
+/// reply lines (possibly none — a clean drop).
+fn fire(addr: SocketAddr, frame: &[u8]) -> Vec<String> {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    let mut writer = stream.try_clone().expect("clone");
+    writer.write_all(frame).expect("write frame");
+    writer.write_all(b"\n").ok();
+    // Half-close: the server sees EOF after the frame, so it can never
+    // sit waiting for more bytes — a hang here is a server bug.
+    stream.shutdown(Shutdown::Write).ok();
+    let mut replies = Vec::new();
+    let mut reader = BufReader::new(stream);
+    loop {
+        let mut line = String::new();
+        match reader.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => replies.push(line.trim().to_string()),
+            // Timeout => the server hung without closing: fail loudly.
+            Err(e) => panic!("read stalled on frame {frame:?}: {e}"),
+        }
+    }
+    replies
+}
+
+#[test]
+fn mutated_frames_get_structured_errors_or_clean_drops() {
+    let seed = seed_from_env();
+    let (addr, join) = start_server();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let bases = base_frames();
+    for round in 0..150u32 {
+        let base = &bases[(rng.next_u64() % bases.len() as u64) as usize];
+        let frame = mutate(&mut rng, base);
+        for reply in fire(addr, &frame) {
+            if reply.is_empty() {
+                continue;
+            }
+            let v: serde_json::Value = serde_json::from_str(&reply).unwrap_or_else(|e| {
+                panic!(
+                    "FUZZ_SEED={seed} round {round}: reply {reply:?} to frame \
+                     {frame:?} is not JSON: {e}"
+                )
+            });
+            assert!(
+                v["ok"].as_bool().is_some(),
+                "FUZZ_SEED={seed} round {round}: reply {reply:?} lacks ok"
+            );
+            if v["ok"] == false {
+                assert!(
+                    v["error"].as_str().is_some(),
+                    "FUZZ_SEED={seed} round {round}: error reply without message"
+                );
+            }
+        }
+        // The server survived: it still answers a well-formed ping.
+        if round % 25 == 0 {
+            let mut probe = Client::connect(addr).expect("server still accepts");
+            probe.ping().expect("server still answers");
+        }
+    }
+
+    // After the storm the service is fully functional.
+    let mut client = Client::connect(addr).expect("connect");
+    client.ping().expect("ping");
+    let reply = client.register("T50: R[q] W[q]").expect("register");
+    assert_eq!(reply["ok"], true);
+    let stats = client.stats().expect("stats");
+    assert!(
+        stats["requests"]["invalid"].as_u64().unwrap() > 0,
+        "the fuzzer should have produced at least one invalid request"
+    );
+    client.shutdown().expect("shutdown");
+    join.join().expect("server thread");
+}
+
+#[test]
+fn oversized_line_gets_an_error_then_the_connection_closes() {
+    let (addr, join) = start_server();
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout");
+    let mut writer = stream.try_clone().expect("clone");
+    // ~2x the cap, in one line.
+    let big = vec![b'a'; 2 * MAX_LINE];
+    writer.write_all(&big).expect("write oversized");
+    writer.write_all(b"\n").expect("newline");
+    writer.flush().expect("flush");
+    let mut reader = BufReader::new(stream);
+    let mut reply = String::new();
+    reader.read_line(&mut reply).expect("read reply");
+    let v: serde_json::Value = serde_json::from_str(reply.trim()).expect("structured reply");
+    assert_eq!(v["ok"], false);
+    assert!(
+        v["error"].as_str().unwrap().contains("exceeds"),
+        "unexpected error: {v}"
+    );
+    // The connection is closed afterwards — no unbounded buffering.
+    let mut rest = String::new();
+    assert_eq!(reader.read_to_string(&mut rest).expect("eof"), 0);
+
+    let mut client = Client::connect(addr).expect("connect");
+    client.ping().expect("server unaffected");
+    client.shutdown().expect("shutdown");
+    join.join().expect("server thread");
+}
+
+#[test]
+fn stalled_partial_frame_times_out_with_an_error() {
+    let (addr, join) = start_server();
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout");
+    let mut writer = stream.try_clone().expect("clone");
+    // A partial frame, then silence — the 300ms stall budget must fire.
+    writer.write_all(br#"{"op":"pi"#).expect("write partial");
+    writer.flush().expect("flush");
+    let mut reader = BufReader::new(stream);
+    let mut reply = String::new();
+    reader.read_line(&mut reply).expect("read reply");
+    let v: serde_json::Value = serde_json::from_str(reply.trim()).expect("structured reply");
+    assert_eq!(v["ok"], false);
+    assert!(
+        v["error"].as_str().unwrap().contains("timed out"),
+        "unexpected error: {v}"
+    );
+
+    let mut client = Client::connect(addr).expect("connect");
+    client.ping().expect("server unaffected");
+    client.shutdown().expect("shutdown");
+    join.join().expect("server thread");
+}
