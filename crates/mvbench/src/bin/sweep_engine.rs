@@ -2,15 +2,24 @@
 //! the retained pre-engine reference on the Algorithm 2 sweep.
 //!
 //! ```sh
-//! cargo run --release -p mvbench --bin sweep_engine [--json BENCH_alg.json]
+//! cargo run --release -p mvbench --bin sweep_engine [--json BENCH_alg.json] [--threads N]
 //! ```
 //!
 //! For each `(contention, |T|)` cell the reference implementation
 //! (`optimal_allocation_reference`) and the engine
-//! (`Allocator::optimal`, at 1 and at `available_parallelism` threads)
-//! compute the optimal allocation on the *same* workload; the verdicts
-//! are asserted equal, wall times and the engine's work counters are
-//! reported, and the whole table is optionally dumped as JSON.
+//! (`Allocator::optimal`, at 1 thread and — when more than one hardware
+//! thread is actually available — at `--threads`/`available_parallelism`
+//! threads) compute the optimal allocation on the *same* workload; the
+//! verdicts are asserted equal, wall times and the engine's work
+//! counters are reported, and the whole table is optionally dumped as
+//! JSON.
+//!
+//! A single-threaded machine gets **no** multi-threaded column: timing
+//! the 1-thread engine twice and labelling the copy "mt" would be a lie,
+//! so the cell reads `n/a` and the JSON rows carry
+//! `"mt_threads": null`. Pass `--threads N` (N ≥ 2) to force a
+//! multi-threaded measurement anyway (e.g. to measure oversubscription
+//! on one core).
 
 use mvbench::{workload, Contention};
 use mvrobustness::{optimal_allocation_reference, Allocator};
@@ -35,23 +44,47 @@ fn time<R, F: FnMut() -> R>(mut f: F) -> f64 {
 }
 
 fn main() {
-    let json_path = {
-        let argv: Vec<String> = std::env::args().skip(1).collect();
-        argv.iter().position(|a| a == "--json").map(|i| {
-            argv.get(i + 1).cloned().unwrap_or_else(|| {
-                eprintln!("--json requires a path");
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let json_path = argv.iter().position(|a| a == "--json").map(|i| {
+        argv.get(i + 1).cloned().unwrap_or_else(|| {
+            eprintln!("--json requires a path");
+            std::process::exit(2);
+        })
+    });
+    let threads_override = argv.iter().position(|a| a == "--threads").map(|i| {
+        argv.get(i + 1)
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| {
+                eprintln!("--threads requires a count ≥ 1");
                 std::process::exit(2);
             })
-        })
-    };
+    });
     let hw_threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
+    // The honest multi-threaded column: an explicit override, or the
+    // machine's real parallelism — and only when it exceeds one. A
+    // 1-thread run must never be recorded under an "mt" label.
+    let mt_threads = threads_override.or(Some(hw_threads)).filter(|&n| n >= 2);
 
     println!("## B9 — engine vs. reference, Algorithm 2 sweep (seconds per run)\n");
-    println!("(machine reports {hw_threads} hardware thread(s))\n");
+    match mt_threads {
+        Some(n) => {
+            println!("(machine reports {hw_threads} hardware thread(s); mt column uses {n})\n")
+        }
+        None => println!(
+            "(machine reports {hw_threads} hardware thread(s): no honest \
+             multi-threaded measurement is possible — mt column omitted; \
+             pass `--threads N` to force one)\n"
+        ),
+    }
+    let mt_label = match mt_threads {
+        Some(n) => format!("engine {n}T (s)"),
+        None => "engine mt (s)".to_string(),
+    };
     println!(
-        "| contention | |T| | reference (s) | engine 1T (s) | speedup | engine {hw_threads}T (s) | probes | cache hits | iso builds |"
+        "| contention | |T| | reference (s) | engine 1T (s) | speedup | {mt_label} | probes | cache hits | iso builds |"
     );
     println!("|---|---|---|---|---|---|---|---|---|");
 
@@ -68,27 +101,30 @@ fn main() {
                 "engine optimum diverged at {} |T|={n}",
                 contention.label()
             );
-            let (got_mt, _) = Allocator::new(&txns).with_threads(hw_threads).optimal();
-            assert_eq!(got_mt, expected, "parallel optimum diverged");
-
             let t_ref = time(|| optimal_allocation_reference(&txns).is_empty());
             let t_one = time(|| Allocator::new(&txns).optimal().0.is_empty());
-            let t_par = time(|| {
-                Allocator::new(&txns)
-                    .with_threads(hw_threads)
-                    .optimal()
-                    .0
-                    .is_empty()
+            let t_par = mt_threads.map(|mt| {
+                let (got_mt, _) = Allocator::new(&txns).with_threads(mt).optimal();
+                assert_eq!(got_mt, expected, "parallel optimum diverged");
+                time(|| {
+                    Allocator::new(&txns)
+                        .with_threads(mt)
+                        .optimal()
+                        .0
+                        .is_empty()
+                })
             });
 
             println!(
-                "| {} | {} | {:.3e} | {:.3e} | {:.2}× | {:.3e} | {} | {} | {} |",
+                "| {} | {} | {:.3e} | {:.3e} | {:.2}× | {} | {} | {} | {} |",
                 contention.label(),
                 n,
                 t_ref,
                 t_one,
                 t_ref / t_one,
-                t_par,
+                t_par
+                    .map(|t| format!("{t:.3e}"))
+                    .unwrap_or_else(|| "n/a".to_string()),
                 stats.probes,
                 stats.cache_hits,
                 stats.iso_builds,
@@ -100,22 +136,30 @@ fn main() {
                 "engine_1t_s": t_one,
                 "speedup_1t": t_ref / t_one,
                 "engine_mt_s": t_par,
-                "mt_threads": hw_threads as u64,
+                "mt_threads": mt_threads.map(|n| n as u64),
                 "probes": stats.probes,
                 "cache_hits": stats.cache_hits,
                 "cached_specs": stats.cached_specs,
                 "iso_builds": stats.iso_builds,
+                "components_checked": stats.components_checked,
+                "kernel_row_ops": stats.kernel_row_ops,
             }));
         }
     }
 
     if let Some(path) = json_path {
-        let doc = json!({
-            "experiment": "B9-engine-vs-reference",
-            "seed": "0xB3",
-            "hw_threads": hw_threads as u64,
-            "rows": rows,
-        });
+        // Merge into the existing document: the B10 ("delta"), B11
+        // ("chaos_soak") and B12 ("components") sections live in the
+        // same file and must survive a B9 re-run.
+        let mut doc: Value = std::fs::read_to_string(&path)
+            .ok()
+            .and_then(|text| serde_json::from_str(&text).ok())
+            .unwrap_or_else(|| json!({}));
+        doc["experiment"] = json!("B9-engine-vs-reference");
+        doc["seed"] = json!("0xB3");
+        doc["hw_threads"] = json!(hw_threads as u64);
+        doc["mt_threads"] = json!(mt_threads.map(|n| n as u64));
+        doc["rows"] = json!(rows);
         std::fs::write(
             &path,
             serde_json::to_string_pretty(&doc).expect("valid json"),

@@ -6,9 +6,11 @@
 //! parameters are recorded in one place.
 
 use mvisolation::{Allocation, IsolationLevel};
-use mvmodel::TransactionSet;
+use mvmodel::{TransactionSet, TxnSetBuilder};
 use mvsim::Job;
 use mvworkloads::RandomWorkload;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
 /// Contention presets used across experiments.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -55,6 +57,59 @@ pub fn workload(n: u32, contention: Contention, seed: u64) -> TransactionSet {
         .write_ratio(0.4)
         .seed(seed)
         .generate()
+}
+
+/// A multi-component workload: `clusters` independent conflict clusters
+/// of `per` transactions each, every cluster confined to a private
+/// object pool. The conflict graph decomposes into at least `clusters`
+/// components (a cluster may split further when its random accesses
+/// happen not to overlap) — the favourable regime for the
+/// component-sharded engine.
+pub fn clustered_workload(clusters: u32, per: u32, seed: u64) -> TransactionSet {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = TxnSetBuilder::new();
+    let mut id = 0u32;
+    for c in 0..clusters {
+        // A pool small enough that cluster members actually conflict.
+        let pool: Vec<mvmodel::Object> = (0..per.max(2))
+            .map(|j| b.object(&format!("c{c}_o{j}")))
+            .collect();
+        for _ in 0..per.max(1) {
+            id += 1;
+            let mut t = b.txn(id);
+            // Sample distinct (kind, object) ops — the model rejects a
+            // transaction reading or writing the same object twice.
+            let mut used: Vec<(bool, mvmodel::Object)> = Vec::new();
+            let n_ops = rng.random_range(2..=4usize).min(pool.len());
+            while used.len() < n_ops {
+                let obj = pool[rng.random_range(0..pool.len())];
+                let write = rng.random_bool(0.4);
+                if used.contains(&(write, obj)) {
+                    continue;
+                }
+                used.push((write, obj));
+                t = if write { t.write(obj) } else { t.read(obj) };
+            }
+            t.finish();
+        }
+    }
+    b.build().expect("ids are distinct by construction")
+}
+
+/// The single-component adversarial workload: `n` transactions in one
+/// rw-conflict ring (`T_i: R[o_{i-1}] W[o_i]`, indices mod `n`). Every
+/// transaction reaches every other, so the conflict graph is one
+/// component and the sharded engine can only add overhead — the
+/// worst case its regression budget is measured against.
+pub fn ring_workload(n: u32) -> TransactionSet {
+    let n = n.max(2);
+    let mut b = TxnSetBuilder::new();
+    let ring: Vec<mvmodel::Object> = (0..n).map(|j| b.object(&format!("o{j}"))).collect();
+    for i in 0..n {
+        let prev = ring[((i + n - 1) % n) as usize];
+        b.txn(i + 1).read(prev).write(ring[i as usize]).finish();
+    }
+    b.build().expect("ids are distinct by construction")
 }
 
 /// A *small* workload suitable for the brute-force oracle (≤ `n` ≤ 4,
@@ -133,6 +188,28 @@ mod tests {
         assert_eq!(l.len(), 4);
         assert_eq!(l[0].0, "all-RC");
         assert_eq!(l[3].0, "optimal");
+    }
+
+    #[test]
+    fn clustered_workload_decomposes() {
+        let w = clustered_workload(8, 4, 0xB12);
+        assert_eq!(w.len(), 32);
+        let index = mvrobustness::ConflictIndex::new(&w);
+        let comps = mvrobustness::Components::new(&w, &index);
+        // Private pools: at least one component per cluster, and no
+        // component larger than a cluster.
+        assert!(comps.count() >= 8, "got {} components", comps.count());
+        assert!(comps.largest() <= 4);
+    }
+
+    #[test]
+    fn ring_workload_is_one_component() {
+        let w = ring_workload(16);
+        assert_eq!(w.len(), 16);
+        let index = mvrobustness::ConflictIndex::new(&w);
+        let comps = mvrobustness::Components::new(&w, &index);
+        assert_eq!(comps.count(), 1);
+        assert_eq!(comps.largest(), 16);
     }
 
     #[test]

@@ -91,6 +91,13 @@ impl Parsed {
         }
     }
 
+    /// `--no-components`: disables the component-sharded engine and runs
+    /// the monolithic search. Verdicts and optima are identical either
+    /// way; the flag exists as an escape hatch and for A/B timing.
+    pub fn components(&self) -> bool {
+        !self.flag("no-components")
+    }
+
     /// `--levels rc-si|rc-si-ssi` (default rc-si-ssi): the isolation
     /// menu for `allocate` and `serve`. Unknown spellings fail with the
     /// accepted ones listed.

@@ -11,7 +11,9 @@ pub fn run(argv: &[String]) -> Result<ExitCode, String> {
     let txns = parsed.load_workload()?;
     let levels = parsed.level_set()?;
     let explain = parsed.flag("explain");
-    let allocator = Allocator::new(&txns).with_threads(parsed.threads()?);
+    let allocator = Allocator::new(&txns)
+        .with_threads(parsed.threads()?)
+        .with_components(parsed.components());
 
     let (alloc, reasons, stats) = match levels {
         LevelSet::RcSiSsi => {
@@ -43,6 +45,10 @@ pub fn run(argv: &[String]) -> Result<ExitCode, String> {
                 "cache_hits": stats.cache_hits,
                 "cached_specs": stats.cached_specs,
                 "iso_builds": stats.iso_builds,
+                "components_checked": stats.components_checked,
+                "components_cached": stats.components_cached,
+                "kernel_row_ops": stats.kernel_row_ops,
+                "with_components": parsed.components(),
                 "threads": stats.threads,
                 "wall_ms": stats.wall.as_secs_f64() * 1e3,
             }),

@@ -20,6 +20,8 @@ pub fn run(argv: &[String]) -> Result<ExitCode, String> {
             "conflict_density": report.conflict_density,
             "ww_protected_pairs": report.ww_pairs,
             "vulnerable_rw_edges": report.vulnerable_edges,
+            "components": report.components,
+            "largest_component": report.largest_component,
             "robust_rc": report.robust_rc,
             "robust_si": report.robust_si,
             "static_sdg_certified": report.static_si.certified(),

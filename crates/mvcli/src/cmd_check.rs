@@ -10,13 +10,25 @@ pub fn run(argv: &[String]) -> Result<ExitCode, String> {
     let parsed = Parsed::parse(argv)?;
     let txns = parsed.load_workload()?;
     let alloc = parsed.allocation(&txns)?;
-    let checker = RobustnessChecker::new(&txns).with_threads(parsed.threads()?);
+    let checker = RobustnessChecker::new(&txns)
+        .with_threads(parsed.threads()?)
+        .with_components(parsed.components());
     let report = checker.is_robust(&alloc);
+    let comps = checker.components();
     if parsed.flag("json") {
         let j = json!({
             "robust": report.robust(),
             "allocation": alloc.to_string(),
             "transactions": txns.len(),
+            "components": comps.count(),
+            "largest_component": comps.largest(),
+            "engine_stats": json!({
+                "probes": checker.stats().probes(),
+                "iso_builds": checker.stats().iso_builds(),
+                "components_checked": checker.stats().components_checked(),
+                "kernel_row_ops": checker.stats().kernel_row_ops(),
+                "with_components": parsed.components(),
+            }),
             "counterexample": report
                 .counterexample()
                 .map(|spec| output::spec_json(&txns, spec)),
@@ -30,6 +42,11 @@ pub fn run(argv: &[String]) -> Result<ExitCode, String> {
                 println!("{}", output::spec_text(&txns, spec));
             }
         }
+        println!(
+            "conflict components: {} (largest {})",
+            comps.count(),
+            comps.largest()
+        );
     }
     Ok(if report.robust() {
         ExitCode::SUCCESS

@@ -45,6 +45,7 @@ pub fn run(argv: &[String]) -> Result<ExitCode, String> {
             .option_parse::<u64>("realloc-timeout-ms")?
             .map(Duration::from_millis),
         faults,
+        components: parsed.components(),
         ..Config::default()
     };
     let levels = config.levels;

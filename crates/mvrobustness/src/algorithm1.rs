@@ -36,6 +36,7 @@
 //! The pre-engine implementation is retained in [`crate::reference`] as
 //! the ground truth for equivalence tests and before/after benchmarks.
 
+use crate::components::Components;
 use crate::conflict_index::{some_conflicting_pair, ConflictIndex, IsoReach};
 use crate::split_schedule::SplitSpec;
 use mvisolation::{Allocation, IsolationLevel};
@@ -89,6 +90,16 @@ pub struct SearchStats {
     /// `IsoReach` structures constructed (cache misses; cached probes
     /// reuse earlier builds).
     pub iso_builds: AtomicU64,
+    /// Conflict-graph components actually searched (sharded paths only;
+    /// skipped singletons and pruned components are not counted).
+    pub components_checked: AtomicU64,
+    /// Components answered from a content-addressed cache without any
+    /// search (bumped by [`crate::Allocator`]'s component cache).
+    pub components_cached: AtomicU64,
+    /// `u64` words processed by the bit-parallel closure kernels:
+    /// iso-graph construction sweeps plus one adjacency-row AND per
+    /// reachability query.
+    pub kernel_row_ops: AtomicU64,
 }
 
 impl SearchStats {
@@ -98,6 +109,18 @@ impl SearchStats {
 
     pub fn iso_builds(&self) -> u64 {
         self.iso_builds.load(Ordering::Relaxed)
+    }
+
+    pub fn components_checked(&self) -> u64 {
+        self.components_checked.load(Ordering::Relaxed)
+    }
+
+    pub fn components_cached(&self) -> u64 {
+        self.components_cached.load(Ordering::Relaxed)
+    }
+
+    pub fn kernel_row_ops(&self) -> u64 {
+        self.kernel_row_ops.load(Ordering::Relaxed)
     }
 }
 
@@ -111,8 +134,13 @@ pub struct RobustnessChecker<'a> {
     index: ConflictIndex,
     /// Lazily-built per-split-transaction reachability, keyed by dense
     /// index. Allocation-independent, hence shared across probes and
-    /// threads.
+    /// threads. When sharding is on, each structure is scoped to its
+    /// split transaction's conflict component.
     iso: Vec<OnceLock<IsoReach>>,
+    /// Conflict-graph decomposition, built on first sharded search (or
+    /// on [`RobustnessChecker::components`]).
+    comps: OnceLock<Components>,
+    use_components: bool,
     threads: usize,
     stats: SearchStats,
 }
@@ -124,6 +152,8 @@ impl<'a> RobustnessChecker<'a> {
             txns,
             index: ConflictIndex::new(txns),
             iso,
+            comps: OnceLock::new(),
+            use_components: true,
             threads: 1,
             stats: SearchStats::default(),
         }
@@ -136,9 +166,24 @@ impl<'a> RobustnessChecker<'a> {
         self
     }
 
+    /// Enables or disables component sharding (on by default). With
+    /// sharding off, the outer search scans every `T₁` candidate against
+    /// the whole set — the pre-sharding engine, kept as an escape hatch
+    /// (`--no-components`) and an equivalence baseline. Results are
+    /// identical either way.
+    pub fn with_components(mut self, on: bool) -> Self {
+        self.use_components = on;
+        self
+    }
+
     /// The configured worker-thread count.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Whether component sharding is enabled.
+    pub fn components_enabled(&self) -> bool {
+        self.use_components
     }
 
     /// Work counters accumulated so far.
@@ -149,6 +194,12 @@ impl<'a> RobustnessChecker<'a> {
     /// The precomputed conflict matrices.
     pub fn conflict_index(&self) -> &ConflictIndex {
         &self.index
+    }
+
+    /// The conflict-graph decomposition (built on first use).
+    pub fn components(&self) -> &Components {
+        self.comps
+            .get_or_init(|| Components::new(self.txns, &self.index))
     }
 
     /// As the free function [`is_robust`], reusing the precomputed index.
@@ -169,11 +220,112 @@ impl<'a> RobustnessChecker<'a> {
         if n < 2 {
             return None;
         }
+        if self.use_components && self.components().count() > 1 {
+            return if self.threads == 1 {
+                self.find_sharded_sequential(alloc)
+            } else {
+                self.find_sharded_parallel(alloc)
+            };
+        }
         if self.threads == 1 || n < 8 {
             (0..n).find_map(|i1| self.probe_t1(alloc, i1))
         } else {
             self.find_parallel(alloc)
         }
+    }
+
+    /// Sharded sequential search: probe each component's `T₁` candidates
+    /// (ascending) until its first hit, keeping the globally smallest
+    /// hit. Singleton components cannot host a counterexample (a split
+    /// transaction needs conflicting `T₂`/`T_m`) and are skipped;
+    /// components whose smallest member exceeds the best hit so far are
+    /// pruned.
+    ///
+    /// The unsharded search returns the spec of the smallest dense `t1`
+    /// index; every index below the returned minimum is probed here too
+    /// (its component was searched up to that bound), so the result is
+    /// bit-identical to the unsharded engine.
+    fn find_sharded_sequential(&self, alloc: &Allocation) -> Option<SplitSpec> {
+        let comps = self.components();
+        let mut best: Option<(usize, SplitSpec)> = None;
+        for (_, members) in comps.iter() {
+            if members.len() < 2 {
+                continue;
+            }
+            let bound = best.as_ref().map_or(usize::MAX, |(i, _)| *i);
+            if members[0] > bound {
+                // Components are in ascending first-member order: no
+                // later component can beat `bound` either.
+                break;
+            }
+            self.stats
+                .components_checked
+                .fetch_add(1, Ordering::Relaxed);
+            for &i1 in members {
+                if i1 > bound {
+                    break;
+                }
+                if let Some(spec) = self.probe_t1(alloc, i1) {
+                    best = Some((i1, spec));
+                    break;
+                }
+            }
+        }
+        best.map(|(_, spec)| spec)
+    }
+
+    /// Sharded parallel search: workers claim whole components from a
+    /// largest-first schedule (the biggest component is the critical
+    /// path, so it starts immediately); within a component, `T₁`
+    /// candidates are probed ascending. `best_i1` carries the smallest
+    /// hit so far for cross-component pruning.
+    ///
+    /// Determinism: a component is only skipped when *all* its members
+    /// exceed the current best hit, and within a component the scan only
+    /// stops past that bound — so the final minimum-index candidate is
+    /// always fully probed and the returned spec equals the sequential
+    /// (and unsharded) result.
+    fn find_sharded_parallel(&self, alloc: &Allocation) -> Option<SplitSpec> {
+        let comps = self.components();
+        let order = comps.largest_first();
+        // Largest-first also puts every multi-member component before the
+        // singleton tail, which workers then skip in O(1) each.
+        let next = AtomicUsize::new(0);
+        let best_i1 = AtomicUsize::new(usize::MAX);
+        let best: Mutex<Option<(usize, SplitSpec)>> = Mutex::new(None);
+        let workers = self.threads.min(order.len()).max(1);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let k = next.fetch_add(1, Ordering::Relaxed);
+                    if k >= order.len() {
+                        break;
+                    }
+                    let members = comps.members(order[k]);
+                    if members.len() < 2 || members[0] > best_i1.load(Ordering::Relaxed) {
+                        continue;
+                    }
+                    self.stats
+                        .components_checked
+                        .fetch_add(1, Ordering::Relaxed);
+                    for &i1 in members {
+                        if i1 > best_i1.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        if let Some(spec) = self.probe_t1(alloc, i1) {
+                            best_i1.fetch_min(i1, Ordering::Relaxed);
+                            let mut slot = best.lock().expect("no panics while holding lock");
+                            if slot.as_ref().is_none_or(|(j, _)| i1 < *j) {
+                                *slot = Some((i1, spec));
+                            }
+                            break;
+                        }
+                    }
+                });
+            }
+        });
+        let found = best.into_inner().expect("search threads joined");
+        found.map(|(_, spec)| spec)
     }
 
     /// Parallel outer search. Workers claim ascending `t1` candidates
@@ -213,11 +365,26 @@ impl<'a> RobustnessChecker<'a> {
     }
 
     /// The per-split-transaction reachability structure, built on first
-    /// use and cached for the checker's lifetime.
+    /// use and cached for the checker's lifetime. With sharding on, the
+    /// structure is scoped to `i1`'s conflict component — every `T₂`,
+    /// `T_m` and chain interior the search can query lies there, so
+    /// answers are unchanged while construction shrinks to the
+    /// component.
     fn iso_for(&self, i1: usize) -> &IsoReach {
         self.iso[i1].get_or_init(|| {
             self.stats.iso_builds.fetch_add(1, Ordering::Relaxed);
-            IsoReach::new(self.txns, &self.index, self.txns.by_index(i1).id())
+            let id = self.txns.by_index(i1).id();
+            let reach = if self.use_components {
+                let comps = self.components();
+                let scope = comps.members(comps.comp_of_index(i1));
+                IsoReach::new_scoped(self.txns, &self.index, id, Some(scope))
+            } else {
+                IsoReach::new(self.txns, &self.index, id)
+            };
+            self.stats
+                .kernel_row_ops
+                .fetch_add(reach.build_row_ops(), Ordering::Relaxed);
+            reach
         })
     }
 
@@ -226,6 +393,24 @@ impl<'a> RobustnessChecker<'a> {
     /// `any(i1, ·)` conflict row; `IsoReach` is only touched — and hence
     /// only built — once a candidate pair survives the level filters.
     fn probe_t1(&self, alloc: &Allocation, i1: usize) -> Option<SplitSpec> {
+        // Query-side kernel accounting is tallied locally and flushed in
+        // one atomic add per probe (hot loop, shared counter).
+        let mut row_ops = 0u64;
+        let spec = self.probe_t1_inner(alloc, i1, &mut row_ops);
+        if row_ops > 0 {
+            self.stats
+                .kernel_row_ops
+                .fetch_add(row_ops, Ordering::Relaxed);
+        }
+        spec
+    }
+
+    fn probe_t1_inner(
+        &self,
+        alloc: &Allocation,
+        i1: usize,
+        row_ops: &mut u64,
+    ) -> Option<SplitSpec> {
         let txns = self.txns;
         let index = &self.index;
         let ssi = IsolationLevel::SSI;
@@ -258,6 +443,7 @@ impl<'a> RobustnessChecker<'a> {
                     continue;
                 }
                 let reach = *reach.get_or_insert_with(|| self.iso_for(i1));
+                *row_ops += reach.stride_words();
                 if !reach.reachable_idx(index, i2, im) {
                     continue;
                 }
@@ -502,6 +688,83 @@ mod tests {
             let seq =
                 RobustnessChecker::new(&txns).find_counterexample(&Allocation::uniform_si(&txns));
             assert_eq!(spec, seq);
+        }
+    }
+
+    /// Three write-skew clusters plus isolated singletons: the sharded
+    /// search (any thread count) returns the identical spec as the
+    /// unsharded engine, and the component counters advance.
+    #[test]
+    fn sharded_search_matches_unsharded() {
+        let mut b = TxnSetBuilder::new();
+        for k in 0..3u32 {
+            let x = b.object(&format!("x{k}"));
+            let y = b.object(&format!("y{k}"));
+            b.txn(10 * k + 1).read(x).write(y).finish();
+            b.txn(10 * k + 2).read(y).write(x).finish();
+        }
+        let z = b.object("z");
+        b.txn(40).read(z).finish();
+        let w = b.object("w");
+        b.txn(41).write(w).finish();
+        let txns = b.build().unwrap();
+        for alloc in [
+            Allocation::uniform_si(&txns),
+            Allocation::uniform_rc(&txns),
+            Allocation::uniform_ssi(&txns),
+        ] {
+            let unsharded = RobustnessChecker::new(&txns).with_components(false);
+            assert!(!unsharded.components_enabled());
+            let expected = unsharded.find_counterexample(&alloc);
+            for threads in [1, 2, 4] {
+                let sharded = RobustnessChecker::new(&txns).with_threads(threads);
+                assert_eq!(sharded.find_counterexample(&alloc), expected);
+                if expected.is_some() {
+                    assert!(sharded.stats().components_checked() >= 1);
+                }
+            }
+        }
+        // Kernel accounting: a non-robust probe walks adjacency rows.
+        let sharded = RobustnessChecker::new(&txns);
+        assert!(sharded
+            .find_counterexample(&Allocation::uniform_si(&txns))
+            .is_some());
+        assert!(sharded.stats().kernel_row_ops() > 0);
+        assert_eq!(sharded.components().count(), 5);
+        assert_eq!(sharded.components().largest(), 2);
+    }
+
+    /// The spec returned by the sharded engine is the minimum-`t1` spec
+    /// even when an *earlier-probed* (larger) component also contains a
+    /// counterexample at a higher dense index.
+    #[test]
+    fn sharded_search_returns_minimum_t1_spec() {
+        // Cluster A = {T5, T6} (write skew, higher ids), cluster B =
+        // {T1, T2, T3} (three-way chain, lower ids, larger component).
+        let mut b = TxnSetBuilder::new();
+        let x = b.object("x");
+        let y = b.object("y");
+        let p = b.object("p");
+        b.txn(1).read(x).write(y).finish();
+        b.txn(2).write(x).read(p).finish();
+        b.txn(3).write(p).read(y).finish();
+        let u = b.object("u");
+        let v = b.object("v");
+        b.txn(5).read(u).write(v).finish();
+        b.txn(6).read(v).write(u).finish();
+        let txns = b.build().unwrap();
+        let si = Allocation::uniform_si(&txns);
+        let expected = RobustnessChecker::new(&txns)
+            .with_components(false)
+            .find_counterexample(&si)
+            .expect("both clusters break under SI");
+        for threads in [1, 3] {
+            let got = RobustnessChecker::new(&txns)
+                .with_threads(threads)
+                .find_counterexample(&si)
+                .unwrap();
+            assert_eq!(got, expected);
+            assert_eq!(got.t1, TxnId(1), "minimum-index split transaction");
         }
     }
 }

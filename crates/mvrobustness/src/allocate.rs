@@ -46,11 +46,15 @@
 //! workloads.
 
 use crate::algorithm1::RobustnessChecker;
+use crate::components::{CompCache, CompEntry, Components, COMP_CACHE_CAP};
+use crate::conflict_index::ConflictIndex;
 use crate::split_schedule::SplitSpec;
 use crate::stats::EngineStats;
 use mvisolation::{Allocation, IsolationLevel, LevelChange};
 use mvmodel::{ModelError, Object, Transaction, TransactionSet, TxnId};
 use std::borrow::Cow;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// A failed lowering attempt: the transaction, the level that was
@@ -198,6 +202,13 @@ pub struct Allocator<'a> {
     specs: Vec<SplitSpec>,
     /// Work counters of the most recent reallocation.
     last_stats: Option<EngineStats>,
+    /// Component sharding (on by default; `with_components(false)` is
+    /// the unsharded escape hatch).
+    components: bool,
+    /// Solved components keyed by content fingerprint, persisted across
+    /// reallocations: a delta that leaves a component untouched answers
+    /// it from here without any search.
+    comp_cache: CompCache,
 }
 
 impl<'a> Allocator<'a> {
@@ -210,6 +221,8 @@ impl<'a> Allocator<'a> {
             last: None,
             specs: Vec::new(),
             last_stats: None,
+            components: true,
+            comp_cache: CompCache::new(COMP_CACHE_CAP),
         }
     }
 
@@ -225,6 +238,8 @@ impl<'a> Allocator<'a> {
             last: None,
             specs: Vec::new(),
             last_stats: None,
+            components: true,
+            comp_cache: CompCache::new(COMP_CACHE_CAP),
         }
     }
 
@@ -235,11 +250,36 @@ impl<'a> Allocator<'a> {
         self
     }
 
+    /// Enables or disables the component-sharded engine (on by
+    /// default). Sharding decomposes the workload into conflict
+    /// components, solves each independently (in parallel with
+    /// [`Allocator::with_threads`] > 1), and unions the per-component
+    /// optima — bit-identical to the unsharded result by the uniqueness
+    /// of the optimum (Prop. 4.2) and component locality of split
+    /// schedules. `false` restores the pre-sharding engine exactly
+    /// (`--no-components`).
+    pub fn with_components(mut self, on: bool) -> Self {
+        self.components = on;
+        self
+    }
+
+    /// Whether component sharding is enabled.
+    pub fn components_enabled(&self) -> bool {
+        self.components
+    }
+
     /// The level menu used by the delta API ([`Allocator::current`],
     /// [`Allocator::add_txn`], [`Allocator::remove_txn`]). The one-shot
     /// methods ([`Allocator::optimal`], [`Allocator::optimal_rc_si`])
     /// select their menu by name instead and ignore this setting.
+    ///
+    /// Changing the menu clears the component cache: cached entries are
+    /// optima *for a menu*, and the menu is deliberately not part of the
+    /// content-addressed key.
     pub fn with_levels(mut self, levels: LevelSet) -> Self {
+        if levels != self.levels {
+            self.comp_cache.clear();
+        }
         self.levels = levels;
         self
     }
@@ -286,7 +326,9 @@ impl<'a> Allocator<'a> {
     }
 
     fn checker(&self) -> RobustnessChecker<'_> {
-        RobustnessChecker::new(self.txns.as_ref()).with_threads(self.threads)
+        RobustnessChecker::new(self.txns.as_ref())
+            .with_threads(self.threads)
+            .with_components(self.components)
     }
 
     fn finish(
@@ -300,6 +342,9 @@ impl<'a> Allocator<'a> {
             cache_hits: cache.hits,
             cached_specs: cache.specs,
             iso_builds: checker.stats().iso_builds(),
+            components_checked: checker.stats().components_checked(),
+            components_cached: checker.stats().components_cached(),
+            kernel_row_ops: checker.stats().kernel_row_ops(),
             threads: self.threads,
             wall: start.elapsed(),
         }
@@ -309,6 +354,27 @@ impl<'a> Allocator<'a> {
     /// (Theorem 4.3), plus the work counters.
     pub fn optimal(&self) -> (Allocation, EngineStats) {
         let start = Instant::now();
+        if self.components {
+            let mut cache = CompCache::new(COMP_CACHE_CAP);
+            let mut s = ShardStats::default();
+            match shard_optimal(
+                self.txns(),
+                LevelSet::RcSiSsi,
+                self.threads,
+                None,
+                &mut cache,
+                &mut s,
+            ) {
+                Ok(ShardOutcome::Solved(alloc)) => {
+                    return (alloc, s.engine_stats(self.threads, 0, start));
+                }
+                Ok(ShardOutcome::Unallocatable) => {
+                    unreachable!("the all-SSI ceiling is always robust")
+                }
+                Ok(ShardOutcome::Skip) => {}
+                Err(Expired) => unreachable!("no deadline was set"),
+            }
+        }
         let checker = self.checker();
         let (alloc, cache) = refine_cached(
             self.txns(),
@@ -383,6 +449,27 @@ impl<'a> Allocator<'a> {
     /// robust (Proposition 5.4).
     pub fn optimal_rc_si(&self) -> (Option<Allocation>, EngineStats) {
         let start = Instant::now();
+        if self.components {
+            let mut cache = CompCache::new(COMP_CACHE_CAP);
+            let mut s = ShardStats::default();
+            match shard_optimal(
+                self.txns(),
+                LevelSet::RcSi,
+                self.threads,
+                None,
+                &mut cache,
+                &mut s,
+            ) {
+                Ok(ShardOutcome::Solved(alloc)) => {
+                    return (Some(alloc), s.engine_stats(self.threads, 0, start));
+                }
+                Ok(ShardOutcome::Unallocatable) => {
+                    return (None, s.engine_stats(self.threads, 0, start));
+                }
+                Ok(ShardOutcome::Skip) => {}
+                Err(Expired) => unreachable!("no deadline was set"),
+            }
+        }
         let checker = self.checker();
         let si = Allocation::uniform_si(self.txns());
         if !checker.is_robust(&si).robust() {
@@ -449,11 +536,38 @@ impl<'a> Allocator<'a> {
             .map_err(|_: ModelError| AllocError::Duplicate(id))?;
         let prev = self.last.clone().expect("ensure_current fills the cache");
         let start = Instant::now();
+        if self.components {
+            let mut s = ShardStats::default();
+            match shard_optimal(
+                self.txns.as_ref(),
+                self.levels,
+                self.threads,
+                deadline,
+                &mut self.comp_cache,
+                &mut s,
+            ) {
+                Ok(ShardOutcome::Solved(alloc)) => {
+                    return Ok(self.accept_delta(&prev, alloc, start, s));
+                }
+                outcome @ (Ok(ShardOutcome::Unallocatable) | Err(Expired)) => {
+                    // Roll back exactly like the unsharded path below.
+                    self.txns.to_mut().remove(id);
+                    self.specs.retain(|sp| !spec_mentions(sp, id));
+                    return Err(match outcome {
+                        Err(Expired) => AllocError::Timeout,
+                        _ => AllocError::NotAllocatable(self.levels),
+                    });
+                }
+                Ok(ShardOutcome::Skip) => {}
+            }
+        }
         let ceiling = self.levels.ceiling();
         let rc_si = self.levels == LevelSet::RcSi;
-        let (outcome, probes, iso_builds) = {
+        let (outcome, csnap) = {
             let txns: &TransactionSet = &self.txns;
-            let checker = RobustnessChecker::new(txns).with_threads(self.threads);
+            let checker = RobustnessChecker::new(txns)
+                .with_threads(self.threads)
+                .with_components(self.components);
             let mut hits = 0u64;
             let floor = prev.with(id, IsolationLevel::RC);
 
@@ -501,20 +615,19 @@ impl<'a> Allocator<'a> {
                     }
                 }
             };
-            (
-                outcome,
-                checker.stats().probes(),
-                checker.stats().iso_builds(),
-            )
+            (outcome, snap(&checker))
         };
         match outcome {
             Ok(Some((alloc, hits))) => {
                 trim_specs(&mut self.specs);
                 let stats = EngineStats {
-                    probes,
+                    probes: csnap.probes,
                     cache_hits: hits,
                     cached_specs: self.specs.len() as u64,
-                    iso_builds,
+                    iso_builds: csnap.iso_builds,
+                    components_checked: csnap.components_checked,
+                    components_cached: csnap.components_cached,
+                    kernel_row_ops: csnap.kernel_row_ops,
                     threads: self.threads,
                     wall: start.elapsed(),
                 };
@@ -605,11 +718,39 @@ impl<'a> Allocator<'a> {
             });
         };
         let start = Instant::now();
+        if self.components {
+            let mut s = ShardStats::default();
+            match shard_optimal(
+                self.txns.as_ref(),
+                self.levels,
+                self.threads,
+                deadline,
+                &mut self.comp_cache,
+                &mut s,
+            ) {
+                Ok(ShardOutcome::Solved(alloc)) => {
+                    return Ok(self.accept_delta(&prev, alloc, start, s));
+                }
+                Err(Expired) => {
+                    self.txns
+                        .to_mut()
+                        .insert(removed)
+                        .expect("re-inserting the just-removed transaction");
+                    return Err(AllocError::Timeout);
+                }
+                // Shrinking a workload cannot make it less allocatable,
+                // and `prev` existed — Unallocatable is unreachable here;
+                // fall through to the unsharded path defensively.
+                Ok(ShardOutcome::Skip | ShardOutcome::Unallocatable) => {}
+            }
+        }
         let mut reduced = prev.clone();
         reduced.remove(id);
-        let (outcome, probes, iso_builds) = {
+        let (outcome, csnap) = {
             let txns: &TransactionSet = &self.txns;
-            let checker = RobustnessChecker::new(txns).with_threads(self.threads);
+            let checker = RobustnessChecker::new(txns)
+                .with_threads(self.threads)
+                .with_components(self.components);
             let outcome = refine_with(
                 txns,
                 &checker,
@@ -619,11 +760,7 @@ impl<'a> Allocator<'a> {
                 deadline,
                 &mut |_, _, _| {},
             );
-            (
-                outcome,
-                checker.stats().probes(),
-                checker.stats().iso_builds(),
-            )
+            (outcome, snap(&checker))
         };
         let (alloc, hits) = match outcome {
             Ok(pair) => pair,
@@ -639,10 +776,13 @@ impl<'a> Allocator<'a> {
         };
         trim_specs(&mut self.specs);
         let stats = EngineStats {
-            probes,
+            probes: csnap.probes,
             cache_hits: hits,
             cached_specs: self.specs.len() as u64,
-            iso_builds,
+            iso_builds: csnap.iso_builds,
+            components_checked: csnap.components_checked,
+            components_cached: csnap.components_cached,
+            kernel_row_ops: csnap.kernel_row_ops,
             threads: self.threads,
             wall: start.elapsed(),
         };
@@ -656,6 +796,26 @@ impl<'a> Allocator<'a> {
         })
     }
 
+    /// Installs a sharded delta result: builds the stats, diffs against
+    /// the pre-mutation optimum, and updates the cached optimum.
+    fn accept_delta(
+        &mut self,
+        prev: &Allocation,
+        alloc: Allocation,
+        start: Instant,
+        s: ShardStats,
+    ) -> Realloc {
+        let stats = s.engine_stats(self.threads, self.specs.len() as u64, start);
+        let changed = prev.diff(&alloc);
+        self.last = Some(alloc.clone());
+        self.last_stats = Some(stats.clone());
+        Realloc {
+            allocation: alloc,
+            changed,
+            stats,
+        }
+    }
+
     /// Computes the optimum of the current set from scratch into the
     /// delta cache. Only [`LevelSet::RcSi`] can fail to allocate; a
     /// passed deadline can expire (the cache is then left unfilled).
@@ -664,11 +824,36 @@ impl<'a> Allocator<'a> {
             return Ok(());
         }
         let start = Instant::now();
+        if self.components {
+            let mut s = ShardStats::default();
+            match shard_optimal(
+                self.txns.as_ref(),
+                self.levels,
+                self.threads,
+                deadline,
+                &mut self.comp_cache,
+                &mut s,
+            ) {
+                Ok(ShardOutcome::Solved(alloc)) => {
+                    self.last_stats =
+                        Some(s.engine_stats(self.threads, self.specs.len() as u64, start));
+                    self.last = Some(alloc);
+                    return Ok(());
+                }
+                Ok(ShardOutcome::Unallocatable) => {
+                    return Err(AllocError::NotAllocatable(self.levels));
+                }
+                Err(Expired) => return Err(AllocError::Timeout),
+                Ok(ShardOutcome::Skip) => {}
+            }
+        }
         let rc_si = self.levels == LevelSet::RcSi;
         let ceiling = self.levels.ceiling();
-        let (outcome, probes, iso_builds) = {
+        let (outcome, csnap) = {
             let txns: &TransactionSet = &self.txns;
-            let checker = RobustnessChecker::new(txns).with_threads(self.threads);
+            let checker = RobustnessChecker::new(txns)
+                .with_threads(self.threads)
+                .with_components(self.components);
             let mut hits = 0u64;
             let uniform = Allocation::uniform(txns, ceiling);
             let outcome = if expired(deadline) {
@@ -693,20 +878,19 @@ impl<'a> Allocator<'a> {
                     Ok(None)
                 }
             };
-            (
-                outcome,
-                checker.stats().probes(),
-                checker.stats().iso_builds(),
-            )
+            (outcome, snap(&checker))
         };
         trim_specs(&mut self.specs);
         match outcome {
             Ok(Some((alloc, hits))) => {
                 self.last_stats = Some(EngineStats {
-                    probes,
+                    probes: csnap.probes,
                     cache_hits: hits,
                     cached_specs: self.specs.len() as u64,
-                    iso_builds,
+                    iso_builds: csnap.iso_builds,
+                    components_checked: csnap.components_checked,
+                    components_cached: csnap.components_cached,
+                    kernel_row_ops: csnap.kernel_row_ops,
                     threads: self.threads,
                     wall: start.elapsed(),
                 });
@@ -716,6 +900,251 @@ impl<'a> Allocator<'a> {
             Ok(None) => Err(AllocError::NotAllocatable(self.levels)),
             Err(Expired) => Err(AllocError::Timeout),
         }
+    }
+}
+
+/// Work counters of a sharded allocation run (summed over components).
+#[derive(Default)]
+struct ShardStats {
+    /// Components resolved by actual work this run (singletons included).
+    checked: u64,
+    /// Components answered from the fingerprint cache without any work.
+    cached: u64,
+    probes: u64,
+    iso_builds: u64,
+    row_ops: u64,
+}
+
+impl ShardStats {
+    fn absorb(&mut self, s: &CompSolved) {
+        self.checked += 1;
+        self.probes += s.probes;
+        self.iso_builds += s.iso_builds;
+        self.row_ops += s.row_ops;
+    }
+
+    fn engine_stats(&self, threads: usize, cached_specs: u64, start: Instant) -> EngineStats {
+        EngineStats {
+            probes: self.probes,
+            cache_hits: 0,
+            cached_specs,
+            iso_builds: self.iso_builds,
+            components_checked: self.checked,
+            components_cached: self.cached,
+            kernel_row_ops: self.row_ops,
+            threads,
+            wall: start.elapsed(),
+        }
+    }
+}
+
+/// What [`shard_optimal`] decided.
+enum ShardOutcome {
+    /// Fewer than two components (or fewer than two transactions) —
+    /// sharding buys nothing; the caller runs the unsharded path.
+    Skip,
+    /// The union of the per-component optima: the global optimum, by
+    /// component locality of split schedules and Proposition 4.2.
+    Solved(Allocation),
+    /// Some component has no robust allocation over the menu (only
+    /// possible for [`LevelSet::RcSi`], Proposition 5.4).
+    Unallocatable,
+}
+
+/// One component solved from scratch, with the work it cost.
+struct CompSolved {
+    entry: CompEntry,
+    probes: u64,
+    iso_builds: u64,
+    row_ops: u64,
+}
+
+/// Algorithm 2 restricted to one conflict component, run on a standalone
+/// sub-set of its member transactions. Any split schedule is a cycle of
+/// conflicting transactions and therefore lies inside one component, so
+/// robustness verdicts — and by uniqueness (Proposition 4.2) the
+/// component's optimum — are those of the full workload restricted to
+/// the component.
+fn solve_component(
+    txns: &TransactionSet,
+    members: &[usize],
+    levels: LevelSet,
+    threads: usize,
+    deadline: Option<Instant>,
+) -> Result<CompSolved, Expired> {
+    let sub: Vec<Transaction> = members.iter().map(|&i| txns.by_index(i).clone()).collect();
+    let sub = TransactionSet::new(sub).expect("component members have distinct ids");
+    let checker = RobustnessChecker::new(&sub)
+        .with_threads(threads)
+        .with_components(false);
+    if expired(deadline) {
+        return Err(Expired);
+    }
+    let done = |checker: &RobustnessChecker<'_>, entry: CompEntry| CompSolved {
+        entry,
+        probes: checker.stats().probes(),
+        iso_builds: checker.stats().iso_builds(),
+        row_ops: checker.stats().kernel_row_ops(),
+    };
+    let uniform = Allocation::uniform(&sub, levels.ceiling());
+    if levels == LevelSet::RcSi && checker.find_counterexample(&uniform).is_some() {
+        return Ok(done(&checker, CompEntry::Unallocatable));
+    }
+    // A fresh spec cache, never the caller's: cached global specs may
+    // mention transactions outside this component, and
+    // `SplitSpec::check` would reject (or panic on) them against the
+    // component-local candidate allocations.
+    let mut local_specs = Vec::new();
+    let (alloc, _hits) = refine_with(
+        &sub,
+        &checker,
+        &mut local_specs,
+        uniform,
+        None,
+        deadline,
+        &mut |_, _, _| {},
+    )?;
+    Ok(done(&checker, CompEntry::Robust(alloc.iter().collect())))
+}
+
+/// The component-sharded Algorithm 2: decomposes the workload into
+/// conflict components, answers each from the fingerprint `cache` when
+/// possible, solves the misses (largest-first, in parallel when
+/// `threads > 1`), and unions the per-component optima. Completed
+/// components are cached even when the deadline expires mid-run, so a
+/// retry pays only for what is still missing.
+fn shard_optimal(
+    txns: &TransactionSet,
+    levels: LevelSet,
+    threads: usize,
+    deadline: Option<Instant>,
+    cache: &mut CompCache,
+    stats: &mut ShardStats,
+) -> Result<ShardOutcome, Expired> {
+    if txns.len() < 2 {
+        return Ok(ShardOutcome::Skip);
+    }
+    let index = ConflictIndex::new(txns);
+    let comps = Components::new(txns, &index);
+    if comps.count() <= 1 {
+        return Ok(ShardOutcome::Skip);
+    }
+    if expired(deadline) {
+        return Err(Expired);
+    }
+    let mut pairs: Vec<(TxnId, IsolationLevel)> = Vec::with_capacity(txns.len());
+    let mut misses: Vec<usize> = Vec::new();
+    let mut unallocatable = false;
+    for (c, members) in comps.iter() {
+        if members.len() < 2 {
+            // A conflict-free transaction appears in no split schedule:
+            // RC is its optimum under either menu.
+            stats.checked += 1;
+            pairs.push((txns.by_index(members[0]).id(), IsolationLevel::RC));
+            continue;
+        }
+        match cache.get(comps.fingerprint(c)) {
+            Some(CompEntry::Robust(lvls)) => {
+                stats.cached += 1;
+                pairs.extend(lvls.iter().copied());
+            }
+            Some(CompEntry::Unallocatable) => {
+                stats.cached += 1;
+                unallocatable = true;
+            }
+            None => misses.push(c),
+        }
+    }
+    if unallocatable {
+        return Ok(ShardOutcome::Unallocatable);
+    }
+    if misses.is_empty() {
+        return Ok(ShardOutcome::Solved(Allocation::from_pairs(pairs)));
+    }
+    // Largest components first: they dominate the critical path when the
+    // misses are solved in parallel.
+    misses.sort_by_key(|&c| (std::cmp::Reverse(comps.members(c).len()), c));
+    let workers = threads.min(misses.len()).max(1);
+    let (mut solved, hit_deadline): (Vec<(usize, CompSolved)>, bool) = if workers == 1 {
+        // One worker: a lone miss gets the full thread budget for its
+        // inner T₁ search; otherwise run the misses one by one.
+        let sub_threads = if misses.len() == 1 { threads } else { 1 };
+        let mut acc = Vec::with_capacity(misses.len());
+        let mut expired_flag = false;
+        for &c in &misses {
+            match solve_component(txns, comps.members(c), levels, sub_threads, deadline) {
+                Ok(s) => acc.push((c, s)),
+                Err(Expired) => {
+                    expired_flag = true;
+                    break;
+                }
+            }
+        }
+        (acc, expired_flag)
+    } else {
+        let next = AtomicUsize::new(0);
+        let stop = AtomicBool::new(false);
+        let results: Mutex<Vec<(usize, CompSolved)>> = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let k = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&c) = misses.get(k) else { break };
+                    match solve_component(txns, comps.members(c), levels, 1, deadline) {
+                        Ok(s) => results.lock().unwrap().push((c, s)),
+                        Err(Expired) => {
+                            stop.store(true, Ordering::Relaxed);
+                            break;
+                        }
+                    }
+                });
+            }
+        });
+        let expired_flag = stop.load(Ordering::Relaxed);
+        (results.into_inner().unwrap(), expired_flag)
+    };
+    // Deterministic cache-insertion (FIFO eviction) order regardless of
+    // worker scheduling.
+    solved.sort_by_key(|&(c, _)| c);
+    for (c, s) in &solved {
+        cache.insert(comps.fingerprint(*c), s.entry.clone());
+        stats.absorb(s);
+    }
+    if hit_deadline {
+        return Err(Expired);
+    }
+    for (_, s) in &solved {
+        match &s.entry {
+            CompEntry::Robust(lvls) => pairs.extend(lvls.iter().copied()),
+            CompEntry::Unallocatable => unallocatable = true,
+        }
+    }
+    if unallocatable {
+        return Ok(ShardOutcome::Unallocatable);
+    }
+    Ok(ShardOutcome::Solved(Allocation::from_pairs(pairs)))
+}
+
+/// Work counters read off a [`RobustnessChecker`] after a run (the
+/// checker is dropped inside the borrow scope; this outlives it).
+struct CheckerSnap {
+    probes: u64,
+    iso_builds: u64,
+    components_checked: u64,
+    components_cached: u64,
+    kernel_row_ops: u64,
+}
+
+fn snap(checker: &RobustnessChecker<'_>) -> CheckerSnap {
+    CheckerSnap {
+        probes: checker.stats().probes(),
+        iso_builds: checker.stats().iso_builds(),
+        components_checked: checker.stats().components_checked(),
+        components_cached: checker.stats().components_cached(),
+        kernel_row_ops: checker.stats().kernel_row_ops(),
     }
 }
 
@@ -1141,7 +1570,10 @@ mod tests {
         assert_eq!(r.allocation, optimal_allocation(alloc.txns()));
         assert_eq!(r.allocation.to_string(), "T1=RC T3=RC");
         let stats = alloc.last_stats().unwrap();
-        assert!(stats.probes + stats.cache_hits > 0);
+        // The survivors {T1} and {T3} are both singleton components: the
+        // sharded engine answers without a single Algorithm 1 probe.
+        assert_eq!(stats.probes + stats.cache_hits, 0);
+        assert_eq!(stats.components_checked, 2);
 
         // Duplicate / unknown ids are structured errors, state unchanged.
         let dup = skew_txn(alloc.txns.to_mut(), 1, "x", "y");
@@ -1238,6 +1670,130 @@ mod tests {
         assert_eq!(timed.current().unwrap_err(), AllocError::Timeout);
         let mut freed = timed.with_op_timeout(None);
         assert_eq!(freed.current().unwrap().to_string(), "T1=SSI T2=SSI");
+    }
+
+    /// Three conflict clusters plus a singleton: write skew on (x, y),
+    /// lost update on z, and a lone reader of w.
+    fn clustered() -> TransactionSet {
+        let mut b = TxnSetBuilder::new();
+        let x = b.object("x");
+        let y = b.object("y");
+        let z = b.object("z");
+        let w = b.object("w");
+        b.txn(1).read(x).write(y).finish();
+        b.txn(2).read(y).write(x).finish();
+        b.txn(3).read(z).write(z).finish();
+        b.txn(4).read(z).write(z).finish();
+        b.txn(5).read(w).finish();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn sharded_one_shot_matches_unsharded() {
+        let txns = clustered();
+        let (unsharded, _) = Allocator::new(&txns).with_components(false).optimal();
+        for threads in [1, 2, 4] {
+            let (sharded, stats) = Allocator::new(&txns).with_threads(threads).optimal();
+            assert_eq!(sharded, unsharded, "threads={threads}");
+            // Two multi-member clusters searched + one singleton resolved.
+            assert_eq!(stats.components_checked, 3, "threads={threads}: {stats}");
+            assert_eq!(stats.components_cached, 0);
+            assert!(stats.probes > 0 && stats.kernel_row_ops > 0, "{stats}");
+        }
+        assert_eq!(unsharded.to_string(), "T1=SSI T2=SSI T3=SI T4=SI T5=RC");
+    }
+
+    #[test]
+    fn sharded_rc_si_detects_unallocatable_component() {
+        // The skew cluster is not {RC, SI}-allocatable; verdicts agree.
+        let txns = clustered();
+        let (sharded, stats) = Allocator::new(&txns).optimal_rc_si();
+        let (unsharded, _) = Allocator::new(&txns).with_components(false).optimal_rc_si();
+        assert_eq!(sharded, None);
+        assert_eq!(unsharded, None);
+        assert!(stats.components_checked >= 1, "{stats}");
+    }
+
+    #[test]
+    fn delta_reuses_cached_components() {
+        let mut alloc = Allocator::from_owned(TransactionSet::default());
+        for t in clustered().iter() {
+            alloc.add_txn(t.clone()).unwrap();
+        }
+        assert_eq!(
+            alloc.current().unwrap().to_string(),
+            "T1=SSI T2=SSI T3=SI T4=SI T5=RC"
+        );
+
+        // T6 writes w (raw object id 3 in `clustered()`'s table), merging
+        // with the singleton T5. The skew and lost-update clusters are
+        // untouched: their fingerprints match the cache and no search
+        // runs for them.
+        let t6 = Transaction::new(TxnId(6), vec![mvmodel::Op::write(Object(3))]).unwrap();
+        let r = alloc.add_txn(t6).unwrap();
+        let (expect, _) = Allocator::new(alloc.txns())
+            .with_components(false)
+            .optimal();
+        assert_eq!(r.allocation, expect);
+        assert_eq!(r.stats.components_cached, 2, "{}", r.stats);
+        assert_eq!(r.stats.components_checked, 1, "{}", r.stats);
+
+        // Removing T6 splits {T5, T6} back into the singleton {T5};
+        // the two big clusters are again pure cache hits.
+        let r = alloc.remove_txn(TxnId(6)).unwrap();
+        assert_eq!(r.allocation.to_string(), "T1=SSI T2=SSI T3=SI T4=SI T5=RC");
+        assert_eq!(r.stats.components_cached, 2, "{}", r.stats);
+        assert_eq!(r.stats.components_checked, 1, "{}", r.stats);
+        assert_eq!(r.stats.probes, 0, "untouched clusters cost no probes");
+
+        // End-state equals an unsharded from-scratch recomputation.
+        let (unsharded, _) = Allocator::new(alloc.txns())
+            .with_components(false)
+            .optimal();
+        assert_eq!(*alloc.current().unwrap(), unsharded);
+    }
+
+    #[test]
+    fn no_components_escape_hatch_delta() {
+        // The unsharded delta path still computes identical optima.
+        let mut sharded = Allocator::from_owned(TransactionSet::default());
+        let mut unsharded = Allocator::from_owned(TransactionSet::default()).with_components(false);
+        for t in clustered().iter() {
+            let a = sharded.add_txn(t.clone()).unwrap();
+            let b = unsharded.add_txn(t.clone()).unwrap();
+            assert_eq!(a.allocation, b.allocation);
+            assert_eq!(a.changed, b.changed);
+        }
+        for id in [TxnId(2), TxnId(3)] {
+            let a = sharded.remove_txn(id).unwrap();
+            let b = unsharded.remove_txn(id).unwrap();
+            assert_eq!(a.allocation, b.allocation);
+            assert_eq!(a.changed, b.changed);
+        }
+        assert!(!unsharded.components_enabled());
+        assert!(sharded.components_enabled());
+    }
+
+    #[test]
+    fn with_levels_clears_component_cache() {
+        let mut alloc = Allocator::from_owned(TransactionSet::default());
+        for t in clustered().iter() {
+            if t.id() != TxnId(1) && t.id() != TxnId(2) {
+                alloc.add_txn(t.clone()).unwrap();
+            }
+        }
+        alloc.current().unwrap();
+        // Switching menus invalidates cached entries (they are optima
+        // *for a menu*); the {RC, SI} optimum is recomputed, not served
+        // from the {RC, SI, SSI} cache.
+        let mut alloc = alloc.with_levels(LevelSet::RcSi);
+        let a = alloc.current().unwrap().clone();
+        let (expect, _) = Allocator::new(alloc.txns())
+            .with_components(false)
+            .optimal_rc_si();
+        assert_eq!(Some(a), expect);
+        let stats = alloc.last_stats().unwrap();
+        assert_eq!(stats.components_cached, 0, "{stats}");
     }
 
     #[test]

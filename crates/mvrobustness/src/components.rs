@@ -1,0 +1,410 @@
+//! Connected components of the transaction-level conflict graph — the
+//! foundation of the component-sharded engine.
+//!
+//! **Component-locality lemma.** A multiversion split schedule
+//! (Def. 3.1) is a cycle of transactions in which `T₂` and `T_m`
+//! conflict with `T₁` and every consecutive chain pair conflicts, so
+//! all transactions mentioned by a counterexample lie in one connected
+//! component of the conflict graph (union-find over the symmetric
+//! `any` relation). Hence
+//!
+//! > `is_robust(𝒯, 𝒜)  ⇔  ∀C ∈ components(𝒯): is_robust(C, 𝒜|C)`
+//!
+//! and, because the optimal allocation is unique (Prop. 4.2),
+//!
+//! > `optimal(𝒯) = ⊎_C optimal(C)` — the union over components is
+//! > well-defined and independent of refinement order.
+//!
+//! Counterexamples need no translation when lifted back: the engine's
+//! [`crate::SplitSpec`]s address transactions by global [`TxnId`], which
+//! sub-problems preserve.
+//!
+//! [`Components`] provides the decomposition with stable component ids
+//! (ascending first-member order) and a content fingerprint per
+//! component; the fingerprint keys the cross-realloc component cache
+//! ([`CompCache`]), so a component untouched by a workload delta is a
+//! pure cache hit even though dense indices shifted underneath it.
+
+use crate::conflict_index::{ConflictIndex, SetBits};
+use mvisolation::IsolationLevel;
+use mvmodel::{TransactionSet, TxnId};
+use std::collections::{HashMap, VecDeque};
+
+/// 64-bit FNV-1a, fed 8 bytes at a time.
+#[derive(Clone, Copy)]
+struct Fnv(u64);
+
+impl Fnv {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    fn new(offset: u64) -> Self {
+        Fnv(offset)
+    }
+
+    fn feed(&mut self, v: u64) {
+        for byte in v.to_le_bytes() {
+            self.0 ^= byte as u64;
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+}
+
+/// Content fingerprint of a set of transactions: two independent FNV-1a
+/// passes over `(id, op kind, object id)` in member order, packed into a
+/// `u128`. Depends only on transaction ids and operation lists — never
+/// on dense indices — so it is stable across workload deltas that leave
+/// the component's members untouched (the per-allocator object table is
+/// append-only, keeping raw object ids stable too).
+pub fn fingerprint_members(txns: &TransactionSet, members: &[usize]) -> u128 {
+    let mut h1 = Fnv::new(0xcbf2_9ce4_8422_2325);
+    let mut h2 = Fnv::new(0x9e37_79b9_7f4a_7c15);
+    let mut feed = |v: u64| {
+        h1.feed(v);
+        h2.feed(v);
+    };
+    for &i in members {
+        let t = txns.by_index(i);
+        feed(t.id().0 as u64);
+        feed(t.ops().len() as u64);
+        for op in t.ops() {
+            feed(((op.is_write() as u64) << 32) | op.object.0 as u64);
+        }
+    }
+    ((h1.0 as u128) << 64) | h2.0 as u128
+}
+
+/// The connected components of a [`ConflictIndex`]'s `any` graph.
+///
+/// Component ids are dense and stable: components are numbered in
+/// ascending order of their smallest member's dense index, and members
+/// within a component are kept in ascending dense order. Iterating
+/// components in id order therefore visits candidate split transactions
+/// in exactly the order the unsharded search would.
+#[derive(Debug, Clone)]
+pub struct Components {
+    /// Component id per dense txn index.
+    comp_of: Vec<usize>,
+    /// Members (ascending dense indices) per component.
+    members: Vec<Vec<usize>>,
+    /// Content fingerprint per component.
+    fingerprints: Vec<u128>,
+}
+
+impl Components {
+    /// Decomposes in `O(n²/64 + Σ ops)`: a word-parallel union-find
+    /// sweep over the packed `any` rows, then one fingerprint pass.
+    pub fn new(txns: &TransactionSet, index: &ConflictIndex) -> Self {
+        let n = index.len();
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut [usize], x: usize) -> usize {
+            let mut r = x;
+            while parent[r] != r {
+                r = parent[r];
+            }
+            let mut c = x;
+            while parent[c] != r {
+                let next = parent[c];
+                parent[c] = r;
+                c = next;
+            }
+            r
+        }
+        for i in 0..n {
+            let row = index.any_row(i);
+            let wi = i / 64;
+            for (w, &word) in row.iter().enumerate().skip(wi) {
+                let mut m = word;
+                if w == wi {
+                    // Only j > i: the relation is symmetric.
+                    m &= if i % 64 == 63 {
+                        0
+                    } else {
+                        !0u64 << (i % 64 + 1)
+                    };
+                }
+                while m != 0 {
+                    let j = w * 64 + m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                    if ri != rj {
+                        parent[ri] = rj;
+                    }
+                }
+            }
+        }
+        let mut comp_of = vec![usize::MAX; n];
+        let mut members: Vec<Vec<usize>> = Vec::new();
+        let mut root_to_comp = vec![usize::MAX; n];
+        for (i, slot) in comp_of.iter_mut().enumerate() {
+            let r = find(&mut parent, i);
+            let c = if root_to_comp[r] == usize::MAX {
+                root_to_comp[r] = members.len();
+                members.push(Vec::new());
+                members.len() - 1
+            } else {
+                root_to_comp[r]
+            };
+            *slot = c;
+            members[c].push(i);
+        }
+        let fingerprints = members
+            .iter()
+            .map(|m| fingerprint_members(txns, m))
+            .collect();
+        Components {
+            comp_of,
+            members,
+            fingerprints,
+        }
+    }
+
+    /// Number of components.
+    pub fn count(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Component id of the `i`-th transaction (dense index).
+    pub fn comp_of_index(&self, i: usize) -> usize {
+        self.comp_of[i]
+    }
+
+    /// Component id of a transaction by id.
+    pub fn comp_of(&self, txns: &TransactionSet, id: TxnId) -> usize {
+        self.comp_of[txns.index_of(id)]
+    }
+
+    /// Members of component `c`, ascending dense indices.
+    pub fn members(&self, c: usize) -> &[usize] {
+        &self.members[c]
+    }
+
+    /// Content fingerprint of component `c`.
+    pub fn fingerprint(&self, c: usize) -> u128 {
+        self.fingerprints[c]
+    }
+
+    /// Size of the largest component (0 when empty).
+    pub fn largest(&self) -> usize {
+        self.members.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Whether component `c` is a single conflict-free transaction. Such
+    /// a transaction can never appear in a split schedule, so Algorithm 2
+    /// assigns it the lowest level of the menu directly.
+    pub fn is_singleton(&self, c: usize) -> bool {
+        self.members[c].len() == 1
+    }
+
+    /// Component ids ordered largest-first (ties by id): the work-
+    /// stealing schedule that keeps the critical path — the biggest
+    /// component — started first.
+    pub fn largest_first(&self) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.count()).collect();
+        order.sort_by_key(|&c| (std::cmp::Reverse(self.members[c].len()), c));
+        order
+    }
+
+    /// The members of `c` as a word-packed bitset over dense indices —
+    /// the scope mask format
+    /// [`IsoReach::new_scoped`](crate::conflict_index::IsoReach::new_scoped)
+    /// consumes (which takes the member list itself, not the words).
+    pub fn member_words(&self, c: usize, n: usize) -> Vec<u64> {
+        let mut words = vec![0u64; n.div_ceil(64).max(1)];
+        for &i in &self.members[c] {
+            words[i / 64] |= 1 << (i % 64);
+        }
+        words
+    }
+
+    /// Iterates `(component id, members)` in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &[usize])> {
+        self.members.iter().enumerate().map(|(c, m)| (c, &m[..]))
+    }
+}
+
+/// A solved component: the unique optimal allocation of its members
+/// under the active level menu, or `Unallocatable` when the menu (e.g.
+/// `{RC, SI}`) admits no robust allocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompEntry {
+    Robust(Vec<(TxnId, IsolationLevel)>),
+    Unallocatable,
+}
+
+/// Content-addressed cache of solved components, keyed by
+/// [`fingerprint_members`]. Entries never need invalidation — a
+/// fingerprint identifies the component's exact transactions — so the
+/// cache survives arbitrary workload deltas; FIFO eviction bounds it.
+/// The owning [`crate::Allocator`] clears it when the level menu
+/// changes (the menu is deliberately not part of the key).
+#[derive(Debug, Default)]
+pub struct CompCache {
+    map: HashMap<u128, CompEntry>,
+    order: VecDeque<u128>,
+    cap: usize,
+}
+
+/// Default bound on cached solved components per allocator.
+pub const COMP_CACHE_CAP: usize = 4096;
+
+impl CompCache {
+    pub fn new(cap: usize) -> Self {
+        CompCache {
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    pub fn get(&self, fp: u128) -> Option<&CompEntry> {
+        self.map.get(&fp)
+    }
+
+    pub fn insert(&mut self, fp: u128, entry: CompEntry) {
+        if self.map.insert(fp, entry).is_none() {
+            self.order.push_back(fp);
+            while self.order.len() > self.cap {
+                if let Some(old) = self.order.pop_front() {
+                    self.map.remove(&old);
+                }
+            }
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.order.clear();
+    }
+}
+
+/// Re-exported iterator type used in scope masks (keeps callers off the
+/// words' layout).
+pub fn iter_member_words(words: &[u64]) -> SetBits<'_> {
+    SetBits::over(words)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvmodel::TxnSetBuilder;
+
+    /// T1–T5 one chain cluster, T6–T7 a second, T8 isolated.
+    fn clustered() -> TransactionSet {
+        let mut b = TxnSetBuilder::new();
+        let x = b.object("x");
+        let p = b.object("p");
+        let q = b.object("q");
+        let r = b.object("r");
+        let y = b.object("y");
+        b.txn(1).read(x).write(y).finish();
+        b.txn(2).write(x).write(p).finish();
+        b.txn(3).read(p).write(q).finish();
+        b.txn(4).read(q).write(r).finish();
+        b.txn(5).read(r).read(y).finish();
+        let a = b.object("a");
+        let bb = b.object("b");
+        b.txn(6).read(a).write(bb).finish();
+        b.txn(7).write(a).read(bb).finish();
+        let z = b.object("z");
+        b.txn(8).read(z).finish();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn decomposition_is_stable_and_complete() {
+        let txns = clustered();
+        let index = ConflictIndex::new(&txns);
+        let comps = Components::new(&txns, &index);
+        assert_eq!(comps.count(), 3);
+        let i = |t: u32| txns.index_of(TxnId(t));
+        // Ids in ascending first-member order.
+        assert_eq!(comps.comp_of_index(i(1)), 0);
+        assert_eq!(comps.comp_of_index(i(6)), 1);
+        assert_eq!(comps.comp_of_index(i(8)), 2);
+        for t in 1..=5u32 {
+            assert_eq!(comps.comp_of(&txns, TxnId(t)), 0);
+        }
+        assert_eq!(comps.members(0).len(), 5);
+        assert_eq!(comps.members(1), &[i(6), i(7)]);
+        assert!(comps.is_singleton(2) && !comps.is_singleton(0));
+        assert_eq!(comps.largest(), 5);
+        assert_eq!(comps.largest_first(), vec![0, 1, 2]);
+        // Scope masks round-trip through SetBits.
+        let words = comps.member_words(1, txns.len());
+        assert_eq!(
+            iter_member_words(&words).collect::<Vec<_>>(),
+            vec![i(6), i(7)]
+        );
+        // Every transaction is in exactly one component.
+        let total: usize = (0..comps.count()).map(|c| comps.members(c).len()).sum();
+        assert_eq!(total, txns.len());
+    }
+
+    #[test]
+    fn fingerprints_are_content_addressed() {
+        let txns = clustered();
+        let index = ConflictIndex::new(&txns);
+        let comps = Components::new(&txns, &index);
+        // Distinct components have distinct fingerprints.
+        assert_ne!(comps.fingerprint(0), comps.fingerprint(1));
+        assert_ne!(comps.fingerprint(1), comps.fingerprint(2));
+
+        // Adding an unrelated transaction shifts dense indices but keeps
+        // untouched components' fingerprints identical (cache key
+        // stability across deltas).
+        let mut b = TxnSetBuilder::new();
+        let x = b.object("x");
+        let p = b.object("p");
+        let q = b.object("q");
+        let r = b.object("r");
+        let y = b.object("y");
+        // New low-id transaction: every dense index below shifts by one.
+        b.txn(0).write(q).read(x).finish();
+        b.txn(1).read(x).write(y).finish();
+        b.txn(2).write(x).write(p).finish();
+        b.txn(3).read(p).write(q).finish();
+        b.txn(4).read(q).write(r).finish();
+        b.txn(5).read(r).read(y).finish();
+        let a = b.object("a");
+        let bb = b.object("b");
+        b.txn(6).read(a).write(bb).finish();
+        b.txn(7).write(a).read(bb).finish();
+        let z = b.object("z");
+        b.txn(8).read(z).finish();
+        let grown = b.build().unwrap();
+        let gindex = ConflictIndex::new(&grown);
+        let gcomps = Components::new(&grown, &gindex);
+        let c67 = gcomps.comp_of(&grown, TxnId(6));
+        assert_eq!(gcomps.fingerprint(c67), comps.fingerprint(1));
+        let c8 = gcomps.comp_of(&grown, TxnId(8));
+        assert_eq!(gcomps.fingerprint(c8), comps.fingerprint(2));
+        // The touched cluster (T0 conflicts into it) changed fingerprint.
+        let c1 = gcomps.comp_of(&grown, TxnId(1));
+        assert_ne!(gcomps.fingerprint(c1), comps.fingerprint(0));
+    }
+
+    #[test]
+    fn comp_cache_fifo_eviction() {
+        let mut cache = CompCache::new(2);
+        cache.insert(1, CompEntry::Unallocatable);
+        cache.insert(2, CompEntry::Robust(vec![]));
+        assert_eq!(cache.len(), 2);
+        // Re-inserting an existing key does not grow or reorder.
+        cache.insert(1, CompEntry::Unallocatable);
+        assert_eq!(cache.len(), 2);
+        cache.insert(3, CompEntry::Unallocatable);
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(1).is_none(), "oldest key evicted");
+        assert!(cache.get(2).is_some() && cache.get(3).is_some());
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+}

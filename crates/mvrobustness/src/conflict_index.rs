@@ -55,11 +55,7 @@ impl BitMatrix {
 
     /// Iterates the set column indices of row `i` in ascending order.
     pub fn iter_row(&self, i: usize) -> SetBits<'_> {
-        SetBits {
-            words: self.row(i),
-            word_idx: 0,
-            current: self.row(i).first().copied().unwrap_or(0),
-        }
+        SetBits::over(self.row(i))
     }
 }
 
@@ -68,6 +64,18 @@ pub struct SetBits<'a> {
     words: &'a [u64],
     word_idx: usize,
     current: u64,
+}
+
+impl<'a> SetBits<'a> {
+    /// Iterates the set bit positions of an arbitrary packed word slice
+    /// (bit `k` of word `w` is position `64·w + k`).
+    pub fn over(words: &'a [u64]) -> Self {
+        SetBits {
+            words,
+            word_idx: 0,
+            current: words.first().copied().unwrap_or(0),
+        }
+    }
 }
 
 impl Iterator for SetBits<'_> {
@@ -205,22 +213,74 @@ impl ConflictIndex {
 pub struct IsoReach {
     /// Dense index of the split transaction.
     t1: usize,
-    /// Component id per dense txn index; `usize::MAX` for non-nodes
-    /// (conflicting with `T₁`, or `T₁` itself).
-    comp: Vec<usize>,
     n_comps: usize,
     /// Flattened bitset per transaction (stride words each): which
     /// components it conflicts with.
     adj_comps: Vec<u64>,
     /// Words per transaction in `adj_comps`.
     stride: usize,
+    /// Bitset over dense txn indices: the iso-graph nodes. Lets
+    /// [`IsoReach::chain`] run its BFS a whole `u64` word at a time.
+    node_words: Vec<u64>,
+    /// `u64` words touched while building (union-find sweeps plus
+    /// adjacency fills) — the construction half of `kernel_row_ops`.
+    build_row_ops: u64,
 }
 
 impl IsoReach {
     pub fn new(txns: &TransactionSet, index: &ConflictIndex, t1: TxnId) -> Self {
+        Self::new_scoped(txns, index, t1, None)
+    }
+
+    /// Builds the mixed-iso-graph for `t1`, optionally restricted to the
+    /// dense indices in `scope`.
+    ///
+    /// When `scope` is the connected component of `t1` in the conflict
+    /// graph, every query the search performs is unchanged: iso nodes
+    /// outside `t1`'s component have no conflict path to any `t2`/`tm`
+    /// (those conflict with `t1`, hence sit in its component), so they
+    /// can never appear on a witness chain. Restricting shrinks the
+    /// union-find domain and the BFS frontier to the component.
+    pub fn new_scoped(
+        txns: &TransactionSet,
+        index: &ConflictIndex,
+        t1: TxnId,
+        scope: Option<&[usize]>,
+    ) -> Self {
         let n = txns.len();
         let t1 = txns.index_of(t1);
-        // Union-find over iso nodes.
+        let words = index.any_row(t1).len();
+        let mut row_ops: u64 = 0;
+
+        // Node mask: (scope ∩ ¬conflicting-with-t1) \ {t1}, built a word
+        // at a time. The last word of `any` rows has its high bits zero,
+        // so the complement must be re-masked to n bits.
+        let mut node_words: Vec<u64> = match scope {
+            Some(members) => {
+                let mut w = vec![0u64; words];
+                for &i in members {
+                    w[i / 64] |= 1 << (i % 64);
+                }
+                w
+            }
+            None => {
+                let mut w = vec![u64::MAX; words];
+                let rem = n % 64;
+                if rem != 0 {
+                    w[words - 1] = (1u64 << rem) - 1;
+                }
+                w
+            }
+        };
+        let t1_row = index.any_row(t1);
+        for w in 0..words {
+            node_words[w] &= !t1_row[w];
+        }
+        node_words[t1 / 64] &= !(1 << (t1 % 64));
+        row_ops += words as u64;
+
+        // Union-find over iso nodes, sweeping each node's conflict row
+        // word-parallel from its own word upward (j > i only).
         let mut parent: Vec<usize> = (0..n).collect();
         fn find(parent: &mut [usize], x: usize) -> usize {
             let mut r = x;
@@ -235,13 +295,24 @@ impl IsoReach {
             }
             r
         }
-        let is_node = |j: usize, idx: &ConflictIndex| j != t1 && !idx.any(t1, j);
-        for i in 0..n {
-            if !is_node(i, index) {
-                continue;
-            }
-            for j in index.conflicting_with(i) {
-                if j > i && is_node(j, index) {
+        let nodes: Vec<usize> = SetBits::over(&node_words).collect();
+        for &i in &nodes {
+            let row = index.any_row(i);
+            let wi = i / 64;
+            row_ops += (words - wi) as u64;
+            for w in wi..words {
+                let mut m = row[w] & node_words[w];
+                if w == wi {
+                    // Keep strictly-above-i bits of the first word.
+                    m &= if i % 64 == 63 {
+                        0
+                    } else {
+                        !0u64 << (i % 64 + 1)
+                    };
+                }
+                while m != 0 {
+                    let j = w * 64 + m.trailing_zeros() as usize;
+                    m &= m - 1;
                     let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
                     if ri != rj {
                         parent[ri] = rj;
@@ -249,14 +320,11 @@ impl IsoReach {
                 }
             }
         }
-        // Dense component ids.
+        // Dense component ids, in ascending first-member order.
         let mut comp = vec![usize::MAX; n];
         let mut n_comps = 0usize;
         let mut root_to_comp = vec![usize::MAX; n];
-        for i in 0..n {
-            if !is_node(i, index) {
-                continue;
-            }
+        for &i in &nodes {
             let r = find(&mut parent, i);
             if root_to_comp[r] == usize::MAX {
                 root_to_comp[r] = n_comps;
@@ -264,27 +332,58 @@ impl IsoReach {
             }
             comp[i] = root_to_comp[r];
         }
-        // Component adjacency bitset per transaction.
+        // Component adjacency bitset per transaction. Only in-scope
+        // transactions are ever queried, so only their rows are filled.
         let stride = n_comps.div_ceil(64).max(1);
         let mut adj_comps = vec![0u64; stride * n];
-        for x in 0..n {
-            if x == t1 {
-                continue;
-            }
-            for j in index.conflicting_with(x) {
-                if comp[j] != usize::MAX {
+        let fill = |x: usize, adj: &mut [u64], ops: &mut u64| {
+            let row = index.any_row(x);
+            *ops += words as u64;
+            for w in 0..words {
+                let mut m = row[w] & node_words[w];
+                while m != 0 {
+                    let j = w * 64 + m.trailing_zeros() as usize;
+                    m &= m - 1;
                     let c = comp[j];
-                    adj_comps[x * stride + c / 64] |= 1 << (c % 64);
+                    adj[x * stride + c / 64] |= 1 << (c % 64);
+                }
+            }
+        };
+        match scope {
+            Some(members) => {
+                for &x in members {
+                    if x != t1 {
+                        fill(x, &mut adj_comps, &mut row_ops);
+                    }
+                }
+            }
+            None => {
+                for x in 0..n {
+                    if x != t1 {
+                        fill(x, &mut adj_comps, &mut row_ops);
+                    }
                 }
             }
         }
         IsoReach {
             t1,
-            comp,
             n_comps,
             adj_comps,
             stride,
+            node_words,
+            build_row_ops: row_ops,
         }
+    }
+
+    /// Words per adjacency row — the per-query cost unit of
+    /// [`IsoReach::reachable_idx`], used for `kernel_row_ops` accounting.
+    pub(crate) fn stride_words(&self) -> u64 {
+        self.stride as u64
+    }
+
+    /// `u64` words touched while building this structure.
+    pub(crate) fn build_row_ops(&self) -> u64 {
+        self.build_row_ops
     }
 
     /// Number of connected components of the iso graph.
@@ -339,15 +438,32 @@ impl IsoReach {
             return Some(vec![t2, tm]);
         }
         let n = txns.len();
+        let words = self.node_words.len();
         // BFS from i2 over iso nodes, targeting any node adjacent to im.
+        // Frontier expansion is word-parallel: the unseen iso neighbors
+        // of `u` are `any(u,·) & nodes & !seen`, one AND-chain per word.
+        // Bits are drained low-to-high per word, so discovery order (and
+        // hence the witness path) matches the bit-at-a-time BFS exactly.
         let mut prev = vec![usize::MAX; n];
+        let mut seen = vec![0u64; words];
         let mut queue = std::collections::VecDeque::new();
-        for j in index.conflicting_with(i2) {
-            if self.comp[j] != usize::MAX {
-                prev[j] = i2;
-                queue.push_back(j);
+        let expand = |from: usize,
+                      row: &[u64],
+                      seen: &mut [u64],
+                      prev: &mut [usize],
+                      queue: &mut std::collections::VecDeque<usize>| {
+            for w in 0..words {
+                let mut m = row[w] & self.node_words[w] & !seen[w];
+                seen[w] |= m;
+                while m != 0 {
+                    let j = w * 64 + m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    prev[j] = from;
+                    queue.push_back(j);
+                }
             }
-        }
+        };
+        expand(i2, index.any_row(i2), &mut seen, &mut prev, &mut queue);
         while let Some(u) = queue.pop_front() {
             if index.any(u, im) {
                 // Walk back to i2.
@@ -361,12 +477,7 @@ impl IsoReach {
                 path.reverse();
                 return Some(path.into_iter().map(|i| txns.by_index(i).id()).collect());
             }
-            for j in index.conflicting_with(u) {
-                if self.comp[j] != usize::MAX && prev[j] == usize::MAX {
-                    prev[j] = u;
-                    queue.push_back(j);
-                }
-            }
+            expand(u, index.any_row(u), &mut seen, &mut prev, &mut queue);
         }
         None
     }
@@ -537,6 +648,161 @@ mod tests {
         assert!(!reach.reachable(&txns, &idx, TxnId(2), TxnId(3)));
         assert_eq!(reach.chain(&txns, &idx, TxnId(2), TxnId(3)), None);
         assert!(!reach.reachable(&txns, &idx, TxnId(2), TxnId(4)));
+    }
+
+    #[test]
+    fn bit_matrix_word_boundaries() {
+        for n in [1usize, 63, 64, 65, 127, 128] {
+            let mut m = BitMatrix::new(n);
+            let probes: Vec<usize> = [0, n / 2, n - 1].into_iter().collect();
+            for &j in &probes {
+                m.set(0, j);
+            }
+            let expect: Vec<usize> = {
+                let mut v = probes.clone();
+                v.sort_unstable();
+                v.dedup();
+                v
+            };
+            assert_eq!(m.iter_row(0).collect::<Vec<_>>(), expect, "n={n}");
+            for j in 0..n {
+                assert_eq!(m.get(0, j), expect.contains(&j), "n={n} j={j}");
+            }
+            assert_eq!(m.row(0).len(), n.div_ceil(64).max(1), "n={n}");
+            // Bits above n-1 in the last word stay clear: the word-level
+            // kernels rely on rows being exactly n-bit masks.
+            let last = *m.row(0).last().unwrap();
+            let rem = n % 64;
+            if rem != 0 {
+                assert_eq!(last & !((1u64 << rem) - 1), 0, "n={n} high bits");
+            }
+            // Rows other than 0 are untouched.
+            if n > 1 {
+                assert_eq!(m.iter_row(n - 1).count(), 0, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn bit_matrix_all_set_row() {
+        for n in [1usize, 63, 64, 65, 127, 128] {
+            let mut m = BitMatrix::new(n);
+            for j in 0..n {
+                m.set(0, j);
+            }
+            assert_eq!(
+                m.iter_row(0).collect::<Vec<_>>(),
+                (0..n).collect::<Vec<_>>(),
+                "n={n}"
+            );
+            assert_eq!(m.iter_row(0).count(), n);
+        }
+    }
+
+    #[test]
+    fn set_bits_over_arbitrary_words() {
+        assert_eq!(SetBits::over(&[]).count(), 0);
+        assert_eq!(SetBits::over(&[0, 0]).count(), 0);
+        assert_eq!(
+            SetBits::over(&[1 | (1 << 63), 1 << 5]).collect::<Vec<_>>(),
+            vec![0, 63, 69]
+        );
+        assert_eq!(
+            SetBits::over(&[u64::MAX]).collect::<Vec<_>>(),
+            (0..64).collect::<Vec<_>>()
+        );
+    }
+
+    /// A scoped iso-graph restricted to `t1`'s conflict component answers
+    /// every reachability/chain query identically to the global one.
+    #[test]
+    fn scoped_iso_reach_matches_unscoped() {
+        // Two disjoint clusters; chain_set is cluster A, a copy on fresh
+        // objects is cluster B.
+        let mut b = TxnSetBuilder::new();
+        let x = b.object("x");
+        let p = b.object("p");
+        let q = b.object("q");
+        let r = b.object("r");
+        let y = b.object("y");
+        b.txn(1).read(x).write(y).finish();
+        b.txn(2).write(x).write(p).finish();
+        b.txn(3).read(p).write(q).finish();
+        b.txn(4).read(q).write(r).finish();
+        b.txn(5).read(r).read(y).finish();
+        let x2 = b.object("x2");
+        let p2 = b.object("p2");
+        b.txn(6).read(x2).write(p2).finish();
+        b.txn(7).write(x2).read(p2).finish();
+        let txns = b.build().unwrap();
+        let idx = ConflictIndex::new(&txns);
+        let cluster_a: Vec<usize> = (1..=5).map(|t| txns.index_of(TxnId(t))).collect();
+        for t1 in 1..=5u32 {
+            let global = IsoReach::new(&txns, &idx, TxnId(t1));
+            let scoped = IsoReach::new_scoped(&txns, &idx, TxnId(t1), Some(&cluster_a));
+            for &i2 in &cluster_a {
+                for &im in &cluster_a {
+                    if i2 == txns.index_of(TxnId(t1)) || im == txns.index_of(TxnId(t1)) {
+                        continue;
+                    }
+                    assert_eq!(
+                        global.reachable_idx(&idx, i2, im),
+                        scoped.reachable_idx(&idx, i2, im),
+                        "t1={t1} i2={i2} im={im}"
+                    );
+                    let (t2, tm) = (txns.by_index(i2).id(), txns.by_index(im).id());
+                    assert_eq!(
+                        global.chain(&txns, &idx, t2, tm),
+                        scoped.chain(&txns, &idx, t2, tm),
+                        "t1={t1} t2={t2} tm={tm}"
+                    );
+                }
+            }
+        }
+        // Construction accounting is non-trivial and scope-sensitive.
+        let global = IsoReach::new(&txns, &idx, TxnId(1));
+        let scoped = IsoReach::new_scoped(&txns, &idx, TxnId(1), Some(&cluster_a));
+        assert!(global.build_row_ops() > 0);
+        assert!(scoped.build_row_ops() <= global.build_row_ops());
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig { cases: 64 })]
+
+        /// `row`/`iter_row` agree with `get` bit-for-bit on random
+        /// matrices across word-boundary sizes.
+        #[test]
+        fn prop_row_get_agree(seed in proptest::prelude::any::<u64>(), n in 1..=130usize) {
+            use rand::rngs::SmallRng;
+            use rand::{RngExt, SeedableRng};
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut m = BitMatrix::new(n);
+            let mut expect = vec![Vec::new(); n];
+            for i in 0..n {
+                for _ in 0..rng.random_range(0..8usize) {
+                    let j = rng.random_range(0..n);
+                    m.set(i, j);
+                    if !expect[i].contains(&j) {
+                        expect[i].push(j);
+                    }
+                }
+                expect[i].sort_unstable();
+            }
+            for i in 0..n {
+                let from_iter: Vec<usize> = m.iter_row(i).collect();
+                proptest::prop_assert_eq!(&from_iter, &expect[i]);
+                let from_get: Vec<usize> = (0..n).filter(|&j| m.get(i, j)).collect();
+                proptest::prop_assert_eq!(&from_get, &expect[i]);
+                // Reconstruct the packed row from `get` and compare words.
+                let mut words = vec![0u64; m.row(i).len()];
+                for j in 0..n {
+                    if m.get(i, j) {
+                        words[j / 64] |= 1 << (j % 64);
+                    }
+                }
+                proptest::prop_assert_eq!(m.row(i), &words[..]);
+            }
+        }
     }
 
     #[test]

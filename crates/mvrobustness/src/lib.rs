@@ -38,6 +38,7 @@
 
 pub mod algorithm1;
 pub mod allocate;
+pub mod components;
 pub mod conflict_index;
 pub mod oracle;
 pub mod rc_si;
@@ -54,6 +55,7 @@ pub use allocate::{
     optimal_allocation, optimal_allocation_explained, optimal_allocation_in_box,
     optimal_allocation_with_floor, AllocError, Allocator, LevelSet, ParseLevelSetError, Realloc,
 };
+pub use components::Components;
 pub use conflict_index::ConflictIndex;
 pub use oracle::{oracle_counterexample, oracle_is_robust};
 pub use rc_si::{optimal_allocation_rc_si, robustly_allocatable_rc_si};

@@ -29,6 +29,15 @@ pub struct EngineStats {
     /// `IsoReach` structures built; without the per-`T₁` cache this
     /// would be ~`probes × |T|` on conflict-heavy workloads.
     pub iso_builds: u64,
+    /// Conflict-graph components actually searched or solved by the
+    /// sharded engine (0 on unsharded runs).
+    pub components_checked: u64,
+    /// Components answered from the content-addressed component cache
+    /// without any search — the near-O(1) delta path.
+    pub components_cached: u64,
+    /// `u64` words processed by the bit-parallel closure kernels
+    /// (iso-graph construction plus reachability queries).
+    pub kernel_row_ops: u64,
     /// Worker threads configured for the outer search.
     pub threads: usize,
     /// End-to-end wall time of the engine run.
@@ -39,11 +48,15 @@ impl std::fmt::Display for EngineStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "probes={} cache_hits={} cached_specs={} iso_builds={} threads={} wall={:.3}ms",
+            "probes={} cache_hits={} cached_specs={} iso_builds={} comps_checked={} \
+             comps_cached={} kernel_row_ops={} threads={} wall={:.3}ms",
             self.probes,
             self.cache_hits,
             self.cached_specs,
             self.iso_builds,
+            self.components_checked,
+            self.components_cached,
+            self.kernel_row_ops,
             self.threads,
             self.wall.as_secs_f64() * 1e3,
         )
@@ -67,6 +80,12 @@ pub struct WorkloadReport {
     /// Directed pairs with a vulnerable rw edge (rw conflict, no shared
     /// ww) — the raw material of counterexamples.
     pub vulnerable_edges: usize,
+    /// Connected components of the conflict graph — the sharded engine's
+    /// unit of work (counterexamples never cross components).
+    pub components: usize,
+    /// Size of the largest conflict component (the sharded engine's
+    /// critical path).
+    pub largest_component: usize,
     pub robust_rc: bool,
     pub robust_si: bool,
     pub static_si: StaticVerdict,
@@ -99,6 +118,7 @@ impl WorkloadReport {
             }
         }
         let all_pairs = n * n.saturating_sub(1) / 2;
+        let comps = crate::components::Components::new(txns, &index);
         WorkloadReport {
             transactions: n,
             total_ops: txns.total_ops(),
@@ -112,6 +132,8 @@ impl WorkloadReport {
             },
             ww_pairs,
             vulnerable_edges,
+            components: comps.count(),
+            largest_component: comps.largest(),
             robust_rc: is_robust(txns, &Allocation::uniform_rc(txns)).robust(),
             robust_si: is_robust(txns, &Allocation::uniform_si(txns)).robust(),
             static_si: static_si_robust(txns),
@@ -149,6 +171,11 @@ impl std::fmt::Display for WorkloadReport {
             self.conflict_density * 100.0,
             self.ww_pairs,
             self.vulnerable_edges
+        )?;
+        writeln!(
+            f,
+            "components: {} (largest {})",
+            self.components, self.largest_component
         )?;
         writeln!(
             f,
@@ -206,6 +233,9 @@ mod tests {
         assert_eq!(r.ww_pairs, 1);
         // Vulnerable: 1→2 and 2→1 (skew); 3→4/4→3 are ww-protected.
         assert_eq!(r.vulnerable_edges, 2);
+        // Two conflict clusters: {1,2} and {3,4}.
+        assert_eq!(r.components, 2);
+        assert_eq!(r.largest_component, 2);
         assert!(!r.robust_rc);
         assert!(!r.robust_si);
         assert!(!r.static_si.certified());

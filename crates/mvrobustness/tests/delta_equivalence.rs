@@ -47,9 +47,11 @@ fn random_txn(
     Transaction::new(TxnId(id), ops).expect("generator avoids duplicate operations")
 }
 
-/// The from-scratch optimum of `txns` over `levels`.
+/// The from-scratch optimum of `txns` over `levels` — computed by the
+/// *monolithic* engine, so the component-sharded delta paths are always
+/// checked against an independent implementation.
 fn full_recompute(txns: &TransactionSet, levels: LevelSet) -> Option<Allocation> {
-    let full = Allocator::new(txns);
+    let full = Allocator::new(txns).with_components(false);
     match levels {
         LevelSet::RcSiSsi => Some(full.optimal().0),
         LevelSet::RcSi => full.optimal_rc_si().0,
@@ -141,6 +143,147 @@ fn run_sequence(seed: u64, levels: LevelSet, threads: usize) {
             "seed {seed:#x}: no {{RC, SI}} rejection exercised — tune the generator"
         );
     }
+}
+
+/// A random transaction whose operations are confined to the private
+/// object pools of the given `clusters` (3 objects per pool, addressed
+/// by raw id — conflicts derive from ids, names are cosmetic, and
+/// interning against a throwaway clone would alias the pools). A single
+/// cluster yields a component-local transaction; two clusters yield a
+/// *bridge* that merges their conflict components for as long as it is
+/// present.
+fn pooled_txn(rng: &mut SmallRng, id: u32, clusters: &[u32]) -> Transaction {
+    let mut used: Vec<(bool, u32)> = Vec::new();
+    let mut ops = Vec::new();
+    for &c in clusters {
+        // At least one op per listed cluster, so a bridge really spans.
+        let per = if clusters.len() > 1 {
+            1
+        } else {
+            rng.random_range(2..=3usize)
+        };
+        let mut placed = 0;
+        while placed < per {
+            let raw = c * 3 + rng.random_range(0..3u32);
+            let write = rng.random_bool(0.5);
+            if used.contains(&(write, raw)) {
+                continue;
+            }
+            used.push((write, raw));
+            let object = mvmodel::Object(raw);
+            ops.push(if write {
+                Op::write(object)
+            } else {
+                Op::read(object)
+            });
+            placed += 1;
+        }
+    }
+    Transaction::new(TxnId(id), ops).expect("generator avoids duplicate operations")
+}
+
+/// Component-heavy mutation sequence: cluster-local transactions keep
+/// several independent conflict components alive, while occasional
+/// bridge transactions merge two of them (and their removal splits them
+/// again). Every accepted delta must equal the monolithic from-scratch
+/// optimum; returns the allocation trace so callers can compare thread
+/// counts bit-for-bit.
+fn run_clustered_sequence(seed: u64, levels: LevelSet, threads: usize) -> Vec<String> {
+    const CLUSTERS: u32 = 4;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut alloc = Allocator::from_owned(TransactionSet::default())
+        .with_levels(levels)
+        .with_threads(threads);
+    let mut prev = alloc.current().expect("empty set is allocatable").clone();
+    let mut present: Vec<u32> = Vec::new();
+    let mut next_id = 1u32;
+    let mut trace = Vec::new();
+    let mut saw_cached = false;
+    let mut saw_bridge = false;
+
+    for step in 0..36 {
+        let add = present.len() < 14 && (present.len() < 4 || rng.random_bool(0.6));
+        if add {
+            let id = next_id;
+            next_id += 1;
+            let bridge = rng.random_bool(0.3);
+            let clusters: Vec<u32> = if bridge {
+                let a = rng.random_range(0..CLUSTERS);
+                let b = (a + 1 + rng.random_range(0..CLUSTERS - 1)) % CLUSTERS;
+                vec![a, b]
+            } else {
+                vec![rng.random_range(0..CLUSTERS)]
+            };
+            let mut attempted = alloc.txns().clone();
+            let txn = pooled_txn(&mut rng, id, &clusters);
+            attempted.insert(txn.clone()).unwrap();
+            match alloc.add_txn(txn) {
+                Ok(r) => {
+                    assert_delta_matches(&r, &prev, alloc.txns(), levels, step);
+                    if let Some(s) = alloc.last_stats() {
+                        saw_cached |= s.components_cached > 0;
+                    }
+                    prev = r.allocation;
+                    present.push(id);
+                    saw_bridge |= bridge;
+                }
+                Err(AllocError::NotAllocatable(l)) => {
+                    assert_eq!(l, levels);
+                    assert_eq!(
+                        full_recompute(&attempted, levels),
+                        None,
+                        "step {step}: delta rejected an allocatable set\n{}",
+                        mvmodel::fmt::transaction_set(&attempted)
+                    );
+                    assert_eq!(alloc.txns().len(), present.len());
+                    assert_eq!(alloc.current().unwrap(), &prev);
+                }
+                Err(e) => panic!("step {step}: unexpected delta error {e}"),
+            }
+        } else {
+            let idx = rng.random_range(0..present.len());
+            let victim = present.remove(idx);
+            let r = alloc
+                .remove_txn(TxnId(victim))
+                .expect("removal never fails");
+            assert_delta_matches(&r, &prev, alloc.txns(), levels, step);
+            if let Some(s) = alloc.last_stats() {
+                saw_cached |= s.components_cached > 0;
+            }
+            prev = r.allocation;
+        }
+        trace.push(prev.to_string());
+    }
+    assert!(
+        saw_cached,
+        "seed {seed:#x}: no delta ever reused a cached component — tune the generator"
+    );
+    assert!(saw_bridge, "seed {seed:#x}: no bridge accepted");
+    trace
+}
+
+/// Bridges merge components on add and split them on remove; every
+/// intermediate optimum must equal the monolithic recomputation, and the
+/// whole trace must be bit-identical at every thread count.
+#[test]
+fn clustered_delta_equals_full_recompute_across_threads() {
+    for seed in [0xDE17A0031u64, 0xDE17A0032] {
+        let reference = run_clustered_sequence(seed, LevelSet::RcSiSsi, 1);
+        for threads in [2, 4] {
+            assert_eq!(
+                run_clustered_sequence(seed, LevelSet::RcSiSsi, threads),
+                reference,
+                "seed {seed:#x}: trace diverged at {threads} threads"
+            );
+        }
+    }
+}
+
+/// The same component-heavy sequence over `{RC, SI}` exercises the
+/// per-component Unallocatable detection path.
+#[test]
+fn clustered_delta_equals_full_recompute_rc_si() {
+    run_clustered_sequence(0xDE17A0041, LevelSet::RcSi, 1);
 }
 
 #[test]

@@ -228,6 +228,108 @@ fn explained_reasons_certify_their_candidates() {
     }
 }
 
+/// Component-heavy workload: `clusters` private conflict clusters of
+/// `per` transactions each (3-object pools), plus `bridges` transactions
+/// that each span two clusters and merge their components.
+fn clustered_workload(rng: &mut SmallRng, clusters: u32, per: u32, bridges: u32) -> TransactionSet {
+    let mut b = TxnSetBuilder::new();
+    let pools: Vec<Vec<_>> = (0..clusters)
+        .map(|c| (0..3).map(|j| b.object(&format!("c{c}_o{j}"))).collect())
+        .collect();
+    let mut id = 0u32;
+    let fill = |b: &mut TxnSetBuilder, id: u32, rng: &mut SmallRng, members: &[u32]| {
+        let mut t = b.txn(id);
+        let mut used: Vec<(bool, u32, usize)> = Vec::new();
+        for &c in members {
+            let per_cluster = if members.len() > 1 { 1 } else { 2 };
+            let mut placed = 0;
+            while placed < per_cluster {
+                let j = rng.random_range(0..3usize);
+                let write = rng.random_bool(0.5);
+                if used.contains(&(write, c, j)) {
+                    continue;
+                }
+                used.push((write, c, j));
+                let obj = pools[c as usize][j];
+                t = if write { t.write(obj) } else { t.read(obj) };
+                placed += 1;
+            }
+        }
+        t.finish();
+    };
+    for c in 0..clusters {
+        for _ in 0..per {
+            id += 1;
+            fill(&mut b, id, rng, &[c]);
+        }
+    }
+    for _ in 0..bridges {
+        id += 1;
+        let a = rng.random_range(0..clusters);
+        let other = (a + 1 + rng.random_range(0..clusters - 1)) % clusters;
+        fill(&mut b, id, rng, &[a, other]);
+    }
+    b.build().expect("ids are distinct by construction")
+}
+
+/// On workloads that decompose into several components (with bridges
+/// merging some of them) the sharded engine must agree with both the
+/// monolithic engine and the reference — identical counterexamples
+/// (lifted to global `TxnId`s), identical optima, at every thread count.
+#[test]
+fn sharded_engine_matches_monolith_on_clustered_workloads() {
+    let mut rng = SmallRng::seed_from_u64(0xE9E0_0006);
+    let mut multi_component_cases = 0usize;
+    for case in 0..12 {
+        let clusters = rng.random_range(3..=5u32);
+        let bridges = rng.random_range(0..=2u32);
+        let txns = clustered_workload(&mut rng, clusters, 3, bridges);
+        let comps = mvrobustness::Components::new(&txns, &mvrobustness::ConflictIndex::new(&txns));
+        if comps.count() > 1 {
+            multi_component_cases += 1;
+        }
+        // Counterexample (spec) equality: the sharded checker is the
+        // default inside assert_equivalent, so a lifted per-component
+        // spec must be byte-identical to the reference's global one.
+        let alloc = random_allocation(&mut rng, &txns);
+        assert_equivalent(&txns, &alloc);
+        // Optimum equality: sharded vs. monolithic vs. reference.
+        let expected = optimal_allocation_reference(&txns);
+        for threads in [1, 2, 4] {
+            let (sharded, stats) = Allocator::new(&txns).with_threads(threads).optimal();
+            assert_eq!(
+                sharded,
+                expected,
+                "case {case}: sharded optimum diverged at {threads} threads\n{}",
+                mvmodel::fmt::transaction_set(&txns)
+            );
+            if comps.count() > 1 {
+                assert!(
+                    stats.components_checked + stats.components_cached > 0,
+                    "case {case}: multi-component workload was not sharded"
+                );
+            }
+            let (mono, _) = Allocator::new(&txns)
+                .with_threads(threads)
+                .with_components(false)
+                .optimal();
+            assert_eq!(mono, expected, "case {case}: monolithic optimum diverged");
+        }
+        // The {RC, SI} variant: per-component Unallocatable detection
+        // must agree with the monolithic verdict.
+        let (rc_si, _) = Allocator::new(&txns).optimal_rc_si();
+        let (rc_si_mono, _) = Allocator::new(&txns).with_components(false).optimal_rc_si();
+        assert_eq!(
+            rc_si, rc_si_mono,
+            "case {case}: sharded rc-si verdict diverged"
+        );
+    }
+    assert!(
+        multi_component_cases > 6,
+        "generator produced too few multi-component cases"
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 48 })]
 
@@ -244,6 +346,21 @@ proptest! {
         let txns = random_workload(&mut rng, n_txns, max_ops, n_objects);
         let alloc = random_allocation(&mut rng, &txns);
         assert_equivalent(&txns, &alloc);
+    }
+
+    /// Property form: sharded and monolithic optima agree on
+    /// component-heavy workloads with arbitrary bridge counts.
+    #[test]
+    fn prop_sharded_equals_monolith_on_clusters(
+        seed in any::<u64>(),
+        clusters in 2..5u32,
+        bridges in 0..3u32,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let txns = clustered_workload(&mut rng, clusters, 2, bridges);
+        let (sharded, _) = Allocator::new(&txns).optimal();
+        let (mono, _) = Allocator::new(&txns).with_components(false).optimal();
+        prop_assert_eq!(sharded, mono);
     }
 
     /// Property form: the cached Algorithm 2 equals the reference

@@ -111,6 +111,15 @@ impl Registry {
         self
     }
 
+    /// Enables or disables the component-sharded engine (on by
+    /// default): deltas then recompute only the conflict components the
+    /// mutation touches and answer the rest from a fingerprint cache.
+    /// Optima are bit-identical either way.
+    pub fn with_components(mut self, on: bool) -> Self {
+        self.alloc = self.alloc.with_components(on);
+        self
+    }
+
     /// Installs a fault-injection hook (chaos testing). Production
     /// registries never call this.
     pub fn with_fault_hook(mut self, hook: Arc<dyn FaultHook>) -> Self {
@@ -379,6 +388,35 @@ mod tests {
         assert_eq!(reg.len(), 1);
         assert_eq!(reg.assign(TxnId(1)), Some(IsolationLevel::RC));
         assert!(reg.degraded());
+    }
+
+    #[test]
+    fn sharded_and_unsharded_registries_agree() {
+        // Two independent conflict clusters plus a singleton, grown and
+        // shrunk online: the component-sharded registry must serve the
+        // same optima as the monolithic one at every step.
+        let lines = [
+            "T1: R[x] W[y]",
+            "T2: R[y] W[x]",
+            "T3: R[z] W[z]",
+            "T4: R[z] W[z]",
+            "T5: R[w]",
+        ];
+        let mut sharded = Registry::new(LevelSet::RcSiSsi, 1);
+        let mut mono = Registry::new(LevelSet::RcSiSsi, 1).with_components(false);
+        for line in lines {
+            let a = sharded.register(line).unwrap();
+            let b = mono.register(line).unwrap();
+            assert_eq!(a.allocation, b.allocation, "{line}");
+            assert_eq!(a.changed, b.changed, "{line}");
+        }
+        // Deregistering T4 touches only the z-cluster; the skew pair is
+        // answered from the component cache without a single probe.
+        let a = sharded.deregister(TxnId(4)).unwrap();
+        let b = mono.deregister(TxnId(4)).unwrap();
+        assert_eq!(a.allocation, b.allocation);
+        assert!(a.stats.components_cached >= 1, "{}", a.stats);
+        assert_eq!(b.stats.components_cached, 0, "{}", b.stats);
     }
 
     #[test]

@@ -60,6 +60,9 @@ pub struct Config {
     pub realloc_timeout: Option<Duration>,
     /// Deterministic fault-injection schedule (`None` = no injection).
     pub faults: Option<FaultPlan>,
+    /// Component-sharded reallocation (`false` = monolithic engine;
+    /// optima are identical either way).
+    pub components: bool,
 }
 
 impl Default for Config {
@@ -71,6 +74,7 @@ impl Default for Config {
             request_timeout: Duration::from_secs(10),
             realloc_timeout: None,
             faults: None,
+            components: true,
         }
     }
 }
@@ -204,7 +208,8 @@ impl Server {
             .faults
             .map(|plan| Arc::new(ScriptedFaults::new(plan)));
         let mut registry = Registry::new(config.levels, config.threads)
-            .with_realloc_timeout(config.realloc_timeout);
+            .with_realloc_timeout(config.realloc_timeout)
+            .with_components(config.components);
         if let Some(hook) = &faults {
             registry = registry.with_fault_hook(Arc::clone(hook) as _);
         }
@@ -527,6 +532,15 @@ fn execute(shared: &Shared, req: Request) -> (Value, bool) {
                     m.insert("cache_hits".to_string(), Value::from(s.cache_hits));
                     m.insert("cached_specs".to_string(), Value::from(s.cached_specs));
                     m.insert("iso_builds".to_string(), Value::from(s.iso_builds));
+                    m.insert(
+                        "components_checked".to_string(),
+                        Value::from(s.components_checked),
+                    );
+                    m.insert(
+                        "components_cached".to_string(),
+                        Value::from(s.components_cached),
+                    );
+                    m.insert("kernel_row_ops".to_string(), Value::from(s.kernel_row_ops));
                     m.insert("threads".to_string(), Value::from(s.threads as u64));
                     m.insert(
                         "wall_us".to_string(),
