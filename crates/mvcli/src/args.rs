@@ -21,6 +21,8 @@ const VALUED: &[&str] = &[
     "addr",
     "alloc",
     "backoff-ms",
+    "batch-delay-us",
+    "batch-max",
     "fault-plan",
     "level",
     "levels",

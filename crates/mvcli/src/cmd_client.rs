@@ -3,13 +3,23 @@
 //! ```text
 //! mvrobust client register "T1: R[x] W[y]" [--addr HOST:PORT] [--json]
 //! mvrobust client deregister T1 | assign T1 | stats | list | ping | shutdown
+//! mvrobust client batch [LINE ...]        # or one line per stdin line
 //! mvrobust client ... [--retries N] [--backoff-ms MS] [--seed N]
 //! ```
 //!
 //! `--retries` / `--backoff-ms` switch to the reconnecting retry client:
 //! transport failures are retried with exponential backoff and jittered
 //! delays, and mutating verbs carry idempotent request ids so a replay
-//! never double-applies. `--seed` pins the jitter for reproducibility.
+//! never double-applies. Request ids derive from a per-invocation
+//! entropy seed so separate invocations never collide in the server's
+//! replay cache; `--seed` pins both the ids and the jitter for
+//! reproducibility.
+//!
+//! `batch` pipelines many registrations down one connection in a single
+//! flush (transaction lines as positional arguments, or — with none —
+//! one per stdin line; blank lines and `#` comments are skipped).
+//! Replies are matched by idempotency key, so it composes with a
+//! server running group-commit coalescing (`serve --batch-max`).
 //!
 //! Exit code 0 = success, 1 = the server replied with a structured
 //! error (e.g. unknown transaction, unallocatable workload), 2 = usage
@@ -17,8 +27,9 @@
 
 use crate::args::Parsed;
 use mvisolation::IsolationLevel;
-use mvservice::{Client, ClientError, RetryClient, RetryPolicy};
+use mvservice::{BatchOp, Client, ClientError, RetryClient, RetryPolicy};
 use serde_json::Value;
+use std::io::BufRead;
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -80,21 +91,25 @@ pub fn run(argv: &[String]) -> Result<ExitCode, String> {
     let json = parsed.flag("json");
     let mut args = parsed.positional.iter();
     let verb = args.next().ok_or(
-        "client needs a subcommand: register, deregister, assign, stats, list, ping or shutdown",
+        "client needs a subcommand: register, deregister, assign, batch, stats, list, ping or shutdown",
     )?;
     let retries = parsed.option_parse::<u32>("retries")?;
     let backoff_ms = parsed.option_parse::<u64>("backoff-ms")?;
+    // Idempotency keys derive from the policy seed, so two invocations
+    // sharing a seed would collide in the server's replay cache and be
+    // answered with each other's cached replies. Default to
+    // per-invocation entropy; `--seed` opts back into reproducibility.
+    let policy = RetryPolicy {
+        seed: parsed
+            .option_parse::<u64>("seed")?
+            .unwrap_or_else(invocation_seed),
+        retries: retries.unwrap_or(RetryPolicy::default().retries),
+        base: backoff_ms
+            .map(Duration::from_millis)
+            .unwrap_or(RetryPolicy::default().base),
+        ..RetryPolicy::default()
+    };
     let mut client = if retries.is_some() || backoff_ms.is_some() {
-        let mut policy = RetryPolicy::default();
-        if let Some(n) = retries {
-            policy.retries = n;
-        }
-        if let Some(ms) = backoff_ms {
-            policy.base = Duration::from_millis(ms);
-        }
-        if let Some(seed) = parsed.option_parse::<u64>("seed")? {
-            policy.seed = seed;
-        }
         Conn::Retry(RetryClient::new(addr, policy))
     } else {
         Conn::Plain(
@@ -180,6 +195,42 @@ pub fn run(argv: &[String]) -> Result<ExitCode, String> {
                 }
             }
         }),
+        "batch" => {
+            let mut ops: Vec<BatchOp> = args.map(|l| BatchOp::Register(l.clone())).collect();
+            if ops.is_empty() {
+                for line in std::io::stdin().lock().lines() {
+                    let line = line.map_err(|e| format!("reading stdin: {e}"))?;
+                    let line = line.trim();
+                    if line.is_empty() || line.starts_with('#') {
+                        continue;
+                    }
+                    ops.push(BatchOp::Register(line.to_string()));
+                }
+            }
+            if ops.is_empty() {
+                return Err("batch needs transaction lines (arguments or stdin)".to_string());
+            }
+            // Pipelining needs idempotency keys to match replies, so
+            // the batch verb always runs through the retry client.
+            let replies = match &mut client {
+                Conn::Retry(c) => c.send_batch(&ops),
+                Conn::Plain(_) => RetryClient::new(addr, policy).send_batch(&ops),
+            };
+            replies.map(|replies| {
+                if json {
+                    print_json(&Value::Array(replies));
+                } else {
+                    let accepted = replies.iter().filter(|r| r["ok"] == true).count();
+                    println!("batch: {accepted}/{} registered", replies.len());
+                    for r in replies.iter().filter(|r| r["ok"] != true) {
+                        println!("  rejected: {}", show(&r["error"]));
+                    }
+                    if let Some(last) = replies.iter().rev().find(|r| r["ok"] == true) {
+                        println!("  registry now {} transactions", last["registry_size"]);
+                    }
+                }
+            })
+        }
         "ping" => client.ping().map(|()| {
             if json {
                 print_json(&serde_json::json!({"ok": true, "pong": true}));
@@ -196,7 +247,7 @@ pub fn run(argv: &[String]) -> Result<ExitCode, String> {
         }),
         other => {
             return Err(format!(
-                "unknown client subcommand `{other}` (expected register, deregister, assign, stats, list, ping or shutdown)"
+                "unknown client subcommand `{other}` (expected register, deregister, assign, batch, stats, list, ping or shutdown)"
             ))
         }
     };
@@ -212,6 +263,17 @@ pub fn run(argv: &[String]) -> Result<ExitCode, String> {
             "talking to {addr}: {e} (is `mvrobust serve` running?)"
         )),
     }
+}
+
+/// A per-invocation seed: wall-clock nanos mixed with the process id,
+/// so concurrent and back-to-back invocations draw disjoint idempotency
+/// keys. Not cryptographic — it only needs to avoid collisions.
+fn invocation_seed() -> u64 {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    nanos ^ ((std::process::id() as u64) << 32) ^ 0x9E37_79B9_7F4A_7C15
 }
 
 /// Accepts `T7` or bare `7`.

@@ -3,6 +3,7 @@
 //! ```text
 //! mvrobust serve [--addr HOST:PORT] [--levels rc-si|rc-si-ssi] [--threads N]
 //!                [--realloc-timeout-ms N] [--fault-plan SPEC]
+//!                [--batch-max N] [--batch-delay-us N]
 //! ```
 //!
 //! `--realloc-timeout-ms` caps each incremental reallocation; on expiry
@@ -10,7 +11,10 @@
 //! being served (degraded mode). `--fault-plan` installs a seeded
 //! chaos-testing schedule, e.g.
 //! `seed=42,drop=0.1,truncate=0.05,slow=0.1,delay_ms=10,budget=40` —
-//! never use it in production.
+//! never use it in production. `--batch-max` enables group-commit
+//! coalescing: up to N concurrent mutations are applied as one engine
+//! batch (default 1 = off); `--batch-delay-us` is how long a drain
+//! lingers for companions (default 100).
 //!
 //! Prints `listening on <addr>` once the socket is bound (with the
 //! ephemeral port resolved, so `--addr 127.0.0.1:0` is scriptable),
@@ -34,7 +38,7 @@ pub fn run(argv: &[String]) -> Result<ExitCode, String> {
         .map(|spec| spec.parse::<FaultPlan>())
         .transpose()
         .map_err(|e| format!("invalid --fault-plan: {e}"))?;
-    let config = Config {
+    let mut config = Config {
         addr: parsed
             .option("addr")
             .unwrap_or("127.0.0.1:7411")
@@ -46,8 +50,15 @@ pub fn run(argv: &[String]) -> Result<ExitCode, String> {
             .map(Duration::from_millis),
         faults,
         components: parsed.components(),
+        batch_max: parsed
+            .option_parse::<usize>("batch-max")?
+            .unwrap_or(1)
+            .max(1),
         ..Config::default()
     };
+    if let Some(us) = parsed.option_parse::<u64>("batch-delay-us")? {
+        config.batch_delay = Duration::from_micros(us);
+    }
     let levels = config.levels;
     let fault_note = config
         .faults

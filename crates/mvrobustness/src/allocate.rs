@@ -174,6 +174,50 @@ pub struct Realloc {
     pub stats: EngineStats,
 }
 
+/// One membership mutation inside a coalesced batch
+/// ([`Allocator::apply_batch`]).
+#[derive(Clone, Debug)]
+pub enum DeltaEvent {
+    /// Register a transaction (see [`Allocator::add_txn`]).
+    Add(Transaction),
+    /// Deregister a transaction (see [`Allocator::remove_txn`]).
+    Remove(TxnId),
+}
+
+impl DeltaEvent {
+    /// The transaction the event concerns.
+    pub fn id(&self) -> TxnId {
+        match self {
+            DeltaEvent::Add(t) => t.id(),
+            DeltaEvent::Remove(id) => *id,
+        }
+    }
+}
+
+/// The outcome of one coalesced batch of membership mutations
+/// ([`Allocator::apply_batch`]): the new optimum, one verdict per
+/// event, and the changed-levels diff versus the *pre-batch* optimum.
+#[derive(Clone, Debug)]
+pub struct BatchRealloc {
+    pub allocation: Allocation,
+    /// Per-event verdicts, in input order. `Err` events were rolled
+    /// back individually (a rejected add is not in the set; a duplicate
+    /// add or unknown remove never touched it); all `Ok` events become
+    /// visible in `allocation` atomically.
+    pub outcomes: Vec<Result<(), AllocError>>,
+    /// `prev.diff(new)` of the pre-batch and post-batch optima — the
+    /// net level movement of the whole batch, not per event.
+    pub changed: Vec<LevelChange>,
+    pub stats: EngineStats,
+}
+
+impl BatchRealloc {
+    /// How many events were applied (the `Ok` verdicts).
+    pub fn accepted(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.is_ok()).count()
+    }
+}
+
 /// Counterexamples kept across reallocations beyond this count are
 /// discarded oldest-first: the cache is only an accelerator, and
 /// re-validating an unbounded backlog on every probe would eventually
@@ -345,6 +389,8 @@ impl<'a> Allocator<'a> {
             components_checked: checker.stats().components_checked(),
             components_cached: checker.stats().components_cached(),
             kernel_row_ops: checker.stats().kernel_row_ops(),
+            batch_events: 0,
+            batched_components_solved: 0,
             threads: self.threads,
             wall: start.elapsed(),
         }
@@ -628,6 +674,8 @@ impl<'a> Allocator<'a> {
                     components_checked: csnap.components_checked,
                     components_cached: csnap.components_cached,
                     kernel_row_ops: csnap.kernel_row_ops,
+                    batch_events: 0,
+                    batched_components_solved: 0,
                     threads: self.threads,
                     wall: start.elapsed(),
                 };
@@ -783,6 +831,8 @@ impl<'a> Allocator<'a> {
             components_checked: csnap.components_checked,
             components_cached: csnap.components_cached,
             kernel_row_ops: csnap.kernel_row_ops,
+            batch_events: 0,
+            batched_components_solved: 0,
             threads: self.threads,
             wall: start.elapsed(),
         };
@@ -794,6 +844,321 @@ impl<'a> Allocator<'a> {
             changed,
             stats,
         })
+    }
+
+    /// Applies a coalesced batch of membership mutations with **one**
+    /// reallocation.
+    ///
+    /// Semantics are defined by equivalence: the final membership, the
+    /// final optimum, and the per-event verdicts are bit-for-bit those
+    /// of applying the events one at a time through
+    /// [`Allocator::add_txn`] / [`Allocator::remove_txn`] in input
+    /// order (`tests/batch_equivalence.rs` asserts exactly that on
+    /// randomized sequences). The engine work is *not* sequential:
+    ///
+    /// - Over `{RC, SI, SSI}` an add can never be rejected (the SSI
+    ///   ceiling is always robust), so per-event verdicts reduce to
+    ///   membership bookkeeping (duplicate adds, unknown removes). The
+    ///   batch applies every valid event to the membership first and
+    ///   solves the final set **once**: untouched conflict components
+    ///   are answered by the persistent fingerprint cache, and only the
+    ///   union of touched components is solved (largest-first,
+    ///   work-stealing under [`Allocator::with_threads`]). By
+    ///   uniqueness of the optimum (Proposition 4.2) this single solve
+    ///   equals the sequential fold.
+    /// - Over `{RC, SI}` an add may be rejected, and acceptance is
+    ///   decided against the membership *at that point in the
+    ///   sequence* — an optimistic whole-batch solve would accept
+    ///   interleavings sequential processing rejects (an unallocatable
+    ///   add followed by the remove that would have made it
+    ///   allocatable). The batch therefore falls back to the sequential
+    ///   delta path per event, still sharing the persistent component
+    ///   fingerprint cache across events.
+    ///
+    /// A deadline expiry rolls back the **whole batch** — membership
+    /// and optimum revert to the pre-batch state — and returns
+    /// [`AllocError::Timeout`], so a caller's last-known-good
+    /// degradation story is the same as for single events.
+    pub fn apply_batch(&mut self, events: Vec<DeltaEvent>) -> Result<BatchRealloc, AllocError> {
+        self.apply_batch_by(events, self.op_deadline())
+    }
+
+    /// [`Allocator::apply_batch`] against an explicit deadline (`None`
+    /// = unbounded), overriding the configured
+    /// [`Allocator::with_op_timeout`] budget for this one batch.
+    pub fn apply_batch_by(
+        &mut self,
+        events: Vec<DeltaEvent>,
+        deadline: Option<Instant>,
+    ) -> Result<BatchRealloc, AllocError> {
+        // The pre-batch optimum is both the diff baseline and (on
+        // rollback) the state to serve; make sure it exists before
+        // mutating — exactly like `add_txn`.
+        self.ensure_current(deadline)?;
+        let prev = self.last.clone().expect("ensure_current fills the cache");
+        let start = Instant::now();
+        if events.is_empty() {
+            let stats = EngineStats {
+                cached_specs: self.specs.len() as u64,
+                threads: self.threads,
+                wall: start.elapsed(),
+                ..EngineStats::default()
+            };
+            return Ok(BatchRealloc {
+                allocation: prev,
+                outcomes: Vec::new(),
+                changed: Vec::new(),
+                stats,
+            });
+        }
+        if self.levels == LevelSet::RcSi {
+            return self.apply_batch_sequential(events, deadline, prev, start);
+        }
+        // {RC, SI, SSI}: simulate the event sequence on the membership
+        // (verdicts are pure bookkeeping), then solve the final set once.
+        let saved = self.txns.as_ref().clone();
+        let touched: Vec<TxnId> = events.iter().map(|e| e.id()).collect();
+        let n_events = events.len() as u64;
+        let mut outcomes = Vec::with_capacity(events.len());
+        // Newcomers still present at the end of the batch.
+        let mut added: Vec<TxnId> = Vec::new();
+        // Every id a Remove event successfully took out, even if a
+        // later Add brought the id back: cached specs mention the *old*
+        // transaction's operations and must not survive.
+        let mut removed_ids: Vec<TxnId> = Vec::new();
+        {
+            let set = self.txns.to_mut();
+            for ev in events {
+                match ev {
+                    DeltaEvent::Add(txn) => {
+                        let id = txn.id();
+                        if set.contains(id) {
+                            outcomes.push(Err(AllocError::Duplicate(id)));
+                        } else {
+                            set.insert(txn).expect("contains(id) checked above");
+                            added.push(id);
+                            outcomes.push(Ok(()));
+                        }
+                    }
+                    DeltaEvent::Remove(id) => {
+                        if set.remove(id).is_some() {
+                            added.retain(|&a| a != id);
+                            removed_ids.push(id);
+                            outcomes.push(Ok(()));
+                        } else {
+                            outcomes.push(Err(AllocError::Unknown(id)));
+                        }
+                    }
+                }
+            }
+        }
+        // Prune before solving: specs mentioning a removed transaction
+        // dangle against the new set (same rule as `remove_txn`).
+        if !removed_ids.is_empty() {
+            self.specs
+                .retain(|s| !removed_ids.iter().any(|&id| spec_mentions(s, id)));
+        }
+        if self.components {
+            let mut s = ShardStats::default();
+            match shard_optimal(
+                self.txns.as_ref(),
+                self.levels,
+                self.threads,
+                deadline,
+                &mut self.comp_cache,
+                &mut s,
+            ) {
+                Ok(ShardOutcome::Solved(alloc)) => {
+                    let mut stats = s.engine_stats(self.threads, self.specs.len() as u64, start);
+                    stats.batch_events = n_events;
+                    stats.batched_components_solved = s.checked;
+                    let changed = prev.diff(&alloc);
+                    self.last = Some(alloc.clone());
+                    self.last_stats = Some(stats.clone());
+                    return Ok(BatchRealloc {
+                        allocation: alloc,
+                        outcomes,
+                        changed,
+                        stats,
+                    });
+                }
+                Ok(ShardOutcome::Unallocatable) => {
+                    unreachable!("the all-SSI ceiling is always robust")
+                }
+                Err(Expired) => return Err(self.rollback_batch(saved, &touched)),
+                Ok(ShardOutcome::Skip) => {}
+            }
+        }
+        let ceiling = self.levels.ceiling();
+        let (outcome, csnap) = {
+            let txns: &TransactionSet = &self.txns;
+            let checker = RobustnessChecker::new(txns)
+                .with_threads(self.threads)
+                .with_components(self.components);
+            let mut hits = 0u64;
+            // Adds only raise levels (Proposition 4.1), so with no
+            // successful remove the pre-batch optimum extended with the
+            // newcomers at RC bounds the new optimum from below.
+            let floor = if removed_ids.is_empty() {
+                Some(
+                    added
+                        .iter()
+                        .fold(prev.clone(), |a, &id| a.with(id, IsolationLevel::RC)),
+                )
+            } else {
+                None
+            };
+            let outcome = if expired(deadline) {
+                Err(Expired)
+            } else {
+                // Fast path: previous optimum restricted to the
+                // survivors, newcomers at the ceiling. When robust it
+                // dominates the new optimum (the pointwise-least robust
+                // allocation), so refining from it reaches the exact
+                // from-scratch optimum.
+                let mut candidate = prev.clone();
+                for &id in &removed_ids {
+                    candidate.remove(id);
+                }
+                for &id in &added {
+                    candidate.set(id, ceiling);
+                }
+                let candidate_ok =
+                    probe_cached(txns, &checker, &mut self.specs, &candidate, &mut hits);
+                let start_alloc = if candidate_ok {
+                    Some(candidate)
+                } else if expired(deadline) {
+                    None
+                } else {
+                    // Slow path: some survivor must rise — refine from
+                    // the uniform ceiling (robust unconditionally over
+                    // {RC, SI, SSI}).
+                    Some(Allocation::uniform(txns, ceiling))
+                };
+                match start_alloc {
+                    None => Err(Expired),
+                    Some(a) => refine_with(
+                        txns,
+                        &checker,
+                        &mut self.specs,
+                        a,
+                        floor.as_ref(),
+                        deadline,
+                        &mut |_, _, _| {},
+                    )
+                    .map(|(alloc, h)| (alloc, hits + h)),
+                }
+            };
+            (outcome, snap(&checker))
+        };
+        match outcome {
+            Ok((alloc, hits)) => {
+                trim_specs(&mut self.specs);
+                let stats = EngineStats {
+                    probes: csnap.probes,
+                    cache_hits: hits,
+                    cached_specs: self.specs.len() as u64,
+                    iso_builds: csnap.iso_builds,
+                    components_checked: csnap.components_checked,
+                    components_cached: csnap.components_cached,
+                    kernel_row_ops: csnap.kernel_row_ops,
+                    batch_events: n_events,
+                    batched_components_solved: 0,
+                    threads: self.threads,
+                    wall: start.elapsed(),
+                };
+                let changed = prev.diff(&alloc);
+                self.last = Some(alloc.clone());
+                self.last_stats = Some(stats.clone());
+                Ok(BatchRealloc {
+                    allocation: alloc,
+                    outcomes,
+                    changed,
+                    stats,
+                })
+            }
+            Err(Expired) => Err(self.rollback_batch(saved, &touched)),
+        }
+    }
+
+    /// The `{RC, SI}` batch path: per-event sequential delta processing
+    /// — acceptance depends on the membership at that point in the
+    /// sequence (see [`Allocator::apply_batch`]) — still sharing the
+    /// persistent component fingerprint cache so untouched components
+    /// cost nothing per event. A deadline expiry rolls back the whole
+    /// batch.
+    fn apply_batch_sequential(
+        &mut self,
+        events: Vec<DeltaEvent>,
+        deadline: Option<Instant>,
+        prev: Allocation,
+        start: Instant,
+    ) -> Result<BatchRealloc, AllocError> {
+        let saved = self.txns.as_ref().clone();
+        let saved_last = self.last.clone();
+        let saved_stats = self.last_stats.clone();
+        let touched: Vec<TxnId> = events.iter().map(|e| e.id()).collect();
+        let n_events = events.len() as u64;
+        let mut outcomes = Vec::with_capacity(events.len());
+        let mut acc = EngineStats::default();
+        for ev in events {
+            let res = match ev {
+                DeltaEvent::Add(txn) => self.add_txn_by(txn, deadline),
+                DeltaEvent::Remove(id) => self.remove_txn_by(id, deadline),
+            };
+            match res {
+                Ok(r) => {
+                    acc.probes += r.stats.probes;
+                    acc.cache_hits += r.stats.cache_hits;
+                    acc.iso_builds += r.stats.iso_builds;
+                    acc.components_checked += r.stats.components_checked;
+                    acc.components_cached += r.stats.components_cached;
+                    acc.kernel_row_ops += r.stats.kernel_row_ops;
+                    acc.batched_components_solved += r.stats.components_checked;
+                    outcomes.push(Ok(()));
+                }
+                Err(AllocError::Timeout) => {
+                    // Earlier events of the batch already applied must
+                    // not survive a partial batch.
+                    self.last = saved_last;
+                    self.last_stats = saved_stats;
+                    return Err(self.rollback_batch(saved, &touched));
+                }
+                Err(e) => outcomes.push(Err(e)),
+            }
+        }
+        acc.batch_events = n_events;
+        acc.cached_specs = self.specs.len() as u64;
+        acc.threads = self.threads;
+        acc.wall = start.elapsed();
+        let alloc = self
+            .last
+            .clone()
+            .expect("a batch without timeouts leaves an optimum");
+        let changed = prev.diff(&alloc);
+        self.last_stats = Some(acc.clone());
+        Ok(BatchRealloc {
+            allocation: alloc,
+            outcomes,
+            changed,
+            stats: acc,
+        })
+    }
+
+    /// Restores the pre-batch membership after a mid-batch deadline
+    /// expiry and drops every cached spec that mentions a transaction
+    /// the batch touched: such specs may have been minted against a
+    /// mid-batch incarnation of the id and would dangle — or silently
+    /// mismatch — against the restored set. Specs mentioning only
+    /// untouched transactions stay sound verbatim (over-pruning is
+    /// sound regardless; the cache is only an accelerator). The cached
+    /// optimum still matches the restored set: the batch either never
+    /// updated it or the caller restored it alongside.
+    fn rollback_batch(&mut self, saved: TransactionSet, touched: &[TxnId]) -> AllocError {
+        self.txns = Cow::Owned(saved);
+        self.specs
+            .retain(|s| !touched.iter().any(|&id| spec_mentions(s, id)));
+        AllocError::Timeout
     }
 
     /// Installs a sharded delta result: builds the stats, diffs against
@@ -891,6 +1256,8 @@ impl<'a> Allocator<'a> {
                     components_checked: csnap.components_checked,
                     components_cached: csnap.components_cached,
                     kernel_row_ops: csnap.kernel_row_ops,
+                    batch_events: 0,
+                    batched_components_solved: 0,
                     threads: self.threads,
                     wall: start.elapsed(),
                 });
@@ -932,6 +1299,8 @@ impl ShardStats {
             components_checked: self.checked,
             components_cached: self.cached,
             kernel_row_ops: self.row_ops,
+            batch_events: 0,
+            batched_components_solved: 0,
             threads,
             wall: start.elapsed(),
         }

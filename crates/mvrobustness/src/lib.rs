@@ -53,7 +53,8 @@ pub use algorithm1::{
 };
 pub use allocate::{
     optimal_allocation, optimal_allocation_explained, optimal_allocation_in_box,
-    optimal_allocation_with_floor, AllocError, Allocator, LevelSet, ParseLevelSetError, Realloc,
+    optimal_allocation_with_floor, AllocError, Allocator, BatchRealloc, DeltaEvent, LevelSet,
+    ParseLevelSetError, Realloc,
 };
 pub use components::Components;
 pub use conflict_index::ConflictIndex;

@@ -38,6 +38,15 @@ pub struct EngineStats {
     /// `u64` words processed by the bit-parallel closure kernels
     /// (iso-graph construction plus reachability queries).
     pub kernel_row_ops: u64,
+    /// Delta events (adds + removes) applied by
+    /// [`crate::allocate::Allocator::apply_batch`]; 0 on every other
+    /// path, including the single-event delta API.
+    pub batch_events: u64,
+    /// Conflict-graph components resolved by actual work (fingerprint
+    /// cache misses and singletons) while answering a batch — the solve
+    /// cost the group-commit coalescing pays once instead of once per
+    /// event. 0 outside the batch path.
+    pub batched_components_solved: u64,
     /// Worker threads configured for the outer search.
     pub threads: usize,
     /// End-to-end wall time of the engine run.
@@ -49,7 +58,8 @@ impl std::fmt::Display for EngineStats {
         write!(
             f,
             "probes={} cache_hits={} cached_specs={} iso_builds={} comps_checked={} \
-             comps_cached={} kernel_row_ops={} threads={} wall={:.3}ms",
+             comps_cached={} kernel_row_ops={} batch_events={} batched_solved={} \
+             threads={} wall={:.3}ms",
             self.probes,
             self.cache_hits,
             self.cached_specs,
@@ -57,6 +67,8 @@ impl std::fmt::Display for EngineStats {
             self.components_checked,
             self.components_cached,
             self.kernel_row_ops,
+            self.batch_events,
+            self.batched_components_solved,
             self.threads,
             self.wall.as_secs_f64() * 1e3,
         )

@@ -21,6 +21,7 @@ use mvmodel::TxnId;
 use rand::rngs::SmallRng;
 use rand::{RngCore, SeedableRng};
 use serde_json::Value;
+use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
@@ -96,6 +97,34 @@ impl Client {
             .map_err(|e| ClientError::Protocol(format!("unparseable reply: {e}")))
     }
 
+    /// Ships every line in one buffered write with a single flush, then
+    /// reads exactly `lines.len()` replies. Replies come back in the
+    /// server's write order — against a coalescing server, match them
+    /// to requests by the echoed `req_id`, not by position.
+    pub fn pipeline(&mut self, lines: &[String]) -> Result<Vec<Value>, ClientError> {
+        let mut buf = String::with_capacity(lines.iter().map(|l| l.len() + 1).sum());
+        for line in lines {
+            buf.push_str(line);
+            buf.push('\n');
+        }
+        self.writer.write_all(buf.as_bytes())?;
+        self.writer.flush()?;
+        let mut replies = Vec::with_capacity(lines.len());
+        for _ in 0..lines.len() {
+            let mut reply = String::new();
+            let n = self.reader.read_line(&mut reply)?;
+            if n == 0 {
+                return Err(ClientError::Protocol(
+                    "connection closed before every pipelined reply arrived".to_string(),
+                ));
+            }
+            let v = serde_json::from_str(reply.trim())
+                .map_err(|e| ClientError::Protocol(format!("unparseable reply: {e}")))?;
+            replies.push(v);
+        }
+        Ok(replies)
+    }
+
     /// Sends a typed request; an `"ok": false` reply becomes
     /// [`ClientError::Server`].
     pub fn request(&mut self, req: &Request) -> Result<Value, ClientError> {
@@ -162,6 +191,16 @@ impl Client {
     pub fn shutdown(&mut self) -> Result<(), ClientError> {
         self.request(&Request::Shutdown).map(|_| ())
     }
+}
+
+/// One mutation in a [`RetryClient::send_batch`] pipeline.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BatchOp {
+    /// Register the transaction described by this wire-format line
+    /// (`T7: R[x] W[y]`).
+    Register(String),
+    /// Deregister this transaction id.
+    Deregister(u32),
 }
 
 /// Retry/backoff knobs for [`RetryClient`].
@@ -341,6 +380,93 @@ impl RetryClient {
             },
             req_id,
         )
+    }
+
+    /// Ships a batch of mutations down one pipelined write (a single
+    /// flush), reads the replies, and returns them **in op order** —
+    /// matched by the echoed `req_id`, since a coalescing server may
+    /// answer out of submission order.
+    ///
+    /// Each op gets its own idempotency key, assigned once and stable
+    /// across retries: a transport failure retries the *whole* batch,
+    /// and any events the first attempt already applied are answered
+    /// from the server's replay cache (`"replayed": true`) instead of
+    /// double-applying. Per-event rejections are returned as their
+    /// `"ok": false` replies, not as an error.
+    pub fn send_batch(&mut self, ops: &[BatchOp]) -> Result<Vec<Value>, ClientError> {
+        if ops.is_empty() {
+            return Ok(Vec::new());
+        }
+        let reqs: Vec<Request> = ops
+            .iter()
+            .map(|op| {
+                let req_id = Some(self.fresh_req_id());
+                match op {
+                    BatchOp::Register(line) => Request::Register {
+                        line: line.clone(),
+                        req_id,
+                    },
+                    BatchOp::Deregister(id) => Request::Deregister {
+                        id: TxnId(*id),
+                        req_id,
+                    },
+                }
+            })
+            .collect();
+        let lines: Vec<String> = reqs
+            .iter()
+            .map(|r| {
+                serde_json::to_string(&r.to_json())
+                    .map_err(|e| ClientError::Protocol(e.to_string()))
+            })
+            .collect::<Result<_, _>>()?;
+        let batch_key = reqs[0].req_id().expect("batch requests carry req_ids");
+        let mut attempt = 0u32;
+        loop {
+            self.stats.attempts += 1;
+            let res = self
+                .ensure_conn()
+                .and_then(|c| c.pipeline(&lines))
+                .and_then(|replies| Self::match_replies(&reqs, replies));
+            match res {
+                Ok(out) => return Ok(out),
+                Err(e) => {
+                    self.conn = None;
+                    if attempt >= self.policy.retries {
+                        return Err(e);
+                    }
+                    std::thread::sleep(self.backoff(attempt, batch_key));
+                    self.stats.retries += 1;
+                    attempt += 1;
+                }
+            }
+        }
+    }
+
+    /// Pairs pipelined replies with their requests by the echoed
+    /// `req_id` — the order on the wire is the server's business.
+    fn match_replies(reqs: &[Request], replies: Vec<Value>) -> Result<Vec<Value>, ClientError> {
+        let mut by_id: HashMap<u64, Value> = HashMap::with_capacity(replies.len());
+        for v in replies {
+            match v["req_id"].as_u64() {
+                Some(rid) => {
+                    by_id.insert(rid, v);
+                }
+                None => {
+                    return Err(ClientError::Protocol(
+                        "pipelined reply lacks a req_id echo".to_string(),
+                    ))
+                }
+            }
+        }
+        reqs.iter()
+            .map(|r| {
+                let rid = r.req_id().expect("batch requests carry req_ids");
+                by_id
+                    .remove(&rid)
+                    .ok_or_else(|| ClientError::Protocol(format!("no reply for req_id {rid}")))
+            })
+            .collect()
     }
 
     /// The current optimal level of a registered transaction (reads

@@ -47,9 +47,9 @@ pub mod protocol;
 pub mod registry;
 pub mod server;
 
-pub use client::{Client, ClientError, RetryClient, RetryPolicy, RetryStats};
+pub use client::{BatchOp, Client, ClientError, RetryClient, RetryPolicy, RetryStats};
 pub use fault::{FaultAction, FaultHook, FaultPlan, InjectedFault, ReallocFault, ScriptedFaults};
 pub use metrics::Metrics;
 pub use protocol::Request;
-pub use registry::{RegisteredTxn, Registry, RegistryError};
+pub use registry::{BatchReply, RegisteredTxn, Registry, RegistryError, RegistryEvent};
 pub use server::{install_signal_handlers, Config, Server, ServerHandle, MAX_LINE};

@@ -25,6 +25,12 @@ pub const OP_NAMES: [&str; 8] = [
 
 const BUCKETS: usize = 40;
 
+/// Size buckets for the group-commit batch histogram: a drain of
+/// `size` events lands in bucket `⌈log₂ size⌉`, so power-of-two sizes
+/// report exactly and others within 2×; sizes past the last bucket are
+/// capped there.
+const BATCH_BUCKETS: usize = 16;
+
 /// Shared request metrics. All methods take `&self`.
 pub struct Metrics {
     counts: [AtomicU64; OP_NAMES.len()],
@@ -33,6 +39,13 @@ pub struct Metrics {
     /// Mutations answered from the idempotency replay cache (a retried
     /// request whose first attempt already applied).
     replays: AtomicU64,
+    /// Dispatcher drains (one coalesced engine batch each).
+    drains: AtomicU64,
+    /// Mutations that went through the coalescing queue — `coalesced /
+    /// drains` is the average group-commit batch size.
+    coalesced: AtomicU64,
+    /// ⌈log₂⌉-bucketed histogram of drain sizes.
+    batch_sizes: [AtomicU64; BATCH_BUCKETS],
 }
 
 impl Default for Metrics {
@@ -42,6 +55,9 @@ impl Default for Metrics {
             errors: AtomicU64::new(0),
             latency: std::array::from_fn(|_| AtomicU64::new(0)),
             replays: AtomicU64::new(0),
+            drains: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            batch_sizes: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
 }
@@ -85,6 +101,52 @@ impl Metrics {
 
     pub fn replays(&self) -> u64 {
         self.replays.load(Ordering::Relaxed)
+    }
+
+    /// Records one dispatcher drain that applied `size` coalesced
+    /// mutations as a single engine batch (`size ≥ 1`).
+    pub fn record_batch(&self, size: usize) {
+        self.drains.fetch_add(1, Ordering::Relaxed);
+        self.coalesced.fetch_add(size as u64, Ordering::Relaxed);
+        let bucket = (size.max(1) as u64)
+            .next_power_of_two()
+            .trailing_zeros()
+            .min(BATCH_BUCKETS as u32 - 1) as usize;
+        self.batch_sizes[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total dispatcher drains so far.
+    pub fn drains(&self) -> u64 {
+        self.drains.load(Ordering::Relaxed)
+    }
+
+    /// Total mutations applied through the coalescing queue.
+    pub fn coalesced_events(&self) -> u64 {
+        self.coalesced.load(Ordering::Relaxed)
+    }
+
+    /// The drain-size value (events, bucket upper bound `2^i`) at
+    /// quantile `q` in `[0, 1]`, or 0 when no drain was recorded.
+    /// Power-of-two sizes report exactly; others within 2×.
+    pub fn batch_size_quantile(&self, q: f64) -> u64 {
+        let buckets: Vec<u64> = self
+            .batch_sizes
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = buckets.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, &count) in buckets.iter().enumerate() {
+            seen += count;
+            if seen >= target {
+                return 1u64 << i;
+            }
+        }
+        1u64 << (BATCH_BUCKETS - 1)
     }
 
     /// The latency value (µs, bucket upper bound) at quantile `q` in
@@ -134,6 +196,12 @@ impl Metrics {
             "latency_us": json!({
                 "p50": self.quantile_us(0.50),
                 "p99": self.quantile_us(0.99),
+            }),
+            "batch": json!({
+                "drains": self.drains(),
+                "coalesced_events": self.coalesced_events(),
+                "size_p50": self.batch_size_quantile(0.50),
+                "size_p99": self.batch_size_quantile(0.99),
             }),
         })
     }
@@ -239,6 +307,39 @@ mod tests {
             assert!(v >= prev, "quantile not monotone at q={}", i as f64 / 100.0);
             prev = v;
         }
+    }
+
+    #[test]
+    fn batch_histogram_counts_drains_and_events() {
+        let m = Metrics::new();
+        assert_eq!(m.batch_size_quantile(0.99), 0, "empty histogram reports 0");
+        for _ in 0..9 {
+            m.record_batch(1);
+        }
+        m.record_batch(64);
+        assert_eq!(m.drains(), 10);
+        assert_eq!(m.coalesced_events(), 73);
+        assert_eq!(m.batch_size_quantile(0.50), 1);
+        assert_eq!(m.batch_size_quantile(1.0), 64);
+        let v = m.to_json();
+        assert_eq!(v["batch"]["drains"], 10u64);
+        assert_eq!(v["batch"]["coalesced_events"], 73u64);
+        assert_eq!(v["batch"]["size_p50"], 1u64);
+        assert_eq!(v["batch"]["size_p99"], 64u64);
+    }
+
+    #[test]
+    fn batch_buckets_report_power_of_two_sizes_exactly() {
+        // The bench sweeps batch sizes 1/8/64/256 — those must report
+        // exactly; everything else within 2× (rounded up).
+        for size in [1usize, 2, 8, 64, 256] {
+            let m = Metrics::new();
+            m.record_batch(size);
+            assert_eq!(m.batch_size_quantile(0.99), size as u64, "size {size}");
+        }
+        let m = Metrics::new();
+        m.record_batch(5);
+        assert_eq!(m.batch_size_quantile(0.99), 8);
     }
 
     #[test]

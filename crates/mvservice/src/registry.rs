@@ -23,9 +23,9 @@
 //! currently-registered set — the invariant the chaos harness verifies.
 
 use crate::fault::{FaultHook, ReallocFault};
-use mvisolation::{Allocation, IsolationLevel};
+use mvisolation::{Allocation, IsolationLevel, LevelChange};
 use mvmodel::{parse_transaction_line, Op, ParseError, Transaction, TransactionSet, TxnId};
-use mvrobustness::{AllocError, Allocator, EngineStats, LevelSet, Realloc};
+use mvrobustness::{AllocError, Allocator, DeltaEvent, EngineStats, LevelSet, Realloc};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -66,6 +66,33 @@ impl std::fmt::Display for RegistryError {
 }
 
 impl std::error::Error for RegistryError {}
+
+/// One membership mutation inside a coalesced batch
+/// ([`Registry::apply_events`]).
+#[derive(Clone, Debug)]
+pub enum RegistryEvent {
+    /// Register the transaction described by the wire-format line
+    /// (`T7: R[x] W[y]`).
+    Register(String),
+    /// Deregister the given transaction.
+    Deregister(TxnId),
+}
+
+/// The outcome of one coalesced batch of registry mutations: per-event
+/// verdicts plus the batch-level changed-levels diff and engine work.
+#[derive(Debug)]
+pub struct BatchReply {
+    /// Per-event verdicts, in input order. `Ok` carries the affected
+    /// transaction id; `Err` events were rejected individually (parse
+    /// error, duplicate/unknown id, unallocatable add) and rolled back
+    /// without disturbing the rest of the batch.
+    pub outcomes: Vec<Result<TxnId, RegistryError>>,
+    /// Net level movement of the whole batch versus the pre-batch
+    /// optimum.
+    pub changed: Vec<LevelChange>,
+    /// Engine work of the single coalesced reallocation.
+    pub stats: EngineStats,
+}
 
 /// A registered transaction as reported by [`Registry::list`].
 #[derive(Clone, Debug)]
@@ -198,6 +225,89 @@ impl Registry {
                 self.post_realloc(res)
             }
         }
+    }
+
+    /// Applies a coalesced batch of mutations with **one** reallocation
+    /// (group commit; see [`mvrobustness::Allocator::apply_batch`]).
+    ///
+    /// Per-event verdicts — parse errors, duplicate/unknown ids, and
+    /// (over `{RC, SI}`) unallocatable adds — are bit-identical to
+    /// feeding the events one at a time through [`Registry::register`]
+    /// / [`Registry::deregister`]; rejected events roll back
+    /// individually while the rest of the batch lands atomically.
+    ///
+    /// Degradation semantics match the single-event path, with the
+    /// fault hook consulted **once** per batch (a batch is one
+    /// reallocation attempt): a timeout or injected fault rolls back
+    /// the *whole* batch, records one failure, and the last-known-good
+    /// allocation keeps being served — the caller maps the returned
+    /// `Err` onto every event of the batch.
+    pub fn apply_events(&mut self, events: &[RegistryEvent]) -> Result<BatchReply, RegistryError> {
+        // Parse every register line up front: parse errors are
+        // per-event and never reach the engine (exactly as in
+        // `register`, where parsing precedes the reallocation).
+        let mut outcomes: Vec<Option<Result<TxnId, RegistryError>>> =
+            Vec::with_capacity(events.len());
+        let mut deltas: Vec<DeltaEvent> = Vec::new();
+        // (input index, affected id) of each event that reaches the
+        // engine, in engine order.
+        let mut slots: Vec<(usize, TxnId)> = Vec::new();
+        for (i, ev) in events.iter().enumerate() {
+            match ev {
+                RegistryEvent::Register(line) => {
+                    let mut scratch = TransactionSet::default();
+                    match parse_transaction_line(line, &mut scratch) {
+                        Err(e) => outcomes.push(Some(Err(RegistryError::Parse(e)))),
+                        Ok(parsed) => {
+                            let ops = parsed
+                                .ops()
+                                .iter()
+                                .map(|op| Op {
+                                    kind: op.kind,
+                                    object: self
+                                        .alloc
+                                        .intern_object(&scratch.object_name(op.object)),
+                                })
+                                .collect();
+                            let txn = Transaction::new(parsed.id(), ops)
+                                .expect("parser enforces the op invariants");
+                            slots.push((i, txn.id()));
+                            deltas.push(DeltaEvent::Add(txn));
+                            outcomes.push(None);
+                        }
+                    }
+                }
+                RegistryEvent::Deregister(id) => {
+                    slots.push((i, *id));
+                    deltas.push(DeltaEvent::Remove(*id));
+                    outcomes.push(None);
+                }
+            }
+        }
+        // One fault-hook consultation and one engine pass per batch.
+        let res = match self.pre_realloc()? {
+            ReallocFault::Timeout => self.alloc.apply_batch_by(deltas, Some(Instant::now())),
+            _ => self.alloc.apply_batch(deltas),
+        };
+        let batch = match res {
+            Ok(b) => {
+                self.degraded = false;
+                b
+            }
+            Err(AllocError::Timeout) => return Err(self.note_failure("reallocation timed out")),
+            Err(e) => return Err(RegistryError::Alloc(e)),
+        };
+        for ((i, id), outcome) in slots.into_iter().zip(batch.outcomes) {
+            outcomes[i] = Some(outcome.map(|()| id).map_err(RegistryError::Alloc));
+        }
+        Ok(BatchReply {
+            outcomes: outcomes
+                .into_iter()
+                .map(|o| o.expect("every event slot is filled exactly once"))
+                .collect(),
+            changed: batch.changed,
+            stats: batch.stats,
+        })
     }
 
     /// Consults the fault hook before a reallocation. A forced `Fail`
@@ -436,6 +546,114 @@ mod tests {
         reg.register("T2: R[y] W[x]").unwrap();
         assert_eq!(reg.assign(TxnId(1)), Some(IsolationLevel::SSI));
         assert!(!reg.degraded());
+    }
+
+    #[test]
+    fn batch_verdicts_match_single_event_semantics() {
+        let mut reg = Registry::new(LevelSet::RcSiSsi, 1);
+        reg.register("T1: R[x] W[y]").unwrap();
+        let events = [
+            RegistryEvent::Register("T2: R[y] W[x]".to_string()),
+            RegistryEvent::Register("garbage".to_string()),
+            RegistryEvent::Register("T1: W[x]".to_string()),
+            RegistryEvent::Deregister(TxnId(1)),
+            RegistryEvent::Deregister(TxnId(9)),
+            RegistryEvent::Register("T3: R[x] W[x]".to_string()),
+        ];
+        let reply = reg.apply_events(&events).unwrap();
+        assert_eq!(reply.outcomes.len(), 6);
+        assert!(matches!(reply.outcomes[0], Ok(TxnId(2))));
+        assert!(matches!(reply.outcomes[1], Err(RegistryError::Parse(_))));
+        assert!(matches!(
+            reply.outcomes[2],
+            Err(RegistryError::Alloc(AllocError::Duplicate(TxnId(1))))
+        ));
+        assert!(matches!(reply.outcomes[3], Ok(TxnId(1))));
+        assert!(matches!(
+            reply.outcomes[4],
+            Err(RegistryError::Alloc(AllocError::Unknown(TxnId(9))))
+        ));
+        assert!(matches!(reply.outcomes[5], Ok(TxnId(3))));
+        // Survivors: T2 (write-skew partner gone → RC alone) and T3.
+        assert_eq!(reg.len(), 2);
+        // The parse error never reached the engine: 5 of 6 events did.
+        assert_eq!(reply.stats.batch_events, 5);
+        // The served optimum equals a from-scratch recomputation — the
+        // same invariant the single-event paths maintain.
+        let mut fresh = Registry::new(LevelSet::RcSiSsi, 1);
+        fresh.register("T2: R[y] W[x]").unwrap();
+        fresh.register("T3: R[x] W[x]").unwrap();
+        assert_eq!(
+            reg.current().unwrap().to_string(),
+            fresh.current().unwrap().to_string()
+        );
+    }
+
+    #[test]
+    fn batch_object_names_conflict_with_earlier_registrations() {
+        let mut reg = Registry::new(LevelSet::RcSiSsi, 1);
+        reg.register("T1: R[acct] W[acct]").unwrap();
+        let reply = reg
+            .apply_events(&[RegistryEvent::Register("T2: R[acct] W[acct]".to_string())])
+            .unwrap();
+        assert!(reply.outcomes[0].is_ok());
+        // Lost-update pair: both at SI — the batched `acct` resolved to
+        // the previously interned object.
+        assert_eq!(reg.current().unwrap().to_string(), "T1=SI T2=SI");
+    }
+
+    #[test]
+    fn injected_fault_degrades_the_whole_batch() {
+        // Script (popped back-to-front): Fail, then Timeout, then clean.
+        let script = Scripted(std::sync::Mutex::new(vec![
+            ReallocFault::None,
+            ReallocFault::Timeout,
+            ReallocFault::Fail,
+        ]));
+        let mut reg =
+            Registry::new(LevelSet::RcSiSsi, 1).with_fault_hook(std::sync::Arc::new(script));
+        let events = [
+            RegistryEvent::Register("T1: R[x] W[y]".to_string()),
+            RegistryEvent::Register("T2: R[y] W[x]".to_string()),
+        ];
+        // Injected Fail: one failure recorded for the whole batch,
+        // nothing applied.
+        let err = reg.apply_events(&events).unwrap_err();
+        assert!(matches!(err, RegistryError::Degraded { failures: 1, .. }));
+        assert!(reg.degraded());
+        assert!(reg.is_empty());
+        // Injected Timeout: the engine runs against an expired deadline
+        // and rolls the whole batch back.
+        let err = reg.apply_events(&events).unwrap_err();
+        assert!(matches!(err, RegistryError::Degraded { failures: 2, .. }));
+        assert!(reg.is_empty());
+        // Clean run: both events land, degradation clears, history stays.
+        let reply = reg.apply_events(&events).unwrap();
+        assert!(reply.outcomes.iter().all(|o| o.is_ok()));
+        assert!(!reg.degraded());
+        assert_eq!(reg.failed_reallocs(), 2);
+        assert_eq!(reg.assign(TxnId(1)), Some(IsolationLevel::SSI));
+    }
+
+    #[test]
+    fn rc_si_batch_rejects_unallocatable_adds_individually() {
+        let mut reg = Registry::new(LevelSet::RcSi, 1);
+        reg.register("T1: R[x] W[y]").unwrap();
+        let reply = reg
+            .apply_events(&[
+                RegistryEvent::Register("T2: R[y] W[x]".to_string()),
+                RegistryEvent::Register("T3: R[w]".to_string()),
+            ])
+            .unwrap();
+        assert!(matches!(
+            reply.outcomes[0],
+            Err(RegistryError::Alloc(AllocError::NotAllocatable(
+                LevelSet::RcSi
+            )))
+        ));
+        assert!(reply.outcomes[1].is_ok());
+        assert_eq!(reg.len(), 2, "T1 and T3 are served; T2 rolled back");
+        assert_eq!(reg.assign(TxnId(2)), None);
     }
 
     #[test]

@@ -25,20 +25,32 @@
 //! - mutating requests may carry a `req_id` idempotency key: the reply
 //!   to a successfully applied mutation is cached, and a retry bearing
 //!   the same key is answered from the cache (marked `"replayed":
-//!   true`) instead of double-applying the delta.
+//!   true`) instead of double-applying the delta;
+//! - with `batch_max > 1` the server group-commits: mutating requests
+//!   from every connection park in one coalescing queue, a dispatcher
+//!   drains up to `batch_max` of them (lingering `batch_delay` for
+//!   companions) and applies the drain as a **single** engine batch
+//!   ([`Registry::apply_events`]); each parked client gets its own
+//!   per-event reply, written per-connection in one buffered flush.
+//!   Replies to coalesced mutations echo the request's `req_id`, so
+//!   pipelined clients can match them out of band. With the default
+//!   `batch_max = 1` the queue does not exist and mutations run inline
+//!   exactly as before.
 
 use crate::fault::{FaultAction, FaultHook, FaultPlan, InjectedFault, ScriptedFaults};
 use crate::metrics::Metrics;
 use crate::protocol::{changes_json, error_reply, ok_reply, Request};
-use crate::registry::Registry;
+use crate::registry::{Registry, RegistryEvent};
+use mvisolation::LevelChange;
+use mvmodel::TxnId;
 use mvrobustness::LevelSet;
 use serde_json::Value;
 use std::collections::HashMap;
 use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
@@ -63,6 +75,15 @@ pub struct Config {
     /// Component-sharded reallocation (`false` = monolithic engine;
     /// optima are identical either way).
     pub components: bool,
+    /// Group-commit coalescing: the most mutating requests one
+    /// dispatcher drain may apply as a single engine batch. The default
+    /// `1` disables the coalescing queue entirely — mutations run
+    /// inline on their connection thread exactly as before.
+    pub batch_max: usize,
+    /// How long a drain lingers for companion mutations after the first
+    /// one arrives (the group-commit window). Only meaningful when
+    /// `batch_max > 1`.
+    pub batch_delay: Duration,
 }
 
 impl Default for Config {
@@ -75,6 +96,8 @@ impl Default for Config {
             realloc_timeout: None,
             faults: None,
             components: true,
+            batch_max: 1,
+            batch_delay: Duration::from_micros(100),
         }
     }
 }
@@ -118,6 +141,36 @@ impl ReplayCache {
     }
 }
 
+/// One mutating request parked in the coalescing queue, with everything
+/// the dispatcher needs to answer its connection directly.
+struct Pending {
+    req: Request,
+    op: &'static str,
+    req_id: Option<u64>,
+    /// Connection index (the fault coordinate and the reply-grouping
+    /// key).
+    conn: u64,
+    /// When the request was accepted — per-event latency is measured
+    /// from here, so it includes the group-commit wait.
+    accepted: Instant,
+    writer: Arc<Mutex<TcpStream>>,
+    /// An injected `Truncate` fault rides along: the dispatcher cuts
+    /// this event's reply mid-frame and kills the connection.
+    truncate: bool,
+}
+
+/// The group-commit coalescing queue (`Config::batch_max > 1` only):
+/// mutating requests from every connection land here and a single
+/// dispatcher thread drains them into one [`Registry::apply_events`]
+/// call per drain.
+struct Batcher {
+    queue: Mutex<VecDeque<Pending>>,
+    /// Signalled on every enqueue; the dispatcher waits on it.
+    available: Condvar,
+    max: usize,
+    delay: Duration,
+}
+
 /// How often blocked reads and the acceptor wake up to poll shutdown.
 const POLL_TICK: Duration = Duration::from_millis(25);
 
@@ -157,6 +210,8 @@ struct Shared {
     replays: Mutex<ReplayCache>,
     /// Monotone connection index — the `conn` fault coordinate.
     conns: AtomicU64,
+    /// `Some` only when `batch_max > 1`: the group-commit queue.
+    batch: Option<Batcher>,
 }
 
 impl Shared {
@@ -213,6 +268,12 @@ impl Server {
         if let Some(hook) = &faults {
             registry = registry.with_fault_hook(Arc::clone(hook) as _);
         }
+        let batch = (config.batch_max > 1).then(|| Batcher {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            max: config.batch_max,
+            delay: config.batch_delay,
+        });
         Ok(Server {
             listener,
             shared: Arc::new(Shared {
@@ -223,6 +284,7 @@ impl Server {
                 faults,
                 replays: Mutex::new(ReplayCache::new()),
                 conns: AtomicU64::new(0),
+                batch,
             }),
         })
     }
@@ -242,6 +304,10 @@ impl Server {
     /// returning.
     pub fn run(self) -> std::io::Result<()> {
         self.listener.set_nonblocking(true)?;
+        let dispatcher = self.shared.batch.as_ref().map(|_| {
+            let shared = Arc::clone(&self.shared);
+            thread::spawn(move || run_dispatcher(&shared))
+        });
         let mut workers: Vec<JoinHandle<()>> = Vec::new();
         while !self.shared.stopping() {
             match self.listener.accept() {
@@ -264,6 +330,12 @@ impl Server {
         for w in workers {
             let _ = w.join();
         }
+        if let Some(d) = dispatcher {
+            // Connection threads are done; the dispatcher drains any
+            // parked mutations (late replies may hit dead sockets,
+            // which is fine) and exits on the shutdown flag.
+            let _ = d.join();
+        }
         Ok(())
     }
 }
@@ -273,7 +345,10 @@ impl Server {
 fn serve_connection(stream: TcpStream, shared: Arc<Shared>) -> std::io::Result<()> {
     stream.set_read_timeout(Some(POLL_TICK))?;
     stream.set_nodelay(true).ok();
-    let mut writer = stream.try_clone()?;
+    // The writer is shared with the dispatcher thread when batching is
+    // on (coalesced replies are written by the dispatcher, inline
+    // replies by this thread); a mutex keeps the frames whole.
+    let writer = Arc::new(Mutex::new(stream.try_clone()?));
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
     // Fault coordinates: connection index and per-connection request
@@ -295,23 +370,23 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) -> std::io::Result<(
                     return Ok(()); // clean close
                 }
                 // Final request without trailing newline, then EOF.
-                respond(&mut writer, &shared, &line, conn, seq)?;
+                respond(&writer, &shared, &line, conn, seq)?;
                 return Ok(());
             }
             Ok(_) if !line.ends_with('\n') => {
                 // read_line only returns Ok at a newline or EOF; a
                 // missing newline here means EOF mid-line.
-                respond(&mut writer, &shared, &line, conn, seq)?;
+                respond(&writer, &shared, &line, conn, seq)?;
                 return Ok(());
             }
             Ok(_) if line.len() > MAX_LINE => {
                 let reply = error_reply(&format!("request line exceeds {MAX_LINE} bytes"));
                 shared.metrics.record("invalid", false, Duration::ZERO);
-                write_reply(&mut writer, &reply)?;
+                write_reply(&mut writer.lock().expect("writer poisoned"), &reply)?;
                 return Ok(());
             }
             Ok(_) => {
-                let stop = respond(&mut writer, &shared, &line, conn, seq)?;
+                let stop = respond(&writer, &shared, &line, conn, seq)?;
                 seq += 1;
                 line.clear();
                 partial_since = None;
@@ -335,13 +410,13 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) -> std::io::Result<(
                 if line.len() > MAX_LINE {
                     let reply = error_reply(&format!("request line exceeds {MAX_LINE} bytes"));
                     shared.metrics.record("invalid", false, Duration::ZERO);
-                    write_reply(&mut writer, &reply)?;
+                    write_reply(&mut writer.lock().expect("writer poisoned"), &reply)?;
                     return Ok(());
                 }
                 let since = *partial_since.get_or_insert_with(Instant::now);
                 if since.elapsed() > shared.request_timeout {
                     let reply = error_reply("request timed out mid-line");
-                    write_reply(&mut writer, &reply)?;
+                    write_reply(&mut writer.lock().expect("writer poisoned"), &reply)?;
                     return Ok(());
                 }
             }
@@ -355,7 +430,7 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) -> std::io::Result<(
 /// reply. Returns `true` when the connection should close (shutdown
 /// acknowledged, or an injected drop/truncate).
 fn respond(
-    writer: &mut TcpStream,
+    writer: &Arc<Mutex<TcpStream>>,
     shared: &Shared,
     raw: &str,
     conn: u64,
@@ -379,7 +454,29 @@ fn respond(
         thread::sleep(pause);
     }
     let start = Instant::now();
-    let (op, reply, stop) = match Request::parse(line) {
+    let parsed = Request::parse(line);
+    // Group-commit path: mutating requests park in the coalescing queue
+    // and the dispatcher answers them (per-event metrics, replay cache,
+    // and any Truncate fault are all handled at drain time). Everything
+    // else — reads, control, malformed input — stays inline.
+    if let (Some(batcher), Ok(req)) = (shared.batch.as_ref(), &parsed) {
+        if matches!(req, Request::Register { .. } | Request::Deregister { .. }) {
+            let pending = Pending {
+                op: req.op_name(),
+                req_id: req.req_id(),
+                req: req.clone(),
+                conn,
+                accepted: start,
+                writer: Arc::clone(writer),
+                truncate: matches!(action, FaultAction::Truncate),
+            };
+            let mut queue = batcher.queue.lock().expect("batch queue poisoned");
+            queue.push_back(pending);
+            batcher.available.notify_one();
+            return Ok(false);
+        }
+    }
+    let (op, reply, stop) = match parsed {
         Err(msg) => ("invalid", error_reply(&msg), false),
         Ok(req) => {
             let op = req.op_name();
@@ -389,14 +486,15 @@ fn respond(
     };
     let ok = reply["ok"] == true;
     shared.metrics.record(op, ok, start.elapsed());
+    let mut writer = writer.lock().expect("writer poisoned");
     if matches!(action, FaultAction::Truncate) {
         // Connection dies *after* the request executed but before the
         // full reply frame made it out: the retry hits the replay
         // cache instead of double-applying.
-        write_truncated(writer, &reply)?;
+        write_truncated(&mut writer, &reply)?;
         return Ok(true);
     }
-    write_reply(writer, &reply)?;
+    write_reply(&mut writer, &reply)?;
     Ok(stop)
 }
 
@@ -415,24 +513,65 @@ fn write_truncated(writer: &mut TcpStream, reply: &Value) -> std::io::Result<()>
     writer.flush()
 }
 
+/// Raw outcome of a mutation, captured under the registry lock. The
+/// JSON reply is assembled from it *after* the lock is released, so
+/// concurrent readers (`assign`, `stats`) only ever wait on the
+/// mutation itself, never on serialization.
+struct MutationRaw {
+    /// `Ok` carries the reply ingredients; `Err` the error message.
+    res: Result<MutationOk, String>,
+    registry_size: u64,
+    stale: bool,
+}
+
+struct MutationOk {
+    txn_id: Option<TxnId>,
+    level: Option<&'static str>,
+    changed: Vec<LevelChange>,
+}
+
+/// Builds the wire reply from a [`MutationRaw`] (outside any lock).
+fn mutation_reply(raw: MutationRaw) -> Value {
+    let mut v = match raw.res {
+        Ok(ok) => {
+            let mut v = ok_reply();
+            if let Some(id) = ok.txn_id {
+                v["txn_id"] = Value::from(id.0);
+            }
+            if let Some(level) = ok.level {
+                v["level"] = Value::from(level);
+            }
+            v["changed"] = changes_json(&ok.changed);
+            v["registry_size"] = Value::from(raw.registry_size);
+            v
+        }
+        Err(msg) => error_reply(&msg),
+    };
+    if raw.stale {
+        v["stale"] = Value::from(true);
+    }
+    v
+}
+
 /// Runs a mutating request through the idempotency cache: a `req_id`
 /// already answered replays the original reply (marked); otherwise the
 /// mutation executes and, when it applied (`ok: true`), its reply is
-/// remembered. The replay lock is held across check + execute + insert
-/// so concurrent retries of the same `req_id` cannot double-apply;
-/// lock order is `replays` → `registry` (see [`Shared`]).
+/// remembered. Replies carrying a `req_id` echo it back, so pipelined
+/// clients can match replies out of band. The replay lock is held
+/// across check + execute + insert so concurrent retries of the same
+/// `req_id` cannot double-apply; lock order is `replays` → `registry`
+/// (see [`Shared`]).
 fn mutate(
     shared: &Shared,
     req_id: Option<u64>,
-    apply: impl FnOnce(&mut Registry) -> Value,
+    apply: impl FnOnce(&mut Registry) -> MutationRaw,
 ) -> Value {
     let run = |shared: &Shared| {
-        let mut reg = shared.registry.lock().expect("registry poisoned");
-        let mut v = apply(&mut reg);
-        if reg.degraded() {
-            v["stale"] = Value::from(true);
-        }
-        v
+        let raw = {
+            let mut reg = shared.registry.lock().expect("registry poisoned");
+            apply(&mut reg)
+        };
+        mutation_reply(raw)
     };
     match req_id {
         None => run(shared),
@@ -444,7 +583,8 @@ fn mutate(
                 shared.metrics.record_replay();
                 return v;
             }
-            let v = run(shared);
+            let mut v = run(shared);
+            v["req_id"] = Value::from(rid);
             // Only applied mutations are cached: a failed (rolled-back)
             // attempt left no state behind, so a retry must re-execute.
             if v["ok"] == true {
@@ -459,36 +599,45 @@ fn mutate(
 fn execute(shared: &Shared, req: Request) -> (Value, bool) {
     match req {
         Request::Register { line, req_id } => {
-            let v = mutate(shared, req_id, |reg| match reg.register(&line) {
-                Ok(realloc) => {
-                    let mut v = ok_reply();
-                    let id = realloc
-                        .changed
-                        .iter()
-                        .find(|c| c.before.is_none())
-                        .map(|c| c.txn);
-                    if let Some(id) = id {
-                        v["txn_id"] = Value::from(id.0);
-                        v["level"] = Value::from(realloc.allocation.level(id).as_str());
+            let v = mutate(shared, req_id, |reg| {
+                let res = match reg.register(&line) {
+                    Ok(realloc) => {
+                        let id = realloc
+                            .changed
+                            .iter()
+                            .find(|c| c.before.is_none())
+                            .map(|c| c.txn);
+                        Ok(MutationOk {
+                            txn_id: id,
+                            level: id.map(|id| realloc.allocation.level(id).as_str()),
+                            changed: realloc.changed,
+                        })
                     }
-                    v["changed"] = changes_json(&realloc.changed);
-                    v["registry_size"] = Value::from(reg.len() as u64);
-                    v
+                    Err(e) => Err(e.to_string()),
+                };
+                MutationRaw {
+                    res,
+                    registry_size: reg.len() as u64,
+                    stale: reg.degraded(),
                 }
-                Err(e) => error_reply(&e.to_string()),
             });
             (v, false)
         }
         Request::Deregister { id, req_id } => {
-            let v = mutate(shared, req_id, |reg| match reg.deregister(id) {
-                Ok(realloc) => {
-                    let mut v = ok_reply();
-                    v["txn_id"] = Value::from(id.0);
-                    v["changed"] = changes_json(&realloc.changed);
-                    v["registry_size"] = Value::from(reg.len() as u64);
-                    v
+            let v = mutate(shared, req_id, |reg| {
+                let res = match reg.deregister(id) {
+                    Ok(realloc) => Ok(MutationOk {
+                        txn_id: Some(id),
+                        level: None,
+                        changed: realloc.changed,
+                    }),
+                    Err(e) => Err(e.to_string()),
+                };
+                MutationRaw {
+                    res,
+                    registry_size: reg.len() as u64,
+                    stale: reg.degraded(),
                 }
-                Err(e) => error_reply(&e.to_string()),
             });
             (v, false)
         }
@@ -541,6 +690,11 @@ fn execute(shared: &Shared, req: Request) -> (Value, bool) {
                         Value::from(s.components_cached),
                     );
                     m.insert("kernel_row_ops".to_string(), Value::from(s.kernel_row_ops));
+                    m.insert("batch_events".to_string(), Value::from(s.batch_events));
+                    m.insert(
+                        "batched_components_solved".to_string(),
+                        Value::from(s.batched_components_solved),
+                    );
                     m.insert("threads".to_string(), Value::from(s.threads as u64));
                     m.insert(
                         "wall_us".to_string(),
@@ -579,5 +733,254 @@ fn execute(shared: &Shared, req: Request) -> (Value, bool) {
             v["shutting_down"] = Value::from(true);
             (v, true)
         }
+    }
+}
+
+/// The group-commit dispatcher loop: wait for the first parked
+/// mutation, linger up to `batch_delay` for companions (re-checking
+/// until the window closes or the drain is full), then drain up to
+/// `batch_max` events and apply them as one engine batch. Exits once
+/// shutdown is requested and the queue is empty.
+fn run_dispatcher(shared: &Shared) {
+    let batcher = shared
+        .batch
+        .as_ref()
+        .expect("dispatcher runs only with batching enabled");
+    loop {
+        let drain: Vec<Pending> = {
+            let mut queue = batcher.queue.lock().expect("batch queue poisoned");
+            loop {
+                if !queue.is_empty() {
+                    break;
+                }
+                if shared.stopping() {
+                    return;
+                }
+                let (guard, _timeout) = batcher
+                    .available
+                    .wait_timeout(queue, POLL_TICK)
+                    .expect("batch queue poisoned");
+                queue = guard;
+            }
+            // The group-commit window: something is queued — hold the
+            // drain open briefly so bursts from other connections
+            // coalesce into the same engine batch. Skipped when
+            // stopping (drain immediately) or the drain is already
+            // full.
+            if !shared.stopping() && !batcher.delay.is_zero() {
+                let window_closes = Instant::now() + batcher.delay;
+                while queue.len() < batcher.max {
+                    let now = Instant::now();
+                    if now >= window_closes || shared.stopping() {
+                        break;
+                    }
+                    let (guard, _timeout) = batcher
+                        .available
+                        .wait_timeout(queue, window_closes - now)
+                        .expect("batch queue poisoned");
+                    queue = guard;
+                }
+            }
+            let n = queue.len().min(batcher.max);
+            queue.drain(..n).collect()
+        };
+        process_drain(shared, drain);
+    }
+}
+
+/// Applies one drained batch end to end: per-*event* replay-cache
+/// check, a single [`Registry::apply_events`] pass for the fresh
+/// events, reply JSON built outside the registry lock, per-event
+/// metrics and replay caching, then one buffered write + flush per
+/// connection.
+fn process_drain(shared: &Shared, batch: Vec<Pending>) {
+    let mut replies: Vec<Option<Value>> = Vec::with_capacity(batch.len());
+    replies.resize_with(batch.len(), || None);
+    let mut fresh: Vec<usize> = Vec::new();
+    let mut deferred: Vec<usize> = Vec::new();
+    {
+        // Replay check per event, not per batch: each retried req_id
+        // individually replays its original reply; only genuinely new
+        // events reach the engine. Lock order stays replays → registry.
+        let cache = shared.replays.lock().expect("replay cache poisoned");
+        let mut claimed: Vec<u64> = Vec::new();
+        for (i, p) in batch.iter().enumerate() {
+            if let Some(rid) = p.req_id {
+                if let Some(prev) = cache.get(rid) {
+                    let mut v = prev.clone();
+                    v["replayed"] = Value::from(true);
+                    shared.metrics.record_replay();
+                    replies[i] = Some(v);
+                    continue;
+                }
+                if claimed.contains(&rid) {
+                    // The same idempotency key twice in one drain (a
+                    // fast retry racing its original): defer the
+                    // duplicate to the next drain, where the replay
+                    // cache — updated by this one — decides.
+                    deferred.push(i);
+                    continue;
+                }
+                claimed.push(rid);
+            }
+            fresh.push(i);
+        }
+    }
+    let events: Vec<RegistryEvent> = fresh
+        .iter()
+        .map(|&i| match &batch[i].req {
+            Request::Register { line, .. } => RegistryEvent::Register(line.clone()),
+            Request::Deregister { id, .. } => RegistryEvent::Deregister(*id),
+            _ => unreachable!("only mutating requests are enqueued"),
+        })
+        .collect();
+    // One engine pass; only raw reply ingredients are captured under
+    // the registry lock — JSON is assembled after it is released.
+    type RawOutcome = Result<(Option<TxnId>, Option<&'static str>), String>;
+    let mut raw_outcomes: Vec<RawOutcome> = Vec::with_capacity(events.len());
+    let mut changed: Vec<LevelChange> = Vec::new();
+    let (registry_size, stale) = {
+        let mut reg = shared.registry.lock().expect("registry poisoned");
+        if !events.is_empty() {
+            match reg.apply_events(&events) {
+                Ok(reply) => {
+                    for (outcome, event) in reply.outcomes.iter().zip(&events) {
+                        raw_outcomes.push(match outcome {
+                            Ok(id) => {
+                                // A registered id deregistered later in
+                                // the same batch has no level anymore —
+                                // `assign` reads the *post-batch* truth.
+                                let level = match event {
+                                    RegistryEvent::Register(_) => {
+                                        reg.assign(*id).map(|l| l.as_str())
+                                    }
+                                    RegistryEvent::Deregister(_) => None,
+                                };
+                                Ok((Some(*id), level))
+                            }
+                            Err(e) => Err(e.to_string()),
+                        });
+                    }
+                    changed = reply.changed;
+                }
+                Err(e) => {
+                    // Whole-batch failure (injected fault or timeout):
+                    // nothing applied, every event reports the same
+                    // degradation error, and the last-known-good
+                    // allocation keeps being served.
+                    let msg = e.to_string();
+                    raw_outcomes = events.iter().map(|_| Err(msg.clone())).collect();
+                }
+            }
+        }
+        (reg.len() as u64, reg.degraded())
+    };
+    let changed_json = changes_json(&changed);
+    for (&i, raw) in fresh.iter().zip(raw_outcomes) {
+        let p = &batch[i];
+        let mut v = match raw {
+            Ok((txn_id, level)) => {
+                let mut v = ok_reply();
+                if let Some(id) = txn_id {
+                    v["txn_id"] = Value::from(id.0);
+                }
+                if let Some(level) = level {
+                    v["level"] = Value::from(level);
+                }
+                v["changed"] = changed_json.clone();
+                v["registry_size"] = Value::from(registry_size);
+                v
+            }
+            Err(msg) => error_reply(&msg),
+        };
+        if stale {
+            v["stale"] = Value::from(true);
+        }
+        if let Some(rid) = p.req_id {
+            v["req_id"] = Value::from(rid);
+        }
+        replies[i] = Some(v);
+    }
+    if !events.is_empty() {
+        shared.metrics.record_batch(events.len());
+    }
+    // Per-event metrics (replays included): latency runs from request
+    // acceptance, so the group-commit wait is part of the reported
+    // cost.
+    for (i, p) in batch.iter().enumerate() {
+        if let Some(v) = &replies[i] {
+            shared
+                .metrics
+                .record(p.op, v["ok"] == true, p.accepted.elapsed());
+        }
+    }
+    {
+        // Remember applied mutations per event req_id — exactly the
+        // single-event rule, applied event-by-event inside the batch.
+        let mut cache = shared.replays.lock().expect("replay cache poisoned");
+        for &i in &fresh {
+            if let (Some(rid), Some(v)) = (batch[i].req_id, &replies[i]) {
+                if v["ok"] == true {
+                    cache.insert(rid, v.clone());
+                }
+            }
+        }
+    }
+    // Replies grouped by connection in submission order; one buffered
+    // write + flush per connection per drain.
+    let mut conn_order: Vec<u64> = Vec::new();
+    let mut by_conn: HashMap<u64, Vec<usize>> = HashMap::new();
+    for (i, p) in batch.iter().enumerate() {
+        if replies[i].is_some() {
+            let slot = by_conn.entry(p.conn).or_default();
+            if slot.is_empty() {
+                conn_order.push(p.conn);
+            }
+            slot.push(i);
+        }
+    }
+    for conn in conn_order {
+        let idxs = &by_conn[&conn];
+        let mut buf = String::new();
+        let mut kill = false;
+        for &i in idxs {
+            let v = replies[i].as_ref().expect("grouped indices have replies");
+            let encoded = serde_json::to_string(v).expect("replies are always encodable");
+            if batch[i].truncate {
+                // The injected mid-frame failure: half the reply, no
+                // newline, then the connection dies. Later replies for
+                // this connection are lost with it — their retries hit
+                // the replay cache.
+                buf.push_str(&encoded[..encoded.len() / 2]);
+                kill = true;
+                break;
+            }
+            buf.push_str(&encoded);
+            buf.push('\n');
+        }
+        let writer = Arc::clone(&batch[idxs[0]].writer);
+        let mut w = writer.lock().expect("writer poisoned");
+        // A dead client is its own problem; the drain keeps going.
+        let _ = w.write_all(buf.as_bytes());
+        let _ = w.flush();
+        if kill {
+            let _ = w.shutdown(Shutdown::Both);
+        }
+    }
+    // Deferred duplicates re-enter at the front, in original order, for
+    // the next drain.
+    if !deferred.is_empty() {
+        let batcher = shared.batch.as_ref().expect("drain implies batching");
+        let mut pendings: Vec<Pending> = Vec::new();
+        for (i, p) in batch.into_iter().enumerate() {
+            if deferred.contains(&i) {
+                pendings.push(p);
+            }
+        }
+        let mut queue = batcher.queue.lock().expect("batch queue poisoned");
+        for p in pendings.into_iter().rev() {
+            queue.push_front(p);
+        }
+        batcher.available.notify_one();
     }
 }

@@ -1,0 +1,280 @@
+//! End-to-end tests of group-commit coalescing over a real TCP socket:
+//! a server running with `batch_max > 1` must serve bit-identical
+//! allocations and per-event verdicts to the inline path, coalesce
+//! pipelined mutations into engine batches, answer per-event retries
+//! from the replay cache (exactly-once, keyed per event — not per
+//! batch), and degrade whole batches gracefully when reallocation
+//! cannot complete.
+
+use mvmodel::fmt as mvfmt;
+use mvrobustness::Allocator;
+use mvservice::{BatchOp, Client, Config, RetryClient, RetryPolicy, Server};
+use mvworkloads::SmallBank;
+use std::time::Duration;
+
+fn start_server(config: Config) -> (std::net::SocketAddr, std::thread::JoinHandle<()>) {
+    let server = Server::bind(config).expect("bind ephemeral port");
+    let addr = server.local_addr().expect("local addr");
+    let handle = std::thread::spawn(move || server.run().expect("server run"));
+    (addr, handle)
+}
+
+fn batching_config(batch_max: usize) -> Config {
+    Config {
+        addr: "127.0.0.1:0".to_string(),
+        batch_max,
+        // A long window makes one pipelined burst coalesce into one
+        // drain deterministically; the drain fires early the moment the
+        // queue reaches `batch_max`, so this adds no latency when full.
+        batch_delay: Duration::from_millis(500),
+        ..Config::default()
+    }
+}
+
+fn smallbank_lines() -> Vec<String> {
+    let txns = SmallBank::canonical_mix();
+    txns.iter().map(|t| mvfmt::transaction(&txns, t)).collect()
+}
+
+/// The whole SmallBank mix shipped as one pipelined batch must coalesce
+/// into engine batches and serve exactly the from-scratch optimum.
+#[test]
+fn coalesced_batch_serves_the_exact_optimum() {
+    let lines = smallbank_lines();
+    let (addr, server) = start_server(batching_config(lines.len()));
+    let mut client = RetryClient::new(addr.to_string(), RetryPolicy::default());
+    client.set_timeout(Some(Duration::from_secs(30)));
+
+    let ops: Vec<BatchOp> = lines.iter().cloned().map(BatchOp::Register).collect();
+    let replies = client.send_batch(&ops).expect("batch applies");
+    assert_eq!(replies.len(), lines.len());
+    for (r, line) in replies.iter().zip(&lines) {
+        assert_eq!(r["ok"], true, "line {line:?} rejected: {r}");
+    }
+
+    let txns = SmallBank::canonical_mix();
+    let (expected, _) = Allocator::new(&txns).optimal();
+    for (id, level) in expected.iter() {
+        assert_eq!(
+            client.assign(id.0).expect("assign"),
+            level,
+            "serving mismatch for {id}"
+        );
+    }
+
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats["registry_size"], txns.len() as u64);
+    let batch = &stats["batch"];
+    assert_eq!(
+        batch["coalesced_events"],
+        lines.len() as u64,
+        "every mutation must go through the coalescing queue: {stats}"
+    );
+    let drains = batch["drains"].as_u64().expect("drains counter");
+    assert!(drains >= 1 && drains <= lines.len() as u64, "{stats}");
+    assert!(
+        batch["size_p99"].as_u64().expect("size p99") > 1,
+        "one pipelined burst should coalesce into a multi-event drain: {stats}"
+    );
+    assert!(
+        stats["last_realloc"]["batch_events"]
+            .as_u64()
+            .expect("batch_events")
+            >= 1,
+        "{stats}"
+    );
+
+    client.shutdown().expect("shutdown");
+    server.join().expect("server thread");
+}
+
+/// Per-event verdicts inside a coalesced batch match the single-event
+/// semantics: rejected events roll back individually, the rest land.
+#[test]
+fn mixed_batch_reports_per_event_verdicts() {
+    let (addr, server) = start_server(batching_config(8));
+    let mut client = RetryClient::new(addr.to_string(), RetryPolicy::default());
+    client.set_timeout(Some(Duration::from_secs(30)));
+
+    let replies = client
+        .send_batch(&[
+            BatchOp::Register("T1: R[x] W[y]".to_string()),
+            BatchOp::Register("T1: W[q]".to_string()), // duplicate id
+            BatchOp::Register("T2: R[y] W[x]".to_string()),
+            BatchOp::Deregister(9), // never registered
+        ])
+        .expect("batch ships");
+    assert_eq!(replies[0]["ok"], true);
+    assert_eq!(replies[0]["txn_id"], 1u64);
+    assert_eq!(replies[1]["ok"], false);
+    assert!(
+        replies[1]["error"].as_str().unwrap().contains("already"),
+        "{}",
+        replies[1]
+    );
+    assert_eq!(replies[2]["ok"], true);
+    // The write-skew partner raises both to SSI; the level in the reply
+    // is the post-batch truth.
+    assert_eq!(replies[2]["level"], "SSI");
+    assert_eq!(replies[3]["ok"], false);
+    assert!(
+        replies[3]["error"]
+            .as_str()
+            .unwrap()
+            .contains("not registered"),
+        "{}",
+        replies[3]
+    );
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats["registry_size"], 2u64);
+
+    client.shutdown().expect("shutdown");
+    server.join().expect("server thread");
+}
+
+/// The replay cache is keyed per event: a retried pipeline replays each
+/// applied event individually (exactly-once), and the replay counter
+/// advances per event — identical to the single-event path.
+#[test]
+fn batch_retries_replay_per_event() {
+    let (addr, server) = start_server(batching_config(8));
+    let mut client = Client::connect(addr).expect("connect");
+    client
+        .set_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout");
+
+    let lines: Vec<String> = (1..=4)
+        .map(|i| {
+            format!(
+                r#"{{"op":"register","txn":"T{i}: R[x{i}] W[x{i}]","req_id":{}}}"#,
+                100 + i
+            )
+        })
+        .collect();
+    let first = client.pipeline(&lines).expect("first attempt");
+    for r in &first {
+        assert_eq!(r["ok"], true, "{r}");
+        assert!(r["replayed"].is_null(), "fresh events are not replays: {r}");
+    }
+    // The "lost reply" retry: the identical pipeline again.
+    let second = client.pipeline(&lines).expect("retry");
+    for r in &second {
+        assert_eq!(r["ok"], true, "{r}");
+        assert_eq!(r["replayed"], true, "retried events replay: {r}");
+    }
+    // Replies match across attempts by req_id (modulo the marker).
+    for (a, b) in first.iter().zip(&second) {
+        assert_eq!(a["req_id"], b["req_id"]);
+        assert_eq!(a["txn_id"], b["txn_id"]);
+    }
+    let stats = client.stats().expect("stats");
+    assert_eq!(
+        stats["registry_size"], 4u64,
+        "replays must not double-apply"
+    );
+    assert_eq!(
+        stats["replays"], 4u64,
+        "one replay counted per event, not per batch"
+    );
+
+    client.shutdown().expect("shutdown");
+    server.join().expect("server thread");
+}
+
+/// Two events with the same idempotency key inside one drain: the first
+/// applies, the duplicate is deferred to the next drain and answered
+/// from the replay cache.
+#[test]
+fn duplicate_req_id_within_one_drain_applies_once() {
+    let (addr, server) = start_server(batching_config(8));
+    let mut client = Client::connect(addr).expect("connect");
+    client
+        .set_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout");
+
+    let line = r#"{"op":"register","txn":"T1: R[x] W[x]","req_id":7}"#.to_string();
+    let replies = client.pipeline(&[line.clone(), line]).expect("pipeline");
+    assert_eq!(replies.len(), 2);
+    assert!(replies.iter().all(|r| r["ok"] == true), "{replies:?}");
+    let replayed = replies.iter().filter(|r| r["replayed"] == true).count();
+    assert_eq!(
+        replayed, 1,
+        "exactly one of the two is a replay: {replies:?}"
+    );
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats["registry_size"], 1u64);
+
+    client.shutdown().expect("shutdown");
+    server.join().expect("server thread");
+}
+
+/// A reallocation that cannot complete degrades the *whole* batch: every
+/// event gets the structured degradation error with `stale: true`, one
+/// failure is recorded per batch (one reallocation attempt), and the
+/// last-known-good allocation keeps serving.
+#[test]
+fn degraded_batch_reports_stale_on_every_event() {
+    let (addr, server) = start_server(Config {
+        // Every reallocation times out instantly: the batch rolls back.
+        realloc_timeout: Some(Duration::ZERO),
+        ..batching_config(8)
+    });
+    let mut client = RetryClient::new(addr.to_string(), RetryPolicy::default());
+    client.set_timeout(Some(Duration::from_secs(30)));
+
+    let replies = client
+        .send_batch(&[
+            BatchOp::Register("T1: R[x] W[y]".to_string()),
+            BatchOp::Register("T2: R[y] W[x]".to_string()),
+            BatchOp::Register("T3: R[z]".to_string()),
+        ])
+        .expect("batch ships (the replies are errors, not transport failures)");
+    for r in &replies {
+        assert_eq!(r["ok"], false, "{r}");
+        assert_eq!(r["stale"], true, "degraded replies are marked stale: {r}");
+        assert!(
+            r["error"].as_str().unwrap().contains("last-known-good"),
+            "{r}"
+        );
+    }
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats["registry_size"], 0u64, "nothing applied");
+    assert_eq!(stats["degraded"], true);
+    assert_eq!(
+        stats["failed_reallocs"], 1u64,
+        "a coalesced batch is one reallocation attempt: {stats}"
+    );
+
+    client.shutdown().expect("shutdown");
+    server.join().expect("server thread");
+}
+
+/// `send_batch` composes with a non-coalescing server (`batch_max = 1`):
+/// the inline path echoes `req_id`s too, so reply matching still works.
+#[test]
+fn send_batch_works_against_an_inline_server() {
+    let (addr, server) = start_server(Config {
+        addr: "127.0.0.1:0".to_string(),
+        ..Config::default()
+    });
+    let mut client = RetryClient::new(addr.to_string(), RetryPolicy::default());
+    client.set_timeout(Some(Duration::from_secs(30)));
+
+    let replies = client
+        .send_batch(&[
+            BatchOp::Register("T1: R[x] W[y]".to_string()),
+            BatchOp::Register("T2: R[y] W[x]".to_string()),
+            BatchOp::Deregister(1),
+        ])
+        .expect("batch applies inline");
+    assert!(replies.iter().all(|r| r["ok"] == true), "{replies:?}");
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats["registry_size"], 1u64);
+    assert_eq!(
+        stats["batch"]["coalesced_events"], 0u64,
+        "no coalescing queue exists at batch_max = 1: {stats}"
+    );
+
+    client.shutdown().expect("shutdown");
+    server.join().expect("server thread");
+}
