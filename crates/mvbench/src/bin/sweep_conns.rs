@@ -1,0 +1,515 @@
+//! B14 table generator: connection scaling of the event-loop socket
+//! core and the dual text/binary codec.
+//!
+//! ```sh
+//! cargo run --release -p mvbench --bin sweep_conns [--json BENCH_alg.json] [--smoke]
+//! ```
+//!
+//! Each cell boots an in-process [`mvservice::Server`] (event-loop or
+//! thread-per-connection core), opens a fleet of N concurrent
+//! connections, and drives a bounded in-flight window of them
+//! closed-loop with `assign` reads over a small pre-registered
+//! transaction pool (registered untimed at setup). Reads are O(1) in
+//! the registry, so the measured path is parse → lookup → encode →
+//! socket — the connection layer, not Algorithm 1/2 (B9/B12/B13 cover
+//! the engine). Connections outside the window stay open but idle —
+//! the realistic c10k shape: the server's poll set carries every
+//! connection while a fixed offered load flows through it, so
+//! events/sec compares core efficiency and p99 isolates the
+//! per-connection cost of fleet size.
+//!
+//! The `pipeline` column is the batch-drain lever: how many requests
+//! each active connection keeps in flight. At depth 1 every poll drain
+//! carries one request per ready connection; at depth 16 a single
+//! read/write cycle drains a batch, amortizing syscalls and poll scans
+//! on both sides of the wire.
+//!
+//! The driver is itself nonblocking — [`mvservice::poll::wait`] over
+//! raw fds, [`FrameBuf`] for reply framing — so one bench thread can
+//! own 10k sockets without 10k threads, and speaks either codec via
+//! [`encode_payload`]. `poll::raise_nofile_limit` lifts the fd ceiling
+//! first; fleets that still don't fit are scaled down (and reported).
+//!
+//! Reported per row: aggregate events/sec and the log₂-bucketed p99
+//! per-request latency (µs, bucket upper bound — same bucketing as
+//! [`mvservice::Metrics`]). `--smoke` runs the event core at 1k/10k
+//! connections on both codecs plus the threaded baseline, and *fails*
+//! (exit 1, with the reproducing command) when the binary codec does
+//! not beat line-JSON on events/sec at 1k connections, or when the
+//! 10k-connection p99 regresses more than 2× over 1k on either codec —
+//! the CI gate.
+
+use mvservice::{encode_payload, Client, CodecKind, Config, CoreKind, FrameBuf, Payload, Server};
+use serde_json::{json, Value};
+use std::collections::VecDeque;
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+const REPRO: &str = "cargo run --release -p mvbench --bin sweep_conns -- --smoke";
+/// Pre-registered transactions the reads fan over; object namespaces
+/// are disjoint, so the pool allocates instantly at setup.
+const POOL: u32 = 64;
+/// In-flight window: how many connections are actively cycling at any
+/// moment (the rest idle in the server's poll set).
+const WINDOW: usize = 1024;
+/// Timed passes per cell; the best is reported. Damps scheduler noise
+/// so the smoke gates compare codecs rather than runs.
+const TRIALS: usize = 3;
+
+#[cfg(unix)]
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = argv.iter().any(|a| a == "--smoke");
+    let json_path = argv.iter().position(|a| a == "--json").map(|i| {
+        argv.get(i + 1).cloned().unwrap_or_else(|| {
+            eprintln!("--json requires a path");
+            std::process::exit(2);
+        })
+    });
+
+    // 2 fds per connection (client + server end, same process) plus
+    // listener/waker/std slack.
+    let biggest = 10_000u64;
+    let limit = mvservice::poll::raise_nofile_limit(2 * biggest + 256);
+    let fit = ((limit.saturating_sub(256)) / 2) as usize;
+    if (fit as u64) < biggest {
+        eprintln!("nofile limit {limit}: fleets capped at {fit} connections");
+    }
+
+    // (core, conns, pipeline depth) — both codecs are measured inside
+    // one pair run, alternating trials in time, so the line/binary
+    // comparison never straddles a shift in background machine load.
+    let mut plan: Vec<(CoreKind, usize, usize)> = Vec::new();
+    if smoke {
+        plan.push((CoreKind::Event, 1_000, 1));
+        plan.push((CoreKind::Event, 10_000, 1));
+        plan.push((CoreKind::Threaded, 1_000, 1));
+    } else {
+        for conns in [100, 1_000, 10_000] {
+            for pipeline in [1, 16] {
+                plan.push((CoreKind::Event, conns, pipeline));
+            }
+        }
+        for conns in [100, 1_000] {
+            plan.push((CoreKind::Threaded, conns, 1));
+        }
+    }
+
+    let events = if smoke { 50_000usize } else { 150_000usize };
+
+    println!("## B14 — connection scaling: event loop vs threads, line vs binary\n");
+    println!("| core | codec | conns | pipeline | events | events/s | p99 (µs, log2 bucket) |");
+    println!("|---|---|---|---|---|---|---|");
+
+    let mut cells: Vec<Cell> = Vec::new();
+    for (core, want, pipeline) in plan {
+        let conns = want.min(fit);
+        if conns < want {
+            eprintln!("(scaled {want}-connection cell down to {conns})");
+        }
+        for cell in run_pair(core, conns, pipeline, events) {
+            println!(
+                "| {} | {} | {} | {} | {} | {:.0} | {} |",
+                cell.core.as_str(),
+                cell.codec.as_str(),
+                cell.conns,
+                cell.pipeline,
+                cell.events,
+                cell.events_per_s,
+                cell.p99_us
+            );
+            cells.push(cell);
+        }
+    }
+
+    let find = |core: CoreKind, codec: CodecKind, conns: usize| {
+        cells
+            .iter()
+            .find(|c| c.core == core && c.codec == codec && c.conns == conns && c.pipeline == 1)
+    };
+
+    // Context line for the acceptance story: the event loop at its
+    // biggest fleet vs the thread-per-connection baseline at 1k.
+    let big = fit.min(10_000);
+    if let (Some(event_big), Some(threaded_1k)) = (
+        find(CoreKind::Event, CodecKind::Frame, big),
+        find(CoreKind::Threaded, CodecKind::Line, 1_000.min(fit)),
+    ) {
+        println!(
+            "\nevent@{} {:.0} ev/s vs threaded@{} {:.0} ev/s ({:.2}×)",
+            event_big.conns,
+            event_big.events_per_s,
+            threaded_1k.conns,
+            threaded_1k.events_per_s,
+            event_big.events_per_s / threaded_1k.events_per_s
+        );
+    }
+
+    let mut failures: Vec<String> = Vec::new();
+    if smoke {
+        let c1 = 1_000.min(fit);
+        let c10 = 10_000.min(fit);
+        let line_1k = find(CoreKind::Event, CodecKind::Line, c1).expect("1k line cell");
+        let frame_1k = find(CoreKind::Event, CodecKind::Frame, c1).expect("1k frame cell");
+        if frame_1k.events_per_s <= line_1k.events_per_s {
+            failures.push(format!(
+                "binary codec {:.0} ev/s ≤ line-JSON {:.0} ev/s at {c1} connections",
+                frame_1k.events_per_s, line_1k.events_per_s
+            ));
+        }
+        for codec in [CodecKind::Line, CodecKind::Frame] {
+            let small = find(CoreKind::Event, codec, c1).expect("1k cell");
+            let large = find(CoreKind::Event, codec, c10).expect("10k cell");
+            if large.p99_us > 2 * small.p99_us {
+                failures.push(format!(
+                    "{} codec p99 {}µs at {c10} connections > 2× {}µs at {c1}",
+                    codec.as_str(),
+                    large.p99_us,
+                    small.p99_us
+                ));
+            }
+        }
+    }
+
+    if let Some(path) = json_path {
+        // Merge under "conns" without clobbering the other tables.
+        let mut doc: Value = std::fs::read_to_string(&path)
+            .ok()
+            .and_then(|text| serde_json::from_str(&text).ok())
+            .unwrap_or_else(|| json!({}));
+        let rows: Vec<Value> = cells
+            .iter()
+            .map(|c| {
+                json!({
+                    "core": c.core.as_str(),
+                    "codec": c.codec.as_str(),
+                    "conns": c.conns as u64,
+                    "pipeline": c.pipeline as u64,
+                    "events": c.events as u64,
+                    "events_per_s": c.events_per_s,
+                    "p99_us": c.p99_us,
+                })
+            })
+            .collect();
+        doc["conns"] = json!({
+            "experiment": "B14-connection-scaling",
+            "smoke": smoke,
+            "window": WINDOW as u64,
+            "pool": POOL as u64,
+            "workload": "assign reads over a pre-registered pool",
+            "rows": rows,
+        });
+        std::fs::write(
+            &path,
+            serde_json::to_string_pretty(&doc).expect("valid json"),
+        )
+        .unwrap_or_else(|e| {
+            eprintln!("writing {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("\nmerged conns rows into {path}");
+    }
+
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("FAIL: {f} — repro: {REPRO}");
+        }
+        std::process::exit(1);
+    }
+    if smoke {
+        println!("\nsmoke OK: binary beats line at 1k and the event loop holds p99 at 10k");
+    }
+}
+
+#[cfg(not(unix))]
+fn main() {
+    eprintln!("sweep_conns needs raw-fd readiness polling (unix only); skipping");
+}
+
+#[cfg(unix)]
+struct Cell {
+    core: CoreKind,
+    codec: CodecKind,
+    conns: usize,
+    pipeline: usize,
+    events: usize,
+    events_per_s: f64,
+    p99_us: u64,
+}
+
+/// One bench connection: a nonblocking socket plus its reply framing,
+/// write backlog, and in-order timestamps of in-flight requests.
+#[cfg(unix)]
+struct BenchConn {
+    stream: TcpStream,
+    fb: FrameBuf,
+    backlog: Vec<u8>,
+    written: usize,
+    in_flight: VecDeque<Instant>,
+    /// Which pool transaction the next assign reads (rotates).
+    next_txn: u32,
+}
+
+#[cfg(unix)]
+impl BenchConn {
+    /// Queues one assign request and starts its latency clock.
+    fn send_assign(&mut self, codec: CodecKind) {
+        let value = json!({"op": "assign", "txn_id": self.next_txn});
+        self.next_txn = self.next_txn % POOL + 1;
+        encode_payload(codec, &value, &mut self.backlog);
+        self.in_flight.push_back(Instant::now());
+        self.flush();
+    }
+
+    /// Writes as much backlog as the socket takes right now.
+    fn flush(&mut self) {
+        while self.written < self.backlog.len() {
+            match self.stream.write(&self.backlog[self.written..]) {
+                Ok(0) => panic!("server closed mid-write — repro: {REPRO}"),
+                Ok(n) => self.written += n,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => panic!("bench write: {e} — repro: {REPRO}"),
+            }
+        }
+        self.backlog.clear();
+        self.written = 0;
+    }
+}
+
+/// Boots one server with the given core, pre-registers the read pool,
+/// then measures BOTH codecs over `conns` connections in alternating
+/// trials (line, binary, line, binary, …). Each trial opens a fresh
+/// fleet, warms it up untimed, runs `events` assigns through a
+/// `WINDOW`-wide window (each active connection keeping `pipeline`
+/// requests in flight), then drains before the next fleet connects.
+/// The best of `TRIALS` per codec is reported: alternation keeps the
+/// line/binary comparison inside the same seconds of machine time, so
+/// background-load drift hits both codecs instead of whichever cell
+/// ran during the slow patch. Returns `[line, binary]` cells.
+#[cfg(unix)]
+fn run_pair(core: CoreKind, conns: usize, pipeline: usize, events: usize) -> [Cell; 2] {
+    let server = Server::bind(Config {
+        addr: "127.0.0.1:0".to_string(),
+        core,
+        ..Config::default()
+    })
+    .expect("bind bench server");
+    let addr = server.local_addr().expect("local addr");
+    let handle = server.handle();
+    let serving = std::thread::spawn(move || server.run().expect("bench server run"));
+
+    // Untimed setup: register the pool the reads will fan over.
+    // Disjoint object namespaces keep every pool member its own
+    // component, so this allocates instantly.
+    {
+        let mut setup = Client::connect(addr).expect("setup client");
+        for j in 1..=POOL {
+            let reply = setup
+                .register(&format!("T{j}: R[o{}] W[o{}]", 2 * j, 2 * j + 1))
+                .expect("pool register");
+            assert_eq!(reply["ok"], true, "pool register rejected: {reply}");
+        }
+    }
+
+    let window = WINDOW.min(conns);
+    let mut best: [Option<(f64, u64)>; 2] = [None, None];
+    for _ in 0..TRIALS {
+        for (slot, codec) in [CodecKind::Line, CodecKind::Frame].into_iter().enumerate() {
+            wait_drained(&handle);
+            let mut fleet = connect_fleet(addr, conns, codec);
+            drive(&mut fleet, window, codec, pipeline, events / 10, &mut None);
+            let mut hist = Some([0u64; 64]);
+            let elapsed = drive(&mut fleet, window, codec, pipeline, events, &mut hist);
+            let rate = events as f64 / elapsed;
+            let p99 = p99_us(&hist.expect("recording trial keeps its histogram"));
+            if best[slot].is_none_or(|(r, _)| rate > r) {
+                best[slot] = Some((rate, p99));
+            }
+            // Teardown order matters for the threaded core: dropping
+            // the fleet EOFs every reader thread, freeing its fds
+            // before the next fleet connects.
+            drop(fleet);
+        }
+    }
+
+    handle.shutdown();
+    serving.join().expect("bench server thread");
+
+    [CodecKind::Line, CodecKind::Frame].map(|codec| {
+        let slot = usize::from(codec == CodecKind::Frame);
+        let (events_per_s, p99_us) = best[slot].expect("at least one trial ran");
+        Cell {
+            core,
+            codec,
+            conns,
+            pipeline,
+            events,
+            events_per_s,
+            p99_us,
+        }
+    })
+}
+
+/// Opens `conns` connections speaking `codec`. Connects are blocking
+/// (loopback: cheap) with a retry on transient accept-queue overflow;
+/// sockets go nonblocking once connected.
+#[cfg(unix)]
+fn connect_fleet(addr: std::net::SocketAddr, conns: usize, codec: CodecKind) -> Vec<BenchConn> {
+    let mut fleet: Vec<BenchConn> = Vec::with_capacity(conns);
+    for i in 0..conns {
+        let mut attempts = 0u32;
+        let stream = loop {
+            match TcpStream::connect(addr) {
+                Ok(s) => break s,
+                // Accept queue behind us — let the server drain it.
+                Err(_) if attempts < 200 => {
+                    attempts += 1;
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => panic!("connect #{i}: {e} — repro: {REPRO}"),
+            }
+        };
+        stream.set_nodelay(true).ok();
+        stream
+            .set_nonblocking(true)
+            .expect("nonblocking bench socket");
+        fleet.push(BenchConn {
+            stream,
+            fb: FrameBuf::with_kind(codec),
+            backlog: Vec::new(),
+            written: 0,
+            in_flight: VecDeque::new(),
+            next_txn: (i as u32) % POOL + 1,
+        });
+    }
+    fleet
+}
+
+/// Blocks until the server has reaped every connection from the
+/// previous fleet (its fd budget is half the process limit), giving up
+/// after 10s — a straggler or two won't sink the next trial.
+#[cfg(unix)]
+fn wait_drained(handle: &mvservice::ServerHandle) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while handle.metrics_json()["connections"]["open"] != 0u64 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// Issues exactly `events` assigns through the window and waits for
+/// every reply, recording latencies into `hist` when present. Returns
+/// the elapsed wall time.
+#[cfg(unix)]
+fn drive(
+    fleet: &mut [BenchConn],
+    window: usize,
+    codec: CodecKind,
+    pipeline: usize,
+    events: usize,
+    hist: &mut Option<[u64; 64]>,
+) -> f64 {
+    use std::os::unix::io::AsRawFd;
+
+    let mut issued = 0usize;
+    let mut completed = 0usize;
+    let started = Instant::now();
+    'prime: for conn in fleet.iter_mut().take(window) {
+        for _ in 0..pipeline {
+            if issued >= events {
+                break 'prime;
+            }
+            conn.send_assign(codec);
+            issued += 1;
+        }
+    }
+
+    let mut interests: Vec<mvservice::poll::Interest> = Vec::with_capacity(window);
+    let mut owners: Vec<usize> = Vec::with_capacity(window);
+    let mut chunk = [0u8; 16 * 1024];
+    while completed < issued || issued < events {
+        interests.clear();
+        owners.clear();
+        for (i, c) in fleet.iter().enumerate().take(window) {
+            if c.in_flight.is_empty() && c.backlog.is_empty() {
+                continue;
+            }
+            interests.push(mvservice::poll::Interest {
+                fd: c.stream.as_raw_fd(),
+                read: !c.in_flight.is_empty(),
+                write: !c.backlog.is_empty(),
+            });
+            owners.push(i);
+        }
+        let ready = mvservice::poll::wait(&interests, Duration::from_millis(50));
+        for (slot, r) in ready.iter().enumerate() {
+            let i = owners[slot];
+            if r.writable {
+                fleet[i].flush();
+            }
+            if !(r.readable || r.hangup) {
+                continue;
+            }
+            loop {
+                match fleet[i].stream.read(&mut chunk) {
+                    Ok(0) => panic!("server hung up mid-bench — repro: {REPRO}"),
+                    Ok(n) => {
+                        fleet[i].fb.push(&chunk[..n]);
+                        if n < chunk.len() {
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                    Err(e) => panic!("bench read: {e} — repro: {REPRO}"),
+                }
+            }
+            while let Some(payload) = fleet[i]
+                .fb
+                .next_payload()
+                .unwrap_or_else(|e| panic!("bench reply framing: {e:?} — repro: {REPRO}"))
+            {
+                let reply: Value = match payload {
+                    Payload::Frame(v) => v,
+                    Payload::Line(text) => serde_json::from_str(&text)
+                        .unwrap_or_else(|e| panic!("bench reply JSON: {e} — repro: {REPRO}")),
+                };
+                assert_eq!(
+                    reply["ok"], true,
+                    "bench request rejected: {reply} — repro: {REPRO}"
+                );
+                let sent = fleet[i]
+                    .in_flight
+                    .pop_front()
+                    .unwrap_or_else(|| panic!("unsolicited reply — repro: {REPRO}"));
+                if let Some(h) = hist.as_mut() {
+                    let us = sent.elapsed().as_micros() as u64;
+                    h[(64 - us.leading_zeros() as usize).min(63)] += 1;
+                }
+                completed += 1;
+                if issued < events {
+                    fleet[i].send_assign(codec);
+                    issued += 1;
+                }
+            }
+        }
+    }
+    started.elapsed().as_secs_f64()
+}
+
+/// The log₂ bucket's upper bound at the 99th percentile, mirroring
+/// `Metrics` (bucket 0 holds the sub-µs durations and reports 0).
+#[cfg(unix)]
+fn p99_us(hist: &[u64; 64]) -> u64 {
+    let total: u64 = hist.iter().sum();
+    let rank = ((total as f64) * 0.99).ceil() as u64;
+    let mut seen = 0u64;
+    for (i, &n) in hist.iter().enumerate() {
+        seen += n;
+        if seen >= rank {
+            return if i == 0 { 0 } else { 1u64 << i };
+        }
+    }
+    0
+}

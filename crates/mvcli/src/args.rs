@@ -23,6 +23,8 @@ const VALUED: &[&str] = &[
     "backoff-ms",
     "batch-delay-us",
     "batch-max",
+    "codec",
+    "core",
     "fault-plan",
     "level",
     "levels",

@@ -5,7 +5,13 @@
 //! mvrobust client deregister T1 | assign T1 | stats | list | ping | shutdown
 //! mvrobust client batch [LINE ...]        # or one line per stdin line
 //! mvrobust client ... [--retries N] [--backoff-ms MS] [--seed N]
+//! mvrobust client ... [--codec line|binary]
 //! ```
+//!
+//! `--codec binary` speaks length-prefixed binary frames instead of
+//! newline-delimited JSON; the server sniffs the framing per
+//! connection, so no server-side flag is needed. Replies are
+//! semantically identical under either codec.
 //!
 //! `--retries` / `--backoff-ms` switch to the reconnecting retry client:
 //! transport failures are retried with exponential backoff and jittered
@@ -27,7 +33,7 @@
 
 use crate::args::Parsed;
 use mvisolation::IsolationLevel;
-use mvservice::{BatchOp, Client, ClientError, RetryClient, RetryPolicy};
+use mvservice::{BatchOp, Client, ClientError, CodecKind, RetryClient, RetryPolicy};
 use serde_json::Value;
 use std::io::BufRead;
 use std::process::ExitCode;
@@ -95,6 +101,12 @@ pub fn run(argv: &[String]) -> Result<ExitCode, String> {
     )?;
     let retries = parsed.option_parse::<u32>("retries")?;
     let backoff_ms = parsed.option_parse::<u64>("backoff-ms")?;
+    let codec = parsed
+        .option("codec")
+        .map(|s| s.parse::<CodecKind>())
+        .transpose()
+        .map_err(|e| format!("invalid --codec: {e}"))?
+        .unwrap_or(CodecKind::Line);
     // Idempotency keys derive from the policy seed, so two invocations
     // sharing a seed would collide in the server's replay cache and be
     // answered with each other's cached replies. Default to
@@ -110,10 +122,10 @@ pub fn run(argv: &[String]) -> Result<ExitCode, String> {
         ..RetryPolicy::default()
     };
     let mut client = if retries.is_some() || backoff_ms.is_some() {
-        Conn::Retry(RetryClient::new(addr, policy))
+        Conn::Retry(RetryClient::with_codec(addr, policy, codec))
     } else {
         Conn::Plain(
-            Client::connect(addr)
+            Client::connect_with(addr, codec)
                 .map_err(|e| format!("connecting to {addr}: {e} (is `mvrobust serve` running?)"))?,
         )
     };
@@ -214,7 +226,7 @@ pub fn run(argv: &[String]) -> Result<ExitCode, String> {
             // the batch verb always runs through the retry client.
             let replies = match &mut client {
                 Conn::Retry(c) => c.send_batch(&ops),
-                Conn::Plain(_) => RetryClient::new(addr, policy).send_batch(&ops),
+                Conn::Plain(_) => RetryClient::with_codec(addr, policy, codec).send_batch(&ops),
             };
             replies.map(|replies| {
                 if json {

@@ -4,6 +4,7 @@
 //! mvrobust serve [--addr HOST:PORT] [--levels rc-si|rc-si-ssi] [--threads N]
 //!                [--realloc-timeout-ms N] [--fault-plan SPEC]
 //!                [--batch-max N] [--batch-delay-us N]
+//!                [--codec auto|line|binary] [--core event|threaded]
 //! ```
 //!
 //! `--realloc-timeout-ms` caps each incremental reallocation; on expiry
@@ -16,13 +17,21 @@
 //! batch (default 1 = off); `--batch-delay-us` is how long a drain
 //! lingers for companions (default 100).
 //!
+//! `--codec` restricts which wire codecs connections may negotiate
+//! (default `auto`: first-byte sniff per connection — `{` means
+//! line-JSON, the 0xB1 magic means binary frames). `--core` selects the
+//! socket core: the default `event` loop multiplexes every connection
+//! on one readiness-polled thread; `threaded` is the blocking
+//! thread-per-connection baseline kept for the scaling bench.
+//!
 //! Prints `listening on <addr>` once the socket is bound (with the
 //! ephemeral port resolved, so `--addr 127.0.0.1:0` is scriptable),
 //! then serves until a client sends `shutdown` or the process receives
-//! `SIGINT`/`SIGTERM`.
+//! `SIGINT`/`SIGTERM`. The shutdown summary reports connection and
+//! per-codec counters from the server's metrics.
 
 use crate::args::Parsed;
-use mvservice::{install_signal_handlers, Config, FaultPlan, Server};
+use mvservice::{install_signal_handlers, CodecAccept, Config, CoreKind, FaultPlan, Server};
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -54,6 +63,18 @@ pub fn run(argv: &[String]) -> Result<ExitCode, String> {
             .option_parse::<usize>("batch-max")?
             .unwrap_or(1)
             .max(1),
+        codec: parsed
+            .option("codec")
+            .map(|s| s.parse::<CodecAccept>())
+            .transpose()
+            .map_err(|e| format!("invalid --codec: {e}"))?
+            .unwrap_or_default(),
+        core: parsed
+            .option("core")
+            .map(|s| s.parse::<CoreKind>())
+            .transpose()
+            .map_err(|e| format!("invalid --core: {e}"))?
+            .unwrap_or_default(),
         ..Config::default()
     };
     if let Some(us) = parsed.option_parse::<u64>("batch-delay-us")? {
@@ -65,13 +86,27 @@ pub fn run(argv: &[String]) -> Result<ExitCode, String> {
         .as_ref()
         .map(|p| format!(" [fault injection: {p}]"))
         .unwrap_or_default();
+    let core = config.core;
+    let codec = config.codec;
     let server = Server::bind(config).map_err(|e| format!("binding listener: {e}"))?;
     let addr = server.local_addr().map_err(|e| e.to_string())?;
+    let handle = server.handle();
     install_signal_handlers();
     // Stdout is line-buffered: this line is visible to a parent process
-    // (or test harness) immediately, before the accept loop blocks.
-    println!("listening on {addr} (levels {levels}){fault_note}");
+    // (or test harness) immediately, before the accept loop blocks. It
+    // must stay the FIRST line printed — harnesses parse the address
+    // out of it.
+    println!(
+        "listening on {addr} (levels {levels}, core {}, codec {}){fault_note}",
+        core.as_str(),
+        codec.as_str()
+    );
     server.run().map_err(|e| format!("serving: {e}"))?;
+    let m = handle.metrics_json();
+    println!(
+        "served {} connections ({} line, {} binary), {} requests, {} errors",
+        m["connections"]["total"], m["codec_line"], m["codec_frame"], m["total"], m["errors"]
+    );
     println!("shut down cleanly");
     Ok(ExitCode::SUCCESS)
 }

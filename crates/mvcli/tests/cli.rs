@@ -316,6 +316,72 @@ fn serve_rc_si_mode_rejects_unallocatable_registration() {
 }
 
 #[test]
+fn serve_and_client_round_trip_over_the_binary_codec() {
+    let (mut server, addr, mut server_out, banner) = spawn_server(&[]);
+    assert!(banner.contains("codec auto"), "{banner}");
+
+    // Register over binary frames, read back over line-JSON: the codec
+    // is per-connection wire framing, not state.
+    let (stdout, stderr, code) = client(&addr, &["register", "T1: R[x] W[y]", "--codec", "binary"]);
+    assert_eq!(code, 0, "{stderr}");
+    assert!(stdout.contains("registered T1"), "{stdout}");
+    let (_, stderr, code) = client(&addr, &["register", "T2: R[y] W[x]", "--codec", "binary"]);
+    assert_eq!(code, 0, "{stderr}");
+    let (stdout, _, code) = client(&addr, &["assign", "T1", "--codec", "line"]);
+    assert_eq!(code, 0);
+    assert_eq!(stdout.trim(), "SSI");
+    let (stdout, _, code) = client(&addr, &["assign", "T1", "--codec", "binary"]);
+    assert_eq!(code, 0);
+    assert_eq!(stdout.trim(), "SSI");
+
+    // The retry client speaks frames too.
+    let (stdout, stderr, code) = client(
+        &addr,
+        &["stats", "--json", "--codec", "binary", "--retries", "2"],
+    );
+    assert_eq!(code, 0, "{stderr}");
+    let j: serde_json::Value = serde_json::from_str(&stdout).expect("valid json");
+    assert_eq!(j["registry_size"], 2);
+    assert!(j["codec_frame"].as_u64().unwrap() > 0, "{j}");
+    assert!(j["codec_line"].as_u64().unwrap() > 0, "{j}");
+
+    let (_, _, code) = client(&addr, &["shutdown", "--codec", "binary"]);
+    assert_eq!(code, 0);
+    let status = server.wait().expect("server exit");
+    assert_eq!(status.code(), Some(0));
+    // The shutdown summary reports connection and per-codec counters.
+    let mut rest = String::new();
+    server_out.read_to_string(&mut rest).expect("drain stdout");
+    assert!(rest.contains("served "), "{rest}");
+    assert!(rest.contains("binary"), "{rest}");
+    assert!(rest.contains("shut down cleanly"), "{rest}");
+}
+
+#[test]
+fn serve_threaded_core_and_codec_flags_validate() {
+    // The threaded baseline core serves the same protocol.
+    let (mut server, addr, _server_out, banner) = spawn_server(&["--core", "threaded"]);
+    assert!(banner.contains("core threaded"), "{banner}");
+    let (stdout, stderr, code) = client(&addr, &["ping", "--codec", "binary"]);
+    assert_eq!(code, 0, "{stderr}");
+    assert!(stdout.contains("pong"));
+    let (_, _, code) = client(&addr, &["shutdown"]);
+    assert_eq!(code, 0);
+    server.wait().expect("server exit");
+
+    // Bad values are usage errors (exit 2) with actionable messages.
+    let (_, stderr, code) = run_with_stdin(&["serve", "--codec", "morse"], "");
+    assert_eq!(code, 2);
+    assert!(stderr.contains("invalid --codec"), "{stderr}");
+    let (_, stderr, code) = run_with_stdin(&["serve", "--core", "fiber"], "");
+    assert_eq!(code, 2);
+    assert!(stderr.contains("invalid --core"), "{stderr}");
+    let (_, stderr, code) = run_with_stdin(&["client", "ping", "--codec", "morse"], "");
+    assert_eq!(code, 2);
+    assert!(stderr.contains("invalid --codec"), "{stderr}");
+}
+
+#[test]
 fn client_against_unreachable_server_fails_cleanly() {
     // Reserve a port, then close it: nothing is listening there.
     let dead = {

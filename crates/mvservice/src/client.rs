@@ -1,6 +1,7 @@
 //! Blocking client for the allocation daemon.
 //!
-//! One TCP connection, newline-delimited JSON requests/replies. The
+//! One TCP connection, newline-delimited JSON or length-prefixed
+//! binary frames (pick with [`Client::connect_with`]). The
 //! typed helpers ([`Client::register`], [`Client::assign`], …) turn
 //! `"ok": false` replies into [`ClientError::Server`]; [`Client::raw`]
 //! ships an arbitrary line and returns whatever comes back — the hook
@@ -15,6 +16,7 @@
 //! (`"ok": false`) are *not* retried — the request reached the server
 //! and was rejected.
 
+use crate::codec::{encode_payload, CodecKind, FrameBuf, Payload};
 use crate::protocol::Request;
 use mvisolation::IsolationLevel;
 use mvmodel::TxnId;
@@ -22,7 +24,7 @@ use rand::rngs::SmallRng;
 use rand::{RngCore, SeedableRng};
 use serde_json::Value;
 use std::collections::HashMap;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
@@ -56,45 +58,110 @@ impl From<std::io::Error> for ClientError {
     }
 }
 
-/// A connected allocation-service client.
+/// A connected allocation-service client. Speaks either wire codec:
+/// line-delimited JSON (the default, [`Client::connect`]) or binary
+/// frames ([`Client::connect_with`] with [`CodecKind::Frame`]). The
+/// server sniffs the first byte of the connection, so no handshake
+/// round-trip is needed — the client simply starts sending in its
+/// chosen framing and the server answers in kind.
 pub struct Client {
-    reader: BufReader<TcpStream>,
-    writer: TcpStream,
+    stream: TcpStream,
+    fb: FrameBuf,
+    kind: CodecKind,
 }
 
 impl Client {
-    /// Connects to the daemon at `addr` (e.g. `127.0.0.1:7411`).
+    /// Connects to the daemon at `addr` (e.g. `127.0.0.1:7411`) using
+    /// the default line-JSON codec.
     pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Client> {
+        Self::connect_with(addr, CodecKind::Line)
+    }
+
+    /// Connects with an explicit wire codec.
+    pub fn connect_with<A: ToSocketAddrs>(addr: A, kind: CodecKind) -> std::io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true).ok();
-        let writer = stream.try_clone()?;
         Ok(Client {
-            reader: BufReader::new(stream),
-            writer,
+            stream,
+            fb: FrameBuf::with_kind(kind),
+            kind,
         })
+    }
+
+    /// The wire codec this client speaks.
+    pub fn codec(&self) -> CodecKind {
+        self.kind
     }
 
     /// Caps how long a single reply may take.
     pub fn set_timeout(&mut self, timeout: Option<Duration>) -> std::io::Result<()> {
-        self.reader.get_ref().set_read_timeout(timeout)
+        self.stream.set_read_timeout(timeout)
+    }
+
+    /// Reads one reply in this client's codec.
+    fn read_reply(&mut self) -> Result<Value, ClientError> {
+        let mut buf = [0u8; 8192];
+        loop {
+            match self.fb.next_payload() {
+                Ok(Some(p)) => return Self::payload_value(p),
+                Ok(None) => {}
+                Err(e) => return Err(ClientError::Protocol(e.message())),
+            }
+            let n = self.stream.read(&mut buf)?;
+            if n == 0 {
+                // A final line without its newline still counts as a
+                // reply; a half-received frame does not.
+                match self.fb.eof_residual() {
+                    Ok(Some(p)) => return Self::payload_value(p),
+                    _ => {
+                        return Err(ClientError::Protocol(
+                            "connection closed before a reply arrived".to_string(),
+                        ))
+                    }
+                }
+            }
+            self.fb.push(&buf[..n]);
+        }
+    }
+
+    fn payload_value(p: Payload) -> Result<Value, ClientError> {
+        match p {
+            Payload::Line(line) => serde_json::from_str(line.trim())
+                .map_err(|e| ClientError::Protocol(format!("unparseable reply: {e}"))),
+            Payload::Frame(v) => Ok(v),
+        }
+    }
+
+    /// Encodes one request line into `out` in this client's codec. In
+    /// frame mode the line must parse as JSON (frames carry values, not
+    /// text) — use a line-codec client to ship deliberately malformed
+    /// bytes.
+    fn encode_line(&self, line: &str, out: &mut Vec<u8>) -> Result<(), ClientError> {
+        match self.kind {
+            CodecKind::Line => {
+                out.extend_from_slice(line.as_bytes());
+                out.push(b'\n');
+                Ok(())
+            }
+            CodecKind::Frame => {
+                let v: Value = serde_json::from_str(line).map_err(|e| {
+                    ClientError::Protocol(format!("cannot frame non-JSON request: {e}"))
+                })?;
+                encode_payload(CodecKind::Frame, &v, out);
+                Ok(())
+            }
+        }
     }
 
     /// Sends one raw line and returns the server's reply verbatim —
     /// including `"ok": false` replies, which the typed helpers turn
     /// into errors instead.
     pub fn raw(&mut self, line: &str) -> Result<Value, ClientError> {
-        self.writer.write_all(line.as_bytes())?;
-        self.writer.write_all(b"\n")?;
-        self.writer.flush()?;
-        let mut reply = String::new();
-        let n = self.reader.read_line(&mut reply)?;
-        if n == 0 {
-            return Err(ClientError::Protocol(
-                "connection closed before a reply arrived".to_string(),
-            ));
-        }
-        serde_json::from_str(reply.trim())
-            .map_err(|e| ClientError::Protocol(format!("unparseable reply: {e}")))
+        let mut out = Vec::with_capacity(line.len() + 8);
+        self.encode_line(line, &mut out)?;
+        self.stream.write_all(&out)?;
+        self.stream.flush()?;
+        self.read_reply()
     }
 
     /// Ships every line in one buffered write with a single flush, then
@@ -102,24 +169,22 @@ impl Client {
     /// server's write order — against a coalescing server, match them
     /// to requests by the echoed `req_id`, not by position.
     pub fn pipeline(&mut self, lines: &[String]) -> Result<Vec<Value>, ClientError> {
-        let mut buf = String::with_capacity(lines.iter().map(|l| l.len() + 1).sum());
+        let mut buf = Vec::with_capacity(lines.iter().map(|l| l.len() + 8).sum());
         for line in lines {
-            buf.push_str(line);
-            buf.push('\n');
+            self.encode_line(line, &mut buf)?;
         }
-        self.writer.write_all(buf.as_bytes())?;
-        self.writer.flush()?;
+        self.stream.write_all(&buf)?;
+        self.stream.flush()?;
         let mut replies = Vec::with_capacity(lines.len());
         for _ in 0..lines.len() {
-            let mut reply = String::new();
-            let n = self.reader.read_line(&mut reply)?;
-            if n == 0 {
-                return Err(ClientError::Protocol(
-                    "connection closed before every pipelined reply arrived".to_string(),
-                ));
-            }
-            let v = serde_json::from_str(reply.trim())
-                .map_err(|e| ClientError::Protocol(format!("unparseable reply: {e}")))?;
+            let v = self.read_reply().map_err(|e| match e {
+                ClientError::Protocol(m) if m.starts_with("connection closed") => {
+                    ClientError::Protocol(
+                        "connection closed before every pipelined reply arrived".to_string(),
+                    )
+                }
+                other => other,
+            })?;
             replies.push(v);
         }
         Ok(replies)
@@ -246,6 +311,7 @@ pub struct RetryStats {
 pub struct RetryClient {
     addr: String,
     policy: RetryPolicy,
+    codec: CodecKind,
     conn: Option<Client>,
     ever_connected: bool,
     timeout: Option<Duration>,
@@ -257,13 +323,26 @@ pub struct RetryClient {
 }
 
 impl RetryClient {
-    /// Builds a client for `addr` (e.g. `127.0.0.1:7411`). No
-    /// connection is made until the first request.
+    /// Builds a line-codec client for `addr` (e.g. `127.0.0.1:7411`).
+    /// No connection is made until the first request.
     pub fn new(addr: impl Into<String>, policy: RetryPolicy) -> RetryClient {
+        Self::with_codec(addr, policy, CodecKind::Line)
+    }
+
+    /// Builds a client with an explicit wire codec. Every connection —
+    /// including reconnects after a transport failure — speaks `codec`,
+    /// so a replayed mutation is retried under the same framing that
+    /// first shipped it.
+    pub fn with_codec(
+        addr: impl Into<String>,
+        policy: RetryPolicy,
+        codec: CodecKind,
+    ) -> RetryClient {
         let session = SmallRng::seed_from_u64(policy.seed).next_u64();
         RetryClient {
             addr: addr.into(),
             policy,
+            codec,
             conn: None,
             ever_connected: false,
             timeout: Some(Duration::from_secs(10)),
@@ -316,7 +395,7 @@ impl RetryClient {
 
     fn ensure_conn(&mut self) -> Result<&mut Client, ClientError> {
         if self.conn.is_none() {
-            let mut c = Client::connect(&self.addr)?;
+            let mut c = Client::connect_with(&self.addr, self.codec)?;
             c.set_timeout(self.timeout)?;
             if self.ever_connected {
                 self.stats.reconnects += 1;

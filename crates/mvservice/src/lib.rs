@@ -41,15 +41,23 @@
 //! The CLI front end is `mvrobust serve` / `mvrobust client`.
 
 pub mod client;
+pub mod codec;
+#[cfg(unix)]
+pub(crate) mod event;
 pub mod fault;
 pub mod metrics;
+pub mod poll;
 pub mod protocol;
 pub mod registry;
 pub mod server;
 
 pub use client::{BatchOp, Client, ClientError, RetryClient, RetryPolicy, RetryStats};
+pub use codec::{
+    decode_value, encode_payload, encode_raw_frame, encode_value, CodecAccept, CodecKind,
+    DrainPlan, FrameBuf, FrameError, Payload, FRAME_MAGIC,
+};
 pub use fault::{FaultAction, FaultHook, FaultPlan, InjectedFault, ReallocFault, ScriptedFaults};
 pub use metrics::Metrics;
-pub use protocol::Request;
+pub use protocol::{Request, MAX_FRAME};
 pub use registry::{BatchReply, RegisteredTxn, Registry, RegistryError, RegistryEvent};
-pub use server::{install_signal_handlers, Config, Server, ServerHandle, MAX_LINE};
+pub use server::{install_signal_handlers, Config, CoreKind, Server, ServerHandle, MAX_LINE};

@@ -6,6 +6,7 @@
 //! a snapshot and report the *upper bound* of the bucket the quantile
 //! falls in (exact to within 2× — ample for "is the service healthy").
 
+use crate::codec::CodecKind;
 use serde_json::{json, Value};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
@@ -46,6 +47,14 @@ pub struct Metrics {
     coalesced: AtomicU64,
     /// ⌈log₂⌉-bucketed histogram of drain sizes.
     batch_sizes: [AtomicU64; BATCH_BUCKETS],
+    /// Connections currently open (gauge).
+    conns_open: AtomicU64,
+    /// Connections accepted over the server's lifetime.
+    conns_total: AtomicU64,
+    /// Requests decoded from the line-JSON codec.
+    codec_line: AtomicU64,
+    /// Requests decoded from the binary frame codec.
+    codec_frame: AtomicU64,
 }
 
 impl Default for Metrics {
@@ -58,6 +67,10 @@ impl Default for Metrics {
             drains: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
             batch_sizes: std::array::from_fn(|_| AtomicU64::new(0)),
+            conns_open: AtomicU64::new(0),
+            conns_total: AtomicU64::new(0),
+            codec_line: AtomicU64::new(0),
+            codec_frame: AtomicU64::new(0),
         }
     }
 }
@@ -178,6 +191,43 @@ impl Metrics {
         1u64 << (BUCKETS - 1)
     }
 
+    /// Counts a freshly accepted connection (gauge + lifetime total).
+    pub fn conn_opened(&self) {
+        self.conns_open.fetch_add(1, Ordering::Relaxed);
+        self.conns_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a closed connection (gauge decrement).
+    pub fn conn_closed(&self) {
+        self.conns_open.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Connections currently open.
+    pub fn connections_open(&self) -> u64 {
+        self.conns_open.load(Ordering::Relaxed)
+    }
+
+    /// Connections accepted over the server's lifetime.
+    pub fn connections_total(&self) -> u64 {
+        self.conns_total.load(Ordering::Relaxed)
+    }
+
+    /// Counts one request decoded on the given codec.
+    pub fn codec_request(&self, kind: CodecKind) {
+        match kind {
+            CodecKind::Line => self.codec_line.fetch_add(1, Ordering::Relaxed),
+            CodecKind::Frame => self.codec_frame.fetch_add(1, Ordering::Relaxed),
+        };
+    }
+
+    /// Requests decoded per codec: `(line, frame)`.
+    pub fn codec_counts(&self) -> (u64, u64) {
+        (
+            self.codec_line.load(Ordering::Relaxed),
+            self.codec_frame.load(Ordering::Relaxed),
+        )
+    }
+
     /// The `requests` / `errors` / `latency_us` portion of a `stats`
     /// reply.
     pub fn to_json(&self) -> Value {
@@ -203,6 +253,12 @@ impl Metrics {
                 "size_p50": self.batch_size_quantile(0.50),
                 "size_p99": self.batch_size_quantile(0.99),
             }),
+            "connections": json!({
+                "open": self.connections_open(),
+                "total": self.connections_total(),
+            }),
+            "codec_line": self.codec_line.load(Ordering::Relaxed),
+            "codec_frame": self.codec_frame.load(Ordering::Relaxed),
         })
     }
 }
@@ -340,6 +396,25 @@ mod tests {
         let m = Metrics::new();
         m.record_batch(5);
         assert_eq!(m.batch_size_quantile(0.99), 8);
+    }
+
+    #[test]
+    fn connection_gauge_and_codec_counters_round_trip() {
+        let m = Metrics::new();
+        m.conn_opened();
+        m.conn_opened();
+        m.conn_closed();
+        m.codec_request(CodecKind::Line);
+        m.codec_request(CodecKind::Frame);
+        m.codec_request(CodecKind::Frame);
+        assert_eq!(m.connections_open(), 1);
+        assert_eq!(m.connections_total(), 2);
+        assert_eq!(m.codec_counts(), (1, 2));
+        let v = m.to_json();
+        assert_eq!(v["connections"]["open"], 1u64);
+        assert_eq!(v["connections"]["total"], 2u64);
+        assert_eq!(v["codec_line"], 1u64);
+        assert_eq!(v["codec_frame"], 2u64);
     }
 
     #[test]

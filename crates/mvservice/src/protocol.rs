@@ -33,6 +33,13 @@ use mvisolation::LevelChange;
 use mvmodel::TxnId;
 use serde_json::{json, Value};
 
+/// Hard cap on the size of one request, shared by every transport:
+/// the byte length of a line on the line-JSON codec, and the declared
+/// payload length of a binary frame on the frame codec. The server
+/// rejects anything larger with a structured error and closes the
+/// connection; the client refuses to encode it; the fuzzer probes it.
+pub const MAX_FRAME: usize = 1 << 20;
+
 /// A decoded client request.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum Request {
@@ -64,6 +71,14 @@ impl Request {
     pub fn parse(line: &str) -> Result<Request, String> {
         let v: Value =
             serde_json::from_str(line).map_err(|e| format!("invalid JSON request: {e}"))?;
+        Request::from_value(&v)
+    }
+
+    /// Decodes one already-parsed request value — the shared back half
+    /// of both codecs: the line codec parses JSON text first, the
+    /// binary frame codec decodes its compact value encoding first,
+    /// and both land here.
+    pub fn from_value(v: &Value) -> Result<Request, String> {
         if v.as_object().is_none() {
             return Err("request must be a JSON object".to_string());
         }
@@ -79,14 +94,14 @@ impl Request {
                     .to_string();
                 Ok(Request::Register {
                     line,
-                    req_id: req_id(&v)?,
+                    req_id: req_id(v)?,
                 })
             }
             "deregister" => Ok(Request::Deregister {
-                id: txn_id(&v)?,
-                req_id: req_id(&v)?,
+                id: txn_id(v)?,
+                req_id: req_id(v)?,
             }),
-            "assign" => Ok(Request::Assign { id: txn_id(&v)? }),
+            "assign" => Ok(Request::Assign { id: txn_id(v)? }),
             "stats" => Ok(Request::Stats),
             "list" => Ok(Request::List),
             "ping" => Ok(Request::Ping),

@@ -1,17 +1,31 @@
-//! The allocation daemon: a blocking thread-per-connection TCP server
-//! over the [`Registry`].
+//! The allocation daemon: a TCP server over the [`Registry`] with two
+//! socket cores and two wire codecs.
 //!
 //! Design constraints (std-only, no async runtime):
 //!
-//! - the acceptor runs non-blocking and polls a shutdown flag between
-//!   accepts, so `SIGTERM`/ctrl-c (see [`install_signal_handlers`]) and
-//!   the `shutdown` request both stop the server promptly;
-//! - each connection thread reads with a short socket timeout used as a
-//!   shutdown-poll tick; a *request* timeout only starts once a partial
-//!   line has arrived (an idle keep-alive connection never times out);
+//! - **two cores** ([`Config::core`]): the default `Event` core is a
+//!   nonblocking readiness-polled event loop — one acceptor/poll
+//!   thread owns every connection's state (read buffer, codec parse
+//!   state, write backlog with backpressure) and multiplexes them over
+//!   `poll(2)` (see [`crate::poll`] and [`crate::event`]), so 10k+
+//!   concurrent connections cost fds, not threads. The `Threaded` core
+//!   is the original blocking thread-per-connection loop, kept as the
+//!   bench baseline and portability fallback. Both feed the same
+//!   request path, so replay, coalescing, and fault semantics are
+//!   bit-identical across cores;
+//! - **two codecs** ([`Config::codec`], sniffed per connection by its
+//!   first byte): newline-delimited JSON text, or length-prefixed
+//!   binary frames carrying the same protocol payloads — see
+//!   [`crate::codec`];
+//! - on the threaded core each connection reads with a short socket
+//!   timeout used as a shutdown-poll tick; the event core's poll wait
+//!   doubles as that tick. A *request* timeout only starts once a
+//!   partial frame has arrived (an idle keep-alive connection never
+//!   times out);
 //! - malformed input produces a structured `{"ok":false,"error":…}`
 //!   reply and the connection stays open — only a stalled partial
-//!   request, an oversized line, or an I/O error closes it;
+//!   request, an oversized frame, a codec violation, or an I/O error
+//!   closes it;
 //! - the registry sits behind one mutex: reallocation is the expensive
 //!   part and is CPU-bound, so serializing mutations is the correct
 //!   concurrency regime, while `assign`/`stats` hold the lock for an
@@ -37,9 +51,12 @@
 //!   `batch_max = 1` the queue does not exist and mutations run inline
 //!   exactly as before.
 
+use crate::codec::{
+    encode_payload, CodecAccept, CodecKind, DrainPlan, FrameBuf, FrameError, Payload,
+};
 use crate::fault::{FaultAction, FaultHook, FaultPlan, InjectedFault, ScriptedFaults};
 use crate::metrics::Metrics;
-use crate::protocol::{changes_json, error_reply, ok_reply, Request};
+use crate::protocol::{changes_json, error_reply, ok_reply, Request, MAX_FRAME};
 use crate::registry::{Registry, RegistryEvent};
 use mvisolation::LevelChange;
 use mvmodel::TxnId;
@@ -47,12 +64,46 @@ use mvrobustness::LevelSet;
 use serde_json::Value;
 use std::collections::HashMap;
 use std::collections::VecDeque;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
+
+/// Which socket core serves connections.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum CoreKind {
+    /// Nonblocking readiness-polled event loop: one thread owns every
+    /// connection's state and multiplexes them over `poll(2)`.
+    #[default]
+    Event,
+    /// Blocking thread-per-connection (the pre-event-loop design) —
+    /// kept as the connection-scaling bench baseline.
+    Threaded,
+}
+
+impl CoreKind {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CoreKind::Event => "event",
+            CoreKind::Threaded => "threaded",
+        }
+    }
+}
+
+impl std::str::FromStr for CoreKind {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "event" => Ok(CoreKind::Event),
+            "threaded" | "threads" => Ok(CoreKind::Threaded),
+            other => Err(format!(
+                "unknown core `{other}` (expected event or threaded)"
+            )),
+        }
+    }
+}
 
 /// Server configuration.
 #[derive(Clone, Debug)]
@@ -84,6 +135,11 @@ pub struct Config {
     /// one arrives (the group-commit window). Only meaningful when
     /// `batch_max > 1`.
     pub batch_delay: Duration,
+    /// Which socket core serves connections (default: the event loop).
+    pub core: CoreKind,
+    /// Which wire codecs incoming connections may negotiate (default:
+    /// sniff per connection).
+    pub codec: CodecAccept,
 }
 
 impl Default for Config {
@@ -98,14 +154,18 @@ impl Default for Config {
             components: true,
             batch_max: 1,
             batch_delay: Duration::from_micros(100),
+            core: CoreKind::default(),
+            codec: CodecAccept::default(),
         }
     }
 }
 
-/// Longest accepted request line, in bytes. A line that grows past this
-/// (complete or partial) gets a structured error reply and the
-/// connection is closed — the server never buffers unboundedly.
-pub const MAX_LINE: usize = 1 << 20;
+/// Longest accepted request frame, in bytes — an alias of the shared
+/// protocol-level cap [`MAX_FRAME`], kept under its historical name. A
+/// line (or declared binary payload) that grows past this gets a
+/// structured error reply and the connection is closed — the server
+/// never buffers unboundedly.
+pub const MAX_LINE: usize = MAX_FRAME;
 
 /// How many `req_id → reply` entries the idempotency replay cache
 /// keeps; oldest entries are evicted first.
@@ -141,9 +201,70 @@ impl ReplayCache {
     }
 }
 
+/// Where a parked request's reply goes once the dispatcher produces it.
+pub(crate) enum ReplyRoute {
+    /// Threaded core: write straight to the connection's shared writer
+    /// in the connection's codec.
+    Direct {
+        writer: Arc<Mutex<TcpStream>>,
+        codec: CodecKind,
+    },
+    /// Event core: hand the reply to the loop's completion queue (the
+    /// loop owns the socket) and wake the poll.
+    Loop { key: u64 },
+}
+
+/// One reply completed by the dispatcher for an event-core connection.
+pub(crate) struct Completion {
+    /// The connection key ([`ReplyRoute::Loop`]).
+    pub(crate) key: u64,
+    pub(crate) reply: Value,
+    /// Cut the encoded reply mid-frame and kill the connection (an
+    /// injected `Truncate` fault).
+    pub(crate) truncate: bool,
+}
+
+/// Dispatcher → event-loop handoff: completed replies plus the waker
+/// that turns them into poll readiness.
+pub(crate) struct Completions {
+    queue: Mutex<Vec<Completion>>,
+    waker: Mutex<Option<crate::poll::Waker>>,
+}
+
+impl Completions {
+    fn new() -> Self {
+        Completions {
+            queue: Mutex::new(Vec::new()),
+            waker: Mutex::new(None),
+        }
+    }
+
+    /// The event loop registers its waker before serving.
+    pub(crate) fn set_waker(&self, w: crate::poll::Waker) {
+        *self.waker.lock().expect("waker poisoned") = Some(w);
+    }
+
+    pub(crate) fn push_all(&self, items: Vec<Completion>) {
+        if items.is_empty() {
+            return;
+        }
+        self.queue
+            .lock()
+            .expect("completions poisoned")
+            .extend(items);
+        if let Some(w) = self.waker.lock().expect("waker poisoned").as_ref() {
+            w.wake();
+        }
+    }
+
+    pub(crate) fn drain(&self) -> Vec<Completion> {
+        std::mem::take(&mut *self.queue.lock().expect("completions poisoned"))
+    }
+}
+
 /// One mutating request parked in the coalescing queue, with everything
-/// the dispatcher needs to answer its connection directly.
-struct Pending {
+/// the dispatcher needs to answer its connection.
+pub(crate) struct Pending {
     req: Request,
     op: &'static str,
     req_id: Option<u64>,
@@ -153,7 +274,7 @@ struct Pending {
     /// When the request was accepted — per-event latency is measured
     /// from here, so it includes the group-commit wait.
     accepted: Instant,
-    writer: Arc<Mutex<TcpStream>>,
+    route: ReplyRoute,
     /// An injected `Truncate` fault rides along: the dispatcher cuts
     /// this event's reply mid-frame and kills the connection.
     truncate: bool,
@@ -198,24 +319,28 @@ pub fn install_signal_handlers() {
     }
 }
 
-struct Shared {
+pub(crate) struct Shared {
     registry: Mutex<Registry>,
-    metrics: Metrics,
+    pub(crate) metrics: Metrics,
     shutdown: AtomicBool,
-    request_timeout: Duration,
+    pub(crate) request_timeout: Duration,
     /// `Some` only when a fault plan was configured.
     faults: Option<Arc<ScriptedFaults>>,
     /// Idempotency cache for mutating requests carrying a `req_id`.
     /// Lock order: `replays` before `registry`, never the reverse.
     replays: Mutex<ReplayCache>,
     /// Monotone connection index — the `conn` fault coordinate.
-    conns: AtomicU64,
+    pub(crate) conns: AtomicU64,
     /// `Some` only when `batch_max > 1`: the group-commit queue.
     batch: Option<Batcher>,
+    /// Which codecs incoming connections may negotiate.
+    pub(crate) codec: CodecAccept,
+    /// Event-core reply handoff (unused by the threaded core).
+    pub(crate) completions: Completions,
 }
 
 impl Shared {
-    fn stopping(&self) -> bool {
+    pub(crate) fn stopping(&self) -> bool {
         self.shutdown.load(Ordering::SeqCst) || SIGNAL_SHUTDOWN.load(Ordering::SeqCst)
     }
 }
@@ -246,12 +371,21 @@ impl ServerHandle {
     pub fn faults_injected(&self) -> u64 {
         self.0.faults.as_ref().map_or(0, |f| f.injected())
     }
+
+    /// A point-in-time snapshot of the server's [`Metrics`] as JSON —
+    /// the same counters the `stats` verb reports (requests, latency
+    /// quantiles, connections gauge, per-codec counters). The `serve`
+    /// front end prints its shutdown summary from this.
+    pub fn metrics_json(&self) -> Value {
+        self.0.metrics.to_json()
+    }
 }
 
 /// The allocation daemon. [`Server::bind`] then [`Server::run`].
 pub struct Server {
     listener: TcpListener,
     shared: Arc<Shared>,
+    core: CoreKind,
 }
 
 impl Server {
@@ -285,7 +419,10 @@ impl Server {
                 replays: Mutex::new(ReplayCache::new()),
                 conns: AtomicU64::new(0),
                 batch,
+                codec: config.codec,
+                completions: Completions::new(),
             }),
+            core: config.core,
         })
     }
 
@@ -300,7 +437,8 @@ impl Server {
     }
 
     /// Serves until a `shutdown` request, a [`ServerHandle::shutdown`],
-    /// or a handled signal. Joins every connection thread before
+    /// or a handled signal. Joins every connection thread (threaded
+    /// core) or flushes every live connection (event core) before
     /// returning.
     pub fn run(self) -> std::io::Result<()> {
         self.listener.set_nonblocking(true)?;
@@ -308,90 +446,171 @@ impl Server {
             let shared = Arc::clone(&self.shared);
             thread::spawn(move || run_dispatcher(&shared))
         });
-        let mut workers: Vec<JoinHandle<()>> = Vec::new();
-        while !self.shared.stopping() {
-            match self.listener.accept() {
-                Ok((stream, _peer)) => {
-                    let shared = Arc::clone(&self.shared);
-                    workers.push(thread::spawn(move || {
-                        // A connection failing setup or I/O is its own
-                        // problem; the server keeps serving.
-                        let _ = serve_connection(stream, shared);
-                    }));
-                }
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    thread::sleep(POLL_TICK);
-                }
-                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-                Err(e) => return Err(e),
-            }
-            workers.retain(|w| !w.is_finished());
-        }
-        for w in workers {
-            let _ = w.join();
-        }
+        let result = match self.core {
+            #[cfg(unix)]
+            CoreKind::Event => crate::event::run_event_loop(&self.listener, &self.shared),
+            #[cfg(not(unix))]
+            CoreKind::Event => run_threaded(&self.listener, &self.shared),
+            CoreKind::Threaded => run_threaded(&self.listener, &self.shared),
+        };
         if let Some(d) = dispatcher {
-            // Connection threads are done; the dispatcher drains any
-            // parked mutations (late replies may hit dead sockets,
-            // which is fine) and exits on the shutdown flag.
+            // Connections are done; the dispatcher drains any parked
+            // mutations (late replies may hit dead sockets or an
+            // already-stopped loop, which is fine) and exits on the
+            // shutdown flag.
             let _ = d.join();
         }
-        Ok(())
+        result
     }
 }
 
+/// The thread-per-connection acceptor: the original blocking core.
+fn run_threaded(listener: &TcpListener, shared: &Arc<Shared>) -> std::io::Result<()> {
+    let mut workers: Vec<JoinHandle<()>> = Vec::new();
+    while !shared.stopping() {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let shared = Arc::clone(shared);
+                workers.push(thread::spawn(move || {
+                    // A connection failing setup or I/O is its own
+                    // problem; the server keeps serving.
+                    let _ = serve_connection(stream, shared);
+                }));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                thread::sleep(POLL_TICK);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+        workers.retain(|w| !w.is_finished());
+    }
+    for w in workers {
+        let _ = w.join();
+    }
+    Ok(())
+}
+
 /// Serves one client connection until it closes, stalls mid-request, or
-/// the server shuts down.
+/// the server shuts down (threaded core).
 fn serve_connection(stream: TcpStream, shared: Arc<Shared>) -> std::io::Result<()> {
+    // Fault coordinates: connection index and per-connection request
+    // sequence number. Both are deterministic given the client's
+    // connect/request order, which is what makes seeded schedules
+    // reproducible.
+    let conn = shared.conns.fetch_add(1, Ordering::SeqCst);
+    shared.metrics.conn_opened();
+    let res = serve_connection_inner(stream, &shared, conn);
+    shared.metrics.conn_closed();
+    res
+}
+
+fn serve_connection_inner(stream: TcpStream, shared: &Shared, conn: u64) -> std::io::Result<()> {
     stream.set_read_timeout(Some(POLL_TICK))?;
     stream.set_nodelay(true).ok();
     // The writer is shared with the dispatcher thread when batching is
     // on (coalesced replies are written by the dispatcher, inline
     // replies by this thread); a mutex keeps the frames whole.
     let writer = Arc::new(Mutex::new(stream.try_clone()?));
-    let mut reader = BufReader::new(stream);
-    let mut line = String::new();
-    // Fault coordinates: connection index and per-connection request
-    // sequence number. Both are deterministic given the client's
-    // connect/request order, which is what makes seeded schedules
-    // reproducible.
-    let conn = shared.conns.fetch_add(1, Ordering::SeqCst);
+    let mut reader = stream;
+    let mut fb = FrameBuf::new(shared.codec);
+    let mut scratch = [0u8; 8192];
     let mut seq = 0u64;
-    // `Some(t)` while a partial request line is buffered: the moment the
-    // first byte of the request arrived.
+    // Frames decoded so far — the frame-codec error policy keys off it.
+    let mut decoded = 0u64;
+    // `Some(t)` while a partial request frame is buffered: the moment
+    // its first byte arrived (observed at the poll tick granularity).
     let mut partial_since: Option<Instant> = None;
     loop {
         if shared.stopping() {
             return Ok(());
         }
-        match reader.read_line(&mut line) {
+        match reader.read(&mut scratch) {
             Ok(0) => {
-                if line.is_empty() {
-                    return Ok(()); // clean close
+                // EOF. A final unterminated line still gets an answer;
+                // a binary frame cut short is a clean drop.
+                match fb.eof_residual() {
+                    Ok(Some(payload)) => {
+                        let codec = fb.kind().unwrap_or(CodecKind::Line);
+                        shared.metrics.codec_request(codec);
+                        let route = || ReplyRoute::Direct {
+                            writer: Arc::clone(&writer),
+                            codec,
+                        };
+                        match process_payload(shared, &payload, conn, seq, route) {
+                            RequestAction::Reply {
+                                reply, truncate, ..
+                            } => {
+                                let mut w = writer.lock().expect("writer poisoned");
+                                if truncate {
+                                    write_truncated(&mut w, codec, &reply)?;
+                                } else {
+                                    write_reply(&mut w, codec, &reply)?;
+                                }
+                            }
+                            RequestAction::SilentClose | RequestAction::Parked => {}
+                        }
+                    }
+                    Ok(None) => {}
+                    Err(e) => frame_error_close(shared, &writer, &fb, decoded, &e)?,
                 }
-                // Final request without trailing newline, then EOF.
-                respond(&writer, &shared, &line, conn, seq)?;
                 return Ok(());
             }
-            Ok(_) if !line.ends_with('\n') => {
-                // read_line only returns Ok at a newline or EOF; a
-                // missing newline here means EOF mid-line.
-                respond(&writer, &shared, &line, conn, seq)?;
-                return Ok(());
-            }
-            Ok(_) if line.len() > MAX_LINE => {
-                let reply = error_reply(&format!("request line exceeds {MAX_LINE} bytes"));
-                shared.metrics.record("invalid", false, Duration::ZERO);
-                write_reply(&mut writer.lock().expect("writer poisoned"), &reply)?;
-                return Ok(());
-            }
-            Ok(_) => {
-                let stop = respond(&writer, &shared, &line, conn, seq)?;
-                seq += 1;
-                line.clear();
-                partial_since = None;
-                if stop {
-                    return Ok(());
+            Ok(n) => {
+                fb.push(&scratch[..n]);
+                loop {
+                    match fb.next_payload() {
+                        Ok(Some(payload)) => {
+                            partial_since = None;
+                            decoded += 1;
+                            let codec = fb.kind().expect("kind is sniffed once decoding");
+                            shared.metrics.codec_request(codec);
+                            let route = || ReplyRoute::Direct {
+                                writer: Arc::clone(&writer),
+                                codec,
+                            };
+                            match process_payload(shared, &payload, conn, seq, route) {
+                                RequestAction::Parked => seq += 1,
+                                RequestAction::SilentClose => return Ok(()),
+                                RequestAction::Reply {
+                                    reply,
+                                    stop,
+                                    truncate,
+                                } => {
+                                    seq += 1;
+                                    let mut w = writer.lock().expect("writer poisoned");
+                                    if truncate {
+                                        // Connection dies *after* the
+                                        // request executed but before
+                                        // the full reply frame made it
+                                        // out: the retry hits the
+                                        // replay cache instead of
+                                        // double-applying.
+                                        write_truncated(&mut w, codec, &reply)?;
+                                        return Ok(());
+                                    }
+                                    write_reply(&mut w, codec, &reply)?;
+                                    if stop {
+                                        return Ok(());
+                                    }
+                                }
+                            }
+                        }
+                        Ok(None) => {
+                            if fb.has_partial() {
+                                partial_since.get_or_insert_with(Instant::now);
+                            } else {
+                                partial_since = None;
+                            }
+                            break;
+                        }
+                        Err(e) => {
+                            let plan = fb.drain_plan(&e);
+                            frame_error_close(shared, &writer, &fb, decoded, &e)?;
+                            drain_errored(&mut reader, plan, shared.request_timeout);
+                            return Ok(());
+                        }
+                    }
                 }
             }
             Err(e)
@@ -400,23 +619,18 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) -> std::io::Result<(
                     std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
                 ) =>
             {
-                // Poll tick. `read_line` keeps any partial bytes in
-                // `line`, so a slow request accumulates across ticks —
-                // but not forever, and never past the line cap.
-                if line.is_empty() {
+                // Poll tick: partial bytes stay in the frame buffer, so
+                // a slow request accumulates across ticks — but not
+                // forever, and never past the frame cap.
+                if !fb.has_partial() {
                     partial_since = None;
                     continue;
                 }
-                if line.len() > MAX_LINE {
-                    let reply = error_reply(&format!("request line exceeds {MAX_LINE} bytes"));
-                    shared.metrics.record("invalid", false, Duration::ZERO);
-                    write_reply(&mut writer.lock().expect("writer poisoned"), &reply)?;
-                    return Ok(());
-                }
                 let since = *partial_since.get_or_insert_with(Instant::now);
                 if since.elapsed() > shared.request_timeout {
-                    let reply = error_reply("request timed out mid-line");
-                    write_reply(&mut writer.lock().expect("writer poisoned"), &reply)?;
+                    let codec = fb.kind().unwrap_or(CodecKind::Line);
+                    let reply = error_reply(stall_message(codec));
+                    write_reply(&mut writer.lock().expect("writer poisoned"), codec, &reply)?;
                     return Ok(());
                 }
             }
@@ -426,35 +640,133 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) -> std::io::Result<(
     }
 }
 
-/// Handles one request line: decode, (maybe) inject a fault, execute,
-/// reply. Returns `true` when the connection should close (shutdown
-/// acknowledged, or an injected drop/truncate).
-fn respond(
-    writer: &Arc<Mutex<TcpStream>>,
+/// The stalled-partial-request error text, per codec (both say "timed
+/// out" — tests and clients match on that).
+pub(crate) fn stall_message(codec: CodecKind) -> &'static str {
+    match codec {
+        CodecKind::Line => "request timed out mid-line",
+        CodecKind::Frame => "request timed out mid-frame",
+    }
+}
+
+/// Swallows the remainder of an in-flight oversized request before
+/// closing. The peer is mid-way through sending it; closing with those
+/// bytes unread turns the close into an RST that can destroy the
+/// structured error reply before the peer reads it. Bounded by the
+/// stall budget (and EOF), so a peer that never finishes cannot pin
+/// the connection.
+fn drain_errored(reader: &mut TcpStream, plan: DrainPlan, budget: Duration) {
+    let mut scratch = [0u8; 8192];
+    let deadline = Instant::now() + budget.max(Duration::from_millis(100));
+    let mut left = match plan {
+        DrainPlan::None => return,
+        DrainPlan::UntilNewline | DrainPlan::UntilEof => usize::MAX,
+        DrainPlan::Bytes(n) => n,
+    };
+    while left > 0 {
+        let want = scratch.len().min(left);
+        match reader.read(&mut scratch[..want]) {
+            Ok(0) => return,
+            Ok(n) => match plan {
+                DrainPlan::UntilNewline => {
+                    if scratch[..n].contains(&b'\n') {
+                        return;
+                    }
+                }
+                DrainPlan::UntilEof => {}
+                _ => left -= n,
+            },
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if Instant::now() >= deadline {
+                    return;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}
+
+/// Answers a framing error (oversized, bad magic, bad payload, refused
+/// codec) with a structured reply when that is safe, then lets the
+/// caller close. On the line codec an error reply is always safe. On
+/// the frame codec it is sent only once at least one frame decoded
+/// (`decoded > 0`) — before that, the "binary" bytes may be arbitrary
+/// junk that merely began with the magic byte, and answering junk with
+/// binary would confuse line-speaking probes; those get a clean drop.
+pub(crate) fn frame_error_close(
     shared: &Shared,
-    raw: &str,
+    writer: &Arc<Mutex<TcpStream>>,
+    fb: &FrameBuf,
+    decoded: u64,
+    err: &FrameError,
+) -> std::io::Result<()> {
+    shared.metrics.record("invalid", false, Duration::ZERO);
+    let codec = match err {
+        // Refusals answer in the codec the *client* speaks, so it can
+        // decode the explanation.
+        FrameError::Refused(got) => *got,
+        _ => fb.kind().unwrap_or(CodecKind::Line),
+    };
+    let structured = match codec {
+        CodecKind::Line => true,
+        CodecKind::Frame => decoded > 0 || matches!(err, FrameError::Refused(_)),
+    };
+    if structured {
+        let reply = error_reply(&err.message());
+        write_reply(&mut writer.lock().expect("writer poisoned"), codec, &reply)?;
+    }
+    Ok(())
+}
+
+/// What one decoded request frame resolved to.
+pub(crate) enum RequestAction {
+    /// Answer with `reply`; close after when `stop` or `truncate`.
+    Reply {
+        reply: Value,
+        stop: bool,
+        truncate: bool,
+    },
+    /// An injected `Drop`: close without replying — the request never
+    /// executed, so a client retry (same `req_id`) applies it exactly
+    /// once.
+    SilentClose,
+    /// Parked in the coalescing queue; the dispatcher will answer via
+    /// the request's [`ReplyRoute`].
+    Parked,
+}
+
+/// Handles one decoded payload: (maybe) inject a fault, decode the
+/// request, park it (group-commit path) or execute it inline. Shared
+/// verbatim by both cores and both codecs — this is what keeps replay,
+/// coalescing, and fault semantics bit-identical across them.
+pub(crate) fn process_payload(
+    shared: &Shared,
+    payload: &Payload,
     conn: u64,
     seq: u64,
-) -> std::io::Result<bool> {
-    let line = raw.trim();
-    if line.is_empty() {
-        return Ok(false);
-    }
+    route: impl FnOnce() -> ReplyRoute,
+) -> RequestAction {
     let action = shared
         .faults
         .as_ref()
         .map_or(FaultAction::None, |f| f.on_request(conn, seq));
     if matches!(action, FaultAction::Drop) {
-        // Connection dies *before* the request executes: the mutation
-        // is never applied, so a client retry (same req_id) applies it
-        // exactly once.
-        return Ok(true);
+        return RequestAction::SilentClose;
     }
     if let FaultAction::Delay(pause) = action {
         thread::sleep(pause);
     }
     let start = Instant::now();
-    let parsed = Request::parse(line);
+    let parsed = match payload {
+        Payload::Line(line) => Request::parse(line),
+        Payload::Frame(v) => Request::from_value(v),
+    };
     // Group-commit path: mutating requests park in the coalescing queue
     // and the dispatcher answers them (per-event metrics, replay cache,
     // and any Truncate fault are all handled at drain time). Everything
@@ -467,13 +779,13 @@ fn respond(
                 req: req.clone(),
                 conn,
                 accepted: start,
-                writer: Arc::clone(writer),
+                route: route(),
                 truncate: matches!(action, FaultAction::Truncate),
             };
             let mut queue = batcher.queue.lock().expect("batch queue poisoned");
             queue.push_back(pending);
             batcher.available.notify_one();
-            return Ok(false);
+            return RequestAction::Parked;
         }
     }
     let (op, reply, stop) = match parsed {
@@ -486,31 +798,46 @@ fn respond(
     };
     let ok = reply["ok"] == true;
     shared.metrics.record(op, ok, start.elapsed());
-    let mut writer = writer.lock().expect("writer poisoned");
-    if matches!(action, FaultAction::Truncate) {
-        // Connection dies *after* the request executed but before the
-        // full reply frame made it out: the retry hits the replay
-        // cache instead of double-applying.
-        write_truncated(&mut writer, &reply)?;
-        return Ok(true);
+    RequestAction::Reply {
+        reply,
+        stop,
+        truncate: matches!(action, FaultAction::Truncate),
     }
-    write_reply(&mut writer, &reply)?;
-    Ok(stop)
 }
 
-fn write_reply(writer: &mut TcpStream, reply: &Value) -> std::io::Result<()> {
-    let mut encoded = serde_json::to_string(reply).expect("replies are always encodable");
-    encoded.push('\n');
-    writer.write_all(encoded.as_bytes())?;
+pub(crate) fn write_reply(
+    writer: &mut TcpStream,
+    codec: CodecKind,
+    reply: &Value,
+) -> std::io::Result<()> {
+    let mut encoded = Vec::new();
+    encode_payload(codec, reply, &mut encoded);
+    writer.write_all(&encoded)?;
     writer.flush()
 }
 
-/// Writes only the first half of the encoded reply (no newline), then
-/// lets the caller close the connection: a mid-frame failure.
-fn write_truncated(writer: &mut TcpStream, reply: &Value) -> std::io::Result<()> {
-    let encoded = serde_json::to_string(reply).expect("replies are always encodable");
-    writer.write_all(&encoded.as_bytes()[..encoded.len() / 2])?;
+/// Writes only the first half of the encoded reply frame, then lets the
+/// caller close the connection: a mid-frame failure on either codec.
+pub(crate) fn write_truncated(
+    writer: &mut TcpStream,
+    codec: CodecKind,
+    reply: &Value,
+) -> std::io::Result<()> {
+    let encoded = truncated_bytes(codec, reply);
+    writer.write_all(&encoded)?;
     writer.flush()
+}
+
+/// The first half of a reply's encoded frame — what an injected
+/// `Truncate` fault puts on the wire before the connection dies. The
+/// cut is always mid-frame (a frame is ≥ 2 bytes on either codec), so
+/// the client sees an unterminated line / incomplete frame, never a
+/// spuriously valid reply.
+pub(crate) fn truncated_bytes(codec: CodecKind, reply: &Value) -> Vec<u8> {
+    let mut encoded = Vec::new();
+    encode_payload(codec, reply, &mut encoded);
+    encoded.truncate(encoded.len() / 2);
+    encoded
 }
 
 /// Raw outcome of a mutation, captured under the registry lock. The
@@ -927,7 +1254,8 @@ fn process_drain(shared: &Shared, batch: Vec<Pending>) {
         }
     }
     // Replies grouped by connection in submission order; one buffered
-    // write + flush per connection per drain.
+    // write + flush per connection per drain (threaded core), or one
+    // completion-queue push + wake for the whole drain (event core).
     let mut conn_order: Vec<u64> = Vec::new();
     let mut by_conn: HashMap<u64, Vec<usize>> = HashMap::new();
     for (i, p) in batch.iter().enumerate() {
@@ -939,34 +1267,56 @@ fn process_drain(shared: &Shared, batch: Vec<Pending>) {
             slot.push(i);
         }
     }
+    let mut completions: Vec<Completion> = Vec::new();
     for conn in conn_order {
         let idxs = &by_conn[&conn];
-        let mut buf = String::new();
-        let mut kill = false;
-        for &i in idxs {
-            let v = replies[i].as_ref().expect("grouped indices have replies");
-            let encoded = serde_json::to_string(v).expect("replies are always encodable");
-            if batch[i].truncate {
-                // The injected mid-frame failure: half the reply, no
-                // newline, then the connection dies. Later replies for
-                // this connection are lost with it — their retries hit
-                // the replay cache.
-                buf.push_str(&encoded[..encoded.len() / 2]);
-                kill = true;
-                break;
+        match &batch[idxs[0]].route {
+            ReplyRoute::Direct { writer, codec } => {
+                let mut buf = Vec::new();
+                let mut kill = false;
+                for &i in idxs {
+                    let v = replies[i].as_ref().expect("grouped indices have replies");
+                    if batch[i].truncate {
+                        // The injected mid-frame failure: half the
+                        // encoded reply frame, then the connection
+                        // dies. Later replies for this connection are
+                        // lost with it — their retries hit the replay
+                        // cache.
+                        buf.extend_from_slice(&truncated_bytes(*codec, v));
+                        kill = true;
+                        break;
+                    }
+                    encode_payload(*codec, v, &mut buf);
+                }
+                let writer = Arc::clone(writer);
+                let mut w = writer.lock().expect("writer poisoned");
+                // A dead client is its own problem; the drain keeps
+                // going.
+                let _ = w.write_all(&buf);
+                let _ = w.flush();
+                if kill {
+                    let _ = w.shutdown(Shutdown::Both);
+                }
             }
-            buf.push_str(&encoded);
-            buf.push('\n');
-        }
-        let writer = Arc::clone(&batch[idxs[0]].writer);
-        let mut w = writer.lock().expect("writer poisoned");
-        // A dead client is its own problem; the drain keeps going.
-        let _ = w.write_all(buf.as_bytes());
-        let _ = w.flush();
-        if kill {
-            let _ = w.shutdown(Shutdown::Both);
+            ReplyRoute::Loop { key } => {
+                for &i in idxs {
+                    let v = replies[i].take().expect("grouped indices have replies");
+                    let truncate = batch[i].truncate;
+                    completions.push(Completion {
+                        key: *key,
+                        reply: v,
+                        truncate,
+                    });
+                    if truncate {
+                        // The loop kills the connection at the cut;
+                        // later replies would hit a dead socket anyway.
+                        break;
+                    }
+                }
+            }
         }
     }
+    shared.completions.push_all(completions);
     // Deferred duplicates re-enter at the front, in original order, for
     // the next drain.
     if !deferred.is_empty() {

@@ -24,7 +24,8 @@ use mvisolation::{Allocation, IsolationLevel};
 use mvmodel::{parse_transaction_line, TransactionSet};
 use mvrobustness::{is_robust, Allocator};
 use mvservice::{
-    Client, ClientError, Config, FaultPlan, RetryClient, RetryPolicy, Server, ServerHandle,
+    Client, ClientError, CodecKind, Config, FaultPlan, RetryClient, RetryPolicy, Server,
+    ServerHandle,
 };
 use rand::rngs::SmallRng;
 use rand::{RngCore, SeedableRng};
@@ -77,9 +78,9 @@ struct Driver {
 }
 
 impl Driver {
-    fn new(addr: std::net::SocketAddr, seed: u64, ctx: String) -> Driver {
+    fn new(addr: std::net::SocketAddr, seed: u64, ctx: String, codec: CodecKind) -> Driver {
         Driver {
-            client: RetryClient::new(addr.to_string(), retry_policy(seed)),
+            client: RetryClient::with_codec(addr.to_string(), retry_policy(seed), codec),
             mirror: Vec::new(),
             transcript: Vec::new(),
             next_id: 1,
@@ -258,9 +259,13 @@ impl Driver {
     }
 }
 
-/// Runs `events` chaos events against a fresh server; returns the
-/// transcript and the server's fault-injection log.
-fn run_scenario(seed: u64, events: usize) -> (Vec<String>, Vec<mvservice::InjectedFault>) {
+/// Runs `events` chaos events against a fresh server over the given
+/// wire codec; returns the transcript and the server's fault log.
+fn run_scenario(
+    seed: u64,
+    events: usize,
+    codec: CodecKind,
+) -> (Vec<String>, Vec<mvservice::InjectedFault>) {
     let plan = FaultPlan {
         seed,
         drop: 0.12,
@@ -271,7 +276,10 @@ fn run_scenario(seed: u64, events: usize) -> (Vec<String>, Vec<mvservice::Inject
         realloc_timeout: 0.06,
         budget: Some(25),
     };
-    let ctx = format!("CHAOS_SEED={seed} fault-plan: {plan}");
+    let ctx = format!(
+        "CHAOS_SEED={seed} codec={} fault-plan: {plan}",
+        codec.as_str()
+    );
     let (addr, handle, join) = start_server(Config {
         addr: "127.0.0.1:0".to_string(),
         realloc_timeout: Some(Duration::from_secs(10)),
@@ -279,7 +287,7 @@ fn run_scenario(seed: u64, events: usize) -> (Vec<String>, Vec<mvservice::Inject
         ..Config::default()
     });
 
-    let mut driver = Driver::new(addr, seed, ctx.clone());
+    let mut driver = Driver::new(addr, seed, ctx.clone(), codec);
     for round in 0..events {
         driver.step();
         if (round + 1) % 10 == 0 {
@@ -340,7 +348,7 @@ fn run_scenario(seed: u64, events: usize) -> (Vec<String>, Vec<mvservice::Inject
 #[test]
 fn chaos_rounds_preserve_robustness_and_the_batch_optimum() {
     let seed = seed_from_env();
-    let (transcript, fault_log) = run_scenario(seed, 60);
+    let (transcript, fault_log) = run_scenario(seed, 60, CodecKind::Line);
     assert!(
         !fault_log.is_empty(),
         "CHAOS_SEED={seed}: the plan injected nothing — chaos run was vacuous"
@@ -355,8 +363,8 @@ fn chaos_rounds_preserve_robustness_and_the_batch_optimum() {
 #[test]
 fn same_seed_reproduces_the_same_schedule_and_outcomes() {
     let seed = seed_from_env();
-    let (t1, f1) = run_scenario(seed, 30);
-    let (t2, f2) = run_scenario(seed, 30);
+    let (t1, f1) = run_scenario(seed, 30, CodecKind::Line);
+    let (t2, f2) = run_scenario(seed, 30, CodecKind::Line);
     assert_eq!(
         f1, f2,
         "CHAOS_SEED={seed}: fault schedules diverged between identical runs"
@@ -366,10 +374,29 @@ fn same_seed_reproduces_the_same_schedule_and_outcomes() {
         "CHAOS_SEED={seed}: event outcomes diverged between identical runs"
     );
     // A different seed produces a genuinely different schedule.
-    let (_, f3) = run_scenario(seed ^ 0x5EED_5EED, 30);
+    let (_, f3) = run_scenario(seed ^ 0x5EED_5EED, 30, CodecKind::Line);
     assert_ne!(
         f1, f3,
         "different seeds should not replay the same fault schedule"
+    );
+}
+
+#[test]
+fn line_and_binary_codecs_replay_identical_chaos_schedules() {
+    // The same seed, driven once over line-JSON and once over binary
+    // frames, must produce the same transcript (event outcomes, retry
+    // resolutions) and the same fault-injection log: the codec is pure
+    // framing, invisible to replay, coalescing, and fault semantics.
+    let seed = seed_from_env();
+    let (t_line, f_line) = run_scenario(seed, 30, CodecKind::Line);
+    let (t_frame, f_frame) = run_scenario(seed, 30, CodecKind::Frame);
+    assert_eq!(
+        f_line, f_frame,
+        "CHAOS_SEED={seed}: fault schedules diverged between codecs"
+    );
+    assert_eq!(
+        t_line, t_frame,
+        "CHAOS_SEED={seed}: event outcomes diverged between codecs"
     );
 }
 

@@ -1,0 +1,235 @@
+//! Property tests for the binary frame codec: `encode ∘ decode = id`
+//! on arbitrary JSON values, under arbitrary read fragmentation, and
+//! exactly at the frame-size boundaries {0, 1, max−1, max, max+1}.
+//!
+//! The generator grows values from a seeded [`SmallRng`] so every
+//! failure reproduces from the printed seed.
+
+use mvservice::{
+    encode_payload, encode_raw_frame, CodecAccept, CodecKind, FrameBuf, FrameError, Payload,
+    MAX_FRAME,
+};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+use serde_json::{Map, Value};
+
+/// A random JSON value, depth-bounded so generation terminates.
+fn random_value(rng: &mut SmallRng, depth: u32) -> Value {
+    let pick = if depth >= 3 {
+        rng.random_range(0..6u32) // scalars only at the leaves
+    } else {
+        rng.random_range(0..8u32)
+    };
+    match pick {
+        0 => Value::Null,
+        1 => Value::from(rng.random_range(0..2u32) == 1),
+        2 => Value::from(rng.next_u64()),
+        3 => Value::from(-(rng.random_range(1..i64::MAX))),
+        4 => Value::from(f64::from_bits(
+            0x3FF0_0000_0000_0000 | (rng.next_u64() >> 12),
+        )),
+        5 => Value::String(random_string(rng)),
+        6 => {
+            let n = rng.random_range(0..5u32);
+            Value::Array((0..n).map(|_| random_value(rng, depth + 1)).collect())
+        }
+        _ => {
+            let n = rng.random_range(0..5u32);
+            let mut map = Map::new();
+            for i in 0..n {
+                map.insert(
+                    format!("k{i}_{}", random_string(rng)),
+                    random_value(rng, depth + 1),
+                );
+            }
+            Value::Object(map)
+        }
+    }
+}
+
+/// Mixed ASCII/Unicode strings, including empties and JSON specials.
+fn random_string(rng: &mut SmallRng) -> String {
+    const POOL: &[&str] = &[
+        "",
+        "x",
+        "txn",
+        "R[x] W[y]",
+        "päyload",
+        "→",
+        "\"quoted\"",
+        "\\back\\",
+        "\n",
+        "\t",
+        "nul\u{0}byte",
+        "🦀",
+        "long-ish-token-with-dashes",
+    ];
+    let n = rng.random_range(0..4u32);
+    (0..n)
+        .map(|_| POOL[rng.random_range(0..POOL.len() as u64) as usize])
+        .collect()
+}
+
+/// Pushes `wire` into a fresh auto-sniffing FrameBuf in random chunks
+/// and returns every decoded payload.
+fn decode_chunked(rng: &mut SmallRng, wire: &[u8]) -> Vec<Value> {
+    let mut fb = FrameBuf::new(CodecAccept::Auto);
+    let mut out = Vec::new();
+    let mut at = 0;
+    while at < wire.len() {
+        let n = rng.random_range(1..64usize).min(wire.len() - at);
+        fb.push(&wire[at..at + n]);
+        at += n;
+        loop {
+            match fb.next_payload().expect("valid wire bytes decode") {
+                Some(Payload::Frame(v)) => out.push(v),
+                Some(Payload::Line(_)) => panic!("binary wire sniffed as line"),
+                None => break,
+            }
+        }
+    }
+    assert!(!fb.has_partial(), "whole frames must leave no residue");
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64 })]
+
+    /// encode ∘ decode = id for a single frame, fed whole.
+    #[test]
+    fn prop_frame_round_trips(seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let v = random_value(&mut rng, 0);
+        let mut wire = Vec::new();
+        encode_payload(CodecKind::Frame, &v, &mut wire);
+        let mut fb = FrameBuf::new(CodecAccept::Auto);
+        fb.push(&wire);
+        prop_assert_eq!(fb.next_payload().unwrap(), Some(Payload::Frame(v)));
+        prop_assert_eq!(fb.next_payload().unwrap(), None);
+    }
+
+    /// A pipelined run of frames survives arbitrary read fragmentation
+    /// (every split point, including mid-header and mid-payload, is
+    /// reachable from some seed).
+    #[test]
+    fn prop_split_frames_round_trip(seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let count = rng.random_range(1..6usize);
+        let values: Vec<Value> = (0..count).map(|_| random_value(&mut rng, 0)).collect();
+        let mut wire = Vec::new();
+        for v in &values {
+            encode_payload(CodecKind::Frame, v, &mut wire);
+        }
+        let decoded = decode_chunked(&mut rng, &wire);
+        prop_assert_eq!(decoded, values);
+    }
+}
+
+#[test]
+fn boundary_len_zero_is_a_structured_payload_error() {
+    let mut wire = Vec::new();
+    encode_raw_frame(&[], &mut wire);
+    let mut fb = FrameBuf::new(CodecAccept::Auto);
+    fb.push(&wire);
+    match fb.next_payload() {
+        Err(FrameError::BadPayload(_)) => {}
+        other => panic!("empty payload must be a payload error, got {other:?}"),
+    }
+}
+
+#[test]
+fn boundary_len_one_decodes_the_smallest_value() {
+    // Tag 0x00 = null: the shortest legal payload.
+    let mut wire = Vec::new();
+    encode_raw_frame(&[0x00], &mut wire);
+    let mut fb = FrameBuf::new(CodecAccept::Auto);
+    fb.push(&wire);
+    assert_eq!(
+        fb.next_payload().unwrap(),
+        Some(Payload::Frame(Value::Null))
+    );
+}
+
+/// A string payload of exactly `total` bytes: TAG_STR (1) + u32 length
+/// (4) + the character bytes.
+fn string_payload(total: usize) -> Vec<u8> {
+    assert!(total >= 5);
+    let body = total - 5;
+    let mut p = Vec::with_capacity(total);
+    p.push(0x06);
+    p.extend_from_slice(&(body as u32).to_le_bytes());
+    p.extend(std::iter::repeat_n(b's', body));
+    p
+}
+
+#[test]
+fn boundary_len_max_minus_one_and_max_round_trip() {
+    for total in [MAX_FRAME - 1, MAX_FRAME] {
+        let payload = string_payload(total);
+        let mut wire = Vec::new();
+        encode_raw_frame(&payload, &mut wire);
+        let mut fb = FrameBuf::new(CodecAccept::Auto);
+        fb.push(&wire);
+        match fb.next_payload().unwrap() {
+            Some(Payload::Frame(Value::String(s))) => {
+                assert_eq!(s.len(), total - 5, "payload of {total} bytes");
+            }
+            other => panic!("expected a string frame at {total} bytes, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn boundary_len_max_plus_one_is_rejected_from_the_header_alone() {
+    // Only the header needs to arrive — the declared length condemns
+    // the frame before any payload is buffered.
+    let mut fb = FrameBuf::new(CodecAccept::Auto);
+    let mut header = vec![mvservice::FRAME_MAGIC];
+    header.extend_from_slice(&((MAX_FRAME + 1) as u32).to_le_bytes());
+    fb.push(&header);
+    match fb.next_payload() {
+        Err(FrameError::Oversized { len, kind }) => {
+            assert_eq!(len, MAX_FRAME + 1);
+            assert_eq!(kind, CodecKind::Frame);
+        }
+        other => panic!("expected Oversized, got {other:?}"),
+    }
+}
+
+#[test]
+fn partial_frame_at_eof_is_a_clean_drop() {
+    let mut wire = Vec::new();
+    encode_payload(
+        CodecKind::Frame,
+        &serde_json::from_str::<Value>(r#"{"op":"ping"}"#).unwrap(),
+        &mut wire,
+    );
+    // Cut the frame anywhere before its end: EOF must yield nothing.
+    for cut in [1, 3, wire.len() / 2, wire.len() - 1] {
+        let mut fb = FrameBuf::new(CodecAccept::Auto);
+        fb.push(&wire[..cut]);
+        assert_eq!(fb.next_payload().unwrap(), None, "cut at {cut}");
+        assert_eq!(fb.eof_residual().unwrap(), None, "cut at {cut}");
+    }
+}
+
+#[test]
+fn codec_negotiation_is_per_connection_and_sticky() {
+    // A line connection never flips to frames mid-stream: a stray 0xB1
+    // inside a line is just a byte; a 0xB1 *first* byte means frames.
+    let mut fb = FrameBuf::new(CodecAccept::Auto);
+    fb.push(b"{\"op\":\"ping\"}\n");
+    assert!(matches!(fb.next_payload().unwrap(), Some(Payload::Line(_))));
+    assert_eq!(fb.kind(), Some(CodecKind::Line));
+    let mut frame = Vec::new();
+    encode_payload(
+        CodecKind::Frame,
+        &serde_json::from_str::<Value>(r#"{"op":"ping"}"#).unwrap(),
+        &mut frame,
+    );
+    fb.push(&frame);
+    // The frame bytes are not valid UTF-8 JSON lines — the connection
+    // errors rather than silently switching codecs.
+    assert!(fb.next_payload().is_err() || fb.kind() == Some(CodecKind::Line));
+}

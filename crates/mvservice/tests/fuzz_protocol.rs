@@ -8,9 +8,12 @@
 //! keep serving well-formed requests afterwards. Reproduce with
 //! `FUZZ_SEED=<seed> cargo test -p mvservice --test fuzz_protocol`.
 
-use mvservice::{Client, Config, Server, MAX_LINE};
+use mvservice::{
+    encode_payload, Client, CodecKind, Config, FrameBuf, Payload, Server, FRAME_MAGIC, MAX_FRAME,
+};
 use rand::rngs::SmallRng;
 use rand::{RngCore, SeedableRng};
+use serde_json::Value;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpStream};
 use std::time::Duration;
@@ -185,7 +188,7 @@ fn oversized_line_gets_an_error_then_the_connection_closes() {
         .expect("timeout");
     let mut writer = stream.try_clone().expect("clone");
     // ~2x the cap, in one line.
-    let big = vec![b'a'; 2 * MAX_LINE];
+    let big = vec![b'a'; 2 * MAX_FRAME];
     writer.write_all(&big).expect("write oversized");
     writer.write_all(b"\n").expect("newline");
     writer.flush().expect("flush");
@@ -201,6 +204,287 @@ fn oversized_line_gets_an_error_then_the_connection_closes() {
     // The connection is closed afterwards — no unbounded buffering.
     let mut rest = String::new();
     assert_eq!(reader.read_to_string(&mut rest).expect("eof"), 0);
+
+    let mut client = Client::connect(addr).expect("connect");
+    client.ping().expect("server unaffected");
+    client.shutdown().expect("shutdown");
+    join.join().expect("server thread");
+}
+
+/// Encodes `line` (well-formed JSON) as one binary frame.
+fn binary_frame(line: &str) -> Vec<u8> {
+    let v: Value = serde_json::from_str(line).expect("base frames are valid JSON");
+    let mut out = Vec::new();
+    encode_payload(CodecKind::Frame, &v, &mut out);
+    out
+}
+
+/// One seeded binary-frame mutation: truncated header or payload,
+/// corrupted magic, declared length ≠ actual, flipped payload bytes.
+fn mutate_binary(rng: &mut SmallRng, wire: &[u8]) -> Vec<u8> {
+    let mut bytes = wire.to_vec();
+    match rng.next_u64() % 5 {
+        0 => {
+            // Truncate anywhere — inside the 5-byte header included.
+            let at = (rng.next_u64() % bytes.len() as u64) as usize;
+            bytes.truncate(at);
+        }
+        1 => {
+            // Bad magic: anything that isn't 0xB1 (and isn't `{`, which
+            // would legitimately sniff as a line).
+            let mut m = (rng.next_u64() % 256) as u8;
+            if m == FRAME_MAGIC || m == b'{' {
+                m = 0xFF;
+            }
+            bytes[0] = m;
+        }
+        2 => {
+            // Declared length > actual: the frame never completes — the
+            // stall budget must fire (or EOF must be a clean drop).
+            let declared = u32::from_le_bytes([bytes[1], bytes[2], bytes[3], bytes[4]]);
+            let grown = declared + 1 + (rng.next_u64() % 64) as u32;
+            bytes[1..5].copy_from_slice(&grown.min(MAX_FRAME as u32).to_le_bytes());
+        }
+        3 => {
+            // Declared length < actual: decode sees trailing or
+            // truncated garbage — a structured payload error.
+            let declared = u32::from_le_bytes([bytes[1], bytes[2], bytes[3], bytes[4]]);
+            let shrunk = (rng.next_u64() % u64::from(declared).max(1)) as u32;
+            bytes[1..5].copy_from_slice(&shrunk.to_le_bytes());
+        }
+        _ => {
+            // Flip payload bytes, header intact.
+            for _ in 0..1 + rng.next_u64() % 8 {
+                let at = 5 + (rng.next_u64() % (bytes.len() - 5).max(1) as u64) as usize;
+                if at < bytes.len() {
+                    bytes[at] = (rng.next_u64() % 256) as u8;
+                }
+            }
+        }
+    }
+    bytes
+}
+
+/// Ships a valid binary ping (validating the connection as
+/// frame-speaking) followed by `mutated`, half-closes, and collects
+/// every binary reply until the server closes. A stall panics.
+fn fire_binary(addr: SocketAddr, mutated: &[u8]) -> Vec<Value> {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    let mut writer = stream.try_clone().expect("clone");
+    writer
+        .write_all(&binary_frame(r#"{"op":"ping"}"#))
+        .expect("write ping frame");
+    writer.write_all(mutated).expect("write mutated frame");
+    writer.flush().expect("flush");
+    stream.shutdown(Shutdown::Write).ok();
+    let mut reader = stream;
+    let mut fb = FrameBuf::with_kind(CodecKind::Frame);
+    let mut replies = Vec::new();
+    let mut buf = [0u8; 4096];
+    loop {
+        match fb.next_payload() {
+            Ok(Some(Payload::Frame(v))) => {
+                replies.push(v);
+                continue;
+            }
+            Ok(Some(Payload::Line(l))) => panic!("line reply {l:?} on a binary connection"),
+            Ok(None) => {}
+            Err(e) => panic!("undecodable reply to {mutated:?}: {}", e.message()),
+        }
+        match reader.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => fb.push(&buf[..n]),
+            Err(e) => panic!("read stalled on frame {mutated:?}: {e}"),
+        }
+    }
+    replies
+}
+
+#[test]
+fn mutated_binary_frames_get_structured_errors_or_clean_drops() {
+    let seed = seed_from_env() ^ 0xB1B1;
+    let (addr, join) = start_server();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let bases: Vec<Vec<u8>> = base_frames().iter().map(|l| binary_frame(l)).collect();
+    for round in 0..120u32 {
+        let base = &bases[(rng.next_u64() % bases.len() as u64) as usize];
+        let mutated = mutate_binary(&mut rng, base);
+        let replies = fire_binary(addr, &mutated);
+        assert!(
+            !replies.is_empty(),
+            "FUZZ_SEED={seed} round {round}: the leading ping got no reply"
+        );
+        assert_eq!(
+            replies[0]["ok"], true,
+            "FUZZ_SEED={seed} round {round}: ping must succeed before the mutation lands"
+        );
+        for v in &replies[1..] {
+            assert!(
+                v["ok"].as_bool().is_some(),
+                "FUZZ_SEED={seed} round {round}: reply {v} lacks ok"
+            );
+            if v["ok"] == false {
+                assert!(
+                    v["error"].as_str().is_some(),
+                    "FUZZ_SEED={seed} round {round}: error reply without message"
+                );
+            }
+        }
+        if round % 25 == 0 {
+            let mut probe =
+                Client::connect_with(addr, CodecKind::Frame).expect("server still accepts");
+            probe.ping().expect("server still answers frames");
+        }
+    }
+
+    // After the storm the service works on both codecs.
+    for (i, kind) in [CodecKind::Line, CodecKind::Frame].into_iter().enumerate() {
+        let mut client = Client::connect_with(addr, kind).expect("connect");
+        client.ping().expect("ping");
+        let reply = client
+            .register(&format!("T6{i}: R[q] W[q]"))
+            .expect("register");
+        assert_eq!(reply["ok"], true);
+    }
+    let mut client = Client::connect(addr).expect("connect");
+    client.shutdown().expect("shutdown");
+    join.join().expect("server thread");
+}
+
+#[test]
+fn oversized_binary_frame_gets_the_same_structured_error() {
+    let (addr, join) = start_server();
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout");
+    let mut writer = stream.try_clone().expect("clone");
+    writer
+        .write_all(&binary_frame(r#"{"op":"ping"}"#))
+        .expect("write ping frame");
+    // A header declaring 2x the cap — rejected before any payload.
+    let mut header = vec![FRAME_MAGIC];
+    header.extend_from_slice(&((2 * MAX_FRAME) as u32).to_le_bytes());
+    writer.write_all(&header).expect("write oversized header");
+    writer.flush().expect("flush");
+    stream.shutdown(Shutdown::Write).ok();
+
+    let mut reader = stream;
+    let mut fb = FrameBuf::with_kind(CodecKind::Frame);
+    let mut buf = [0u8; 4096];
+    let mut replies: Vec<Value> = Vec::new();
+    loop {
+        match fb.next_payload().expect("server replies are well-formed") {
+            Some(Payload::Frame(v)) => {
+                replies.push(v);
+                continue;
+            }
+            Some(Payload::Line(l)) => panic!("line reply {l:?} on a binary connection"),
+            None => {}
+        }
+        match reader.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => fb.push(&buf[..n]),
+            Err(e) => panic!("read stalled: {e}"),
+        }
+    }
+    assert_eq!(
+        replies.len(),
+        2,
+        "ping reply + structured error: {replies:?}"
+    );
+    assert_eq!(replies[0]["ok"], true);
+    assert_eq!(replies[1]["ok"], false);
+    assert!(
+        replies[1]["error"].as_str().unwrap().contains("exceeds"),
+        "oversized frames use the same error shape as oversized lines: {}",
+        replies[1]
+    );
+
+    let mut client = Client::connect(addr).expect("connect");
+    client.ping().expect("server unaffected");
+    client.shutdown().expect("shutdown");
+    join.join().expect("server thread");
+}
+
+#[test]
+fn junk_behind_the_magic_byte_is_a_clean_drop_not_a_binary_error() {
+    // A *line* probe whose junk happens to start with 0xB1 sniffs as
+    // binary; with no validated frame on the connection the server
+    // must drop cleanly rather than answer with binary bytes the probe
+    // cannot parse.
+    let (addr, join) = start_server();
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut junk = vec![FRAME_MAGIC];
+    junk.extend_from_slice(&3u32.to_le_bytes());
+    junk.extend_from_slice(b"zzz");
+    writer.write_all(&junk).expect("write junk");
+    writer.flush().expect("flush");
+    stream.shutdown(Shutdown::Write).ok();
+    let mut reader = stream;
+    let mut rest = Vec::new();
+    reader.read_to_end(&mut rest).expect("clean close");
+    assert!(
+        rest.is_empty(),
+        "junk-sniffed connections close silently, got {rest:?}"
+    );
+
+    let mut client = Client::connect(addr).expect("connect");
+    client.ping().expect("server unaffected");
+    client.shutdown().expect("shutdown");
+    join.join().expect("server thread");
+}
+
+#[test]
+fn stalled_partial_binary_frame_times_out_with_a_frame_error() {
+    let (addr, join) = start_server();
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout");
+    let mut writer = stream.try_clone().expect("clone");
+    writer
+        .write_all(&binary_frame(r#"{"op":"ping"}"#))
+        .expect("write ping frame");
+    // Half a header, then silence — the 300ms stall budget must fire.
+    writer
+        .write_all(&[FRAME_MAGIC, 0x10, 0x00])
+        .expect("partial");
+    writer.flush().expect("flush");
+
+    let mut reader = stream;
+    let mut fb = FrameBuf::with_kind(CodecKind::Frame);
+    let mut buf = [0u8; 4096];
+    let mut replies: Vec<Value> = Vec::new();
+    while replies.len() < 2 {
+        match fb.next_payload().expect("server replies are well-formed") {
+            Some(Payload::Frame(v)) => {
+                replies.push(v);
+                continue;
+            }
+            Some(Payload::Line(l)) => panic!("line reply {l:?} on a binary connection"),
+            None => {}
+        }
+        match reader.read(&mut buf) {
+            Ok(0) => panic!("closed before the stall error arrived: {replies:?}"),
+            Ok(n) => fb.push(&buf[..n]),
+            Err(e) => panic!("read stalled: {e}"),
+        }
+    }
+    assert_eq!(replies[0]["ok"], true);
+    assert_eq!(replies[1]["ok"], false);
+    assert!(
+        replies[1]["error"].as_str().unwrap().contains("timed out"),
+        "unexpected error: {}",
+        replies[1]
+    );
 
     let mut client = Client::connect(addr).expect("connect");
     client.ping().expect("server unaffected");

@@ -7,7 +7,9 @@
 
 use mvmodel::fmt as mvfmt;
 use mvrobustness::Allocator;
-use mvservice::{Client, ClientError, Config, Server};
+use mvservice::{
+    Client, ClientError, CodecKind, Config, CoreKind, FaultPlan, RetryClient, RetryPolicy, Server,
+};
 use mvworkloads::SmallBank;
 use std::time::Duration;
 
@@ -175,6 +177,119 @@ fn rc_si_mode_reports_unallocatable_adds() {
 
     client.shutdown().expect("shutdown");
     server.join().expect("server thread");
+}
+
+#[test]
+fn binary_codec_serves_identical_assignments_alongside_line_clients() {
+    let (addr, server) = start_server(Config {
+        addr: "127.0.0.1:0".to_string(),
+        ..Config::default()
+    });
+    // Two clients on one server, one per codec, interleaving requests.
+    let mut line = Client::connect_with(addr, CodecKind::Line).expect("line connect");
+    let mut frame = Client::connect_with(addr, CodecKind::Frame).expect("frame connect");
+    line.set_timeout(Some(Duration::from_secs(30))).unwrap();
+    frame.set_timeout(Some(Duration::from_secs(30))).unwrap();
+
+    for (i, wire_line) in smallbank_lines().iter().enumerate() {
+        let client = if i % 2 == 0 { &mut frame } else { &mut line };
+        let reply = client.register(wire_line).expect("register");
+        assert_eq!(reply["ok"], true);
+    }
+
+    let txns = SmallBank::canonical_mix();
+    let (expected, _) = Allocator::new(&txns).optimal();
+    for (id, level) in expected.iter() {
+        // Both codecs serve the same allocation.
+        assert_eq!(frame.assign(id.0).expect("frame assign"), level);
+        assert_eq!(line.assign(id.0).expect("line assign"), level);
+    }
+
+    // The stats verb surfaces the connection gauge and per-codec
+    // counters, and both codecs saw traffic.
+    let stats = frame.stats().expect("stats");
+    assert!(
+        stats["connections"]["open"].as_u64().unwrap() >= 2,
+        "two live clients must show in the gauge: {stats}"
+    );
+    assert!(stats["connections"]["total"].as_u64().unwrap() >= 2);
+    assert!(stats["codec_line"].as_u64().unwrap() > 0, "{stats}");
+    assert!(stats["codec_frame"].as_u64().unwrap() > 0, "{stats}");
+
+    frame.shutdown().expect("shutdown");
+    server.join().expect("server thread");
+}
+
+#[test]
+fn threaded_core_serves_the_same_protocol() {
+    let (addr, server) = start_server(Config {
+        addr: "127.0.0.1:0".to_string(),
+        core: CoreKind::Threaded,
+        ..Config::default()
+    });
+    for kind in [CodecKind::Line, CodecKind::Frame] {
+        let mut client = Client::connect_with(addr, kind).expect("connect");
+        client.set_timeout(Some(Duration::from_secs(30))).unwrap();
+        client.ping().expect("ping");
+        let reply = client
+            .register(&format!(
+                "T{}: R[x] W[y]",
+                100 + (kind == CodecKind::Frame) as u32
+            ))
+            .expect("register");
+        assert_eq!(reply["ok"], true);
+    }
+    let mut client = Client::connect(addr).expect("connect");
+    let stats = client.stats().expect("stats");
+    assert!(stats["codec_line"].as_u64().unwrap() > 0);
+    assert!(stats["codec_frame"].as_u64().unwrap() > 0);
+    client.shutdown().expect("shutdown");
+    server.join().expect("server thread");
+}
+
+/// Runs the truncated-reply replay scenario over one codec and returns
+/// `(req_id, replayed, registry_size)` from the retried reply.
+fn replay_over(codec: CodecKind) -> (u64, bool, u64) {
+    let plan = FaultPlan {
+        seed: 1,
+        truncate: 1.0,
+        budget: Some(1),
+        ..FaultPlan::default()
+    };
+    let (addr, server) = start_server(Config {
+        addr: "127.0.0.1:0".to_string(),
+        faults: Some(plan),
+        ..Config::default()
+    });
+    let policy = RetryPolicy {
+        retries: 6,
+        base: Duration::from_millis(1),
+        cap: Duration::from_millis(20),
+        seed: 7,
+    };
+    let mut client = RetryClient::with_codec(addr.to_string(), policy, codec);
+    let reply = client.register("T1: R[x] W[y]").expect("retried register");
+    let out = (
+        reply["req_id"].as_u64().expect("req_id echo"),
+        reply["replayed"] == true,
+        reply["registry_size"].as_u64().expect("registry_size"),
+    );
+    client.shutdown().expect("shutdown");
+    server.join().expect("server thread");
+    out
+}
+
+#[test]
+fn replay_semantics_are_bit_identical_across_codecs() {
+    // The same retry policy seed must derive the same idempotency key,
+    // hit the replay cache the same way, and leave the same registry —
+    // whether the truncated reply was a JSON line or a binary frame.
+    let (id_line, replayed_line, size_line) = replay_over(CodecKind::Line);
+    let (id_frame, replayed_frame, size_frame) = replay_over(CodecKind::Frame);
+    assert_eq!(id_line, id_frame, "req_id keys diverged across codecs");
+    assert!(replayed_line && replayed_frame, "both retries must replay");
+    assert_eq!(size_line, 1, "line run double-applied");
+    assert_eq!(size_frame, 1, "frame run double-applied");
 }
 
 #[test]
