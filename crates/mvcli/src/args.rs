@@ -25,6 +25,8 @@ const VALUED: &[&str] = &[
     "batch-max",
     "codec",
     "core",
+    "data-dir",
+    "durability",
     "fault-plan",
     "level",
     "levels",
@@ -33,7 +35,9 @@ const VALUED: &[&str] = &[
     "retries",
     "seed",
     "repeat",
+    "snapshot-every",
     "ssi-mode",
+    "tenant",
     "threads",
 ];
 

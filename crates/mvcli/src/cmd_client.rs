@@ -5,8 +5,11 @@
 //! mvrobust client deregister T1 | assign T1 | stats | list | ping | shutdown
 //! mvrobust client batch [LINE ...]        # or one line per stdin line
 //! mvrobust client ... [--retries N] [--backoff-ms MS] [--seed N]
-//! mvrobust client ... [--codec line|binary]
+//! mvrobust client ... [--codec line|binary] [--tenant NAME]
 //! ```
+//!
+//! `--tenant` routes every request to that namespace on a multi-tenant
+//! server (default `default`, which stays off the wire entirely).
 //!
 //! `--codec binary` speaks length-prefixed binary frames instead of
 //! newline-delimited JSON; the server sniffs the framing per
@@ -121,13 +124,20 @@ pub fn run(argv: &[String]) -> Result<ExitCode, String> {
             .unwrap_or(RetryPolicy::default().base),
         ..RetryPolicy::default()
     };
+    let tenant = parsed.option("tenant");
     let mut client = if retries.is_some() || backoff_ms.is_some() {
-        Conn::Retry(RetryClient::with_codec(addr, policy, codec))
+        let mut c = RetryClient::with_codec(addr, policy, codec);
+        if let Some(t) = tenant {
+            c = c.with_tenant(t);
+        }
+        Conn::Retry(c)
     } else {
-        Conn::Plain(
-            Client::connect_with(addr, codec)
-                .map_err(|e| format!("connecting to {addr}: {e} (is `mvrobust serve` running?)"))?,
-        )
+        let mut c = Client::connect_with(addr, codec)
+            .map_err(|e| format!("connecting to {addr}: {e} (is `mvrobust serve` running?)"))?;
+        if let Some(t) = tenant {
+            c = c.with_tenant(t);
+        }
+        Conn::Plain(c)
     };
 
     let result = match verb.as_str() {
@@ -226,7 +236,13 @@ pub fn run(argv: &[String]) -> Result<ExitCode, String> {
             // the batch verb always runs through the retry client.
             let replies = match &mut client {
                 Conn::Retry(c) => c.send_batch(&ops),
-                Conn::Plain(_) => RetryClient::with_codec(addr, policy, codec).send_batch(&ops),
+                Conn::Plain(_) => {
+                    let mut c = RetryClient::with_codec(addr, policy, codec);
+                    if let Some(t) = tenant {
+                        c = c.with_tenant(t);
+                    }
+                    c.send_batch(&ops)
+                }
             };
             replies.map(|replies| {
                 if json {

@@ -5,6 +5,8 @@
 //!                [--realloc-timeout-ms N] [--fault-plan SPEC]
 //!                [--batch-max N] [--batch-delay-us N]
 //!                [--codec auto|line|binary] [--core event|threaded]
+//!                [--data-dir DIR] [--snapshot-every N]
+//!                [--durability none|batch|event]
 //! ```
 //!
 //! `--realloc-timeout-ms` caps each incremental reallocation; on expiry
@@ -24,6 +26,15 @@
 //! on one readiness-polled thread; `threaded` is the blocking
 //! thread-per-connection baseline kept for the scaling bench.
 //!
+//! `--data-dir` turns on durability: every applied mutation is written
+//! to a write-ahead event log in DIR before its reply ships, a snapshot
+//! is cut every `--snapshot-every` applied events (default 1024,
+//! 0 = never), and on startup the server recovers its exact pre-crash
+//! state — all tenants, allocations, and the idempotency replay cache —
+//! from the latest valid snapshot plus the log tail. `--durability`
+//! picks the fsync policy: `batch` (default) syncs once per group-commit
+//! drain, `event` syncs every record, `none` leaves flushing to the OS.
+//!
 //! Prints `listening on <addr>` once the socket is bound (with the
 //! ephemeral port resolved, so `--addr 127.0.0.1:0` is scriptable),
 //! then serves until a client sends `shutdown` or the process receives
@@ -31,7 +42,10 @@
 //! per-codec counters from the server's metrics.
 
 use crate::args::Parsed;
-use mvservice::{install_signal_handlers, CodecAccept, Config, CoreKind, FaultPlan, Server};
+use mvservice::{
+    install_signal_handlers, CodecAccept, Config, CoreKind, Durability, FaultPlan, Server,
+};
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -75,8 +89,26 @@ pub fn run(argv: &[String]) -> Result<ExitCode, String> {
             .transpose()
             .map_err(|e| format!("invalid --core: {e}"))?
             .unwrap_or_default(),
+        data_dir: parsed.option("data-dir").map(PathBuf::from),
+        durability: parsed
+            .option("durability")
+            .map(|s| s.parse::<Durability>())
+            .transpose()
+            .map_err(|e| format!("invalid --durability: {e}"))?
+            .unwrap_or_default(),
         ..Config::default()
     };
+    if let Some(n) = parsed.option_parse::<u64>("snapshot-every")? {
+        config.snapshot_every = n;
+    }
+    if config.data_dir.is_none()
+        && (parsed.option("snapshot-every").is_some() || parsed.option("durability").is_some())
+    {
+        return Err(
+            "--snapshot-every / --durability need --data-dir (nothing is durable without one)"
+                .to_string(),
+        );
+    }
     if let Some(us) = parsed.option_parse::<u64>("batch-delay-us")? {
         config.batch_delay = Duration::from_micros(us);
     }
@@ -88,6 +120,11 @@ pub fn run(argv: &[String]) -> Result<ExitCode, String> {
         .unwrap_or_default();
     let core = config.core;
     let codec = config.codec;
+    let durable_note = config
+        .data_dir
+        .as_ref()
+        .map(|d| format!(" [durable: {} fsync={}]", d.display(), config.durability))
+        .unwrap_or_default();
     let server = Server::bind(config).map_err(|e| format!("binding listener: {e}"))?;
     let addr = server.local_addr().map_err(|e| e.to_string())?;
     let handle = server.handle();
@@ -97,7 +134,7 @@ pub fn run(argv: &[String]) -> Result<ExitCode, String> {
     // must stay the FIRST line printed — harnesses parse the address
     // out of it.
     println!(
-        "listening on {addr} (levels {levels}, core {}, codec {}){fault_note}",
+        "listening on {addr} (levels {levels}, core {}, codec {}){durable_note}{fault_note}",
         core.as_str(),
         codec.as_str()
     );

@@ -464,6 +464,125 @@ fn serve_rejects_malformed_fault_plan() {
     assert!(stderr.contains("invalid --fault-plan"), "{stderr}");
 }
 
+/// A scratch data directory, removed on drop.
+struct TempDir(std::path::PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        let dir = std::env::temp_dir().join(format!("mvrobust-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        TempDir(dir)
+    }
+    fn path(&self) -> &str {
+        self.0.to_str().expect("utf-8 temp path")
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+#[test]
+fn serve_survives_kill_dash_nine_with_identical_state() {
+    let data = TempDir::new("kill9");
+    let durable = ["--data-dir", data.path(), "--snapshot-every", "4"];
+
+    let (mut server, addr, _out, banner) = spawn_server(&durable);
+    assert!(banner.contains("durable:"), "{banner}");
+    assert!(banner.contains("fsync=batch"), "{banner}");
+
+    // Two tenants: write skew in the default namespace, a lost-update
+    // pair in `acme`.
+    for line in ["T1: R[x] W[y]", "T2: R[y] W[x]"] {
+        let (_, stderr, code) = client(&addr, &["register", line]);
+        assert_eq!(code, 0, "{stderr}");
+    }
+    for line in ["T1: R[z] W[z]", "T2: R[z] W[z]", "T3: W[q]"] {
+        let (_, stderr, code) = client(&addr, &["register", line, "--tenant", "acme"]);
+        assert_eq!(code, 0, "{stderr}");
+    }
+    let (before_default, _, code) = client(&addr, &["list", "--json"]);
+    assert_eq!(code, 0);
+    let (before_acme, _, code) = client(&addr, &["list", "--json", "--tenant", "acme"]);
+    assert_eq!(code, 0);
+
+    // SIGKILL: no shutdown handler runs, no buffer is flushed — the
+    // only surviving state is what the store already made durable.
+    server.kill().expect("kill -9 the server");
+    server.wait().expect("reap");
+
+    let (mut server, addr, _out, banner) = spawn_server(&durable);
+    assert!(banner.contains("durable:"), "{banner}");
+
+    let (after_default, _, code) = client(&addr, &["list", "--json"]);
+    assert_eq!(code, 0);
+    assert_eq!(
+        before_default, after_default,
+        "default tenant state must survive kill -9"
+    );
+    let (after_acme, _, code) = client(&addr, &["list", "--json", "--tenant", "acme"]);
+    assert_eq!(code, 0);
+    assert_eq!(
+        before_acme, after_acme,
+        "acme tenant state must survive kill -9"
+    );
+
+    // The recovered allocation answers assigns exactly as before.
+    let (stdout, _, code) = client(&addr, &["assign", "T1"]);
+    assert_eq!(code, 0);
+    assert_eq!(stdout.trim(), "SSI");
+    let (stdout, _, code) = client(&addr, &["assign", "T1", "--tenant", "acme"]);
+    assert_eq!(code, 0);
+    assert_eq!(stdout.trim(), "SI");
+
+    // Stats surface the recovery record and both tenants.
+    let (stdout, _, code) = client(&addr, &["stats", "--json"]);
+    assert_eq!(code, 0);
+    let j: serde_json::Value = serde_json::from_str(&stdout).expect("valid json");
+    assert_eq!(j["tenants"], 2, "{j}");
+    assert_eq!(j["durability"]["policy"], "batch", "{j}");
+    assert!(
+        j["durability"]["recovery"]["wal_records_replayed"]
+            .as_u64()
+            .unwrap()
+            + j["durability"]["recovery"]["snapshot_tenants"]
+                .as_u64()
+                .unwrap()
+            > 0,
+        "recovery must have replayed the log or loaded a snapshot: {j}"
+    );
+
+    let (_, _, code) = client(&addr, &["shutdown"]);
+    assert_eq!(code, 0);
+    server.wait().expect("server exit");
+}
+
+#[test]
+fn serve_durability_flags_validate() {
+    let (_, stderr, code) = run_with_stdin(&["serve", "--durability", "batch"], "");
+    assert_eq!(code, 2);
+    assert!(stderr.contains("need --data-dir"), "{stderr}");
+    let (_, stderr, code) = run_with_stdin(&["serve", "--snapshot-every", "8"], "");
+    assert_eq!(code, 2);
+    assert!(stderr.contains("need --data-dir"), "{stderr}");
+    let data = TempDir::new("badpolicy");
+    let (_, stderr, code) = run_with_stdin(
+        &[
+            "serve",
+            "--data-dir",
+            data.path(),
+            "--durability",
+            "paranoid",
+        ],
+        "",
+    );
+    assert_eq!(code, 2);
+    assert!(stderr.contains("invalid --durability"), "{stderr}");
+}
+
 #[test]
 fn witness_dot_output() {
     let (stdout, _, code) = run_with_stdin(&["witness", "--level", "si", "--dot"], SKEW);

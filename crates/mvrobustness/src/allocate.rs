@@ -46,7 +46,7 @@
 //! workloads.
 
 use crate::algorithm1::RobustnessChecker;
-use crate::components::{CompCache, CompEntry, Components, COMP_CACHE_CAP};
+use crate::components::{CompCache, CompEntry, Components, SharedCompCache, COMP_CACHE_CAP};
 use crate::conflict_index::ConflictIndex;
 use crate::split_schedule::SplitSpec;
 use crate::stats::EngineStats;
@@ -54,7 +54,7 @@ use mvisolation::{Allocation, IsolationLevel, LevelChange};
 use mvmodel::{ModelError, Object, Transaction, TransactionSet, TxnId};
 use std::borrow::Cow;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// A failed lowering attempt: the transaction, the level that was
@@ -253,6 +253,10 @@ pub struct Allocator<'a> {
     /// reallocations: a delta that leaves a component untouched answers
     /// it from here without any search.
     comp_cache: CompCache,
+    /// Optional second-level component cache shared across allocators
+    /// (cross-tenant in `mvservice`). Consulted after a local miss;
+    /// solved components are published to both.
+    shared_cache: Option<Arc<SharedCompCache>>,
 }
 
 impl<'a> Allocator<'a> {
@@ -267,6 +271,7 @@ impl<'a> Allocator<'a> {
             last_stats: None,
             components: true,
             comp_cache: CompCache::new(COMP_CACHE_CAP),
+            shared_cache: None,
         }
     }
 
@@ -284,6 +289,7 @@ impl<'a> Allocator<'a> {
             last_stats: None,
             components: true,
             comp_cache: CompCache::new(COMP_CACHE_CAP),
+            shared_cache: None,
         }
     }
 
@@ -310,6 +316,23 @@ impl<'a> Allocator<'a> {
     /// Whether component sharding is enabled.
     pub fn components_enabled(&self) -> bool {
         self.components
+    }
+
+    /// Attaches a [`SharedCompCache`] consulted after local-cache misses
+    /// and fed by every solve. Sharing one handle across allocators
+    /// makes identical component shapes pure hits for all of them; the
+    /// results stay bit-identical because entries are content-addressed
+    /// unique optima (Proposition 4.2). Unlike the local cache, the
+    /// shared cache survives [`Allocator::with_levels`] — the menu is
+    /// part of its key.
+    pub fn with_shared_cache(mut self, cache: Arc<SharedCompCache>) -> Self {
+        self.shared_cache = Some(cache);
+        self
+    }
+
+    /// The attached shared component cache, if any.
+    pub fn shared_cache(&self) -> Option<&Arc<SharedCompCache>> {
+        self.shared_cache.as_ref()
     }
 
     /// The level menu used by the delta API ([`Allocator::current`],
@@ -409,6 +432,7 @@ impl<'a> Allocator<'a> {
                 self.threads,
                 None,
                 &mut cache,
+                self.shared_cache.as_deref(),
                 &mut s,
             ) {
                 Ok(ShardOutcome::Solved(alloc)) => {
@@ -504,6 +528,7 @@ impl<'a> Allocator<'a> {
                 self.threads,
                 None,
                 &mut cache,
+                self.shared_cache.as_deref(),
                 &mut s,
             ) {
                 Ok(ShardOutcome::Solved(alloc)) => {
@@ -590,6 +615,7 @@ impl<'a> Allocator<'a> {
                 self.threads,
                 deadline,
                 &mut self.comp_cache,
+                self.shared_cache.as_deref(),
                 &mut s,
             ) {
                 Ok(ShardOutcome::Solved(alloc)) => {
@@ -774,6 +800,7 @@ impl<'a> Allocator<'a> {
                 self.threads,
                 deadline,
                 &mut self.comp_cache,
+                self.shared_cache.as_deref(),
                 &mut s,
             ) {
                 Ok(ShardOutcome::Solved(alloc)) => {
@@ -966,6 +993,7 @@ impl<'a> Allocator<'a> {
                 self.threads,
                 deadline,
                 &mut self.comp_cache,
+                self.shared_cache.as_deref(),
                 &mut s,
             ) {
                 Ok(ShardOutcome::Solved(alloc)) => {
@@ -1197,6 +1225,7 @@ impl<'a> Allocator<'a> {
                 self.threads,
                 deadline,
                 &mut self.comp_cache,
+                self.shared_cache.as_deref(),
                 &mut s,
             ) {
                 Ok(ShardOutcome::Solved(alloc)) => {
@@ -1378,16 +1407,19 @@ fn solve_component(
 
 /// The component-sharded Algorithm 2: decomposes the workload into
 /// conflict components, answers each from the fingerprint `cache` when
-/// possible, solves the misses (largest-first, in parallel when
-/// `threads > 1`), and unions the per-component optima. Completed
-/// components are cached even when the deadline expires mid-run, so a
-/// retry pays only for what is still missing.
+/// possible (falling back to the cross-allocator `shared` cache and
+/// warming the local one on a hit), solves the misses (largest-first,
+/// in parallel when `threads > 1`), and unions the per-component
+/// optima. Completed components are cached — locally and into `shared`
+/// — even when the deadline expires mid-run, so a retry pays only for
+/// what is still missing.
 fn shard_optimal(
     txns: &TransactionSet,
     levels: LevelSet,
     threads: usize,
     deadline: Option<Instant>,
     cache: &mut CompCache,
+    shared: Option<&SharedCompCache>,
     stats: &mut ShardStats,
 ) -> Result<ShardOutcome, Expired> {
     if txns.len() < 2 {
@@ -1412,7 +1444,21 @@ fn shard_optimal(
             pairs.push((txns.by_index(members[0]).id(), IsolationLevel::RC));
             continue;
         }
-        match cache.get(comps.fingerprint(c)) {
+        let fp = comps.fingerprint(c);
+        let entry = match cache.get(fp) {
+            Some(e) => Some(e.clone()),
+            // Local miss: consult the shared cache (this ordering makes
+            // its hit rate the cross-allocator first-encounter rate)
+            // and warm the local cache with any hit.
+            None => match shared.and_then(|sc| sc.get(levels, fp)) {
+                Some(e) => {
+                    cache.insert(fp, e.clone());
+                    Some(e)
+                }
+                None => None,
+            },
+        };
+        match entry {
             Some(CompEntry::Robust(lvls)) => {
                 stats.cached += 1;
                 pairs.extend(lvls.iter().copied());
@@ -1479,7 +1525,11 @@ fn shard_optimal(
     // worker scheduling.
     solved.sort_by_key(|&(c, _)| c);
     for (c, s) in &solved {
-        cache.insert(comps.fingerprint(*c), s.entry.clone());
+        let fp = comps.fingerprint(*c);
+        cache.insert(fp, s.entry.clone());
+        if let Some(sc) = shared {
+            sc.insert(levels, fp, s.entry.clone());
+        }
         stats.absorb(s);
     }
     if hit_deadline {
@@ -2174,5 +2224,48 @@ mod tests {
         b.txn(1).read(x).write(x).finish();
         let txns = b.build().unwrap();
         assert_eq!(optimal_allocation(&txns).counts(), (1, 0, 0));
+    }
+
+    #[test]
+    fn shared_cache_answers_identical_shapes_across_allocators() {
+        let shared = Arc::new(SharedCompCache::default());
+        let txns = clustered();
+        // First allocator solves from scratch and publishes.
+        let (a1, _) = Allocator::new(&txns)
+            .with_shared_cache(shared.clone())
+            .optimal();
+        let published = shared.inserts();
+        assert!(published >= 2, "multi-member components published");
+        // Second allocator (a different "tenant", same shapes): every
+        // non-singleton component is a pure shared hit, and the result
+        // is bit-identical.
+        let (a2, stats) = Allocator::new(&txns)
+            .with_shared_cache(shared.clone())
+            .optimal();
+        assert_eq!(a1, a2);
+        assert_eq!(shared.inserts(), published, "nothing re-solved");
+        assert!(shared.hits() >= 2, "hits: {}", shared.hits());
+        assert!(stats.components_cached >= 2, "{stats}");
+        // And identical to a share-nothing allocator.
+        assert_eq!(a1, optimal_allocation(&txns));
+    }
+
+    #[test]
+    fn shared_cache_survives_menu_changes_without_cross_talk() {
+        let shared = Arc::new(SharedCompCache::default());
+        let txns = clustered();
+        let base = Allocator::new(&txns).with_shared_cache(shared.clone());
+        let (full, _) = base.optimal();
+        let (rc_si, _) = base.optimal_rc_si();
+        // The menus key disjoint entries: each result matches its
+        // uncached ground truth even though both ran over one handle.
+        assert_eq!(full, optimal_allocation(&txns));
+        assert_eq!(
+            rc_si,
+            Allocator::new(&txns)
+                .with_components(false)
+                .optimal_rc_si()
+                .0
+        );
     }
 }

@@ -25,10 +25,13 @@
 //! ([`CompCache`]), so a component untouched by a workload delta is a
 //! pure cache hit even though dense indices shifted underneath it.
 
+use crate::allocate::LevelSet;
 use crate::conflict_index::{ConflictIndex, SetBits};
 use mvisolation::IsolationLevel;
 use mvmodel::{TransactionSet, TxnId};
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// 64-bit FNV-1a, fed 8 bytes at a time.
 #[derive(Clone, Copy)]
@@ -291,6 +294,155 @@ pub fn iter_member_words(words: &[u64]) -> SetBits<'_> {
     SetBits::over(words)
 }
 
+/// Default shard count of a [`SharedCompCache`].
+pub const SHARED_CACHE_SHARDS: usize = 16;
+
+/// Domain-separation salt folded into shared-cache keys, one per level
+/// menu. A per-allocator [`CompCache`] can be *cleared* on a menu change
+/// (the menu is deliberately absent from its key); a cache shared across
+/// tenants cannot — one tenant switching menus must not evict every
+/// other tenant's entries — so here the menu is made part of the key
+/// instead. The salts are arbitrary odd constants; XOR keeps the key a
+/// bijection of the fingerprint per menu.
+fn menu_salt(levels: LevelSet) -> u128 {
+    match levels {
+        LevelSet::RcSiSsi => 0,
+        LevelSet::RcSi => 0x9e37_79b9_7f4a_7c15_f39c_c060_5ced_c835,
+    }
+}
+
+/// A content-addressed component cache shared across allocators (and,
+/// through `mvservice`, across tenants): identical component shapes
+/// admitted by different tenants are pure hits. Lock-sharded — each key
+/// hashes to one of `shards` independent [`CompCache`]s, so concurrent
+/// tenants rarely contend — with atomic hit/miss/insert counters for
+/// the cross-tenant hit-rate metric.
+///
+/// Soundness is inherited from content addressing: an entry is the
+/// *unique* optimum of the exact transactions its fingerprint hashes
+/// (Proposition 4.2), so a hit from any tenant is bit-identical to
+/// re-solving. The level menu is folded into the key ([`menu_salt`]),
+/// never invalidated by a tenant's menu change.
+#[derive(Debug)]
+pub struct SharedCompCache {
+    shards: Vec<Mutex<CompCache>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    inserts: AtomicU64,
+}
+
+impl Default for SharedCompCache {
+    fn default() -> Self {
+        SharedCompCache::new(SHARED_CACHE_SHARDS, COMP_CACHE_CAP)
+    }
+}
+
+impl SharedCompCache {
+    /// `shards` independent FIFO caches of `cap_per_shard` entries each.
+    pub fn new(shards: usize, cap_per_shard: usize) -> Self {
+        let shards = shards.max(1);
+        SharedCompCache {
+            shards: (0..shards)
+                .map(|_| Mutex::new(CompCache::new(cap_per_shard)))
+                .collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: u128) -> &Mutex<CompCache> {
+        // High half of the dual-FNV fingerprint spreads well.
+        &self.shards[(key >> 64) as u64 as usize % self.shards.len()]
+    }
+
+    /// Looks up a component by fingerprint under a level menu, cloning
+    /// the entry out of the shard. Counts a hit or a miss; callers
+    /// consult this only after their local cache missed, so the
+    /// hit-rate below is exactly the cross-tenant (first-encounter)
+    /// rate.
+    pub fn get(&self, levels: LevelSet, fp: u128) -> Option<CompEntry> {
+        let key = fp ^ menu_salt(levels);
+        let found = self.shard(key).lock().unwrap().get(key).cloned();
+        match found {
+            Some(e) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(e)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Publishes a solved component for every other allocator sharing
+    /// the handle.
+    pub fn insert(&self, levels: LevelSet, fp: u128, entry: CompEntry) {
+        let key = fp ^ menu_salt(levels);
+        self.shard(key).lock().unwrap().insert(key, entry);
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Pre-seeds an entry under its already-salted key (snapshot
+    /// restore); does not count as an insert.
+    pub fn restore(&self, key: u128, entry: CompEntry) {
+        self.shard(key).lock().unwrap().insert(key, entry);
+    }
+
+    /// Every `(salted key, entry)` pair, ascending by key — the
+    /// deterministic dump a snapshot persists and [`SharedCompCache::restore`]
+    /// reloads.
+    pub fn entries(&self) -> Vec<(u128, CompEntry)> {
+        let mut all = Vec::new();
+        for shard in &self.shards {
+            let guard = shard.lock().unwrap();
+            for key in guard.order.iter() {
+                if let Some(e) = guard.map.get(key) {
+                    all.push((*key, e.clone()));
+                }
+            }
+        }
+        all.sort_by_key(|&(k, _)| k);
+        all
+    }
+
+    /// Cached entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().unwrap().len()).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups answered from the cache (lifetime total).
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that found nothing (lifetime total).
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries published (lifetime total; re-publishing an existing key
+    /// still counts).
+    pub fn inserts(&self) -> u64 {
+        self.inserts.load(Ordering::Relaxed)
+    }
+
+    /// `hits / (hits + misses)`, or 0 when never consulted.
+    pub fn hit_rate(&self) -> f64 {
+        let (h, m) = (self.hits(), self.misses());
+        if h + m == 0 {
+            0.0
+        } else {
+            h as f64 / (h + m) as f64
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -389,6 +541,44 @@ mod tests {
         // The touched cluster (T0 conflicts into it) changed fingerprint.
         let c1 = gcomps.comp_of(&grown, TxnId(1));
         assert_ne!(gcomps.fingerprint(c1), comps.fingerprint(0));
+    }
+
+    #[test]
+    fn shared_cache_is_menu_keyed_and_counts() {
+        let cache = SharedCompCache::new(4, 8);
+        assert!(cache.is_empty());
+        let entry = CompEntry::Robust(vec![(TxnId(1), IsolationLevel::RC)]);
+        cache.insert(LevelSet::RcSiSsi, 42, entry.clone());
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.inserts(), 1);
+        // Hit under the inserting menu, miss under the other: the menu
+        // is part of the key, so one tenant's {RC,SI} work never
+        // answers another's {RC,SI,SSI} query.
+        assert_eq!(cache.get(LevelSet::RcSiSsi, 42), Some(entry.clone()));
+        assert_eq!(cache.get(LevelSet::RcSi, 42), None);
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert!((cache.hit_rate() - 0.5).abs() < 1e-12);
+        // entries()/restore() round-trip the salted keys verbatim.
+        let dumped = cache.entries();
+        assert_eq!(dumped.len(), 1);
+        let other = SharedCompCache::new(4, 8);
+        for (k, e) in dumped {
+            other.restore(k, e);
+        }
+        assert_eq!(other.get(LevelSet::RcSiSsi, 42), Some(entry));
+        assert_eq!(other.inserts(), 0, "restore is not an insert");
+    }
+
+    #[test]
+    fn shared_cache_spreads_across_shards_and_bounds_each() {
+        let cache = SharedCompCache::new(2, 2);
+        for k in 0..64u128 {
+            // Vary the shard-selecting high half too.
+            cache.insert(LevelSet::RcSiSsi, k << 64 | k, CompEntry::Unallocatable);
+        }
+        assert!(cache.len() <= 4, "2 shards × cap 2, got {}", cache.len());
+        assert!(!cache.is_empty());
+        assert_eq!(cache.inserts(), 64);
     }
 
     #[test]

@@ -56,7 +56,7 @@ pub use allocate::{
     optimal_allocation_with_floor, AllocError, Allocator, BatchRealloc, DeltaEvent, LevelSet,
     ParseLevelSetError, Realloc,
 };
-pub use components::Components;
+pub use components::{CompEntry, Components, SharedCompCache};
 pub use conflict_index::ConflictIndex;
 pub use oracle::{oracle_counterexample, oracle_is_robust};
 pub use rc_si::{optimal_allocation_rc_si, robustly_allocatable_rc_si};

@@ -17,6 +17,7 @@
 //! and was rejected.
 
 use crate::codec::{encode_payload, CodecKind, FrameBuf, Payload};
+use crate::namespace::DEFAULT_TENANT;
 use crate::protocol::Request;
 use mvisolation::IsolationLevel;
 use mvmodel::TxnId;
@@ -68,6 +69,28 @@ pub struct Client {
     stream: TcpStream,
     fb: FrameBuf,
     kind: CodecKind,
+    /// Tenant every typed request routes to; `None` means the server's
+    /// default namespace (the field stays off the wire, so a
+    /// tenant-less client is bit-identical to a pre-tenant one).
+    tenant: Option<String>,
+}
+
+/// Normalizes a tenant name for the wire: the default tenant is
+/// expressed by *omitting* the envelope field, so old servers and
+/// byte-level golden tests see unchanged requests.
+fn normalize_tenant(tenant: String) -> Option<String> {
+    if tenant == DEFAULT_TENANT {
+        None
+    } else {
+        Some(tenant)
+    }
+}
+
+/// Stamps the `tenant` envelope field onto an encoded request value.
+fn stamp_tenant(v: &mut Value, tenant: Option<&str>) {
+    if let Some(t) = tenant {
+        v["tenant"] = Value::from(t);
+    }
 }
 
 impl Client {
@@ -85,7 +108,21 @@ impl Client {
             stream,
             fb: FrameBuf::with_kind(kind),
             kind,
+            tenant: None,
         })
+    }
+
+    /// Routes every typed request from this client to `tenant`. Names
+    /// are validated server-side; passing the default tenant is the
+    /// same as never calling this.
+    pub fn with_tenant(mut self, tenant: impl Into<String>) -> Client {
+        self.tenant = normalize_tenant(tenant.into());
+        self
+    }
+
+    /// The tenant this client addresses (`None` = the default).
+    pub fn tenant(&self) -> Option<&str> {
+        self.tenant.as_deref()
     }
 
     /// The wire codec this client speaks.
@@ -193,8 +230,9 @@ impl Client {
     /// Sends a typed request; an `"ok": false` reply becomes
     /// [`ClientError::Server`].
     pub fn request(&mut self, req: &Request) -> Result<Value, ClientError> {
-        let line = serde_json::to_string(&req.to_json())
-            .map_err(|e| ClientError::Protocol(e.to_string()))?;
+        let mut v = req.to_json();
+        stamp_tenant(&mut v, self.tenant.as_deref());
+        let line = serde_json::to_string(&v).map_err(|e| ClientError::Protocol(e.to_string()))?;
         let reply = self.raw(&line)?;
         if reply["ok"] == true {
             Ok(reply)
@@ -312,6 +350,7 @@ pub struct RetryClient {
     addr: String,
     policy: RetryPolicy,
     codec: CodecKind,
+    tenant: Option<String>,
     conn: Option<Client>,
     ever_connected: bool,
     timeout: Option<Duration>,
@@ -343,6 +382,7 @@ impl RetryClient {
             addr: addr.into(),
             policy,
             codec,
+            tenant: None,
             conn: None,
             ever_connected: false,
             timeout: Some(Duration::from_secs(10)),
@@ -350,6 +390,26 @@ impl RetryClient {
             next_req: 0,
             stats: RetryStats::default(),
         }
+    }
+
+    /// Routes every request — including retries and batch pipelines —
+    /// to `tenant`. Reconnects keep the tenant, so a replayed mutation
+    /// lands in the same namespace that first applied it.
+    pub fn with_tenant(mut self, tenant: impl Into<String>) -> RetryClient {
+        self.tenant = normalize_tenant(tenant.into());
+        if let Some(c) = self.conn.take() {
+            let t = self.tenant.clone();
+            self.conn = Some(match t {
+                Some(t) => c.with_tenant(t),
+                None => c.with_tenant(DEFAULT_TENANT),
+            });
+        }
+        self
+    }
+
+    /// The tenant this client addresses (`None` = the default).
+    pub fn tenant(&self) -> Option<&str> {
+        self.tenant.as_deref()
     }
 
     /// Caps how long a single reply may take (applied on every
@@ -396,6 +456,9 @@ impl RetryClient {
     fn ensure_conn(&mut self) -> Result<&mut Client, ClientError> {
         if self.conn.is_none() {
             let mut c = Client::connect_with(&self.addr, self.codec)?;
+            if let Some(t) = &self.tenant {
+                c = c.with_tenant(t.clone());
+            }
             c.set_timeout(self.timeout)?;
             if self.ever_connected {
                 self.stats.reconnects += 1;
@@ -495,8 +558,9 @@ impl RetryClient {
         let lines: Vec<String> = reqs
             .iter()
             .map(|r| {
-                serde_json::to_string(&r.to_json())
-                    .map_err(|e| ClientError::Protocol(e.to_string()))
+                let mut v = r.to_json();
+                stamp_tenant(&mut v, self.tenant.as_deref());
+                serde_json::to_string(&v).map_err(|e| ClientError::Protocol(e.to_string()))
             })
             .collect::<Result<_, _>>()?;
         let batch_key = reqs[0].req_id().expect("batch requests carry req_ids");
@@ -580,6 +644,28 @@ impl RetryClient {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn tenant_stamping_keeps_default_off_the_wire() {
+        // The default tenant normalizes away entirely — a client that
+        // names it sends byte-identical requests to one that never
+        // heard of tenants.
+        assert_eq!(normalize_tenant(DEFAULT_TENANT.to_string()), None);
+        assert_eq!(
+            normalize_tenant("acme".to_string()),
+            Some("acme".to_string())
+        );
+        let mut v = Request::Ping.to_json();
+        stamp_tenant(&mut v, None);
+        assert!(v.get("tenant").is_none());
+        stamp_tenant(&mut v, Some("acme"));
+        assert_eq!(v["tenant"], "acme");
+
+        let c = RetryClient::new("127.0.0.1:1", RetryPolicy::default()).with_tenant("acme");
+        assert_eq!(c.tenant(), Some("acme"));
+        let c = c.with_tenant(DEFAULT_TENANT);
+        assert_eq!(c.tenant(), None);
+    }
 
     #[test]
     fn req_ids_are_unique_and_seed_stable() {

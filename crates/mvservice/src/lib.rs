@@ -46,10 +46,12 @@ pub mod codec;
 pub(crate) mod event;
 pub mod fault;
 pub mod metrics;
+pub mod namespace;
 pub mod poll;
 pub mod protocol;
 pub mod registry;
 pub mod server;
+pub mod store;
 
 pub use client::{BatchOp, Client, ClientError, RetryClient, RetryPolicy, RetryStats};
 pub use codec::{
@@ -58,6 +60,8 @@ pub use codec::{
 };
 pub use fault::{FaultAction, FaultHook, FaultPlan, InjectedFault, ReallocFault, ScriptedFaults};
 pub use metrics::Metrics;
+pub use namespace::{Namespaces, RegistryTemplate, DEFAULT_TENANT};
 pub use protocol::{Request, MAX_FRAME};
 pub use registry::{BatchReply, RegisteredTxn, Registry, RegistryError, RegistryEvent};
 pub use server::{install_signal_handlers, Config, CoreKind, Server, ServerHandle, MAX_LINE};
+pub use store::{Durability, Recovered, SnapshotState, Store, TenantSnapshot, WalRecord};

@@ -329,16 +329,22 @@ impl Drop for Poller {
 
 /// Fallback backend: remembers registrations and replays them through
 /// the stateless [`wait`] each tick — O(registered) per wait, which is
-/// fine for the platforms that land here.
-#[cfg(not(target_os = "linux"))]
-pub struct Poller {
+/// fine for the platforms that land here. Compiled on every platform
+/// (it's [`Poller`] off Linux) so the Linux CI run exercises the exact
+/// registration-replay code other Unixes ship with; on Linux the
+/// stateless [`wait`] underneath is `poll(2)`, so its reports are real
+/// readiness, not the sleep-tick approximation.
+pub struct FallbackPoller {
     regs: Vec<(RawFd, u64, bool, bool)>,
 }
 
+/// Off Linux, the registration-replay fallback *is* the poller.
 #[cfg(not(target_os = "linux"))]
-impl Poller {
-    pub fn new() -> std::io::Result<Poller> {
-        Ok(Poller { regs: Vec::new() })
+pub type Poller = FallbackPoller;
+
+impl FallbackPoller {
+    pub fn new() -> std::io::Result<FallbackPoller> {
+        Ok(FallbackPoller { regs: Vec::new() })
     }
 
     pub fn add(&mut self, fd: RawFd, token: u64, read: bool, write: bool) -> std::io::Result<()> {
@@ -520,6 +526,91 @@ mod tests {
         poller.wait(&mut events, Duration::from_millis(20));
         assert!(
             !events.iter().any(|e| e.token == 7),
+            "removed fd must not report: {events:?}"
+        );
+    }
+
+    /// The registration-replay fallback must tick the same way the
+    /// platform poller does: on a connected loopback pair, quiet fds
+    /// stay quiet, a written byte trips readability on exactly the
+    /// right token, and write interest reports writable. On Linux both
+    /// sides of the comparison are real kernel readiness (epoll vs
+    /// `poll(2)` replay), so the assertions are exact.
+    #[test]
+    fn fallback_poller_matches_platform_poller_on_loopback_pair() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).expect("connect");
+        let (server, _) = listener.accept().expect("accept");
+        client.set_nonblocking(true).unwrap();
+        server.set_nonblocking(true).unwrap();
+
+        let mut platform = Poller::new().expect("platform poller");
+        let mut fallback = FallbackPoller::new().expect("fallback poller");
+        platform.add(client.as_raw_fd(), 1, true, false).unwrap();
+        platform.add(server.as_raw_fd(), 2, true, false).unwrap();
+        fallback.add(client.as_raw_fd(), 1, true, false).unwrap();
+        fallback.add(server.as_raw_fd(), 2, true, false).unwrap();
+
+        let tick = |poller: &mut dyn FnMut(&mut Vec<PollEvent>, Duration)| {
+            let mut events = Vec::new();
+            poller(&mut events, Duration::from_millis(200));
+            let mut tokens: Vec<u64> = events
+                .iter()
+                .filter(|e| e.readable)
+                .map(|e| e.token)
+                .collect();
+            tokens.sort_unstable();
+            tokens
+        };
+
+        // Quiet pair: neither backend reports readable fds. (Off Linux
+        // the fallback is allowed its by-design spurious readiness, so
+        // the exact comparisons below are gated to Linux.)
+        if cfg!(target_os = "linux") {
+            assert_eq!(tick(&mut |ev, t| platform.wait(ev, t)), Vec::<u64>::new());
+            assert_eq!(tick(&mut |ev, t| fallback.wait(ev, t)), Vec::<u64>::new());
+        }
+
+        // One byte client→server: both backends must report exactly the
+        // server token readable, and keep reporting it until drained.
+        (&client).write_all(&[0x42]).expect("write");
+        let expect = vec![2u64];
+        assert_eq!(tick(&mut |ev, t| platform.wait(ev, t)), expect);
+        if cfg!(target_os = "linux") {
+            assert_eq!(
+                tick(&mut |ev, t| fallback.wait(ev, t)),
+                expect,
+                "fallback replay must match epoll on the written fd"
+            );
+        } else {
+            assert!(tick(&mut |ev, t| fallback.wait(ev, t)).contains(&2));
+        }
+
+        // Drain, then flip the server registration to write interest:
+        // an idle socket with buffer space is writable under both.
+        let mut sink = [0u8; 8];
+        let _ = (&server).read(&mut sink);
+        platform.modify(server.as_raw_fd(), 2, false, true);
+        fallback.modify(server.as_raw_fd(), 2, false, true);
+        let writable = |events: &Vec<PollEvent>| events.iter().any(|e| e.token == 2 && e.writable);
+        let mut events = Vec::new();
+        platform.wait(&mut events, Duration::from_millis(200));
+        assert!(writable(&events), "epoll: {events:?}");
+        fallback.wait(&mut events, Duration::from_millis(200));
+        assert!(writable(&events), "fallback: {events:?}");
+        if cfg!(target_os = "linux") {
+            assert!(
+                !events.iter().any(|e| e.token == 1),
+                "quiet client must stay quiet under the fallback: {events:?}"
+            );
+        }
+
+        // Removal is honored by the replay list just like the kernel set.
+        fallback.remove(server.as_raw_fd());
+        fallback.wait(&mut events, Duration::from_millis(50));
+        assert!(
+            !events.iter().any(|e| e.token == 2),
             "removed fd must not report: {events:?}"
         );
     }

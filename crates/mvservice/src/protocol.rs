@@ -28,7 +28,13 @@
 //! mutating ops served while the registry is degraded (a reallocation
 //! failed and the last-known-good allocation is still being served)
 //! additionally carry `"stale": true`.
+//!
+//! `tenant` is an optional *envelope* field on every request (both
+//! codecs): it names the namespace the request routes to and is not
+//! part of the verb itself — see [`tenant_of`]. Requests without it go
+//! to `"default"`, keeping pre-tenant clients bit-compatible.
 
+use crate::namespace::{valid_tenant, DEFAULT_TENANT};
 use mvisolation::LevelChange;
 use mvmodel::TxnId;
 use serde_json::{json, Value};
@@ -146,6 +152,21 @@ impl Request {
     }
 }
 
+/// The tenant a request value routes to: the optional `tenant`
+/// envelope field, validated, defaulting to [`DEFAULT_TENANT`] when
+/// absent. Decoded separately from [`Request::from_value`] because the
+/// tenant addresses a namespace rather than shaping the verb.
+pub fn tenant_of(v: &Value) -> Result<&str, String> {
+    match &v["tenant"] {
+        Value::Null => Ok(DEFAULT_TENANT),
+        Value::String(s) if valid_tenant(s) => Ok(s.as_str()),
+        Value::String(s) => Err(format!(
+            "invalid tenant `{s}` (need 1-64 characters from [A-Za-z0-9_-])"
+        )),
+        _ => Err("field `tenant` must be a string".to_string()),
+    }
+}
+
 fn txn_id(v: &Value) -> Result<TxnId, String> {
     let raw = v["txn_id"]
         .as_u64()
@@ -252,6 +273,23 @@ mod tests {
                 .unwrap_err()
                 .contains("req_id")
         );
+    }
+
+    #[test]
+    fn tenant_envelope_defaults_and_validates() {
+        let v: Value = serde_json::from_str(r#"{"op":"ping"}"#).unwrap();
+        assert_eq!(tenant_of(&v).unwrap(), DEFAULT_TENANT);
+        let v: Value = serde_json::from_str(r#"{"op":"ping","tenant":"acme-7"}"#).unwrap();
+        assert_eq!(tenant_of(&v).unwrap(), "acme-7");
+        // The envelope is orthogonal to the verb: the same value still
+        // decodes as the same request.
+        assert_eq!(Request::from_value(&v).unwrap(), Request::Ping);
+        let v: Value = serde_json::from_str(r#"{"op":"ping","tenant":"a b"}"#).unwrap();
+        assert!(tenant_of(&v).unwrap_err().contains("invalid tenant"));
+        let v: Value = serde_json::from_str(r#"{"op":"ping","tenant":7}"#).unwrap();
+        assert!(tenant_of(&v).unwrap_err().contains("must be a string"));
+        let v: Value = serde_json::from_str(r#"{"op":"ping","tenant":""}"#).unwrap();
+        assert!(tenant_of(&v).is_err());
     }
 
     #[test]

@@ -25,7 +25,9 @@
 use crate::fault::{FaultHook, ReallocFault};
 use mvisolation::{Allocation, IsolationLevel, LevelChange};
 use mvmodel::{parse_transaction_line, Op, ParseError, Transaction, TransactionSet, TxnId};
-use mvrobustness::{AllocError, Allocator, DeltaEvent, EngineStats, LevelSet, Realloc};
+use mvrobustness::{
+    AllocError, Allocator, DeltaEvent, EngineStats, LevelSet, Realloc, SharedCompCache,
+};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -69,7 +71,7 @@ impl std::error::Error for RegistryError {}
 
 /// One membership mutation inside a coalesced batch
 /// ([`Registry::apply_events`]).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum RegistryEvent {
     /// Register the transaction described by the wire-format line
     /// (`T7: R[x] W[y]`).
@@ -151,6 +153,22 @@ impl Registry {
     /// registries never call this.
     pub fn with_fault_hook(mut self, hook: Arc<dyn FaultHook>) -> Self {
         self.faults = Some(hook);
+        self
+    }
+
+    /// Installs a fault hook on an already-built registry — how
+    /// recovered tenants (rebuilt fault-free) get the chaos seam armed
+    /// before the server starts serving.
+    pub fn set_fault_hook(&mut self, hook: Arc<dyn FaultHook>) {
+        self.faults = Some(hook);
+    }
+
+    /// Attaches a cross-tenant shared component-fingerprint cache:
+    /// components this registry solves become pure hits for every other
+    /// registry sharing the handle (and vice versa). Purely an
+    /// acceleration — optima are bit-identical with or without it.
+    pub fn with_shared_cache(mut self, cache: Arc<SharedCompCache>) -> Self {
+        self.alloc = self.alloc.with_shared_cache(cache);
         self
     }
 

@@ -56,16 +56,19 @@ use crate::codec::{
 };
 use crate::fault::{FaultAction, FaultHook, FaultPlan, InjectedFault, ScriptedFaults};
 use crate::metrics::Metrics;
-use crate::protocol::{changes_json, error_reply, ok_reply, Request, MAX_FRAME};
+use crate::namespace::{Namespaces, RegistryTemplate};
+use crate::protocol::{changes_json, error_reply, ok_reply, tenant_of, Request, MAX_FRAME};
 use crate::registry::{Registry, RegistryEvent};
-use mvisolation::LevelChange;
+use crate::store::{Durability, SnapshotState, Store, TenantSnapshot};
+use mvisolation::{IsolationLevel, LevelChange};
 use mvmodel::TxnId;
-use mvrobustness::LevelSet;
-use serde_json::Value;
+use mvrobustness::{CompEntry, LevelSet};
+use serde_json::{json, Value};
 use std::collections::HashMap;
 use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
@@ -140,6 +143,16 @@ pub struct Config {
     /// Which wire codecs incoming connections may negotiate (default:
     /// sniff per connection).
     pub codec: CodecAccept,
+    /// Durable state directory (`None` = in-memory only, the
+    /// pre-durability behavior). When set, every applied mutation is
+    /// appended to a write-ahead event log there, snapshots are taken,
+    /// and `bind` recovers the previous state before serving.
+    pub data_dir: Option<PathBuf>,
+    /// Take a snapshot (and truncate the log) every this many appended
+    /// records; `0` disables snapshots (the log grows unbounded).
+    pub snapshot_every: u64,
+    /// When the write-ahead log is fsynced (see [`Durability`]).
+    pub durability: Durability,
 }
 
 impl Default for Config {
@@ -156,6 +169,9 @@ impl Default for Config {
             batch_delay: Duration::from_micros(100),
             core: CoreKind::default(),
             codec: CodecAccept::default(),
+            data_dir: None,
+            snapshot_every: 1024,
+            durability: Durability::default(),
         }
     }
 }
@@ -167,37 +183,62 @@ impl Default for Config {
 /// never buffers unboundedly.
 pub const MAX_LINE: usize = MAX_FRAME;
 
-/// How many `req_id → reply` entries the idempotency replay cache
-/// keeps; oldest entries are evicted first.
+/// How many `(tenant, req_id) → reply` entries the idempotency replay
+/// cache keeps; oldest entries are evicted first.
 const REPLAY_CACHE_CAP: usize = 1024;
 
-/// Bounded insertion-order map backing the idempotency cache.
+/// Bounded insertion-order map backing the idempotency cache. Keys are
+/// `(tenant, req_id)`: idempotency keys are scoped per tenant, so two
+/// tenants reusing the same numeric key never collide.
 struct ReplayCache {
-    replies: HashMap<u64, Value>,
-    order: VecDeque<u64>,
+    replies: HashMap<(Arc<str>, u64), Value>,
+    order: VecDeque<(Arc<str>, u64)>,
+    cap: usize,
 }
 
 impl ReplayCache {
     fn new() -> Self {
+        ReplayCache::with_capacity(REPLAY_CACHE_CAP)
+    }
+
+    fn with_capacity(cap: usize) -> Self {
         ReplayCache {
             replies: HashMap::new(),
             order: VecDeque::new(),
+            cap,
         }
     }
 
-    fn get(&self, req_id: u64) -> Option<&Value> {
-        self.replies.get(&req_id)
+    fn get(&self, tenant: &Arc<str>, req_id: u64) -> Option<&Value> {
+        self.replies.get(&(Arc::clone(tenant), req_id))
     }
 
-    fn insert(&mut self, req_id: u64, reply: Value) {
-        if self.replies.insert(req_id, reply).is_none() {
-            self.order.push_back(req_id);
-            if self.order.len() > REPLAY_CACHE_CAP {
+    fn insert(&mut self, tenant: Arc<str>, req_id: u64, reply: Value) {
+        if self
+            .replies
+            .insert((Arc::clone(&tenant), req_id), reply)
+            .is_none()
+        {
+            self.order.push_back((tenant, req_id));
+            if self.order.len() > self.cap {
                 if let Some(old) = self.order.pop_front() {
                     self.replies.remove(&old);
                 }
             }
         }
+    }
+
+    /// Every cached entry as `(tenant, req_id, reply)` in insertion
+    /// order — the snapshot capture (restoring in the same order
+    /// preserves the eviction queue).
+    fn entries(&self) -> Vec<(String, u64, Value)> {
+        self.order
+            .iter()
+            .map(|key| {
+                let reply = self.replies[key].clone();
+                (key.0.to_string(), key.1, reply)
+            })
+            .collect()
     }
 }
 
@@ -266,6 +307,8 @@ impl Completions {
 /// the dispatcher needs to answer its connection.
 pub(crate) struct Pending {
     req: Request,
+    /// The namespace the mutation routes to (interned).
+    tenant: Arc<str>,
     op: &'static str,
     req_id: Option<u64>,
     /// Connection index (the fault coordinate and the reply-grouping
@@ -320,14 +363,20 @@ pub fn install_signal_handlers() {
 }
 
 pub(crate) struct Shared {
-    registry: Mutex<Registry>,
+    /// The tenant → registry map (single-tenant deployments simply only
+    /// ever touch `"default"`). Lock order across the whole server:
+    /// `replays` → a tenant registry → the store; the namespaces map
+    /// lock is taken only for lookups, never while waiting on another
+    /// lock. The snapshot path takes `replays` then *every* tenant
+    /// registry (ascending by name) — same order, so no cycles.
+    namespaces: Namespaces,
     pub(crate) metrics: Metrics,
     shutdown: AtomicBool,
     pub(crate) request_timeout: Duration,
     /// `Some` only when a fault plan was configured.
     faults: Option<Arc<ScriptedFaults>>,
     /// Idempotency cache for mutating requests carrying a `req_id`.
-    /// Lock order: `replays` before `registry`, never the reverse.
+    /// Lock order: `replays` before any registry, never the reverse.
     replays: Mutex<ReplayCache>,
     /// Monotone connection index — the `conn` fault coordinate.
     pub(crate) conns: AtomicU64,
@@ -337,6 +386,12 @@ pub(crate) struct Shared {
     pub(crate) codec: CodecAccept,
     /// Event-core reply handoff (unused by the threaded core).
     pub(crate) completions: Completions,
+    /// `Some` only when a data directory was configured: the durability
+    /// subsystem (write-ahead log + snapshots).
+    store: Option<Arc<Store>>,
+    /// What `bind` recovered from disk, as reported under
+    /// `stats.durability.recovery`.
+    recovery: Value,
 }
 
 impl Shared {
@@ -389,18 +444,56 @@ pub struct Server {
 }
 
 impl Server {
-    /// Binds the listening socket and builds an empty registry, wired
-    /// with the configured reallocation deadline and fault plan.
+    /// Binds the listening socket and builds the tenant namespaces,
+    /// wired with the configured reallocation deadline and fault plan.
+    /// With a data directory configured this is also where recovery
+    /// happens: load the newest valid snapshot, verify the recovery
+    /// invariant, replay the log tail, reseed the replay cache — all
+    /// before the first connection is accepted.
     pub fn bind(config: Config) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let faults = config
             .faults
             .map(|plan| Arc::new(ScriptedFaults::new(plan)));
-        let mut registry = Registry::new(config.levels, config.threads)
-            .with_realloc_timeout(config.realloc_timeout)
-            .with_components(config.components);
+        // Recovery replays run fault-free (they re-apply mutations that
+        // already succeeded once); the chaos seam arms only after.
+        let mut namespaces = Namespaces::new(RegistryTemplate {
+            levels: config.levels,
+            threads: config.threads,
+            realloc_timeout: config.realloc_timeout,
+            components: config.components,
+            faults: None,
+        });
+        let mut replays = ReplayCache::new();
+        let mut recovery = Value::Null;
+        let store = match &config.data_dir {
+            None => None,
+            Some(dir) => {
+                let (store, recovered) =
+                    Store::open(dir, config.durability, config.snapshot_every)?;
+                let start = Instant::now();
+                recover(&namespaces, &mut replays, &recovered).map_err(|msg| {
+                    std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!("recovery from {} failed: {msg}", dir.display()),
+                    )
+                })?;
+                recovery = json!({
+                    "snapshot_seq": recovered.snapshot_seq,
+                    "snapshot_tenants": recovered
+                        .snapshot
+                        .as_ref()
+                        .map_or(0, |s| s.tenants.len()),
+                    "wal_records_replayed": recovered.records.len(),
+                    "torn_bytes_truncated": recovered.torn_bytes,
+                    "recovery_us": start.elapsed().as_micros()
+                        .min(u128::from(u64::MAX)) as u64,
+                });
+                Some(Arc::new(store))
+            }
+        };
         if let Some(hook) = &faults {
-            registry = registry.with_fault_hook(Arc::clone(hook) as _);
+            namespaces.install_faults(Arc::clone(hook) as _);
         }
         let batch = (config.batch_max > 1).then(|| Batcher {
             queue: Mutex::new(VecDeque::new()),
@@ -411,16 +504,18 @@ impl Server {
         Ok(Server {
             listener,
             shared: Arc::new(Shared {
-                registry: Mutex::new(registry),
+                namespaces,
                 metrics: Metrics::new(),
                 shutdown: AtomicBool::new(false),
                 request_timeout: config.request_timeout,
                 faults,
-                replays: Mutex::new(ReplayCache::new()),
+                replays: Mutex::new(replays),
                 conns: AtomicU64::new(0),
                 batch,
                 codec: config.codec,
                 completions: Completions::new(),
+                store,
+                recovery,
             }),
             core: config.core,
         })
@@ -741,6 +836,24 @@ pub(crate) enum RequestAction {
     Parked,
 }
 
+/// Decodes one payload into the request verb plus its tenant envelope —
+/// the shared back half of both codecs.
+fn decode(payload: &Payload) -> Result<(Request, String), String> {
+    let decode_value = |v: &Value| {
+        let req = Request::from_value(v)?;
+        let tenant = tenant_of(v)?.to_string();
+        Ok((req, tenant))
+    };
+    match payload {
+        Payload::Line(line) => {
+            let v: Value =
+                serde_json::from_str(line).map_err(|e| format!("invalid JSON request: {e}"))?;
+            decode_value(&v)
+        }
+        Payload::Frame(v) => decode_value(v),
+    }
+}
+
 /// Handles one decoded payload: (maybe) inject a fault, decode the
 /// request, park it (group-commit path) or execute it inline. Shared
 /// verbatim by both cores and both codecs — this is what keeps replay,
@@ -763,20 +876,19 @@ pub(crate) fn process_payload(
         thread::sleep(pause);
     }
     let start = Instant::now();
-    let parsed = match payload {
-        Payload::Line(line) => Request::parse(line),
-        Payload::Frame(v) => Request::from_value(v),
-    };
+    let parsed = decode(payload);
     // Group-commit path: mutating requests park in the coalescing queue
     // and the dispatcher answers them (per-event metrics, replay cache,
     // and any Truncate fault are all handled at drain time). Everything
     // else — reads, control, malformed input — stays inline.
-    if let (Some(batcher), Ok(req)) = (shared.batch.as_ref(), &parsed) {
+    if let (Some(batcher), Ok((req, tenant))) = (shared.batch.as_ref(), &parsed) {
         if matches!(req, Request::Register { .. } | Request::Deregister { .. }) {
+            let (tenant, _) = shared.namespaces.resolve(tenant);
             let pending = Pending {
                 op: req.op_name(),
                 req_id: req.req_id(),
                 req: req.clone(),
+                tenant,
                 conn,
                 accepted: start,
                 route: route(),
@@ -788,16 +900,22 @@ pub(crate) fn process_payload(
             return RequestAction::Parked;
         }
     }
-    let (op, reply, stop) = match parsed {
-        Err(msg) => ("invalid", error_reply(&msg), false),
-        Ok(req) => {
+    let (op, reply, stop, mutated) = match parsed {
+        Err(msg) => ("invalid", error_reply(&msg), false, false),
+        Ok((req, tenant)) => {
             let op = req.op_name();
-            let (reply, stop) = execute(shared, req);
-            (op, reply, stop)
+            let mutated = matches!(req, Request::Register { .. } | Request::Deregister { .. });
+            let (reply, stop) = execute(shared, req, &tenant);
+            (op, reply, stop, mutated)
         }
     };
     let ok = reply["ok"] == true;
     shared.metrics.record(op, ok, start.elapsed());
+    if mutated {
+        // Inline mutations check the snapshot trigger themselves; the
+        // coalesced path checks once per drain. No locks are held here.
+        maybe_snapshot(shared);
+    }
     RequestAction::Reply {
         reply,
         stop,
@@ -880,102 +998,131 @@ fn mutation_reply(raw: MutationRaw) -> Value {
     v
 }
 
+/// Applies one membership event to a registry, capturing the raw reply
+/// ingredients under the lock. Shared by the inline path ([`mutate`])
+/// and nothing else — the coalesced path goes through
+/// [`Registry::apply_events`].
+fn apply_event(reg: &mut Registry, event: &RegistryEvent) -> MutationRaw {
+    let res = match event {
+        RegistryEvent::Register(line) => match reg.register(line) {
+            Ok(realloc) => {
+                let id = realloc
+                    .changed
+                    .iter()
+                    .find(|c| c.before.is_none())
+                    .map(|c| c.txn);
+                Ok(MutationOk {
+                    txn_id: id,
+                    level: id.map(|id| realloc.allocation.level(id).as_str()),
+                    changed: realloc.changed,
+                })
+            }
+            Err(e) => Err(e.to_string()),
+        },
+        RegistryEvent::Deregister(id) => match reg.deregister(*id) {
+            Ok(realloc) => Ok(MutationOk {
+                txn_id: Some(*id),
+                level: None,
+                changed: realloc.changed,
+            }),
+            Err(e) => Err(e.to_string()),
+        },
+    };
+    MutationRaw {
+        res,
+        registry_size: reg.len() as u64,
+        stale: reg.degraded(),
+    }
+}
+
 /// Runs a mutating request through the idempotency cache: a `req_id`
 /// already answered replays the original reply (marked); otherwise the
 /// mutation executes and, when it applied (`ok: true`), its reply is
 /// remembered. Replies carrying a `req_id` echo it back, so pipelined
 /// clients can match replies out of band. The replay lock is held
 /// across check + execute + insert so concurrent retries of the same
-/// `req_id` cannot double-apply; lock order is `replays` → `registry`
+/// `req_id` cannot double-apply; lock order is `replays` → registry
 /// (see [`Shared`]).
-fn mutate(
-    shared: &Shared,
-    req_id: Option<u64>,
-    apply: impl FnOnce(&mut Registry) -> MutationRaw,
-) -> Value {
+///
+/// With a store configured, the applied event is appended to the
+/// write-ahead log **under the tenant's registry lock** — per-tenant
+/// log order always equals apply order — and the logged record carries
+/// the complete reply (including the `req_id` echo), so recovery
+/// reseeds the replay cache with exactly what the client saw. The
+/// commit point (one fsync under the `batch` policy) runs after the
+/// lock is released.
+fn mutate(shared: &Shared, tenant: &str, req_id: Option<u64>, event: RegistryEvent) -> Value {
     let run = |shared: &Shared| {
-        let raw = {
-            let mut reg = shared.registry.lock().expect("registry poisoned");
-            apply(&mut reg)
-        };
-        mutation_reply(raw)
+        let (tkey, reg_arc) = shared.namespaces.resolve(tenant);
+        let mut reg = reg_arc.lock().expect("registry poisoned");
+        let raw = apply_event(&mut reg, &event);
+        let mut v = mutation_reply(raw);
+        if let Some(rid) = req_id {
+            v["req_id"] = Value::from(rid);
+        }
+        // Only applied mutations are logged: a failed (rolled-back)
+        // attempt left no state behind, so there is nothing to replay.
+        if v["ok"] == true {
+            if let Some(store) = &shared.store {
+                if let Err(e) = store.append(&tkey, &event, req_id, &v) {
+                    eprintln!("mvservice: wal append failed: {e}");
+                }
+            }
+        }
+        drop(reg);
+        if let Some(store) = &shared.store {
+            if let Err(e) = store.commit() {
+                eprintln!("mvservice: wal fsync failed: {e}");
+            }
+        }
+        v
     };
     match req_id {
         None => run(shared),
         Some(rid) => {
+            let (tkey, _) = shared.namespaces.resolve(tenant);
             let mut cache = shared.replays.lock().expect("replay cache poisoned");
-            if let Some(prev) = cache.get(rid) {
+            if let Some(prev) = cache.get(&tkey, rid) {
                 let mut v = prev.clone();
                 v["replayed"] = Value::from(true);
                 shared.metrics.record_replay();
                 return v;
             }
-            let mut v = run(shared);
-            v["req_id"] = Value::from(rid);
+            let v = run(shared);
             // Only applied mutations are cached: a failed (rolled-back)
             // attempt left no state behind, so a retry must re-execute.
             if v["ok"] == true {
-                cache.insert(rid, v.clone());
+                cache.insert(tkey, rid, v.clone());
             }
             v
         }
     }
 }
 
-/// Executes a decoded request against the shared registry.
-fn execute(shared: &Shared, req: Request) -> (Value, bool) {
+/// Executes a decoded request against its tenant's registry.
+/// Mutations create the tenant on first touch; reads against an
+/// unknown tenant answer as if it were empty (they never create one).
+fn execute(shared: &Shared, req: Request, tenant: &str) -> (Value, bool) {
     match req {
         Request::Register { line, req_id } => {
-            let v = mutate(shared, req_id, |reg| {
-                let res = match reg.register(&line) {
-                    Ok(realloc) => {
-                        let id = realloc
-                            .changed
-                            .iter()
-                            .find(|c| c.before.is_none())
-                            .map(|c| c.txn);
-                        Ok(MutationOk {
-                            txn_id: id,
-                            level: id.map(|id| realloc.allocation.level(id).as_str()),
-                            changed: realloc.changed,
-                        })
-                    }
-                    Err(e) => Err(e.to_string()),
-                };
-                MutationRaw {
-                    res,
-                    registry_size: reg.len() as u64,
-                    stale: reg.degraded(),
-                }
-            });
+            let v = mutate(shared, tenant, req_id, RegistryEvent::Register(line));
             (v, false)
         }
         Request::Deregister { id, req_id } => {
-            let v = mutate(shared, req_id, |reg| {
-                let res = match reg.deregister(id) {
-                    Ok(realloc) => Ok(MutationOk {
-                        txn_id: Some(id),
-                        level: None,
-                        changed: realloc.changed,
-                    }),
-                    Err(e) => Err(e.to_string()),
-                };
-                MutationRaw {
-                    res,
-                    registry_size: reg.len() as u64,
-                    stale: reg.degraded(),
-                }
-            });
+            let v = mutate(shared, tenant, req_id, RegistryEvent::Deregister(id));
             (v, false)
         }
         Request::Assign { id } => {
-            let mut reg = shared.registry.lock().expect("registry poisoned");
-            match reg.assign(id) {
-                Some(level) => {
+            let found = shared.namespaces.get(tenant).and_then(|(_, reg_arc)| {
+                let mut reg = reg_arc.lock().expect("registry poisoned");
+                reg.assign(id).map(|level| (level, reg.degraded()))
+            });
+            match found {
+                Some((level, degraded)) => {
                     let mut v = ok_reply();
                     v["txn_id"] = Value::from(id.0);
                     v["level"] = Value::from(level.as_str());
-                    if reg.degraded() {
+                    if degraded {
                         // The served allocation is still the exact
                         // optimum of the *applied* set, but a recent
                         // change was rejected — let readers know.
@@ -990,61 +1137,99 @@ fn execute(shared: &Shared, req: Request) -> (Value, bool) {
             }
         }
         Request::Stats => {
-            let reg = shared.registry.lock().expect("registry poisoned");
             let mut v = shared.metrics.to_json();
             v["ok"] = Value::from(true);
-            v["registry_size"] = Value::from(reg.len() as u64);
-            v["levels"] = Value::from(reg.levels().label());
-            v["degraded"] = Value::from(reg.degraded());
-            v["failed_reallocs"] = Value::from(reg.failed_reallocs());
+            v["tenant"] = Value::from(tenant);
+            v["tenants"] = Value::from(shared.namespaces.len() as u64);
+            match shared.namespaces.get(tenant) {
+                Some((_, reg_arc)) => {
+                    let reg = reg_arc.lock().expect("registry poisoned");
+                    v["registry_size"] = Value::from(reg.len() as u64);
+                    v["levels"] = Value::from(reg.levels().label());
+                    v["degraded"] = Value::from(reg.degraded());
+                    v["failed_reallocs"] = Value::from(reg.failed_reallocs());
+                    v["last_realloc"] = match reg.last_stats() {
+                        None => Value::Null,
+                        Some(s) => {
+                            let mut m = serde_json::Map::new();
+                            m.insert("probes".to_string(), Value::from(s.probes));
+                            m.insert("cache_hits".to_string(), Value::from(s.cache_hits));
+                            m.insert("cached_specs".to_string(), Value::from(s.cached_specs));
+                            m.insert("iso_builds".to_string(), Value::from(s.iso_builds));
+                            m.insert(
+                                "components_checked".to_string(),
+                                Value::from(s.components_checked),
+                            );
+                            m.insert(
+                                "components_cached".to_string(),
+                                Value::from(s.components_cached),
+                            );
+                            m.insert("kernel_row_ops".to_string(), Value::from(s.kernel_row_ops));
+                            m.insert("batch_events".to_string(), Value::from(s.batch_events));
+                            m.insert(
+                                "batched_components_solved".to_string(),
+                                Value::from(s.batched_components_solved),
+                            );
+                            m.insert("threads".to_string(), Value::from(s.threads as u64));
+                            m.insert(
+                                "wall_us".to_string(),
+                                Value::from(s.wall.as_micros().min(u128::from(u64::MAX)) as u64),
+                            );
+                            Value::Object(m)
+                        }
+                    };
+                }
+                None => {
+                    // An unknown (or not yet touched) tenant reads as
+                    // empty — same fields, zero values.
+                    v["registry_size"] = Value::from(0u64);
+                    v["levels"] = Value::from(shared.namespaces.levels().label());
+                    v["degraded"] = Value::from(false);
+                    v["failed_reallocs"] = Value::from(0u64);
+                    v["last_realloc"] = Value::Null;
+                }
+            }
             if let Some(f) = &shared.faults {
                 v["faults_injected"] = Value::from(f.injected());
             }
-            v["last_realloc"] = match reg.last_stats() {
-                None => Value::Null,
-                Some(s) => {
-                    let mut m = serde_json::Map::new();
-                    m.insert("probes".to_string(), Value::from(s.probes));
-                    m.insert("cache_hits".to_string(), Value::from(s.cache_hits));
-                    m.insert("cached_specs".to_string(), Value::from(s.cached_specs));
-                    m.insert("iso_builds".to_string(), Value::from(s.iso_builds));
-                    m.insert(
-                        "components_checked".to_string(),
-                        Value::from(s.components_checked),
-                    );
-                    m.insert(
-                        "components_cached".to_string(),
-                        Value::from(s.components_cached),
-                    );
-                    m.insert("kernel_row_ops".to_string(), Value::from(s.kernel_row_ops));
-                    m.insert("batch_events".to_string(), Value::from(s.batch_events));
-                    m.insert(
-                        "batched_components_solved".to_string(),
-                        Value::from(s.batched_components_solved),
-                    );
-                    m.insert("threads".to_string(), Value::from(s.threads as u64));
-                    m.insert(
-                        "wall_us".to_string(),
-                        Value::from(s.wall.as_micros().min(u128::from(u64::MAX)) as u64),
-                    );
-                    Value::Object(m)
-                }
-            };
+            let sc = shared.namespaces.shared_cache();
+            v["shared_cache"] = json!({
+                "hits": sc.hits(),
+                "misses": sc.misses(),
+                "inserts": sc.inserts(),
+                "entries": sc.len() as u64,
+                "hit_rate": sc.hit_rate(),
+            });
+            if let Some(store) = &shared.store {
+                v["durability"] = json!({
+                    "policy": store.durability().as_str(),
+                    "wal_appends": store.appends(),
+                    "fsyncs": store.fsyncs(),
+                    "snapshots": store.snapshots(),
+                    "next_seq": store.next_seq(),
+                    "since_snapshot": store.since_snapshot(),
+                    "recovery": shared.recovery.clone(),
+                });
+            }
             (v, false)
         }
         Request::List => {
-            let mut reg = shared.registry.lock().expect("registry poisoned");
-            let txns: Vec<Value> = reg
-                .list()
-                .into_iter()
-                .map(|t| {
-                    let mut m = serde_json::Map::new();
-                    m.insert("id".to_string(), Value::from(t.id.0));
-                    m.insert("text".to_string(), Value::from(t.text));
-                    m.insert("level".to_string(), Value::from(t.level.as_str()));
-                    Value::Object(m)
-                })
-                .collect();
+            let txns: Vec<Value> = match shared.namespaces.get(tenant) {
+                None => Vec::new(),
+                Some((_, reg_arc)) => {
+                    let mut reg = reg_arc.lock().expect("registry poisoned");
+                    reg.list()
+                        .into_iter()
+                        .map(|t| {
+                            let mut m = serde_json::Map::new();
+                            m.insert("id".to_string(), Value::from(t.id.0));
+                            m.insert("text".to_string(), Value::from(t.text));
+                            m.insert("level".to_string(), Value::from(t.level.as_str()));
+                            Value::Object(m)
+                        })
+                        .collect()
+                }
+            };
             let mut v = ok_reply();
             v["txns"] = Value::Array(txns);
             (v, false)
@@ -1116,10 +1301,16 @@ fn run_dispatcher(shared: &Shared) {
 }
 
 /// Applies one drained batch end to end: per-*event* replay-cache
-/// check, a single [`Registry::apply_events`] pass for the fresh
-/// events, reply JSON built outside the registry lock, per-event
-/// metrics and replay caching, then one buffered write + flush per
-/// connection.
+/// check, one [`Registry::apply_events`] pass per tenant group (events
+/// keep their submission order within each tenant), per-event metrics
+/// and replay caching, then one buffered write + flush per connection.
+///
+/// With a store configured, each applied event's reply is assembled
+/// and appended to the write-ahead log under its tenant's registry
+/// lock (log order = apply order, and the logged reply is exactly what
+/// the client receives); the whole drain then commits with **one**
+/// fsync under the `batch` durability policy — the group-commit
+/// alignment the fsync policy is named for.
 fn process_drain(shared: &Shared, batch: Vec<Pending>) {
     let mut replies: Vec<Option<Value>> = Vec::with_capacity(batch.len());
     replies.resize_with(batch.len(), || None);
@@ -1130,17 +1321,18 @@ fn process_drain(shared: &Shared, batch: Vec<Pending>) {
         // individually replays its original reply; only genuinely new
         // events reach the engine. Lock order stays replays → registry.
         let cache = shared.replays.lock().expect("replay cache poisoned");
-        let mut claimed: Vec<u64> = Vec::new();
+        let mut claimed: Vec<(Arc<str>, u64)> = Vec::new();
         for (i, p) in batch.iter().enumerate() {
             if let Some(rid) = p.req_id {
-                if let Some(prev) = cache.get(rid) {
+                if let Some(prev) = cache.get(&p.tenant, rid) {
                     let mut v = prev.clone();
                     v["replayed"] = Value::from(true);
                     shared.metrics.record_replay();
                     replies[i] = Some(v);
                     continue;
                 }
-                if claimed.contains(&rid) {
+                let key = (Arc::clone(&p.tenant), rid);
+                if claimed.contains(&key) {
                     // The same idempotency key twice in one drain (a
                     // fast retry racing its original): defer the
                     // duplicate to the next drain, where the replay
@@ -1148,88 +1340,109 @@ fn process_drain(shared: &Shared, batch: Vec<Pending>) {
                     deferred.push(i);
                     continue;
                 }
-                claimed.push(rid);
+                claimed.push(key);
             }
             fresh.push(i);
         }
     }
-    let events: Vec<RegistryEvent> = fresh
-        .iter()
-        .map(|&i| match &batch[i].req {
-            Request::Register { line, .. } => RegistryEvent::Register(line.clone()),
-            Request::Deregister { id, .. } => RegistryEvent::Deregister(*id),
-            _ => unreachable!("only mutating requests are enqueued"),
-        })
-        .collect();
-    // One engine pass; only raw reply ingredients are captured under
-    // the registry lock — JSON is assembled after it is released.
-    type RawOutcome = Result<(Option<TxnId>, Option<&'static str>), String>;
-    let mut raw_outcomes: Vec<RawOutcome> = Vec::with_capacity(events.len());
-    let mut changed: Vec<LevelChange> = Vec::new();
-    let (registry_size, stale) = {
-        let mut reg = shared.registry.lock().expect("registry poisoned");
-        if !events.is_empty() {
-            match reg.apply_events(&events) {
-                Ok(reply) => {
-                    for (outcome, event) in reply.outcomes.iter().zip(&events) {
-                        raw_outcomes.push(match outcome {
-                            Ok(id) => {
-                                // A registered id deregistered later in
-                                // the same batch has no level anymore —
-                                // `assign` reads the *post-batch* truth.
-                                let level = match event {
-                                    RegistryEvent::Register(_) => {
-                                        reg.assign(*id).map(|l| l.as_str())
-                                    }
-                                    RegistryEvent::Deregister(_) => None,
-                                };
-                                Ok((Some(*id), level))
-                            }
-                            Err(e) => Err(e.to_string()),
-                        });
-                    }
-                    changed = reply.changed;
-                }
-                Err(e) => {
-                    // Whole-batch failure (injected fault or timeout):
-                    // nothing applied, every event reports the same
-                    // degradation error, and the last-known-good
-                    // allocation keeps being served.
-                    let msg = e.to_string();
-                    raw_outcomes = events.iter().map(|_| Err(msg.clone())).collect();
-                }
-            }
+    // Group the fresh events by tenant (submission order within each
+    // group is preserved); each group is one engine batch under its
+    // own tenant's registry lock, so tenants coalesce independently.
+    let mut tenant_order: Vec<Arc<str>> = Vec::new();
+    let mut by_tenant: HashMap<Arc<str>, Vec<usize>> = HashMap::new();
+    for &i in &fresh {
+        let slot = by_tenant.entry(Arc::clone(&batch[i].tenant)).or_default();
+        if slot.is_empty() {
+            tenant_order.push(Arc::clone(&batch[i].tenant));
         }
-        (reg.len() as u64, reg.degraded())
-    };
-    let changed_json = changes_json(&changed);
-    for (&i, raw) in fresh.iter().zip(raw_outcomes) {
-        let p = &batch[i];
-        let mut v = match raw {
-            Ok((txn_id, level)) => {
-                let mut v = ok_reply();
-                if let Some(id) = txn_id {
-                    v["txn_id"] = Value::from(id.0);
-                }
-                if let Some(level) = level {
-                    v["level"] = Value::from(level);
-                }
-                v["changed"] = changed_json.clone();
-                v["registry_size"] = Value::from(registry_size);
-                v
-            }
-            Err(msg) => error_reply(&msg),
-        };
-        if stale {
-            v["stale"] = Value::from(true);
-        }
-        if let Some(rid) = p.req_id {
-            v["req_id"] = Value::from(rid);
-        }
-        replies[i] = Some(v);
+        slot.push(i);
     }
-    if !events.is_empty() {
-        shared.metrics.record_batch(events.len());
+    let mut total_events = 0usize;
+    for tkey in &tenant_order {
+        let idxs = &by_tenant[tkey];
+        let events: Vec<RegistryEvent> = idxs
+            .iter()
+            .map(|&i| match &batch[i].req {
+                Request::Register { line, .. } => RegistryEvent::Register(line.clone()),
+                Request::Deregister { id, .. } => RegistryEvent::Deregister(*id),
+                _ => unreachable!("only mutating requests are enqueued"),
+            })
+            .collect();
+        total_events += events.len();
+        let (_, reg_arc) = shared.namespaces.resolve(tkey);
+        let mut reg = reg_arc.lock().expect("registry poisoned");
+        match reg.apply_events(&events) {
+            Ok(reply) => {
+                let changed_json = changes_json(&reply.changed);
+                let registry_size = reg.len() as u64;
+                let stale = reg.degraded();
+                for ((&i, outcome), event) in idxs.iter().zip(&reply.outcomes).zip(&events) {
+                    let mut v = match outcome {
+                        Ok(id) => {
+                            // A registered id deregistered later in the
+                            // same batch has no level anymore — `assign`
+                            // reads the *post-batch* truth.
+                            let level = match event {
+                                RegistryEvent::Register(_) => reg.assign(*id).map(|l| l.as_str()),
+                                RegistryEvent::Deregister(_) => None,
+                            };
+                            let mut v = ok_reply();
+                            v["txn_id"] = Value::from(id.0);
+                            if let Some(level) = level {
+                                v["level"] = Value::from(level);
+                            }
+                            v["changed"] = changed_json.clone();
+                            v["registry_size"] = Value::from(registry_size);
+                            v
+                        }
+                        Err(e) => error_reply(&e.to_string()),
+                    };
+                    if stale {
+                        v["stale"] = Value::from(true);
+                    }
+                    if let Some(rid) = batch[i].req_id {
+                        v["req_id"] = Value::from(rid);
+                    }
+                    if v["ok"] == true {
+                        if let Some(store) = &shared.store {
+                            if let Err(e) = store.append(tkey, event, batch[i].req_id, &v) {
+                                eprintln!("mvservice: wal append failed: {e}");
+                            }
+                        }
+                    }
+                    replies[i] = Some(v);
+                }
+            }
+            Err(e) => {
+                // Whole-batch failure for this tenant (injected fault
+                // or timeout): nothing applied, every event of the
+                // group reports the same degradation error, and the
+                // last-known-good allocation keeps being served. Other
+                // tenants' groups are untouched.
+                let msg = e.to_string();
+                let stale = reg.degraded();
+                for &i in idxs {
+                    let mut v = error_reply(&msg);
+                    if stale {
+                        v["stale"] = Value::from(true);
+                    }
+                    if let Some(rid) = batch[i].req_id {
+                        v["req_id"] = Value::from(rid);
+                    }
+                    replies[i] = Some(v);
+                }
+            }
+        }
+    }
+    // The drain's single commit point: one covering fsync under the
+    // `batch` durability policy.
+    if let Some(store) = &shared.store {
+        if let Err(e) = store.commit() {
+            eprintln!("mvservice: wal fsync failed: {e}");
+        }
+    }
+    if total_events > 0 {
+        shared.metrics.record_batch(total_events);
     }
     // Per-event metrics (replays included): latency runs from request
     // acceptance, so the group-commit wait is part of the reported
@@ -1248,7 +1461,7 @@ fn process_drain(shared: &Shared, batch: Vec<Pending>) {
         for &i in &fresh {
             if let (Some(rid), Some(v)) = (batch[i].req_id, &replies[i]) {
                 if v["ok"] == true {
-                    cache.insert(rid, v.clone());
+                    cache.insert(Arc::clone(&batch[i].tenant), rid, v.clone());
                 }
             }
         }
@@ -1332,5 +1545,218 @@ fn process_drain(shared: &Shared, batch: Vec<Pending>) {
             queue.push_front(p);
         }
         batcher.available.notify_one();
+    }
+    // One snapshot check per drain, with no locks held.
+    maybe_snapshot(shared);
+}
+
+/// Takes a snapshot when one is due. Stop-the-world over the captured
+/// cut: `replays` then *every* tenant registry (ascending by name —
+/// the same global lock order every mutation follows) are held from
+/// capture through WAL truncation, so the snapshot is a consistent
+/// point of the multi-tenant state and no record can land between what
+/// it covers and the truncated log. One snapshot runs at a time
+/// ([`Store::begin_snapshot`] is a CAS); callers invoke this with no
+/// locks held.
+pub(crate) fn maybe_snapshot(shared: &Shared) {
+    let Some(store) = &shared.store else { return };
+    if !store.wants_snapshot() || !store.begin_snapshot() {
+        return;
+    }
+    let tenants = shared.namespaces.all();
+    let replays = shared.replays.lock().expect("replay cache poisoned");
+    let mut guards = Vec::with_capacity(tenants.len());
+    for (name, reg) in &tenants {
+        guards.push((Arc::clone(name), reg.lock().expect("registry poisoned")));
+    }
+    let mut state = SnapshotState::default();
+    for (name, reg) in guards.iter_mut() {
+        let listed = reg.list();
+        state.tenants.push(TenantSnapshot {
+            name: name.to_string(),
+            lines: listed.iter().map(|t| t.text.clone()).collect(),
+            alloc: listed
+                .iter()
+                .map(|t| (t.id.0, t.level.as_str().to_string()))
+                .collect(),
+        });
+    }
+    state.replays = replays.entries();
+    state.cache = shared
+        .namespaces
+        .shared_cache()
+        .entries()
+        .into_iter()
+        .map(|(key, entry)| {
+            let stored = match entry {
+                CompEntry::Unallocatable => None,
+                CompEntry::Robust(lvls) => Some(
+                    lvls.iter()
+                        .map(|(id, l)| (id.0, l.as_str().to_string()))
+                        .collect(),
+                ),
+            };
+            (key, stored)
+        })
+        .collect();
+    if let Err(e) = store.write_snapshot(&state) {
+        eprintln!("mvservice: snapshot failed: {e}");
+        store.abort_snapshot();
+    }
+}
+
+/// Rebuilds the in-memory state `bind` serves from what the store
+/// recovered. Snapshot first: the shared fingerprint cache is restored
+/// *before* the tenants (so re-registration is answered from cache),
+/// each tenant's canonical lines are re-registered — re-solved, not
+/// trusted — and the **recovery invariant** is checked: the recomputed
+/// allocation must equal the snapshotted one (the optimum is unique by
+/// Proposition 4.2, so any mismatch means corruption, not drift). Then
+/// the WAL tail replays in log order and the replay cache is reseeded
+/// with the exact replies the clients originally saw.
+fn recover(
+    namespaces: &Namespaces,
+    replays: &mut ReplayCache,
+    recovered: &crate::store::Recovered,
+) -> Result<(), String> {
+    let parse_level = |lvl: &str| {
+        lvl.parse::<IsolationLevel>()
+            .map_err(|_| format!("bad isolation level `{lvl}` in snapshot"))
+    };
+    if let Some(snap) = &recovered.snapshot {
+        for (key, entry) in &snap.cache {
+            let entry = match entry {
+                None => CompEntry::Unallocatable,
+                Some(lvls) => CompEntry::Robust(
+                    lvls.iter()
+                        .map(|(id, lvl)| parse_level(lvl).map(|l| (TxnId(*id), l)))
+                        .collect::<Result<Vec<_>, _>>()?,
+                ),
+            };
+            namespaces.shared_cache().restore(*key, entry);
+        }
+        for t in &snap.tenants {
+            let (_, reg_arc) = namespaces.resolve(&t.name);
+            let mut reg = reg_arc.lock().expect("registry poisoned");
+            for line in &t.lines {
+                reg.register(line)
+                    .map_err(|e| format!("tenant {}: replaying `{line}`: {e}", t.name))?;
+            }
+            if reg.len() != t.alloc.len() {
+                return Err(format!(
+                    "tenant {}: snapshot lists {} transactions but {} recovered",
+                    t.name,
+                    t.alloc.len(),
+                    reg.len()
+                ));
+            }
+            for (id, lvl) in &t.alloc {
+                let want = parse_level(lvl)?;
+                match reg.assign(TxnId(*id)) {
+                    Some(got) if got == want => {}
+                    got => {
+                        return Err(format!(
+                            "tenant {}: recovery invariant violated: T{id} \
+                             recomputed as {got:?}, snapshot says {want}",
+                            t.name
+                        ));
+                    }
+                }
+            }
+        }
+        for (tenant, rid, reply) in &snap.replays {
+            let (key, _) = namespaces.resolve(tenant);
+            replays.insert(key, *rid, reply.clone());
+        }
+    }
+    for rec in &recovered.records {
+        let (key, reg_arc) = namespaces.resolve(&rec.tenant);
+        {
+            let mut reg = reg_arc.lock().expect("registry poisoned");
+            // Only applied mutations were logged, so the replay must
+            // apply too; a failure here means the log and snapshot
+            // disagree.
+            let res = match &rec.event {
+                RegistryEvent::Register(line) => reg.register(line).map(|_| ()),
+                RegistryEvent::Deregister(id) => reg.deregister(*id).map(|_| ()),
+            };
+            res.map_err(|e| {
+                format!(
+                    "tenant {}: replaying log record {}: {e}",
+                    rec.tenant, rec.seq
+                )
+            })?;
+        }
+        if let Some(rid) = rec.req_id {
+            replays.insert(key, rid, rec.reply.clone());
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::ReplayCache;
+    use serde_json::json;
+    use std::sync::Arc;
+
+    fn t(name: &str) -> Arc<str> {
+        Arc::from(name)
+    }
+
+    /// The eviction boundary: filling past capacity evicts strictly
+    /// oldest-first, so every entry younger than `cap` insertions — the
+    /// window a retrying client can actually still be in — survives.
+    #[test]
+    fn replay_cache_evicts_oldest_first_and_keeps_the_retry_window() {
+        const CAP: usize = 8;
+        let mut cache = ReplayCache::with_capacity(CAP);
+        let tenant = t("acme");
+        for rid in 0..(CAP as u64 * 2) {
+            cache.insert(Arc::clone(&tenant), rid, json!({"rid": rid}));
+            // Invariants hold at every step, not just at the end.
+            assert!(cache.order.len() <= CAP, "order grew past cap");
+            assert_eq!(cache.replies.len(), cache.order.len(), "map/queue skew");
+            // The newest min(inserted, cap) entries are all present.
+            let oldest_kept = (rid + 1).saturating_sub(CAP as u64);
+            for kept in oldest_kept..=rid {
+                assert_eq!(
+                    cache.get(&tenant, kept),
+                    Some(&json!({"rid": kept})),
+                    "entry {kept} inside the retry window was dropped at step {rid}"
+                );
+            }
+            if oldest_kept > 0 {
+                assert_eq!(
+                    cache.get(&tenant, oldest_kept - 1),
+                    None,
+                    "evicted entry resurfaced at step {rid}"
+                );
+            }
+        }
+        // Insertion order is preserved end to end (the snapshot capture
+        // relies on this to restore the eviction queue faithfully).
+        let rids: Vec<u64> = cache.entries().iter().map(|(_, rid, _)| *rid).collect();
+        let expect: Vec<u64> = (CAP as u64..CAP as u64 * 2).collect();
+        assert_eq!(rids, expect, "entries() must walk oldest → newest");
+    }
+
+    /// Re-inserting a live key must not duplicate it in the eviction
+    /// queue — a duplicate would make one retry burst age out other
+    /// tenants' entries early.
+    #[test]
+    fn replay_cache_duplicate_insert_does_not_double_count() {
+        let mut cache = ReplayCache::with_capacity(4);
+        let tenant = t("acme");
+        for _ in 0..10 {
+            cache.insert(Arc::clone(&tenant), 7, json!({"first": true}));
+        }
+        assert_eq!(cache.order.len(), 1, "duplicate inserts grew the queue");
+        assert_eq!(cache.get(&tenant, 7), Some(&json!({"first": true})));
+        // Keys are tenant-scoped: the same rid elsewhere is distinct.
+        cache.insert(t("zeta"), 7, json!({"zeta": true}));
+        assert_eq!(cache.get(&t("zeta"), 7), Some(&json!({"zeta": true})));
+        assert_eq!(cache.get(&tenant, 7), Some(&json!({"first": true})));
+        assert_eq!(cache.order.len(), 2);
     }
 }

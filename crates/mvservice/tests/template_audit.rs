@@ -1,0 +1,120 @@
+//! Satellite: the template-level audit round-trips through the service
+//! path. `mvtemplates::audit` certifies a per-template allocation
+//! against the bounded instantiation *offline*; here the same bounded
+//! SmallBank set is admitted transaction-by-transaction through the
+//! delta API of a live server, and the audit verdict is checked against
+//! the per-instance outcomes the service actually produced:
+//!
+//! - the service's optimum is the pointwise-least robust allocation
+//!   (Prop 4.2), so each instance's assigned level must sit at or below
+//!   its template's audited level;
+//! - the allocation the service hands out must itself pass Algorithm 1,
+//!   agreeing with the audit's `robust = true`;
+//! - and in the other direction, a template assignment the audit
+//!   *refutes* (all-RC) must be refuted by the instances too: at least
+//!   one admitted instance is pinned above RC.
+
+use mvisolation::{Allocation, IsolationLevel};
+use mvmodel::OpKind;
+use mvrobustness::is_robust;
+use mvservice::{Client, CodecKind, Config, Server};
+use mvtemplates::{audit, optimal_template_allocation, smallbank_templates};
+
+const COPIES: usize = 1;
+const DOMAIN: u32 = 2;
+
+#[test]
+fn template_audit_verdict_matches_service_assigned_instances() {
+    let set = smallbank_templates();
+    let levels = optimal_template_allocation(&set, COPIES, DOMAIN);
+    let verdict = audit(&set, &levels, COPIES, DOMAIN);
+    assert!(
+        verdict.robust,
+        "optimal template allocation must audit robust"
+    );
+    assert!(verdict.counterexample.is_none());
+
+    let (txns, origin) = set
+        .bounded_instantiation(COPIES, DOMAIN)
+        .expect("bounded SmallBank instantiation is well-formed");
+    assert_eq!(verdict.instances, txns.len());
+
+    // Render each instance as a wire line (instance i holds TxnId i+1,
+    // per `instantiate`'s id assignment).
+    let lines: Vec<String> = txns
+        .iter()
+        .enumerate()
+        .map(|(i, t)| {
+            let ops: Vec<String> = t
+                .ops()
+                .iter()
+                .map(|op| {
+                    let tag = match op.kind {
+                        OpKind::Read => 'R',
+                        OpKind::Write => 'W',
+                    };
+                    format!("{tag}[{}]", txns.object_name(op.object))
+                })
+                .collect();
+            format!("T{}: {}", i + 1, ops.join(" "))
+        })
+        .collect();
+
+    // Admit the whole bounded set through a live server's delta API,
+    // in a dedicated tenant so the path under test is the namespaced one.
+    let server = Server::bind(Config {
+        addr: "127.0.0.1:0".to_string(),
+        ..Config::default()
+    })
+    .expect("bind");
+    let addr = server.local_addr().expect("local addr");
+    let join = std::thread::spawn(move || server.run().expect("server run"));
+    let mut client = Client::connect_with(addr.to_string(), CodecKind::Line)
+        .expect("connect")
+        .with_tenant("audit");
+    for line in &lines {
+        let reply = client.register(line).expect("register");
+        assert_eq!(reply["ok"], true, "rejected: {line}");
+    }
+
+    // Per-instance outcomes: the service optimum is pointwise least
+    // among robust allocations, so it can never exceed the audited
+    // per-template level.
+    let mut service_levels = Vec::with_capacity(lines.len());
+    for i in 0..lines.len() {
+        let level = client.assign(i as u32 + 1).expect("assign");
+        assert!(
+            level <= levels[origin[i]],
+            "instance T{} ({}): service assigned {level}, above audited template level {}",
+            i + 1,
+            set.get(origin[i]).name(),
+            levels[origin[i]]
+        );
+        service_levels.push(level);
+    }
+
+    // The service's allocation must re-verify under Algorithm 1 —
+    // per-instance outcomes agreeing with the audit's robust verdict.
+    let alloc: Allocation = txns.ids().zip(service_levels.iter().copied()).collect();
+    assert!(
+        is_robust(&txns, &alloc).robust(),
+        "service allocation failed the offline robustness check"
+    );
+
+    // Refutation direction: all-RC fails the audit, and the instances
+    // admitted through the service agree — at least one sits above RC
+    // (were they all RC-allocatable, the least optimum would be all-RC).
+    let all_rc = vec![IsolationLevel::ReadCommitted; set.len()];
+    let refuted = audit(&set, &all_rc, COPIES, DOMAIN);
+    assert!(!refuted.robust, "all-RC SmallBank must not audit robust");
+    assert!(refuted.counterexample.is_some());
+    assert!(
+        service_levels
+            .iter()
+            .any(|&l| l > IsolationLevel::ReadCommitted),
+        "audit refutes all-RC but the service allocated everything RC"
+    );
+
+    client.shutdown().expect("shutdown");
+    join.join().expect("server joins");
+}
