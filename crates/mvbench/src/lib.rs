@@ -5,6 +5,8 @@
 //! `src/bin/`; both build their inputs through this module so the
 //! parameters are recorded in one place.
 
+pub mod conformance;
+
 use mvisolation::{Allocation, IsolationLevel};
 use mvmodel::{TransactionSet, TxnSetBuilder};
 use mvsim::Job;

@@ -1,18 +1,54 @@
 //! `mvrobust simulate`: execute the workload in the MVCC simulator and
 //! report throughput, aborts, and serializability of the emitted
 //! schedules.
+//!
+//! `--allocate` closes the allocate→execute loop in one invocation: it
+//! computes the optimal robust allocation over the `--levels` menu
+//! (Algorithm 2), executes it, and validates every run's committed trace
+//! with the conformance oracle — allowed under the allocation *and*
+//! conflict serializable (the allocation is robust by construction). A
+//! nonconformant trace is a contract violation and exits 1.
 
 use crate::args::Parsed;
+use mvisolation::IsolationLevel;
 use mvmodel::serializability::is_conflict_serializable;
-use mvrobustness::optimal_allocation;
-use mvsim::{run_jobs, Job, SimConfig, SsiMode};
+use mvrobustness::{check_trace, optimal_allocation, Allocator, LevelSet};
+use mvsim::{run_workload, SimConfig, SsiMode};
 use serde_json::json;
 use std::process::ExitCode;
+
+const LEVEL_NAMES: [(&str, IsolationLevel); 3] = [
+    ("RC", IsolationLevel::ReadCommitted),
+    ("SI", IsolationLevel::SnapshotIsolation),
+    ("SSI", IsolationLevel::SerializableSnapshotIsolation),
+];
 
 pub fn run(argv: &[String]) -> Result<ExitCode, String> {
     let parsed = Parsed::parse(argv)?;
     let txns = parsed.load_workload()?;
-    let alloc = if parsed.flag("optimal") {
+    let allocate = parsed.flag("allocate");
+    let alloc = if allocate {
+        if parsed.flag("optimal")
+            || parsed.option("alloc").is_some()
+            || parsed.option("level").is_some()
+        {
+            return Err("--allocate is mutually exclusive with --alloc/--level/--optimal".into());
+        }
+        let allocator = Allocator::new(&txns).with_threads(parsed.threads()?);
+        match parsed.level_set()? {
+            LevelSet::RcSiSsi => allocator.optimal().0,
+            LevelSet::RcSi => match allocator.optimal_rc_si().0 {
+                Some(a) => a,
+                None => {
+                    eprintln!(
+                        "workload admits no robust {{RC, SI}} allocation — \
+                         rerun with --levels rc-si-ssi"
+                    );
+                    return Ok(ExitCode::from(1));
+                }
+            },
+        }
+    } else if parsed.flag("optimal") {
         optimal_allocation(&txns)
     } else {
         parsed.allocation(&txns)?
@@ -26,21 +62,18 @@ pub fn run(argv: &[String]) -> Result<ExitCode, String> {
         other => return Err(format!("invalid --ssi-mode `{other}`")),
     };
 
-    let jobs: Vec<Job> = txns
-        .iter()
-        .map(|t| Job::new(t.ops().to_vec(), alloc.level(t.id())))
-        .collect();
-
     let mut total = mvsim::Metrics::default();
     let mut latency = mvsim::LatencyStats::default();
     let mut serializable_runs = 0u64;
     let mut allowed_runs = 0u64;
+    let mut violations: Vec<String> = Vec::new();
     for r in 0..repeat {
+        let run_seed = seed.wrapping_add(r);
         let config = SimConfig::default()
-            .with_seed(seed.wrapping_add(r))
+            .with_seed(run_seed)
             .with_concurrency(concurrency)
             .with_ssi_mode(ssi_mode);
-        let engine = run_jobs(&jobs, config);
+        let engine = run_workload(&txns, &alloc, config);
         let m = engine.metrics;
         total.commits += m.commits;
         total.aborts_fcw += m.aborts_fcw;
@@ -51,6 +84,12 @@ pub fn run(argv: &[String]) -> Result<ExitCode, String> {
         total.reads += m.reads;
         total.writes += m.writes;
         total.blocked_events += m.blocked_events;
+        for (t, l) in total.per_level.iter_mut().zip(m.per_level.iter()) {
+            t.commits += l.commits;
+            t.aborts_fcw += l.aborts_fcw;
+            t.aborts_deadlock += l.aborts_deadlock;
+            t.aborts_ssi += l.aborts_ssi;
+        }
         latency.merge(&engine.latency);
         if let Some(exported) = engine.trace.export() {
             if mvisolation::allowed_under(&exported.schedule, &exported.allocation) {
@@ -59,12 +98,34 @@ pub fn run(argv: &[String]) -> Result<ExitCode, String> {
             if is_conflict_serializable(&exported.schedule) {
                 serializable_runs += 1;
             }
+            if allocate {
+                // Optimal allocations are robust, so every committed trace
+                // must pass the full conformance contract.
+                if let Err(e) = check_trace(&exported.schedule, &exported.allocation, true) {
+                    violations.push(format!("run {r} (seed {run_seed}): {e}"));
+                }
+            }
         }
     }
 
     if parsed.flag("json") {
+        let level_json = |l: IsolationLevel| {
+            let c = total.level(l);
+            json!({
+                "commits": c.commits,
+                "aborts_fcw": c.aborts_fcw,
+                "aborts_deadlock": c.aborts_deadlock,
+                "aborts_ssi": c.aborts_ssi,
+            })
+        };
+        let per_level = json!({
+            "RC": level_json(IsolationLevel::ReadCommitted),
+            "SI": level_json(IsolationLevel::SnapshotIsolation),
+            "SSI": level_json(IsolationLevel::SerializableSnapshotIsolation),
+        });
         let j = json!({
             "allocation": alloc.to_string(),
+            "allocated": allocate,
             "concurrency": concurrency,
             "runs": repeat,
             "commits": total.commits,
@@ -79,6 +140,8 @@ pub fn run(argv: &[String]) -> Result<ExitCode, String> {
             "abort_rate": total.abort_rate(),
             "serializable_runs": serializable_runs,
             "allowed_runs": allowed_runs,
+            "per_level": per_level,
+            "conformance_violations": violations.clone(),
             "latency_ticks": json!({
                 "mean": latency.mean(),
                 "p50": latency.p50(),
@@ -90,10 +153,24 @@ pub fn run(argv: &[String]) -> Result<ExitCode, String> {
     } else {
         println!("allocation: {alloc}");
         println!("{total}");
+        println!("level  commits  fcw  deadlock  ssi");
+        for (name, l) in LEVEL_NAMES {
+            let c = total.level(l);
+            println!(
+                "{name:<6} {:>7}  {:>3}  {:>8}  {:>3}",
+                c.commits, c.aborts_fcw, c.aborts_deadlock, c.aborts_ssi
+            );
+        }
         println!("{latency}");
         println!(
             "runs: {repeat}  serializable: {serializable_runs}  allowed-under-allocation: {allowed_runs}"
         );
+    }
+    if !violations.is_empty() {
+        for v in &violations {
+            eprintln!("conformance violation: {v}");
+        }
+        return Ok(ExitCode::from(1));
     }
     Ok(ExitCode::SUCCESS)
 }

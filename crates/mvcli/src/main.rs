@@ -5,7 +5,7 @@
 //! mvrobust check    [FILE] (--alloc "T1=RC T2=SI" | --level SI) [--json]
 //! mvrobust allocate [FILE] [--levels rc-si|rc-si-ssi] [--explain] [--json]
 //! mvrobust witness  [FILE] (--alloc … | --level …) [--json]
-//! mvrobust simulate [FILE] [--alloc … | --level … | --optimal]
+//! mvrobust simulate [FILE] [--alloc … | --level … | --optimal | --allocate [--levels …]]
 //!                   [--concurrency N] [--seed N] [--repeat K]
 //!                   [--ssi-mode exact|conservative] [--json]
 //! mvrobust serve    [--addr HOST:PORT] [--levels rc-si|rc-si-ssi] [--threads N]
@@ -92,8 +92,9 @@ fn print_usage() {
          mvrobust allocate [FILE] [--levels rc-si|rc-si-ssi] [--explain] [--json]\n  \
          mvrobust analyze  [FILE] [--json]\n  \
          mvrobust witness  [FILE] (--alloc ... | --level ...) [--json]\n  \
-         mvrobust simulate [FILE] [--alloc ... | --level ... | --optimal]\n            \
-         [--concurrency N] [--seed N] [--repeat K] [--ssi-mode exact|conservative] [--json]\n  \
+         mvrobust simulate [FILE] [--alloc ... | --level ... | --optimal | --allocate [--levels ...]]\n            \
+         [--concurrency N] [--seed N] [--repeat K] [--ssi-mode exact|conservative] [--json]\n            \
+         (--allocate validates every committed trace against the optimal allocation; exit 1 on violation)\n  \
          mvrobust serve    [--addr HOST:PORT] [--levels rc-si|rc-si-ssi] [--threads N]\n            \
          [--realloc-timeout-ms N] [--fault-plan SPEC]\n  \
          mvrobust client   <register \"T1: R[x]\" | deregister T1 | assign T1 | stats | list |\n            \

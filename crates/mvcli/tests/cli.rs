@@ -167,6 +167,65 @@ fn simulate_conservative_mode() {
 }
 
 #[test]
+fn simulate_allocate_full_pipeline() {
+    // --allocate: optimal allocation, execution, and per-run conformance
+    // validation in one invocation.
+    let (stdout, stderr, code) = run_with_stdin(
+        &[
+            "simulate",
+            "--allocate",
+            "--repeat",
+            "3",
+            "--seed",
+            "2",
+            "--json",
+        ],
+        SKEW,
+    );
+    assert_eq!(code, 0, "{stderr}");
+    let j: serde_json::Value = serde_json::from_str(&stdout).expect("valid json");
+    assert_eq!(j["allocated"], true);
+    assert_eq!(j["allocation"], "T1=SSI T2=SSI");
+    assert_eq!(j["serializable_runs"], 3);
+    assert_eq!(j["allowed_runs"], 3);
+    assert!(j["conformance_violations"].as_array().unwrap().is_empty());
+    // Both write-skew partners sit at SSI, so the other levels are idle.
+    assert!(j["per_level"]["SSI"]["commits"].as_u64().unwrap() >= 3);
+    assert_eq!(j["per_level"]["RC"]["commits"], 0);
+    assert_eq!(j["per_level"]["SI"]["commits"], 0);
+}
+
+#[test]
+fn simulate_allocate_text_table_and_level_menu() {
+    let (stdout, _, code) = run_with_stdin(&["simulate", "--allocate"], DISJOINT);
+    assert_eq!(code, 0, "{stdout}");
+    assert!(stdout.contains("allocation: T1=RC T2=RC"), "{stdout}");
+    assert!(stdout.contains("level  commits"), "{stdout}");
+    // Write skew has no robust {RC, SI} allocation: exit 1 with guidance.
+    let (_, stderr, code) = run_with_stdin(&["simulate", "--allocate", "--levels", "rc-si"], SKEW);
+    assert_eq!(code, 1);
+    assert!(stderr.contains("no robust {RC, SI} allocation"), "{stderr}");
+    // But the disjoint workload allocates fine over the reduced menu.
+    let (stdout, _, code) =
+        run_with_stdin(&["simulate", "--allocate", "--levels", "rc-si"], DISJOINT);
+    assert_eq!(code, 0, "{stdout}");
+    assert!(stdout.contains("T1=RC T2=RC"), "{stdout}");
+}
+
+#[test]
+fn simulate_allocate_is_exclusive_with_manual_allocations() {
+    for conflicting in [
+        vec!["simulate", "--allocate", "--optimal"],
+        vec!["simulate", "--allocate", "--level", "si"],
+        vec!["simulate", "--allocate", "--alloc", "T1=RC T2=RC"],
+    ] {
+        let (_, stderr, code) = run_with_stdin(&conflicting, SKEW);
+        assert_eq!(code, 2, "{conflicting:?}");
+        assert!(stderr.contains("mutually exclusive"), "{stderr}");
+    }
+}
+
+#[test]
 fn usage_errors() {
     let (_, stderr, code) = run_with_stdin(&["frobnicate"], "");
     assert_eq!(code, 2);

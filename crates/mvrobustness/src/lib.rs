@@ -58,7 +58,10 @@ pub use allocate::{
 };
 pub use components::{CompEntry, Components, SharedCompCache};
 pub use conflict_index::ConflictIndex;
-pub use oracle::{oracle_counterexample, oracle_is_robust};
+pub use oracle::{
+    check_trace, corroborate_anomaly, oracle_counterexample, oracle_is_robust, validate_trace,
+    AnomalyMismatch, TraceError, TraceVerdict,
+};
 pub use rc_si::{optimal_allocation_rc_si, robustly_allocatable_rc_si};
 pub use reference::{optimal_allocation_reference, ReferenceChecker};
 pub use sdg::{static_si_robust, StaticVerdict};

@@ -12,8 +12,10 @@
 //! Algorithm 1 (both directions of Theorem 3.2) on small workloads and to
 //! quantify the brute-force/polynomial gap in the benchmark suite.
 
+use crate::algorithm1::find_counterexample;
+use crate::witness::{materialize, verify_witness};
 use mvisolation::derive::{derive_schedule, for_each_interleaving};
-use mvisolation::{allowed_under, Allocation};
+use mvisolation::{allowed_under, violations, Allocation, Violation};
 use mvmodel::serializability::is_conflict_serializable;
 use mvmodel::{Schedule, TransactionSet};
 use std::sync::Arc;
@@ -67,6 +69,160 @@ pub fn oracle_stats(txns: &Arc<TransactionSet>, alloc: &Allocation) -> OracleSta
         true
     });
     stats
+}
+
+// ---------------------------------------------------------------------
+// Trace conformance: the executed second oracle.
+//
+// The functions below close the allocate→execute loop: a multiversion
+// engine (mvsim, or any other) exports its committed execution as a
+// `Schedule` plus the `Allocation` it ran under, and the theory makes two
+// falsifiable predictions about that trace —
+//
+//   1. the trace is *allowed under* the allocation (Definition 2.4): the
+//      engine faithfully implements RC/SI/SSI semantics;
+//   2. when the allocation is robust (Theorem 3.2), the trace is conflict
+//      serializable.
+//
+// When execution instead *finds* an anomaly, `corroborate_anomaly`
+// cross-checks it against Algorithm 1: the static checker must agree the
+// allocation is non-robust, and its counterexample split schedule must
+// itself verify as a genuine allowed non-serializable witness. The two
+// oracles — symbolic search over split schedules and randomized
+// execution — must never disagree.
+// ---------------------------------------------------------------------
+
+/// Outcome of validating one executed trace against the allocation it
+/// ran under.
+#[derive(Clone, Debug)]
+pub struct TraceVerdict {
+    /// Allowed under the allocation (Definition 2.4).
+    pub allowed: bool,
+    /// Conflict serializable.
+    pub serializable: bool,
+    /// The specific per-transaction violations when not allowed.
+    pub violations: Vec<Violation>,
+}
+
+impl TraceVerdict {
+    /// Allowed *and* serializable — what a robust allocation promises.
+    pub fn conformant(&self) -> bool {
+        self.allowed && self.serializable
+    }
+}
+
+/// Validates an executed trace: allowed-under-allocation and conflict
+/// serializability, with the violation list when the former fails.
+pub fn validate_trace(s: &Schedule, alloc: &Allocation) -> TraceVerdict {
+    let vs = violations(s, alloc);
+    TraceVerdict {
+        allowed: vs.is_empty(),
+        serializable: is_conflict_serializable(s),
+        violations: vs,
+    }
+}
+
+/// Why an executed trace failed the conformance contract.
+#[derive(Clone, Debug)]
+pub enum TraceError {
+    /// The engine emitted a schedule its own allocation forbids — an
+    /// engine bug, regardless of robustness.
+    NotAllowed {
+        violations: Vec<Violation>,
+        schedule: String,
+    },
+    /// The allocation was certified robust but the execution is not
+    /// serializable — a refutation of the robustness certificate (or of
+    /// the engine's level enforcement).
+    NotSerializable { schedule: String },
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::NotAllowed {
+                violations,
+                schedule,
+            } => write!(
+                f,
+                "trace not allowed under its allocation ({} violation(s)):\n{}\nfirst: {:?}",
+                violations.len(),
+                schedule,
+                violations.first()
+            ),
+            TraceError::NotSerializable { schedule } => write!(
+                f,
+                "robust-allocated trace is not conflict serializable:\n{schedule}"
+            ),
+        }
+    }
+}
+
+/// The conformance contract for one executed trace: it must be allowed
+/// under `alloc`; when `expect_serializable` (the allocation was
+/// certified robust), it must also be conflict serializable.
+///
+/// Returns the verdict on success so callers can still inspect
+/// serializability of non-robust runs (where either outcome conforms).
+pub fn check_trace(
+    s: &Schedule,
+    alloc: &Allocation,
+    expect_serializable: bool,
+) -> Result<TraceVerdict, TraceError> {
+    let verdict = validate_trace(s, alloc);
+    if !verdict.allowed {
+        return Err(TraceError::NotAllowed {
+            violations: verdict.violations.clone(),
+            schedule: mvmodel::fmt::schedule_full(s),
+        });
+    }
+    if expect_serializable && !verdict.serializable {
+        return Err(TraceError::NotSerializable {
+            schedule: mvmodel::fmt::schedule_full(s),
+        });
+    }
+    Ok(verdict)
+}
+
+/// How the static and executed oracles can disagree about an anomaly.
+#[derive(Clone, Debug)]
+pub enum AnomalyMismatch {
+    /// Execution produced a non-serializable trace but Algorithm 1
+    /// certifies the allocation robust — one of the two oracles is wrong.
+    StaticallyRobust,
+    /// Algorithm 1 produced a counterexample whose materialized split
+    /// schedule does not verify as a genuine anomaly.
+    WitnessInvalid(String),
+}
+
+impl std::fmt::Display for AnomalyMismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AnomalyMismatch::StaticallyRobust => f.write_str(
+                "execution found an anomaly but Algorithm 1 certifies the allocation robust",
+            ),
+            AnomalyMismatch::WitnessInvalid(e) => {
+                write!(f, "Algorithm 1's counterexample failed verification: {e}")
+            }
+        }
+    }
+}
+
+/// Cross-checks an executed anomaly against Algorithm 1: the checker must
+/// report non-robust, and its counterexample split schedule (Definition
+/// 3.1, materialized) must verify as an allowed, non-serializable
+/// schedule. Returns that witness schedule.
+pub fn corroborate_anomaly(
+    txns: &Arc<TransactionSet>,
+    alloc: &Allocation,
+) -> Result<Schedule, AnomalyMismatch> {
+    let Some(spec) = find_counterexample(txns, alloc) else {
+        return Err(AnomalyMismatch::StaticallyRobust);
+    };
+    let witness = materialize(Arc::clone(txns), alloc, &spec);
+    verify_witness(&witness, alloc)
+        .map_err(|e| AnomalyMismatch::WitnessInvalid(format!("{e:?}")))?;
+    Ok(witness)
 }
 
 #[cfg(test)]
@@ -155,5 +311,69 @@ mod tests {
             &txns,
             &Allocation::parse("T1=RC T2=SI").unwrap()
         ));
+    }
+
+    #[test]
+    fn validate_trace_verdicts() {
+        let txns = write_skew();
+        let si = Allocation::uniform_si(&txns);
+        // An anomaly found by enumeration: allowed, not serializable.
+        let bad = oracle_counterexample(&txns, &si).unwrap();
+        let v = validate_trace(&bad, &si);
+        assert!(v.allowed);
+        assert!(!v.serializable);
+        assert!(!v.conformant());
+        assert!(v.violations.is_empty());
+        // The same schedule under all-SSI is *not* allowed (SSI forbids it).
+        let ssi = Allocation::uniform_ssi(&txns);
+        let v2 = validate_trace(&bad, &ssi);
+        assert!(!v2.allowed);
+        assert!(!v2.violations.is_empty());
+    }
+
+    #[test]
+    fn check_trace_contract() {
+        let txns = write_skew();
+        let si = Allocation::uniform_si(&txns);
+        let bad = oracle_counterexample(&txns, &si).unwrap();
+        // Non-robust allocation: anomaly conforms when serializability is
+        // not expected…
+        let v = check_trace(&bad, &si, false).expect("allowed trace conforms");
+        assert!(!v.serializable);
+        // …but refutes a (false) robustness claim, with the schedule in
+        // the error message.
+        let err = check_trace(&bad, &si, true).unwrap_err();
+        match &err {
+            TraceError::NotSerializable { schedule } => assert!(schedule.contains("W1[")),
+            other => panic!("expected NotSerializable, got {other:?}"),
+        }
+        assert!(err.to_string().contains("not conflict serializable"));
+        // Trace forbidden by its allocation fails regardless.
+        let ssi = Allocation::uniform_ssi(&txns);
+        let err = check_trace(&bad, &ssi, false).unwrap_err();
+        match &err {
+            TraceError::NotAllowed { violations, .. } => assert!(!violations.is_empty()),
+            other => panic!("expected NotAllowed, got {other:?}"),
+        }
+        assert!(err.to_string().contains("not allowed"));
+    }
+
+    #[test]
+    fn corroborate_anomaly_agrees_with_algorithm1() {
+        let txns = write_skew();
+        // Non-robust: Algorithm 1 yields a verified witness schedule.
+        let si = Allocation::uniform_si(&txns);
+        let witness = corroborate_anomaly(&txns, &si).expect("write skew at SI is non-robust");
+        assert!(allowed_under(&witness, &si));
+        assert!(!is_conflict_serializable(&witness));
+        // Robust: the oracles would disagree — reported as such.
+        let ssi = Allocation::uniform_ssi(&txns);
+        match corroborate_anomaly(&txns, &ssi) {
+            Err(AnomalyMismatch::StaticallyRobust) => {}
+            other => panic!("expected StaticallyRobust, got {other:?}"),
+        }
+        assert!(AnomalyMismatch::StaticallyRobust
+            .to_string()
+            .contains("robust"));
     }
 }

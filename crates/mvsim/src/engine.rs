@@ -89,6 +89,9 @@ pub struct Engine {
     pub metrics: Metrics,
     /// Per-job commit latencies, filled by the driver.
     pub latency: LatencyStats,
+    /// Commit latencies split by the job's isolation level (indexed by
+    /// [`crate::metrics::level_index`]), filled by the driver.
+    pub latency_by_level: [LatencyStats; 3],
     pub trace: TraceRecorder,
 }
 
@@ -107,6 +110,7 @@ impl Engine {
             doomed: HashSet::new(),
             metrics: Metrics::default(),
             latency: LatencyStats::default(),
+            latency_by_level: Default::default(),
             trace: TraceRecorder::new(record),
         }
     }
@@ -296,7 +300,7 @@ impl Engine {
         }
         self.ssi.admit(footprint);
         let woken = self.locks.release_all(who);
-        self.metrics.commits += 1;
+        self.metrics.record_commit(a.level);
         self.trace.record_commit(who, commit_ts);
         self.maybe_gc();
         (StepOutcome::Committed, woken)
@@ -369,13 +373,13 @@ impl Engine {
     }
 
     fn abort(&mut self, who: AttemptId, reason: AbortReason) -> StepOutcome {
-        self.active.remove(&who).expect("unknown attempt");
+        let a = self.active.remove(&who).expect("unknown attempt");
         self.doomed.remove(&who);
         self.ssi.forget(who);
         let woken = self.locks.release_all(who);
         debug_assert!(woken.is_empty() || !woken.contains(&who));
         self.pending_wakes.extend(woken);
-        self.metrics.record_abort(reason);
+        self.metrics.record_abort(reason, a.level);
         self.trace.record_abort(who);
         StepOutcome::Aborted(reason)
     }

@@ -39,7 +39,10 @@ pub mod trace;
 pub mod version;
 
 pub use config::{SimConfig, SsiMode};
-pub use driver::{run_jobs, run_workload, Job};
+pub use driver::{
+    run_jobs, run_jobs_with, run_workload, run_workload_with, Job, RoundRobinScheduler, Scheduler,
+    SeededScheduler,
+};
 pub use engine::{AbortReason, Engine, StepOutcome};
-pub use metrics::{LatencyStats, Metrics};
+pub use metrics::{level_index, LatencyStats, LevelCounters, Metrics};
 pub use trace::ExportedTrace;

@@ -1,6 +1,43 @@
 //! Execution counters and derived statistics.
 
 use crate::engine::AbortReason;
+use mvisolation::IsolationLevel;
+
+/// Index of an isolation level into per-level counter arrays (`RC` = 0,
+/// `SI` = 1, `SSI` = 2).
+pub fn level_index(level: IsolationLevel) -> usize {
+    match level {
+        IsolationLevel::ReadCommitted => 0,
+        IsolationLevel::SnapshotIsolation => 1,
+        IsolationLevel::SerializableSnapshotIsolation => 2,
+    }
+}
+
+/// Commit/abort counters for one isolation level — the per-level view of
+/// the same events the global [`Metrics`] counters record.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct LevelCounters {
+    pub commits: u64,
+    pub aborts_fcw: u64,
+    pub aborts_deadlock: u64,
+    pub aborts_ssi: u64,
+}
+
+impl LevelCounters {
+    pub fn total_aborts(&self) -> u64 {
+        self.aborts_fcw + self.aborts_deadlock + self.aborts_ssi
+    }
+
+    /// Fraction of this level's attempts that aborted.
+    pub fn abort_rate(&self) -> f64 {
+        let attempts = self.commits + self.total_aborts();
+        if attempts == 0 {
+            0.0
+        } else {
+            self.total_aborts() as f64 / attempts as f64
+        }
+    }
+}
 
 /// Counters collected by the engine and driver.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -17,14 +54,37 @@ pub struct Metrics {
     /// Final logical clock — every read/write/commit advances it by one,
     /// so it measures total work including wasted (aborted) operations.
     pub ticks: u64,
+    /// Commits/aborts split by the attempt's isolation level (indexed by
+    /// [`level_index`]): the data behind the mixed-vs-SSI comparison.
+    pub per_level: [LevelCounters; 3],
 }
 
 impl Metrics {
-    pub fn record_abort(&mut self, reason: AbortReason) {
+    /// The per-level counters for `level`.
+    pub fn level(&self, level: IsolationLevel) -> &LevelCounters {
+        &self.per_level[level_index(level)]
+    }
+
+    pub fn record_commit(&mut self, level: IsolationLevel) {
+        self.commits += 1;
+        self.per_level[level_index(level)].commits += 1;
+    }
+
+    pub fn record_abort(&mut self, reason: AbortReason, level: IsolationLevel) {
+        let per = &mut self.per_level[level_index(level)];
         match reason {
-            AbortReason::FirstCommitterWins => self.aborts_fcw += 1,
-            AbortReason::Deadlock => self.aborts_deadlock += 1,
-            AbortReason::SsiDangerous => self.aborts_ssi += 1,
+            AbortReason::FirstCommitterWins => {
+                self.aborts_fcw += 1;
+                per.aborts_fcw += 1;
+            }
+            AbortReason::Deadlock => {
+                self.aborts_deadlock += 1;
+                per.aborts_deadlock += 1;
+            }
+            AbortReason::SsiDangerous => {
+                self.aborts_ssi += 1;
+                per.aborts_ssi += 1;
+            }
         }
     }
 
@@ -77,16 +137,44 @@ mod tests {
     #[test]
     fn abort_recording_and_rates() {
         let mut m = Metrics::default();
-        m.record_abort(AbortReason::FirstCommitterWins);
-        m.record_abort(AbortReason::Deadlock);
-        m.record_abort(AbortReason::SsiDangerous);
-        m.record_abort(AbortReason::SsiDangerous);
+        m.record_abort(AbortReason::FirstCommitterWins, IsolationLevel::SI);
+        m.record_abort(AbortReason::Deadlock, IsolationLevel::RC);
+        m.record_abort(AbortReason::SsiDangerous, IsolationLevel::SSI);
+        m.record_abort(AbortReason::SsiDangerous, IsolationLevel::SSI);
         assert_eq!(m.total_aborts(), 4);
         assert_eq!(m.aborts_ssi, 2);
-        m.commits = 6;
+        for _ in 0..6 {
+            m.record_commit(IsolationLevel::RC);
+        }
         assert!((m.abort_rate() - 0.4).abs() < 1e-9);
         m.ticks = 60;
         assert!((m.goodput() - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_level_counters_split_the_global_ones() {
+        let mut m = Metrics::default();
+        m.record_commit(IsolationLevel::RC);
+        m.record_commit(IsolationLevel::SSI);
+        m.record_abort(AbortReason::FirstCommitterWins, IsolationLevel::SI);
+        m.record_abort(AbortReason::SsiDangerous, IsolationLevel::SSI);
+        let sum_commits: u64 = m.per_level.iter().map(|l| l.commits).sum();
+        let sum_aborts: u64 = m.per_level.iter().map(|l| l.total_aborts()).sum();
+        assert_eq!(sum_commits, m.commits);
+        assert_eq!(sum_aborts, m.total_aborts());
+        assert_eq!(m.level(IsolationLevel::SI).aborts_fcw, 1);
+        assert_eq!(m.level(IsolationLevel::SSI).commits, 1);
+        assert_eq!(m.level(IsolationLevel::SSI).aborts_ssi, 1);
+        assert!((m.level(IsolationLevel::SSI).abort_rate() - 0.5).abs() < 1e-9);
+        assert_eq!(m.level(IsolationLevel::RC).abort_rate(), 0.0);
+        assert_eq!(
+            [0, 1, 2],
+            [
+                level_index(IsolationLevel::RC),
+                level_index(IsolationLevel::SI),
+                level_index(IsolationLevel::SSI)
+            ]
+        );
     }
 
     #[test]
@@ -142,6 +230,10 @@ impl LatencyStats {
 
     pub fn p95(&self) -> u64 {
         self.quantile(0.95)
+    }
+
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
     }
 
     pub fn max(&self) -> u64 {

@@ -1,0 +1,192 @@
+//! The conservative SSI detector dominates the exact one: on lockstep
+//! executions (identical begin order, identical scheduling picks) the two
+//! detectors behave identically up to the first divergence, and the
+//! divergence — when it happens — is always the conservative detector
+//! aborting an attempt the exact detector would have let through. The
+//! exact detector has zero false positives; Cahill-style flag tracking
+//! over-approximates it, never the reverse.
+//!
+//! Both engines are then drained to completion independently and their
+//! committed traces must be serializable: the workloads run all-SSI,
+//! which is always a robust allocation.
+
+use mvmodel::serializability::is_conflict_serializable;
+use mvsim::version::AttemptId;
+use mvsim::{AbortReason, Engine, SimConfig, SsiMode, StepOutcome};
+use mvworkloads::SmallBank;
+use rand::rngs::SmallRng;
+use rand::{RngCore, SeedableRng};
+
+/// What happened at the first point the two engines disagreed.
+#[derive(Debug)]
+struct Divergence {
+    exact: StepOutcome,
+    conservative: StepOutcome,
+}
+
+/// Applies one step's outcome to a ready list: finished or blocked
+/// attempts leave, woken attempts join (in wake order — the engine's
+/// FIFO lock handoff).
+fn apply(outcome: StepOutcome, idx: usize, wakes: Vec<AttemptId>, ready: &mut Vec<AttemptId>) {
+    match outcome {
+        StepOutcome::Progress => {}
+        StepOutcome::Blocked | StepOutcome::Committed | StepOutcome::Aborted(_) => {
+            ready.remove(idx);
+        }
+    }
+    ready.extend(wakes);
+}
+
+/// Steps `engine` until no attempt is runnable, picking uniformly from
+/// the ready list with a seeded rng.
+fn drain(engine: &mut Engine, mut ready: Vec<AttemptId>, seed: u64) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    while !ready.is_empty() {
+        let idx = (rng.next_u64() % ready.len() as u64) as usize;
+        let who = ready[idx];
+        let (outcome, mut wakes) = engine.step(who);
+        wakes.extend(engine.drain_wakes());
+        apply(outcome, idx, wakes, &mut ready);
+    }
+    assert_eq!(engine.active_count(), 0, "attempts stranded blocked");
+}
+
+/// Runs one all-SSI workload in lockstep under both detectors. Returns
+/// the divergence, if any; panics if the divergence is anything other
+/// than a conservative-only SSI abort.
+fn lockstep(seed: u64) -> Divergence {
+    let txns = SmallBank::random_mix(10, 3, 0.9, seed);
+    let mode_config = |mode| SimConfig::default().with_ssi_mode(mode);
+    let mut exact = Engine::new(mode_config(SsiMode::Exact));
+    let mut cons = Engine::new(mode_config(SsiMode::Conservative));
+    let mut ready: Vec<AttemptId> = txns
+        .iter()
+        .map(|t| {
+            let a = exact.begin(t.ops().to_vec(), mvisolation::IsolationLevel::SSI);
+            let b = cons.begin(t.ops().to_vec(), mvisolation::IsolationLevel::SSI);
+            assert_eq!(a, b, "begin order must assign identical attempt ids");
+            a
+        })
+        .collect();
+
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xD04E);
+    let mut divergence = Divergence {
+        exact: StepOutcome::Progress,
+        conservative: StepOutcome::Progress,
+    };
+    let mut diverged = false;
+    while !ready.is_empty() {
+        let idx = (rng.next_u64() % ready.len() as u64) as usize;
+        let who = ready[idx];
+        let (oe, mut we) = exact.step(who);
+        we.extend(exact.drain_wakes());
+        let (oc, mut wc) = cons.step(who);
+        wc.extend(cons.drain_wakes());
+        if oe != oc {
+            // The one permitted divergence: a conservative false-positive
+            // abort. The exact detector aborting where the conservative
+            // one proceeds would invert the containment.
+            assert_eq!(
+                oc,
+                StepOutcome::Aborted(AbortReason::SsiDangerous),
+                "divergence was not a conservative SSI abort (seed {seed}): \
+                 exact={oe:?} conservative={oc:?}"
+            );
+            assert!(
+                !matches!(oe, StepOutcome::Aborted(_)),
+                "exact aborted where conservative did not (seed {seed}): {oe:?}"
+            );
+            divergence = Divergence {
+                exact: oe,
+                conservative: oc,
+            };
+            diverged = true;
+            // Split the worlds: each engine finishes under its own
+            // (deterministic) continuation.
+            let mut ready_e = ready.clone();
+            let mut ready_c = ready.clone();
+            apply(oe, idx, we, &mut ready_e);
+            apply(oc, idx, wc, &mut ready_c);
+            drain(&mut exact, ready_e, seed ^ 0xE);
+            drain(&mut cons, ready_c, seed ^ 0xC);
+            break;
+        }
+        assert_eq!(we, wc, "wake order diverged before outcomes (seed {seed})");
+        apply(oe, idx, we, &mut ready);
+    }
+    assert_eq!(exact.active_count(), 0);
+    assert_eq!(cons.active_count(), 0);
+
+    // All-SSI is robust: both committed traces must be serializable.
+    for (label, engine) in [("exact", &exact), ("conservative", &cons)] {
+        let exported = engine.trace.export().expect("traces on by default");
+        assert!(
+            is_conflict_serializable(&exported.schedule),
+            "{label} detector committed a non-serializable trace (seed {seed}): {}",
+            mvmodel::fmt::schedule_full(&exported.schedule)
+        );
+        assert!(
+            mvisolation::allowed_under(&exported.schedule, &exported.allocation),
+            "{label} trace not allowed under its allocation (seed {seed})"
+        );
+    }
+
+    // No divergence → the runs were identical, including their aborts.
+    if !diverged {
+        assert_eq!(exact.metrics.aborts_ssi, cons.metrics.aborts_ssi);
+        assert_eq!(
+            mvmodel::fmt::schedule_full(&exact.trace.export().unwrap().schedule),
+            mvmodel::fmt::schedule_full(&cons.trace.export().unwrap().schedule),
+            "divergence-free lockstep runs must produce identical traces (seed {seed})"
+        );
+        assert!(matches!(divergence.exact, StepOutcome::Progress));
+    }
+    divergence
+}
+
+#[test]
+fn conservative_aborts_contain_exact_aborts_on_lockstep_runs() {
+    let mut divergences = 0usize;
+    for seed in 0..60u64 {
+        let d = lockstep(seed);
+        if matches!(d.conservative, StepOutcome::Aborted(_)) {
+            divergences += 1;
+        }
+    }
+    // The property must actually bite: some seed has to produce a
+    // conservative false positive, or the test is vacuous.
+    assert!(
+        divergences > 0,
+        "no seed produced a conservative-only abort — detector change or workload drift?"
+    );
+}
+
+/// Driver-level pinning: under the full retry driver with identical
+/// seeds, the conservative detector's SSI abort count dominates the exact
+/// one's in aggregate. Deterministic in the pinned seeds.
+#[test]
+fn conservative_ssi_abort_count_dominates_under_driver() {
+    let txns = SmallBank::random_mix(24, 3, 0.9, 0xD0);
+    let alloc = mvisolation::Allocation::uniform(&txns, mvisolation::IsolationLevel::SSI);
+    let mut exact_total = 0u64;
+    let mut cons_total = 0u64;
+    for seed in 0..8u64 {
+        let run = |mode| {
+            let config = SimConfig::default()
+                .with_seed(seed)
+                .with_concurrency(6)
+                .with_ssi_mode(mode)
+                .with_max_retries(50);
+            mvsim::run_workload(&txns, &alloc, config)
+                .metrics
+                .aborts_ssi
+        };
+        exact_total += run(SsiMode::Exact);
+        cons_total += run(SsiMode::Conservative);
+    }
+    assert!(
+        cons_total >= exact_total,
+        "conservative SSI aborts ({cons_total}) fell below exact ({exact_total})"
+    );
+    assert!(cons_total > 0, "workload never triggered the detector");
+}

@@ -1,0 +1,116 @@
+//! End-to-end template pipeline: audit a per-template level assignment
+//! (§6.3.1's stepping stone), instantiate it, and *execute* the
+//! instantiation on the MVCC simulator — every committed trace under a
+//! template-robust assignment must be allowed and conflict serializable.
+
+use mvisolation::{Allocation, IsolationLevel};
+use mvmodel::serializability::is_conflict_serializable;
+use mvsim::{run_workload, SimConfig, SsiMode};
+use mvtemplates::{audit, optimal_template_allocation, smallbank_templates};
+
+const COPIES: usize = 1;
+const DOMAIN: u32 = 2;
+
+/// The per-instance allocation induced by a per-template assignment over
+/// the bounded instantiation.
+fn instance_allocation(levels: &[IsolationLevel]) -> (mvmodel::TransactionSet, Allocation) {
+    let (txns, origin) = smallbank_templates()
+        .bounded_instantiation(COPIES, DOMAIN)
+        .expect("bounded instantiation is well-formed");
+    let alloc: Allocation = txns
+        .ids()
+        .enumerate()
+        .map(|(i, t)| (t, levels[origin[i]]))
+        .collect();
+    (txns, alloc)
+}
+
+/// The tentpole path: optimal template levels audit robust, and their
+/// bounded instantiation executes conformantly under both SSI detectors
+/// across seeds and session counts.
+#[test]
+fn optimal_template_levels_execute_serializably() {
+    let templates = smallbank_templates();
+    let levels = optimal_template_allocation(&templates, COPIES, DOMAIN);
+    let report = audit(&templates, &levels, COPIES, DOMAIN);
+    assert!(report.robust, "the optimal assignment must audit robust");
+    assert!(report.counterexample.is_none());
+    // SmallBank's write-skew core keeps at least one template at SSI; the
+    // read-only Balance template must have dropped below it.
+    assert!(levels.contains(&IsolationLevel::SSI));
+    assert!(levels.iter().any(|&l| l != IsolationLevel::SSI));
+
+    let (txns, alloc) = instance_allocation(&levels);
+    assert_eq!(txns.len(), report.instances);
+    for mode in [SsiMode::Exact, SsiMode::Conservative] {
+        for seed in 0..6u64 {
+            for concurrency in [2usize, 5] {
+                let config = SimConfig::default()
+                    .with_seed(seed)
+                    .with_concurrency(concurrency)
+                    .with_ssi_mode(mode);
+                let engine = run_workload(&txns, &alloc, config);
+                assert_eq!(engine.metrics.gave_up, 0, "unbounded retries");
+                let exported = engine.trace.export().expect("trace on by default");
+                let verdict = mvrobustness::check_trace(
+                    &exported.schedule,
+                    &exported.allocation,
+                    true,
+                )
+                .unwrap_or_else(|e| {
+                    panic!("nonconformant template execution (mode {mode:?}, seed {seed}, concurrency {concurrency}): {e}")
+                });
+                assert!(verdict.conformant());
+            }
+        }
+    }
+}
+
+/// The refuting direction: demoting every template to SI is not
+/// template-robust (SmallBank write skew), the audit says so with a
+/// counterexample, and execution under that assignment still only emits
+/// schedules the allocation allows — non-serializability is permitted,
+/// anomalies are not engine bugs.
+#[test]
+fn all_si_templates_audit_non_robust_but_execute_allowed() {
+    let templates = smallbank_templates();
+    let levels = vec![IsolationLevel::SI; templates.len()];
+    let report = audit(&templates, &levels, COPIES, DOMAIN);
+    assert!(
+        !report.robust,
+        "all-SI SmallBank templates cannot be robust"
+    );
+    assert!(report.counterexample.is_some());
+
+    let (txns, alloc) = instance_allocation(&levels);
+    let mut any_anomaly = false;
+    // The anomaly needs Balance, TransactSavings and WriteCheck instances
+    // of one customer in flight together; instantiation order puts them
+    // far apart in the job list, so the probe runs everything concurrent.
+    'search: for concurrency in [txns.len(), 6] {
+        for seed in 0..60u64 {
+            let config = SimConfig::default()
+                .with_seed(seed)
+                .with_concurrency(concurrency)
+                .with_max_retries(2);
+            let engine = run_workload(&txns, &alloc, config);
+            let exported = engine.trace.export().expect("trace on by default");
+            let verdict = mvrobustness::validate_trace(&exported.schedule, &exported.allocation);
+            assert!(
+                verdict.allowed,
+                "engine emitted a schedule its allocation forbids (seed {seed})"
+            );
+            if !is_conflict_serializable(&exported.schedule) {
+                any_anomaly = true;
+                break 'search;
+            }
+        }
+    }
+    // Not required by the theory for any particular seed set, but pinned
+    // here: these seeds do realize an executed anomaly, keeping the
+    // refutation test honest end to end.
+    assert!(
+        any_anomaly,
+        "no seed executed an anomaly under the non-robust template assignment"
+    );
+}
