@@ -3,6 +3,9 @@
 //! ```text
 //! mvrobust client register "T1: R[x] W[y]" [--addr HOST:PORT] [--json]
 //! mvrobust client deregister T1 | assign T1 | stats | list | ping | shutdown
+//! mvrobust client template register "Balance: R[sav:$0] R[chk:$0]"
+//! mvrobust client template list
+//! mvrobust client instantiate 0 7         # admit one instance, O(1)
 //! mvrobust client batch [LINE ...]        # or one line per stdin line
 //! mvrobust client ... [--retries N] [--backoff-ms MS] [--seed N]
 //! mvrobust client ... [--codec line|binary] [--tenant NAME]
@@ -80,6 +83,24 @@ impl Conn {
             Conn::Retry(c) => c.list(),
         }
     }
+    fn template_register(&mut self, template: &str) -> Result<Value, ClientError> {
+        match self {
+            Conn::Plain(c) => c.template_register(template),
+            Conn::Retry(c) => c.template_register(template),
+        }
+    }
+    fn instantiate(&mut self, template_id: u64, params: &[u32]) -> Result<Value, ClientError> {
+        match self {
+            Conn::Plain(c) => c.instantiate(template_id, params),
+            Conn::Retry(c) => c.instantiate(template_id, params),
+        }
+    }
+    fn template_list(&mut self) -> Result<Value, ClientError> {
+        match self {
+            Conn::Plain(c) => c.template_list(),
+            Conn::Retry(c) => c.template_list(),
+        }
+    }
     fn ping(&mut self) -> Result<(), ClientError> {
         match self {
             Conn::Plain(c) => c.ping(),
@@ -100,7 +121,7 @@ pub fn run(argv: &[String]) -> Result<ExitCode, String> {
     let json = parsed.flag("json");
     let mut args = parsed.positional.iter();
     let verb = args.next().ok_or(
-        "client needs a subcommand: register, deregister, assign, batch, stats, list, ping or shutdown",
+        "client needs a subcommand: register, deregister, assign, template, instantiate, batch, stats, list, ping or shutdown",
     )?;
     let retries = parsed.option_parse::<u32>("retries")?;
     let backoff_ms = parsed.option_parse::<u64>("backoff-ms")?;
@@ -259,6 +280,84 @@ pub fn run(argv: &[String]) -> Result<ExitCode, String> {
                 }
             })
         }
+        "template" => {
+            let sub = args
+                .next()
+                .ok_or("template needs a subcommand: register or list")?;
+            match sub.as_str() {
+                "register" => {
+                    let line = args.next().ok_or(
+                        "template register needs a template line, e.g. `Balance: R[sav:$0] R[chk:$0]`",
+                    )?;
+                    client.template_register(line).map(|reply| {
+                        if json {
+                            print_json(&reply);
+                        } else {
+                            println!(
+                                "template {} registered at {} ({} templates)",
+                                reply["template_id"],
+                                show(&reply["level"]),
+                                reply["templates"]
+                            );
+                            if let Some(changed) = reply["changed"].as_array() {
+                                for c in changed {
+                                    println!(
+                                        "  template {}: {} → {}",
+                                        c["template"],
+                                        show(&c["before"]),
+                                        show(&c["after"])
+                                    );
+                                }
+                            }
+                        }
+                    })
+                }
+                "list" => client.template_list().map(|reply| {
+                    if json {
+                        print_json(&reply);
+                    } else if let Some(templates) = reply["templates"].as_array() {
+                        for t in templates {
+                            println!(
+                                "{}  [{}]  {} instances",
+                                show(&t["text"]),
+                                show(&t["level"]),
+                                t["instances"]
+                            );
+                        }
+                    }
+                }),
+                other => {
+                    return Err(format!(
+                        "unknown template subcommand `{other}` (expected register or list)"
+                    ))
+                }
+            }
+        }
+        "instantiate" => {
+            let id = args
+                .next()
+                .ok_or("instantiate needs a template id (from `template list`)")?
+                .parse::<u64>()
+                .map_err(|_| "invalid template id".to_string())?;
+            let params = args
+                .map(|p| {
+                    p.parse::<u32>()
+                        .map_err(|_| format!("invalid template parameter `{p}`"))
+                })
+                .collect::<Result<Vec<u32>, String>>()?;
+            client.instantiate(id, &params).map(|reply| {
+                if json {
+                    print_json(&reply);
+                } else {
+                    println!(
+                        "admitted at {} (instance {} of template {})",
+                        show(&reply["level"]),
+                        reply["instances"],
+                        reply["template_id"]
+                    );
+                }
+            })
+        }
         "ping" => client.ping().map(|()| {
             if json {
                 print_json(&serde_json::json!({"ok": true, "pong": true}));
@@ -275,7 +374,7 @@ pub fn run(argv: &[String]) -> Result<ExitCode, String> {
         }),
         other => {
             return Err(format!(
-                "unknown client subcommand `{other}` (expected register, deregister, assign, batch, stats, list, ping or shutdown)"
+                "unknown client subcommand `{other}` (expected register, deregister, assign, template, instantiate, batch, stats, list, ping or shutdown)"
             ))
         }
     };

@@ -10,7 +10,7 @@
 //!                   [--ssi-mode exact|conservative] [--json]
 //! mvrobust serve    [--addr HOST:PORT] [--levels rc-si|rc-si-ssi] [--threads N]
 //!                   [--realloc-timeout-ms N] [--fault-plan SPEC]
-//! mvrobust client   <register|deregister|assign|stats|list|ping|shutdown> [ARG]
+//! mvrobust client   <register|deregister|assign|template|instantiate|stats|list|ping|shutdown> [ARG]
 //!                   [--addr HOST:PORT] [--retries N] [--backoff-ms MS] [--json]
 //! ```
 //!
@@ -98,6 +98,7 @@ fn print_usage() {
          mvrobust serve    [--addr HOST:PORT] [--levels rc-si|rc-si-ssi] [--threads N]\n            \
          [--realloc-timeout-ms N] [--fault-plan SPEC]\n  \
          mvrobust client   <register \"T1: R[x]\" | deregister T1 | assign T1 | stats | list |\n            \
+         template register \"B: R[sav:$0]\" | template list | instantiate ID [P ...] |\n            \
          ping | shutdown> [--addr HOST:PORT] [--retries N] [--backoff-ms MS] [--json]\n\n\
          FILE holds one transaction per line, e.g. `T1: R[x] W[y]`; `-` reads stdin."
     );

@@ -357,6 +357,56 @@ fn serve_and_client_round_trip() {
 }
 
 #[test]
+fn serve_and_client_template_fast_path() {
+    let (mut server, addr, _server_out, _) = spawn_server(&[]);
+
+    let (stdout, stderr, code) = client(
+        &addr,
+        &["template", "register", "Balance: R[sav:$0] R[chk:$0]"],
+    );
+    assert_eq!(code, 0, "{stderr}");
+    assert!(stdout.contains("template 0 registered"), "{stdout}");
+
+    // Fast-path admission: O(1), any u32 parameter.
+    let (stdout, stderr, code) = client(&addr, &["instantiate", "0", "7"]);
+    assert_eq!(code, 0, "{stderr}");
+    assert!(stdout.contains("admitted at"), "{stdout}");
+    let (stdout, _, code) = client(&addr, &["instantiate", "0", "4000000000", "--json"]);
+    assert_eq!(code, 0);
+    let j: serde_json::Value = serde_json::from_str(&stdout).expect("valid json");
+    assert_eq!(j["instances"], 2);
+
+    let (stdout, _, code) = client(&addr, &["template", "list"]);
+    assert_eq!(code, 0);
+    assert!(stdout.contains("Balance: R[sav:$0] R[chk:$0]"), "{stdout}");
+    assert!(stdout.contains("2 instances"), "{stdout}");
+
+    // A malformed instantiation is a structured server error (exit 1),
+    // never a dropped connection or a server panic.
+    let (_, stderr, code) = client(&addr, &["instantiate", "9"]);
+    assert_eq!(code, 1, "{stderr}");
+    assert!(stderr.contains("server error"), "{stderr}");
+    let (_, stderr, code) = client(&addr, &["instantiate", "0", "1", "2"]);
+    assert_eq!(code, 1, "{stderr}");
+    assert!(stderr.contains("server error"), "{stderr}");
+
+    // Template instances never touch the engine: the transaction
+    // registry is still empty.
+    let (stdout, _, code) = client(&addr, &["stats", "--json"]);
+    assert_eq!(code, 0);
+    let j: serde_json::Value = serde_json::from_str(&stdout).expect("valid json");
+    assert_eq!(j["registry_size"], 0);
+    assert_eq!(j["templates"], 1);
+    assert_eq!(j["instances"], 2);
+    assert_eq!(j["admission"]["fast_path"], 2);
+
+    let (_, _, code) = client(&addr, &["shutdown"]);
+    assert_eq!(code, 0);
+    let status = server.wait().expect("server exit");
+    assert_eq!(status.code(), Some(0));
+}
+
+#[test]
 fn serve_rc_si_mode_rejects_unallocatable_registration() {
     let (mut server, addr, _server_out, _) = spawn_server(&["--levels", "rc-si"]);
     let (_, _, code) = client(&addr, &["register", "T1: R[x] W[y]"]);

@@ -68,3 +68,23 @@ pub use sdg::{static_si_robust, StaticVerdict};
 pub use split_schedule::SplitSpec;
 pub use stats::EngineStats;
 pub use witness::{materialize, verify_witness, WitnessError};
+
+/// Audit re-verify hook: re-runs Algorithm 1 over a concrete workload and
+/// returns the counterexample split schedule when the allocation is not
+/// robust. Used by `mvtemplates`' catalog registration (randomized
+/// re-verification of the precomputed template allocation) and by the
+/// equivalence suites — one canonical way to ask "does this allocation
+/// still hold?" without touching an [`Allocator`].
+pub fn reverify(
+    txns: &mvmodel::TransactionSet,
+    alloc: &mvisolation::Allocation,
+) -> Result<(), SplitSpec> {
+    let report = is_robust(txns, alloc);
+    if report.robust() {
+        Ok(())
+    } else {
+        Err(report
+            .into_counterexample()
+            .expect("non-robust reports carry a counterexample"))
+    }
+}

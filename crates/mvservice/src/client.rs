@@ -274,6 +274,31 @@ impl Client {
             .map_err(|_| ClientError::Protocol(format!("unknown level `{level}` in reply")))
     }
 
+    /// Registers a parameterized template; returns the full reply
+    /// (`template_id`, audited `level`, `changed` earlier templates).
+    pub fn template_register(&mut self, template: &str) -> Result<Value, ClientError> {
+        self.request(&Request::TemplateRegister {
+            template: template.to_string(),
+            req_id: None,
+        })
+    }
+
+    /// Admits one instance of a registered template on the O(1) fast
+    /// path; returns the full reply (`level`, `instances`).
+    pub fn instantiate(&mut self, template_id: u64, params: &[u32]) -> Result<Value, ClientError> {
+        self.request(&Request::Instantiate {
+            template_id,
+            params: params.to_vec(),
+            req_id: None,
+        })
+    }
+
+    /// The registered templates with audited levels and live instance
+    /// counts.
+    pub fn template_list(&mut self) -> Result<Value, ClientError> {
+        self.request(&Request::TemplateList)
+    }
+
     /// Server statistics (counters, latencies, registry size, last
     /// reallocation).
     pub fn stats(&mut self) -> Result<Value, ClientError> {
@@ -622,6 +647,38 @@ impl RetryClient {
         level
             .parse()
             .map_err(|_| ClientError::Protocol(format!("unknown level `{level}` in reply")))
+    }
+
+    /// Registers a template; applied exactly once even if retried.
+    pub fn template_register(&mut self, template: &str) -> Result<Value, ClientError> {
+        let req_id = self.fresh_req_id();
+        self.request_with_retry(
+            &Request::TemplateRegister {
+                template: template.to_string(),
+                req_id: Some(req_id),
+            },
+            req_id,
+        )
+    }
+
+    /// Admits one template instance; counted exactly once even if
+    /// retried (the fast-path instance count is idempotent per
+    /// `req_id`).
+    pub fn instantiate(&mut self, template_id: u64, params: &[u32]) -> Result<Value, ClientError> {
+        let req_id = self.fresh_req_id();
+        self.request_with_retry(
+            &Request::Instantiate {
+                template_id,
+                params: params.to_vec(),
+                req_id: Some(req_id),
+            },
+            req_id,
+        )
+    }
+
+    /// The registered templates (reads retry without a `req_id`).
+    pub fn template_list(&mut self) -> Result<Value, ClientError> {
+        self.request_with_retry(&Request::TemplateList, 11)
     }
 
     pub fn stats(&mut self) -> Result<Value, ClientError> {

@@ -11,6 +11,11 @@
 //!   counterexamples and monotonicity floors yet produces bit-for-bit
 //!   the from-scratch optimum. [`Registry::assign`] reads the cached
 //!   allocation in O(1).
+//! - Template admission: `template_register` audits a parameterized
+//!   template once against its whole bounded instantiation envelope
+//!   ([`mvtemplates::TemplateCatalog`]); `instantiate` then admits each
+//!   instance at the precomputed level in O(1) without ever calling the
+//!   allocator. Ad-hoc `register` keeps the per-transaction delta path.
 //! - [`protocol`]: newline-delimited JSON over TCP — std-only, no
 //!   framing beyond `\n`, structured error replies (a malformed request
 //!   never drops the connection).
@@ -62,6 +67,8 @@ pub use fault::{FaultAction, FaultHook, FaultPlan, InjectedFault, ReallocFault, 
 pub use metrics::Metrics;
 pub use namespace::{Namespaces, RegistryTemplate, DEFAULT_TENANT};
 pub use protocol::{Request, MAX_FRAME};
-pub use registry::{BatchReply, RegisteredTxn, Registry, RegistryError, RegistryEvent};
+pub use registry::{
+    BatchReply, RegisteredTxn, Registry, RegistryError, RegistryEvent, TemplateInfo,
+};
 pub use server::{install_signal_handlers, Config, CoreKind, Server, ServerHandle, MAX_LINE};
 pub use store::{Durability, Recovered, SnapshotState, Store, TenantSnapshot, WalRecord};

@@ -13,10 +13,13 @@ use std::time::Duration;
 
 /// Ops tracked by name; index = position. Unparseable requests (no op
 /// field at all) count under `invalid`.
-pub const OP_NAMES: [&str; 8] = [
+pub const OP_NAMES: [&str; 11] = [
     "register",
     "deregister",
     "assign",
+    "template_register",
+    "instantiate",
+    "template_list",
     "stats",
     "list",
     "ping",
@@ -55,6 +58,15 @@ pub struct Metrics {
     codec_line: AtomicU64,
     /// Requests decoded from the binary frame codec.
     codec_frame: AtomicU64,
+    /// Templates registered across all tenants (catalog slow path).
+    templates: AtomicU64,
+    /// Instances admitted through the template fast path.
+    instances: AtomicU64,
+    /// Admissions through the O(1) catalog fast path (`instantiate`).
+    admit_fast: AtomicU64,
+    /// Admissions through the delta path (`register`, single or
+    /// batched) — each one is an engine reallocation.
+    admit_delta: AtomicU64,
 }
 
 impl Default for Metrics {
@@ -71,6 +83,10 @@ impl Default for Metrics {
             conns_total: AtomicU64::new(0),
             codec_line: AtomicU64::new(0),
             codec_frame: AtomicU64::new(0),
+            templates: AtomicU64::new(0),
+            instances: AtomicU64::new(0),
+            admit_fast: AtomicU64::new(0),
+            admit_delta: AtomicU64::new(0),
         }
     }
 }
@@ -228,6 +244,41 @@ impl Metrics {
         )
     }
 
+    /// Counts one applied template registration (catalog slow path).
+    pub fn record_template(&self) {
+        self.templates.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one admission: `fast = true` for the O(1) template
+    /// fast path (`instantiate`), `false` for a delta-path engine
+    /// reallocation (`register`).
+    pub fn record_admission(&self, fast: bool) {
+        if fast {
+            self.instances.fetch_add(1, Ordering::Relaxed);
+            self.admit_fast.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.admit_delta.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Templates registered so far.
+    pub fn templates(&self) -> u64 {
+        self.templates.load(Ordering::Relaxed)
+    }
+
+    /// Fast-path instances admitted so far.
+    pub fn instances(&self) -> u64 {
+        self.instances.load(Ordering::Relaxed)
+    }
+
+    /// Admissions per path: `(fast, delta)`.
+    pub fn admissions(&self) -> (u64, u64) {
+        (
+            self.admit_fast.load(Ordering::Relaxed),
+            self.admit_delta.load(Ordering::Relaxed),
+        )
+    }
+
     /// The `requests` / `errors` / `latency_us` portion of a `stats`
     /// reply.
     pub fn to_json(&self) -> Value {
@@ -259,6 +310,12 @@ impl Metrics {
             }),
             "codec_line": self.codec_line.load(Ordering::Relaxed),
             "codec_frame": self.codec_frame.load(Ordering::Relaxed),
+            "templates": self.templates(),
+            "instances": self.instances(),
+            "admission": json!({
+                "fast_path": self.admit_fast.load(Ordering::Relaxed),
+                "delta": self.admit_delta.load(Ordering::Relaxed),
+            }),
         })
     }
 }
@@ -415,6 +472,38 @@ mod tests {
         assert_eq!(v["connections"]["total"], 2u64);
         assert_eq!(v["codec_line"], 1u64);
         assert_eq!(v["codec_frame"], 2u64);
+    }
+
+    #[test]
+    fn template_verbs_have_their_own_counters() {
+        // The new verbs must be in OP_NAMES: `record` maps unknown op
+        // names to `invalid`, which would silently mis-attribute them.
+        let m = Metrics::new();
+        m.record("template_register", true, Duration::from_micros(500));
+        m.record("instantiate", true, Duration::from_micros(1));
+        m.record("template_list", true, Duration::from_micros(2));
+        let v = m.to_json();
+        assert_eq!(v["requests"]["template_register"], 1u64);
+        assert_eq!(v["requests"]["instantiate"], 1u64);
+        assert_eq!(v["requests"]["template_list"], 1u64);
+        assert_eq!(v["requests"]["invalid"], 0u64);
+    }
+
+    #[test]
+    fn admission_counters_split_fast_and_delta() {
+        let m = Metrics::new();
+        m.record_template();
+        m.record_admission(true);
+        m.record_admission(true);
+        m.record_admission(false);
+        assert_eq!(m.templates(), 1);
+        assert_eq!(m.instances(), 2);
+        assert_eq!(m.admissions(), (2, 1));
+        let v = m.to_json();
+        assert_eq!(v["templates"], 1u64);
+        assert_eq!(v["instances"], 2u64);
+        assert_eq!(v["admission"]["fast_path"], 2u64);
+        assert_eq!(v["admission"]["delta"], 1u64);
     }
 
     #[test]

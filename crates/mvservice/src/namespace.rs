@@ -2,8 +2,11 @@
 //! cross-tenant [`SharedCompCache`].
 //!
 //! Each tenant gets a fully independent registry — its own transaction
-//! ids, object names, allocation, and degradation state — behind its
-//! own lock, so mutations in different tenants run in parallel. What
+//! ids, object names, allocation, degradation state, and template
+//! catalog (templates registered by one tenant are invisible to every
+//! other: ids, audited levels, and instance counts are all
+//! tenant-scoped) — behind its own lock, so mutations in different
+//! tenants run in parallel. What
 //! the tenants *share* is the component fingerprint cache: fleets run
 //! many tenants through the same template shapes (the template line of
 //! work, Vandevoort et al.), so a conflict component one tenant has

@@ -11,17 +11,26 @@
 //! | `register`   | `txn` (text line), `req_id`? | `txn_id`, `level`, `changed`, `registry_size` |
 //! | `deregister` | `txn_id`, `req_id`?          | `txn_id`, `changed`, `registry_size`      |
 //! | `assign`     | `txn_id`                     | `txn_id`, `level`                         |
+//! | `template_register` | `template` (text line), `req_id`? | `template_id`, `level`, `changed`, `templates` |
+//! | `instantiate` | `template_id`, `params`, `req_id`? | `template_id`, `level`, `instances` |
+//! | `template_list` | —                         | `templates`: `[{id, name, text, level, param_count, instances}]` |
 //! | `stats`      | —                            | counters, latencies, `last_realloc`       |
 //! | `list`       | —                            | `txns`: `[{id, text, level}]`             |
 //! | `ping`       | —                            | `pong`                                    |
 //! | `shutdown`   | —                            | `shutting_down`                           |
 //!
+//! `register`/`deregister` are the *delta path*: the engine re-solves
+//! the allocation for the concrete transaction. `template_register`
+//! audits a parametrized template once (slow), after which
+//! `instantiate` admits each instance on the *fast path* — a pure O(1)
+//! catalog lookup that never touches the allocator.
+//!
 //! `changed` reports the transactions whose level differs from the
 //! previous optimum (`before` is `null` for a newly entered
 //! transaction, `after` is `null` for a departed one).
 //!
-//! `req_id` is an optional numeric idempotency key on the two mutating
-//! ops. A client that retries a request after a connection failure
+//! `req_id` is an optional numeric idempotency key on the mutating ops
+//! (`register`, `deregister`, `template_register`, `instantiate`). A client that retries a request after a connection failure
 //! sends the same `req_id`; if the first attempt already applied, the
 //! server answers from its replay cache with the original reply plus
 //! `"replayed": true` instead of double-applying the delta. Replies to
@@ -49,9 +58,27 @@ pub const MAX_FRAME: usize = 1 << 20;
 /// A decoded client request.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum Request {
-    Register { line: String, req_id: Option<u64> },
-    Deregister { id: TxnId, req_id: Option<u64> },
-    Assign { id: TxnId },
+    Register {
+        line: String,
+        req_id: Option<u64>,
+    },
+    Deregister {
+        id: TxnId,
+        req_id: Option<u64>,
+    },
+    Assign {
+        id: TxnId,
+    },
+    TemplateRegister {
+        template: String,
+        req_id: Option<u64>,
+    },
+    Instantiate {
+        template_id: u64,
+        params: Vec<u32>,
+        req_id: Option<u64>,
+    },
+    TemplateList,
     Stats,
     List,
     Ping,
@@ -65,6 +92,9 @@ impl Request {
             Request::Register { .. } => "register",
             Request::Deregister { .. } => "deregister",
             Request::Assign { .. } => "assign",
+            Request::TemplateRegister { .. } => "template_register",
+            Request::Instantiate { .. } => "instantiate",
+            Request::TemplateList => "template_list",
             Request::Stats => "stats",
             Request::List => "list",
             Request::Ping => "ping",
@@ -108,12 +138,51 @@ impl Request {
                 req_id: req_id(v)?,
             }),
             "assign" => Ok(Request::Assign { id: txn_id(v)? }),
+            "template_register" => {
+                let template = v["template"]
+                    .as_str()
+                    .ok_or("template_register needs a string field `template`")?
+                    .to_string();
+                Ok(Request::TemplateRegister {
+                    template,
+                    req_id: req_id(v)?,
+                })
+            }
+            "instantiate" => {
+                let template_id = v["template_id"]
+                    .as_u64()
+                    .ok_or("missing numeric field `template_id`")?;
+                let params = match &v["params"] {
+                    Value::Null => Vec::new(),
+                    Value::Array(items) => {
+                        let mut out = Vec::with_capacity(items.len());
+                        for item in items {
+                            let raw = item.as_u64().ok_or(
+                                "field `params` must be an array of non-negative integers",
+                            )?;
+                            out.push(
+                                u32::try_from(raw)
+                                    .map_err(|_| format!("param {raw} out of range"))?,
+                            );
+                        }
+                        out
+                    }
+                    _ => return Err("field `params` must be an array".to_string()),
+                };
+                Ok(Request::Instantiate {
+                    template_id,
+                    params,
+                    req_id: req_id(v)?,
+                })
+            }
+            "template_list" => Ok(Request::TemplateList),
             "stats" => Ok(Request::Stats),
             "list" => Ok(Request::List),
             "ping" => Ok(Request::Ping),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(format!(
-                "unknown op `{other}` (expected register, deregister, assign, stats, list, ping or shutdown)"
+                "unknown op `{other}` (expected register, deregister, assign, template_register, \
+                 instantiate, template_list, stats, list, ping or shutdown)"
             )),
         }
     }
@@ -121,7 +190,10 @@ impl Request {
     /// The idempotency key, when this is a mutating request that set one.
     pub fn req_id(&self) -> Option<u64> {
         match self {
-            Request::Register { req_id, .. } | Request::Deregister { req_id, .. } => *req_id,
+            Request::Register { req_id, .. }
+            | Request::Deregister { req_id, .. }
+            | Request::TemplateRegister { req_id, .. }
+            | Request::Instantiate { req_id, .. } => *req_id,
             _ => None,
         }
     }
@@ -144,6 +216,29 @@ impl Request {
                 v
             }
             Request::Assign { id } => json!({"op": "assign", "txn_id": id.0}),
+            Request::TemplateRegister { template, req_id } => {
+                let mut v = json!({"op": "template_register", "template": template.as_str()});
+                if let Some(r) = req_id {
+                    v["req_id"] = Value::from(*r);
+                }
+                v
+            }
+            Request::Instantiate {
+                template_id,
+                params,
+                req_id,
+            } => {
+                let mut v = json!({
+                    "op": "instantiate",
+                    "template_id": *template_id,
+                    "params": params.iter().map(|&p| Value::from(p as u64)).collect::<Vec<_>>(),
+                });
+                if let Some(r) = req_id {
+                    v["req_id"] = Value::from(*r);
+                }
+                v
+            }
+            Request::TemplateList => json!({"op": "template_list"}),
             Request::Stats => json!({"op": "stats"}),
             Request::List => json!({"op": "list"}),
             Request::Ping => json!({"op": "ping"}),
@@ -235,6 +330,25 @@ mod tests {
                 req_id: Some(u64::MAX),
             },
             Request::Assign { id: TxnId(3) },
+            Request::TemplateRegister {
+                template: "Balance: R[sav:$0] R[chk:$0]".to_string(),
+                req_id: Some(12),
+            },
+            Request::TemplateRegister {
+                template: "Report: R[sum]".to_string(),
+                req_id: None,
+            },
+            Request::Instantiate {
+                template_id: 0,
+                params: vec![42, 7],
+                req_id: Some(0xbeef),
+            },
+            Request::Instantiate {
+                template_id: 3,
+                params: vec![],
+                req_id: None,
+            },
+            Request::TemplateList,
             Request::Stats,
             Request::List,
             Request::Ping,
@@ -273,6 +387,46 @@ mod tests {
                 .unwrap_err()
                 .contains("req_id")
         );
+        assert!(Request::parse(r#"{"op":"template_register"}"#)
+            .unwrap_err()
+            .contains("template"));
+        assert!(Request::parse(r#"{"op":"instantiate"}"#)
+            .unwrap_err()
+            .contains("template_id"));
+        assert!(
+            Request::parse(r#"{"op":"instantiate","template_id":0,"params":"x"}"#)
+                .unwrap_err()
+                .contains("array")
+        );
+        assert!(
+            Request::parse(r#"{"op":"instantiate","template_id":0,"params":[-1]}"#)
+                .unwrap_err()
+                .contains("params")
+        );
+        assert!(
+            Request::parse(r#"{"op":"instantiate","template_id":0,"params":[99999999999]}"#)
+                .unwrap_err()
+                .contains("out of range")
+        );
+    }
+
+    #[test]
+    fn instantiate_params_default_to_empty() {
+        let req = Request::parse(r#"{"op":"instantiate","template_id":2}"#).unwrap();
+        assert_eq!(
+            req,
+            Request::Instantiate {
+                template_id: 2,
+                params: vec![],
+                req_id: None,
+            }
+        );
+        assert_eq!(req.op_name(), "instantiate");
+        let reg = Request::parse(r#"{"op":"template_register","template":"T: R[x]","req_id":4}"#)
+            .unwrap();
+        assert_eq!(reg.req_id(), Some(4));
+        assert_eq!(reg.op_name(), "template_register");
+        assert_eq!(Request::TemplateList.req_id(), None);
     }
 
     #[test]

@@ -28,6 +28,7 @@ use mvmodel::{parse_transaction_line, Op, ParseError, Transaction, TransactionSe
 use mvrobustness::{
     AllocError, Allocator, DeltaEvent, EngineStats, LevelSet, Realloc, SharedCompCache,
 };
+use mvtemplates::{CatalogEntry, TemplateCatalog, TemplateError};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -50,6 +51,9 @@ pub enum RegistryError {
         /// Total reallocation failures so far, including this one.
         failures: u64,
     },
+    /// A template catalog operation failed (bad template line, unknown
+    /// template id, short parameter vector).
+    Template(TemplateError),
 }
 
 impl std::fmt::Display for RegistryError {
@@ -63,6 +67,7 @@ impl std::fmt::Display for RegistryError {
                  is still served ({failures} reallocation failure{} so far) — retry later",
                 if *failures == 1 { "" } else { "s" }
             ),
+            RegistryError::Template(e) => write!(f, "{e}"),
         }
     }
 }
@@ -78,6 +83,16 @@ pub enum RegistryEvent {
     Register(String),
     /// Deregister the given transaction.
     Deregister(TxnId),
+    /// Register the template described by the wire-format line
+    /// (`Balance: R[sav:$0] R[chk:$0]`) in the tenant's catalog.
+    /// Never coalesced: the server runs catalog ops inline.
+    TemplateRegister(String),
+    /// Admit one instance of a registered template on the fast path.
+    /// Never coalesced.
+    Instantiate {
+        template_id: usize,
+        params: Vec<u32>,
+    },
 }
 
 /// The outcome of one coalesced batch of registry mutations: per-event
@@ -106,10 +121,30 @@ pub struct RegisteredTxn {
     pub level: IsolationLevel,
 }
 
+/// A catalog template as reported by [`Registry::templates`].
+#[derive(Clone, Debug)]
+pub struct TemplateInfo {
+    /// Dense 0-based template id (admission key).
+    pub id: usize,
+    pub name: String,
+    /// Canonical wire rendering (`Balance: R[sav:$0] R[chk:$0]`).
+    pub text: String,
+    /// The audited per-template level every instance is admitted at.
+    pub level: IsolationLevel,
+    pub param_count: usize,
+    /// Instances admitted through the fast path so far.
+    pub instances: u64,
+}
+
 /// An online transaction registry with a continuously maintained
 /// optimal robust allocation.
 pub struct Registry {
     alloc: Allocator<'static>,
+    /// The tenant's template catalog: the admission fast path. Catalog
+    /// instances never touch `alloc`.
+    catalog: TemplateCatalog,
+    /// Fast-path admissions per template, indexed by template id.
+    instances: Vec<u64>,
     /// Injection seam; `None` (the default) costs one branch.
     faults: Option<Arc<dyn FaultHook>>,
     /// Reallocation failures (timeouts + injected) so far.
@@ -127,6 +162,11 @@ impl Registry {
             alloc: Allocator::from_owned(TransactionSet::default())
                 .with_levels(levels)
                 .with_threads(threads),
+            catalog: TemplateCatalog::new(
+                TemplateCatalog::DEFAULT_COPIES,
+                TemplateCatalog::DEFAULT_DOMAIN,
+            ),
+            instances: Vec::new(),
             faults: None,
             failed_reallocs: 0,
             degraded: false,
@@ -300,6 +340,12 @@ impl Registry {
                     deltas.push(DeltaEvent::Remove(*id));
                     outcomes.push(None);
                 }
+                // Template ops are never parked into the group-commit
+                // batcher: the fast path must stay inline (and catalog
+                // registration is not an engine delta at all).
+                RegistryEvent::TemplateRegister(_) | RegistryEvent::Instantiate { .. } => {
+                    unreachable!("template events are never coalesced")
+                }
             }
         }
         // One fault-hook consultation and one engine pass per batch.
@@ -400,6 +446,79 @@ impl Registry {
     /// Work counters of the most recent reallocation, if any ran.
     pub fn last_stats(&self) -> Option<&EngineStats> {
         self.alloc.last_stats()
+    }
+
+    // --- The template admission fast path ---------------------------
+
+    /// Registers a template line (`Balance: R[sav:$0] R[chk:$0]`) in the
+    /// tenant's catalog: parse, grow the set, recompute + re-verify the
+    /// audited per-template allocation. The slow path, paid once per
+    /// template — never per instance.
+    pub fn register_template(&mut self, line: &str) -> Result<CatalogEntry, RegistryError> {
+        let entry = self
+            .catalog
+            .register_line(line)
+            .map_err(RegistryError::Template)?;
+        self.instances.push(0);
+        Ok(entry)
+    }
+
+    /// Admits one instance of a registered template: a pure O(1) catalog
+    /// lookup plus parameter-count validation. Never touches the
+    /// allocator — the engine does not know the instance exists. Returns
+    /// the audited level and the template's new live-instance count.
+    pub fn admit_instance(
+        &mut self,
+        template_id: usize,
+        params: &[u32],
+    ) -> Result<(IsolationLevel, u64), RegistryError> {
+        let level = self
+            .catalog
+            .admit(template_id, params)
+            .map_err(RegistryError::Template)?;
+        self.instances[template_id] += 1;
+        Ok((level, self.instances[template_id]))
+    }
+
+    /// The catalog contents with live instance counts, in template-id
+    /// order.
+    pub fn templates(&self) -> Vec<TemplateInfo> {
+        (0..self.catalog.len())
+            .map(|id| {
+                let t = self.catalog.templates().get(id).expect("id < len");
+                TemplateInfo {
+                    id,
+                    name: t.name().to_string(),
+                    text: t.render(),
+                    level: self.catalog.level(id).expect("id < len"),
+                    param_count: t.param_count(),
+                    instances: self.instances[id],
+                }
+            })
+            .collect()
+    }
+
+    /// Number of registered templates.
+    pub fn template_count(&self) -> usize {
+        self.catalog.len()
+    }
+
+    /// Total fast-path instances admitted across all templates.
+    pub fn instance_total(&self) -> u64 {
+        self.instances.iter().sum()
+    }
+
+    /// Restores per-template instance counts from a snapshot. Must be
+    /// called after the snapshot's templates were re-registered in
+    /// order; panics on a length mismatch (a corrupt snapshot is
+    /// detected before this point).
+    pub fn restore_instances(&mut self, counts: &[u64]) {
+        assert_eq!(
+            counts.len(),
+            self.instances.len(),
+            "one instance count per registered template"
+        );
+        self.instances.copy_from_slice(counts);
     }
 }
 
@@ -672,6 +791,73 @@ mod tests {
         assert!(reply.outcomes[1].is_ok());
         assert_eq!(reg.len(), 2, "T1 and T3 are served; T2 rolled back");
         assert_eq!(reg.assign(TxnId(2)), None);
+    }
+
+    #[test]
+    fn template_fast_path_never_touches_the_allocator() {
+        let mut reg = Registry::new(LevelSet::RcSiSsi, 1);
+        let e = reg
+            .register_template("Increment: R[counter:$0] W[counter:$0]")
+            .unwrap();
+        assert_eq!(e.template_id, 0);
+        assert_eq!(e.level, IsolationLevel::SI);
+        // Admissions are catalog lookups: the engine's transaction set
+        // stays empty no matter how many instances are admitted.
+        for c in 0..100u32 {
+            let (level, count) = reg.admit_instance(0, &[c]).unwrap();
+            assert_eq!(level, IsolationLevel::SI);
+            assert_eq!(count, c as u64 + 1);
+        }
+        assert!(reg.is_empty(), "fast-path instances must not reach alloc");
+        assert_eq!(reg.instance_total(), 100);
+        assert_eq!(reg.template_count(), 1);
+        let info = reg.templates();
+        assert_eq!(info.len(), 1);
+        assert_eq!(info[0].name, "Increment");
+        assert_eq!(info[0].text, "Increment: R[counter:$0] W[counter:$0]");
+        assert_eq!(info[0].instances, 100);
+        assert_eq!(info[0].param_count, 1);
+        // Delta-path registrations still work side by side.
+        reg.register("T1: R[x] W[y]").unwrap();
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg.instance_total(), 100);
+    }
+
+    #[test]
+    fn template_errors_are_structured() {
+        let mut reg = Registry::new(LevelSet::RcSiSsi, 1);
+        assert!(matches!(
+            reg.register_template("garbage"),
+            Err(RegistryError::Template(TemplateError::Parse { .. }))
+        ));
+        assert!(matches!(
+            reg.admit_instance(0, &[1]),
+            Err(RegistryError::Template(TemplateError::UnknownTemplate {
+                idx: 0,
+                len: 0
+            }))
+        ));
+        reg.register_template("Pay: R[a:$0] W[a:$0] W[b:$1]")
+            .unwrap();
+        assert!(matches!(
+            reg.admit_instance(0, &[1]),
+            Err(RegistryError::Template(
+                TemplateError::MissingArguments { .. }
+            ))
+        ));
+        // Failed admissions don't bump the count.
+        assert_eq!(reg.instance_total(), 0);
+    }
+
+    #[test]
+    fn restored_instance_counts_round_trip() {
+        let mut reg = Registry::new(LevelSet::RcSiSsi, 1);
+        reg.register_template("A: R[x:$0]").unwrap();
+        reg.register_template("B: W[y:$0]").unwrap();
+        reg.restore_instances(&[7, 9]);
+        assert_eq!(reg.instance_total(), 16);
+        let info = reg.templates();
+        assert_eq!((info[0].instances, info[1].instances), (7, 9));
     }
 
     #[test]

@@ -904,7 +904,13 @@ pub(crate) fn process_payload(
         Err(msg) => ("invalid", error_reply(&msg), false, false),
         Ok((req, tenant)) => {
             let op = req.op_name();
-            let mutated = matches!(req, Request::Register { .. } | Request::Deregister { .. });
+            let mutated = matches!(
+                req,
+                Request::Register { .. }
+                    | Request::Deregister { .. }
+                    | Request::TemplateRegister { .. }
+                    | Request::Instantiate { .. }
+            );
             let (reply, stop) = execute(shared, req, &tenant);
             (op, reply, stop, mutated)
         }
@@ -1027,6 +1033,9 @@ fn apply_event(reg: &mut Registry, event: &RegistryEvent) -> MutationRaw {
             }),
             Err(e) => Err(e.to_string()),
         },
+        RegistryEvent::TemplateRegister(_) | RegistryEvent::Instantiate { .. } => {
+            unreachable!("template events run through their own inline path")
+        }
     };
     MutationRaw {
         res,
@@ -1052,11 +1061,28 @@ fn apply_event(reg: &mut Registry, event: &RegistryEvent) -> MutationRaw {
 /// commit point (one fsync under the `batch` policy) runs after the
 /// lock is released.
 fn mutate(shared: &Shared, tenant: &str, req_id: Option<u64>, event: RegistryEvent) -> Value {
+    mutate_with(shared, tenant, req_id, &event, |reg| {
+        mutation_reply(apply_event(reg, &event))
+    })
+}
+
+/// The shared inline-mutation skeleton: replay-cache check, `apply`
+/// under the tenant's registry lock, WAL append (still under the lock)
+/// for applied mutations, commit after release, reply caching. Both the
+/// engine path ([`mutate`]) and the template catalog path (which never
+/// touches the allocator) run through it, so idempotency and
+/// durability semantics are identical across the two.
+fn mutate_with(
+    shared: &Shared,
+    tenant: &str,
+    req_id: Option<u64>,
+    event: &RegistryEvent,
+    apply: impl FnOnce(&mut Registry) -> Value,
+) -> Value {
     let run = |shared: &Shared| {
         let (tkey, reg_arc) = shared.namespaces.resolve(tenant);
         let mut reg = reg_arc.lock().expect("registry poisoned");
-        let raw = apply_event(&mut reg, &event);
-        let mut v = mutation_reply(raw);
+        let mut v = apply(&mut reg);
         if let Some(rid) = req_id {
             v["req_id"] = Value::from(rid);
         }
@@ -1064,7 +1090,7 @@ fn mutate(shared: &Shared, tenant: &str, req_id: Option<u64>, event: RegistryEve
         // attempt left no state behind, so there is nothing to replay.
         if v["ok"] == true {
             if let Some(store) = &shared.store {
-                if let Err(e) = store.append(&tkey, &event, req_id, &v) {
+                if let Err(e) = store.append(&tkey, event, req_id, &v) {
                     eprintln!("mvservice: wal append failed: {e}");
                 }
             }
@@ -1106,10 +1132,102 @@ fn execute(shared: &Shared, req: Request, tenant: &str) -> (Value, bool) {
     match req {
         Request::Register { line, req_id } => {
             let v = mutate(shared, tenant, req_id, RegistryEvent::Register(line));
+            if v["ok"] == true && v["replayed"] != true {
+                // Ad-hoc registration is the delta-path admission: the
+                // engine re-solved for this one transaction.
+                shared.metrics.record_admission(false);
+            }
             (v, false)
         }
         Request::Deregister { id, req_id } => {
             let v = mutate(shared, tenant, req_id, RegistryEvent::Deregister(id));
+            (v, false)
+        }
+        Request::TemplateRegister { template, req_id } => {
+            let event = RegistryEvent::TemplateRegister(template.clone());
+            let v = mutate_with(shared, tenant, req_id, &event, |reg| {
+                match reg.register_template(&template) {
+                    Ok(entry) => {
+                        let mut v = ok_reply();
+                        v["template_id"] = Value::from(entry.template_id as u64);
+                        v["level"] = Value::from(entry.level.as_str());
+                        v["templates"] = Value::from(reg.template_count() as u64);
+                        v["reverified"] = Value::from(entry.reverified as u64);
+                        // Registering can move *earlier* templates to a
+                        // lower level (the greedy recompute sees the
+                        // grown set); report exactly what moved so
+                        // callers can refresh cached levels.
+                        v["changed"] = Value::Array(
+                            entry
+                                .changed
+                                .iter()
+                                .map(|c| {
+                                    json!({
+                                        "template": c.template_id as u64,
+                                        "before": c.from.as_str(),
+                                        "after": c.to.as_str(),
+                                    })
+                                })
+                                .collect(),
+                        );
+                        v
+                    }
+                    Err(e) => error_reply(&e.to_string()),
+                }
+            });
+            if v["ok"] == true && v["replayed"] != true {
+                shared.metrics.record_template();
+            }
+            (v, false)
+        }
+        Request::Instantiate {
+            template_id,
+            params,
+            req_id,
+        } => {
+            let event = RegistryEvent::Instantiate {
+                template_id: template_id as usize,
+                params: params.clone(),
+            };
+            let v = mutate_with(shared, tenant, req_id, &event, |reg| {
+                match reg.admit_instance(template_id as usize, &params) {
+                    Ok((level, instances)) => {
+                        let mut v = ok_reply();
+                        v["template_id"] = Value::from(template_id);
+                        v["level"] = Value::from(level.as_str());
+                        v["instances"] = Value::from(instances);
+                        v
+                    }
+                    Err(e) => error_reply(&e.to_string()),
+                }
+            });
+            if v["ok"] == true && v["replayed"] != true {
+                shared.metrics.record_admission(true);
+            }
+            (v, false)
+        }
+        Request::TemplateList => {
+            let templates: Vec<Value> = match shared.namespaces.get(tenant) {
+                None => Vec::new(),
+                Some((_, reg_arc)) => {
+                    let reg = reg_arc.lock().expect("registry poisoned");
+                    reg.templates()
+                        .into_iter()
+                        .map(|t| {
+                            json!({
+                                "id": t.id as u64,
+                                "name": t.name,
+                                "text": t.text,
+                                "level": t.level.as_str(),
+                                "param_count": t.param_count as u64,
+                                "instances": t.instances,
+                            })
+                        })
+                        .collect()
+                }
+            };
+            let mut v = ok_reply();
+            v["templates"] = Value::Array(templates);
             (v, false)
         }
         Request::Assign { id } => {
@@ -1385,6 +1503,10 @@ fn process_drain(shared: &Shared, batch: Vec<Pending>) {
                             let level = match event {
                                 RegistryEvent::Register(_) => reg.assign(*id).map(|l| l.as_str()),
                                 RegistryEvent::Deregister(_) => None,
+                                RegistryEvent::TemplateRegister(_)
+                                | RegistryEvent::Instantiate { .. } => {
+                                    unreachable!("template events are never coalesced")
+                                }
                             };
                             let mut v = ok_reply();
                             v["txn_id"] = Value::from(id.0);
@@ -1404,6 +1526,9 @@ fn process_drain(shared: &Shared, batch: Vec<Pending>) {
                         v["req_id"] = Value::from(rid);
                     }
                     if v["ok"] == true {
+                        if matches!(event, RegistryEvent::Register(_)) {
+                            shared.metrics.record_admission(false);
+                        }
                         if let Some(store) = &shared.store {
                             if let Err(e) = store.append(tkey, event, batch[i].req_id, &v) {
                                 eprintln!("mvservice: wal append failed: {e}");
@@ -1572,6 +1697,7 @@ pub(crate) fn maybe_snapshot(shared: &Shared) {
     let mut state = SnapshotState::default();
     for (name, reg) in guards.iter_mut() {
         let listed = reg.list();
+        let catalog = reg.templates();
         state.tenants.push(TenantSnapshot {
             name: name.to_string(),
             lines: listed.iter().map(|t| t.text.clone()).collect(),
@@ -1579,6 +1705,11 @@ pub(crate) fn maybe_snapshot(shared: &Shared) {
                 .iter()
                 .map(|t| (t.id.0, t.level.as_str().to_string()))
                 .collect(),
+            templates: catalog
+                .iter()
+                .map(|t| (t.text.clone(), t.level.as_str().to_string()))
+                .collect(),
+            instances: catalog.iter().map(|t| t.instances).collect(),
         });
     }
     state.replays = replays.entries();
@@ -1663,6 +1794,27 @@ fn recover(
                     }
                 }
             }
+            // Template catalogs recover the same way the allocation
+            // does: re-registered in snapshot (= registration) order
+            // and re-audited, never trusted. The recomputed levels are
+            // checked only after the whole sequence replays — a later
+            // registration legitimately moves earlier templates, so the
+            // snapshot records final levels, not at-registration ones.
+            for (line, _) in &t.templates {
+                reg.register_template(line)
+                    .map_err(|e| format!("tenant {}: replaying template `{line}`: {e}", t.name))?;
+            }
+            for ((line, lvl), info) in t.templates.iter().zip(reg.templates()) {
+                let want = parse_level(lvl)?;
+                if info.level != want {
+                    return Err(format!(
+                        "tenant {}: recovery invariant violated: template `{line}` \
+                         recomputed as {}, snapshot says {want}",
+                        t.name, info.level
+                    ));
+                }
+            }
+            reg.restore_instances(&t.instances);
         }
         for (tenant, rid, reply) in &snap.replays {
             let (key, _) = namespaces.resolve(tenant);
@@ -1679,6 +1831,11 @@ fn recover(
             let res = match &rec.event {
                 RegistryEvent::Register(line) => reg.register(line).map(|_| ()),
                 RegistryEvent::Deregister(id) => reg.deregister(*id).map(|_| ()),
+                RegistryEvent::TemplateRegister(line) => reg.register_template(line).map(|_| ()),
+                RegistryEvent::Instantiate {
+                    template_id,
+                    params,
+                } => reg.admit_instance(*template_id, params).map(|_| ()),
             };
             res.map_err(|e| {
                 format!(

@@ -171,6 +171,18 @@ impl WalRecord {
                 v["op"] = Value::from("deregister");
                 v["txn_id"] = Value::from(id.0);
             }
+            RegistryEvent::TemplateRegister(line) => {
+                v["op"] = Value::from("template_register");
+                v["template"] = Value::from(line.as_str());
+            }
+            RegistryEvent::Instantiate {
+                template_id,
+                params,
+            } => {
+                v["op"] = Value::from("instantiate");
+                v["template_id"] = Value::from(*template_id as u64);
+                v["params"] = Value::Array(params.iter().map(|&p| Value::from(p as u64)).collect());
+            }
         }
         if let Some(rid) = self.req_id {
             v["req_id"] = Value::from(rid);
@@ -199,6 +211,32 @@ impl WalRecord {
                 let id = u32::try_from(raw).map_err(|_| "txn_id out of range".to_string())?;
                 RegistryEvent::Deregister(TxnId(id))
             }
+            Some("template_register") => RegistryEvent::TemplateRegister(
+                v["template"]
+                    .as_str()
+                    .ok_or("template_register record missing `template`")?
+                    .to_string(),
+            ),
+            Some("instantiate") => {
+                let template_id = v["template_id"]
+                    .as_u64()
+                    .ok_or("instantiate record missing `template_id`")?
+                    as usize;
+                let params = v["params"]
+                    .as_array()
+                    .ok_or("instantiate record missing `params`")?
+                    .iter()
+                    .map(|p| {
+                        p.as_u64()
+                            .and_then(|raw| u32::try_from(raw).ok())
+                            .ok_or("bad param in instantiate record")
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                RegistryEvent::Instantiate {
+                    template_id,
+                    params,
+                }
+            }
             other => return Err(format!("unknown record op {other:?}")),
         };
         let req_id = match &v["req_id"] {
@@ -226,6 +264,13 @@ pub struct TenantSnapshot {
     /// recovery invariant: re-solving the lines must reproduce exactly
     /// this (Proposition 4.2).
     pub alloc: Vec<(u32, String)>,
+    /// Catalog templates `(rendered line, audited level)`, registration
+    /// order — re-registering them in order rebuilds the catalog, and
+    /// the recomputed level must equal the stored one (the catalog
+    /// recovery invariant).
+    pub templates: Vec<(String, String)>,
+    /// Fast-path instance counts, indexed by template id.
+    pub instances: Vec<u64>,
 }
 
 /// A cached component entry as persisted: `None` = unallocatable,
@@ -255,6 +300,10 @@ impl SnapshotState {
                     "alloc": t.alloc.iter()
                         .map(|(id, lvl)| json!([*id, lvl.as_str()]))
                         .collect::<Vec<_>>(),
+                    "templates": t.templates.iter()
+                        .map(|(line, lvl)| json!([line.as_str(), lvl.as_str()]))
+                        .collect::<Vec<_>>(),
+                    "instances": t.instances.clone(),
                 })
             })
             .collect();
@@ -310,10 +359,37 @@ impl SnapshotState {
                 .iter()
                 .map(parse_id_level)
                 .collect::<Result<Vec<_>, _>>()?;
+            // Catalog fields are optional: snapshots written before the
+            // template fast path existed decode as empty catalogs.
+            let templates = match &t["templates"] {
+                Value::Null => Vec::new(),
+                Value::Array(items) => items
+                    .iter()
+                    .map(|pair| {
+                        let line = pair[0].as_str().ok_or("template missing line")?;
+                        let lvl = pair[1].as_str().ok_or("template missing level")?;
+                        Ok::<_, &'static str>((line.to_string(), lvl.to_string()))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?,
+                _ => return Err("malformed `templates` in tenant".to_string()),
+            };
+            let instances = match &t["instances"] {
+                Value::Null => vec![0; templates.len()],
+                Value::Array(items) => items
+                    .iter()
+                    .map(|c| c.as_u64().ok_or("bad instance count"))
+                    .collect::<Result<Vec<_>, _>>()?,
+                _ => return Err("malformed `instances` in tenant".to_string()),
+            };
+            if instances.len() != templates.len() {
+                return Err("tenant `instances` length disagrees with `templates`".to_string());
+            }
             state.tenants.push(TenantSnapshot {
                 name: name.to_string(),
                 lines,
                 alloc,
+                templates,
+                instances,
             });
         }
         for r in v["replays"]
@@ -734,6 +810,51 @@ mod tests {
     }
 
     #[test]
+    fn template_wal_records_round_trip() {
+        let reg = WalRecord {
+            seq: 44,
+            tenant: "acme".to_string(),
+            event: RegistryEvent::TemplateRegister("Balance: R[sav:$0] R[chk:$0]".to_string()),
+            req_id: Some(9),
+            reply: json!({"ok": true, "template_id": 0, "level": "RC"}),
+        };
+        assert_eq!(WalRecord::from_value(&reg.to_value()).unwrap(), reg);
+        let inst = WalRecord {
+            seq: 45,
+            tenant: "acme".to_string(),
+            event: RegistryEvent::Instantiate {
+                template_id: 0,
+                params: vec![7, 1_000_000],
+            },
+            req_id: None,
+            reply: json!({"ok": true, "level": "RC", "instances": 1}),
+        };
+        assert_eq!(WalRecord::from_value(&inst.to_value()).unwrap(), inst);
+    }
+
+    #[test]
+    fn pre_template_snapshots_decode_with_empty_catalogs() {
+        // A version-1 tenant object written before the template fast
+        // path existed has no `templates`/`instances` fields.
+        let tenant = json!({
+            "name": "old",
+            "lines": json!(["T1: W[x] C"]),
+            "alloc": json!([json!([1, "RC"])]),
+        });
+        let v = json!({
+            "version": 1,
+            "seq": 3,
+            "tenants": Value::Array(vec![tenant]),
+            "replays": Value::Array(Vec::new()),
+            "cache": Value::Array(Vec::new()),
+        });
+        let (state, seq) = SnapshotState::from_value(&v).unwrap();
+        assert_eq!(seq, 3);
+        assert_eq!(state.tenants[0].templates, Vec::new());
+        assert_eq!(state.tenants[0].instances, Vec::new());
+    }
+
+    #[test]
     fn crc32_matches_the_ieee_check_value() {
         // The canonical CRC-32 test vector.
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
@@ -848,6 +969,8 @@ mod tests {
                 name: "t1".to_string(),
                 lines: vec!["T1: R[a] W[b] C".to_string()],
                 alloc: vec![(1, "RC".to_string())],
+                templates: vec![("Balance: R[sav:$0] R[chk:$0]".to_string(), "RC".to_string())],
+                instances: vec![42],
             }],
             replays: vec![("t1".to_string(), 7, json!({"ok": true, "req_id": 7}))],
             cache: vec![
@@ -890,6 +1013,8 @@ mod tests {
                 name: "a".to_string(),
                 lines: vec!["T1: W[x] C".to_string()],
                 alloc: vec![(1, "RC".to_string())],
+                templates: Vec::new(),
+                instances: Vec::new(),
             }],
             ..SnapshotState::default()
         };

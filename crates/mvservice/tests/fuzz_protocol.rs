@@ -50,6 +50,12 @@ fn base_frames() -> Vec<String> {
         r#"{"op":"register","txn":"T1: R[x] W[y]"}"#.to_string(),
         r#"{"op":"register","txn":"T2: R[y] W[x]","req_id":77}"#.to_string(),
         r#"{"op":"deregister","txn_id":1,"req_id":9}"#.to_string(),
+        r#"{"op":"template_register","template":"Balance: R[sav:$0] R[chk:$0]"}"#.to_string(),
+        // An out-of-range template id: must come back as a structured
+        // error reply, never a server panic (TemplateSet::get is
+        // Option-returning, not indexing).
+        r#"{"op":"instantiate","template_id":7,"params":[0]}"#.to_string(),
+        r#"{"op":"template_list"}"#.to_string(),
     ]
 }
 
@@ -81,7 +87,8 @@ fn mutate(rng: &mut SmallRng, base: &str) -> Vec<u8> {
         }
         3 => {
             // Two frames interleaved with garbage between them.
-            let mut other = base_frames()[(rng.next_u64() % 7) as usize]
+            let frames = base_frames();
+            let mut other = frames[(rng.next_u64() % frames.len() as u64) as usize]
                 .as_bytes()
                 .to_vec();
             bytes.push(b'\n');

@@ -34,6 +34,15 @@ use std::time::Duration;
 const DEFAULT_SEED: u64 = 0xD15C;
 const TENANTS: [&str; 3] = ["default", "acme", "zeta"];
 
+/// The template pool a storm registers from, in order (template ids are
+/// dense registration indices, so every tenant's id i maps to pool[i]).
+/// `(line, param_count)`.
+const TEMPLATE_POOL: [(&str, usize); 3] = [
+    ("Balance: R[sav:$0] R[chk:$0]", 1),
+    ("DepositChecking: R[chk:$0] W[chk:$0]", 1),
+    ("Audit: R[sav:$0] R[chk:$1]", 2),
+];
+
 fn seed_from_env() -> u64 {
     std::env::var("CHAOS_SEED")
         .ok()
@@ -112,6 +121,10 @@ struct TenantDriver {
     client: RetryClient,
     /// `(id, line)` in registration order — the ground truth.
     mirror: Vec<(u32, String)>,
+    /// Acknowledged fast-path instance count per registered template
+    /// (index = template id = [`TEMPLATE_POOL`] index; the prefix
+    /// length is how many templates this tenant has registered).
+    templates: Vec<u64>,
 }
 
 impl TenantDriver {
@@ -120,6 +133,7 @@ impl TenantDriver {
             tenant,
             client: RetryClient::new(addr.to_string(), retry_policy(seed)).with_tenant(tenant),
             mirror: Vec::new(),
+            templates: Vec::new(),
         }
     }
 
@@ -138,6 +152,30 @@ impl TenantDriver {
             }
         }
         panic!("could not resolve state of T{id} in {}", self.tenant);
+    }
+
+    /// The server's template state, riding out residual faults.
+    fn resolve_template_list(&mut self) -> Value {
+        for _ in 0..200 {
+            if let Ok(v) = self.client.template_list() {
+                return v;
+            }
+        }
+        panic!("could not resolve template state in {}", self.tenant);
+    }
+
+    /// How many templates the server has for this tenant.
+    fn resolve_template_len(&mut self) -> usize {
+        self.resolve_template_list()["templates"]
+            .as_array()
+            .map_or(0, |a| a.len())
+    }
+
+    /// The server's instance count for template `tid`.
+    fn resolve_instance_count(&mut self, tid: usize) -> u64 {
+        self.resolve_template_list()["templates"][tid]["instances"]
+            .as_u64()
+            .unwrap_or(0)
     }
 }
 
@@ -205,7 +243,60 @@ impl Storm {
 
     fn step(&mut self) {
         let which = (self.rng.next_u64() % self.drivers.len() as u64) as usize;
-        let deregister = self.drivers[which].mirror.len() >= 3 && self.rng.next_u64() % 100 < 30;
+        let roll = self.rng.next_u64() % 100;
+        // Template traffic rides alongside the engine traffic: register
+        // the next pool template while the catalog is short, admit
+        // fast-path instances once any exist. Resolution mirrors the
+        // engine path — ambiguous transport outcomes are settled by
+        // re-reading `template_list`, which the retry client rides out.
+        if roll < 12 && self.drivers[which].templates.len() < TEMPLATE_POOL.len() {
+            let d = &mut self.drivers[which];
+            let tid = d.templates.len();
+            let outcome = match d.client.template_register(TEMPLATE_POOL[tid].0) {
+                Ok(_) => {
+                    d.templates.push(0);
+                    "ok"
+                }
+                Err(ClientError::Server(_)) => "rejected",
+                Err(_) => {
+                    if d.resolve_template_len() > tid {
+                        d.templates.push(0);
+                        "resolved-ok"
+                    } else {
+                        "resolved-rejected"
+                    }
+                }
+            };
+            self.transcript
+                .push(format!("{} treg {tid} {outcome}", TENANTS[which]));
+            return;
+        }
+        if roll < 30 && !self.drivers[which].templates.is_empty() {
+            let tid = (self.rng.next_u64() % self.drivers[which].templates.len() as u64) as usize;
+            let params: Vec<u32> = (0..TEMPLATE_POOL[tid].1)
+                .map(|_| (self.rng.next_u64() % 5) as u32)
+                .collect();
+            let d = &mut self.drivers[which];
+            let outcome = match d.client.instantiate(tid as u64, &params) {
+                Ok(_) => {
+                    d.templates[tid] += 1;
+                    "ok"
+                }
+                Err(ClientError::Server(_)) => "rejected",
+                Err(_) => {
+                    if d.resolve_instance_count(tid) > d.templates[tid] {
+                        d.templates[tid] += 1;
+                        "resolved-ok"
+                    } else {
+                        "resolved-rejected"
+                    }
+                }
+            };
+            self.transcript
+                .push(format!("{} inst {tid} {outcome}", TENANTS[which]));
+            return;
+        }
+        let deregister = self.drivers[which].mirror.len() >= 3 && roll < 52;
         if deregister {
             let idx = (self.rng.next_u64() % self.drivers[which].mirror.len() as u64) as usize;
             let (id, line) = self.drivers[which].mirror.remove(idx);
@@ -252,9 +343,10 @@ impl Storm {
 }
 
 /// Builds the never-crashed mirror: a fresh non-durable server fed each
-/// tenant's acknowledged registrations in order, then returns its
-/// per-tenant `list` replies.
-fn mirror_lists(storm: &Storm, ctx: &str) -> Vec<Value> {
+/// tenant's acknowledged registrations (engine transactions, templates,
+/// and fast-path instances) in order, then returns its per-tenant
+/// (`list`, `template_list`) replies.
+fn mirror_lists(storm: &Storm, ctx: &str) -> Vec<(Value, Value)> {
     let mirror = start(Config {
         addr: "127.0.0.1:0".to_string(),
         ..Config::default()
@@ -269,7 +361,19 @@ fn mirror_lists(storm: &Storm, ctx: &str) -> Vec<Value> {
                 .unwrap_or_else(|e| panic!("[{ctx}] mirror register T{id} failed: {e}"));
             assert_eq!(reply["txn_id"].as_u64(), Some(u64::from(*id)), "[{ctx}]");
         }
-        lists.push(c.list().expect("mirror list"));
+        for (tid, &count) in d.templates.iter().enumerate() {
+            c.template_register(TEMPLATE_POOL[tid].0)
+                .unwrap_or_else(|e| panic!("[{ctx}] mirror template {tid} failed: {e}"));
+            let params = vec![0u32; TEMPLATE_POOL[tid].1];
+            for _ in 0..count {
+                c.instantiate(tid as u64, &params)
+                    .unwrap_or_else(|e| panic!("[{ctx}] mirror instantiate {tid} failed: {e}"));
+            }
+        }
+        lists.push((
+            c.list().expect("mirror list"),
+            c.template_list().expect("mirror template list"),
+        ));
     }
     let mut c = RetryClient::new(mirror.addr.to_string(), retry_policy(1));
     c.shutdown().expect("mirror shutdown");
@@ -281,11 +385,19 @@ fn mirror_lists(storm: &Storm, ctx: &str) -> Vec<Value> {
 /// to the never-crashed mirror.
 fn assert_matches_mirror(storm: &mut Storm, ctx: &str) {
     let expected = mirror_lists(storm, ctx);
-    for (d, want) in storm.drivers.iter_mut().zip(&expected) {
+    for (d, (want, want_templates)) in storm.drivers.iter_mut().zip(&expected) {
         let got = d.client.list().expect("recovered list");
         assert_eq!(
             got["txns"], want["txns"],
             "[{ctx}] tenant {}: recovered state diverged from the never-crashed mirror",
+            d.tenant
+        );
+        // Catalogs and live instance counts recover bit-identically too:
+        // same template ids, texts, audited levels, and instances.
+        let got_templates = d.client.template_list().expect("recovered template list");
+        assert_eq!(
+            got_templates["templates"], want_templates["templates"],
+            "[{ctx}] tenant {}: recovered catalog diverged from the never-crashed mirror",
             d.tenant
         );
         // Spot-check the O(1) assign path agrees with the listed level.
@@ -435,10 +547,14 @@ fn replay_cache_survives_a_crash() {
     let mut client =
         RetryClient::new(running.addr.to_string(), retry_policy(9)).with_tenant("acme");
     let original = client.register("T1: R[x] W[y]").expect("register");
+    let original_treg = client
+        .template_register(TEMPLATE_POOL[0].0)
+        .expect("template register");
+    let original_inst = client.instantiate(0, &[7]).expect("instantiate");
     crash(running);
 
     let running = start(durable_config(&data.0, 0, None));
-    // Same seed => the retry client's first req_id is the same key.
+    // Same seed => the retry client draws the same req_id sequence.
     let mut replayer =
         RetryClient::new(running.addr.to_string(), retry_policy(9)).with_tenant("acme");
     let replayed = replayer
@@ -449,9 +565,24 @@ fn replay_cache_survives_a_crash() {
     assert_eq!(replayed["level"], original["level"]);
     assert_eq!(replayed["registry_size"], original["registry_size"]);
 
+    // Template mutations replay the same way: same req_id, the cached
+    // reply, no double registration and no double-counted instance.
+    let replayed_treg = replayer
+        .template_register(TEMPLATE_POOL[0].0)
+        .expect("replayed template register");
+    assert_eq!(replayed_treg["replayed"], true, "{replayed_treg}");
+    assert_eq!(replayed_treg["template_id"], original_treg["template_id"]);
+    assert_eq!(replayed_treg["level"], original_treg["level"]);
+    let replayed_inst = replayer.instantiate(0, &[7]).expect("replayed instantiate");
+    assert_eq!(replayed_inst["replayed"], true, "{replayed_inst}");
+    assert_eq!(replayed_inst["instances"], original_inst["instances"]);
+
     // Registry did not double-apply.
     let listed = replayer.list().expect("list");
     assert_eq!(listed["txns"].as_array().unwrap().len(), 1, "{listed}");
+    let templates = replayer.template_list().expect("template list");
+    assert_eq!(templates["templates"].as_array().unwrap().len(), 1);
+    assert_eq!(templates["templates"][0]["instances"], 1, "{templates}");
 
     // Replay keys are tenant-scoped: the same req_id in another tenant
     // is a fresh application, not a replay.

@@ -1,0 +1,220 @@
+//! Randomized equivalence for template-catalog admission.
+//!
+//! The O(1) fast path (`TemplateCatalog::admit`, served as the
+//! `instantiate` verb) must be *indistinguishable in outcome* from the
+//! full template audit: every admitted instance gets exactly the level
+//! `optimal_template_allocation` assigns its template, and every live
+//! population drawn from the bounded envelope re-verifies robust under
+//! Algorithm 1 at those levels. The sampling respects the envelope —
+//! per (template, argument-tuple) multiplicity at most `COPIES` over a
+//! `DOMAIN`-sized set of (arbitrary) concrete values — which is the
+//! soundness boundary §S19 documents: within it the catalog's audit
+//! certificate covers the population, outside it no claim is made.
+//!
+//! Reproduce any failure with
+//! `ADMIT_SEED=<seed> cargo test -p mvservice --test template_admission`.
+
+use mvisolation::{Allocation, IsolationLevel};
+use mvrobustness::reverify;
+use mvservice::{Config, RetryClient, RetryPolicy, Server};
+use mvtemplates::{optimal_template_allocation, smallbank_templates, TemplateCatalog, TemplateSet};
+use rand::rngs::SmallRng;
+use rand::{RngCore, SeedableRng};
+use std::time::Duration;
+
+const DEFAULT_SEED: u64 = 0xAD31;
+const COPIES: usize = 2;
+const DOMAIN: u32 = 2;
+
+fn seed_from_env() -> u64 {
+    std::env::var("ADMIT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_SEED)
+}
+
+fn repro(seed: u64) -> String {
+    format!("reproduce with: ADMIT_SEED={seed} cargo test -p mvservice --test template_admission")
+}
+
+/// A seeded population inside the audited envelope: `DOMAIN` distinct
+/// concrete parameter values (arbitrary u32s — the audit is closed
+/// under renaming), then an independent multiplicity in `0..=COPIES`
+/// for every (template, tuple) pair.
+fn bounded_population(set: &TemplateSet, rng: &mut SmallRng) -> Vec<(usize, Vec<u32>)> {
+    let mut values: Vec<u32> = Vec::new();
+    while values.len() < DOMAIN as usize {
+        let v = (rng.next_u64() % u64::from(u32::MAX)) as u32;
+        if !values.contains(&v) {
+            values.push(v);
+        }
+    }
+    let mut instances = Vec::new();
+    for tid in 0..set.len() {
+        let k = set.get(tid).expect("tid < len").param_count();
+        let tuples = (DOMAIN as usize).pow(k as u32);
+        for tuple in 0..tuples {
+            let mut args = Vec::with_capacity(k);
+            let mut rest = tuple;
+            for _ in 0..k {
+                args.push(values[rest % DOMAIN as usize]);
+                rest /= DOMAIN as usize;
+            }
+            let multiplicity = rng.next_u64() as usize % (COPIES + 1);
+            for _ in 0..multiplicity {
+                instances.push((tid, args.clone()));
+            }
+        }
+    }
+    instances
+}
+
+/// Builds a catalog by registering SmallBank one template at a time,
+/// returning it plus the whole-set audited allocation it must match.
+fn smallbank_catalog() -> (TemplateCatalog, Vec<IsolationLevel>) {
+    let set = smallbank_templates();
+    let mut catalog = TemplateCatalog::new(COPIES, DOMAIN);
+    for i in 0..set.len() {
+        catalog
+            .register(set.get(i).expect("i < len").clone())
+            .expect("smallbank registers");
+    }
+    let audited = optimal_template_allocation(&set, COPIES, DOMAIN);
+    (catalog, audited)
+}
+
+#[test]
+fn fast_path_levels_match_the_full_audit_and_stay_robust() {
+    let seed = seed_from_env();
+    let ctx = repro(seed);
+    let (catalog, audited) = smallbank_catalog();
+    assert_eq!(catalog.levels(), &audited[..], "{ctx}");
+
+    let mut rng = SmallRng::seed_from_u64(seed);
+    for round in 0..5 {
+        let population = bounded_population(catalog.templates(), &mut rng);
+        // Pointwise: every admission returns the audited level.
+        let mut admitted = Vec::with_capacity(population.len());
+        for (tid, args) in &population {
+            let level = catalog
+                .admit(*tid, args)
+                .unwrap_or_else(|e| panic!("[{ctx}] round {round}: admit failed: {e}"));
+            assert_eq!(level, audited[*tid], "[{ctx}] round {round} template {tid}");
+            admitted.push(level);
+        }
+        if population.is_empty() {
+            continue;
+        }
+        // The live set — materialized as concrete transactions at the
+        // admitted levels — re-verifies robust under Algorithm 1.
+        let (txns, origin) = catalog
+            .templates()
+            .instantiate(&population)
+            .unwrap_or_else(|e| panic!("[{ctx}] round {round}: instantiate failed: {e}"));
+        let alloc: Allocation = txns
+            .ids()
+            .enumerate()
+            .map(|(i, t)| (t, audited[origin[i]]))
+            .collect();
+        if let Err(split) = reverify(&txns, &alloc) {
+            panic!(
+                "[{ctx}] round {round}: a {}-instance population inside the audited \
+                 envelope is NOT robust at the admitted levels: {split:?}",
+                txns.len()
+            );
+        }
+    }
+}
+
+#[test]
+fn same_seed_runs_are_bit_identical() {
+    let seed = seed_from_env();
+    let run = || {
+        let (catalog, _) = smallbank_catalog();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut transcript = Vec::new();
+        for _ in 0..3 {
+            for (tid, args) in bounded_population(catalog.templates(), &mut rng) {
+                let level = catalog.admit(tid, &args).expect("in-envelope admit");
+                transcript.push(format!("t{tid}{args:?} -> {level}"));
+            }
+        }
+        transcript
+    };
+    assert_eq!(
+        run(),
+        run(),
+        "{}: admission transcripts diverged",
+        repro(seed)
+    );
+}
+
+/// The served fast path agrees with the in-process catalog: every
+/// `instantiate` reply carries the audited level, and none of it ever
+/// reaches the allocator (`registry_size` stays 0).
+#[test]
+fn served_admission_matches_the_audited_allocation() {
+    let seed = seed_from_env();
+    let ctx = repro(seed);
+    let (catalog, audited) = smallbank_catalog();
+
+    let server = Server::bind(Config {
+        addr: "127.0.0.1:0".to_string(),
+        ..Config::default()
+    })
+    .expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let join = std::thread::spawn(move || server.run().expect("run"));
+    let policy = RetryPolicy {
+        retries: 4,
+        base: Duration::from_millis(1),
+        cap: Duration::from_millis(10),
+        seed,
+    };
+    let mut client = RetryClient::new(addr.to_string(), policy);
+
+    for tid in 0..catalog.len() {
+        let t = catalog.templates().get(tid).expect("tid < len");
+        let reply = client
+            .template_register(&t.render())
+            .unwrap_or_else(|e| panic!("[{ctx}] template_register {tid}: {e}"));
+        assert_eq!(reply["template_id"].as_u64(), Some(tid as u64), "{ctx}");
+    }
+    // Levels can shift while the catalog grows; only the final state is
+    // comparable. `template_list` must agree with the whole-set audit.
+    let listed = client.template_list().expect("template_list");
+    for (tid, want) in audited.iter().enumerate() {
+        let got = listed["templates"][tid]["level"].as_str().unwrap();
+        assert_eq!(got, want.as_str(), "[{ctx}] template {tid}: {listed}");
+    }
+
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x5E12);
+    let mut admissions = 0u64;
+    for (tid, args) in bounded_population(catalog.templates(), &mut rng) {
+        let reply = client
+            .instantiate(tid as u64, &args)
+            .unwrap_or_else(|e| panic!("[{ctx}] instantiate t{tid}{args:?}: {e}"));
+        assert_eq!(
+            reply["level"].as_str(),
+            Some(audited[tid].as_str()),
+            "[{ctx}] served level diverged from the audit: {reply}"
+        );
+        admissions += 1;
+    }
+
+    let stats = client.stats().expect("stats");
+    assert_eq!(
+        stats["registry_size"].as_u64(),
+        Some(0),
+        "[{ctx}] fast-path admission leaked into the allocator: {stats}"
+    );
+    assert_eq!(
+        stats["admission"]["fast_path"].as_u64(),
+        Some(admissions),
+        "{ctx}"
+    );
+    assert_eq!(stats["admission"]["delta"].as_u64(), Some(0), "{ctx}");
+
+    client.shutdown().expect("shutdown");
+    join.join().expect("joins");
+}

@@ -87,7 +87,7 @@ fn template_audit_verdict_matches_service_assigned_instances() {
             level <= levels[origin[i]],
             "instance T{} ({}): service assigned {level}, above audited template level {}",
             i + 1,
-            set.get(origin[i]).name(),
+            set.get(origin[i]).unwrap().name(),
             levels[origin[i]]
         );
         service_levels.push(level);

@@ -27,10 +27,82 @@
 //!   assignment whose bounded instantiation is robust (greedy refinement
 //!   from all-SSI; sound by the same exchange argument as the paper's
 //!   Proposition 4.1(2), applied instance-wise).
+//! - [`TemplateCatalog`]: the admission fast path. Registration audits
+//!   the grown template set once (and re-verifies the result on
+//!   randomized instantiations drawn from the bounded envelope);
+//!   [`TemplateCatalog::admit`] is then a pure O(1) level lookup plus
+//!   parameter-count validation — no Algorithm 1 run, no engine call.
+//! - [`Template::parse`] / [`Template::render`]: the one-line wire
+//!   syntax (`Name: R[table:$0] W[fixed]`) used by the service protocol,
+//!   WAL and snapshots.
+
+use std::fmt;
 
 use mvisolation::{Allocation, IsolationLevel};
 use mvmodel::{ModelError, OpKind, TransactionSet, TxnSetBuilder};
-use mvrobustness::{is_robust, SplitSpec};
+use mvrobustness::{is_robust, reverify, SplitSpec};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Hard cap on template parameters: the bounded instantiation enumerates
+/// `domain^k` tuples per template, so `k` must stay small for catalog
+/// registration to stay cheap. Four parameters is double the widest
+/// template in TPC-C/SmallBank.
+pub const MAX_TEMPLATE_PARAMS: usize = 4;
+
+/// Structured template errors. Every malformed input — an out-of-range
+/// template index, a short argument vector, an unparsable template line —
+/// maps here so callers (the service protocol in particular) can turn it
+/// into an error reply instead of panicking.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TemplateError {
+    /// Template index out of range for the set/catalog.
+    UnknownTemplate { idx: usize, len: usize },
+    /// An argument vector whose length does not satisfy the template's
+    /// `param_count()` (instantiation tolerates surplus; admission is
+    /// strict).
+    MissingArguments {
+        name: String,
+        needs: usize,
+        got: usize,
+    },
+    /// A template line that does not follow `Name: R[tbl:$0] W[fixed]`.
+    Parse { line: String, reason: String },
+    /// More parameters than [`MAX_TEMPLATE_PARAMS`] — the bounded audit
+    /// space `domain^k` would blow up.
+    TooManyParams { name: String, count: usize },
+    /// The instantiated transactions violate the model rules.
+    Model(ModelError),
+}
+
+impl fmt::Display for TemplateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TemplateError::UnknownTemplate { idx, len } => {
+                write!(f, "unknown template id {idx} (catalog has {len})")
+            }
+            TemplateError::MissingArguments { name, needs, got } => {
+                write!(f, "template `{name}` needs {needs} arguments, got {got}")
+            }
+            TemplateError::Parse { line, reason } => {
+                write!(f, "bad template line {line:?}: {reason}")
+            }
+            TemplateError::TooManyParams { name, count } => write!(
+                f,
+                "template `{name}` has {count} parameters (max {MAX_TEMPLATE_PARAMS})"
+            ),
+            TemplateError::Model(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for TemplateError {}
+
+impl From<ModelError> for TemplateError {
+    fn from(e: ModelError) -> Self {
+        TemplateError::Model(e)
+    }
+}
 
 /// One operation of a template: read or write of a fixed object or of a
 /// parameter-dependent object.
@@ -116,6 +188,94 @@ impl Template {
             .max()
             .unwrap_or(0)
     }
+
+    /// Parses the one-line wire syntax: `Name: R[tbl:$0] W[chk:$1] R[fixed]`.
+    /// A bracketed object containing `:$<digits>` is parameter-dependent;
+    /// anything else is a fixed object. Round-trips with [`Template::render`].
+    pub fn parse(line: &str) -> Result<Template, TemplateError> {
+        let err = |reason: &str| TemplateError::Parse {
+            line: line.to_string(),
+            reason: reason.to_string(),
+        };
+        let line_t = line.trim();
+        let (name, rest) = line_t.split_once(':').ok_or_else(|| err("missing `:`"))?;
+        let name = name.trim();
+        if name.is_empty()
+            || !name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+        {
+            return Err(err("template name must be non-empty [A-Za-z0-9_-]"));
+        }
+        let mut t = Template::new(name);
+        for tok in rest.split_whitespace() {
+            let body = tok
+                .strip_prefix("R[")
+                .or_else(|| tok.strip_prefix("W["))
+                .and_then(|b| b.strip_suffix(']'))
+                .ok_or_else(|| err("each op must look like R[obj] or W[obj]"))?;
+            let kind = if tok.starts_with('R') {
+                OpKind::Read
+            } else {
+                OpKind::Write
+            };
+            let (table, param) = match body.split_once(":$") {
+                Some((table, idx)) => {
+                    let idx: usize = idx
+                        .parse()
+                        .map_err(|_| err("parameter must be `:$<index>`"))?;
+                    (table, Some(idx))
+                }
+                None => (body, None),
+            };
+            if table.is_empty()
+                || !table
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+            {
+                return Err(err("object/table must be non-empty [A-Za-z0-9_-]"));
+            }
+            t.ops.push(TemplateOp {
+                kind,
+                table: table.to_string(),
+                param,
+            });
+        }
+        if t.ops.is_empty() {
+            return Err(err("template has no operations"));
+        }
+        if t.param_count() > MAX_TEMPLATE_PARAMS {
+            return Err(TemplateError::TooManyParams {
+                name: t.name,
+                count: t.ops.iter().filter_map(|o| o.param).max().unwrap_or(0) + 1,
+            });
+        }
+        Ok(t)
+    }
+
+    /// The inverse of [`Template::parse`].
+    pub fn render(&self) -> String {
+        let mut out = format!("{}:", self.name);
+        for op in &self.ops {
+            let k = match op.kind {
+                OpKind::Read => 'R',
+                OpKind::Write => 'W',
+            };
+            match op.param {
+                None => out.push_str(&format!(" {k}[{}]", op.table)),
+                Some(p) => out.push_str(&format!(" {k}[{}:${p}]", op.table)),
+            }
+        }
+        out
+    }
+}
+
+impl std::str::FromStr for Template {
+    type Err = TemplateError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Template::parse(s)
+    }
 }
 
 /// A fixed API of templates — the unit of template-level analysis.
@@ -143,8 +303,11 @@ impl TemplateSet {
         self.templates.is_empty()
     }
 
-    pub fn get(&self, idx: usize) -> &Template {
-        &self.templates[idx]
+    /// The template at `idx`, or `None` when out of range — a malformed
+    /// `instantiate` request must surface as a structured error, never as
+    /// an index panic inside the server.
+    pub fn get(&self, idx: usize) -> Option<&Template> {
+        self.templates.get(idx)
     }
 
     /// Instantiates concrete transactions: one per `(template index,
@@ -155,17 +318,24 @@ impl TemplateSet {
     pub fn instantiate(
         &self,
         instances: &[(usize, Vec<u32>)],
-    ) -> Result<(TransactionSet, Vec<usize>), ModelError> {
+    ) -> Result<(TransactionSet, Vec<usize>), TemplateError> {
         let mut b = TxnSetBuilder::new();
         let mut origin = Vec::with_capacity(instances.len());
         for (i, (tidx, args)) in instances.iter().enumerate() {
-            let template = &self.templates[*tidx];
-            assert!(
-                args.len() >= template.param_count(),
-                "template `{}` needs {} arguments",
-                template.name,
-                template.param_count()
-            );
+            let template = self
+                .templates
+                .get(*tidx)
+                .ok_or(TemplateError::UnknownTemplate {
+                    idx: *tidx,
+                    len: self.templates.len(),
+                })?;
+            if args.len() < template.param_count() {
+                return Err(TemplateError::MissingArguments {
+                    name: template.name.clone(),
+                    needs: template.param_count(),
+                    got: args.len(),
+                });
+            }
             let mut names: Vec<(OpKind, String)> = Vec::new();
             for op in &template.ops {
                 let name = match op.param {
@@ -186,7 +356,9 @@ impl TemplateSet {
             t.finish();
             origin.push(*tidx);
         }
-        b.build().map(|set| (set, origin))
+        b.build()
+            .map(|set| (set, origin))
+            .map_err(TemplateError::Model)
     }
 
     /// The union of all instantiations with every argument tuple from
@@ -197,7 +369,7 @@ impl TemplateSet {
         &self,
         copies: usize,
         domain: u32,
-    ) -> Result<(TransactionSet, Vec<usize>), ModelError> {
+    ) -> Result<(TransactionSet, Vec<usize>), TemplateError> {
         assert!(copies >= 1 && domain >= 1);
         let mut instances = Vec::new();
         for (tidx, template) in self.templates.iter().enumerate() {
@@ -280,6 +452,235 @@ pub fn optimal_template_allocation(
     levels
 }
 
+/// A level change to a previously registered template caused by a later
+/// registration: the greedy allocation is recomputed over the grown set,
+/// and a new conflicting template can force an old one upward.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct LevelChange {
+    pub template_id: usize,
+    pub from: IsolationLevel,
+    pub to: IsolationLevel,
+}
+
+/// The reply to [`TemplateCatalog::register`].
+#[derive(Clone, Debug)]
+pub struct CatalogEntry {
+    /// Index of the newly registered template (dense, 0-based).
+    pub template_id: usize,
+    /// Its audited isolation level.
+    pub level: IsolationLevel,
+    /// Earlier templates whose audited level moved.
+    pub changed: Vec<LevelChange>,
+    /// Randomized instantiations re-checked by Algorithm 1 at
+    /// registration time.
+    pub reverified: usize,
+}
+
+/// The admission fast path: a template set plus a precomputed
+/// per-template level allocation that is robust for *every* workload
+/// drawing instances from the bounded envelope (at most `copies`
+/// duplicates of each parameter tuple, parameters from an
+/// isomorphism-closed domain — see DESIGN.md §S19 for the soundness
+/// argument).
+///
+/// [`TemplateCatalog::register`] is the slow path: it re-runs the greedy
+/// template allocation over the grown set and re-verifies the result by
+/// running Algorithm 1 on randomized sub-instantiations of the bounded
+/// envelope. [`TemplateCatalog::admit`] is then O(1): bounds-check the
+/// template id, check the argument count, return the precomputed level.
+/// No Algorithm 1 run, no allocator delta, no cache probe.
+#[derive(Clone, Debug, Default)]
+pub struct TemplateCatalog {
+    set: TemplateSet,
+    levels: Vec<IsolationLevel>,
+    copies: usize,
+    domain: u32,
+    reverify_rounds: usize,
+}
+
+impl TemplateCatalog {
+    /// Default audit envelope: two duplicates per tuple over a two-value
+    /// parameter domain — enough to expose every pairwise anomaly pattern
+    /// (lost update needs 2 copies; cross-parameter write skew needs 2
+    /// domain values).
+    pub const DEFAULT_COPIES: usize = 2;
+    pub const DEFAULT_DOMAIN: u32 = 2;
+    const DEFAULT_REVERIFY_ROUNDS: usize = 8;
+
+    pub fn new(copies: usize, domain: u32) -> Self {
+        assert!(copies >= 1 && domain >= 1);
+        TemplateCatalog {
+            set: TemplateSet::new(),
+            levels: Vec::new(),
+            copies,
+            domain,
+            reverify_rounds: Self::DEFAULT_REVERIFY_ROUNDS,
+        }
+    }
+
+    /// Number of randomized re-verification rounds per registration
+    /// (0 disables re-verification).
+    pub fn with_reverify_rounds(mut self, rounds: usize) -> Self {
+        self.reverify_rounds = rounds;
+        self
+    }
+
+    /// Registers a template: grows the set, recomputes the greedy
+    /// allocation over the *whole* catalog (deterministic in registration
+    /// order), and re-verifies the new allocation on randomized
+    /// instantiations. O(catalog × envelope) — the price is paid once per
+    /// template, not per instance.
+    pub fn register(&mut self, template: Template) -> Result<CatalogEntry, TemplateError> {
+        if template.param_count() > MAX_TEMPLATE_PARAMS {
+            return Err(TemplateError::TooManyParams {
+                count: template.param_count(),
+                name: template.name,
+            });
+        }
+        let mut grown = self.set.clone();
+        let template_id = grown.add(template);
+        // Surface model violations (e.g. a template reading and writing
+        // the same fixed object twice) before committing the catalog.
+        grown.bounded_instantiation(self.copies, self.domain)?;
+        let levels = optimal_template_allocation(&grown, self.copies, self.domain);
+        let changed = self
+            .levels
+            .iter()
+            .enumerate()
+            .filter(|&(i, &from)| levels[i] != from)
+            .map(|(i, &from)| LevelChange {
+                template_id: i,
+                from,
+                to: levels[i],
+            })
+            .collect();
+        self.set = grown;
+        self.levels = levels;
+        // Derive the re-verification seed from the catalog size so
+        // registration stays a pure function of the registration sequence
+        // (bit-identical across recovery replays).
+        let reverified = self.reverify(0xCA7A ^ self.set.len() as u64, self.reverify_rounds);
+        Ok(CatalogEntry {
+            template_id,
+            level: self.levels[template_id],
+            changed,
+            reverified,
+        })
+    }
+
+    /// Parses and registers a template line (`Name: R[tbl:$0] W[fixed]`).
+    pub fn register_line(&mut self, line: &str) -> Result<CatalogEntry, TemplateError> {
+        self.register(Template::parse(line)?)
+    }
+
+    /// Admits one instance of `template_id`: O(1) — an index bounds
+    /// check, an argument-count check, and a level lookup. Parameter
+    /// *values* are unconstrained: the audited envelope covers any
+    /// parameter space up to isomorphism (§S19).
+    pub fn admit(
+        &self,
+        template_id: usize,
+        params: &[u32],
+    ) -> Result<IsolationLevel, TemplateError> {
+        let template = self
+            .set
+            .get(template_id)
+            .ok_or(TemplateError::UnknownTemplate {
+                idx: template_id,
+                len: self.set.len(),
+            })?;
+        if params.len() != template.param_count() {
+            return Err(TemplateError::MissingArguments {
+                name: template.name().to_string(),
+                needs: template.param_count(),
+                got: params.len(),
+            });
+        }
+        Ok(self.levels[template_id])
+    }
+
+    /// Re-runs Algorithm 1 on `rounds` randomized sub-multisets of the
+    /// bounded envelope; every one must be robust under the catalog's
+    /// allocation (a subset of a robust set stays robust — the split
+    /// schedule of Definition 3.1 appends removed transactions serially).
+    /// Returns the number of instantiations checked. Panics on failure:
+    /// that would mean the audit machinery itself is unsound.
+    pub fn reverify(&self, seed: u64, rounds: usize) -> usize {
+        if self.set.is_empty() || rounds == 0 {
+            return 0;
+        }
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut checked = 0;
+        for round in 0..rounds {
+            let mut instances = Vec::new();
+            for (tidx, template) in self.set.templates.iter().enumerate() {
+                let k = template.param_count();
+                let tuples = (self.domain as usize).pow(k as u32);
+                for tuple in 0..tuples {
+                    let mut args = Vec::with_capacity(k);
+                    let mut rest = tuple;
+                    for _ in 0..k {
+                        args.push((rest % self.domain as usize) as u32);
+                        rest /= self.domain as usize;
+                    }
+                    // Random multiplicity within the envelope.
+                    let dup = rng.random_range(0..=self.copies);
+                    for _ in 0..dup {
+                        instances.push((tidx, args.clone()));
+                    }
+                }
+            }
+            if instances.is_empty() {
+                continue;
+            }
+            let (txns, origin) = self
+                .set
+                .instantiate(&instances)
+                .expect("sub-envelope instantiation is well-formed");
+            let alloc: Allocation = txns
+                .ids()
+                .enumerate()
+                .map(|(i, t)| (t, self.levels[origin[i]]))
+                .collect();
+            if let Err(cex) = reverify(&txns, &alloc) {
+                panic!(
+                    "catalog re-verification failed (round {round}, seed {seed}): \
+                     randomized instantiation of {} instances is not robust \
+                     under the audited allocation — counterexample {cex:?}. \
+                     This contradicts the append lemma; the audit machinery \
+                     is unsound.",
+                    txns.len()
+                );
+            }
+            checked += 1;
+        }
+        checked
+    }
+
+    /// The catalog's template set.
+    pub fn templates(&self) -> &TemplateSet {
+        &self.set
+    }
+
+    /// The audited per-template allocation, indexed by template id.
+    pub fn levels(&self) -> &[IsolationLevel] {
+        &self.levels
+    }
+
+    /// The audited level of one template.
+    pub fn level(&self, template_id: usize) -> Option<IsolationLevel> {
+        self.levels.get(template_id).copied()
+    }
+
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+}
+
 /// The SmallBank benchmark as templates (parameter = customer id).
 pub fn smallbank_templates() -> TemplateSet {
     let mut set = TemplateSet::new();
@@ -335,10 +736,12 @@ mod tests {
         let set = counter_templates();
         assert_eq!(set.len(), 2);
         assert!(!set.is_empty());
-        assert_eq!(set.get(0).param_count(), 1);
-        assert_eq!(set.get(1).param_count(), 0);
-        assert_eq!(set.get(0).name(), "Increment");
-        assert_eq!(set.get(0).ops().len(), 2);
+        assert_eq!(set.get(0).unwrap().param_count(), 1);
+        assert_eq!(set.get(1).unwrap().param_count(), 0);
+        assert_eq!(set.get(0).unwrap().name(), "Increment");
+        assert_eq!(set.get(0).unwrap().ops().len(), 2);
+        // Out of range is a None, never a panic.
+        assert!(set.get(2).is_none());
     }
 
     #[test]
@@ -406,9 +809,131 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "needs 2 arguments")]
-    fn missing_arguments_panic() {
+    fn missing_arguments_are_structured_errors() {
         let set = smallbank_templates();
-        let _ = set.instantiate(&[(3, vec![1])]);
+        match set.instantiate(&[(3, vec![1])]) {
+            Err(TemplateError::MissingArguments { name, needs, got }) => {
+                assert_eq!(name, "Amalgamate");
+                assert_eq!((needs, got), (2, 1));
+            }
+            other => panic!("expected MissingArguments, got {other:?}"),
+        }
+        match set.instantiate(&[(99, vec![])]) {
+            Err(TemplateError::UnknownTemplate { idx: 99, len: 5 }) => {}
+            other => panic!("expected UnknownTemplate, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wire_syntax_round_trips() {
+        for t in [
+            Template::new("Balance").read("sav", 0).read("chk", 0),
+            Template::new("Report").read_fixed("summary"),
+            Template::new("Amalgamate")
+                .read("sav", 0)
+                .write("sav", 0)
+                .read("chk", 1)
+                .write("chk", 1),
+        ] {
+            let line = t.render();
+            let back = Template::parse(&line).unwrap();
+            assert_eq!(back, t, "round-trip of {line:?}");
+        }
+        let t = Template::parse("WriteCheck: R[sav:$0] R[chk:$0] W[chk:$0]").unwrap();
+        assert_eq!(t.name(), "WriteCheck");
+        assert_eq!(t.param_count(), 1);
+        assert_eq!(t.render(), "WriteCheck: R[sav:$0] R[chk:$0] W[chk:$0]");
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        for bad in [
+            "",
+            "NoColon R[x]",
+            ": R[x]",
+            "T1:",
+            "T1: X[x]",
+            "T1: R[x",
+            "T1: R[]",
+            "T1: R[a:$x]",
+            "bad name: R[x]",
+            "T1: R[a b]",
+        ] {
+            let e = Template::parse(bad).unwrap_err();
+            assert!(
+                matches!(e, TemplateError::Parse { .. }),
+                "{bad:?} gave {e:?}"
+            );
+        }
+        let wide = Template::parse("T1: R[a:$9]").unwrap_err();
+        assert!(matches!(wide, TemplateError::TooManyParams { .. }));
+    }
+
+    #[test]
+    fn catalog_admission_matches_batch_audit() {
+        // Registering SmallBank one template at a time must converge on
+        // exactly the allocation a whole-set audit computes: the greedy
+        // recompute is a deterministic function of the grown set.
+        let mut cat = TemplateCatalog::new(2, 2);
+        let set = smallbank_templates();
+        for i in 0..set.len() {
+            let entry = cat.register(set.get(i).unwrap().clone()).unwrap();
+            assert_eq!(entry.template_id, i);
+            assert!(entry.reverified > 0, "re-verification must run");
+        }
+        let batch = optimal_template_allocation(&set, 2, 2);
+        assert_eq!(cat.levels(), &batch[..]);
+        // Fast-path admission returns exactly the audited level, for any
+        // parameter values (the envelope covers them up to isomorphism).
+        for (i, level) in batch.iter().enumerate() {
+            let k = set.get(i).unwrap().param_count();
+            let params: Vec<u32> = (0..k as u32).map(|p| 1_000_000 + p * 37).collect();
+            assert_eq!(cat.admit(i, &params).unwrap(), *level);
+        }
+    }
+
+    #[test]
+    fn catalog_admit_validates_without_panicking() {
+        let mut cat = TemplateCatalog::new(2, 2);
+        cat.register_line("Increment: R[counter:$0] W[counter:$0]")
+            .unwrap();
+        assert!(matches!(
+            cat.admit(1, &[0]),
+            Err(TemplateError::UnknownTemplate { idx: 1, len: 1 })
+        ));
+        assert!(matches!(
+            cat.admit(0, &[]),
+            Err(TemplateError::MissingArguments { .. })
+        ));
+        assert_eq!(cat.admit(0, &[7]).unwrap(), IsolationLevel::SI);
+        assert_eq!(cat.len(), 1);
+        assert!(!cat.is_empty());
+        assert_eq!(cat.level(0), Some(IsolationLevel::SI));
+        assert_eq!(cat.level(1), None);
+    }
+
+    #[test]
+    fn catalog_reports_level_changes_on_later_registrations() {
+        // A read-only reporter is fine at RC alone; adding a writer that
+        // conflicts with it can push earlier templates upward. Whatever
+        // the exact movement, the catalog must (a) report any change and
+        // (b) keep levels equal to the whole-set recompute.
+        let mut cat = TemplateCatalog::new(2, 2);
+        cat.register_line("Reader: R[acct:$0] R[sum]").unwrap();
+        assert_eq!(cat.level(0), Some(IsolationLevel::RC));
+        let entry = cat
+            .register_line("Skew: R[acct:$0] R[sum] W[acct:$0] W[sum]")
+            .unwrap();
+        let mut expect = TemplateSet::new();
+        expect.add(Template::parse("Reader: R[acct:$0] R[sum]").unwrap());
+        expect.add(Template::parse("Skew: R[acct:$0] R[sum] W[acct:$0] W[sum]").unwrap());
+        assert_eq!(
+            cat.levels(),
+            &optimal_template_allocation(&expect, 2, 2)[..]
+        );
+        for ch in &entry.changed {
+            assert_eq!(cat.level(ch.template_id), Some(ch.to));
+            assert_ne!(ch.from, ch.to);
+        }
     }
 }

@@ -34,7 +34,7 @@ fn main() {
     let best = optimal_template_allocation(&sb, 2, 2);
     println!("\noptimal per-template levels (2 copies, domain 2):");
     for (i, lvl) in best.iter().enumerate() {
-        println!("  {:<16} → {lvl}", sb.get(i).name());
+        println!("  {:<16} → {lvl}", sb.get(i).unwrap().name());
     }
     assert!(audit(&sb, &best, 2, 2).robust);
 
@@ -64,7 +64,7 @@ fn main() {
     println!("\ninventory API:");
     let best = optimal_template_allocation(&api, 2, 2);
     for (i, lvl) in best.iter().enumerate() {
-        println!("  {:<8} → {lvl}", api.get(i).name());
+        println!("  {:<8} → {lvl}", api.get(i).unwrap().name());
     }
     let rc_everything = vec![IsolationLevel::RC; api.len()];
     println!(
