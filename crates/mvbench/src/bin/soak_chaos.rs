@@ -335,6 +335,7 @@ fn main() {
         doc["chaos_soak"] = json!({
             "experiment": "B11-chaos-recovery-latency",
             "seed": seed,
+            "env": mvbench::bench_env(None),
             "events": events as u64,
             "rows": rows,
         });

@@ -335,6 +335,7 @@ fn main() {
         doc["admission"] = json!({
             "experiment": "B17-template-admission",
             "seed": "0xB17",
+            "env": mvbench::bench_env(None),
             "templates": "smallbank",
             "cell": CELL,
             "load_per_customer": LOAD as u64,

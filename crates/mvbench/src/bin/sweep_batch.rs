@@ -247,6 +247,7 @@ fn main() {
         doc["batch"] = json!({
             "experiment": "B13-group-commit-coalescing",
             "seed": format!("{SEED:#x}"),
+            "env": mvbench::bench_env(None),
             "smoke": smoke,
             "events": events as u64,
             "rows": rows,

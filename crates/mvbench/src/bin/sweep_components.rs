@@ -222,6 +222,7 @@ fn main() {
         doc["components"] = json!({
             "experiment": "B12-component-sharding",
             "seed": format!("{SEED:#x}"),
+            "env": mvbench::bench_env(None),
             "smoke": smoke,
             "rows": rows,
         });

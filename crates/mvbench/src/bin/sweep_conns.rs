@@ -195,6 +195,7 @@ fn main() {
         doc["conns"] = json!({
             "experiment": "B14-connection-scaling",
             "smoke": smoke,
+            "env": mvbench::bench_env(None),
             "window": WINDOW as u64,
             "pool": POOL as u64,
             "workload": "assign reads over a pre-registered pool",

@@ -120,6 +120,7 @@ fn main() {
         doc["delta"] = json!({
             "experiment": "B10-delta-vs-full",
             "contention": "medium",
+            "env": mvbench::bench_env(None),
             "seed": "0xD5",
             "rows": rows,
         });

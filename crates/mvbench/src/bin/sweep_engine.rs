@@ -159,6 +159,7 @@ fn main() {
         doc["seed"] = json!("0xB3");
         doc["hw_threads"] = json!(hw_threads as u64);
         doc["mt_threads"] = json!(mt_threads.map(|n| n as u64));
+        doc["env"] = mvbench::bench_env(mt_threads.map(|n| n as u64));
         doc["rows"] = json!(rows);
         std::fs::write(
             &path,

@@ -263,6 +263,7 @@ fn main() {
         doc["exec"] = json!({
             "experiment": "B16-mixed-vs-ssi-execution",
             "seed": format!("{SEED:#x}"),
+            "env": mvbench::bench_env(None),
             "txns": n_txns as u64,
             "theta": THETA,
             "concurrency": CONCURRENCY as u64,

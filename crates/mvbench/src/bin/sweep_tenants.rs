@@ -317,6 +317,7 @@ fn main() {
         doc["tenants"] = json!({
             "experiment": "B15-multi-tenant-durability",
             "seed": format!("{SEED:#x}"),
+            "env": mvbench::bench_env(None),
             "smoke": smoke,
             "events_per_tenant": events as u64,
             "fleet": fleet.iter().map(|r| json!({

@@ -201,6 +201,40 @@ pub fn exec_round(
     })
 }
 
+/// The multi-core analogue of [`run_allocated_round`]: executes the
+/// workload on the parallel engine ([`mvsim::run_parallel_workload`])
+/// with `config.threads` worker threads, exports the commit-ordered
+/// trace, and checks the identical contract. Parallel interleavings are
+/// OS-nondeterministic, so the fingerprint identifies *this* run rather
+/// than replaying a seed — the conformance claim (allowed under the
+/// allocation; serializable when robust) holds for every interleaving.
+pub fn run_parallel_round(
+    label: &'static str,
+    txns: &TransactionSet,
+    alloc: &Allocation,
+    robust: bool,
+    config: SimConfig,
+) -> Result<RoundReport, String> {
+    let config = SimConfig {
+        record_trace: true,
+        ..config
+    };
+    let run = mvsim::run_parallel_workload(txns, alloc, config);
+    let exported = run
+        .trace
+        .export()
+        .expect("conformance rounds record traces");
+    let verdict = check_trace(&exported.schedule, &exported.allocation, robust)
+        .map_err(|e: TraceError| format!("[{label} parallel x{}] {e}", run.threads))?;
+    Ok(RoundReport {
+        family: label,
+        txns: txns.len(),
+        committed: run.trace.committed_count(),
+        verdict,
+        fingerprint: mvmodel::fmt::schedule_full(&exported.schedule),
+    })
+}
+
 /// Searches execution for a real anomaly under a (non-robust)
 /// allocation: runs `attempts` seeded rounds plus one round-robin round
 /// at each concurrency in `concurrencies`, returning the first committed
@@ -267,6 +301,22 @@ mod tests {
         assert!(r.verdict.conformant());
         assert_eq!(r.committed, r.txns, "unbounded retries commit everything");
         assert!(!r.fingerprint.is_empty());
+    }
+
+    #[test]
+    fn parallel_ring_round_conforms() {
+        let txns = Family::Ring.workload(1);
+        let alloc = optimal_alloc(&txns);
+        let r = run_parallel_round(
+            "ring",
+            &txns,
+            &alloc,
+            true,
+            SimConfig::default().with_seed(5).with_threads(4),
+        )
+        .unwrap();
+        assert!(r.verdict.conformant());
+        assert_eq!(r.committed, r.txns, "unbounded retries commit everything");
     }
 
     #[test]

@@ -137,6 +137,24 @@ pub fn jobs(txns: &TransactionSet, alloc: &Allocation, copies: usize) -> Vec<Job
         .collect()
 }
 
+/// The benchmark environment block recorded in every `BENCH_alg.json`
+/// table: logical CPU count plus the worker-thread count the experiment
+/// ran with (`None` for logically-timed, single-threaded experiments).
+/// Wall-clock numbers are not comparable across hosts without it — a
+/// "4-thread" run on a 1-CPU container measures time-slicing, not
+/// parallel speedup.
+pub fn bench_env(threads: Option<u64>) -> serde_json::Value {
+    let logical_cpus = std::thread::available_parallelism()
+        .map(|n| n.get() as u64)
+        .unwrap_or(1);
+    match threads {
+        Some(t) => serde_json::json!({ "logical_cpus": logical_cpus, "threads": t }),
+        None => {
+            serde_json::json!({ "logical_cpus": logical_cpus, "threads": serde_json::Value::Null })
+        }
+    }
+}
+
 /// The allocation ladder compared in the throughput experiments.
 pub fn ladder(txns: &TransactionSet) -> Vec<(&'static str, Allocation)> {
     vec![

@@ -1,0 +1,134 @@
+//! Parallel-vs-sequential execution conformance: the multi-core engine
+//! run across the workload families must satisfy the same trace
+//! contract as the sequential oracle — every exported schedule allowed
+//! under its allocation (Definition 2.4) and, the allocations being
+//! robust, conflict serializable.
+//!
+//! Parallel interleavings are OS-scheduled and therefore not seed-
+//! replayable; what `SIM_SEED` pins is the workload construction, the
+//! allocation, and the engines' retry jitter. A failure still prints
+//! the `SIM_SEED=… cargo test` line — rerunning it drives the identical
+//! workload through fresh interleavings, which is how a real race is
+//! hunted down.
+
+use mvbench::conformance::{optimal_alloc, run_allocated_round, run_parallel_round, Family};
+use mvsim::{SimConfig, SsiMode};
+
+/// Default simulator base seed; override with `SIM_SEED=<u64>`.
+fn sim_seed() -> u64 {
+    std::env::var("SIM_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xB18)
+}
+
+fn repro(seed: u64) -> String {
+    format!("reproduce with: SIM_SEED={seed} cargo test -p mvbench --test exec_mt")
+}
+
+/// 5 families × 4 workload seeds × {2, 4} threads × both detectors:
+/// 80 parallel rounds, each validated end to end.
+#[test]
+fn parallel_rounds_execute_conformantly() {
+    let base = sim_seed();
+    let mut rounds = 0u64;
+    for family in Family::ALL {
+        for wl_seed in 0..4u64 {
+            let txns = family.workload(wl_seed);
+            let alloc = optimal_alloc(&txns);
+            for threads in [2usize, 4] {
+                for mode in [SsiMode::Exact, SsiMode::Conservative] {
+                    let config = SimConfig::default()
+                        .with_seed(base.wrapping_add(rounds))
+                        .with_threads(threads)
+                        .with_ssi_mode(mode);
+                    let report = run_parallel_round(family.label(), &txns, &alloc, true, config)
+                        .unwrap_or_else(|e| {
+                            panic!(
+                                "parallel conformance violated: {} family, wl_seed={wl_seed}, \
+                                 threads={threads}, mode={mode:?}: {e}\n{}",
+                                family.label(),
+                                repro(base)
+                            )
+                        });
+                    assert!(
+                        report.verdict.conformant(),
+                        "non-conformant parallel verdict: {report:?}\n{}",
+                        repro(base)
+                    );
+                    assert_eq!(
+                        report.committed,
+                        report.txns,
+                        "unbounded retries must commit every job\n{}",
+                        repro(base)
+                    );
+                    rounds += 1;
+                }
+            }
+        }
+    }
+    assert!(rounds >= 80, "suite shrank below 80 rounds: {rounds}");
+}
+
+/// The sequential engine and the parallel engine at 1 thread agree on
+/// completion for the same workloads: all jobs commit, both traces
+/// conform. (Interleavings differ — the sequential driver multiplexes
+/// `concurrency` sessions, one worker thread runs jobs back to back —
+/// so the contract, not the fingerprint, is compared.)
+#[test]
+fn one_thread_matches_the_sequential_contract() {
+    let base = sim_seed();
+    for family in Family::ALL {
+        let txns = family.workload(2);
+        let alloc = optimal_alloc(&txns);
+        let seq = run_allocated_round(
+            family.label(),
+            &txns,
+            &alloc,
+            true,
+            SimConfig::default().with_seed(base).with_concurrency(4),
+        )
+        .unwrap_or_else(|e| panic!("sequential round failed: {e}\n{}", repro(base)));
+        let par = run_parallel_round(
+            family.label(),
+            &txns,
+            &alloc,
+            true,
+            SimConfig::default().with_seed(base).with_threads(1),
+        )
+        .unwrap_or_else(|e| panic!("parallel round failed: {e}\n{}", repro(base)));
+        assert!(seq.verdict.conformant() && par.verdict.conformant());
+        assert_eq!(seq.committed, seq.txns, "{}", repro(base));
+        assert_eq!(par.committed, par.txns, "{}", repro(base));
+    }
+}
+
+/// Repeated hammering of the contended SmallBank family at 4 threads —
+/// the highest-risk configuration for publication-order races.
+#[test]
+fn contended_smallbank_hammer_stays_conformant() {
+    let base = sim_seed();
+    let txns = mvworkloads::SmallBank::random_mix(24, 4, 1.1, base);
+    let alloc = optimal_alloc(&txns);
+    for round in 0..6u64 {
+        for mode in [SsiMode::Exact, SsiMode::Conservative] {
+            let report = run_parallel_round(
+                "smallbank-hot",
+                &txns,
+                &alloc,
+                true,
+                SimConfig::default()
+                    .with_seed(base.wrapping_add(round))
+                    .with_threads(4)
+                    .with_ssi_mode(mode),
+            )
+            .unwrap_or_else(|e| {
+                panic!(
+                    "hammer round {round} ({mode:?}) violated conformance: {e}\n{}",
+                    repro(base)
+                )
+            });
+            assert!(report.verdict.conformant(), "{}", repro(base));
+        }
+    }
+}

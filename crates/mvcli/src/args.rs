@@ -89,8 +89,10 @@ impl Parsed {
             .transpose()
     }
 
-    /// `--threads N` (default 1): worker threads for the robustness
-    /// engine's outer search. Verdicts are identical at any count.
+    /// `--threads N` (default 1): worker threads. For `allocate`/`check`
+    /// this parallelizes the robustness engine's outer search (verdicts
+    /// identical at any count); for `simulate`, N ≥ 2 additionally
+    /// routes execution to the multi-core MVCC engine.
     pub fn threads(&self) -> Result<usize, String> {
         match self.option_parse::<usize>("threads")? {
             Some(0) => Err("--threads must be at least 1".into()),

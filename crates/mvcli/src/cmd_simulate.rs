@@ -8,6 +8,14 @@
 //! with the conformance oracle — allowed under the allocation *and*
 //! conflict serializable (the allocation is robust by construction). A
 //! nonconformant trace is a contract violation and exits 1.
+//!
+//! `--threads N` (default 1) selects the execution engine: 1 runs the
+//! sequential engine under the seeded cooperative scheduler (replayable
+//! interleavings), ≥ 2 runs the multi-core engine with N OS worker
+//! threads (real parallelism, OS-scheduled interleavings — still
+//! validated against the same trace contract). Either way the report
+//! includes wall-clock elapsed time and committed transactions per
+//! second alongside the logical-tick metrics.
 
 use crate::args::Parsed;
 use mvisolation::IsolationLevel;
@@ -16,6 +24,7 @@ use mvrobustness::{check_trace, optimal_allocation, Allocator, LevelSet};
 use mvsim::{run_workload, SimConfig, SsiMode};
 use serde_json::json;
 use std::process::ExitCode;
+use std::time::{Duration, Instant};
 
 const LEVEL_NAMES: [(&str, IsolationLevel); 3] = [
     ("RC", IsolationLevel::ReadCommitted),
@@ -54,6 +63,7 @@ pub fn run(argv: &[String]) -> Result<ExitCode, String> {
         parsed.allocation(&txns)?
     };
     let concurrency: usize = parsed.option_parse("concurrency")?.unwrap_or(4);
+    let threads = parsed.threads()?;
     let seed: u64 = parsed.option_parse("seed")?.unwrap_or(0);
     let repeat: u64 = parsed.option_parse("repeat")?.unwrap_or(1);
     let ssi_mode = match parsed.option("ssi-mode").unwrap_or("exact") {
@@ -64,6 +74,7 @@ pub fn run(argv: &[String]) -> Result<ExitCode, String> {
 
     let mut total = mvsim::Metrics::default();
     let mut latency = mvsim::LatencyStats::default();
+    let mut elapsed = Duration::ZERO;
     let mut serializable_runs = 0u64;
     let mut allowed_runs = 0u64;
     let mut violations: Vec<String> = Vec::new();
@@ -72,26 +83,30 @@ pub fn run(argv: &[String]) -> Result<ExitCode, String> {
         let config = SimConfig::default()
             .with_seed(run_seed)
             .with_concurrency(concurrency)
+            .with_threads(threads)
             .with_ssi_mode(ssi_mode);
-        let engine = run_workload(&txns, &alloc, config);
-        let m = engine.metrics;
-        total.commits += m.commits;
-        total.aborts_fcw += m.aborts_fcw;
-        total.aborts_deadlock += m.aborts_deadlock;
-        total.aborts_ssi += m.aborts_ssi;
-        total.ticks += m.ticks;
-        total.gave_up += m.gave_up;
-        total.reads += m.reads;
-        total.writes += m.writes;
-        total.blocked_events += m.blocked_events;
-        for (t, l) in total.per_level.iter_mut().zip(m.per_level.iter()) {
-            t.commits += l.commits;
-            t.aborts_fcw += l.aborts_fcw;
-            t.aborts_deadlock += l.aborts_deadlock;
-            t.aborts_ssi += l.aborts_ssi;
-        }
-        latency.merge(&engine.latency);
-        if let Some(exported) = engine.trace.export() {
+        let (m, run_latency, trace, run_elapsed) = if threads > 1 {
+            let run = mvsim::run_parallel_workload(&txns, &alloc, config);
+            (run.metrics, run.latency, run.trace, run.elapsed)
+        } else {
+            let start = Instant::now();
+            let engine = run_workload(&txns, &alloc, config);
+            (
+                engine.metrics,
+                engine.latency,
+                engine.trace,
+                start.elapsed(),
+            )
+        };
+        // Repeats are independent runs, each with its own clock, so the
+        // logical durations accumulate (absorb's ticks-max is for merging
+        // worker partitions of a single run).
+        let ticks_so_far = total.ticks;
+        total.absorb(&m);
+        total.ticks = ticks_so_far + m.ticks;
+        latency.merge(&run_latency);
+        elapsed += run_elapsed;
+        if let Some(exported) = trace.export() {
             if mvisolation::allowed_under(&exported.schedule, &exported.allocation) {
                 allowed_runs += 1;
             }
@@ -123,11 +138,20 @@ pub fn run(argv: &[String]) -> Result<ExitCode, String> {
             "SI": level_json(IsolationLevel::SnapshotIsolation),
             "SSI": level_json(IsolationLevel::SerializableSnapshotIsolation),
         });
+        let secs = elapsed.as_secs_f64();
+        let txns_per_sec = if secs > 0.0 {
+            total.commits as f64 / secs
+        } else {
+            0.0
+        };
         let j = json!({
             "allocation": alloc.to_string(),
             "allocated": allocate,
             "concurrency": concurrency,
+            "threads": threads as u64,
             "runs": repeat,
+            "elapsed_ms": secs * 1e3,
+            "txns_per_sec": txns_per_sec,
             "commits": total.commits,
             "aborts": json!({
                 "first_committer_wins": total.aborts_fcw,
@@ -162,6 +186,16 @@ pub fn run(argv: &[String]) -> Result<ExitCode, String> {
             );
         }
         println!("{latency}");
+        let secs = elapsed.as_secs_f64();
+        let txns_per_sec = if secs > 0.0 {
+            total.commits as f64 / secs
+        } else {
+            0.0
+        };
+        println!(
+            "threads: {threads}  elapsed: {:.2} ms  txns/sec: {txns_per_sec:.0}",
+            secs * 1e3
+        );
         println!(
             "runs: {repeat}  serializable: {serializable_runs}  allowed-under-allocation: {allowed_runs}"
         );

@@ -213,6 +213,52 @@ fn simulate_allocate_text_table_and_level_menu() {
 }
 
 #[test]
+fn simulate_reports_wall_clock() {
+    let (stdout, _, code) = run_with_stdin(&["simulate", "--optimal", "--json"], SKEW);
+    assert_eq!(code, 0);
+    let j: serde_json::Value = serde_json::from_str(&stdout).expect("valid json");
+    assert_eq!(j["threads"], 1);
+    assert!(j["elapsed_ms"].as_f64().unwrap() > 0.0);
+    assert!(j["txns_per_sec"].as_f64().unwrap() > 0.0);
+    let (stdout, _, code) = run_with_stdin(&["simulate", "--optimal"], SKEW);
+    assert_eq!(code, 0);
+    assert!(stdout.contains("txns/sec:"), "{stdout}");
+}
+
+#[test]
+fn simulate_threads_routes_to_parallel_engine() {
+    // --allocate --threads: allocation search and execution both run
+    // multi-threaded; every run's trace still passes the conformance
+    // contract (validated in-process, exit 0).
+    let (stdout, stderr, code) = run_with_stdin(
+        &[
+            "simulate",
+            "--allocate",
+            "--threads",
+            "4",
+            "--repeat",
+            "3",
+            "--json",
+        ],
+        SKEW,
+    );
+    assert_eq!(code, 0, "{stderr}");
+    let j: serde_json::Value = serde_json::from_str(&stdout).expect("valid json");
+    assert_eq!(j["threads"], 4);
+    assert_eq!(j["allocation"], "T1=SSI T2=SSI");
+    assert_eq!(j["serializable_runs"], 3);
+    assert_eq!(j["allowed_runs"], 3);
+    assert!(j["conformance_violations"].as_array().unwrap().is_empty());
+    // Unbounded retries commit every instance in every run.
+    assert_eq!(j["commits"], 6);
+    assert!(j["txns_per_sec"].as_f64().unwrap() > 0.0);
+
+    let (_, stderr, code) = run_with_stdin(&["simulate", "--optimal", "--threads", "0"], SKEW);
+    assert_eq!(code, 2);
+    assert!(stderr.contains("--threads must be at least 1"));
+}
+
+#[test]
 fn simulate_allocate_is_exclusive_with_manual_allocations() {
     for conflicting in [
         vec!["simulate", "--allocate", "--optimal"],

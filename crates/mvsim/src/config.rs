@@ -30,6 +30,10 @@ pub struct SimConfig {
     /// Record the committed execution for export as a formal schedule.
     /// Disable for long throughput runs.
     pub record_trace: bool,
+    /// OS worker threads for the parallel engine ([`crate::par`]). The
+    /// sequential driver ignores it — logical concurrency there is
+    /// `concurrency`; this is hardware parallelism.
+    pub threads: usize,
 }
 
 impl Default for SimConfig {
@@ -40,6 +44,7 @@ impl Default for SimConfig {
             max_retries: None,
             ssi_mode: SsiMode::Exact,
             record_trace: true,
+            threads: 1,
         }
     }
 }
@@ -70,6 +75,12 @@ impl SimConfig {
         self.max_retries = Some(n);
         self
     }
+
+    pub fn with_threads(mut self, n: usize) -> Self {
+        assert!(n > 0, "need at least one worker thread");
+        self.threads = n;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -83,12 +94,20 @@ mod tests {
             .with_concurrency(2)
             .with_ssi_mode(SsiMode::Conservative)
             .with_trace(false)
-            .with_max_retries(3);
+            .with_max_retries(3)
+            .with_threads(4);
         assert_eq!(c.seed, 7);
         assert_eq!(c.concurrency, 2);
         assert_eq!(c.ssi_mode, SsiMode::Conservative);
         assert!(!c.record_trace);
         assert_eq!(c.max_retries, Some(3));
+        assert_eq!(c.threads, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker thread")]
+    fn zero_threads_rejected() {
+        let _ = SimConfig::default().with_threads(0);
     }
 
     #[test]

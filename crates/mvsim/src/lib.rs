@@ -28,12 +28,22 @@
 //! every schedule the simulator emits is *allowed under* the allocation
 //! it ran (Definition 2.4) — and therefore, when the allocation is
 //! robust, serializable.
+//!
+//! The [`par`] module is the multi-core sibling: the same semantics
+//! driven by `SimConfig::threads` OS worker threads over sharded shared
+//! state, with the sequential [`Engine`] retained unchanged as the
+//! semantics oracle. Every parallel run can export a commit-ordered
+//! trace through the same validation pipeline.
 
 pub mod config;
 pub mod driver;
 pub mod engine;
 pub mod locks;
 pub mod metrics;
+pub mod par;
+mod plock;
+mod pssi;
+mod pstore;
 pub mod ssi;
 pub mod trace;
 pub mod version;
@@ -45,4 +55,8 @@ pub use driver::{
 };
 pub use engine::{AbortReason, Engine, StepOutcome};
 pub use metrics::{level_index, LatencyStats, LevelCounters, Metrics};
+pub use par::{
+    run_parallel_jobs, run_parallel_jobs_with, run_parallel_workload, run_parallel_workload_with,
+    ParOptions, ParRun,
+};
 pub use trace::ExportedTrace;

@@ -54,6 +54,9 @@ pub struct Metrics {
     /// Final logical clock — every read/write/commit advances it by one,
     /// so it measures total work including wasted (aborted) operations.
     pub ticks: u64,
+    /// Committed versions pruned by version-chain GC (below the oldest
+    /// active snapshot watermark).
+    pub versions_pruned: u64,
     /// Commits/aborts split by the attempt's isolation level (indexed by
     /// [`level_index`]): the data behind the mixed-vs-SSI comparison.
     pub per_level: [LevelCounters; 3],
@@ -109,6 +112,29 @@ impl Metrics {
             0.0
         } else {
             self.total_aborts() as f64 / attempts as f64
+        }
+    }
+
+    /// Merges another metrics object's counters into this one — used to
+    /// aggregate per-worker metrics from the parallel engine and
+    /// per-run metrics in repeat loops. `ticks` takes the maximum: it is
+    /// a shared clock reading, not a per-worker counter.
+    pub fn absorb(&mut self, other: &Metrics) {
+        self.commits += other.commits;
+        self.aborts_fcw += other.aborts_fcw;
+        self.aborts_deadlock += other.aborts_deadlock;
+        self.aborts_ssi += other.aborts_ssi;
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.blocked_events += other.blocked_events;
+        self.gave_up += other.gave_up;
+        self.ticks = self.ticks.max(other.ticks);
+        self.versions_pruned += other.versions_pruned;
+        for (mine, theirs) in self.per_level.iter_mut().zip(other.per_level.iter()) {
+            mine.commits += theirs.commits;
+            mine.aborts_fcw += theirs.aborts_fcw;
+            mine.aborts_deadlock += theirs.aborts_deadlock;
+            mine.aborts_ssi += theirs.aborts_ssi;
         }
     }
 }
@@ -175,6 +201,28 @@ mod tests {
                 level_index(IsolationLevel::SSI)
             ]
         );
+    }
+
+    #[test]
+    fn absorb_sums_counters_and_maxes_ticks() {
+        let mut a = Metrics::default();
+        a.record_commit(IsolationLevel::RC);
+        a.ticks = 10;
+        a.versions_pruned = 3;
+        let mut b = Metrics::default();
+        b.record_commit(IsolationLevel::SSI);
+        b.record_abort(AbortReason::Deadlock, IsolationLevel::SSI);
+        b.ticks = 25;
+        b.reads = 7;
+        a.absorb(&b);
+        assert_eq!(a.commits, 2);
+        assert_eq!(a.aborts_deadlock, 1);
+        assert_eq!(a.ticks, 25, "ticks is a clock reading, not a counter");
+        assert_eq!(a.versions_pruned, 3);
+        assert_eq!(a.reads, 7);
+        assert_eq!(a.level(IsolationLevel::RC).commits, 1);
+        assert_eq!(a.level(IsolationLevel::SSI).commits, 1);
+        assert_eq!(a.level(IsolationLevel::SSI).aborts_deadlock, 1);
     }
 
     #[test]

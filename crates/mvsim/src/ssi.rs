@@ -58,6 +58,49 @@ impl TxnFootprint {
     }
 }
 
+/// Core of the exact dangerous-structure test, shared by the sequential
+/// [`SsiTracker`] and the parallel [`crate::pssi::SharedSsiTracker`]:
+/// would admitting `cand` complete a structure among the committed SSI
+/// footprints?
+pub(crate) fn exact_check_against(committed: &[TxnFootprint], cand: &TxnFootprint) -> bool {
+    if !cand.ssi {
+        return false;
+    }
+    let pool: Vec<&TxnFootprint> = committed
+        .iter()
+        .filter(|f| f.ssi)
+        .chain(std::iter::once(cand))
+        .collect();
+    // Enumerate pivots T₂ and endpoints; T₁ = T₃ allowed.
+    for &t2 in &pool {
+        for &t1 in &pool {
+            if !(t1.rw_antidep_to(t2) && t1.concurrent(t2)) {
+                continue;
+            }
+            for &t3 in &pool {
+                let same_endpoints = t1.attempt == t3.attempt;
+                if !(t2.rw_antidep_to(t3) && t2.concurrent(t3)) {
+                    continue;
+                }
+                let c_ok = if same_endpoints {
+                    t3.commit_ts < t2.commit_ts
+                } else {
+                    t3.commit_ts <= t1.commit_ts && t3.commit_ts < t2.commit_ts
+                };
+                if !c_ok {
+                    continue;
+                }
+                // The structure must involve the candidate, otherwise
+                // it would have been rejected at an earlier commit.
+                if [t1.attempt, t2.attempt, t3.attempt].contains(&cand.attempt) {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
 /// Tracks committed SSI transactions for the exact detector, plus
 /// Cahill-style flags for the conservative one.
 #[derive(Debug, Default)]
@@ -83,43 +126,7 @@ impl SsiTracker {
     /// `C₃ < C₂ ≤` would force another earlier transaction anyway, which
     /// the search below covers by treating `cand` in every role).
     pub fn exact_check(&self, cand: &TxnFootprint) -> bool {
-        if !cand.ssi {
-            return false;
-        }
-        let pool: Vec<&TxnFootprint> = self
-            .committed
-            .iter()
-            .filter(|f| f.ssi)
-            .chain(std::iter::once(cand))
-            .collect();
-        // Enumerate pivots T₂ and endpoints; T₁ = T₃ allowed.
-        for &t2 in &pool {
-            for &t1 in &pool {
-                if !(t1.rw_antidep_to(t2) && t1.concurrent(t2)) {
-                    continue;
-                }
-                for &t3 in &pool {
-                    let same_endpoints = t1.attempt == t3.attempt;
-                    if !(t2.rw_antidep_to(t3) && t2.concurrent(t3)) {
-                        continue;
-                    }
-                    let c_ok = if same_endpoints {
-                        t3.commit_ts < t2.commit_ts
-                    } else {
-                        t3.commit_ts <= t1.commit_ts && t3.commit_ts < t2.commit_ts
-                    };
-                    if !c_ok {
-                        continue;
-                    }
-                    // The structure must involve the candidate, otherwise
-                    // it would have been rejected at an earlier commit.
-                    if [t1.attempt, t2.attempt, t3.attempt].contains(&cand.attempt) {
-                        return true;
-                    }
-                }
-            }
-        }
-        false
+        exact_check_against(&self.committed, cand)
     }
 
     /// Records a committed transaction's footprint (call after the exact

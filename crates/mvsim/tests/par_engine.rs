@@ -1,0 +1,285 @@
+//! Parallel-engine conformance: every trace a concurrent run exports
+//! must pass the same formal validation as the sequential engine's, and
+//! the abort/commit behaviour must stay inside the sequential envelope.
+//!
+//! Parallel runs are wall-clock nondeterministic (except at one
+//! thread), so these tests assert *invariants*, not bit-identity:
+//!
+//! - every exported schedule is allowed under its allocation
+//!   (Definition 2.4), whatever interleaving the OS produced;
+//! - all-SSI exact runs are conflict serializable;
+//! - write skew is prevented at 4 threads by both detectors;
+//! - abort reasons respect the level semantics (RC never aborts on
+//!   first-committer-wins or SSI; SI never aborts on SSI);
+//! - every job is accounted for: commits + gave_up = jobs;
+//! - version-chain GC under concurrency never breaks a trace.
+
+use mvisolation::{violations, Allocation, IsolationLevel};
+use mvmodel::serializability::is_conflict_serializable;
+use mvsim::{
+    run_jobs, run_parallel_jobs, run_parallel_jobs_with, Job, ParOptions, ParRun, SimConfig,
+    SsiMode,
+};
+use mvworkloads::RandomWorkload;
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+fn random_jobs(seed: u64, theta: f64) -> (Vec<Job>, Allocation) {
+    let txns = RandomWorkload::builder()
+        .txns(12)
+        .ops(2, 4)
+        .objects(6)
+        .theta(theta)
+        .write_ratio(0.45)
+        .seed(seed)
+        .generate();
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xDEAD);
+    let alloc: Allocation = txns
+        .ids()
+        .map(|t| {
+            let lvl = match rng.random_range(0..3) {
+                0 => IsolationLevel::RC,
+                1 => IsolationLevel::SI,
+                _ => IsolationLevel::SSI,
+            };
+            (t, lvl)
+        })
+        .collect();
+    let jobs = txns
+        .iter()
+        .map(|t| Job::new(t.ops().to_vec(), alloc.level(t.id())))
+        .collect();
+    (jobs, alloc)
+}
+
+/// Exports the run's trace and asserts Definition 2.4 conformance;
+/// returns whether the schedule is conflict serializable.
+fn assert_allowed(run: &ParRun) -> bool {
+    let exported = run.trace.export().expect("trace recording enabled");
+    let vs = violations(&exported.schedule, &exported.allocation);
+    assert!(
+        vs.is_empty(),
+        "parallel run emitted a schedule not allowed under its allocation \
+         ({} threads):\n{}\nviolations: {:?}",
+        run.threads,
+        mvmodel::fmt::schedule_full(&exported.schedule),
+        vs
+    );
+    is_conflict_serializable(&exported.schedule)
+}
+
+/// The abort-reason envelope: a level can only abort for reasons its
+/// semantics admit, on any interleaving.
+fn assert_abort_envelope(run: &ParRun) {
+    let rc = run.metrics.level(IsolationLevel::RC);
+    assert_eq!(rc.aborts_fcw, 0, "RC has no snapshot to defend");
+    assert_eq!(rc.aborts_ssi, 0, "RC is never SSI-checked");
+    let si = run.metrics.level(IsolationLevel::SI);
+    assert_eq!(si.aborts_ssi, 0, "SI is never SSI-checked");
+}
+
+#[test]
+fn single_thread_runs_are_deterministic_and_allowed() {
+    for seed in 0..8u64 {
+        let (jobs, _) = random_jobs(seed, 0.9);
+        let config = SimConfig::default().with_seed(seed).with_threads(1);
+        let a = run_parallel_jobs(&jobs, config.clone());
+        let b = run_parallel_jobs(&jobs, config);
+        assert_allowed(&a);
+        let ea = a.trace.export().unwrap();
+        let eb = b.trace.export().unwrap();
+        assert_eq!(
+            mvmodel::fmt::schedule_full(&ea.schedule),
+            mvmodel::fmt::schedule_full(&eb.schedule),
+            "one worker thread is deterministic (seed {seed})"
+        );
+        assert_eq!(a.metrics, b.metrics);
+        assert_eq!(a.metrics.commits, jobs.len() as u64);
+    }
+}
+
+#[test]
+fn multi_thread_random_mixed_runs_stay_allowed_exact() {
+    for seed in 0..12u64 {
+        let (jobs, _) = random_jobs(seed, 0.9);
+        for threads in [2usize, 4] {
+            let run = run_parallel_jobs(
+                &jobs,
+                SimConfig::default()
+                    .with_seed(seed * 31 + threads as u64)
+                    .with_threads(threads),
+            );
+            assert_allowed(&run);
+            assert_abort_envelope(&run);
+            assert_eq!(run.metrics.commits, jobs.len() as u64, "retry-forever");
+            assert_eq!(run.metrics.gave_up, 0);
+            assert_eq!(run.latency.count(), jobs.len());
+        }
+    }
+}
+
+#[test]
+fn multi_thread_random_mixed_runs_stay_allowed_conservative() {
+    for seed in 0..12u64 {
+        let (jobs, _) = random_jobs(seed, 1.2);
+        let run = run_parallel_jobs(
+            &jobs,
+            SimConfig::default()
+                .with_seed(seed)
+                .with_threads(4)
+                .with_ssi_mode(SsiMode::Conservative),
+        );
+        assert_allowed(&run);
+        assert_abort_envelope(&run);
+        assert_eq!(run.metrics.commits, jobs.len() as u64);
+    }
+}
+
+#[test]
+fn all_ssi_exact_parallel_runs_are_serializable() {
+    for seed in 0..10u64 {
+        let txns = RandomWorkload::builder()
+            .txns(12)
+            .ops(2, 4)
+            .objects(4)
+            .theta(1.2)
+            .seed(seed)
+            .generate();
+        let jobs: Vec<Job> = txns
+            .iter()
+            .map(|t| Job::new(t.ops().to_vec(), IsolationLevel::SSI))
+            .collect();
+        let run = run_parallel_jobs(&jobs, SimConfig::default().with_seed(seed).with_threads(4));
+        assert!(
+            assert_allowed(&run),
+            "all-SSI exact must be conflict serializable (seed {seed})"
+        );
+    }
+}
+
+/// The canonical anomaly, hammered concurrently: 6 copies of the
+/// write-skew pair at 4 threads must never commit a non-serializable
+/// history under either detector.
+#[test]
+fn write_skew_is_prevented_at_four_threads_by_both_detectors() {
+    let txns = mvworkloads::paper::write_skew_txns();
+    let jobs: Vec<Job> = (0..6)
+        .flat_map(|_| {
+            txns.iter()
+                .map(|t| Job::new(t.ops().to_vec(), IsolationLevel::SSI))
+        })
+        .collect();
+    for mode in [SsiMode::Exact, SsiMode::Conservative] {
+        for seed in 0..10u64 {
+            let run = run_parallel_jobs(
+                &jobs,
+                SimConfig::default()
+                    .with_seed(seed)
+                    .with_threads(4)
+                    .with_ssi_mode(mode),
+            );
+            assert!(
+                assert_allowed(&run),
+                "write skew slipped through ({mode:?}, seed {seed})"
+            );
+            assert_eq!(run.metrics.commits, jobs.len() as u64);
+        }
+    }
+}
+
+/// GC under concurrency: a long run over a tiny object set must prune
+/// version chains while never invalidating a trace — the watermark
+/// registration protocol at work.
+#[test]
+fn gc_under_concurrency_prunes_without_breaking_traces() {
+    let mut b = mvmodel::TxnSetBuilder::new();
+    let x = b.object("x");
+    let y = b.object("y");
+    b.txn(1).read(x).write(x).finish();
+    b.txn(2).read(y).write(y).finish();
+    let txns = b.build().unwrap();
+    let jobs: Vec<Job> = (0..160)
+        .flat_map(|_| {
+            txns.iter()
+                .map(|t| Job::new(t.ops().to_vec(), IsolationLevel::RC))
+        })
+        .collect();
+    let run = run_parallel_jobs(&jobs, SimConfig::default().with_seed(5).with_threads(4));
+    assert_eq!(run.metrics.commits, 320);
+    assert!(
+        run.metrics.versions_pruned > 0,
+        "320 commits over 2 objects must trigger the 64-commit GC cadence"
+    );
+    assert_allowed(&run);
+}
+
+/// Bounded retries: every job is accounted for, commits + gave_up = jobs,
+/// and giving up leaves the exported trace valid.
+#[test]
+fn limited_retries_account_for_every_job() {
+    let mut b = mvmodel::TxnSetBuilder::new();
+    let x = b.object("x");
+    b.txn(1).read(x).write(x).finish();
+    let txns = b.build().unwrap();
+    let jobs: Vec<Job> = (0..24)
+        .flat_map(|_| {
+            txns.iter()
+                .map(|t| Job::new(t.ops().to_vec(), IsolationLevel::SI))
+        })
+        .collect();
+    for seed in 0..6u64 {
+        let run = run_parallel_jobs(
+            &jobs,
+            SimConfig::default()
+                .with_seed(seed)
+                .with_threads(4)
+                .with_max_retries(0),
+        );
+        assert_eq!(
+            run.metrics.commits + run.metrics.gave_up,
+            jobs.len() as u64,
+            "every job commits or gives up (seed {seed})"
+        );
+        assert_allowed(&run);
+    }
+}
+
+/// Cross-check against the sequential oracle: the same jobs, run
+/// sequentially and at 4 threads with retry-forever, both complete all
+/// jobs; the parallel run's abort reasons stay inside the per-level
+/// envelope the sequential semantics define.
+#[test]
+fn parallel_runs_stay_in_the_sequential_envelope() {
+    for seed in 0..8u64 {
+        let (jobs, _) = random_jobs(seed, 1.0);
+        let seq = run_jobs(
+            &jobs,
+            SimConfig::default().with_seed(seed).with_concurrency(4),
+        );
+        let par = run_parallel_jobs(&jobs, SimConfig::default().with_seed(seed).with_threads(4));
+        assert_eq!(seq.metrics.commits, jobs.len() as u64);
+        assert_eq!(par.metrics.commits, jobs.len() as u64);
+        assert_abort_envelope(&par);
+        // Both exports validate through the identical pipeline.
+        let es = seq.trace.export().unwrap();
+        assert!(violations(&es.schedule, &es.allocation).is_empty());
+        assert_allowed(&par);
+    }
+}
+
+/// Jitter is a diversity knob, not a semantics knob: disabling it must
+/// not affect any invariant.
+#[test]
+fn jitter_off_preserves_all_invariants() {
+    for seed in 0..6u64 {
+        let (jobs, _) = random_jobs(seed, 0.9);
+        let run = run_parallel_jobs_with(
+            &jobs,
+            SimConfig::default().with_seed(seed).with_threads(4),
+            ParOptions { jitter: false },
+        );
+        assert_allowed(&run);
+        assert_abort_envelope(&run);
+        assert_eq!(run.metrics.commits, jobs.len() as u64);
+    }
+}

@@ -137,33 +137,76 @@ impl SmallBank {
     pub fn random_mix(n: usize, customers: usize, theta: f64, seed: u64) -> TransactionSet {
         assert!(n > 0, "need at least one transaction");
         assert!(customers >= 2, "Amalgamate needs two distinct customers");
-        let zipf = Zipf::new(customers, theta);
         let mut rng = SmallRng::seed_from_u64(seed);
         let mut s = SmallBank::new();
+        s.mix_into(&mut rng, n, customers, theta, 0);
+        s.build().expect("random SmallBank mix is well-formed")
+    }
+
+    /// A *partitioned* random mix: `cells` disjoint customer pools of
+    /// `customers_per_cell` each, with `per_cell` transactions drawn
+    /// inside every pool by the [`SmallBank::random_mix`] program mix.
+    /// Transactions in different cells touch disjoint account objects,
+    /// so the workload decomposes into `cells` independent conflict
+    /// clusters — the favourable regime for multi-core execution, where
+    /// worker threads rarely contend. Contrast with `random_mix` over a
+    /// single hot pool, which bounds the contended end.
+    pub fn partitioned_mix(
+        cells: usize,
+        per_cell: usize,
+        customers_per_cell: usize,
+        theta: f64,
+        seed: u64,
+    ) -> TransactionSet {
+        assert!(cells > 0, "need at least one cell");
+        assert!(per_cell > 0, "need at least one transaction per cell");
+        assert!(
+            customers_per_cell >= 2,
+            "Amalgamate needs two distinct customers"
+        );
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut s = SmallBank::new();
+        for cell in 0..cells {
+            let offset = (cell * customers_per_cell) as u32;
+            s.mix_into(&mut rng, per_cell, customers_per_cell, theta, offset);
+        }
+        s.build().expect("partitioned SmallBank mix is well-formed")
+    }
+
+    /// Draws `n` mix transactions over customers `offset+1 ..=
+    /// offset+customers`.
+    fn mix_into(
+        &mut self,
+        rng: &mut SmallRng,
+        n: usize,
+        customers: usize,
+        theta: f64,
+        offset: u32,
+    ) {
+        let zipf = Zipf::new(customers, theta);
         for _ in 0..n {
-            let c1 = zipf.sample(&mut rng) as u32 + 1;
+            let c1 = offset + zipf.sample(rng) as u32 + 1;
             let p: f64 = rng.random_range(0.0..1.0);
             if p < 0.40 {
-                s.balance(c1);
+                self.balance(c1);
             } else if p < 0.45 {
-                s.deposit_checking(c1);
+                self.deposit_checking(c1);
             } else if p < 0.60 {
-                s.transact_savings(c1);
+                self.transact_savings(c1);
             } else if p < 0.65 {
                 // Resample until the second customer differs — the model
                 // rejects duplicate operations on the same object.
                 let c2 = loop {
-                    let c = zipf.sample(&mut rng) as u32 + 1;
+                    let c = offset + zipf.sample(rng) as u32 + 1;
                     if c != c1 {
                         break c;
                     }
                 };
-                s.amalgamate(c1, c2);
+                self.amalgamate(c1, c2);
             } else {
-                s.write_check(c1);
+                self.write_check(c1);
             }
         }
-        s.build().expect("random SmallBank mix is well-formed")
     }
 }
 
@@ -257,5 +300,43 @@ mod tests {
     #[should_panic(expected = "two distinct customers")]
     fn random_mix_rejects_single_customer() {
         let _ = SmallBank::random_mix(10, 1, 0.0, 0);
+    }
+
+    #[test]
+    fn partitioned_mix_cells_are_disjoint_clusters() {
+        let set = SmallBank::partitioned_mix(4, 8, 4, 0.9, 3);
+        assert_eq!(set.len(), 32);
+        // Customers are confined to their cells: ids 1..=16 exist, none
+        // beyond.
+        assert!(set.object_by_name("chk17").is_none());
+        assert!(set.object_by_name("sav17").is_none());
+        // No transaction crosses a cell boundary: every pair of
+        // transactions drawing on different cells is conflict-free.
+        let cell_of = |name: &str| {
+            let c: u32 = name[3..].parse().unwrap();
+            (c - 1) / 4
+        };
+        for t in set.iter() {
+            let cells: Vec<u32> = t
+                .objects()
+                .iter()
+                .map(|&o| cell_of(set.object_names()[o.0 as usize].as_str()))
+                .collect();
+            assert!(
+                cells.windows(2).all(|w| w[0] == w[1]),
+                "transaction {} spans cells {cells:?}",
+                t.id()
+            );
+        }
+    }
+
+    #[test]
+    fn partitioned_mix_is_deterministic() {
+        let a = SmallBank::partitioned_mix(2, 6, 3, 0.5, 9);
+        let b = SmallBank::partitioned_mix(2, 6, 3, 0.5, 9);
+        assert_eq!(a.len(), b.len());
+        for t in a.iter() {
+            assert_eq!(t.ops(), b.txn(t.id()).ops(), "same-seed divergence");
+        }
     }
 }
